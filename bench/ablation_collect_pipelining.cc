@@ -1,0 +1,80 @@
+// Ablation: pipelined vs sequential name-directory collects.
+//
+// A collect must probe the sticky-bit trie; with a real disk round-trip
+// per probe, the sequential walk pays one RTT per node while the
+// pipelined walk keeps a whole level outstanding at once (O(depth) RTTs).
+// Both read the same bits with the same parent-before-child discipline,
+// so the Section 6 correctness argument is unchanged — the sweeps verify
+// the snapshot properties in both modes; this harness quantifies the
+// latency gap that motivates the default.
+#include <chrono>
+#include <cstdio>
+
+#include "core/config.h"
+#include "core/name_snapshot.h"
+#include "sim/sim_farm.h"
+
+namespace {
+
+using namespace nadreg;
+using core::FarmConfig;
+using core::NameSnapshot;
+using sim::SimFarm;
+
+double MeasureSnapshotMs(bool pipelined, int prior_names,
+                         std::uint64_t delay_us) {
+  FarmConfig cfg{1};
+  SimFarm::Options o;
+  o.seed = 5;
+  o.min_delay_us = delay_us / 2;
+  o.max_delay_us = delay_us;
+  SimFarm farm(o);
+  // Pre-announce the directory (fast mode regardless: not measured).
+  {
+    NameSnapshot seeder(farm, cfg, 1, 999, /*pipelined_collect=*/true);
+    for (int i = 0; i < prior_names; ++i) {
+      seeder.Announce(Name{static_cast<ProcessId>(500 + i), 0});
+    }
+  }
+  // Measure one fresh process's full snapshot (announce + collects).
+  NameSnapshot snap(farm, cfg, 1, 1, pipelined);
+  const auto start = std::chrono::steady_clock::now();
+  auto s = snap.Snapshot(Name{1, 0});
+  const auto end = std::chrono::steady_clock::now();
+  if (s.size() != static_cast<std::size_t>(prior_names) + 1) return -1;
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==========================================================================\n");
+  std::printf("ABLATION — name-directory collect: pipelined vs sequential probes\n");
+  std::printf("(one fresh snapshot; simulated disk delay ~[d/2, d] us per request)\n");
+  std::printf("==========================================================================\n\n");
+  std::printf("  %-12s %-10s %-18s %-18s %-8s\n", "disk delay", "names",
+              "sequential (ms)", "pipelined (ms)", "speedup");
+
+  bool ok = true;
+  for (std::uint64_t delay : {200ull, 1000ull}) {
+    for (int names : {4, 16}) {
+      const double seq = MeasureSnapshotMs(false, names, delay);
+      const double pipe = MeasureSnapshotMs(true, names, delay);
+      if (seq < 0 || pipe < 0) {
+        std::printf("  measurement failed\n");
+        return 1;
+      }
+      std::printf("  %-12llu %-10d %-18.1f %-18.1f %.1fx\n",
+                  static_cast<unsigned long long>(delay), names, seq, pipe,
+                  seq / pipe);
+      if (names >= 16 && seq <= pipe) ok = false;
+    }
+  }
+
+  std::printf("\nShape check: pipelining wins at every non-trivial directory "
+              "size: %s\n", ok ? "yes" : "NO");
+  std::printf("\nABLATION: %s\n\n",
+              ok ? "REPRODUCED (latency O(depth) vs O(marked nodes))"
+                 : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Shared verification campaigns for the table harnesses: each runs an
+// emulation under randomized schedules with crash injection, records the
+// concurrent history, and has the exact checker certify the claimed
+// consistency level. A campaign is the executable form of a "Yes" cell.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "checker/consistency.h"
+
+namespace nadreg::bench {
+
+struct CampaignResult {
+  std::string name;
+  int runs = 0;
+  int passed = 0;
+  std::uint64_t ops_checked = 0;
+  std::vector<std::uint64_t> seeds_used;
+  std::string first_failure;  // checker explanation, if any
+
+  bool AllPassed() const { return runs > 0 && passed == runs; }
+};
+
+struct CampaignOptions {
+  int runs = 20;                // randomized runs (seeds 1..runs scaled)
+  std::uint64_t seed_base = 1;  // seed of run k is seed_base + k
+  int ops_per_process = 6;
+  bool inject_crashes = true;   // crash up to t disks mid-run
+  std::uint32_t t = 1;          // farm resilience (2t+1 disks)
+};
+
+/// Section 3.2 SWSR wait-free atomic: 1 writer, 1 reader, register crashes.
+CampaignResult VerifySwsrAtomic(const CampaignOptions& opts);
+
+/// Section 4.2 SWMR atomic, reliable processes: 1 writer, many readers.
+CampaignResult VerifySwmrAtomic(const CampaignOptions& opts);
+
+/// Fig. 2 MWSR sequentially consistent: many writers, 1 reader.
+CampaignResult VerifyMwsrSeqCst(const CampaignOptions& opts);
+
+/// Fig. 2's SWSR specialisation checked for sequential consistency (the
+/// Table 3 SWSR cell): single writer, single reader.
+CampaignResult VerifySwsrSeqCst(const CampaignOptions& opts);
+
+/// Fig. 3 MWMR wait-free atomic over infinitely many base registers,
+/// full-disk crash injection. `writers`/`readers` select the usage
+/// pattern, so the same campaign covers all four Table 4 cells.
+CampaignResult VerifyMwmrAtomic(const CampaignOptions& opts, int writers,
+                                int readers);
+
+/// Prints a campaign result as one harness line.
+void PrintCampaign(const CampaignResult& r);
+
+}  // namespace nadreg::bench

@@ -1,0 +1,136 @@
+// Ablation: bounded model checking of the emulations — the explorer
+// enumerates every delivery order of small scenarios and validates each
+// outcome, complementing the randomized campaigns (sampling) and the
+// hand-built proof schedules (adversary/).
+//
+//   * the Section 3.2 SWSR emulation is exhaustively atomic over the full
+//     schedule space of a concurrent write/read scenario;
+//   * the Fig. 2 algorithm misused as an atomic MWSR register is broken,
+//     and the explorer finds the violating schedule on its own — an
+//     automatic rediscovery of (the core of) Theorem 2.
+#include <cstdio>
+
+#include "checker/consistency.h"
+#include "checker/history.h"
+#include "core/config.h"
+#include "core/mwsr_seqcst.h"
+#include "core/swsr_atomic.h"
+#include "sim/explorer.h"
+#include "sim/scenario.h"
+
+namespace {
+
+using namespace nadreg;
+using checker::CheckAtomic;
+using checker::HistoryRecorder;
+using core::FarmConfig;
+using sim::DetFarm;
+using sim::ExplorationRun;
+using sim::ScheduleExplorer;
+using sim::ThreadedScenario;
+
+ScheduleExplorer::RunFactory SwsrScenario(int writes, int reads) {
+  return [writes, reads](DetFarm& farm) -> std::unique_ptr<ExplorationRun> {
+    auto scenario = std::make_unique<ThreadedScenario>();
+    auto rec = std::make_shared<HistoryRecorder>();
+    FarmConfig cfg{1};
+    auto regs = cfg.Spread(0);
+    scenario->Spawn([&farm, rec, cfg, regs, writes] {
+      core::SwsrAtomicWriter writer(farm, cfg, regs, 1);
+      for (int i = 1; i <= writes; ++i) {
+        auto h = rec->BeginWrite(1, "v" + std::to_string(i));
+        writer.Write("v" + std::to_string(i));
+        rec->EndWrite(h);
+      }
+    });
+    scenario->Spawn([&farm, rec, cfg, regs, reads] {
+      core::SwsrAtomicReader reader(farm, cfg, regs, 2);
+      for (int i = 0; i < reads; ++i) {
+        auto h = rec->BeginRead(2);
+        rec->EndRead(h, reader.Read());
+      }
+    });
+    scenario->SetValidator([rec]() -> std::optional<std::string> {
+      auto result = CheckAtomic(rec->CheckableHistory());
+      if (result.ok) return std::nullopt;
+      return result.explanation;
+    });
+    return scenario;
+  };
+}
+
+ScheduleExplorer::RunFactory MwsrAsAtomicScenario() {
+  return [](DetFarm& farm) -> std::unique_ptr<ExplorationRun> {
+    auto scenario = std::make_unique<ThreadedScenario>();
+    auto rec = std::make_shared<HistoryRecorder>();
+    FarmConfig cfg{1};
+    auto regs = cfg.Spread(0);
+    scenario->Spawn([&farm, rec, cfg, regs] {
+      core::MwsrWriter wa(farm, cfg, regs, 1);
+      core::MwsrWriter wb(farm, cfg, regs, 2);
+      auto h1 = rec->BeginWrite(1, "va");
+      wa.Write("va");
+      rec->EndWrite(h1);
+      auto h2 = rec->BeginWrite(2, "vb");
+      wb.Write("vb");
+      rec->EndWrite(h2);
+    });
+    scenario->Spawn([&farm, rec, cfg, regs] {
+      core::MwsrReader reader(farm, cfg, regs, 99);
+      for (int i = 0; i < 2; ++i) {
+        auto h = rec->BeginRead(99);
+        rec->EndRead(h, reader.Read());
+      }
+    });
+    scenario->SetValidator([rec]() -> std::optional<std::string> {
+      auto result = CheckAtomic(rec->CheckableHistory());
+      if (result.ok) return std::nullopt;
+      return result.explanation;
+    });
+    return scenario;
+  };
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==========================================================================\n");
+  std::printf("ABLATION — bounded model checking of the register emulations\n");
+  std::printf("==========================================================================\n\n");
+
+  ScheduleExplorer explorer;
+
+  std::printf("A) Section 3.2 SWSR emulation, 1 WRITE || 1 READ: exhaustive sweep\n");
+  {
+    ScheduleExplorer::Options opts;
+    opts.max_schedules = 0;
+    auto out = explorer.Explore(SwsrScenario(1, 1), opts);
+    std::printf("   schedules: %zu (exhaustive), nodes: %zu, violations: %zu\n\n",
+                out.schedules, out.nodes, out.violations);
+    if (out.violations > 0) {
+      std::printf("%s\n", out.first_violation.c_str());
+      return 1;
+    }
+  }
+
+  std::printf("B) Fig. 2 algorithm misused as ATOMIC MWSR: unguided violation search\n");
+  {
+    ScheduleExplorer::Options opts;
+    opts.max_schedules = 5000;
+    opts.stop_at_first_violation = true;
+    auto out = explorer.Explore(MwsrAsAtomicScenario(), opts);
+    std::printf("   schedules examined: %zu, violations: %zu\n", out.schedules,
+                out.violations);
+    if (out.violations == 0) {
+      std::printf("   FAILED to find the expected violation\n");
+      return 1;
+    }
+    std::printf("   first violating schedule (found automatically):\n%s\n",
+                out.first_violation.c_str());
+  }
+
+  std::printf("ABLATION: PASSED — the positive result survives exhaustive\n");
+  std::printf("exploration; the impossible cell falls to an automatically\n");
+  std::printf("discovered schedule.\n\n");
+  return 0;
+}

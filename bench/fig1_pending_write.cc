@@ -1,0 +1,59 @@
+// Figure 1 — a process may complete its OPERATION while leaving a pending
+// write on register r3.
+//
+// The harness replays the figure as a deterministic timeline: process p
+// issues write(1) to r1, r2, r3; the adversary delivers r1 and r2; the
+// OPERATION completes; much later the write to r3 takes effect. Every
+// claim is asserted against the simulated disk state.
+#include <cstdio>
+#include <future>
+#include <thread>
+
+#include "common/codec.h"
+#include "core/config.h"
+#include "core/swsr_atomic.h"
+#include "sim/det_farm.h"
+
+int main() {
+  using namespace nadreg;
+  using namespace std::chrono_literals;
+  using sim::DetFarm;
+
+  std::printf("==========================================================================\n");
+  std::printf("FIGURE 1 — an OPERATION completing with a pending write on r3\n");
+  std::printf("==========================================================================\n\n");
+
+  core::FarmConfig cfg{1};
+  DetFarm farm;
+  auto regs = cfg.Spread(0);
+  core::SwsrAtomicWriter writer(farm, cfg, regs, /*pid=*/1);
+
+  std::printf("t0  process p invokes OPERATION = WRITE(1) on the emulated register\n");
+  auto op = std::async(std::launch::async, [&] { writer.Write("1"); });
+  while (farm.Pending().size() < 3) std::this_thread::yield();
+  std::printf("t1  p has issued concurrent base writes:   write(1)->r1, write(1)->r2, write(1)->r3\n");
+
+  farm.DeliverWhere([](const DetFarm::PendingOp& o) { return o.r.disk == 0; });
+  std::printf("t2  r1 responds                            [r1 done]\n");
+  farm.DeliverWhere([](const DetFarm::PendingOp& o) { return o.r.disk == 1; });
+  std::printf("t3  r2 responds                            [r2 done]\n");
+
+  op.get();
+  const bool r3_empty = farm.Peek(regs[2]).empty();
+  std::printf("t4  OPERATION completes (quorum 2 of 3)    [write to r3 still PENDING: %s]\n",
+              r3_empty ? "yes" : "NO?!");
+
+  std::printf("t5  ... arbitrary time passes; r3 was merely slow, not crashed ...\n");
+  const std::size_t flushed = farm.DeliverAll();
+  auto tv = DecodeTaggedValue(farm.Peek(regs[2]));
+  std::printf("t6  the pending write takes effect         [flushed %zu op(s); r3 now holds seq=%llu value=%s]\n",
+              flushed, tv.ok() ? (unsigned long long)tv->seq : 0,
+              tv.ok() ? tv->payload.c_str() : "?");
+
+  const bool ok = r3_empty && tv.ok() && tv->payload == "1";
+  std::printf("\nFIGURE 1: %s — the model's pending-write semantics hold exactly as drawn.\n",
+              ok ? "REPRODUCED" : "MISMATCH");
+  std::printf("This phenomenon is the engine of every impossibility proof in the paper\n");
+  std::printf("(see table1/table2/table3 harnesses for the proofs run mechanically).\n\n");
+  return ok ? 0 : 1;
+}

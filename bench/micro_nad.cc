@@ -1,0 +1,125 @@
+// Microbenchmarks for the TCP NAD path: raw block round-trips, emulated
+// registers over real sockets, and Disk Paxos decision latency.
+#include <benchmark/benchmark.h>
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+
+#include "apps/disk_paxos.h"
+#include "core/config.h"
+#include "core/swsr_atomic.h"
+#include "nad/client.h"
+#include "nad/server.h"
+#include "sim/sim_farm.h"
+
+namespace {
+
+using namespace nadreg;
+using core::FarmConfig;
+
+struct Cluster {
+  std::vector<std::unique_ptr<nad::NadServer>> servers;
+  std::unique_ptr<nad::NadClient> client;
+  FarmConfig cfg{1};
+
+  explicit Cluster(std::uint32_t t = 1) : cfg{t} {
+    std::map<DiskId, nad::NadClient::Endpoint> endpoints;
+    for (DiskId d = 0; d < cfg.num_disks(); ++d) {
+      auto server = nad::NadServer::Start({});
+      endpoints[d] = nad::NadClient::Endpoint{"127.0.0.1", (*server)->port()};
+      servers.push_back(std::move(*server));
+    }
+    client = std::move(*nad::NadClient::Connect(endpoints));
+  }
+};
+
+void BM_TcpWriteRoundtrip(benchmark::State& state) {
+  Cluster cluster;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  for (auto _ : state) {
+    done = false;
+    cluster.client->IssueWrite(1, RegisterId{0, 0}, "payload", [&] {
+      std::lock_guard lock(mu);
+      done = true;
+      cv.notify_one();
+    });
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return done; });
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TcpWriteRoundtrip);
+
+void BM_TcpReadRoundtrip(benchmark::State& state) {
+  Cluster cluster;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  for (auto _ : state) {
+    done = false;
+    cluster.client->IssueRead(1, RegisterId{0, 0}, [&](Value) {
+      std::lock_guard lock(mu);
+      done = true;
+      cv.notify_one();
+    });
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return done; });
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TcpReadRoundtrip);
+
+void BM_SwsrWriteOverTcp(benchmark::State& state) {
+  Cluster cluster;
+  core::SwsrAtomicWriter writer(*cluster.client, cluster.cfg,
+                                cluster.cfg.Spread(0), 1);
+  for (auto _ : state) writer.Write("payload");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwsrWriteOverTcp);
+
+void BM_SwsrReadOverTcp(benchmark::State& state) {
+  Cluster cluster;
+  core::SwsrAtomicWriter writer(*cluster.client, cluster.cfg,
+                                cluster.cfg.Spread(0), 1);
+  core::SwsrAtomicReader reader(*cluster.client, cluster.cfg,
+                                cluster.cfg.Spread(0), 2);
+  writer.Write("payload");
+  for (auto _ : state) benchmark::DoNotOptimize(reader.Read());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwsrReadOverTcp);
+
+void BM_DiskPaxosDecisionSim(benchmark::State& state) {
+  // Uncontended Disk Paxos decision on the simulated farm (zero delay).
+  FarmConfig cfg{1};
+  sim::SimFarm::Options o;
+  o.max_delay_us = 0;
+  sim::SimFarm farm(o);
+  std::uint32_t object = 1;
+  for (auto _ : state) {
+    apps::DiskPaxos paxos(farm, cfg, object++, /*n=*/3, /*pid=*/0);
+    benchmark::DoNotOptimize(paxos.TryPropose("v"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiskPaxosDecisionSim)->Iterations(512);
+
+void BM_DiskPaxosDecisionTcp(benchmark::State& state) {
+  Cluster cluster;
+  std::uint32_t object = 1;
+  for (auto _ : state) {
+    apps::DiskPaxos paxos(*cluster.client, cluster.cfg, object++, /*n=*/3,
+                          /*pid=*/0);
+    benchmark::DoNotOptimize(paxos.TryPropose("v"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiskPaxosDecisionTcp)->Iterations(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

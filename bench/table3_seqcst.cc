@@ -1,0 +1,73 @@
+// Table 3 — Uniform WAIT-FREE implementability of SEQUENTIALLY CONSISTENT
+// registers using finitely many fail-prone base registers.
+//
+//   paper:   SWSR = Yes, MWSR = Yes, SWMR = No, MWMR = No
+//
+// Yes cells: the Fig. 2 algorithm (MWSR) and its single-writer special
+// case, verified sequentially consistent by the exact checker.
+// No cells: Theorem 3 — the Section 5.1 infinite-execution liveness
+// requirement is violated: a reader can be starved of a value another
+// reader already returned, forever.
+#include <cstdio>
+
+#include "adversary/schedules.h"
+#include "campaigns.h"
+#include "table_common.h"
+
+int main() {
+  using namespace nadreg::bench;
+  using namespace nadreg::adversary;
+
+  PrintHeader("TABLE 3",
+              "uniform wait-free implementability of sequentially "
+              "consistent registers, finitely many base registers");
+
+  std::vector<Cell> cells;
+
+  CampaignOptions opts;
+  opts.runs = 15;
+  opts.ops_per_process = 6;
+
+  // --- SWSR: Yes -------------------------------------------------------------
+  std::printf("[SWSR] paper says Yes — Sec. 3.2 atomic implies sequentially consistent\n");
+  auto swsr = VerifySwsrSeqCst(opts);
+  PrintCampaign(swsr);
+  cells.push_back(Cell{"Single-Writer", "Single-Reader", true,
+                       swsr.AllPassed(),
+                       "Sec. 3.2 emulation serializable over randomized "
+                       "crash runs"});
+
+  // --- MWSR: Yes (Fig. 2) ------------------------------------------------------
+  std::printf("\n[MWSR] paper says Yes — the Figure 2 algorithm\n");
+  auto mwsr = VerifyMwsrSeqCst(opts);
+  PrintCampaign(mwsr);
+  CampaignOptions opts_t2 = opts;
+  opts_t2.t = 2;
+  opts_t2.runs = 8;
+  auto mwsr_t2 = VerifyMwsrSeqCst(opts_t2);
+  PrintCampaign(mwsr_t2);
+  cells.push_back(Cell{"Multi-Writer", "Single-Reader", true,
+                       mwsr.AllPassed() && mwsr_t2.AllPassed(),
+                       "Fig. 2 emulation serializable over " +
+                           std::to_string(mwsr.runs + mwsr_t2.runs) +
+                           " randomized multi-writer crash runs (t=1, t=2)"});
+
+  // --- SWMR: No (Theorem 3) ------------------------------------------------------
+  std::printf("\n[SWMR] paper says No — Theorem 3 (liveness of Section 5.1 fails)\n");
+  auto t3 = RunTheorem3SeqCstLiveness(30);
+  PrintAdversaryOutcome(t3);
+  cells.push_back(Cell{"Single-Writer", "Multi-Reader", false,
+                       !t3.liveness_violated,
+                       "Theorem 3 schedule: reader B starved of v1 forever "
+                       "while reader A returned it (finite prefixes remain "
+                       "serializable — the violation is the liveness clause)"});
+
+  // --- MWMR: No (a fortiori) --------------------------------------------------------
+  std::printf("[MWMR] paper says No — a fortiori from SWMR\n\n");
+  cells.push_back(Cell{"Multi-Writer", "Multi-Reader", false,
+                       !t3.liveness_violated,
+                       "a fortiori: a MWMR register restricted to one "
+                       "writer is a SWMR register"});
+
+  return PrintMatrixAndVerdict("TABLE 3", cells);
+}

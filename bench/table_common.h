@@ -1,0 +1,79 @@
+// Shared output helpers for the Table 1-4 reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "adversary/schedules.h"
+#include "campaigns.h"
+
+namespace nadreg::bench {
+
+struct Cell {
+  std::string row;       // "Single-Writer" / "Multi-Writer"
+  std::string col;       // "Single-Reader" / "Multi-Reader"
+  bool paper_says_yes = false;
+  bool measured_yes = false;
+  std::string evidence;  // one-line summary of how it was established
+};
+
+inline void PrintHeader(const std::string& table, const std::string& title) {
+  std::printf("==========================================================================\n");
+  std::printf("%s — %s\n", table.c_str(), title.c_str());
+  std::printf("Reproduction of: \"On using network attached disks as shared memory\",\n");
+  std::printf("Aguilera, Englert & Gafni, PODC 2003.\n");
+  std::printf("==========================================================================\n\n");
+}
+
+inline void PrintAdversaryOutcome(const adversary::ScheduleOutcome& out) {
+  std::printf("    adversary schedule: %s\n", out.name.c_str());
+  std::printf("%s", out.narrative.c_str());
+  std::printf("    checker verdicts: atomic=%s, sequentially-consistent=%s\n",
+              out.atomic.ok ? "YES" : "NO (violation certified)",
+              out.seqcst.ok ? "YES" : "NO (violation certified)");
+  if (out.liveness_violated) {
+    std::printf("    liveness verdict: VIOLATED (see narrative)\n");
+  }
+  std::printf("    counterexample history:\n%s\n",
+              checker::FormatHistory(out.history).c_str());
+}
+
+inline int PrintMatrixAndVerdict(const std::string& table,
+                                 const std::vector<Cell>& cells) {
+  std::printf("\n%s — reproduced matrix (paper / measured):\n\n", table.c_str());
+  std::printf("  %-16s %-28s %-28s\n", "", "Single-Reader", "Multi-Reader");
+  for (const std::string row : {"Single-Writer", "Multi-Writer"}) {
+    std::string line = "  " + row;
+    line.resize(18, ' ');
+    for (const std::string col : {"Single-Reader", "Multi-Reader"}) {
+      for (const Cell& c : cells) {
+        if (c.row == row && c.col == col) {
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "%-3s / %-3s (%s)",
+                        c.paper_says_yes ? "Yes" : "No",
+                        c.measured_yes ? "Yes" : "No",
+                        c.paper_says_yes == c.measured_yes ? "match"
+                                                           : "MISMATCH");
+          std::string f = buf;
+          f.resize(29, ' ');
+          line += f;
+        }
+      }
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  bool all_match = true;
+  std::printf("\n  evidence:\n");
+  for (const Cell& c : cells) {
+    std::printf("   - %s/%s: %s\n", c.row.c_str(), c.col.c_str(),
+                c.evidence.c_str());
+    if (c.paper_says_yes != c.measured_yes) all_match = false;
+  }
+  std::printf("\n%s: %s\n\n", table.c_str(),
+              all_match ? "REPRODUCED (all four cells match the paper)"
+                        : "MISMATCH — see above");
+  return all_match ? 0 : 1;
+}
+
+}  // namespace nadreg::bench

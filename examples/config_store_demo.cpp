@@ -1,0 +1,63 @@
+// A leaderless, fault-tolerant configuration store on network-attached
+// disks: three services update configuration concurrently; every reader
+// sees the same totally ordered state; a full disk crash is absorbed.
+//
+//   $ ./examples/config_store_demo
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "apps/config_store.h"
+#include "core/config.h"
+#include "sim/sim_farm.h"
+
+int main() {
+  using namespace nadreg;
+
+  core::FarmConfig cfg{/*t=*/1};
+  sim::SimFarm::Options opts;
+  opts.seed = 2026;
+  opts.max_delay_us = 40;
+  sim::SimFarm farm(opts);
+
+  std::printf("config store on NADs: 3 services, %u disks (t=%u), no leader\n\n",
+              cfg.num_disks(), cfg.t);
+
+  {
+    std::vector<std::jthread> services;
+    services.emplace_back([&] {
+      apps::ConfigStore cfgstore(farm, cfg, 300, 1);
+      cfgstore.Set("service.web/replicas", "3");
+      cfgstore.Set("service.web/image", "web:v41");
+    });
+    services.emplace_back([&] {
+      apps::ConfigStore cfgstore(farm, cfg, 300, 2);
+      cfgstore.Set("service.db/replicas", "5");
+      cfgstore.Set("feature.dark_mode", "on");
+    });
+    services.emplace_back([&] {
+      apps::ConfigStore cfgstore(farm, cfg, 300, 3);
+      cfgstore.Set("feature.dark_mode", "off");  // races with service 2
+      cfgstore.Set("service.web/image", "web:v42");
+    });
+  }
+
+  farm.CrashDisk(2);
+  std::printf("(disk 2 crashed — t=1 tolerated)\n\n");
+
+  apps::ConfigStore reader_a(farm, cfg, 300, 50);
+  apps::ConfigStore reader_b(farm, cfg, 300, 51);
+  auto snap_a = reader_a.Snapshot();
+  auto snap_b = reader_b.Snapshot();
+
+  std::printf("configuration (reader A):\n");
+  for (const auto& [key, value] : snap_a) {
+    std::printf("  %-26s = %s\n", key.c_str(), value.c_str());
+  }
+  std::printf("\nreader B sees the identical state: %s\n",
+              snap_a == snap_b ? "yes" : "NO — divergence!");
+  std::printf("updates in the global log: %zu\n", reader_a.UpdateCount());
+  std::printf("\n(the dark_mode race resolved the same way for everyone — the\n");
+  std::printf("log's global order is what a per-key register could not give)\n");
+  return snap_a == snap_b && snap_a.size() == 4 ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Lamport's fast mutual exclusion running on network-attached disks — the
+// translation the paper's introduction motivates: take an existing shared
+// memory algorithm verbatim, replace its registers with fault-tolerant
+// emulated ones, and it runs on a disk farm that tolerates crashes.
+//
+//   $ ./examples/mutex_on_nads [processes] [rounds]
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "apps/fast_mutex.h"
+#include "core/config.h"
+#include "sim/sim_farm.h"
+
+int main(int argc, char** argv) {
+  using namespace nadreg;
+
+  const int procs = argc > 1 ? std::atoi(argv[1]) : 3;
+  const int rounds = argc > 2 ? std::atoi(argv[2]) : 3;
+  core::FarmConfig cfg{/*t=*/1};
+  sim::SimFarm::Options opts;
+  opts.seed = 99;
+  opts.max_delay_us = 30;
+  sim::SimFarm farm(opts);
+
+  std::printf("fast mutual exclusion on NADs: %d processes x %d rounds, "
+              "%u disks (t=%u)\n\n", procs, rounds, cfg.num_disks(), cfg.t);
+
+  std::atomic<int> in_cs{0};
+  std::atomic<int> violations{0};
+  std::atomic<int> fast_acquires{0};
+  std::atomic<int> slow_acquires{0};
+  int shared_counter = 0;  // protected only by the distributed mutex
+
+  {
+    std::vector<std::jthread> threads;
+    for (int p = 1; p <= procs; ++p) {
+      threads.emplace_back([&, p] {
+        apps::FastMutex mtx(farm, cfg, /*object=*/100,
+                            static_cast<std::uint32_t>(procs),
+                            static_cast<std::uint32_t>(p));
+        for (int r = 0; r < rounds; ++r) {
+          mtx.Lock();
+          if (in_cs.fetch_add(1) != 0) ++violations;
+          ++shared_counter;
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          in_cs.fetch_sub(1);
+          (mtx.LastAcquireWasFast() ? fast_acquires : slow_acquires)
+              .fetch_add(1);
+          mtx.Unlock();
+        }
+      });
+    }
+  }
+
+  std::printf("critical sections executed: %d (expected %d)\n", shared_counter,
+              procs * rounds);
+  std::printf("mutual exclusion violations: %d\n", violations.load());
+  std::printf("fast-path acquires: %d, slow-path acquires: %d\n",
+              fast_acquires.load(), slow_acquires.load());
+  const bool ok = violations == 0 && shared_counter == procs * rounds;
+  std::printf("\n%s\n", ok ? "OK — Lamport's algorithm, untouched, on fail-prone disks"
+                           : "FAILED");
+  return ok ? 0 : 1;
+}

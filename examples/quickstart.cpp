@@ -1,0 +1,60 @@
+// Quickstart: emulate a fail-free shared register on a farm of fail-prone
+// network-attached disks, crash a whole disk mid-run, and keep going.
+//
+//   $ ./examples/quickstart
+//
+// This uses the simulated farm; see nad_server_main.cpp / nad_client_cli.cpp
+// to run the identical algorithms against real TCP disk servers.
+#include <cstdio>
+#include <thread>
+
+#include "core/config.h"
+#include "core/mwmr_atomic.h"
+#include "core/swmr_atomic.h"
+#include "sim/sim_farm.h"
+
+int main() {
+  using namespace nadreg;
+
+  // A farm of 2t+1 = 3 disks, of which t = 1 may fail.
+  core::FarmConfig cfg{/*t=*/1};
+  sim::SimFarm farm;
+
+  std::printf("nadreg quickstart: %u simulated disks, tolerating %u crash(es)\n\n",
+              cfg.num_disks(), cfg.t);
+
+  // --- 1. A single-writer register (Section 4.2): cheap, finite blocks. ---
+  auto regs = cfg.Spread(/*block=*/0);
+  core::SwmrAtomicWriter writer(farm, cfg, regs, /*pid=*/1);
+  core::SwmrAtomicReader reader(farm, cfg, regs, /*pid=*/2);
+
+  writer.Write("hello, disks");
+  std::printf("[swmr] wrote 'hello, disks'; reader sees: '%s'\n",
+              reader.Read().c_str());
+
+  farm.CrashDisk(0);
+  std::printf("[swmr] disk 0 crashed (all its blocks stopped responding)\n");
+
+  writer.Write("still here");
+  std::printf("[swmr] after the crash, reader sees: '%s'\n\n",
+              reader.Read().c_str());
+
+  // --- 2. A multi-writer register (Fig. 3): uniform, any process may write. ---
+  core::MwmrAtomic alice(farm, cfg, /*object=*/7, /*pid=*/10);
+  core::MwmrAtomic bob(farm, cfg, /*object=*/7, /*pid=*/11);
+  core::MwmrAtomic carol(farm, cfg, /*object=*/7, /*pid=*/12);
+
+  alice.Write("from alice");
+  bob.Write("from bob");
+  auto seen = carol.Read();
+  std::printf("[mwmr] alice then bob wrote; carol reads: '%s'\n",
+              seen ? seen->c_str() : "<initial>");
+
+  carol.Write("from carol");
+  auto last = alice.Read();
+  std::printf("[mwmr] carol wrote; alice reads: '%s'\n",
+              last ? last->c_str() : "<initial>");
+
+  std::printf("\nDone. The registers stayed atomic through a full disk crash.\n");
+  return 0;
+}

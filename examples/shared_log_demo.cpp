@@ -1,0 +1,62 @@
+// A totally ordered shared log on network-attached disks, built from the
+// paper's Section 6 primitives (name snapshot + one-shot registers).
+// Three writers append concurrently; two independent readers then see the
+// exact same global order, even after a disk crash.
+//
+//   $ ./examples/shared_log_demo
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "apps/shared_log.h"
+#include "core/config.h"
+#include "sim/sim_farm.h"
+
+int main() {
+  using namespace nadreg;
+
+  core::FarmConfig cfg{/*t=*/1};
+  sim::SimFarm::Options opts;
+  opts.seed = 5;
+  opts.max_delay_us = 40;
+  sim::SimFarm farm(opts);
+
+  std::printf("shared log on NADs: 3 concurrent appenders, %u disks (t=%u)\n\n",
+              cfg.num_disks(), cfg.t);
+
+  {
+    std::vector<std::jthread> appenders;
+    for (ProcessId p = 1; p <= 3; ++p) {
+      appenders.emplace_back([&, p] {
+        apps::SharedLog log(farm, cfg, /*object=*/200, p);
+        for (int i = 0; i < 3; ++i) {
+          log.Append("writer" + std::to_string(p) + "/entry" +
+                     std::to_string(i));
+        }
+      });
+    }
+  }
+
+  farm.CrashDisk(1);
+  std::printf("(disk 1 crashed after the appends)\n\n");
+
+  apps::SharedLog reader1(farm, cfg, 200, 50);
+  apps::SharedLog reader2(farm, cfg, 200, 51);
+  auto log1 = reader1.Read();
+  auto log2 = reader2.Read();
+
+  std::printf("reader 1 sees %zu entries:\n", log1.size());
+  for (std::size_t i = 0; i < log1.size(); ++i) {
+    std::printf("  %2zu. [p%llu] %s\n", i,
+                static_cast<unsigned long long>(log1[i].author),
+                log1[i].payload.c_str());
+  }
+
+  bool same = log1.size() == log2.size();
+  for (std::size_t i = 0; same && i < log1.size(); ++i) {
+    same = log1[i].payload == log2[i].payload;
+  }
+  std::printf("\nreader 2 sees the identical order: %s\n",
+              same ? "yes" : "NO — divergence!");
+  return same && log1.size() == 9 ? 0 : 1;
+}

@@ -1,0 +1,99 @@
+// End-to-end demo on REAL sockets: spin up 2t+1 durable disk daemons in
+// this process, run the full stack over TCP — an emulated atomic MWMR
+// register, Disk Paxos consensus — kill a daemon mid-run, then restart it
+// from its journal and show the state survived.
+//
+//   $ ./examples/tcp_cluster_demo
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "apps/disk_paxos.h"
+#include "common/rng.h"
+#include "core/config.h"
+#include "core/mwmr_atomic.h"
+#include "nad/client.h"
+#include "nad/server.h"
+
+int main() {
+  using namespace nadreg;
+  namespace fs = std::filesystem;
+
+  core::FarmConfig cfg{/*t=*/1};
+  const fs::path dir =
+      fs::temp_directory_path() / ("nadreg_cluster_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+
+  std::printf("tcp cluster demo: %u durable disk daemons on loopback (t=%u)\n\n",
+              cfg.num_disks(), cfg.t);
+
+  // 1. Start the disk daemons (each with its own journal).
+  std::vector<std::unique_ptr<nad::NadServer>> servers;
+  std::map<DiskId, nad::NadClient::Endpoint> endpoints;
+  std::vector<std::uint16_t> ports;
+  for (DiskId d = 0; d < cfg.num_disks(); ++d) {
+    nad::NadServer::Options opts;
+    opts.data_path = (dir / ("disk" + std::to_string(d))).string();
+    auto server = nad::NadServer::Start(opts);
+    if (!server) {
+      std::fprintf(stderr, "daemon %u failed: %s\n", d,
+                   server.status().ToString().c_str());
+      return 1;
+    }
+    ports.push_back((*server)->port());
+    endpoints[d] = nad::NadClient::Endpoint{"127.0.0.1", ports.back()};
+    std::printf("  disk %u: 127.0.0.1:%u (journal: %s.log)\n", d, ports.back(),
+                opts.data_path.c_str());
+    servers.push_back(std::move(*server));
+  }
+
+  auto client = nad::NadClient::Connect(endpoints);
+  if (!client) return 1;
+
+  // 2. An atomic MWMR register over the wire.
+  core::MwmrAtomic alice(**client, cfg, /*object=*/1, /*pid=*/1);
+  core::MwmrAtomic bob(**client, cfg, 1, 2);
+  alice.Write("written by alice over TCP");
+  auto v = bob.Read();
+  std::printf("\n[mwmr over tcp] bob reads: '%s'\n",
+              v ? v->c_str() : "<initial>");
+
+  // 3. Disk Paxos over the wire.
+  apps::DiskPaxos p0(**client, cfg, /*object=*/2, /*n=*/2, /*pid=*/0);
+  apps::DiskPaxos p1(**client, cfg, 2, 2, 1);
+  Rng rng(1);
+  std::string d0 = p0.Propose("from-p0", rng);
+  std::string d1 = p1.Propose("from-p1", rng);
+  std::printf("[disk paxos over tcp] p0 decided '%s', p1 decided '%s' (%s)\n",
+              d0.c_str(), d1.c_str(), d0 == d1 ? "agreement" : "VIOLATION");
+
+  // 4. Kill daemon 0 hard; the register must keep working (t=1).
+  servers[0]->Stop();
+  std::printf("\n[fault] daemon 0 killed\n");
+  bob.Write("written while disk 0 is down");
+  auto v2 = alice.Read();
+  std::printf("[mwmr over tcp] alice reads: '%s'\n",
+              v2 ? v2->c_str() : "<initial>");
+
+  // 5. Restart daemon 0 from its journal: acknowledged blocks are back.
+  {
+    nad::NadServer::Options opts;
+    opts.data_path = (dir / "disk0").string();
+    auto server = nad::NadServer::Start(opts);
+    if (!server) return 1;
+    std::printf("\n[recovery] daemon 0 restarted on port %u, %zu block(s) "
+                "recovered from its journal\n",
+                (*server)->port(), (*server)->RecoveredCount());
+    servers[0] = std::move(*server);
+  }
+
+  const bool ok = v && v2 && d0 == d1;
+  std::printf("\n%s\n", ok ? "OK — full stack on real sockets with a disk "
+                             "failure and journal recovery"
+                           : "FAILED");
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, every reproduction harness
+# and every microbenchmark — the one-command verification of the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build -j"$(nproc)"
+
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo
+  echo "================================================================"
+  echo ">>> $(basename "$b")"
+  echo "================================================================"
+  "$b"
+done

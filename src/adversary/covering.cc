@@ -1,0 +1,464 @@
+#include "adversary/covering.h"
+
+#include <chrono>
+#include <future>
+#include <sstream>
+
+#include "common/codec.h"
+#include "core/mwsr_seqcst.h"
+#include "core/register_set.h"
+
+namespace nadreg::adversary {
+namespace {
+
+using namespace std::chrono_literals;
+using core::FarmConfig;
+using sim::DetFarm;
+
+constexpr auto kBlockDetect = 1500ms;
+
+/// Drives a blocking candidate operation while delivering exactly the
+/// base operations matching `deliver`. Returns false if the operation
+/// fails to complete within the block-detection budget.
+template <typename Fn>
+bool DriveOrBlock(DetFarm& farm, const std::function<bool(
+                                     const DetFarm::PendingOp&)>& deliver,
+                  Fn&& op) {
+  auto fut = std::async(std::launch::async, std::forward<Fn>(op));
+  const auto deadline = std::chrono::steady_clock::now() + kBlockDetect;
+  while (fut.wait_for(1ms) != std::future_status::ready) {
+    farm.DeliverWhere(deliver);
+    if (std::chrono::steady_clock::now() > deadline) {
+      // Blocked. Un-silence everything so the thread can be joined.
+      while (fut.wait_for(1ms) != std::future_status::ready) {
+        farm.DeliverAll();
+      }
+      fut.get();
+      return false;
+    }
+  }
+  fut.get();
+  return true;
+}
+
+}  // namespace
+
+AttackResult HiddenWriteAttack(const CandidateFactory& factory,
+                               const FarmConfig& cfg) {
+  AttackResult result;
+  std::ostringstream story;
+  DetFarm farm;
+  auto candidate = factory(farm, cfg);
+  checker::HistoryRecorder rec;
+
+  // Phase 1: cover every disk with pending operations. Writer k runs with
+  // disk k silent; everything else is delivered promptly.
+  for (DiskId d = 0; d < cfg.num_disks(); ++d) {
+    const ProcessId writer = 10 + d;
+    const std::string value = "v" + std::to_string(d);
+    auto h = rec.BeginWrite(writer, value);
+    const bool completed = DriveOrBlock(
+        farm,
+        [d, writer](const DetFarm::PendingOp& op) {
+          return op.p == writer && op.r.disk != d;
+        },
+        [&] { candidate->Write(writer, value); });
+    if (!completed) {
+      result.kind = AttackResult::Kind::kCandidateBlocked;
+      result.detail =
+          "WRITE(" + value + ") blocked while disk " + std::to_string(d) +
+          " was merely slow: the candidate is not 1-crash fault-tolerant "
+          "(the other horn of Theorem 2's dichotomy).";
+      return result;
+    }
+    rec.EndWrite(h);
+    story << "covered disk " << d << " with pending ops of WRITE(" << value
+          << ")\n";
+  }
+
+  // Sanity read (also warms any reader-side state the candidate keeps).
+  {
+    auto h = rec.BeginRead(99);
+    std::string v;
+    DriveOrBlock(farm,
+                 [](const DetFarm::PendingOp& op) { return op.p == 99; },
+                 [&] { v = candidate->Read(); });
+    rec.EndRead(h, v);
+    story << "READ #1 -> \"" << v << "\"\n";
+  }
+
+  // Phase 2: the solo WRITE completes on EVERY disk.
+  const std::string solo = "v-solo";
+  {
+    auto h = rec.BeginWrite(50, solo);
+    const bool completed = DriveOrBlock(
+        farm, [](const DetFarm::PendingOp& op) { return op.p == 50; },
+        [&] { candidate->Write(50, solo); });
+    if (!completed) {
+      result.kind = AttackResult::Kind::kCandidateBlocked;
+      result.detail = "solo WRITE blocked with all disks responsive";
+      return result;
+    }
+    rec.EndWrite(h);
+    story << "solo WRITE(" << solo << ") completed on every disk\n";
+  }
+  {
+    auto h = rec.BeginRead(99);
+    std::string v;
+    DriveOrBlock(farm,
+                 [](const DetFarm::PendingOp& op) { return op.p == 99; },
+                 [&] { v = candidate->Read(); });
+    rec.EndRead(h, v);
+    story << "READ #2 -> \"" << v << "\"\n";
+  }
+
+  // Phase 3: flush the covered pending writes — they may take effect at
+  // any time (Fig. 1), and now is the most damaging time. Loop: delivering
+  // a pending read releases the write chained behind it (footnote 3).
+  std::size_t flushed = 0;
+  for (std::size_t n = 1; n != 0;) {
+    n = farm.DeliverWhere(
+        [](const DetFarm::PendingOp& op) { return op.p >= 10 && op.p < 50; });
+    flushed += n;
+  }
+  story << "flushed " << flushed
+        << " pending operation(s) left behind by the covering WRITEs\n";
+
+  // Phase 4: read again.
+  {
+    auto h = rec.BeginRead(99);
+    std::string v;
+    DriveOrBlock(farm,
+                 [](const DetFarm::PendingOp& op) { return op.p == 99; },
+                 [&] { v = candidate->Read(); });
+    rec.EndRead(h, v);
+    story << "READ #3 -> \"" << v << "\"\n";
+  }
+
+  // Phase 5: a late WRITE whose first-round quorum the adversary steers
+  // away from the disk holding the largest flushed record — this defeats
+  // reader-memo candidates: the late WRITE picks a timestamp that loses
+  // to the memoized solo WRITE, so a subsequent READ returns the (older)
+  // solo value after the late WRITE completed.
+  {
+    const DiskId avoided = cfg.num_disks() - 1;
+    auto h = rec.BeginWrite(60, "v-late");
+    const bool completed = DriveOrBlock(
+        farm,
+        [avoided](const DetFarm::PendingOp& op) {
+          return op.p == 60 && op.r.disk != avoided;
+        },
+        [&] { candidate->Write(60, "v-late"); });
+    if (!completed) {
+      result.kind = AttackResult::Kind::kCandidateBlocked;
+      result.detail = "late WRITE blocked while disk " +
+                      std::to_string(avoided) + " was merely slow";
+      return result;
+    }
+    rec.EndWrite(h);
+    story << "late WRITE(v-late) completed via the stale quorum\n";
+  }
+  {
+    auto h = rec.BeginRead(99);
+    std::string v;
+    DriveOrBlock(farm,
+                 [](const DetFarm::PendingOp& op) { return op.p == 99; },
+                 [&] { v = candidate->Read(); });
+    rec.EndRead(h, v);
+    story << "READ #4 -> \"" << v << "\"\n";
+  }
+
+  farm.DeliverAll();
+  result.history = rec.CheckableHistory();
+  result.atomic = checker::CheckAtomic(result.history);
+  result.seqcst = checker::CheckSequentiallyConsistent(result.history);
+  result.kind = result.atomic.ok ? AttackResult::Kind::kSurvived
+                                 : AttackResult::Kind::kViolationFound;
+  result.detail = story.str();
+  return result;
+}
+
+// --- Stock candidates --------------------------------------------------------
+
+namespace {
+
+class Fig2Impl : public MwsrCandidate {
+ public:
+  Fig2Impl(DetFarm& farm, const FarmConfig& cfg)
+      : farm_(farm), cfg_(cfg), reader_(farm, cfg, cfg.Spread(0), 99) {}
+
+  void Write(ProcessId writer, const std::string& value) override {
+    auto [it, inserted] = writers_.try_emplace(writer, nullptr);
+    if (inserted) {
+      it->second = std::make_unique<core::MwsrWriter>(farm_, cfg_,
+                                                      cfg_.Spread(0), writer);
+    }
+    it->second->Write(value);
+  }
+  std::string Read() override { return reader_.Read(); }
+
+ private:
+  DetFarm& farm_;
+  FarmConfig cfg_;
+  std::map<ProcessId, std::unique_ptr<core::MwsrWriter>> writers_;
+  core::MwsrReader reader_;
+};
+
+/// (timestamp, writer) lexicographic order; payload carried alongside.
+struct Stamp {
+  std::uint64_t ts = 0;
+  ProcessId writer = 0;
+  friend auto operator<=>(const Stamp&, const Stamp&) = default;
+};
+
+class TimestampImpl : public MwsrCandidate {
+ public:
+  TimestampImpl(DetFarm& farm, const FarmConfig& cfg)
+      : farm_(farm),
+        cfg_(cfg),
+        reader_set_(farm, 99, cfg.Spread(0)) {}
+
+  void Write(ProcessId writer, const std::string& value) override {
+    auto [it, inserted] = sets_.try_emplace(writer, nullptr);
+    if (inserted) {
+      it->second =
+          std::make_unique<core::RegisterSet>(farm_, writer, cfg_.Spread(0));
+    }
+    core::RegisterSet& set = *it->second;
+    // Round 1: learn the maximum timestamp from a majority.
+    Stamp max_seen;
+    {
+      auto t = set.ReadAll();
+      set.Await(t, cfg_.quorum());
+      for (const auto& [idx, bytes] : t.Results()) {
+        auto tv = DecodeTaggedValue(bytes);
+        if (tv && Stamp{tv->seq, tv->writer} > max_seen) {
+          max_seen = Stamp{tv->seq, tv->writer};
+        }
+      }
+    }
+    // Round 2: write (max+1, writer, v) to all, wait for a majority.
+    TaggedValue record{writer, max_seen.ts + 1, value};
+    auto t = set.WriteAll(EncodeTaggedValue(record));
+    set.Await(t, cfg_.quorum());
+  }
+
+  std::string Read() override {
+    auto t = reader_set_.ReadAll();
+    reader_set_.Await(t, cfg_.quorum());
+    for (const auto& [idx, bytes] : t.Results()) {
+      auto tv = DecodeTaggedValue(bytes);
+      if (tv && Stamp{tv->seq, tv->writer} > best_stamp_) {
+        best_stamp_ = Stamp{tv->seq, tv->writer};
+        best_value_ = tv->payload;
+      }
+    }
+    return best_value_;
+  }
+
+ private:
+  DetFarm& farm_;
+  FarmConfig cfg_;
+  std::map<ProcessId, std::unique_ptr<core::RegisterSet>> sets_;
+  core::RegisterSet reader_set_;
+  Stamp best_stamp_;  // monotone memo, as in Sec. 3.2
+  std::string best_value_;
+};
+
+/// Waits for every base register: blocks as soon as one disk is slow.
+class FragileImpl : public MwsrCandidate {
+ public:
+  FragileImpl(DetFarm& farm, const FarmConfig& cfg)
+      : farm_(farm), cfg_(cfg), reader_set_(farm, 99, cfg.Spread(0)) {}
+
+  void Write(ProcessId writer, const std::string& value) override {
+    core::RegisterSet set(farm_, writer, cfg_.Spread(0));
+    auto t = set.WriteAll(EncodeTaggedValue(TaggedValue{writer, 1, value}));
+    set.Await(t, cfg_.num_disks());  // all acks: not fault-tolerant
+  }
+  std::string Read() override {
+    auto t = reader_set_.ReadAll();
+    reader_set_.Await(t, cfg_.quorum());
+    std::string v;
+    for (const auto& [idx, bytes] : t.Results()) {
+      auto tv = DecodeTaggedValue(bytes);
+      if (tv && tv->seq > 0) v = tv->payload;
+    }
+    return v;
+  }
+
+ private:
+  DetFarm& farm_;
+  FarmConfig cfg_;
+  core::RegisterSet reader_set_;
+};
+
+}  // namespace
+
+namespace {
+
+/// Runs the writer until it parks at its gate on a WRITE (serving any
+/// pre-write read phase through first). Returns the covered op.
+///
+/// Discipline: while the gate is armed, the adversary must NOT deliver
+/// the process's operations — a delivery handler can chain a queued
+/// background write (footnote 3) and the issuing would then happen on the
+/// adversary's own thread, which must not park (background-forked writes
+/// are not "steps" of the process in the proof's sense, and parking here
+/// would deadlock the adversary). So: catch the first op; if it is a
+/// read, release UNGATED, let the whole read phase issue and quiesce,
+/// then re-arm and serve the reads — the next write parks on the
+/// process's own thread, with nothing queued that a delivery could chain.
+DetFarm::PendingOp ParkOnFirstWrite(DetFarm& farm, ProcessId pid) {
+  for (;;) {
+    while (!farm.IsParked(pid)) std::this_thread::yield();
+    DetFarm::PendingOp op = farm.WaitGated(pid);
+    if (op.is_write) return op;
+    farm.ReleaseGate(pid);  // gate disarmed: let the read phase flow
+
+    // Wait until the process stops issuing (blocked on its read quorum).
+    std::size_t prev = ~std::size_t{0};
+    for (;;) {
+      const std::size_t n =
+          farm.PendingWhere([pid](const DetFarm::PendingOp& o) {
+                return o.p == pid;
+              }).size();
+      if (n == prev && n > 0) break;
+      prev = n;
+      std::this_thread::sleep_for(200us);
+    }
+
+    // Re-arm, then serve the read responses; the process's next WRITE
+    // parks on its own thread.
+    farm.ArmGate(pid);
+    while (!farm.IsParked(pid)) {
+      farm.DeliverWhere([pid](const DetFarm::PendingOp& o) {
+        return o.p == pid && !o.is_write;
+      });
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace
+
+Lemma21Result RunLemma21Race(const CandidateFactory& factory,
+                             const core::FarmConfig& cfg) {
+  Lemma21Result result;
+  std::ostringstream story;
+  DetFarm farm;
+  auto candidate = factory(farm, cfg);
+  constexpr ProcessId kP = 70;
+  constexpr ProcessId kQ = 71;
+  result.pending_before = farm.Pending().size();
+
+  // Start p; freeze it the moment it is about to issue its first base
+  // write — p now COVERS that register (Burns–Lynch covering, realized by
+  // the gate: the write is not yet visible to anyone).
+  farm.ArmGate(kP);
+  auto p_thread = std::async(std::launch::async,
+                             [&] { candidate->Write(kP, "vp"); });
+  const DetFarm::PendingOp p_op = ParkOnFirstWrite(farm, kP);
+  result.covered = p_op.r;
+  story << "p froze about to write register (disk " << p_op.r.disk
+        << ", block " << p_op.r.block << ") — covering it\n";
+
+  // Start q; discover its first-write register the same way. For the
+  // quorum-style candidates both writers hit the same register first (the
+  // paper gets this from the pigeonhole over s+1 fresh writers).
+  farm.ArmGate(kQ);
+  auto q_thread = std::async(std::launch::async,
+                             [&] { candidate->Write(kQ, "vq"); });
+  const DetFarm::PendingOp q_op = ParkOnFirstWrite(farm, kQ);
+  if (q_op.r != p_op.r) {
+    farm.ReleaseGate(kQ);
+    farm.ReleaseGate(kP);
+    while (farm.DeliverAll() > 0 ||
+           p_thread.wait_for(1ms) != std::future_status::ready ||
+           q_thread.wait_for(1ms) != std::future_status::ready) {
+    }
+    result.ok = false;
+    result.narrative = "first-write registers differ; the full proof would "
+                       "recruit more writers (pigeonhole)";
+    return result;
+  }
+  story << "q froze about to write the same register\n";
+
+  // Let q run its WRITE to completion while its write to the covered
+  // register is left pending (deliver everything of q except ops there).
+  farm.ReleaseGate(kQ);
+  {
+    const RegisterId covered = p_op.r;
+    const auto deadline = std::chrono::steady_clock::now() + kBlockDetect;
+    while (q_thread.wait_for(1ms) != std::future_status::ready) {
+      farm.DeliverWhere([covered](const DetFarm::PendingOp& op) {
+        return op.p == kQ && op.r != covered;
+      });
+      if (std::chrono::steady_clock::now() > deadline) {
+        result.ok = false;
+        result.narrative = "q blocked: candidate not 1-crash tolerant";
+        farm.ReleaseGate(kP);
+        while (farm.DeliverAll() > 0 ||
+               p_thread.wait_for(1ms) != std::future_status::ready ||
+               q_thread.wait_for(1ms) != std::future_status::ready) {
+        }
+        return result;
+      }
+    }
+    q_thread.get();
+  }
+  story << "q completed its WRITE with its write to the covered register "
+           "left pending\n";
+
+  // Release p: it writes to the covered register (over whatever is there)
+  // and completes normally. q's pending write remains — one more pending
+  // operation, no WRITE running: the configuration is deceiving again.
+  farm.ReleaseGate(kP);
+  {
+    const auto deadline = std::chrono::steady_clock::now() + kBlockDetect;
+    while (p_thread.wait_for(1ms) != std::future_status::ready) {
+      farm.DeliverWhere(
+          [](const DetFarm::PendingOp& op) { return op.p == kP; });
+      if (std::chrono::steady_clock::now() > deadline) {
+        result.ok = false;
+        result.narrative = "p blocked after release";
+        while (farm.DeliverAll() > 0 ||
+               p_thread.wait_for(1ms) != std::future_status::ready) {
+        }
+        return result;
+      }
+    }
+    p_thread.get();
+  }
+  story << "p completed its WRITE normally\n";
+
+  result.pending_after =
+      farm.PendingWhere([&](const DetFarm::PendingOp& op) {
+            return op.p == kQ && op.r == result.covered;
+          }).size();
+  story << result.pending_after
+        << " pending operation(s) of q remain on the covered register\n";
+  result.ok = result.pending_after >= 1;
+  result.narrative = story.str();
+  return result;
+}
+
+CandidateFactory Fig2Candidate() {
+  return [](DetFarm& farm, const FarmConfig& cfg) {
+    return std::make_unique<Fig2Impl>(farm, cfg);
+  };
+}
+
+CandidateFactory TimestampCandidate() {
+  return [](DetFarm& farm, const FarmConfig& cfg) {
+    return std::make_unique<TimestampImpl>(farm, cfg);
+  };
+}
+
+CandidateFactory FragileCandidate() {
+  return [](DetFarm& farm, const FarmConfig& cfg) {
+    return std::make_unique<FragileImpl>(farm, cfg);
+  };
+}
+
+}  // namespace nadreg::adversary

@@ -1,0 +1,110 @@
+// The Theorem 2 construction as a GENERIC attack: parameterized over any
+// candidate MWSR register implementation, not scripted against a specific
+// one (contrast adversary/schedules.h, which replays hand-built schedules).
+//
+// The attack implements the proof's run skeleton:
+//
+//   1. Cover every disk with a pending write: for each disk d, a fresh
+//      WRITER executes a WRITE while disk d is unresponsive (merely slow,
+//      as far as anyone can tell). A correct candidate — which must
+//      tolerate one crashed register — completes anyway, leaving its
+//      operations on d pending (the paper's possibly-no-pending /
+//      deceiving configurations). A candidate that instead blocks is
+//      reported as such: it is not a 1-crash-tolerant implementation,
+//      which is the other horn of the theorem's dichotomy.
+//   2. Solo WRITE(v*): completes with every disk responsive — nothing of
+//      it is pending; the single READER observes v*.
+//   3. Flush: the adversary delivers the covered pending writes, erasing
+//      v* from every base register.
+//   4. The READER reads again; the exact checker decides atomicity of the
+//      whole (crash-free, fully completed) history.
+//
+// Against every quorum-style candidate we know how to write — including
+// the classic uniform timestamp construction (read the maximum timestamp,
+// write max+1), which is correct over RELIABLE base registers — the
+// attack produces a certified non-atomic history, which is exactly what
+// Theorem 2 predicts must happen to every finite uniform candidate.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checker/consistency.h"
+#include "checker/history.h"
+#include "core/config.h"
+#include "sim/det_farm.h"
+
+namespace nadreg::adversary {
+
+/// A candidate uniform MWSR register implementation under attack.
+/// Write may be called with arbitrarily many distinct writer ids
+/// (uniformity); Read is called from the single designated reader.
+class MwsrCandidate {
+ public:
+  virtual ~MwsrCandidate() = default;
+  virtual void Write(ProcessId writer, const std::string& value) = 0;
+  virtual std::string Read() = 0;
+};
+
+using CandidateFactory = std::function<std::unique_ptr<MwsrCandidate>(
+    sim::DetFarm&, const core::FarmConfig&)>;
+
+struct AttackResult {
+  enum class Kind {
+    kViolationFound,    // checker-certified non-atomic history
+    kCandidateBlocked,  // an operation hung with one silent disk
+    kSurvived           // no violation produced (unexpected per Theorem 2)
+  };
+  Kind kind = Kind::kSurvived;
+  std::string detail;  // narrative / which step blocked
+  std::vector<checker::Operation> history;
+  checker::CheckResult atomic;
+  checker::CheckResult seqcst;
+};
+
+/// Runs the generic hidden-write attack against the candidate.
+AttackResult HiddenWriteAttack(const CandidateFactory& factory,
+                               const core::FarmConfig& cfg);
+
+// --- Stock candidates to attack (and for tests) -----------------------------
+
+/// The Fig. 2 algorithm read as an atomic register.
+CandidateFactory Fig2Candidate();
+
+/// The classic uniform timestamp construction (Vitányi–Awerbuch style):
+/// WRITE reads a majority for the max (timestamp, writer) pair, then
+/// writes (max+1, writer, v) to all, waiting for a majority; READ returns
+/// the max-timestamp value of a majority, with a monotone memo. Correct
+/// over reliable base registers — and broken by pending-write flushing.
+CandidateFactory TimestampCandidate();
+
+/// A deliberately non-fault-tolerant candidate (waits for ALL 2t+1 acks):
+/// exercises the attack's "blocked" detection. Not a real implementation.
+CandidateFactory FragileCandidate();
+
+// --- Lemma 2.1, executed literally -------------------------------------------
+
+/// Result of one Lemma 2.1 extension step: "if S is deceiving then we can
+/// extend S to another configuration S' that is deceiving and contains
+/// one more pending operation than S."
+struct Lemma21Result {
+  bool ok = false;
+  RegisterId covered;           // the register both writers targeted first
+  std::size_t pending_before = 0;
+  std::size_t pending_after = 0;
+  std::string narrative;
+};
+
+/// Executes the lemma's race with covering GATES (not delivery steering):
+/// two fresh writers p and q are started; the adversary freezes p at its
+/// gate the moment it is about to issue its first base write (learning
+/// which register r_p it covers), lets q run its WRITE to completion while
+/// leaving q's write to that same register pending, then releases p to
+/// complete normally. The result is one more pending write on the covered
+/// register, with no WRITE running — a deceiving configuration again.
+Lemma21Result RunLemma21Race(const CandidateFactory& factory,
+                             const core::FarmConfig& cfg);
+
+}  // namespace nadreg::adversary

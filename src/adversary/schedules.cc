@@ -1,0 +1,410 @@
+#include "adversary/schedules.h"
+
+#include <chrono>
+#include <future>
+#include <sstream>
+#include <thread>
+
+#include "common/codec.h"
+#include "core/config.h"
+#include "core/mwsr_seqcst.h"
+#include "core/register_set.h"
+#include "core/swsr_atomic.h"
+#include "sim/det_farm.h"
+
+namespace nadreg::adversary {
+namespace {
+
+using namespace std::chrono_literals;
+using checker::HistoryRecorder;
+using core::FarmConfig;
+using sim::DetFarm;
+
+using Pred = std::function<bool(const DetFarm::PendingOp&)>;
+
+void SpinUntilPending(DetFarm& farm, const Pred& pred, std::size_t n) {
+  while (farm.PendingWhere(pred).size() < n) std::this_thread::yield();
+}
+
+/// Runs a blocking emulated operation while the adversary serves exactly
+/// the base operations matching `deliver`. Returns the operation's result.
+template <typename Fn>
+auto DriveOp(DetFarm& farm, const Pred& deliver, Fn&& op) {
+  auto fut = std::async(std::launch::async, std::forward<Fn>(op));
+  while (fut.wait_for(1ms) != std::future_status::ready) {
+    farm.DeliverWhere(deliver);
+  }
+  return fut.get();
+}
+
+/// The "repaired" Theorem 1 candidate: a wait-free max-seq reader that
+/// writes its chosen value back to a majority before returning — the
+/// standard regular-to-atomic trick. The schedule shows the paper's model
+/// breaks it anyway: the write-back itself becomes a pending write that a
+/// flush can resurrect over newer state.
+class WriteBackReader {
+ public:
+  WriteBackReader(BaseRegisterClient& client, const FarmConfig& farm,
+                  std::vector<RegisterId> regs, ProcessId self)
+      : set_(client, self, std::move(regs)), quorum_(farm.quorum()) {}
+
+  std::string Read() {
+    auto t = set_.ReadAll();
+    set_.Await(t, quorum_);
+    TaggedValue best;
+    for (const auto& [idx, bytes] : t.Results()) {
+      auto tv = DecodeTaggedValue(bytes);
+      if (tv && tv->seq > best.seq) best = std::move(*tv);
+    }
+    if (best.seq > 0) {
+      auto wb = set_.WriteAll(EncodeTaggedValue(best));
+      set_.Await(wb, quorum_);
+    }
+    return best.payload;
+  }
+
+ private:
+  core::RegisterSet set_;
+  std::size_t quorum_;
+};
+
+}  // namespace
+
+ScheduleOutcome RunTheorem1WaitFreeSwmr() {
+  ScheduleOutcome out;
+  out.name = "theorem1-waitfree-swmr";
+  std::ostringstream story;
+
+  FarmConfig cfg{1};
+  DetFarm farm;
+  auto regs = cfg.Spread(0);
+  core::SwsrAtomicWriter writer(farm, cfg, regs, 1);
+  core::SwsrAtomicReader reader_a(farm, cfg, regs, 2);
+  core::SwsrAtomicReader reader_b(farm, cfg, regs, 3);
+  HistoryRecorder rec;
+
+  story << "Candidate: uniform wait-free max-seq SWMR emulation over 3 base "
+           "registers (quorum 2), one register may crash.\n";
+
+  // 1. The WRITE of v1 reaches only register r0 — the writer is slow or
+  //    crashed; wait-free readers may not wait to find out which.
+  auto hw = rec.BeginWrite(1, "v1");
+  auto wfut = std::async(std::launch::async, [&] { writer.Write("v1"); });
+  SpinUntilPending(
+      farm, [](const DetFarm::PendingOp& op) { return op.is_write; }, 3);
+  farm.DeliverWhere(
+      [](const DetFarm::PendingOp& op) { return op.is_write && op.r.disk == 0; });
+  story << "1. WRITE(v1) is torn: it reaches r0 only; the writes to r1, r2 "
+           "stay pending (Fig. 1).\n";
+
+  // 2. Reader A is served quorum {r0, r1}: it sees v1 and — being
+  //    wait-free — must return it.
+  auto ha = rec.BeginRead(2);
+  std::string va = DriveOp(farm,
+                           [](const DetFarm::PendingOp& op) {
+                             return op.p == 2 && op.r.disk != 2;
+                           },
+                           [&] { return reader_a.Read(); });
+  rec.EndRead(ha, va);
+  story << "2. Reader A is served {r0, r1}, sees (1, v1), returns \"" << va
+        << "\".\n";
+
+  // 3. Reader B is served the stale majority {r1, r2}: both hold the
+  //    initial value, so B returns it — after A already returned v1.
+  auto hb = rec.BeginRead(3);
+  std::string vb = DriveOp(farm,
+                           [](const DetFarm::PendingOp& op) {
+                             return op.p == 3 && op.r.disk != 0;
+                           },
+                           [&] { return reader_b.Read(); });
+  rec.EndRead(hb, vb);
+  story << "3. Reader B is served {r1, r2}, sees only the initial value, "
+           "returns \""
+        << (vb.empty() ? "<initial>" : vb) << "\".\n";
+
+  // Cleanup: let the torn WRITE finish (it was merely slow).
+  farm.DeliverAll();
+  wfut.get();
+  rec.EndWrite(hw);
+  story << "4. The pending writes are flushed; the WRITE completes — too "
+           "late: v1 was READ and then un-READ, which no linearization "
+           "permits.\n";
+
+  out.history = rec.CheckableHistory();
+  out.atomic = checker::CheckAtomic(out.history);
+  out.seqcst = checker::CheckSequentiallyConsistent(out.history);
+  out.narrative = story.str();
+  return out;
+}
+
+ScheduleOutcome RunTheorem1WriteBackResurrection() {
+  ScheduleOutcome out;
+  out.name = "theorem1-writeback-resurrection";
+  std::ostringstream story;
+
+  FarmConfig cfg{1};
+  DetFarm farm;
+  auto regs = cfg.Spread(0);
+  core::SwsrAtomicWriter writer(farm, cfg, regs, 1);
+  WriteBackReader reader_a(farm, cfg, regs, 2);
+  WriteBackReader reader_b(farm, cfg, regs, 3);
+  WriteBackReader reader_c(farm, cfg, regs, 4);
+  WriteBackReader reader_d(farm, cfg, regs, 5);
+  HistoryRecorder rec;
+
+  story << "Candidate: the Theorem 1 candidate \"repaired\" with reader "
+           "write-back. The model's pending writes break it too.\n";
+
+  auto Write = [&](const std::string& v) {
+    auto h = rec.BeginWrite(1, v);
+    DriveOp(farm, [](const DetFarm::PendingOp& op) { return op.p == 1; },
+            [&] {
+              writer.Write(v);
+              return 0;
+            });
+    rec.EndWrite(h);
+  };
+  auto Read = [&](auto& reader, ProcessId pid, const Pred& deliver) {
+    auto h = rec.BeginRead(pid);
+    std::string v = DriveOp(farm, deliver, [&] { return reader.Read(); });
+    rec.EndRead(h, v);
+    return v;
+  };
+
+  // 1. WRITE(v1) completes everywhere.
+  Write("v1");
+  story << "1. WRITE(v1) completes on all of r0, r1, r2.\n";
+
+  // 2. Reader A reads v1; its write-back lands on {r0, r1} and is left
+  //    PENDING on r2 (the reader completed — footnote 3 forked it).
+  Read(reader_a, 2, [](const DetFarm::PendingOp& op) {
+    return op.p == 2 && op.r.disk != 2;
+  });
+  story << "2. Reader A returns v1; its write-back to r2 is left pending.\n";
+
+  // 3. Reader B reads v1; its write-back is left pending on r1.
+  Read(reader_b, 3, [](const DetFarm::PendingOp& op) {
+    return op.p == 3 && !(op.is_write && op.r.disk == 1);
+  });
+  story << "3. Reader B returns v1; its write-back to r1 is left pending.\n";
+
+  // 4. WRITE(v2) completes everywhere; every register holds (2, v2).
+  Write("v2");
+  story << "4. WRITE(v2) completes on all of r0, r1, r2.\n";
+
+  // 5. Reader C confirms: it reads v2.
+  std::string vc = Read(reader_c, 4, [](const DetFarm::PendingOp& op) {
+    return op.p == 4 && op.r.disk != 2;
+  });
+  story << "5. Reader C returns \"" << vc << "\".\n";
+
+  // 6. The adversary flushes the old reader write-backs: r1 and r2 revert
+  //    to (1, v1). The completed WRITE(v2) survives only on r0.
+  while (farm.DeliverWhere([](const DetFarm::PendingOp& op) {
+           return op.p == 2 || op.p == 3;
+         }) > 0) {
+  }
+  story << "6. The pending reader write-backs are flushed: r1 and r2 now "
+           "hold (1, v1) again — resurrection by pending write.\n";
+
+  // 7. Fresh reader D (uniform: it has no memory of v2) is served {r1, r2}
+  //    and returns v1 — after C returned v2.
+  std::string vd = Read(reader_d, 5, [](const DetFarm::PendingOp& op) {
+    return op.p == 5 && op.r.disk != 0;
+  });
+  story << "7. Fresh reader D is served {r1, r2} and returns \"" << vd
+        << "\" — a stale read after C's v2.\n";
+
+  farm.DeliverAll();
+  out.history = rec.CheckableHistory();
+  out.atomic = checker::CheckAtomic(out.history);
+  out.seqcst = checker::CheckSequentiallyConsistent(out.history);
+  out.narrative = story.str();
+  return out;
+}
+
+ScheduleOutcome RunTheorem2HiddenWrite() {
+  ScheduleOutcome out;
+  out.name = "theorem2-hidden-write";
+  std::ostringstream story;
+
+  FarmConfig cfg{1};
+  DetFarm farm;
+  auto regs = cfg.Spread(0);
+  core::MwsrWriter writer_x(farm, cfg, regs, 10);
+  core::MwsrWriter writer_y(farm, cfg, regs, 11);
+  core::MwsrWriter writer_z(farm, cfg, regs, 12);
+  core::MwsrWriter writer_s(farm, cfg, regs, 13);
+  core::MwsrReader reader(farm, cfg, regs, 99);
+  HistoryRecorder rec;
+
+  story << "Candidate: the Fig. 2 MWSR algorithm used as an *atomic* MWSR "
+           "register (Theorem 2 says no finite uniform candidate can "
+           "succeed; this is the natural one). Processes are reliable; no "
+           "register actually crashes — its mere possibility forces "
+           "wait-for-quorum behaviour that leaves pending writes.\n";
+
+  auto Write = [&](core::MwsrWriter& w, ProcessId pid, const std::string& v,
+                   const Pred& deliver) {
+    auto h = rec.BeginWrite(pid, v);
+    DriveOp(farm, deliver, [&] {
+      w.Write(v);
+      return 0;
+    });
+    rec.EndWrite(h);
+  };
+  auto Read = [&](const Pred& deliver) {
+    auto h = rec.BeginRead(99);
+    std::string v = DriveOp(farm, deliver, [&] { return reader.Read(); });
+    rec.EndRead(h, v);
+    return v;
+  };
+
+  // Phase 1 (Lemma 2.1/2.5 machinery, specialised): three WRITEs complete,
+  // each leaving its write to a different base register pending, until all
+  // of r0, r1, r2 carry a pending write — a deceiving configuration.
+  Write(writer_x, 10, "vx", [](const DetFarm::PendingOp& op) {
+    return op.p == 10 && op.r.disk != 0;
+  });
+  story << "1. WRITE(vx) completes via {r1, r2}; its write to r0 is left "
+           "pending.\n";
+  Write(writer_y, 11, "vy", [](const DetFarm::PendingOp& op) {
+    return op.p == 11 && op.r.disk != 1;
+  });
+  story << "2. WRITE(vy) completes via {r0, r2}; its write to r1 is left "
+           "pending.\n";
+  Write(writer_z, 12, "vz", [](const DetFarm::PendingOp& op) {
+    return op.p == 12 && op.r.disk != 2;
+  });
+  story << "3. WRITE(vz) completes via {r0, r1}; its write to r2 is left "
+           "pending. Every base register is now covered by a pending "
+           "write; the configuration is deceiving (no WRITE is running, "
+           "and dropping any subset of pending writes is indistinguishable "
+           "to every process).\n";
+
+  std::string r1 = Read([](const DetFarm::PendingOp& op) {
+    return op.p == 99 && !op.is_write && op.r.disk != 2;
+  });
+  story << "4. READ #1 served {r0, r1} returns \"" << r1 << "\".\n";
+
+  // Phase 2: the solo WRITE. It completes on EVERY base register — there
+  // is nothing more an implementation could do.
+  Write(writer_s, 13, "vs",
+        [](const DetFarm::PendingOp& op) { return op.p == 13; });
+  story << "5. Solo WRITE(vs) completes on ALL of r0, r1, r2 and leaves "
+           "nothing pending.\n";
+
+  std::string r2 = Read([](const DetFarm::PendingOp& op) {
+    return op.p == 99 && !op.is_write && op.r.disk != 2;
+  });
+  story << "6. READ #2 served {r0, r1} returns \"" << r2 << "\".\n";
+
+  // Phase 3: the endgame — flush the three old pending writes. Every
+  // trace of the completed WRITE(vs) is erased from the system.
+  farm.DeliverWhere([](const DetFarm::PendingOp& op) {
+    return op.is_write && (op.p == 10 || op.p == 11 || op.p == 12);
+  });
+  story << "7. The adversary flushes the pending writes of vx, vy, vz onto "
+           "r0, r1, r2: the completed solo WRITE(vs) is now completely "
+           "hidden.\n";
+
+  std::string r3 = Read([](const DetFarm::PendingOp& op) {
+    return op.p == 99 && !op.is_write && op.r.disk != 2;
+  });
+  story << "8. READ #3 served {r0, r1} returns \"" << r3
+        << "\" — an older value, AFTER the same reader already returned "
+           "vs. The single-reader history is not atomic.\n";
+
+  farm.DeliverAll();
+  out.history = rec.CheckableHistory();
+  out.atomic = checker::CheckAtomic(out.history);
+  out.seqcst = checker::CheckSequentiallyConsistent(out.history);
+  out.narrative = story.str();
+  return out;
+}
+
+ScheduleOutcome RunTheorem3SeqCstLiveness(int stale_reads) {
+  ScheduleOutcome out;
+  out.name = "theorem3-seqcst-liveness";
+  std::ostringstream story;
+
+  FarmConfig cfg{1};
+  DetFarm farm;
+  auto regs = cfg.Spread(0);
+  core::SwsrAtomicWriter writer(farm, cfg, regs, 1);
+  core::SwsrAtomicReader reader_a(farm, cfg, regs, 2);
+  core::SwsrAtomicReader reader_b(farm, cfg, regs, 3);
+  HistoryRecorder rec;
+
+  story << "Candidate: wait-free max-seq readers as a sequentially "
+           "consistent SWMR register. Sequential consistency must hold for "
+           "infinite executions (Section 5.1), which implies: with "
+           "finitely many WRITEs, eventually all READs return the last "
+           "serialized WRITE.\n";
+
+  // 1. Torn WRITE: v1 reaches r0 only; the writer crashes (allowed — this
+  //    is the wait-free, crash-prone setting).
+  auto hw = rec.BeginWrite(1, "v1");
+  auto wfut = std::async(std::launch::async, [&] { writer.Write("v1"); });
+  SpinUntilPending(
+      farm, [](const DetFarm::PendingOp& op) { return op.is_write; }, 3);
+  farm.DeliverWhere(
+      [](const DetFarm::PendingOp& op) { return op.is_write && op.r.disk == 0; });
+  story << "1. WRITE(v1) reaches r0 only; the writer crashes.\n";
+
+  // 2. Reader A observes v1 once.
+  auto ha = rec.BeginRead(2);
+  std::string va = DriveOp(farm,
+                           [](const DetFarm::PendingOp& op) {
+                             return op.p == 2 && op.r.disk != 2;
+                           },
+                           [&] { return reader_a.Read(); });
+  rec.EndRead(ha, va);
+  story << "2. Reader A is served {r0, r1} and returns \"" << va
+        << "\": v1 took effect.\n";
+
+  // 3. Reader B READs forever; the adversary serves it the stale majority
+  //    {r1, r2} every single time (legal: only r0 appears slow, and one
+  //    register may be slow/crashed forever).
+  int stale = 0;
+  for (int i = 0; i < stale_reads; ++i) {
+    auto hb = rec.BeginRead(3);
+    std::string vb = DriveOp(farm,
+                             [](const DetFarm::PendingOp& op) {
+                               return op.p == 3 && op.r.disk != 0;
+                             },
+                             [&] { return reader_b.Read(); });
+    rec.EndRead(hb, vb);
+    if (vb.empty()) ++stale;
+  }
+  story << "3. Reader B executes " << stale_reads
+        << " READs served from {r1, r2}; " << stale
+        << " of them return the initial value.\n";
+
+  // The finite prefix is sequentially consistent — that is exactly the
+  // trap: the violation lives in the infinite execution.
+  farm.DeliverAll();
+  wfut.get();
+  rec.EndWrite(hw);
+
+  out.history = rec.CheckableHistory();
+  out.atomic = checker::CheckAtomic(out.history);
+  out.seqcst = checker::CheckSequentiallyConsistent(out.history);
+  out.liveness_violated = (va == "v1") && stale == stale_reads;
+  std::ostringstream live;
+  live << "In any serialization of the infinite continuation, WRITE(v1) "
+          "occupies some finite position k (it must precede reader A's "
+          "READ -> v1). All but finitely many of reader B's READs follow "
+          "position k and must return v1 — but the adversary keeps serving "
+          "B the stale majority forever ("
+       << stale << "/" << stale_reads
+       << " stale so far, unbounded in the limit). The liveness clause of "
+          "sequential consistency fails; no finite checker can see it, "
+          "which is why the finite-prefix verdict above is 'consistent'.";
+  out.liveness_explanation = live.str();
+  story << "4. " << out.liveness_explanation << "\n";
+  out.narrative = story.str();
+  return out;
+}
+
+}  // namespace nadreg::adversary

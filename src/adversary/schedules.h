@@ -1,0 +1,80 @@
+// Executable impossibility-proof schedules (Theorems 1–3).
+//
+// An impossibility theorem cannot be "run", but its proof is a schedule
+// construction: an adversary that steers delivery order, covers registers,
+// leaves writes pending after completed WRITEs, and flushes them later.
+// This module executes those schedules against the *natural uniform
+// candidate algorithms* (the ones the paper's positive results are built
+// from, used beyond their guaranteed table cell) and produces concrete
+// histories whose violations are certified by the exact checkers.
+//
+// Each schedule returns the recorded history, the atomicity and
+// sequential-consistency verdicts, and a step-by-step narrative that maps
+// the run onto the proof it instantiates.
+//
+//   Theorem 1 (Table 1, SWMR = No; wait-free atomic, processes may crash):
+//     a torn WRITE sits on a minority; wait-free reader A must return the
+//     new value, reader B steered to stale disks then returns the old one
+//     — the history is not linearizable. A write-back variant of the
+//     candidate is also broken, by flushing an old reader write-back over
+//     newer state (pending-write resurrection).
+//
+//   Theorem 2 (Table 2, MWSR = No; atomic, reliable processes):
+//     the proof's endgame. Three WRITERs complete, each leaving one
+//     pending base write, until every base register is covered by a
+//     pending write (the "deceiving configuration"); a solo WRITE then
+//     completes on every register; flushing the pending writes erases all
+//     its traces, and the single reader — having already returned the solo
+//     value — returns an older one. Not atomic; still sequentially
+//     consistent (consistent with Fig. 2's actual guarantee).
+//
+//   Theorem 3 (Table 3, SWMR = No; wait-free sequentially consistent):
+//     the Section 5.1 infinite-execution liveness requirement. A torn
+//     WRITE is observed once by reader A; reader B's quorum is forever
+//     steered to the stale majority. Every finite prefix is sequentially
+//     consistent (the checker agrees), but in any serialization of the
+//     infinite run the WRITE occupies a finite position and all but
+//     finitely many of B's READs must follow it — yet B returns the old
+//     value unboundedly often. The schedule reports the growing stale-read
+//     count as the liveness-violation witness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "checker/consistency.h"
+#include "checker/history.h"
+
+namespace nadreg::adversary {
+
+struct ScheduleOutcome {
+  std::string name;
+  std::string narrative;  // step-by-step mapping onto the proof
+  std::vector<checker::Operation> history;
+  checker::CheckResult atomic;
+  checker::CheckResult seqcst;
+  // Theorem 3 only: the infinite-execution liveness verdict.
+  bool liveness_violated = false;
+  std::string liveness_explanation;
+};
+
+/// Theorem 1 — torn write + steered reader quorums against the natural
+/// wait-free max-sequence-number SWMR candidate.
+ScheduleOutcome RunTheorem1WaitFreeSwmr();
+
+/// Theorem 1 ablation — the "fixed" candidate whose readers write back
+/// before returning also falls: an old write-back left pending is flushed
+/// over newer state and resurrects a stale value for a fresh reader.
+ScheduleOutcome RunTheorem1WriteBackResurrection();
+
+/// Theorem 2 — the hidden-WRITE endgame against the Fig. 2 algorithm used
+/// as an atomic MWSR candidate (reliable processes; register failure only
+/// threatened, never used — the schedule is crash-free, as the theorem
+/// permits).
+ScheduleOutcome RunTheorem2HiddenWrite();
+
+/// Theorem 3 — seq-cst liveness violation; `stale_reads` is how many
+/// post-observation READs of reader B to drive (the witness grows with it).
+ScheduleOutcome RunTheorem3SeqCstLiveness(int stale_reads);
+
+}  // namespace nadreg::adversary

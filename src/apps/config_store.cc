@@ -1,0 +1,67 @@
+#include "apps/config_store.h"
+
+#include "common/codec.h"
+
+namespace nadreg::apps {
+
+namespace {
+
+constexpr std::uint8_t kSet = 1;
+constexpr std::uint8_t kErase = 2;
+
+std::string EncodeUpdate(std::uint8_t op, const std::string& key,
+                         const std::string& value) {
+  std::string out;
+  Encoder e(&out);
+  e.PutU8(op);
+  e.PutBytes(key);
+  e.PutBytes(value);
+  return out;
+}
+
+}  // namespace
+
+ConfigStore::ConfigStore(BaseRegisterClient& client,
+                         const core::FarmConfig& farm, std::uint32_t object,
+                         ProcessId self)
+    : log_(client, farm, object, self) {}
+
+void ConfigStore::Set(const std::string& key, const std::string& value) {
+  log_.Append(EncodeUpdate(kSet, key, value));
+}
+
+void ConfigStore::Erase(const std::string& key) {
+  log_.Append(EncodeUpdate(kErase, key, ""));
+}
+
+std::map<std::string, std::string> ConfigStore::Replay() {
+  std::map<std::string, std::string> state;
+  for (const SharedLog::Entry& entry : log_.Read()) {
+    Decoder d(entry.payload);
+    auto op = d.GetU8();
+    if (!op) continue;  // skip malformed (cannot happen via this API)
+    auto key = d.GetBytes();
+    if (!key) continue;
+    auto value = d.GetBytes();
+    if (!value) continue;
+    if (*op == kSet) {
+      state[*key] = std::move(*value);
+    } else if (*op == kErase) {
+      state.erase(*key);
+    }
+  }
+  return state;
+}
+
+std::optional<std::string> ConfigStore::Get(const std::string& key) {
+  auto state = Replay();
+  auto it = state.find(key);
+  if (it == state.end()) return std::nullopt;
+  return it->second;
+}
+
+std::map<std::string, std::string> ConfigStore::Snapshot() { return Replay(); }
+
+std::size_t ConfigStore::UpdateCount() { return log_.Read().size(); }
+
+}  // namespace nadreg::apps

@@ -1,0 +1,58 @@
+// A fault-tolerant configuration store on network-attached disks — the
+// kind of coordination-free building block the paper's model supports.
+//
+// Semantics: a key/value map with totally ordered updates. Set(key, v)
+// appends an update record to the Section 6 shared log; Get/Snapshot
+// replay the log's global order (all readers agree on it, by the name
+// snapshot's Total Ordering). There is no leader, no consensus, and no
+// bound on the number of clients — writes are wait-free and survive up to
+// t full disk crashes.
+//
+// Last-writer-wins is well-defined BECAUSE the log order is global: two
+// concurrent Set("k", ...) land in the same order for every observer,
+// which a plain register emulation per key could not guarantee across
+// keys (and a uniform finite-register MWMR emulation cannot exist at all
+// — Theorem 2; this store is the "larger module" route the paper's
+// introduction suggests: implement a coarser object directly instead of
+// translating register by register).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "apps/shared_log.h"
+#include "common/base_register.h"
+#include "core/config.h"
+
+namespace nadreg::apps {
+
+class ConfigStore {
+ public:
+  /// One endpoint per client process; all share `object`.
+  ConfigStore(BaseRegisterClient& client, const core::FarmConfig& farm,
+              std::uint32_t object, ProcessId self);
+
+  /// Sets a key. Wait-free; visible to every later Get of any client.
+  void Set(const std::string& key, const std::string& value);
+
+  /// Deletes a key (a tombstone update).
+  void Erase(const std::string& key);
+
+  /// Reads one key. nullopt if unset (or erased).
+  std::optional<std::string> Get(const std::string& key);
+
+  /// A consistent snapshot of the whole map.
+  std::map<std::string, std::string> Snapshot();
+
+  /// Number of updates ever applied (for introspection/benches).
+  std::size_t UpdateCount();
+
+ private:
+  std::map<std::string, std::string> Replay();
+
+  SharedLog log_;
+};
+
+}  // namespace nadreg::apps

@@ -1,0 +1,148 @@
+#include "apps/disk_paxos.h"
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "core/address.h"
+
+namespace nadreg::apps {
+
+std::string EncodeDiskBlock(const DiskBlock& b) {
+  std::string out;
+  Encoder e(&out);
+  e.PutU64(b.mbal);
+  e.PutU64(b.bal);
+  e.PutBytes(b.inp);
+  return out;
+}
+
+Expected<DiskBlock> DecodeDiskBlock(std::string_view bytes) {
+  if (bytes.empty()) return DiskBlock{};  // untouched block
+  Decoder d(bytes);
+  DiskBlock b;
+  auto mbal = d.GetU64();
+  if (!mbal) return mbal.status();
+  auto bal = d.GetU64();
+  if (!bal) return bal.status();
+  auto inp = d.GetBytes();
+  if (!inp) return inp.status();
+  if (!d.AtEnd()) return Status::Invalid("DiskBlock: trailing bytes");
+  b.mbal = *mbal;
+  b.bal = *bal;
+  b.inp = std::move(*inp);
+  return b;
+}
+
+namespace {
+
+/// Completion state of one two-phase round: per-disk progress plus the
+/// freshest record seen for every process.
+struct PhaseState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::uint32_t reads_needed_per_disk = 0;
+  std::vector<std::uint32_t> reads_done;  // per disk
+  std::uint32_t disks_complete = 0;
+  std::uint64_t max_mbal_seen = 0;
+  std::vector<DiskBlock> freshest;  // per process, by max bal
+};
+
+}  // namespace
+
+DiskPaxos::DiskPaxos(BaseRegisterClient& client, const core::FarmConfig& farm,
+                     std::uint32_t object, std::uint32_t n, std::uint32_t pid)
+    : client_(client), farm_(farm), object_(object), n_(n), pid_(pid) {}
+
+RegisterId DiskPaxos::BlockOf(DiskId d, std::uint32_t pid) const {
+  return RegisterId{d, core::MakeBlock(object_, core::Component::kScratch, pid)};
+}
+
+DiskPaxos::PhaseResult DiskPaxos::RunPhase(std::vector<DiskBlock>* blocks_seen) {
+  auto state = std::make_shared<PhaseState>();
+  state->reads_needed_per_disk = n_ - 1;
+  state->reads_done.assign(farm_.num_disks(), 0);
+  state->freshest.assign(n_, DiskBlock{});
+
+  const std::string record = EncodeDiskBlock(dblock_);
+  const ProcessId self = pid_;
+
+  for (DiskId d = 0; d < farm_.num_disks(); ++d) {
+    // Disk Paxos discipline: on each disk, first write our block, then
+    // read everyone else's. The read handlers fold results into the
+    // phase state and count the disk as complete when all reads landed.
+    client_.IssueWrite(self, BlockOf(d, pid_), record, [this, state, d, self] {
+      if (n_ == 1) {
+        std::lock_guard lock(state->mu);
+        ++state->disks_complete;
+        state->cv.notify_all();
+        return;
+      }
+      for (std::uint32_t q = 0; q < n_; ++q) {
+        if (q == pid_) continue;
+        client_.IssueRead(self, BlockOf(d, q), [state, d, q](Value bytes) {
+          auto block = DecodeDiskBlock(bytes);
+          std::lock_guard lock(state->mu);
+          if (block.ok()) {
+            if (block->mbal > state->max_mbal_seen) {
+              state->max_mbal_seen = block->mbal;
+            }
+            if (block->bal > state->freshest[q].bal) {
+              state->freshest[q] = std::move(*block);
+            }
+          }
+          if (++state->reads_done[d] == state->reads_needed_per_disk) {
+            ++state->disks_complete;
+          }
+          state->cv.notify_all();
+        });
+      }
+    });
+  }
+
+  // Wait for a majority of disks, or an abort signal (a higher mbal).
+  std::unique_lock lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->disks_complete >= farm_.quorum() ||
+           state->max_mbal_seen > dblock_.mbal;
+  });
+  if (state->max_mbal_seen > dblock_.mbal) return PhaseResult::kAborted;
+  *blocks_seen = state->freshest;
+  return PhaseResult::kOk;
+}
+
+std::optional<std::string> DiskPaxos::TryPropose(const std::string& value) {
+  ++ballots_tried_;
+  // Fresh ballot, unique to this process: next multiple-of-n slot + pid.
+  const std::uint64_t round = dblock_.mbal / n_ + 1;
+  dblock_.mbal = round * n_ + pid_;
+
+  // Phase 1: learn whether an earlier ballot may have chosen a value.
+  std::vector<DiskBlock> seen;
+  if (RunPhase(&seen) == PhaseResult::kAborted) return std::nullopt;
+
+  DiskBlock best;
+  for (const DiskBlock& b : seen) {
+    if (b.bal > best.bal) best = b;
+  }
+  if (dblock_.bal > best.bal) best = dblock_;
+  const std::string chosen = (best.bal > 0) ? best.inp : value;
+
+  // Phase 2: commit the ballot to `chosen`.
+  dblock_.bal = dblock_.mbal;
+  dblock_.inp = chosen;
+  if (RunPhase(&seen) == PhaseResult::kAborted) return std::nullopt;
+  return chosen;
+}
+
+std::string DiskPaxos::Propose(const std::string& value, Rng& rng) {
+  for (;;) {
+    if (auto chosen = TryPropose(value)) return *chosen;
+    // Randomized backoff so one proposer eventually runs alone.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(rng.Between(100, 2000) * ballots_tried_));
+  }
+}
+
+}  // namespace nadreg::apps

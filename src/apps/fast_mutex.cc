@@ -1,0 +1,78 @@
+#include "apps/fast_mutex.h"
+
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+namespace nadreg::apps {
+
+namespace {
+// Distinct sub-objects for x, y and b[1..n] within the mutex's object id
+// space. core/address.h gives each object 10 bits; we carve the mutex's
+// registers out of consecutive object ids starting at `object`.
+constexpr std::uint32_t kX = 0;
+constexpr std::uint32_t kY = 1;
+constexpr std::uint32_t kB0 = 2;
+
+std::string Num(std::uint64_t v) { return std::to_string(v); }
+}  // namespace
+
+FastMutex::FastMutex(BaseRegisterClient& client, const core::FarmConfig& farm,
+                     std::uint32_t object, std::uint32_t n, std::uint32_t pid)
+    : n_(n),
+      pid_(pid),
+      x_(client, farm, object + kX, pid),
+      y_(client, farm, object + kY, pid) {
+  assert(pid >= 1 && pid <= n && "pid must be in [1, n]");
+  b_.reserve(n);
+  for (std::uint32_t j = 1; j <= n; ++j) {
+    b_.push_back(std::make_unique<core::MwmrAtomic>(client, farm,
+                                                    object + kB0 + j, pid));
+  }
+}
+
+std::uint64_t FastMutex::ReadNum(core::MwmrAtomic& reg) {
+  auto v = reg.Read();
+  return v ? std::stoull(*v) : 0;
+}
+
+void FastMutex::WriteNum(core::MwmrAtomic& reg, std::uint64_t v) {
+  reg.Write(Num(v));
+}
+
+void FastMutex::Lock() {
+  // Lamport's fast mutual exclusion, entry protocol, verbatim — each
+  // shared variable is an emulated fault-tolerant register on the disks.
+  for (;;) {
+    WriteNum(*b_[pid_ - 1], 1);  // b[i] := true
+    WriteNum(x_, pid_);          // x := i
+    if (ReadNum(y_) != 0) {      // contention: someone holds or races
+      WriteNum(*b_[pid_ - 1], 0);
+      while (ReadNum(y_) != 0) std::this_thread::sleep_for(std::chrono::microseconds(200));
+      continue;
+    }
+    WriteNum(y_, pid_);  // y := i
+    if (ReadNum(x_) != pid_) {
+      // Slow path: another process wrote x after us.
+      WriteNum(*b_[pid_ - 1], 0);
+      for (std::uint32_t j = 1; j <= n_; ++j) {
+        while (ReadNum(*b_[j - 1]) != 0) std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      if (ReadNum(y_) != pid_) {
+        while (ReadNum(y_) != 0) std::this_thread::sleep_for(std::chrono::microseconds(200));
+        continue;
+      }
+      last_fast_ = false;
+      return;  // y == i: we win the slow path
+    }
+    last_fast_ = true;
+    return;  // fast path: x == i and y was free
+  }
+}
+
+void FastMutex::Unlock() {
+  WriteNum(y_, 0);
+  WriteNum(*b_[pid_ - 1], 0);
+}
+
+}  // namespace nadreg::apps

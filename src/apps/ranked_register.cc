@@ -1,0 +1,147 @@
+#include "apps/ranked_register.h"
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/address.h"
+
+namespace nadreg::apps {
+
+std::string EncodeRankedBlock(const RankedBlock& b) {
+  std::string out;
+  Encoder e(&out);
+  e.PutU64(b.read_rank);
+  e.PutU64(b.write_rank);
+  e.PutBytes(b.value);
+  return out;
+}
+
+Expected<RankedBlock> DecodeRankedBlock(std::string_view bytes) {
+  if (bytes.empty()) return RankedBlock{};
+  Decoder d(bytes);
+  RankedBlock b;
+  auto rr = d.GetU64();
+  if (!rr) return rr.status();
+  auto wr = d.GetU64();
+  if (!wr) return wr.status();
+  auto value = d.GetBytes();
+  if (!value) return value.status();
+  if (!d.AtEnd()) return Status::Invalid("RankedBlock: trailing bytes");
+  b.read_rank = *rr;
+  b.write_rank = *wr;
+  b.value = std::move(*value);
+  return b;
+}
+
+namespace {
+
+/// Majority-wait state shared with the per-disk RMW handlers.
+struct QuorumState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::uint32_t responses = 0;
+  std::uint32_t commits = 0;           // writes only
+  RankedBlock freshest;                // reads only: max write_rank seen
+};
+
+}  // namespace
+
+RankedRegister::RankedRegister(sim::ActiveDiskFarm& farm,
+                               const core::FarmConfig& cfg,
+                               std::uint32_t object, ProcessId self)
+    : farm_(farm), cfg_(cfg), object_(object), self_(self) {}
+
+RegisterId RankedRegister::BlockOn(DiskId d) const {
+  return RegisterId{d, core::MakeBlock(object_, core::Component::kScratch, 0)};
+}
+
+RankedRegister::ReadResult RankedRegister::Read(std::uint64_t rank) {
+  auto state = std::make_shared<QuorumState>();
+  for (DiskId d = 0; d < cfg_.num_disks(); ++d) {
+    farm_.IssueRmw(
+        self_, BlockOn(d),
+        [rank](const Value& current) {
+          auto block = DecodeRankedBlock(current);
+          RankedBlock b = block.ok() ? *block : RankedBlock{};
+          if (rank > b.read_rank) b.read_rank = rank;  // the read promise
+          return EncodeRankedBlock(b);
+        },
+        [state](Value previous) {
+          auto block = DecodeRankedBlock(previous);
+          std::lock_guard lock(state->mu);
+          if (block.ok() && block->write_rank > state->freshest.write_rank) {
+            state->freshest = std::move(*block);
+          }
+          ++state->responses;
+          state->cv.notify_all();
+        });
+  }
+  std::unique_lock lock(state->mu);
+  state->cv.wait(lock, [&] { return state->responses >= cfg_.quorum(); });
+  return ReadResult{state->freshest.write_rank, state->freshest.value};
+}
+
+bool RankedRegister::Write(std::uint64_t rank, const std::string& value) {
+  auto state = std::make_shared<QuorumState>();
+  for (DiskId d = 0; d < cfg_.num_disks(); ++d) {
+    farm_.IssueRmw(
+        self_, BlockOn(d),
+        [rank, value](const Value& current) {
+          auto block = DecodeRankedBlock(current);
+          RankedBlock b = block.ok() ? *block : RankedBlock{};
+          if (b.read_rank <= rank && b.write_rank <= rank) {
+            b.write_rank = rank;  // commit on this disk
+            b.value = value;
+          }
+          return EncodeRankedBlock(b);
+        },
+        [state, rank](Value previous) {
+          auto block = DecodeRankedBlock(previous);
+          const RankedBlock b = block.ok() ? *block : RankedBlock{};
+          std::lock_guard lock(state->mu);
+          // The guard is over the PRE-state: committed iff it held.
+          if (b.read_rank <= rank && b.write_rank <= rank) ++state->commits;
+          ++state->responses;
+          state->cv.notify_all();
+        });
+  }
+  std::unique_lock lock(state->mu);
+  state->cv.wait(lock, [&] { return state->responses >= cfg_.quorum(); });
+  // Commit iff every disk in the majority committed: any abort means a
+  // higher-ranked operation got there first.
+  return state->commits >= cfg_.quorum() &&
+         state->commits == state->responses;
+}
+
+ActiveDiskPaxos::ActiveDiskPaxos(sim::ActiveDiskFarm& farm,
+                                 const core::FarmConfig& cfg,
+                                 std::uint32_t object, ProcessId self)
+    : reg_(farm, cfg, object, self), self_(self) {}
+
+std::uint64_t ActiveDiskPaxos::RankFor(std::uint64_t attempt) const {
+  // Unique per (attempt, process): attempts dominate, pid breaks ties.
+  return (attempt << 20) | (self_ & 0xfffff);
+}
+
+std::optional<std::string> ActiveDiskPaxos::TryPropose(
+    const std::string& value, std::uint64_t rank) {
+  ++ballots_;
+  auto read = reg_.Read(rank);
+  const std::string& candidate = read.write_rank > 0 ? read.value : value;
+  if (reg_.Write(rank, candidate)) return candidate;
+  return std::nullopt;
+}
+
+std::string ActiveDiskPaxos::Propose(const std::string& value, Rng& rng) {
+  for (;;) {
+    ++attempt_;
+    if (auto chosen = TryPropose(value, RankFor(attempt_))) return *chosen;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(rng.Between(100, 2000) * attempt_));
+  }
+}
+
+}  // namespace nadreg::apps

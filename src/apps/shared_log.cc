@@ -1,0 +1,36 @@
+#include "apps/shared_log.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nadreg::apps {
+
+SharedLog::SharedLog(BaseRegisterClient& client, const core::FarmConfig& farm,
+                     std::uint32_t object, ProcessId self)
+    : reg_(client, farm, object, self), self_(self) {}
+
+void SharedLog::Append(const std::string& payload) {
+  // A log entry is a Fig. 3 WRITE whose record is never superseded
+  // logically — Read() collects all of them instead of taking the max.
+  reg_.Write(payload);
+}
+
+std::vector<SharedLog::Entry> SharedLog::Read() {
+  auto records = reg_.CollectAll();
+  // Global order: by stored snapshot size (an inclusion chain, by Total
+  // Ordering), then by author name for entries with identical snapshots.
+  std::sort(records.begin(), records.end(), [](const auto& a, const auto& b) {
+    if (a.second.snapshot.size() != b.second.snapshot.size()) {
+      return a.second.snapshot.size() < b.second.snapshot.size();
+    }
+    return a.first < b.first;
+  });
+  std::vector<Entry> out;
+  out.reserve(records.size());
+  for (auto& [name, rec] : records) {
+    out.push_back(Entry{name.pid, std::move(rec.value)});
+  }
+  return out;
+}
+
+}  // namespace nadreg::apps

@@ -1,0 +1,273 @@
+#include "checker/consistency.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace nadreg::checker {
+
+namespace {
+
+constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+
+// Dictionary-encodes operation values so states hash compactly.
+struct ValueTable {
+  std::unordered_map<std::string, int> ids;
+  int Intern(const std::string& v) {
+    auto [it, inserted] = ids.emplace(v, static_cast<int>(ids.size()));
+    return it->second;
+  }
+};
+
+std::string KeyOf(const std::vector<std::uint64_t>& bits, int value_id) {
+  std::string key;
+  key.reserve(bits.size() * 8 + 4);
+  for (std::uint64_t b : bits) key.append(reinterpret_cast<const char*>(&b), 8);
+  key.append(reinterpret_cast<const char*>(&value_id), 4);
+  return key;
+}
+
+// ---------------------------------------------------------------------------
+// Atomicity (linearizability).
+// ---------------------------------------------------------------------------
+
+struct AtomicSearch {
+  std::vector<Operation> ops;        // indexed by position
+  std::vector<int> value_ids;        // interned op value
+  std::vector<std::uint64_t> done;   // bitset of linearized ops
+  std::size_t remaining_complete = 0;
+  std::unordered_set<std::string> visited;
+  std::vector<std::size_t> witness;  // op positions in linearization order
+  ValueTable values;
+
+  bool IsDone(std::size_t i) const {
+    return (done[i / 64] >> (i % 64)) & 1;
+  }
+  void SetDone(std::size_t i) { done[i / 64] |= (1ULL << (i % 64)); }
+  void ClearDone(std::size_t i) { done[i / 64] &= ~(1ULL << (i % 64)); }
+
+  bool Dfs(int current_value_id) {
+    if (remaining_complete == 0) return true;  // incomplete writes may drop
+    const std::string key = KeyOf(done, current_value_id);
+    if (!visited.insert(key).second) return false;
+
+    // Earliest response among unlinearized operations: nothing invoked
+    // after it may be linearized before it.
+    std::uint64_t min_respond = kInf;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (!IsDone(i)) min_respond = std::min(min_respond, ops[i].respond);
+    }
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (IsDone(i)) continue;
+      const Operation& op = ops[i];
+      if (op.invoke > min_respond) continue;  // must come after min-respond op
+      int next_value = current_value_id;
+      if (op.kind == OpKind::kWrite) {
+        next_value = value_ids[i];
+      } else if (value_ids[i] != current_value_id) {
+        continue;  // READ must return the current value
+      }
+      SetDone(i);
+      if (op.completed) --remaining_complete;
+      witness.push_back(i);
+      if (Dfs(next_value)) return true;
+      witness.pop_back();
+      if (op.completed) ++remaining_complete;
+      ClearDone(i);
+    }
+    return false;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Sequential consistency.
+// ---------------------------------------------------------------------------
+
+struct SeqSearch {
+  // Per-process program-order queues of positions into `ops`.
+  std::vector<Operation> ops;
+  std::vector<int> value_ids;
+  std::vector<std::vector<std::size_t>> queues;
+  std::vector<std::size_t> pos;  // per-process progress
+  std::size_t remaining_complete = 0;
+  std::unordered_set<std::string> visited;
+  std::vector<std::size_t> witness;
+  ValueTable values;
+
+  std::string Key(int value_id) const {
+    std::string key;
+    key.reserve(pos.size() * 4 + 4);
+    for (std::size_t p : pos) {
+      auto v = static_cast<std::uint32_t>(p);
+      key.append(reinterpret_cast<const char*>(&v), 4);
+    }
+    key.append(reinterpret_cast<const char*>(&value_id), 4);
+    return key;
+  }
+
+  bool Dfs(int current_value_id) {
+    if (remaining_complete == 0) return true;
+    const std::string key = Key(current_value_id);
+    if (!visited.insert(key).second) return false;
+
+    for (std::size_t q = 0; q < queues.size(); ++q) {
+      if (pos[q] >= queues[q].size()) continue;
+      const std::size_t i = queues[q][pos[q]];
+      const Operation& op = ops[i];
+      int next_value = current_value_id;
+      if (op.kind == OpKind::kWrite) {
+        next_value = value_ids[i];
+      } else if (value_ids[i] != current_value_id) {
+        continue;
+      }
+      ++pos[q];
+      if (op.completed) --remaining_complete;
+      witness.push_back(i);
+      if (Dfs(next_value)) return true;
+      witness.pop_back();
+      if (op.completed) ++remaining_complete;
+      --pos[q];
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+CheckResult CheckAtomic(const std::vector<Operation>& history,
+                        const std::string& initial_value) {
+  AtomicSearch search;
+  search.ops = history;
+  std::sort(search.ops.begin(), search.ops.end(),
+            [](const Operation& a, const Operation& b) {
+              return a.invoke < b.invoke;
+            });
+  const int initial_id = search.values.Intern(initial_value);
+  search.value_ids.reserve(search.ops.size());
+  for (const Operation& op : search.ops) {
+    search.value_ids.push_back(search.values.Intern(op.value));
+    if (op.completed) ++search.remaining_complete;
+  }
+  search.done.assign((search.ops.size() + 63) / 64, 0);
+
+  CheckResult result;
+  if (search.Dfs(initial_id)) {
+    result.ok = true;
+    result.witness.reserve(search.witness.size());
+    for (std::size_t i : search.witness) {
+      result.witness.push_back(search.ops[i].id);
+    }
+  } else {
+    result.ok = false;
+    result.explanation =
+        "history is NOT atomic (no linearization exists):\n" +
+        FormatHistory(history);
+  }
+  return result;
+}
+
+CheckResult CheckSequentiallyConsistent(const std::vector<Operation>& history,
+                                        const std::string& initial_value) {
+  SeqSearch search;
+  search.ops = history;
+  std::sort(search.ops.begin(), search.ops.end(),
+            [](const Operation& a, const Operation& b) {
+              return a.invoke < b.invoke;
+            });
+  const int initial_id = search.values.Intern(initial_value);
+  std::map<ProcessId, std::size_t> queue_of;
+  for (std::size_t i = 0; i < search.ops.size(); ++i) {
+    const Operation& op = search.ops[i];
+    search.value_ids.push_back(search.values.Intern(op.value));
+    if (op.completed) ++search.remaining_complete;
+    auto [it, inserted] = queue_of.emplace(op.process, search.queues.size());
+    if (inserted) search.queues.emplace_back();
+    search.queues[it->second].push_back(i);
+  }
+  search.pos.assign(search.queues.size(), 0);
+
+  CheckResult result;
+  if (search.Dfs(initial_id)) {
+    result.ok = true;
+    result.witness.reserve(search.witness.size());
+    for (std::size_t i : search.witness) {
+      result.witness.push_back(search.ops[i].id);
+    }
+  } else {
+    result.ok = false;
+    result.explanation =
+        "history is NOT sequentially consistent (no serialization "
+        "exists):\n" +
+        FormatHistory(history);
+  }
+  return result;
+}
+
+CheckResult CheckRegular(const std::vector<Operation>& history,
+                         const std::string& initial_value) {
+  CheckResult result;
+
+  std::vector<Operation> writes;
+  std::vector<Operation> reads;
+  ProcessId writer = kNoProcess;
+  for (const Operation& op : history) {
+    if (op.kind == OpKind::kWrite) {
+      if (writer == kNoProcess) writer = op.process;
+      if (op.process != writer) {
+        result.ok = false;
+        result.explanation = "CheckRegular requires a single writer";
+        return result;
+      }
+      writes.push_back(op);
+    } else {
+      reads.push_back(op);
+    }
+  }
+  // Single writer: writes are totally ordered by invocation.
+  std::sort(writes.begin(), writes.end(),
+            [](const Operation& a, const Operation& b) {
+              return a.invoke < b.invoke;
+            });
+
+  for (const Operation& r : reads) {
+    // The last write that completed before the read began (if any).
+    const Operation* last_complete = nullptr;
+    for (const Operation& w : writes) {
+      if (w.completed && w.respond < r.invoke) last_complete = &w;
+    }
+    bool allowed = false;
+    if (last_complete == nullptr) {
+      allowed = (r.value == initial_value);
+    } else {
+      allowed = (r.value == last_complete->value);
+    }
+    if (!allowed) {
+      // Any write concurrent with the read is also permitted.
+      for (const Operation& w : writes) {
+        const bool w_before_r = w.completed && w.respond < r.invoke;
+        const bool r_before_w = r.respond < w.invoke;
+        if (!w_before_r && !r_before_w && w.value == r.value) {
+          allowed = true;
+          break;
+        }
+      }
+    }
+    if (!allowed) {
+      result.ok = false;
+      result.explanation =
+          "history is NOT regular: READ by p" + std::to_string(r.process) +
+          " returned \"" + r.value +
+          "\", which is neither the last completed WRITE before it nor a "
+          "concurrent WRITE:\n" +
+          FormatHistory(history);
+      return result;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace nadreg::checker

@@ -1,0 +1,64 @@
+// Register consistency checkers: atomicity (linearizability) and
+// sequential consistency, for single read/write register histories.
+//
+// Both are exhaustive searches with memoization — exact decision
+// procedures, not heuristics:
+//
+//  * CheckAtomic: Wing–Gong style. A linearization is built left to right;
+//    at each step any operation may be appended whose invocation precedes
+//    the earliest response among the remaining operations (the real-time
+//    constraint), and a READ may only be appended when it returns the
+//    current register value. States (remaining-set, register value) are
+//    memoized, which makes histories with bounded concurrency cheap.
+//
+//  * CheckSequentiallyConsistent: the same search without the real-time
+//    constraint — candidates are each process's next operation in program
+//    order. This decides serializability of the finite history; the
+//    paper's Section 5.1 *infinite-execution liveness* requirement is
+//    exercised separately by scenario tests (a finite checker cannot
+//    refute it).
+//
+// Histories may contain incomplete WRITEs (respond = +inf): they may
+// linearize anywhere after invocation or — if CheckAtomic's `allow_unused
+// pending writes` semantics apply — be omitted entirely, matching a write
+// that never took effect. Incomplete READs must be dropped before calling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "checker/history.h"
+
+namespace nadreg::checker {
+
+struct CheckResult {
+  bool ok = false;
+  /// On success: one witness serialization (op ids in order).
+  std::vector<std::size_t> witness;
+  /// On failure: a diagnostic with the formatted history.
+  std::string explanation;
+};
+
+/// Decides whether `history` is atomic (linearizable) as a single
+/// read/write register with the given initial value.
+CheckResult CheckAtomic(const std::vector<Operation>& history,
+                        const std::string& initial_value = "");
+
+/// Decides whether `history` is sequentially consistent as a single
+/// read/write register with the given initial value.
+CheckResult CheckSequentiallyConsistent(
+    const std::vector<Operation>& history,
+    const std::string& initial_value = "");
+
+/// Decides whether `history` is *regular* as a SINGLE-WRITER register:
+/// every READ returns the value of the last WRITE that completed before
+/// the READ began, or of some WRITE concurrent with it (Lamport).
+/// Requires a single writer process and distinct written values;
+/// incomplete WRITEs count as concurrent with everything after their
+/// invocation. Atomic ⊂ regular: the gap is exactly new-old inversion,
+/// which the Section 3.2 reader memo eliminates (see
+/// core::SwsrRegularReader for the memo-less ablation).
+CheckResult CheckRegular(const std::vector<Operation>& history,
+                         const std::string& initial_value = "");
+
+}  // namespace nadreg::checker

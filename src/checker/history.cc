@@ -1,0 +1,97 @@
+#include "checker/history.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace nadreg::checker {
+
+HistoryRecorder::OpHandle HistoryRecorder::BeginWrite(ProcessId p,
+                                                      std::string value) {
+  std::lock_guard lock(mu_);
+  Operation op;
+  op.id = ops_.size();
+  op.process = p;
+  op.kind = OpKind::kWrite;
+  op.value = std::move(value);
+  op.invoke = Tick();
+  ops_.push_back(std::move(op));
+  return ops_.back().id;
+}
+
+HistoryRecorder::OpHandle HistoryRecorder::BeginRead(ProcessId p) {
+  std::lock_guard lock(mu_);
+  Operation op;
+  op.id = ops_.size();
+  op.process = p;
+  op.kind = OpKind::kRead;
+  op.invoke = Tick();
+  ops_.push_back(std::move(op));
+  return ops_.back().id;
+}
+
+void HistoryRecorder::EndWrite(OpHandle h) {
+  std::lock_guard lock(mu_);
+  ops_.at(h).respond = Tick();
+  ops_.at(h).completed = true;
+}
+
+void HistoryRecorder::EndRead(OpHandle h, std::string returned) {
+  std::lock_guard lock(mu_);
+  Operation& op = ops_.at(h);
+  op.respond = Tick();
+  op.completed = true;
+  op.value = std::move(returned);
+}
+
+std::vector<Operation> HistoryRecorder::History() const {
+  std::lock_guard lock(mu_);
+  return ops_;
+}
+
+std::vector<Operation> HistoryRecorder::CheckableHistory() const {
+  std::lock_guard lock(mu_);
+  std::vector<Operation> out;
+  out.reserve(ops_.size());
+  for (const Operation& op : ops_) {
+    if (op.completed) {
+      out.push_back(op);
+    } else if (op.kind == OpKind::kWrite) {
+      // An incomplete WRITE may take effect at any time; model it as
+      // allowed to linearize anywhere after its invocation.
+      Operation w = op;
+      w.respond = std::numeric_limits<std::uint64_t>::max();
+      out.push_back(std::move(w));
+    }
+  }
+  return out;
+}
+
+std::size_t HistoryRecorder::size() const {
+  std::lock_guard lock(mu_);
+  return ops_.size();
+}
+
+std::string FormatHistory(const std::vector<Operation>& ops) {
+  std::vector<Operation> sorted = ops;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Operation& a, const Operation& b) {
+              return a.invoke < b.invoke;
+            });
+  std::ostringstream os;
+  for (const Operation& op : sorted) {
+    os << "  [" << op.invoke << ",";
+    if (op.respond == std::numeric_limits<std::uint64_t>::max()) {
+      os << "inf";
+    } else {
+      os << op.respond;
+    }
+    os << "] p" << op.process << " "
+       << (op.kind == OpKind::kWrite ? "WRITE(" : "READ -> ")
+       << (op.value.empty() ? std::string("<initial>") : op.value)
+       << (op.kind == OpKind::kWrite ? ")" : "") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace nadreg::checker

@@ -1,0 +1,66 @@
+// Concurrent-history recording for emulated registers.
+//
+// Tests and the verification harness wrap every emulated READ/WRITE in
+// Begin*/End* calls; the recorder assigns logical invocation/response
+// timestamps from a global atomic counter. The resulting history is what
+// the checkers analyse for atomicity (linearizability) or sequential
+// consistency.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace nadreg::checker {
+
+enum class OpKind { kRead, kWrite };
+
+struct Operation {
+  std::size_t id = 0;
+  ProcessId process = kNoProcess;
+  OpKind kind = OpKind::kRead;
+  // WRITE: the value written. READ: the value returned.
+  std::string value;
+  std::uint64_t invoke = 0;
+  std::uint64_t respond = 0;
+  bool completed = false;
+};
+
+/// Thread-safe recorder. Handles are indices into the history.
+class HistoryRecorder {
+ public:
+  using OpHandle = std::size_t;
+
+  OpHandle BeginWrite(ProcessId p, std::string value);
+  OpHandle BeginRead(ProcessId p);
+  /// Completes a WRITE.
+  void EndWrite(OpHandle h);
+  /// Completes a READ with the value it returned.
+  void EndRead(OpHandle h, std::string returned);
+
+  /// All operations recorded so far (completed and not).
+  std::vector<Operation> History() const;
+  /// Completed operations only — what the checkers consume. Incomplete
+  /// WRITEs are kept (a crashed writer's WRITE may have taken effect and
+  /// the checker must be allowed to linearize it); incomplete READs are
+  /// dropped (they returned nothing, so they constrain nothing).
+  std::vector<Operation> CheckableHistory() const;
+
+  std::size_t size() const;
+
+ private:
+  std::uint64_t Tick() { return clock_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  mutable std::mutex mu_;
+  std::atomic<std::uint64_t> clock_{0};
+  std::vector<Operation> ops_;
+};
+
+/// Human-readable rendering of a history (for counterexample output).
+std::string FormatHistory(const std::vector<Operation>& ops);
+
+}  // namespace nadreg::checker

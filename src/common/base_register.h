@@ -1,0 +1,62 @@
+// The asynchronous fail-prone base-register interface — the paper's model of
+// a network-attached disk (Section 2).
+//
+// Base registers are atomic MWMR registers that may crash (unresponsive
+// mode, Jayanti-Chandra-Toueg). Access is *nonblocking*: IssueRead /
+// IssueWrite return immediately and the completion handler runs later — or
+// never, if the register has crashed. An issued write whose handler has not
+// yet run is a *pending write* (Figure 1): it may take effect arbitrarily
+// far in the future, possibly after the issuing OPERATION completed.
+//
+// Linearization convention (Section 4.1 proof): a base-register operation
+// takes effect exactly when it responds. Backends apply writes at response
+// delivery time.
+#pragma once
+
+#include <functional>
+
+#include "common/types.h"
+
+namespace nadreg {
+
+/// Completion handler for a read: receives the value read.
+/// May be invoked from an arbitrary internal thread; must not block for
+/// long, but may issue further base-register operations.
+using ReadHandler = std::function<void(Value)>;
+
+/// Completion handler for a write.
+using WriteHandler = std::function<void()>;
+
+/// Asynchronous access to a pool of fail-prone base registers.
+///
+/// Uniformity contract: implementations never require the caller to declare
+/// how many processes exist. Any ProcessId may issue operations at any time
+/// (infinite-arrival model). Registers are lazily materialized: every
+/// RegisterId initially holds the empty Value.
+class BaseRegisterClient {
+ public:
+  virtual ~BaseRegisterClient() = default;
+
+  /// Issues a read of register `r` on behalf of process `p`.
+  /// `done` runs when (if ever) the register responds.
+  virtual void IssueRead(ProcessId p, RegisterId r, ReadHandler done) = 0;
+
+  /// Issues a write of `v` to register `r` on behalf of process `p`.
+  /// `done` runs when (if ever) the register responds; the write takes
+  /// effect at that moment.
+  virtual void IssueWrite(ProcessId p, RegisterId r, Value v,
+                          WriteHandler done) = 0;
+};
+
+/// Operation counters, used by the harness to measure base-register work
+/// per emulated OPERATION (e.g. Fig. 3's step-complexity growth).
+struct OpStats {
+  std::uint64_t reads_issued = 0;
+  std::uint64_t writes_issued = 0;
+  std::uint64_t reads_completed = 0;
+  std::uint64_t writes_completed = 0;
+
+  std::uint64_t TotalIssued() const { return reads_issued + writes_issued; }
+};
+
+}  // namespace nadreg

@@ -1,0 +1,117 @@
+#include "common/codec.h"
+
+namespace nadreg {
+
+std::string EncodeTaggedValue(const TaggedValue& tv) {
+  std::string out;
+  Encoder e(&out);
+  e.PutU64(tv.writer);
+  e.PutU64(tv.seq);
+  e.PutBytes(tv.payload);
+  return out;
+}
+
+Expected<TaggedValue> DecodeTaggedValue(std::string_view bytes) {
+  if (bytes.empty()) return TaggedValue{};  // register initial value
+  Decoder d(bytes);
+  TaggedValue tv;
+  auto writer = d.GetU64();
+  if (!writer) return writer.status();
+  auto seq = d.GetU64();
+  if (!seq) return seq.status();
+  auto payload = d.GetBytes();
+  if (!payload) return payload.status();
+  if (!d.AtEnd()) return Status::Invalid("TaggedValue: trailing bytes");
+  tv.writer = *writer;
+  tv.seq = *seq;
+  tv.payload = std::move(*payload);
+  return tv;
+}
+
+std::string EncodeName(const Name& n) {
+  std::string out;
+  Encoder e(&out);
+  e.PutU64(n.pid);
+  e.PutU64(n.index);
+  return out;
+}
+
+Expected<Name> DecodeName(std::string_view bytes) {
+  Decoder d(bytes);
+  auto pid = d.GetU64();
+  if (!pid) return pid.status();
+  auto index = d.GetU64();
+  if (!index) return index.status();
+  if (!d.AtEnd()) return Status::Invalid("Name: trailing bytes");
+  return Name{*pid, *index};
+}
+
+std::string EncodeNameSet(const std::vector<Name>& names) {
+  std::string out;
+  Encoder e(&out);
+  e.PutU32(static_cast<std::uint32_t>(names.size()));
+  for (const Name& n : names) {
+    e.PutU64(n.pid);
+    e.PutU64(n.index);
+  }
+  return out;
+}
+
+Expected<std::vector<Name>> DecodeNameSet(std::string_view bytes) {
+  Decoder d(bytes);
+  auto count = d.GetU32();
+  if (!count) return count.status();
+  // Each name occupies 16 bytes; reject counts the buffer cannot hold
+  // before reserving (untrusted input must not drive allocation).
+  if (*count > d.Remaining() / 16) {
+    return Status::Invalid("NameSet: count exceeds buffer");
+  }
+  std::vector<Name> names;
+  names.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto pid = d.GetU64();
+    if (!pid) return pid.status();
+    auto index = d.GetU64();
+    if (!index) return index.status();
+    names.push_back(Name{*pid, *index});
+  }
+  if (!d.AtEnd()) return Status::Invalid("NameSet: trailing bytes");
+  return names;
+}
+
+std::string EncodeSnapRecord(const SnapRecord& rec) {
+  std::string out;
+  Encoder e(&out);
+  e.PutBytes(rec.value);
+  e.PutU32(static_cast<std::uint32_t>(rec.snapshot.size()));
+  for (const Name& n : rec.snapshot) {
+    e.PutU64(n.pid);
+    e.PutU64(n.index);
+  }
+  return out;
+}
+
+Expected<SnapRecord> DecodeSnapRecord(std::string_view bytes) {
+  Decoder d(bytes);
+  SnapRecord rec;
+  auto value = d.GetBytes();
+  if (!value) return value.status();
+  rec.value = std::move(*value);
+  auto count = d.GetU32();
+  if (!count) return count.status();
+  if (*count > d.Remaining() / 16) {
+    return Status::Invalid("SnapRecord: count exceeds buffer");
+  }
+  rec.snapshot.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto pid = d.GetU64();
+    if (!pid) return pid.status();
+    auto index = d.GetU64();
+    if (!index) return index.status();
+    rec.snapshot.push_back(Name{*pid, *index});
+  }
+  if (!d.AtEnd()) return Status::Invalid("SnapRecord: trailing bytes");
+  return rec;
+}
+
+}  // namespace nadreg

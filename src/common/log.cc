@@ -1,0 +1,25 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace nadreg {
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug: tag = "D"; break;
+    case LogLevel::kInfo: tag = "I"; break;
+    case LogLevel::kWarn: tag = "W"; break;
+    case LogLevel::kError: tag = "E"; break;
+    case LogLevel::kOff: return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[%s] %s\n", tag, message.c_str());
+}
+
+}  // namespace nadreg

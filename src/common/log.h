@@ -1,0 +1,58 @@
+// Minimal leveled logger. Thread safe, writes to stderr, off by default
+// above kWarn so tests stay quiet; harness binaries raise the level.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace nadreg {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void SetLevel(LogLevel level) { level_.store(static_cast<int>(level)); }
+  LogLevel level() const { return static_cast<LogLevel>(level_.load()); }
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load();
+  }
+
+  void Write(LogLevel level, const std::string& message);
+
+ private:
+  std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+  std::mutex mu_;
+};
+
+namespace internal {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (Logger::Instance().Enabled(level_)) {
+      Logger::Instance().Write(level_, stream_.str());
+    }
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (Logger::Instance().Enabled(level_)) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace nadreg
+
+#define NADREG_LOG(level) ::nadreg::internal::LogLine(::nadreg::LogLevel::level)
+#define LOG_DEBUG NADREG_LOG(kDebug)
+#define LOG_INFO NADREG_LOG(kInfo)
+#define LOG_WARN NADREG_LOG(kWarn)
+#define LOG_ERROR NADREG_LOG(kError)

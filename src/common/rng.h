@@ -1,0 +1,77 @@
+// Seeded, reproducible random number generation (xoshiro256** + splitmix64).
+// Every randomized component in nadreg takes an explicit seed so that test
+// failures and harness runs are replayable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace nadreg {
+
+/// splitmix64: used to expand a single seed into generator state.
+inline std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256**: fast, high-quality, tiny-state PRNG.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t Below(std::uint64_t bound) {
+    // Lemire's nearly-divisionless bounded sampling (bias negligible for
+    // simulation purposes; rejection loop keeps it exact).
+    for (;;) {
+      std::uint64_t x = (*this)();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      auto lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= (0ULL - bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t Between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + Below(hi - lo + 1);
+  }
+
+  /// Bernoulli trial with probability num/den.
+  bool Chance(std::uint64_t num, std::uint64_t den) { return Below(den) < num; }
+
+  /// Derives an independent child generator (for per-thread streams).
+  Rng Fork() { return Rng((*this)() ^ 0xa02bdbf7bb3c0a7ULL); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace nadreg

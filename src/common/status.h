@@ -1,0 +1,96 @@
+// Lightweight status/error type for expected failures across module APIs.
+// Exceptions are reserved for programming errors (precondition violations).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace nadreg {
+
+enum class StatusCode {
+  kOk = 0,
+  kTimeout,        // operation did not complete within the caller's budget
+  kCrashed,        // target register/disk is known to have crashed
+  kInvalid,        // malformed input (e.g. bad wire message, bad decode)
+  kUnavailable,    // transport failure (socket closed, connect refused)
+  kAlreadyWritten  // one-shot register written twice
+};
+
+/// Result of an operation that can fail in expected ways.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Timeout(std::string m = "timeout") {
+    return Status(StatusCode::kTimeout, std::move(m));
+  }
+  static Status Crashed(std::string m = "crashed") {
+    return Status(StatusCode::kCrashed, std::move(m));
+  }
+  static Status Invalid(std::string m) {
+    return Status(StatusCode::kInvalid, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status AlreadyWritten(std::string m = "one-shot register already written") {
+    return Status(StatusCode::kAlreadyWritten, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return message_.empty() ? "error" : message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or a Status explaining why there is none.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Expected(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Expected(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const Status& status() const { return status_; }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace nadreg

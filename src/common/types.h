@@ -1,0 +1,80 @@
+// Core identifier and value types shared by every nadreg subsystem.
+//
+// The paper's model (Section 2): processes have unique ids but no bound on
+// how many exist (uniformity); network-attached disks are arrays of blocks;
+// each block is modelled as a fail-prone MWMR atomic register holding an
+// uninterpreted value. We model block contents as raw bytes, exactly like a
+// disk block; algorithm-level records are serialized via common/codec.h.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace nadreg {
+
+/// Unique process identifier. The model is uniform: algorithms must never
+/// assume a bound on the number of distinct ProcessIds they will observe.
+using ProcessId = std::uint64_t;
+
+/// Identifier of a disk (a NAD). A disk is an array of blocks/registers.
+using DiskId = std::uint32_t;
+
+/// Block index within one disk. Disks expose an unbounded, lazily
+/// materialized block space (the paper's "infinitely many registers per
+/// disk"); blocks come into existence holding the initial value.
+using BlockId = std::uint64_t;
+
+/// Globally addressable base register: one block of one disk.
+struct RegisterId {
+  DiskId disk = 0;
+  BlockId block = 0;
+
+  friend auto operator<=>(const RegisterId&, const RegisterId&) = default;
+};
+
+/// Contents of a base register / disk block: uninterpreted bytes.
+/// The empty string is the conventional initial value of every register.
+using Value = std::string;
+
+/// Monotone sequence number used by the emulation algorithms.
+using SeqNum = std::uint64_t;
+
+/// A "name" in the infinite-arrival model (Section 6): each process reserves
+/// infinitely many names, one per operation, encoded as (pid, index).
+struct Name {
+  ProcessId pid = 0;
+  std::uint64_t index = 0;
+
+  friend auto operator<=>(const Name&, const Name&) = default;
+};
+
+/// Sentinel for "no process".
+inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
+
+}  // namespace nadreg
+
+template <>
+struct std::hash<nadreg::RegisterId> {
+  std::size_t operator()(const nadreg::RegisterId& r) const noexcept {
+    // Mix disk and block; disks are few, blocks may be dense from 0.
+    std::uint64_t x = (static_cast<std::uint64_t>(r.disk) << 48) ^ r.block;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+template <>
+struct std::hash<nadreg::Name> {
+  std::size_t operator()(const nadreg::Name& n) const noexcept {
+    std::uint64_t x = n.pid * 0x9e3779b97f4a7c15ULL + n.index;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    return static_cast<std::size_t>(x);
+  }
+};

@@ -1,0 +1,64 @@
+// Deterministic block-address layout on the disks — the "on-disk format"
+// of the emulated objects. Every process must compute identical addresses
+// without coordination (uniformity), so the layout is a pure function.
+//
+// A BlockId is a 64-bit LBA, carved as
+//
+//     [ object : 10 bits ][ component : 4 bits ][ key : 50 bits ]
+//
+// * object    — which emulated object instance (an application-chosen id);
+// * component — which part of the object's on-disk structure;
+// * key       — component-specific: a packed Name for per-name registers,
+//               or a heap-encoded trie node for the name-directory bits.
+//
+// Name packing: Name{pid, index} packs into 48 bits as (pid:32 | index:16).
+// This is an *addressing* discipline, not a model restriction: the model's
+// namespace is unbounded; a 64-bit LBA (like a real disk's) simply bounds
+// how many distinct names one deployment can address, exactly as a real
+// disk bounds how many blocks it can address.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace nadreg::core {
+
+enum class Component : std::uint8_t {
+  kFixed = 0,     // the single block of a finite-register algorithm
+  kTrieMark = 1,  // name-directory sticky bit (heap-encoded trie node)
+  kView = 2,      // published snapshot view of a name (one-shot)
+  kValue = 3,     // Fig. 3 one-shot v[name]
+  kScratch = 4,   // application use
+};
+
+/// Packs a Name into 48 bits. Precondition: pid < 2^32 and index < 2^16.
+inline std::uint64_t PackName(const Name& n) {
+  assert(n.pid < (1ULL << 32) && "PackName: pid exceeds addressing width");
+  assert(n.index < (1ULL << 16) && "PackName: index exceeds addressing width");
+  return (n.pid << 16) | n.index;
+}
+
+inline Name UnpackName(std::uint64_t packed) {
+  return Name{packed >> 16, packed & 0xffff};
+}
+
+/// Heap encoding of a binary-trie node: root is 1, child(x, bit) = 2x+bit.
+/// Depth up to 48 fits in 50 bits (indices below 2^49).
+inline std::uint64_t TrieRoot() { return 1; }
+inline std::uint64_t TrieChild(std::uint64_t node, unsigned bit) {
+  assert(bit <= 1);
+  return node * 2 + bit;
+}
+
+/// Composes a BlockId from (object, component, key).
+inline BlockId MakeBlock(std::uint32_t object, Component component,
+                         std::uint64_t key) {
+  assert(object < (1u << 10) && "MakeBlock: object id exceeds 10 bits");
+  assert(key < (1ULL << 50) && "MakeBlock: key exceeds 50 bits");
+  return (static_cast<std::uint64_t>(object) << 54) |
+         (static_cast<std::uint64_t>(component) << 50) | key;
+}
+
+}  // namespace nadreg::core

@@ -1,0 +1,33 @@
+// Deployment configuration: how many disks, how many may be faulty, and
+// which base registers an emulated object occupies.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace nadreg::core {
+
+/// A farm of d = 2t+1 network-attached disks of which up to t may be
+/// faulty (possibly full disk crashes). All emulations in this library
+/// place replica j of every object on disk j, so that crashing up to t
+/// disks removes at most t of any object's 2t+1 base registers.
+struct FarmConfig {
+  std::uint32_t t = 1;  // max faulty disks
+
+  std::uint32_t num_disks() const { return 2 * t + 1; }
+  /// Majority quorum: t+1 of 2t+1. Two quorums always intersect.
+  std::uint32_t quorum() const { return t + 1; }
+
+  /// The 2t+1 base registers holding block `b` across all disks.
+  std::vector<RegisterId> Spread(BlockId b) const {
+    std::vector<RegisterId> regs;
+    regs.reserve(num_disks());
+    for (DiskId d = 0; d < num_disks(); ++d) regs.push_back(RegisterId{d, b});
+    return regs;
+  }
+};
+
+}  // namespace nadreg::core

@@ -1,0 +1,93 @@
+#include "core/layout.h"
+
+#include <cassert>
+
+namespace nadreg::core {
+
+namespace {
+// Layout ids occupy the top half of the 10-bit object space so they never
+// collide with small ad-hoc ids passed directly to the emulations.
+constexpr std::uint32_t kLayoutBase = 512;
+constexpr std::uint32_t kMaxNames = 512;
+}  // namespace
+
+StaticLayout::StaticLayout(const FarmConfig& farm,
+                           std::vector<std::string> names)
+    : farm_(farm) {
+  assert(names.size() <= kMaxNames && "StaticLayout: too many names");
+  std::uint32_t next = kLayoutBase;
+  for (const std::string& name : names) {
+    auto [it, inserted] = ids_.emplace(name, next);
+    assert(inserted && "StaticLayout: duplicate name");
+    (void)it;
+    ++next;
+  }
+}
+
+bool StaticLayout::Has(const std::string& name) const {
+  return ids_.contains(name);
+}
+
+std::uint32_t StaticLayout::ObjectId(const std::string& name) const {
+  auto it = ids_.find(name);
+  assert(it != ids_.end() && "StaticLayout: unknown object name");
+  return it->second;
+}
+
+std::vector<RegisterId> StaticLayout::Registers(const std::string& name) const {
+  return farm_.Spread(MakeBlock(ObjectId(name), Component::kFixed, 0));
+}
+
+std::unique_ptr<SwsrAtomicWriter> StaticLayout::SwsrWriter(
+    BaseRegisterClient& client, const std::string& name,
+    ProcessId self) const {
+  return std::make_unique<SwsrAtomicWriter>(client, farm_, Registers(name),
+                                            self);
+}
+
+std::unique_ptr<SwsrAtomicReader> StaticLayout::SwsrReader(
+    BaseRegisterClient& client, const std::string& name,
+    ProcessId self) const {
+  return std::make_unique<SwsrAtomicReader>(client, farm_, Registers(name),
+                                            self);
+}
+
+std::unique_ptr<SwmrAtomicReader> StaticLayout::SwmrReader(
+    BaseRegisterClient& client, const std::string& name,
+    ProcessId self) const {
+  return std::make_unique<SwmrAtomicReader>(client, farm_, Registers(name),
+                                            self);
+}
+
+std::unique_ptr<MwsrWriter> StaticLayout::MwsrRegisterWriter(
+    BaseRegisterClient& client, const std::string& name,
+    ProcessId self) const {
+  return std::make_unique<MwsrWriter>(client, farm_, Registers(name), self);
+}
+
+std::unique_ptr<MwsrReader> StaticLayout::MwsrRegisterReader(
+    BaseRegisterClient& client, const std::string& name,
+    ProcessId self) const {
+  return std::make_unique<MwsrReader>(client, farm_, Registers(name), self);
+}
+
+std::unique_ptr<MwmrAtomic> StaticLayout::MwmrRegister(
+    BaseRegisterClient& client, const std::string& name,
+    ProcessId self) const {
+  return std::make_unique<MwmrAtomic>(client, farm_, ObjectId(name), self);
+}
+
+std::unique_ptr<OneShotRegister> StaticLayout::OneShot(
+    BaseRegisterClient& client, const std::string& name,
+    ProcessId self) const {
+  return std::make_unique<OneShotRegister>(client, farm_, Registers(name),
+                                           self);
+}
+
+std::unique_ptr<StickyBit> StaticLayout::Sticky(BaseRegisterClient& client,
+                                                const std::string& name,
+                                                ProcessId self) const {
+  return std::make_unique<StickyBit>(client, farm_, Registers(name), self);
+}
+
+}  // namespace nadreg::core

@@ -1,0 +1,89 @@
+// StaticLayout: a name-based facade over the on-disk object address space.
+//
+// Every emulated object needs an `object` id that all processes agree on
+// without coordination (uniformity). In practice deployments agree on a
+// CONFIGURATION — an ordered list of object names — and derive ids from
+// it deterministically. StaticLayout captures that idiom: construct it
+// from the same list everywhere (order defines the ids), then create
+// endpoint objects by name:
+//
+//   core::StaticLayout layout(cfg, {"leader-lease", "members", "log"});
+//   auto reg  = layout.MwmrRegister(client, "members", my_pid);
+//   auto log  = ...
+//
+// The layout also hands out the base-register vectors for the
+// finite-register emulations (one block row per name), so application
+// code never touches raw block ids.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/base_register.h"
+#include "core/address.h"
+#include "core/config.h"
+#include "core/mwmr_atomic.h"
+#include "core/mwsr_seqcst.h"
+#include "core/oneshot.h"
+#include "core/swmr_atomic.h"
+#include "core/swsr_atomic.h"
+
+namespace nadreg::core {
+
+class StaticLayout {
+ public:
+  /// `names` must be identical (same order) at every process — it is the
+  /// deployment's shared configuration. At most 512 names (the object id
+  /// space is shared with ad-hoc ids; see core/address.h).
+  StaticLayout(const FarmConfig& farm, std::vector<std::string> names);
+
+  /// True if the configuration contains the name.
+  bool Has(const std::string& name) const;
+
+  /// The object id assigned to a name (aborts if unknown — a typo here is
+  /// a deployment bug, not a runtime condition).
+  std::uint32_t ObjectId(const std::string& name) const;
+
+  /// The 2t+1 base registers backing a finite-register emulation of this
+  /// name (block row derived from the object id).
+  std::vector<RegisterId> Registers(const std::string& name) const;
+
+  const FarmConfig& farm() const { return farm_; }
+
+  // --- Endpoint factories ---------------------------------------------------
+  // One endpoint per process per object; all take the process id.
+
+  std::unique_ptr<SwsrAtomicWriter> SwsrWriter(BaseRegisterClient& client,
+                                               const std::string& name,
+                                               ProcessId self) const;
+  std::unique_ptr<SwsrAtomicReader> SwsrReader(BaseRegisterClient& client,
+                                               const std::string& name,
+                                               ProcessId self) const;
+  std::unique_ptr<SwmrAtomicReader> SwmrReader(BaseRegisterClient& client,
+                                               const std::string& name,
+                                               ProcessId self) const;
+  std::unique_ptr<MwsrWriter> MwsrRegisterWriter(BaseRegisterClient& client,
+                                                 const std::string& name,
+                                                 ProcessId self) const;
+  std::unique_ptr<MwsrReader> MwsrRegisterReader(BaseRegisterClient& client,
+                                                 const std::string& name,
+                                                 ProcessId self) const;
+  std::unique_ptr<MwmrAtomic> MwmrRegister(BaseRegisterClient& client,
+                                           const std::string& name,
+                                           ProcessId self) const;
+  std::unique_ptr<OneShotRegister> OneShot(BaseRegisterClient& client,
+                                           const std::string& name,
+                                           ProcessId self) const;
+  std::unique_ptr<StickyBit> Sticky(BaseRegisterClient& client,
+                                    const std::string& name,
+                                    ProcessId self) const;
+
+ private:
+  FarmConfig farm_;
+  std::map<std::string, std::uint32_t> ids_;
+};
+
+}  // namespace nadreg::core

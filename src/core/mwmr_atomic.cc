@@ -1,0 +1,92 @@
+#include "core/mwmr_atomic.h"
+
+#include <cassert>
+
+namespace nadreg::core {
+
+MwmrAtomic::MwmrAtomic(BaseRegisterClient& client, const FarmConfig& farm,
+                       std::uint32_t object, ProcessId self)
+    : client_(client),
+      farm_(farm),
+      object_(object),
+      self_(self),
+      snap_(client, farm, object, self) {}
+
+OneShotRegister& MwmrAtomic::ValueReg(const Name& n) {
+  auto it = value_regs_.find(n);
+  if (it == value_regs_.end()) {
+    auto reg = std::make_unique<OneShotRegister>(
+        client_, farm_,
+        farm_.Spread(MakeBlock(object_, Component::kValue, PackName(n))),
+        self_);
+    it = value_regs_.emplace(n, std::move(reg)).first;
+  }
+  return *it->second;
+}
+
+const SnapRecord* MwmrAtomic::ReadValue(const Name& n) {
+  auto it = known_values_.find(n);
+  if (it != known_values_.end()) return &it->second;
+  auto bytes = ValueReg(n).Read();
+  if (!bytes) return nullptr;
+  auto rec = DecodeSnapRecord(*bytes);
+  assert(rec.ok() && "stored v[n] record must decode");
+  if (!rec.ok()) return nullptr;
+  return &known_values_.emplace(n, std::move(*rec)).first->second;
+}
+
+void MwmrAtomic::WriteAs(const Name& name, const std::string& value) {
+  std::vector<Name> snapshot = snap_.Snapshot(name);
+  SnapRecord rec;
+  rec.value = value;
+  rec.snapshot = std::move(snapshot);
+  Status s = ValueReg(name).Write(EncodeSnapRecord(rec));
+  assert(s.ok() && "a name must be used for at most one WRITE");
+  (void)s;
+}
+
+std::optional<std::string> MwmrAtomic::ReadAs(const Name& name) {
+  std::vector<Name> snapshot = snap_.Snapshot(name);
+  // Pick the member of T with the largest stored snapshot. Inclusion order
+  // reduces to size order under Total Ordering; identical snapshots are
+  // tie-broken by larger writer name (any fixed rule works).
+  const SnapRecord* best = nullptr;
+  Name best_name{};
+  for (const Name& m : snapshot) {
+    const SnapRecord* rec = ReadValue(m);
+    if (rec == nullptr) continue;  // empty entry: reader or unfinished WRITE
+    if (best == nullptr ||
+        rec->snapshot.size() > best->snapshot.size() ||
+        (rec->snapshot.size() == best->snapshot.size() && m > best_name)) {
+      best = rec;
+      best_name = m;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->value;
+}
+
+std::vector<std::pair<Name, SnapRecord>> MwmrAtomic::CollectAll() {
+  std::vector<Name> snapshot = snap_.Snapshot(FreshName());
+  std::vector<std::pair<Name, SnapRecord>> out;
+  for (const Name& m : snapshot) {
+    const SnapRecord* rec = ReadValue(m);
+    if (rec != nullptr) out.emplace_back(m, *rec);
+  }
+  return out;
+}
+
+Name MwmrAtomic::FreshName() {
+  assert(next_index_ < (1ULL << 16) &&
+         "addressing discipline: at most 2^16 operations per process per "
+         "object (see core/address.h)");
+  return Name{self_, next_index_++};
+}
+
+void MwmrAtomic::Write(const std::string& value) {
+  WriteAs(FreshName(), value);
+}
+
+std::optional<std::string> MwmrAtomic::Read() { return ReadAs(FreshName()); }
+
+}  // namespace nadreg::core

@@ -1,0 +1,48 @@
+#include "core/mwsr_seqcst.h"
+
+#include <cassert>
+
+namespace nadreg::core {
+
+MwsrWriter::MwsrWriter(BaseRegisterClient& client, const FarmConfig& farm,
+                       std::vector<RegisterId> regs, ProcessId self)
+    : set_(client, self, std::move(regs)), quorum_(farm.quorum()) {
+  assert(set_.size() == farm.num_disks() &&
+         "MWSR emulation needs 2t+1 base registers");
+}
+
+void MwsrWriter::Write(const std::string& v) {
+  ++seq_;
+  TaggedValue tv{set_.self(), seq_, v};
+  auto ticket = set_.WriteAll(EncodeTaggedValue(tv));
+  set_.Await(ticket, quorum_);
+}
+
+MwsrReader::MwsrReader(BaseRegisterClient& client, const FarmConfig& farm,
+                       std::vector<RegisterId> regs, ProcessId self)
+    : set_(client, self, std::move(regs)), quorum_(farm.quorum()) {
+  assert(set_.size() == farm.num_disks() &&
+         "MWSR emulation needs 2t+1 base registers");
+}
+
+std::string MwsrReader::Read() {
+  auto ticket = set_.ReadAll();
+  set_.Await(ticket, quorum_);
+  // Fixed deterministic rule: among fresher triples, take the one from the
+  // lowest base-register index (Results() is index-sorted).
+  for (const auto& [idx, bytes] : ticket.Results()) {
+    auto tv = DecodeTaggedValue(bytes);
+    if (!tv) continue;
+    if (tv->seq == 0) continue;  // initial value, no writer
+    auto it = seqs_.find(tv->writer);
+    const SeqNum known = (it == seqs_.end()) ? 0 : it->second;
+    if (tv->seq > known) {
+      seqs_[tv->writer] = tv->seq;
+      lastv_ = std::move(tv->payload);
+      break;
+    }
+  }
+  return lastv_;
+}
+
+}  // namespace nadreg::core

@@ -1,0 +1,69 @@
+// Uniform wait-free *sequentially consistent* MWSR register from 2t+1
+// fail-prone base registers (Figure 2) — the "Yes" Multi-Writer/
+// Single-Reader cell of Table 3.
+//
+//   WRITER q:  local seq_q. WRITE(v): ++seq_q; write (q, seq_q, v) to all
+//              2t+1 base registers; wait for t+1 to complete.
+//   READER p:  local lastv and an (unbounded, lazily grown) map seqs[]
+//              indexed by writer id. READ: read a majority; if some triple
+//              (q, s, v) read has s > seqs[q], pick one such triple (the
+//              paper: "it does not matter which"), set seqs[q] := s,
+//              lastv := v. Return lastv.
+//
+// The reader's per-writer freshness map is what makes this *uniform*: it
+// grows with the set of writers actually observed, never with a declared
+// process count. The implementation picks, among the fresher triples, the
+// one from the lowest base-register index — any deterministic rule is
+// allowed by the paper, and a fixed rule makes adversarial tests
+// reproducible.
+//
+// This register is sequentially consistent but NOT atomic: the reader may
+// return writes of different writers out of real-time order (it serializes
+// them in its own discovery order). bench/table2 demonstrates the
+// non-atomicity with a concrete schedule; the property tests verify
+// sequential consistency over random schedules.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/base_register.h"
+#include "common/codec.h"
+#include "core/config.h"
+#include "core/register_set.h"
+
+namespace nadreg::core {
+
+/// Writer endpoint; construct one per writer process (any number).
+class MwsrWriter {
+ public:
+  MwsrWriter(BaseRegisterClient& client, const FarmConfig& farm,
+             std::vector<RegisterId> regs, ProcessId self);
+
+  /// WRITE(v). Wait-free.
+  void Write(const std::string& v);
+
+ private:
+  RegisterSet set_;
+  std::size_t quorum_;
+  SeqNum seq_ = 0;
+};
+
+/// Reader endpoint. Single designated reader: construct exactly one.
+class MwsrReader {
+ public:
+  MwsrReader(BaseRegisterClient& client, const FarmConfig& farm,
+             std::vector<RegisterId> regs, ProcessId self);
+
+  /// READ(). Wait-free; returns lastv per Figure 2.
+  std::string Read();
+
+ private:
+  RegisterSet set_;
+  std::size_t quorum_;
+  std::string lastv_;
+  std::unordered_map<ProcessId, SeqNum> seqs_;
+};
+
+}  // namespace nadreg::core

@@ -1,0 +1,183 @@
+#include "core/name_snapshot.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/codec.h"
+
+namespace nadreg::core {
+
+namespace {
+constexpr int kNameBits = 48;  // PackName width; trie depth
+}  // namespace
+
+NameSnapshot::NameSnapshot(BaseRegisterClient& client, const FarmConfig& farm,
+                           std::uint32_t object, ProcessId self,
+                           bool pipelined_collect)
+    : client_(client),
+      farm_(farm),
+      object_(object),
+      self_(self),
+      pipelined_collect_(pipelined_collect) {}
+
+StickyBit& NameSnapshot::Mark(std::uint64_t trie_node) {
+  auto it = marks_.find(trie_node);
+  if (it == marks_.end()) {
+    auto bit = std::make_unique<StickyBit>(
+        client_, farm_,
+        farm_.Spread(MakeBlock(object_, Component::kTrieMark, trie_node)),
+        self_);
+    it = marks_.emplace(trie_node, std::move(bit)).first;
+  }
+  return *it->second;
+}
+
+OneShotRegister& NameSnapshot::View(const Name& n) {
+  auto it = views_.find(n);
+  if (it == views_.end()) {
+    auto reg = std::make_unique<OneShotRegister>(
+        client_, farm_,
+        farm_.Spread(MakeBlock(object_, Component::kView, PackName(n))),
+        self_);
+    it = views_.emplace(n, std::move(reg)).first;
+  }
+  return *it->second;
+}
+
+bool NameSnapshot::MarkIsSet(std::uint64_t trie_node) {
+  StickyBit& bit = Mark(trie_node);
+  if (bit.KnownSet()) return true;  // sticky: stays set forever
+  ++stats_.sticky_reads;
+  return bit.IsSet();
+}
+
+void NameSnapshot::Announce(const Name& name) {
+  // All path bits are set CONCURRENTLY (one quorum round trip instead of
+  // one per level). Safe because "the whole path is visible" — the
+  // predicate collects test — is monotone and first becomes true at the
+  // linearization point of whichever path bit lands last: no partial
+  // announce can ever be collected, regardless of set order. (The leaf
+  // node is name-specific, so sibling names' bits can never complete a
+  // path whose leaf was not set by this name's own announce.)
+  const std::uint64_t packed = PackName(name);
+  std::uint64_t node = TrieRoot();
+  std::vector<std::pair<StickyBit*, StickyBit::InFlightWrite>> in_flight;
+  in_flight.reserve(kNameBits);
+  for (int d = 0; d < kNameBits; ++d) {
+    node = TrieChild(node, (packed >> (kNameBits - 1 - d)) & 1);
+    StickyBit& bit = Mark(node);
+    if (!bit.KnownSet()) {
+      ++stats_.sticky_sets;
+      in_flight.emplace_back(&bit, bit.BeginSet());
+    }
+  }
+  for (auto& [bit, write] : in_flight) bit->FinishSet(write);
+}
+
+std::vector<Name> NameSnapshot::Collect() {
+  ++stats_.collects;
+  return pipelined_collect_ ? CollectPipelined() : CollectSequential();
+}
+
+std::vector<Name> NameSnapshot::CollectSequential() {
+  std::vector<Name> out;
+  std::vector<std::pair<std::uint64_t, int>> stack;  // (trie node, depth)
+  stack.emplace_back(TrieRoot(), 0);
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    if (depth == kNameBits) {
+      out.push_back(UnpackName(node - (1ULL << kNameBits)));
+      continue;
+    }
+    for (unsigned bit : {0u, 1u}) {
+      const std::uint64_t child = TrieChild(node, bit);
+      if (MarkIsSet(child)) stack.emplace_back(child, depth + 1);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Name> NameSnapshot::CollectPipelined() {
+  // Level-order walk with a whole level's sticky reads outstanding at
+  // once: O(depth) quorum round trips instead of one per marked node.
+  std::vector<std::uint64_t> frontier{TrieRoot()};
+  for (int depth = 0; depth < kNameBits && !frontier.empty(); ++depth) {
+    struct Probe {
+      std::uint64_t node;
+      StickyBit* bit;
+      StickyBit::InFlightRead inflight;
+      bool known = false;
+    };
+    std::vector<Probe> probes;
+    probes.reserve(frontier.size() * 2);
+    std::vector<std::uint64_t> next;
+    for (std::uint64_t node : frontier) {
+      for (unsigned b : {0u, 1u}) {
+        const std::uint64_t child = TrieChild(node, b);
+        StickyBit& bit = Mark(child);
+        if (bit.KnownSet()) {
+          next.push_back(child);  // sticky: cached truth is forever
+        } else {
+          ++stats_.sticky_reads;
+          probes.push_back(Probe{child, &bit, bit.BeginIsSet(), false});
+        }
+      }
+    }
+    for (Probe& probe : probes) {
+      if (probe.bit->FinishIsSet(probe.inflight)) next.push_back(probe.node);
+    }
+    frontier = std::move(next);
+  }
+  std::vector<Name> out;
+  out.reserve(frontier.size());
+  for (std::uint64_t leaf : frontier) {
+    out.push_back(UnpackName(leaf - (1ULL << kNameBits)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const std::vector<Name>* NameSnapshot::ReadView(const Name& m) {
+  auto it = known_views_.find(m);
+  if (it != known_views_.end()) return &it->second;
+  auto bytes = View(m).Read();
+  if (!bytes) return nullptr;
+  auto names = DecodeNameSet(*bytes);
+  assert(names.ok() && "published view must decode");
+  if (!names.ok()) return nullptr;
+  return &known_views_.emplace(m, std::move(*names)).first->second;
+}
+
+std::vector<Name> NameSnapshot::Snapshot(const Name& name) {
+  Announce(name);
+  std::vector<Name> v1 = Collect();
+  for (;;) {
+    std::vector<Name> v2 = Collect();
+    if (v2 == v1) {
+      // Clean pin: v1 is the directory's exact contents at the instant
+      // between the two collects. Publish it for adopters, then return.
+      Status s = View(name).Write(EncodeNameSet(v1));
+      assert(s.ok() && "a name must be used for at most one Snapshot");
+      (void)s;
+      return v1;
+    }
+    // Interference: some name announced between the collects. Any
+    // concurrent operation that managed a clean pin after our announce has
+    // published a view containing us — adopt it.
+    for (const Name& m : v2) {
+      if (m == name) continue;
+      const std::vector<Name>* view = ReadView(m);
+      if (view != nullptr &&
+          std::binary_search(view->begin(), view->end(), name)) {
+        ++stats_.adoptions;
+        return *view;
+      }
+    }
+    v1 = std::move(v2);
+  }
+}
+
+}  // namespace nadreg::core

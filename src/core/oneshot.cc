@@ -1,0 +1,97 @@
+#include "core/oneshot.h"
+
+#include <cassert>
+
+namespace nadreg::core {
+
+StableRegister::StableRegister(BaseRegisterClient& client,
+                               const FarmConfig& farm,
+                               std::vector<RegisterId> regs, ProcessId self)
+    : set_(client, self, std::move(regs)), quorum_(farm.quorum()) {
+  assert(set_.size() == farm.num_disks() &&
+         "stable register needs 2t+1 base registers");
+}
+
+void StableRegister::Write(const std::string& v) {
+  InFlightWrite write = BeginWrite(v);
+  FinishWrite(write);
+}
+
+StableRegister::InFlightWrite StableRegister::BeginWrite(const std::string& v) {
+  assert(!v.empty() && "the empty string is reserved as the initial value");
+  assert((!known_ || *known_ == v) &&
+         "stable register: all writes must carry the same value");
+  InFlightWrite write;
+  if (known_) {
+    write.cached_ = true;  // already on a majority; re-writing changes nothing
+    return write;
+  }
+  write.value_ = v;
+  write.ticket_ = set_.WriteAll(v);
+  return write;
+}
+
+void StableRegister::FinishWrite(InFlightWrite& write) {
+  if (write.cached_) return;
+  set_.Await(write.ticket_, quorum_);
+  known_ = write.value_;
+}
+
+std::optional<std::string> StableRegister::Read() {
+  InFlightRead read = BeginRead();
+  return FinishRead(read);
+}
+
+StableRegister::InFlightRead StableRegister::BeginRead() {
+  InFlightRead read;
+  if (known_) {
+    read.cached_ = true;  // stable: can never change once observed
+    return read;
+  }
+  read.ticket_ = set_.ReadAll();
+  return read;
+}
+
+std::optional<std::string> StableRegister::FinishRead(InFlightRead& read) {
+  if (read.cached_) return known_;
+  set_.Await(read.ticket_, quorum_);
+  std::string seen;
+  for (const auto& [idx, bytes] : read.ticket_.Results()) {
+    if (!bytes.empty()) {
+      seen = bytes;
+      break;
+    }
+  }
+  if (seen.empty()) return std::nullopt;  // all initial
+  // Write-back before returning: after this, v is on a majority and every
+  // later READ is guaranteed to see it (atomicity across readers).
+  auto wb = set_.WriteAll(seen);
+  set_.Await(wb, quorum_);
+  known_ = seen;
+  return known_;
+}
+
+OneShotRegister::OneShotRegister(BaseRegisterClient& client,
+                                 const FarmConfig& farm,
+                                 std::vector<RegisterId> regs, ProcessId self)
+    : inner_(client, farm, std::move(regs), self) {}
+
+Status OneShotRegister::Write(const std::string& v) {
+  if (written_) return Status::AlreadyWritten();
+  if (v.empty()) return Status::Invalid("one-shot: empty value is reserved");
+  written_ = true;
+  inner_.Write(v);
+  return Status::Ok();
+}
+
+std::optional<std::string> OneShotRegister::Read() { return inner_.Read(); }
+
+StickyBit::StickyBit(BaseRegisterClient& client, const FarmConfig& farm,
+                     std::vector<RegisterId> regs, ProcessId self)
+    : inner_(client, farm, std::move(regs), self) {}
+
+void StickyBit::Set() { inner_.Write("1"); }
+
+bool StickyBit::IsSet() { return inner_.Read().has_value(); }
+
+}  // namespace nadreg::core

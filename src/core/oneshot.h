@@ -1,0 +1,135 @@
+// Wait-free fault-tolerant one-shot registers and sticky bits (Section 6).
+//
+// A *one-shot* register is a Single-Writer Multi-Reader register that may
+// be written only once; before that it holds its initial value. A *stable*
+// register relaxes single-writer to "many writers, but every write carries
+// the same value" — the paper's flag[] registers are the boolean case
+// (sticky bits). Both share one implementation over 2t+1 base registers
+// placed on distinct disks:
+//
+//   WRITE(v): write v to all 2t+1 base registers; wait for t+1.
+//   READ():   read t+1 responses. If all carry the initial value, return
+//             initial. Otherwise let v be the (unique) non-initial value
+//             seen; write v back to the 2t+1 registers, wait for t+1, and
+//             return v.
+//
+// The reader write-back is what makes the register atomic: once a READ
+// returned v, v sits on a majority, so every later READ's quorum
+// intersects it and also returns v. Uniqueness of the non-initial value is
+// the caller's promise (single writer / single possible value) — without
+// it the construction is exactly the kind of multi-valued MWMR register
+// the paper proves unimplementable with finitely many base registers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/base_register.h"
+#include "common/status.h"
+#include "core/config.h"
+#include "core/register_set.h"
+
+namespace nadreg::core {
+
+/// Shared implementation: a register whose every write, by any process,
+/// carries one and the same value. One instance per accessing process.
+class StableRegister {
+ public:
+  StableRegister(BaseRegisterClient& client, const FarmConfig& farm,
+                 std::vector<RegisterId> regs, ProcessId self);
+
+  /// Writes `v`. Caller's contract: every write to this register, by every
+  /// process, passes an identical `v` (and `v` must be non-empty).
+  void Write(const std::string& v);
+
+  /// Reads. nullopt = initial value (no write is known to have completed).
+  /// Wait-free: tolerates up to t crashed disks.
+  std::optional<std::string> Read();
+
+  /// True once this endpoint knows the value sits on a majority (after a
+  /// successful Write or a non-initial Read). Lets callers skip redundant
+  /// writes of stable state.
+  bool Known() const { return known_.has_value(); }
+
+  /// Split-phase read, allowing many stable registers to be read
+  /// concurrently (the name snapshot pipelines a whole trie level this
+  /// way). Begin issues the quorum reads; Finish blocks, applies the
+  /// write-back rule and returns exactly what Read() would have.
+  class InFlightRead {
+   private:
+    friend class StableRegister;
+    RegisterSet::Ticket ticket_;
+    bool cached_ = false;
+  };
+  InFlightRead BeginRead();
+  std::optional<std::string> FinishRead(InFlightRead& read);
+
+  /// Split-phase write (same contract as Write): many stable registers
+  /// can be written concurrently (the name snapshot announces all of a
+  /// name's path bits in one round trip this way).
+  class InFlightWrite {
+   private:
+    friend class StableRegister;
+    RegisterSet::Ticket ticket_;
+    bool cached_ = false;
+    std::string value_;
+  };
+  InFlightWrite BeginWrite(const std::string& v);
+  void FinishWrite(InFlightWrite& write);
+
+ private:
+  RegisterSet set_;
+  std::size_t quorum_;
+  // A stable register can never change once observed: cache it.
+  std::optional<std::string> known_;
+};
+
+/// One-shot SWMR register: a single owner may write once.
+class OneShotRegister {
+ public:
+  OneShotRegister(BaseRegisterClient& client, const FarmConfig& farm,
+                  std::vector<RegisterId> regs, ProcessId self);
+
+  /// First write succeeds; later writes return kAlreadyWritten (local
+  /// enforcement of the single-write contract; `v` must be non-empty —
+  /// the empty string is the initial value).
+  Status Write(const std::string& v);
+
+  /// nullopt = initial value.
+  std::optional<std::string> Read();
+
+ private:
+  StableRegister inner_;
+  bool written_ = false;
+};
+
+/// Sticky bit: a boolean MWMR register that flips once from false to true
+/// (all writes are "true" — trivially the same value).
+class StickyBit {
+ public:
+  StickyBit(BaseRegisterClient& client, const FarmConfig& farm,
+            std::vector<RegisterId> regs, ProcessId self);
+
+  void Set();
+  bool IsSet();
+  /// True once this endpoint has majority-visible evidence the bit is set.
+  bool KnownSet() const { return inner_.Known(); }
+
+  /// Split-phase IsSet (see StableRegister::BeginRead/FinishRead).
+  using InFlightRead = StableRegister::InFlightRead;
+  InFlightRead BeginIsSet() { return inner_.BeginRead(); }
+  bool FinishIsSet(InFlightRead& read) {
+    return inner_.FinishRead(read).has_value();
+  }
+
+  /// Split-phase Set (see StableRegister::BeginWrite/FinishWrite).
+  using InFlightWrite = StableRegister::InFlightWrite;
+  InFlightWrite BeginSet() { return inner_.BeginWrite("1"); }
+  void FinishSet(InFlightWrite& write) { inner_.FinishWrite(write); }
+
+ private:
+  StableRegister inner_;
+};
+
+}  // namespace nadreg::core

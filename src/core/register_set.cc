@@ -1,0 +1,174 @@
+#include "core/register_set.h"
+
+#include <cassert>
+
+namespace nadreg::core {
+
+struct RegisterSet::Ticket::State {
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  std::size_t completed = 0;
+  // One slot per register index; set when that register's op completes.
+  std::vector<std::optional<Value>> results;
+
+  explicit State(std::size_t n) : results(n) {}
+};
+
+std::size_t RegisterSet::Ticket::Completed() const {
+  std::lock_guard lock(state_->mu);
+  return state_->completed;
+}
+
+std::vector<std::pair<std::size_t, Value>> RegisterSet::Ticket::Results()
+    const {
+  std::lock_guard lock(state_->mu);
+  std::vector<std::pair<std::size_t, Value>> out;
+  out.reserve(state_->completed);
+  for (std::size_t i = 0; i < state_->results.size(); ++i) {
+    if (state_->results[i]) out.emplace_back(i, *state_->results[i]);
+  }
+  return out;
+}
+
+struct RegisterSet::Shared : std::enable_shared_from_this<RegisterSet::Shared> {
+  struct QueuedOp {
+    bool is_write = false;
+    Value value;  // writes only
+    // Tickets to notify on completion. Reads may have several (coalesced).
+    std::vector<std::shared_ptr<Ticket::State>> subscribers;
+  };
+  struct Slot {
+    bool busy = false;
+    std::deque<QueuedOp> queue;
+  };
+
+  BaseRegisterClient* client = nullptr;
+  ProcessId self = kNoProcess;
+  std::vector<RegisterId> regs;
+  std::mutex mu;
+  std::vector<Slot> slots;
+
+  void StartOrQueue(std::size_t i, QueuedOp op) {
+    {
+      std::lock_guard lock(mu);
+      Slot& slot = slots[i];
+      if (slot.busy) {
+        // Coalesce a fresh read with a queued (unissued) read: a read that
+        // has not been issued yet is as fresh as a new one.
+        if (!op.is_write && !slot.queue.empty() &&
+            !slot.queue.back().is_write) {
+          auto& back = slot.queue.back().subscribers;
+          back.insert(back.end(), op.subscribers.begin(),
+                      op.subscribers.end());
+        } else {
+          slot.queue.push_back(std::move(op));
+        }
+        return;
+      }
+      slot.busy = true;
+    }
+    IssueOp(i, std::move(op));
+  }
+
+  void IssueOp(std::size_t i, QueuedOp op) {
+    auto self_ptr = shared_from_this();
+    if (op.is_write) {
+      auto subs = std::move(op.subscribers);
+      client->IssueWrite(self, regs[i], std::move(op.value),
+                         [self_ptr, i, subs = std::move(subs)]() {
+                           self_ptr->OnComplete(i, subs, std::nullopt);
+                         });
+    } else {
+      auto subs = std::move(op.subscribers);
+      client->IssueRead(self, regs[i],
+                        [self_ptr, i, subs = std::move(subs)](Value v) {
+                          self_ptr->OnComplete(i, subs, std::move(v));
+                        });
+    }
+  }
+
+  void OnComplete(std::size_t i,
+                  const std::vector<std::shared_ptr<Ticket::State>>& subs,
+                  std::optional<Value> read_value) {
+    for (const auto& t : subs) {
+      {
+        std::lock_guard lock(t->mu);
+        if (!t->results[i]) {
+          t->results[i] = read_value ? *read_value : Value{};
+          ++t->completed;
+        }
+      }
+      t->cv.notify_all();
+    }
+    // Chain the next queued operation on this register, if any.
+    QueuedOp next;
+    bool have_next = false;
+    {
+      std::lock_guard lock(mu);
+      Slot& slot = slots[i];
+      if (slot.queue.empty()) {
+        slot.busy = false;
+      } else {
+        next = std::move(slot.queue.front());
+        slot.queue.pop_front();
+        have_next = true;
+      }
+    }
+    if (have_next) IssueOp(i, std::move(next));
+  }
+};
+
+RegisterSet::RegisterSet(BaseRegisterClient& client, ProcessId self,
+                         std::vector<RegisterId> regs)
+    : shared_(std::make_shared<Shared>()) {
+  assert(!regs.empty());
+  shared_->client = &client;
+  shared_->self = self;
+  shared_->regs = std::move(regs);
+  shared_->slots.resize(shared_->regs.size());
+}
+
+std::size_t RegisterSet::size() const { return shared_->regs.size(); }
+ProcessId RegisterSet::self() const { return shared_->self; }
+const std::vector<RegisterId>& RegisterSet::registers() const {
+  return shared_->regs;
+}
+
+RegisterSet::Ticket RegisterSet::WriteAll(const Value& v) {
+  Ticket ticket;
+  ticket.state_ = std::make_shared<Ticket::State>(shared_->regs.size());
+  for (std::size_t i = 0; i < shared_->regs.size(); ++i) {
+    Shared::QueuedOp op;
+    op.is_write = true;
+    op.value = v;
+    op.subscribers = {ticket.state_};
+    shared_->StartOrQueue(i, std::move(op));
+  }
+  return ticket;
+}
+
+RegisterSet::Ticket RegisterSet::ReadAll() {
+  Ticket ticket;
+  ticket.state_ = std::make_shared<Ticket::State>(shared_->regs.size());
+  for (std::size_t i = 0; i < shared_->regs.size(); ++i) {
+    Shared::QueuedOp op;
+    op.is_write = false;
+    op.subscribers = {ticket.state_};
+    shared_->StartOrQueue(i, std::move(op));
+  }
+  return ticket;
+}
+
+bool RegisterSet::Await(const Ticket& ticket, std::size_t k,
+                        std::optional<std::chrono::milliseconds> timeout) {
+  auto& st = *ticket.state_;
+  std::unique_lock lock(st.mu);
+  auto ready = [&] { return st.completed >= k; };
+  if (timeout) {
+    return st.cv.wait_for(lock, *timeout, ready);
+  }
+  st.cv.wait(lock, ready);
+  return true;
+}
+
+}  // namespace nadreg::core

@@ -1,0 +1,80 @@
+// One process's quorum engine over a fixed set of base registers, with the
+// paper's pending-write discipline.
+//
+// Model rule (Section 2): a process never has two simultaneous operations
+// outstanding on the same base register. Footnotes 3/6/7: if a WRITE wants
+// to write a base register that still has a pending write from a previous
+// WRITE, the writer "forks a background task to issue the write as soon as
+// all previous writes have finished". RegisterSet implements exactly that:
+// per base register it keeps at most one outstanding operation and a FIFO
+// of follow-ups, issued from the completion handler of the predecessor. A
+// crashed register therefore stalls its queue forever — and the quorum
+// waits never require it, which is what keeps the algorithms wait-free.
+//
+// Consecutive queued reads are coalesced (a queued-but-unissued read is
+// indistinguishable from a fresh one), so a loop of READ phases over a
+// crashed register uses O(1) memory.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/base_register.h"
+#include "common/types.h"
+
+namespace nadreg::core {
+
+class RegisterSet {
+ public:
+  /// Completion record of one quorum call: which registers responded and,
+  /// for reads, what they returned.
+  class Ticket {
+   public:
+    /// Number of completions so far.
+    std::size_t Completed() const;
+    /// (register index, value) pairs completed so far; writes carry an
+    /// empty value. Indices refer to the constructor's register vector.
+    std::vector<std::pair<std::size_t, Value>> Results() const;
+
+   private:
+    friend class RegisterSet;
+    struct State;
+    std::shared_ptr<State> state_;
+  };
+
+  /// `client` must outlive this object and all of its pending operations.
+  RegisterSet(BaseRegisterClient& client, ProcessId self,
+              std::vector<RegisterId> regs);
+
+  RegisterSet(const RegisterSet&) = delete;
+  RegisterSet& operator=(const RegisterSet&) = delete;
+
+  std::size_t size() const;
+  ProcessId self() const;
+  const std::vector<RegisterId>& registers() const;
+
+  /// Issues (or queues, per the pending-write discipline) a write of `v`
+  /// to every base register of the set.
+  Ticket WriteAll(const Value& v);
+
+  /// Issues (or queues, with coalescing) a read of every base register.
+  Ticket ReadAll();
+
+  /// Blocks until at least `k` of the ticket's operations completed.
+  /// Returns false on timeout (when a deadline is supplied).
+  bool Await(const Ticket& ticket, std::size_t k,
+             std::optional<std::chrono::milliseconds> timeout = std::nullopt);
+
+ private:
+  struct Shared;
+  std::shared_ptr<Shared> shared_;
+};
+
+}  // namespace nadreg::core

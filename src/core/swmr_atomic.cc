@@ -1,0 +1,73 @@
+#include "core/swmr_atomic.h"
+
+#include <cassert>
+
+namespace nadreg::core {
+
+SwmrAtomicReader::SwmrAtomicReader(BaseRegisterClient& client,
+                                   const FarmConfig& farm,
+                                   std::vector<RegisterId> regs,
+                                   ProcessId self)
+    : set_(client, self, std::move(regs)), quorum_(farm.quorum()) {
+  assert(set_.size() == farm.num_disks() &&
+         "SWMR emulation needs 2t+1 base registers");
+}
+
+std::string SwmrAtomicReader::Read() {
+  auto result = ReadImpl(std::nullopt);
+  assert(result.has_value());
+  return std::move(*result);
+}
+
+std::optional<std::string> SwmrAtomicReader::ReadWithDeadline(
+    std::chrono::milliseconds d) {
+  return ReadImpl(std::chrono::steady_clock::now() + d);
+}
+
+std::optional<std::string> SwmrAtomicReader::ReadImpl(
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  const auto remaining =
+      [&]() -> std::optional<std::chrono::milliseconds> {
+    if (!deadline) return std::nullopt;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        *deadline - std::chrono::steady_clock::now());
+    return left.count() > 0 ? left : std::chrono::milliseconds(0);
+  };
+
+  // Track the freshest seq seen per base register; phase 1's reads
+  // already count toward phase 2's condition.
+  std::vector<SeqNum> seen(set_.size(), 0);
+
+  // Phase 1: choose-value. Read a majority, pick the largest seq.
+  TaggedValue chosen;  // (v0, s0); seq 0 = initial value
+  {
+    auto ticket = set_.ReadAll();
+    if (!set_.Await(ticket, quorum_, remaining())) return std::nullopt;
+    for (const auto& [idx, bytes] : ticket.Results()) {
+      auto tv = DecodeTaggedValue(bytes);
+      if (!tv) continue;
+      if (tv->seq > seen[idx]) seen[idx] = tv->seq;
+      if (tv->seq > chosen.seq) chosen = std::move(*tv);
+    }
+  }
+
+  // Phase 2: wait. Keep reading until a majority carry seq >= s0.
+  for (;;) {
+    std::size_t caught_up = 0;
+    for (SeqNum s : seen) {
+      if (s >= chosen.seq) ++caught_up;
+    }
+    if (caught_up >= quorum_) break;
+
+    auto ticket = set_.ReadAll();
+    if (!set_.Await(ticket, quorum_, remaining())) return std::nullopt;
+    for (const auto& [idx, bytes] : ticket.Results()) {
+      auto tv = DecodeTaggedValue(bytes);
+      if (!tv) continue;
+      if (tv->seq > seen[idx]) seen[idx] = tv->seq;
+    }
+  }
+  return chosen.payload;
+}
+
+}  // namespace nadreg::core

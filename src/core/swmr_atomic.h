@@ -1,0 +1,67 @@
+// Uniform atomic SWMR register from 2t+1 fail-prone base registers, for
+// systems where *processes are reliable* (Section 4.2) — the "Yes"
+// Single-Writer/Multi-Reader cell of Table 2.
+//
+// The writer is the same sequence-number writer as in Section 3.2. A READ
+// has two phases:
+//
+//   choose-value:  read a majority; let (v0, s0) be the pair with the
+//                  largest sequence number.
+//   wait:          keep reading all base registers until a majority have
+//                  sequence numbers >= s0. Then return v0.
+//
+// The wait phase makes the READ's chosen value *stable*: once the READ
+// returns, (>= s0) is on a majority, so every later READ's choose-value
+// phase — which reads a majority — picks a sequence number >= s0. That is
+// what rules out new-old inversion between different readers and makes the
+// register atomic rather than merely regular.
+//
+// This implementation is intentionally NOT wait-free: the wait phase can
+// block if the writer crashes mid-WRITE (its value then sits on fewer than
+// t+1 registers forever). Theorem 1 proves no uniform *wait-free* atomic
+// SWMR implementation exists, so blocking is not an artifact — it is the
+// price the paper shows must be paid. Under reliable processes (Table 2's
+// hypothesis) the writer's background writes eventually land and the wait
+// phase terminates.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/base_register.h"
+#include "common/codec.h"
+#include "core/config.h"
+#include "core/register_set.h"
+#include "core/swsr_atomic.h"
+
+namespace nadreg::core {
+
+/// The SWMR writer is identical to the SWSR writer.
+using SwmrAtomicWriter = SwsrAtomicWriter;
+
+/// Reader endpoint; construct one per reader process (any number).
+class SwmrAtomicReader {
+ public:
+  SwmrAtomicReader(BaseRegisterClient& client, const FarmConfig& farm,
+                   std::vector<RegisterId> regs, ProcessId self);
+
+  /// READ(). Blocks until atomicity can be guaranteed (see header note);
+  /// under reliable processes and at most t crashed disks it terminates.
+  std::string Read();
+
+  /// READ with a deadline, for harnesses that must not hang when they
+  /// deliberately violate the reliability hypothesis. Returns nullopt on
+  /// timeout (the READ is abandoned; this is outside the model).
+  std::optional<std::string> ReadWithDeadline(std::chrono::milliseconds d);
+
+ private:
+  std::optional<std::string> ReadImpl(
+      std::optional<std::chrono::steady_clock::time_point> deadline);
+
+  RegisterSet set_;
+  std::size_t quorum_;
+};
+
+}  // namespace nadreg::core

@@ -1,0 +1,66 @@
+#include "core/swsr_atomic.h"
+
+#include <cassert>
+
+namespace nadreg::core {
+
+SwsrAtomicWriter::SwsrAtomicWriter(BaseRegisterClient& client,
+                                   const FarmConfig& farm,
+                                   std::vector<RegisterId> regs,
+                                   ProcessId self)
+    : set_(client, self, std::move(regs)), quorum_(farm.quorum()) {
+  assert(set_.size() == farm.num_disks() &&
+         "SWSR emulation needs 2t+1 base registers");
+}
+
+void SwsrAtomicWriter::Write(const std::string& v) {
+  ++seq_;
+  TaggedValue tv{set_.self(), seq_, v};
+  auto ticket = set_.WriteAll(EncodeTaggedValue(tv));
+  set_.Await(ticket, quorum_);
+}
+
+SwsrAtomicReader::SwsrAtomicReader(BaseRegisterClient& client,
+                                   const FarmConfig& farm,
+                                   std::vector<RegisterId> regs,
+                                   ProcessId self)
+    : set_(client, self, std::move(regs)), quorum_(farm.quorum()) {
+  assert(set_.size() == farm.num_disks() &&
+         "SWSR emulation needs 2t+1 base registers");
+}
+
+SwsrRegularReader::SwsrRegularReader(BaseRegisterClient& client,
+                                     const FarmConfig& farm,
+                                     std::vector<RegisterId> regs,
+                                     ProcessId self)
+    : set_(client, self, std::move(regs)), quorum_(farm.quorum()) {
+  assert(set_.size() == farm.num_disks() &&
+         "SWSR emulation needs 2t+1 base registers");
+}
+
+std::string SwsrRegularReader::Read() {
+  auto ticket = set_.ReadAll();
+  set_.Await(ticket, quorum_);
+  TaggedValue best;  // per-READ only: no memo
+  for (const auto& [idx, bytes] : ticket.Results()) {
+    auto tv = DecodeTaggedValue(bytes);
+    if (!tv) continue;
+    if (tv->seq > best.seq) best = std::move(*tv);
+  }
+  return best.payload;
+}
+
+std::string SwsrAtomicReader::Read() {
+  auto ticket = set_.ReadAll();
+  set_.Await(ticket, quorum_);
+  for (const auto& [idx, bytes] : ticket.Results()) {
+    auto tv = DecodeTaggedValue(bytes);
+    // A base register can only contain bytes some writer stored; decode
+    // failure would mean corruption outside the model. Skip defensively.
+    if (!tv) continue;
+    if (tv->seq > best_.seq) best_ = std::move(*tv);
+  }
+  return best_.payload;
+}
+
+}  // namespace nadreg::core

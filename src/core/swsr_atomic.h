@@ -1,0 +1,82 @@
+// Uniform wait-free atomic SWSR register from 2t+1 fail-prone base
+// registers (Section 3.2) — the "Yes" cell of Table 1.
+//
+//   WRITE(v):  issue write of (writer, ++seq, v) to all 2t+1 base
+//              registers; wait for t+1 to complete.
+//   READ():    read t+1 of the 2t+1; return the payload with the largest
+//              sequence number among the values read *and the largest
+//              sequence number ever seen before*.
+//
+// Correctness (paper): (1) sequence numbers make it impossible to READ
+// values out of order — the reader's memo of the largest seq ever seen is
+// what gives regularity between its own READs; (2) a completed WRITE
+// reached a majority, every later READ quorum intersects it, so the READ
+// sees that value or a later one.
+//
+// Wait-freedom: quorums never wait for more than t+1 of 2t+1 registers, so
+// up to t crashed registers (or disks) cannot block any operation, and no
+// operation ever waits for another process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/base_register.h"
+#include "common/codec.h"
+#include "core/config.h"
+#include "core/register_set.h"
+
+namespace nadreg::core {
+
+/// Writer endpoint. Single designated writer: construct exactly one.
+class SwsrAtomicWriter {
+ public:
+  SwsrAtomicWriter(BaseRegisterClient& client, const FarmConfig& farm,
+                   std::vector<RegisterId> regs, ProcessId self);
+
+  /// WRITE(v). Returns when the value is stored on a majority. Any base
+  /// writes still pending after return follow the Fig. 1 discipline.
+  void Write(const std::string& v);
+
+ private:
+  RegisterSet set_;
+  std::size_t quorum_;
+  SeqNum seq_ = 0;
+};
+
+/// Reader endpoint. Single designated reader: construct exactly one.
+class SwsrAtomicReader {
+ public:
+  SwsrAtomicReader(BaseRegisterClient& client, const FarmConfig& farm,
+                   std::vector<RegisterId> regs, ProcessId self);
+
+  /// READ(). Wait-free; returns the current value (empty string if the
+  /// register was never written).
+  std::string Read();
+
+ private:
+  RegisterSet set_;
+  std::size_t quorum_;
+  TaggedValue best_;  // largest (seq) ever seen — the reader's memo
+};
+
+/// Ablation of the Section 3.2 design choice: the same reader WITHOUT the
+/// "largest sequence number ever seen" memo. The result is a *regular*
+/// register, not an atomic one: two sequential READs straddling a torn
+/// WRITE may observe new-then-old (new-old inversion), which regularity
+/// permits and atomicity forbids. bench/ablation_reader_memo demonstrates
+/// the separation with a concrete schedule and both checkers.
+class SwsrRegularReader {
+ public:
+  SwsrRegularReader(BaseRegisterClient& client, const FarmConfig& farm,
+                    std::vector<RegisterId> regs, ProcessId self);
+
+  /// READ(): the freshest value among a majority — no cross-READ state.
+  std::string Read();
+
+ private:
+  RegisterSet set_;
+  std::size_t quorum_;
+};
+
+}  // namespace nadreg::core

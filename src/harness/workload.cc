@@ -1,0 +1,251 @@
+#include "harness/workload.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "common/rng.h"
+#include "core/config.h"
+#include "core/mwmr_atomic.h"
+#include "core/mwsr_seqcst.h"
+#include "core/swmr_atomic.h"
+#include "core/swsr_atomic.h"
+#include "nad/client.h"
+#include "nad/server.h"
+#include "sim/sim_farm.h"
+
+namespace nadreg::harness {
+
+namespace {
+
+using checker::HistoryRecorder;
+using core::FarmConfig;
+using sim::SimFarm;
+
+/// Distinct, payload-sized value: "<w>.<i>" padded to the requested size.
+std::string MakeValue(int writer, int i, std::size_t payload_bytes) {
+  std::string v = std::to_string(writer) + "." + std::to_string(i);
+  if (v.size() < payload_bytes) v.resize(payload_bytes, '#');
+  return v;
+}
+
+/// The disk substrate behind a workload: the simulated farm or a cluster
+/// of real TCP disk daemons on loopback.
+struct Backend {
+  std::unique_ptr<SimFarm> sim;
+  std::vector<std::unique_ptr<nad::NadServer>> servers;
+  std::unique_ptr<nad::NadClient> tcp;
+
+  static Backend Make(const WorkloadOptions& opts, const FarmConfig& cfg) {
+    Backend b;
+    if (!opts.over_tcp) {
+      SimFarm::Options farm_opts;
+      farm_opts.seed = opts.seed;
+      farm_opts.max_delay_us = opts.max_delay_us;
+      b.sim = std::make_unique<SimFarm>(farm_opts);
+      return b;
+    }
+    std::map<DiskId, nad::NadClient::Endpoint> endpoints;
+    for (DiskId d = 0; d < cfg.num_disks(); ++d) {
+      nad::NadServer::Options so;
+      so.seed = opts.seed + d;
+      so.max_delay_us = opts.max_delay_us;
+      auto server = nad::NadServer::Start(so);
+      if (!server.ok()) continue;  // a missing disk simply looks crashed
+      endpoints[d] = nad::NadClient::Endpoint{"127.0.0.1", (*server)->port()};
+      b.servers.push_back(std::move(*server));
+    }
+    auto client = nad::NadClient::Connect(endpoints);
+    if (client.ok()) b.tcp = std::move(*client);
+    return b;
+  }
+
+  BaseRegisterClient& client() {
+    if (sim) return *sim;
+    return *tcp;
+  }
+
+  void Crash(DiskId d) {
+    if (sim) {
+      sim->CrashDisk(d);
+    } else if (d < servers.size()) {
+      servers[d]->Stop();  // hard kill: the daemon stops answering
+    }
+  }
+};
+
+std::jthread CrashInjector(Backend& backend, const FarmConfig& cfg,
+                           std::uint64_t seed, int crash_disks) {
+  return std::jthread([&backend, cfg, seed, crash_disks] {
+    if (crash_disks <= 0) return;
+    Rng rng(seed ^ 0xdeadULL);
+    std::vector<DiskId> disks;
+    for (DiskId d = 0; d < cfg.num_disks(); ++d) disks.push_back(d);
+    const int n = std::min<int>(crash_disks, static_cast<int>(cfg.t));
+    for (int k = 0; k < n; ++k) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(rng.Between(200, 2500)));
+      const std::size_t pick = rng.Below(disks.size());
+      backend.Crash(disks[pick]);
+      disks.erase(disks.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  });
+}
+
+}  // namespace
+
+std::string AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kSwsrAtomic: return "SwsrAtomic";
+    case Algorithm::kSwmrAtomic: return "SwmrAtomic";
+    case Algorithm::kMwsrSeqCst: return "MwsrSeqCst";
+    case Algorithm::kMwmrAtomic: return "MwmrAtomic";
+    case Algorithm::kSwsrRegular: return "SwsrRegular";
+  }
+  return "?";
+}
+
+WorkloadResult RunWorkload(const WorkloadOptions& opts) {
+  WorkloadResult result;
+  FarmConfig cfg{opts.t};
+  Backend backend = Backend::Make(opts, cfg);
+  BaseRegisterClient& farm = backend.client();
+  HistoryRecorder rec;
+  const auto regs = cfg.Spread(0);
+
+  // Clamp roles to the algorithm's single-writer/single-reader limits.
+  int writers = opts.writers;
+  int readers = opts.readers;
+  switch (opts.algorithm) {
+    case Algorithm::kSwsrAtomic:
+      writers = 1;
+      readers = 1;
+      result.claim = Claim::kAtomic;
+      break;
+    case Algorithm::kSwmrAtomic:
+      writers = 1;
+      result.claim = Claim::kAtomic;
+      break;
+    case Algorithm::kMwsrSeqCst:
+      readers = 1;
+      result.claim = Claim::kSequentiallyConsistent;
+      break;
+    case Algorithm::kMwmrAtomic:
+      result.claim = Claim::kAtomic;
+      break;
+    case Algorithm::kSwsrRegular:
+      writers = 1;
+      readers = 1;
+      result.claim = Claim::kRegular;
+      break;
+  }
+
+  {
+    auto injector = CrashInjector(backend, cfg, opts.seed, opts.crash_disks);
+    std::vector<std::jthread> threads;
+    for (int w = 0; w < writers; ++w) {
+      const ProcessId pid = static_cast<ProcessId>(w + 1);
+      threads.emplace_back([&, w, pid] {
+        switch (opts.algorithm) {
+          case Algorithm::kSwsrAtomic:
+          case Algorithm::kSwmrAtomic:
+          case Algorithm::kSwsrRegular: {
+            core::SwsrAtomicWriter writer(farm, cfg, regs, pid);
+            for (int i = 1; i <= opts.ops_per_process; ++i) {
+              const std::string v = MakeValue(w + 1, i, opts.payload_bytes);
+              auto h = rec.BeginWrite(pid, v);
+              writer.Write(v);
+              rec.EndWrite(h);
+            }
+            break;
+          }
+          case Algorithm::kMwsrSeqCst: {
+            core::MwsrWriter writer(farm, cfg, regs, pid);
+            for (int i = 1; i <= opts.ops_per_process; ++i) {
+              const std::string v = MakeValue(w + 1, i, opts.payload_bytes);
+              auto h = rec.BeginWrite(pid, v);
+              writer.Write(v);
+              rec.EndWrite(h);
+            }
+            break;
+          }
+          case Algorithm::kMwmrAtomic: {
+            core::MwmrAtomic reg(farm, cfg, 1, pid);
+            for (int i = 1; i <= opts.ops_per_process; ++i) {
+              const std::string v = MakeValue(w + 1, i, opts.payload_bytes);
+              auto h = rec.BeginWrite(pid, v);
+              reg.Write(v);
+              rec.EndWrite(h);
+            }
+            break;
+          }
+        }
+      });
+    }
+    for (int r = 0; r < readers; ++r) {
+      const ProcessId pid = static_cast<ProcessId>(100 + r);
+      threads.emplace_back([&, pid] {
+        switch (opts.algorithm) {
+          case Algorithm::kSwsrAtomic: {
+            core::SwsrAtomicReader reader(farm, cfg, regs, pid);
+            for (int i = 0; i < opts.ops_per_process; ++i) {
+              auto h = rec.BeginRead(pid);
+              rec.EndRead(h, reader.Read());
+            }
+            break;
+          }
+          case Algorithm::kSwsrRegular: {
+            core::SwsrRegularReader reader(farm, cfg, regs, pid);
+            for (int i = 0; i < opts.ops_per_process; ++i) {
+              auto h = rec.BeginRead(pid);
+              rec.EndRead(h, reader.Read());
+            }
+            break;
+          }
+          case Algorithm::kSwmrAtomic: {
+            core::SwmrAtomicReader reader(farm, cfg, regs, pid);
+            for (int i = 0; i < opts.ops_per_process; ++i) {
+              auto h = rec.BeginRead(pid);
+              rec.EndRead(h, reader.Read());
+            }
+            break;
+          }
+          case Algorithm::kMwsrSeqCst: {
+            core::MwsrReader reader(farm, cfg, regs, pid);
+            for (int i = 0; i < opts.ops_per_process; ++i) {
+              auto h = rec.BeginRead(pid);
+              rec.EndRead(h, reader.Read());
+            }
+            break;
+          }
+          case Algorithm::kMwmrAtomic: {
+            core::MwmrAtomic reg(farm, cfg, 1, pid);
+            for (int i = 0; i < opts.ops_per_process; ++i) {
+              auto h = rec.BeginRead(pid);
+              auto v = reg.Read();
+              rec.EndRead(h, v.value_or(""));
+            }
+            break;
+          }
+        }
+      });
+    }
+  }
+
+  result.history = rec.CheckableHistory();
+  switch (result.claim) {
+    case Claim::kAtomic:
+      result.check = checker::CheckAtomic(result.history);
+      break;
+    case Claim::kSequentiallyConsistent:
+      result.check = checker::CheckSequentiallyConsistent(result.history);
+      break;
+    case Claim::kRegular:
+      result.check = checker::CheckRegular(result.history);
+      break;
+  }
+  return result;
+}
+
+}  // namespace nadreg::harness

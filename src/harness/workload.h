@@ -1,0 +1,58 @@
+// Configurable randomized workload runner: spins up writer/reader threads
+// against a chosen register emulation on a seeded simulated farm with
+// optional crash injection, records the concurrent history, and returns
+// it together with the consistency level the algorithm claims. Used by
+// the property-test sweeps (tests/test_properties.cc) and available to
+// the bench harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "checker/consistency.h"
+#include "checker/history.h"
+
+namespace nadreg::harness {
+
+enum class Algorithm {
+  kSwsrAtomic,    // Sec. 3.2 — claims atomic (1 writer, 1 reader)
+  kSwmrAtomic,    // Sec. 4.2 — claims atomic (1 writer, n readers)
+  kMwsrSeqCst,    // Fig. 2  — claims sequentially consistent (n writers, 1 reader)
+  kMwmrAtomic,    // Fig. 3  — claims atomic (n writers, n readers)
+  kSwsrRegular,   // Sec. 3.2 without the reader memo — claims regular only
+};
+
+/// The consistency level an algorithm guarantees (what to check).
+enum class Claim { kAtomic, kSequentiallyConsistent, kRegular };
+
+struct WorkloadOptions {
+  Algorithm algorithm = Algorithm::kSwsrAtomic;
+  std::uint64_t seed = 1;
+  std::uint32_t t = 1;       // farm resilience; 2t+1 disks
+  int writers = 1;           // clamped to the algorithm's writer limit
+  int readers = 1;           // clamped to the algorithm's reader limit
+  int ops_per_process = 5;
+  int crash_disks = 0;       // full-disk crashes injected mid-run (<= t)
+  std::size_t payload_bytes = 8;  // value size (distinct values always)
+  std::uint64_t max_delay_us = 25;
+  /// Run over REAL TCP disk daemons on loopback instead of the simulated
+  /// farm; a "crash" then hard-stops a daemon process.
+  bool over_tcp = false;
+};
+
+struct WorkloadResult {
+  Claim claim = Claim::kAtomic;
+  std::vector<checker::Operation> history;
+  checker::CheckResult check;  // the claim, checked
+
+  bool ok() const { return check.ok; }
+};
+
+/// Runs the workload and checks the algorithm's claimed consistency.
+WorkloadResult RunWorkload(const WorkloadOptions& opts);
+
+/// Human-readable label, for parameterized test names.
+std::string AlgorithmName(Algorithm a);
+
+}  // namespace nadreg::harness

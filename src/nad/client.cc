@@ -1,0 +1,119 @@
+#include "nad/client.h"
+
+#include "common/log.h"
+
+namespace nadreg::nad {
+
+Expected<std::unique_ptr<NadClient>> NadClient::Connect(
+    std::map<DiskId, Endpoint> endpoints) {
+  std::unique_ptr<NadClient> client(new NadClient());
+  for (const auto& [disk, ep] : endpoints) {
+    auto sock = nad::Connect(ep.host, ep.port);
+    if (!sock) return sock.status();
+    auto conn = std::make_unique<Conn>();
+    conn->sock = std::move(*sock);
+    client->conns_.emplace(disk, std::move(conn));
+  }
+  for (auto& [disk, conn] : client->conns_) {
+    conn->reader = std::jthread([c = client.get(), cp = conn.get()] {
+      c->ReaderLoop(cp);
+    });
+  }
+  return client;
+}
+
+NadClient::~NadClient() {
+  for (auto& [disk, conn] : conns_) conn->sock.Shutdown();
+  for (auto& [disk, conn] : conns_) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+}
+
+NadClient::Conn* NadClient::ConnFor(DiskId d) {
+  auto it = conns_.find(d);
+  return it == conns_.end() ? nullptr : it->second.get();
+}
+
+void NadClient::IssueRead(ProcessId /*p*/, RegisterId r, ReadHandler done) {
+  Conn* conn = ConnFor(r.disk);
+  if (conn == nullptr) return;  // unmapped disk behaves as crashed
+  Message req;
+  req.type = MsgType::kReadReq;
+  req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  req.reg = r;
+  {
+    std::lock_guard lock(conn->pending_mu);
+    conn->pending_reads.emplace(req.request_id, std::move(done));
+  }
+  std::lock_guard lock(conn->send_mu);
+  if (!SendFrame(conn->sock, EncodeMessage(req)).ok()) {
+    // Connection dead: the disk is unreachable — handler never runs,
+    // exactly like a crashed register. Clean up the stashed handler.
+    std::lock_guard plock(conn->pending_mu);
+    conn->pending_reads.erase(req.request_id);
+  }
+}
+
+void NadClient::IssueWrite(ProcessId /*p*/, RegisterId r, Value v,
+                           WriteHandler done) {
+  Conn* conn = ConnFor(r.disk);
+  if (conn == nullptr) return;
+  Message req;
+  req.type = MsgType::kWriteReq;
+  req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  req.reg = r;
+  req.value = std::move(v);
+  {
+    std::lock_guard lock(conn->pending_mu);
+    conn->pending_writes.emplace(req.request_id, std::move(done));
+  }
+  std::lock_guard lock(conn->send_mu);
+  if (!SendFrame(conn->sock, EncodeMessage(req)).ok()) {
+    std::lock_guard plock(conn->pending_mu);
+    conn->pending_writes.erase(req.request_id);
+  }
+}
+
+std::size_t NadClient::InFlight() const {
+  std::size_t n = 0;
+  for (const auto& [disk, conn] : conns_) {
+    std::lock_guard lock(conn->pending_mu);
+    n += conn->pending_reads.size() + conn->pending_writes.size();
+  }
+  return n;
+}
+
+void NadClient::ReaderLoop(Conn* conn) {
+  for (;;) {
+    auto payload = RecvFrame(conn->sock, kMaxFrameBytes);
+    if (!payload) return;  // connection closed: pending handlers never run
+    auto msg = DecodeMessage(*payload);
+    if (!msg) {
+      LOG_WARN << "nad-client: malformed response: " << msg.status().ToString();
+      continue;
+    }
+    if (msg->type == MsgType::kReadResp) {
+      ReadHandler handler;
+      {
+        std::lock_guard lock(conn->pending_mu);
+        auto it = conn->pending_reads.find(msg->request_id);
+        if (it == conn->pending_reads.end()) continue;
+        handler = std::move(it->second);
+        conn->pending_reads.erase(it);
+      }
+      if (handler) handler(std::move(msg->value));
+    } else if (msg->type == MsgType::kWriteResp) {
+      WriteHandler handler;
+      {
+        std::lock_guard lock(conn->pending_mu);
+        auto it = conn->pending_writes.find(msg->request_id);
+        if (it == conn->pending_writes.end()) continue;
+        handler = std::move(it->second);
+        conn->pending_writes.erase(it);
+      }
+      if (handler) handler();
+    }
+  }
+}
+
+}  // namespace nadreg::nad

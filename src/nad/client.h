@@ -1,0 +1,71 @@
+// TCP NAD client: implements the asynchronous fail-prone base-register
+// interface (BaseRegisterClient) against real network-attached disk
+// servers, so every emulation in core/ runs unchanged over the network.
+//
+// Each disk id maps to one server endpoint; the client keeps one
+// connection per disk with a reader thread that dispatches responses to
+// the completion handlers by request id. A dead connection or a silently
+// swallowed request simply means the handler never runs — precisely the
+// crashed-register semantics the emulations are built to tolerate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/base_register.h"
+#include "common/status.h"
+#include "nad/protocol.h"
+#include "nad/socket.h"
+
+namespace nadreg::nad {
+
+class NadClient : public BaseRegisterClient {
+ public:
+  struct Endpoint {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+  };
+
+  /// Connects to every endpoint. Fails (kUnavailable) if any connection
+  /// cannot be established — a disk that is down at start-up should be
+  /// mapped anyway and will simply appear crashed.
+  static Expected<std::unique_ptr<NadClient>> Connect(
+      std::map<DiskId, Endpoint> endpoints);
+
+  ~NadClient() override;
+  NadClient(const NadClient&) = delete;
+  NadClient& operator=(const NadClient&) = delete;
+
+  void IssueRead(ProcessId p, RegisterId r, ReadHandler done) override;
+  void IssueWrite(ProcessId p, RegisterId r, Value v,
+                  WriteHandler done) override;
+
+  /// Number of operations whose response is still outstanding.
+  std::size_t InFlight() const;
+
+ private:
+  struct Conn {
+    Socket sock;
+    std::mutex send_mu;
+    std::mutex pending_mu;
+    std::unordered_map<std::uint64_t, ReadHandler> pending_reads;
+    std::unordered_map<std::uint64_t, WriteHandler> pending_writes;
+    std::jthread reader;
+  };
+
+  NadClient() = default;
+  void ReaderLoop(Conn* conn);
+  Conn* ConnFor(DiskId d);
+
+  std::atomic<std::uint64_t> next_request_id_{1};
+  std::map<DiskId, std::unique_ptr<Conn>> conns_;
+};
+
+}  // namespace nadreg::nad

@@ -1,0 +1,122 @@
+#include "nad/persistence.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/codec.h"
+
+namespace nadreg::nad {
+
+namespace {
+
+std::string EncodeRecord(const RegisterId& r, const Value& v) {
+  std::string out;
+  Encoder e(&out);
+  e.PutU32(r.disk);
+  e.PutU64(r.block);
+  e.PutBytes(v);
+  return out;
+}
+
+/// Reads the whole file and applies complete records to the store.
+/// Returns records applied; a torn trailing record is discarded.
+Expected<std::size_t> ReplayFile(const std::string& path,
+                                 sim::RegisterStore* store) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::size_t{0};  // missing file: fresh state
+  std::string contents;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::Unavailable("read failed: " + path);
+
+  Decoder d(contents);
+  std::size_t applied = 0;
+  while (!d.AtEnd()) {
+    auto disk = d.GetU32();
+    if (!disk) break;  // torn tail
+    auto block = d.GetU64();
+    if (!block) break;
+    auto value = d.GetBytes();
+    if (!value) break;
+    store->Apply(RegisterId{*disk, *block}, std::move(*value));
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace
+
+Journal::~Journal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status Journal::Open(const std::string& path) {
+  path_ = path;
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Unavailable("cannot open journal: " + path);
+  }
+  return Status::Ok();
+}
+
+Status Journal::Append(const RegisterId& r, const Value& v) {
+  if (file_ == nullptr) return Status::Unavailable("journal not open");
+  const std::string record = EncodeRecord(r, v);
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return Status::Unavailable("journal append failed");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::Unavailable("journal flush failed");
+  }
+  return Status::Ok();
+}
+
+Status Journal::Reset() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  file_ = std::fopen(path_.c_str(), "wb");  // truncate
+  if (file_ == nullptr) {
+    return Status::Unavailable("cannot truncate journal: " + path_);
+  }
+  return Status::Ok();
+}
+
+Expected<std::size_t> RecoverState(const std::string& base_path,
+                                   sim::RegisterStore* store) {
+  auto snap = ReplayFile(base_path + ".snap", store);
+  if (!snap.ok()) return snap.status();
+  auto log = ReplayFile(base_path + ".log", store);
+  if (!log.ok()) return log.status();
+  return *snap + *log;
+}
+
+Status WriteCheckpoint(const std::string& base_path,
+                       const sim::RegisterStore& store) {
+  const std::string tmp = base_path + ".snap.tmp";
+  const std::string final_path = base_path + ".snap";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::Unavailable("cannot open " + tmp);
+  for (const auto& [reg, value] : store.Values()) {
+    const std::string record = EncodeRecord(reg, value);
+    if (std::fwrite(record.data(), 1, record.size(), f) != record.size()) {
+      std::fclose(f);
+      return Status::Unavailable("checkpoint write failed");
+    }
+  }
+  if (std::fflush(f) != 0 || std::fclose(f) != 0) {
+    return Status::Unavailable("checkpoint flush failed");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, final_path, ec);
+  if (ec) return Status::Unavailable("checkpoint rename failed: " + ec.message());
+  return Status::Ok();
+}
+
+}  // namespace nadreg::nad

@@ -1,0 +1,62 @@
+// Durability for the NAD daemon: an append-only journal of applied block
+// writes plus a compact checkpoint, replayed on restart. A network-
+// attached disk is, after all, a disk — stopping the daemon must not lose
+// acknowledged writes.
+//
+// On-disk layout (both files share the record format):
+//   record := u32 disk, u64 block, bytes value   (little-endian, codec.h)
+//
+//   <path>.snap — checkpoint: one record per materialized block
+//   <path>.log  — journal: one record per applied write since checkpoint
+//
+// Recovery loads the checkpoint then replays the journal; a torn tail
+// record (crash mid-append) is detected and discarded. Checkpoint() writes
+// a fresh snapshot to a temp file, renames it into place, then truncates
+// the journal — crash-safe in either order of observation.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/register_store.h"
+
+namespace nadreg::nad {
+
+/// Append-only journal of block writes.
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Opens (creating if absent) the journal file for appending.
+  Status Open(const std::string& path);
+
+  /// Appends one applied write; flushed to the OS before returning.
+  Status Append(const RegisterId& r, const Value& v);
+
+  /// Truncates the journal (after a successful checkpoint).
+  Status Reset();
+
+  bool IsOpen() const { return file_ != nullptr; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Loads checkpoint + journal into `store`. Missing files are fine (fresh
+/// disk). Returns the number of records applied; a torn journal tail is
+/// silently discarded (it was never acknowledged).
+Expected<std::size_t> RecoverState(const std::string& base_path,
+                                   sim::RegisterStore* store);
+
+/// Writes a checkpoint of `store` to <base_path>.snap (atomically via a
+/// temp file + rename).
+Status WriteCheckpoint(const std::string& base_path,
+                       const sim::RegisterStore& store);
+
+}  // namespace nadreg::nad

@@ -1,0 +1,76 @@
+#include "nad/protocol.h"
+
+namespace nadreg::nad {
+
+std::string EncodeMessage(const Message& m) {
+  std::string out;
+  Encoder e(&out);
+  e.PutU8(static_cast<std::uint8_t>(m.type));
+  e.PutU64(m.request_id);
+  switch (m.type) {
+    case MsgType::kReadReq:
+      e.PutU32(m.reg.disk);
+      e.PutU64(m.reg.block);
+      break;
+    case MsgType::kWriteReq:
+      e.PutU32(m.reg.disk);
+      e.PutU64(m.reg.block);
+      e.PutBytes(m.value);
+      break;
+    case MsgType::kReadResp:
+      e.PutBytes(m.value);
+      break;
+    case MsgType::kWriteResp:
+      break;
+  }
+  return out;
+}
+
+Expected<Message> DecodeMessage(std::string_view payload) {
+  Decoder d(payload);
+  Message m;
+  auto type = d.GetU8();
+  if (!type) return type.status();
+  if (*type < static_cast<std::uint8_t>(MsgType::kReadReq) ||
+      *type > static_cast<std::uint8_t>(MsgType::kWriteResp)) {
+    return Status::Invalid("message: unknown type");
+  }
+  m.type = static_cast<MsgType>(*type);
+  auto id = d.GetU64();
+  if (!id) return id.status();
+  m.request_id = *id;
+
+  switch (m.type) {
+    case MsgType::kReadReq: {
+      auto disk = d.GetU32();
+      if (!disk) return disk.status();
+      auto block = d.GetU64();
+      if (!block) return block.status();
+      m.reg = RegisterId{*disk, *block};
+      break;
+    }
+    case MsgType::kWriteReq: {
+      auto disk = d.GetU32();
+      if (!disk) return disk.status();
+      auto block = d.GetU64();
+      if (!block) return block.status();
+      auto value = d.GetBytes();
+      if (!value) return value.status();
+      m.reg = RegisterId{*disk, *block};
+      m.value = std::move(*value);
+      break;
+    }
+    case MsgType::kReadResp: {
+      auto value = d.GetBytes();
+      if (!value) return value.status();
+      m.value = std::move(*value);
+      break;
+    }
+    case MsgType::kWriteResp:
+      break;
+  }
+  if (!d.AtEnd()) return Status::Invalid("message: trailing bytes");
+  return m;
+}
+
+}  // namespace nadreg::nad

@@ -1,0 +1,56 @@
+// Wire protocol of the TCP network-attached disk.
+//
+// A NAD is "a simple device that just executes requests to read and write
+// blocks of data" (Section 1). The protocol is correspondingly small:
+// length-prefixed frames carrying one of four messages. Requests carry a
+// client-chosen id echoed in the response so a client can multiplex many
+// outstanding nonblocking operations over one connection — the model's
+// concurrent pending requests (Fig. 1).
+//
+//   frame    := u32 payload_length, payload
+//   payload  := u8 type, u64 request_id, body
+//   ReadReq  := u32 disk, u64 block
+//   WriteReq := u32 disk, u64 block, bytes value
+//   ReadResp := bytes value
+//   WriteResp:= (empty)
+//
+// A crashed register/disk simply never answers — there is no error
+// response for it, exactly like the unresponsive failure mode.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/codec.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace nadreg::nad {
+
+enum class MsgType : std::uint8_t {
+  kReadReq = 1,
+  kWriteReq = 2,
+  kReadResp = 3,
+  kWriteResp = 4,
+};
+
+struct Message {
+  MsgType type = MsgType::kReadReq;
+  std::uint64_t request_id = 0;
+  RegisterId reg;     // requests only
+  std::string value;  // WriteReq and ReadResp
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// Serializes a message payload (without the frame length prefix).
+std::string EncodeMessage(const Message& m);
+
+/// Parses a message payload. Total: never trusts lengths or enum values.
+Expected<Message> DecodeMessage(std::string_view payload);
+
+/// Maximum accepted frame payload (guards server memory against a
+/// malformed or hostile length prefix).
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+}  // namespace nadreg::nad

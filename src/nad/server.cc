@@ -1,0 +1,137 @@
+#include "nad/server.h"
+
+#include <chrono>
+
+#include "common/log.h"
+#include "nad/protocol.h"
+
+namespace nadreg::nad {
+
+Expected<std::unique_ptr<NadServer>> NadServer::Start(Options opts) {
+  auto listener = Listener::Bind(opts.port);
+  if (!listener) return listener.status();
+  // Cannot use make_unique: the constructor is private.
+  std::unique_ptr<NadServer> server(new NadServer(opts));
+  if (!opts.data_path.empty()) {
+    auto recovered = RecoverState(opts.data_path, &server->store_);
+    if (!recovered.ok()) return recovered.status();
+    server->recovered_ = *recovered;
+    if (Status s = server->journal_.Open(opts.data_path + ".log"); !s.ok()) {
+      return s;
+    }
+  }
+  server->port_ = listener->port();
+  server->listener_ = std::make_unique<Listener>(std::move(*listener));
+  server->accept_thread_ = std::jthread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+NadServer::NadServer(Options opts) : opts_(opts), rng_(opts.seed) {}
+
+NadServer::~NadServer() { Stop(); }
+
+void NadServer::Stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    for (Socket* conn : live_conns_) conn->Shutdown();
+  }
+  if (listener_) listener_->Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  conn_threads_.clear();  // joins
+}
+
+void NadServer::CrashRegister(const RegisterId& r) {
+  std::lock_guard lock(mu_);
+  store_.CrashRegister(r);
+}
+
+void NadServer::CrashDisk(DiskId d) {
+  std::lock_guard lock(mu_);
+  store_.CrashDisk(d);
+}
+
+Status NadServer::Checkpoint() {
+  std::lock_guard lock(mu_);
+  if (!journal_.IsOpen()) return Status::Ok();  // volatile server
+  if (Status s = WriteCheckpoint(opts_.data_path, store_); !s.ok()) return s;
+  return journal_.Reset();
+}
+
+std::uint64_t NadServer::ServedCount() const {
+  std::lock_guard lock(mu_);
+  return served_;
+}
+
+void NadServer::AcceptLoop() {
+  for (;;) {
+    auto conn = listener_->Accept();
+    if (!conn) return;  // listener shut down
+    std::lock_guard lock(mu_);
+    if (stopping_) return;
+    Rng conn_rng = rng_.Fork();
+    conn_threads_.emplace_back(
+        [this, c = std::move(*conn), r = conn_rng]() mutable {
+          Serve(std::move(c), r);
+        });
+  }
+}
+
+void NadServer::Serve(Socket conn, Rng rng) {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return;
+    live_conns_.push_back(&conn);
+  }
+  for (;;) {
+    auto payload = RecvFrame(conn, kMaxFrameBytes);
+    if (!payload) break;  // closed or malformed length
+    auto msg = DecodeMessage(*payload);
+    if (!msg) {
+      LOG_WARN << "nad-server: dropping malformed request: "
+               << msg.status().ToString();
+      continue;
+    }
+    if (msg->type != MsgType::kReadReq && msg->type != MsgType::kWriteReq) {
+      LOG_WARN << "nad-server: dropping non-request message";
+      continue;
+    }
+    if (opts_.max_delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          rng.Between(opts_.min_delay_us, opts_.max_delay_us)));
+    }
+    Message resp;
+    resp.request_id = msg->request_id;
+    {
+      std::lock_guard lock(mu_);
+      if (store_.IsCrashed(msg->reg)) {
+        // Unresponsive failure mode: swallow the request. The client can
+        // never distinguish this from a slow disk.
+        continue;
+      }
+      if (msg->type == MsgType::kWriteReq) {
+        if (journal_.IsOpen()) {
+          // Write-ahead: a write is journaled before it is acknowledged,
+          // so a restart never forgets an acknowledged write.
+          if (Status s = journal_.Append(msg->reg, msg->value); !s.ok()) {
+            LOG_ERROR << "nad-server: journal append failed: "
+                      << s.ToString() << "; dropping request";
+            continue;  // unresponsive, like a failing disk
+          }
+        }
+        store_.Apply(msg->reg, std::move(msg->value));  // linearization
+        resp.type = MsgType::kWriteResp;
+      } else {
+        resp.type = MsgType::kReadResp;
+        resp.value = store_.Get(msg->reg);  // linearization
+      }
+      ++served_;
+    }
+    if (!SendFrame(conn, EncodeMessage(resp)).ok()) break;
+  }
+  std::lock_guard lock(mu_);
+  std::erase(live_conns_, &conn);
+}
+
+}  // namespace nadreg::nad

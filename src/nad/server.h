@@ -1,0 +1,90 @@
+// TCP network-attached disk daemon.
+//
+// Serves read-block / write-block requests for any number of disks over
+// TCP, one frame-oriented connection per client. Matches the paper's NAD
+// model: per-connection requests are served in FIFO order (a disk queue);
+// an optional artificial service delay models a slow disk; a crashed
+// register or disk silently stops answering (unresponsive mode) — the
+// request is swallowed, never errored.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "nad/persistence.h"
+#include "nad/socket.h"
+#include "sim/register_store.h"
+
+namespace nadreg::nad {
+
+class NadServer {
+ public:
+  struct Options {
+    std::uint16_t port = 0;  // 0: ephemeral, see port()
+    std::uint64_t seed = 0x5eed;
+    /// Artificial per-request service delay range (microseconds).
+    std::uint64_t min_delay_us = 0;
+    std::uint64_t max_delay_us = 0;
+    /// Durability: when non-empty, applied writes are journaled to
+    /// <data_path>.log (write-ahead of the response) and recovered on
+    /// Start; Checkpoint() compacts into <data_path>.snap.
+    std::string data_path;
+  };
+
+  /// Binds and starts serving. Returns kUnavailable if the port is taken
+  /// or (with data_path set) the state cannot be recovered/journaled.
+  static Expected<std::unique_ptr<NadServer>> Start(Options opts);
+
+  ~NadServer();
+  NadServer(const NadServer&) = delete;
+  NadServer& operator=(const NadServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Fault injection, same semantics as the simulated farm.
+  void CrashRegister(const RegisterId& r);
+  void CrashDisk(DiskId d);
+
+  /// Requests served (responses actually sent).
+  std::uint64_t ServedCount() const;
+
+  /// Number of records replayed at start-up (0 for a fresh/volatile disk).
+  std::size_t RecoveredCount() const { return recovered_; }
+
+  /// Compacts durable state: snapshot, then truncate the journal.
+  /// No-op (Ok) for a volatile server.
+  Status Checkpoint();
+
+  /// Stops accepting and closes all connections (also done by the dtor).
+  void Stop();
+
+ private:
+  explicit NadServer(Options opts);
+
+  void AcceptLoop();
+  void Serve(Socket conn, Rng rng);
+
+  Options opts_;
+  std::uint16_t port_ = 0;
+  std::unique_ptr<Listener> listener_;
+
+  mutable std::mutex mu_;
+  sim::RegisterStore store_;
+  Journal journal_;
+  std::size_t recovered_ = 0;
+  std::uint64_t served_ = 0;
+  bool stopping_ = false;
+  std::vector<Socket*> live_conns_;  // for Stop() to shut down
+  Rng rng_;
+
+  std::vector<std::jthread> conn_threads_;
+  std::jthread accept_thread_;
+};
+
+}  // namespace nadreg::nad

@@ -1,0 +1,133 @@
+#include "nad/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace nadreg::nad {
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Expected<Listener> Listener::Bind(std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  int opt = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &opt, sizeof(opt));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::Unavailable(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(sock.fd(), 64) != 0) {
+    return Status::Unavailable(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Status::Unavailable(std::string("getsockname: ") +
+                               std::strerror(errno));
+  }
+  return Listener(std::move(sock), ntohs(addr.sin_port));
+}
+
+Expected<Socket> Listener::Accept() {
+  int fd = ::accept(sock_.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("accept: ") + std::strerror(errno));
+  }
+  int opt = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &opt, sizeof(opt));
+  return Socket(fd);
+}
+
+Expected<Socket> Connect(const std::string& host, std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::Invalid("connect: bad host address " + host);
+  }
+  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::Unavailable(std::string("connect: ") + std::strerror(errno));
+  }
+  int opt = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &opt, sizeof(opt));
+  return sock;
+}
+
+Status SendAll(const Socket& sock, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(sock.fd(), data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::Unavailable("send: peer closed or error");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status SendFrame(const Socket& sock, std::string_view payload) {
+  std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  char hdr[4];
+  std::memcpy(hdr, &len, 4);
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  frame.append(hdr, 4);
+  frame.append(payload);
+  return SendAll(sock, frame);
+}
+
+namespace {
+Status RecvExact(const Socket& sock, char* buf, std::size_t want) {
+  std::size_t got = 0;
+  while (got < want) {
+    const ssize_t n = ::recv(sock.fd(), buf + got, want - got, 0);
+    if (n == 0) return Status::Unavailable("recv: connection closed");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("recv: error");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+}  // namespace
+
+Expected<std::string> RecvFrame(const Socket& sock, std::uint32_t max_bytes) {
+  char hdr[4];
+  if (Status s = RecvExact(sock, hdr, 4); !s.ok()) return s;
+  std::uint32_t len = 0;
+  std::memcpy(&len, hdr, 4);
+  if (len > max_bytes) return Status::Invalid("frame exceeds maximum size");
+  std::string payload(len, '\0');
+  if (Status s = RecvExact(sock, payload.data(), len); !s.ok()) return s;
+  return payload;
+}
+
+}  // namespace nadreg::nad

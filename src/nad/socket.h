@@ -1,0 +1,72 @@
+// Minimal RAII POSIX TCP socket helpers used by the NAD server and client.
+// Loopback/LAN oriented; frames are [u32 length][payload].
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace nadreg::nad {
+
+/// Owns a file descriptor; closes it on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+  /// Shuts down both directions (unblocks a reader in another thread).
+  void Shutdown();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket on 127.0.0.1. Pass port 0 for an ephemeral port.
+class Listener {
+ public:
+  static Expected<Listener> Bind(std::uint16_t port);
+
+  std::uint16_t port() const { return port_; }
+  /// Blocks until a client connects (or the listener is shut down, in
+  /// which case the status is kUnavailable).
+  Expected<Socket> Accept();
+  void Shutdown() { sock_.Shutdown(); }
+
+ private:
+  Listener(Socket sock, std::uint16_t port)
+      : sock_(std::move(sock)), port_(port) {}
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:port (or the given host).
+Expected<Socket> Connect(const std::string& host, std::uint16_t port);
+
+/// Sends the whole buffer; kUnavailable on peer close/error.
+Status SendAll(const Socket& sock, std::string_view data);
+
+/// Sends one [u32 length][payload] frame.
+Status SendFrame(const Socket& sock, std::string_view payload);
+
+/// Receives one frame; kUnavailable on clean close or error, kInvalid if
+/// the advertised length exceeds `max_bytes`.
+Expected<std::string> RecvFrame(const Socket& sock, std::uint32_t max_bytes);
+
+}  // namespace nadreg::nad

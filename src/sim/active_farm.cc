@@ -1,0 +1,156 @@
+#include "sim/active_farm.h"
+
+#include <utility>
+
+namespace nadreg::sim {
+
+ActiveDiskFarm::ActiveDiskFarm(Options opts)
+    : rng_(opts.seed),
+      opts_(opts),
+      service_([this](std::stop_token st) { ServiceLoop(st); }) {}
+
+ActiveDiskFarm::~ActiveDiskFarm() {
+  {
+    std::lock_guard lock(mu_);
+    service_.request_stop();
+  }
+  cv_.notify_all();
+}
+
+void ActiveDiskFarm::Enqueue(Event ev) {
+  {
+    std::lock_guard lock(mu_);
+    const bool crashed = store_.IsCrashed(ev.r);
+    switch (ev.kind) {
+      case Event::Kind::kRead:
+        ++stats_.reads_issued;
+        break;
+      case Event::Kind::kWrite:
+        ++stats_.writes_issued;
+        break;
+      case Event::Kind::kRmw:
+        ++rmw_issued_;
+        break;
+    }
+    if (crashed) return;  // unresponsive
+    const auto delay = std::chrono::microseconds(
+        rng_.Between(opts_.min_delay_us, opts_.max_delay_us));
+    ev.due = std::chrono::steady_clock::now() + delay;
+    ev.seq = next_seq_++;
+    queue_.push(std::move(ev));
+  }
+  cv_.notify_all();
+}
+
+void ActiveDiskFarm::IssueRead(ProcessId p, RegisterId r, ReadHandler done) {
+  Event ev;
+  ev.p = p;
+  ev.r = r;
+  ev.kind = Event::Kind::kRead;
+  ev.on_read = std::move(done);
+  Enqueue(std::move(ev));
+}
+
+void ActiveDiskFarm::IssueWrite(ProcessId p, RegisterId r, Value v,
+                                WriteHandler done) {
+  Event ev;
+  ev.p = p;
+  ev.r = r;
+  ev.kind = Event::Kind::kWrite;
+  ev.value = std::move(v);
+  ev.on_write = std::move(done);
+  Enqueue(std::move(ev));
+}
+
+void ActiveDiskFarm::IssueRmw(ProcessId p, RegisterId r, RmwFunction fn,
+                              RmwHandler done) {
+  Event ev;
+  ev.p = p;
+  ev.r = r;
+  ev.kind = Event::Kind::kRmw;
+  ev.rmw = std::move(fn);
+  ev.on_rmw = std::move(done);
+  Enqueue(std::move(ev));
+}
+
+void ActiveDiskFarm::CrashRegister(const RegisterId& r) {
+  std::lock_guard lock(mu_);
+  store_.CrashRegister(r);
+}
+
+void ActiveDiskFarm::CrashDisk(DiskId d) {
+  std::lock_guard lock(mu_);
+  store_.CrashDisk(d);
+}
+
+OpStats ActiveDiskFarm::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::uint64_t ActiveDiskFarm::RmwIssued() const {
+  std::lock_guard lock(mu_);
+  return rmw_issued_;
+}
+
+Value ActiveDiskFarm::Peek(const RegisterId& r) const {
+  std::lock_guard lock(mu_);
+  return store_.Get(r);
+}
+
+void ActiveDiskFarm::ServiceLoop(std::stop_token stop) {
+  std::unique_lock lock(mu_);
+  while (!stop.stop_requested()) {
+    if (queue_.empty()) {
+      cv_.wait(lock, [&] { return stop.stop_requested() || !queue_.empty(); });
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    // Copy the deadline (wait_until retains its argument by reference and
+    // Enqueue may reallocate the queue's storage meanwhile).
+    const auto deadline = queue_.top().due;
+    if (deadline > now) {
+      cv_.wait_until(lock, deadline, [&] {
+        return stop.stop_requested() ||
+               (!queue_.empty() &&
+                queue_.top().due <= std::chrono::steady_clock::now());
+      });
+      continue;
+    }
+    Event ev = queue_.top();
+    queue_.pop();
+    if (store_.IsCrashed(ev.r)) continue;
+
+    Value previous;
+    switch (ev.kind) {
+      case Event::Kind::kRead:
+        previous = store_.Get(ev.r);
+        ++stats_.reads_completed;
+        break;
+      case Event::Kind::kWrite:
+        store_.Apply(ev.r, std::move(ev.value));
+        ++stats_.writes_completed;
+        break;
+      case Event::Kind::kRmw:
+        previous = store_.Get(ev.r);
+        store_.Apply(ev.r, ev.rmw(previous));  // atomic at this point
+        ++rmw_completed_;
+        break;
+    }
+    lock.unlock();
+    switch (ev.kind) {
+      case Event::Kind::kRead:
+        if (ev.on_read) ev.on_read(std::move(previous));
+        break;
+      case Event::Kind::kWrite:
+        if (ev.on_write) ev.on_write();
+        break;
+      case Event::Kind::kRmw:
+        if (ev.on_rmw) ev.on_rmw(std::move(previous));
+        break;
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace nadreg::sim

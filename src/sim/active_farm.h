@@ -1,0 +1,112 @@
+// Simulated farm of ACTIVE disks (Acharya et al.; Riedel et al.) — disks
+// that can execute small programs against a block, i.e. atomic
+// read-modify-write, unlike the plain NADs of the paper's main model.
+//
+// This substrate exists for the related-work baseline (Chockler & Malkhi,
+// "Active Disk Paxos with infinitely many processes", PODC 2002, cited as
+// [22]): a *ranked register* is implementable from fail-prone RMW blocks
+// — but not from plain read/write blocks — and yields uniform consensus
+// for unboundedly many processes. Keeping RMW in a separate farm type
+// keeps the model boundary visible in the type system: nothing in core/
+// can touch an RMW block.
+//
+// Note the related-work subtlety the code mirrors: one cannot implement a
+// *reliable* RMW object from fail-prone ones (Jayanti–Chandra–Toueg), so
+// apps::RankedRegister does not try — it implements the weaker ranked-
+// register abstraction from 2t+1 fail-prone RMW blocks directly.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/base_register.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/register_store.h"
+
+namespace nadreg::sim {
+
+/// Handler for a read-modify-write: receives the block's value *before*
+/// the modification.
+using RmwHandler = std::function<void(Value previous)>;
+
+/// The atomic modification a disk applies: maps old contents to new.
+using RmwFunction = std::function<Value(const Value& current)>;
+
+/// Asynchronous access to fail-prone active-disk blocks. Supports plain
+/// reads/writes (a superset of BaseRegisterClient) plus RMW.
+class ActiveDiskFarm : public BaseRegisterClient {
+ public:
+  struct Options {
+    std::uint64_t seed = 0x5eed;
+    std::uint64_t min_delay_us = 0;
+    std::uint64_t max_delay_us = 300;
+  };
+
+  ActiveDiskFarm() : ActiveDiskFarm(Options{}) {}
+  explicit ActiveDiskFarm(Options opts);
+  ~ActiveDiskFarm() override;
+
+  ActiveDiskFarm(const ActiveDiskFarm&) = delete;
+  ActiveDiskFarm& operator=(const ActiveDiskFarm&) = delete;
+
+  // Plain NAD operations (BaseRegisterClient).
+  void IssueRead(ProcessId p, RegisterId r, ReadHandler done) override;
+  void IssueWrite(ProcessId p, RegisterId r, Value v,
+                  WriteHandler done) override;
+
+  /// Issues an atomic read-modify-write: at the operation's linearization
+  /// point the disk computes fn(current), stores it, and responds with
+  /// the previous value. Crashed blocks never respond.
+  void IssueRmw(ProcessId p, RegisterId r, RmwFunction fn, RmwHandler done);
+
+  void CrashRegister(const RegisterId& r);
+  void CrashDisk(DiskId d);
+
+  OpStats stats() const;
+  std::uint64_t RmwIssued() const;
+  Value Peek(const RegisterId& r) const;
+
+ private:
+  struct Event {
+    std::chrono::steady_clock::time_point due;
+    std::uint64_t seq = 0;
+    ProcessId p = kNoProcess;
+    RegisterId r;
+    enum class Kind { kRead, kWrite, kRmw } kind = Kind::kRead;
+    Value value;
+    RmwFunction rmw;
+    ReadHandler on_read;
+    WriteHandler on_write;
+    RmwHandler on_rmw;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.due != b.due) return a.due > b.due;
+      return a.seq > b.seq;
+    }
+  };
+
+  void Enqueue(Event ev);
+  void ServiceLoop(std::stop_token stop);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  RegisterStore store_;
+  Rng rng_;
+  Options opts_;
+  std::uint64_t next_seq_ = 0;
+  OpStats stats_;
+  std::uint64_t rmw_issued_ = 0;
+  std::uint64_t rmw_completed_ = 0;
+  std::jthread service_;
+};
+
+}  // namespace nadreg::sim

@@ -1,0 +1,198 @@
+#include "sim/det_farm.h"
+
+#include <cassert>
+#include <utility>
+
+namespace nadreg::sim {
+
+void DetFarm::MaybePark(std::unique_lock<std::mutex>& lock,
+                        const PendingOp& op) {
+  auto it = gates_.find(op.p);
+  if (it == gates_.end() || !it->second.armed) return;
+  GateState& gate = it->second;
+  gate.armed = false;  // one-shot
+  gate.parked = true;
+  gate.released = false;
+  gate.op = op;
+  gate_cv_.notify_all();
+  gate_cv_.wait(lock, [&gate] { return gate.released; });
+  gate.parked = false;
+  gate.released = false;
+  gate_cv_.notify_all();
+}
+
+void DetFarm::Issue(OpRecord rec) {
+  std::unique_lock lock(mu_);
+  rec.desc.id = next_id_++;
+  if (rec.desc.is_write) {
+    ++stats_.writes_issued;
+  } else {
+    ++stats_.reads_issued;
+  }
+  MaybePark(lock, rec.desc);
+  if (store_.IsCrashed(rec.desc.r)) return;  // never responds
+  pending_.emplace(rec.desc.id, std::move(rec));
+}
+
+void DetFarm::IssueRead(ProcessId p, RegisterId r, ReadHandler done) {
+  OpRecord rec;
+  rec.desc.p = p;
+  rec.desc.r = r;
+  rec.desc.is_write = false;
+  rec.on_read = std::move(done);
+  Issue(std::move(rec));
+}
+
+void DetFarm::IssueWrite(ProcessId p, RegisterId r, Value v,
+                         WriteHandler done) {
+  OpRecord rec;
+  rec.desc.p = p;
+  rec.desc.r = r;
+  rec.desc.is_write = true;
+  rec.desc.value = std::move(v);
+  rec.on_write = std::move(done);
+  Issue(std::move(rec));
+}
+
+std::vector<DetFarm::PendingOp> DetFarm::Pending() const {
+  return PendingWhere([](const PendingOp&) { return true; });
+}
+
+std::vector<DetFarm::PendingOp> DetFarm::PendingWhere(
+    const std::function<bool(const PendingOp&)>& pred) const {
+  std::lock_guard lock(mu_);
+  std::vector<PendingOp> out;
+  for (const auto& [id, rec] : pending_) {
+    if (pred(rec.desc)) out.push_back(rec.desc);
+  }
+  return out;
+}
+
+std::optional<DetFarm::OpRecord> DetFarm::Take(OpId id) {
+  std::lock_guard lock(mu_);
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return std::nullopt;
+  if (store_.IsCrashed(it->second.desc.r)) {
+    pending_.erase(it);
+    return std::nullopt;
+  }
+  OpRecord rec = std::move(it->second);
+  pending_.erase(it);
+  if (rec.desc.is_write) {
+    store_.Apply(rec.desc.r, rec.desc.value);  // linearization point
+    ++stats_.writes_completed;
+  } else {
+    // Capture the read result at the linearization point.
+    rec.desc.value = store_.Get(rec.desc.r);
+    ++stats_.reads_completed;
+  }
+  return rec;
+}
+
+bool DetFarm::Deliver(OpId id) {
+  auto rec = Take(id);
+  if (!rec) return false;
+  // Handler runs without the lock: it may issue further operations.
+  if (rec->desc.is_write) {
+    if (rec->on_write) rec->on_write();
+  } else {
+    if (rec->on_read) rec->on_read(std::move(rec->desc.value));
+  }
+  return true;
+}
+
+std::size_t DetFarm::DeliverAll() {
+  std::size_t delivered = 0;
+  for (;;) {
+    OpId id = 0;
+    {
+      std::lock_guard lock(mu_);
+      if (pending_.empty()) break;
+      id = pending_.begin()->first;
+    }
+    if (Deliver(id)) ++delivered;
+  }
+  return delivered;
+}
+
+std::size_t DetFarm::DeliverWhere(
+    const std::function<bool(const PendingOp&)>& pred) {
+  std::size_t delivered = 0;
+  for (const PendingOp& op : PendingWhere(pred)) {
+    if (Deliver(op.id)) ++delivered;
+  }
+  return delivered;
+}
+
+bool DetFarm::Drop(OpId id) {
+  std::lock_guard lock(mu_);
+  return pending_.erase(id) > 0;
+}
+
+void DetFarm::CrashRegister(const RegisterId& r) {
+  std::lock_guard lock(mu_);
+  store_.CrashRegister(r);
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.desc.r == r) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DetFarm::CrashDisk(DiskId d) {
+  std::lock_guard lock(mu_);
+  store_.CrashDisk(d);
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.desc.r.disk == d) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DetFarm::ArmGate(ProcessId p) {
+  std::lock_guard lock(mu_);
+  gates_[p].armed = true;
+}
+
+DetFarm::PendingOp DetFarm::WaitGated(ProcessId p) {
+  std::unique_lock lock(mu_);
+  gate_cv_.wait(lock, [&] {
+    auto it = gates_.find(p);
+    return it != gates_.end() && it->second.parked;
+  });
+  return gates_[p].op;
+}
+
+bool DetFarm::IsParked(ProcessId p) const {
+  std::lock_guard lock(mu_);
+  auto it = gates_.find(p);
+  return it != gates_.end() && it->second.parked;
+}
+
+void DetFarm::ReleaseGate(ProcessId p) {
+  std::unique_lock lock(mu_);
+  auto it = gates_.find(p);
+  assert(it != gates_.end() && it->second.parked &&
+         "ReleaseGate: process is not parked");
+  it->second.released = true;
+  gate_cv_.notify_all();
+  // Wait until the parked thread has actually resumed and enqueued its op,
+  // so the adversary can rely on Pending() seeing it afterwards.
+  gate_cv_.wait(lock, [&] { return !gates_[p].parked; });
+}
+
+Value DetFarm::Peek(const RegisterId& r) const {
+  std::lock_guard lock(mu_);
+  return store_.Get(r);
+}
+
+OpStats DetFarm::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace nadreg::sim

@@ -1,0 +1,143 @@
+// Deterministic, adversary-controlled farm of fail-prone base registers.
+//
+// Nothing happens unless the adversary (the test or the proof-schedule
+// driver) makes it happen:
+//
+//  * An issued operation becomes *pending* and stays pending until the
+//    adversary calls Deliver(op) — the paper's "flush" of a pending write —
+//    or Drop(op)/CrashRegister(r), after which it never responds.
+//  * A *gate* can be armed for a process: the process's next Issue* call
+//    parks inside the call, before the operation becomes visible. This is
+//    exactly a *covering write* (Burns–Lynch, used by Theorems 1–3): the
+//    process is frozen "just about to write". The adversary observes which
+//    register the process is covering (WaitGated) and later lets the
+//    operation through (ReleaseGate).
+//
+// Together these realize every move in the Section 4.1 run construction:
+// freezing a writer to cover a register, leaving writes pending after an
+// OPERATION completed (Fig. 1), flushing pending writes in any order, and
+// crashing a register so it appears merely slow.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/base_register.h"
+#include "common/types.h"
+#include "sim/register_store.h"
+
+namespace nadreg::sim {
+
+class DetFarm : public BaseRegisterClient {
+ public:
+  using OpId = std::uint64_t;
+
+  struct PendingOp {
+    OpId id = 0;
+    ProcessId p = kNoProcess;
+    RegisterId r;
+    bool is_write = false;
+    Value value;  // writes only
+  };
+
+  DetFarm() = default;
+  ~DetFarm() override = default;
+  DetFarm(const DetFarm&) = delete;
+  DetFarm& operator=(const DetFarm&) = delete;
+
+  // --- BaseRegisterClient -------------------------------------------------
+  void IssueRead(ProcessId p, RegisterId r, ReadHandler done) override;
+  void IssueWrite(ProcessId p, RegisterId r, Value v,
+                  WriteHandler done) override;
+
+  // --- Adversary: delivery ------------------------------------------------
+
+  /// Operations issued and not yet delivered/dropped, in issue order.
+  std::vector<PendingOp> Pending() const;
+
+  /// Pending operations matching a predicate, in issue order.
+  std::vector<PendingOp> PendingWhere(
+      const std::function<bool(const PendingOp&)>& pred) const;
+
+  /// Delivers one operation: applies it to the register (its linearization
+  /// point) and invokes its completion handler on the calling thread.
+  /// Returns false if the op is unknown, already delivered, or dropped.
+  bool Deliver(OpId id);
+
+  /// Delivers every currently pending operation, in issue order, including
+  /// operations issued by handlers run along the way. Returns the number
+  /// delivered. Operations on crashed registers are skipped.
+  std::size_t DeliverAll();
+
+  /// Delivers pending ops matching `pred` (snapshot taken first; ops issued
+  /// by handlers during delivery are not matched again). Returns count.
+  std::size_t DeliverWhere(const std::function<bool(const PendingOp&)>& pred);
+
+  /// Drops one operation: it will never respond and never take effect.
+  bool Drop(OpId id);
+
+  // --- Adversary: crashes -------------------------------------------------
+
+  /// Crashes a register: all its pending ops are dropped and future ops on
+  /// it never respond.
+  void CrashRegister(const RegisterId& r);
+  /// Crashes a whole disk (all its registers, including untouched ones).
+  void CrashDisk(DiskId d);
+
+  // --- Adversary: covering gates ------------------------------------------
+
+  /// Arms the gate for process p: its next Issue* call parks before the
+  /// operation becomes visible. One-shot (the call that parks disarms it).
+  void ArmGate(ProcessId p);
+
+  /// Blocks until process p is parked at its gate; returns the operation it
+  /// is about to issue (the register it "covers").
+  PendingOp WaitGated(ProcessId p);
+
+  /// Non-blocking probe: is p currently parked at its gate?
+  bool IsParked(ProcessId p) const;
+
+  /// Releases a parked process: its operation becomes pending (it still
+  /// needs Deliver to take effect) and the Issue* call returns.
+  void ReleaseGate(ProcessId p);
+
+  // --- Introspection -------------------------------------------------------
+
+  Value Peek(const RegisterId& r) const;
+  OpStats stats() const;
+
+ private:
+  struct OpRecord {
+    PendingOp desc;
+    ReadHandler on_read;
+    WriteHandler on_write;
+  };
+  struct GateState {
+    bool armed = false;
+    bool parked = false;
+    bool released = false;
+    PendingOp op;
+  };
+
+  // Parks at the gate if armed (called with lock held; may unlock/relock).
+  void MaybePark(std::unique_lock<std::mutex>& lock, const PendingOp& op);
+  void Issue(OpRecord rec);
+  // Extracts the op record; returns nullopt if not deliverable.
+  std::optional<OpRecord> Take(OpId id);
+
+  mutable std::mutex mu_;
+  std::condition_variable gate_cv_;
+  RegisterStore store_;
+  std::map<OpId, OpRecord> pending_;  // ordered by id == issue order
+  std::unordered_map<ProcessId, GateState> gates_;
+  OpId next_id_ = 1;
+  OpStats stats_;
+};
+
+}  // namespace nadreg::sim

@@ -1,0 +1,187 @@
+#include "sim/explorer.h"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace nadreg::sim {
+
+namespace {
+
+bool Matches(const DetFarm::PendingOp& op, const ScheduleExplorer::OpKey& key) {
+  return op.p == key.p && op.r == key.r && op.is_write == key.is_write;
+}
+
+}  // namespace
+
+bool ScheduleExplorer::WaitAndDeliver(DetFarm& farm, const OpKey& key,
+                                      const Options& opts) const {
+  const auto deadline = std::chrono::steady_clock::now() + opts.replay_timeout;
+  for (;;) {
+    auto candidates = farm.PendingWhere(
+        [&](const DetFarm::PendingOp& op) { return Matches(op, key); });
+    if (!candidates.empty()) {
+      return farm.Deliver(candidates.front().id);
+    }
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::yield();
+  }
+}
+
+void ScheduleExplorer::Settle(DetFarm& farm, const ExplorationRun& run,
+                              const Options& opts) const {
+  // Wait until the scenario stops issuing: the issued-op counter and the
+  // pending set must be stable across settle_stable_polls polls. Also
+  // wait out the start-up window where nothing has been issued yet.
+  int stable = 0;
+  std::uint64_t last_issued = ~0ULL;
+  std::size_t last_pending = ~std::size_t{0};
+  for (;;) {
+    const auto stats = farm.stats();
+    const std::uint64_t issued = stats.TotalIssued();
+    const std::size_t pending = farm.Pending().size();
+    const bool anything = issued > 0 || run.Done();
+    if (anything && issued == last_issued && pending == last_pending) {
+      if (++stable >= opts.settle_stable_polls) return;
+    } else {
+      stable = 0;
+    }
+    last_issued = issued;
+    last_pending = pending;
+    std::this_thread::sleep_for(opts.settle_poll);
+  }
+}
+
+void ScheduleExplorer::Drain(DetFarm& farm, const ExplorationRun& run) const {
+  // Deliver everything (including chained re-issues) until every scenario
+  // thread has finished. Used both to complete a leaf and to abandon an
+  // inner node so its threads can be joined.
+  while (!run.Done()) {
+    if (farm.DeliverAll() == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  // A finished thread may still have background ops outstanding.
+  farm.DeliverAll();
+}
+
+std::vector<ScheduleExplorer::OpKey> ScheduleExplorer::PendingKeys(
+    DetFarm& farm) const {
+  std::vector<OpKey> keys;
+  for (const auto& op : farm.Pending()) {
+    keys.push_back(OpKey{op.p, op.r, op.is_write});
+  }
+  std::sort(keys.begin(), keys.end());
+  // The Section 2 discipline (one outstanding op per process/register)
+  // makes keys unique; duplicates would break replay, so drop them and
+  // let the first occurrence stand for the pair (conservative).
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+ScheduleExplorer::Outcome ScheduleExplorer::Explore(const RunFactory& factory,
+                                                    const Options& opts) {
+  Outcome outcome;
+  std::vector<std::vector<OpKey>> work{{}};
+
+  while (!work.empty()) {
+    if (opts.max_schedules != 0 && outcome.schedules >= opts.max_schedules) {
+      outcome.truncated = true;
+      break;
+    }
+    if (opts.stop_at_first_violation && outcome.violations > 0) break;
+
+    std::vector<OpKey> prefix = std::move(work.back());
+    work.pop_back();
+    ++outcome.nodes;
+
+    DetFarm farm;
+    auto run = factory(farm);
+
+    bool replay_ok = true;
+    for (const OpKey& key : prefix) {
+      if (!WaitAndDeliver(farm, key, opts)) {
+        replay_ok = false;
+        break;
+      }
+    }
+    if (!replay_ok) {
+      ++outcome.replay_divergences;
+      Drain(farm, *run);
+      continue;
+    }
+
+    Settle(farm, *run, opts);
+    const std::vector<OpKey> choices = PendingKeys(farm);
+
+    if (choices.empty()) {
+      // Leaf: a complete schedule. Finish the run and validate.
+      Drain(farm, *run);
+      ++outcome.schedules;
+      if (auto violation = run->Validate()) {
+        ++outcome.violations;
+        if (outcome.first_violation.empty()) {
+          outcome.first_violation =
+              *violation + "\nschedule:\n" + FormatSchedule(prefix);
+        }
+      }
+    } else {
+      // Branch on every deliverable operation. Push in reverse so the
+      // lexicographically first choice is explored first.
+      for (auto it = choices.rbegin(); it != choices.rend(); ++it) {
+        std::vector<OpKey> child = prefix;
+        child.push_back(*it);
+        work.push_back(std::move(child));
+      }
+      Drain(farm, *run);  // abandon this node's run cleanly
+    }
+  }
+  return outcome;
+}
+
+ScheduleExplorer::Outcome ScheduleExplorer::ExploreRandom(
+    const RunFactory& factory, std::size_t playouts, std::uint64_t seed,
+    const Options& opts) {
+  Outcome outcome;
+  Rng rng(seed);
+  for (std::size_t playout = 0; playout < playouts; ++playout) {
+    if (opts.stop_at_first_violation && outcome.violations > 0) break;
+    ++outcome.nodes;
+    DetFarm farm;
+    auto run = factory(farm);
+    std::vector<OpKey> schedule;
+    for (;;) {
+      Settle(farm, *run, opts);
+      auto pending = farm.Pending();
+      if (pending.empty()) break;
+      const auto& pick = pending[rng.Below(pending.size())];
+      schedule.push_back(OpKey{pick.p, pick.r, pick.is_write});
+      farm.Deliver(pick.id);
+    }
+    Drain(farm, *run);
+    ++outcome.schedules;
+    if (auto violation = run->Validate()) {
+      ++outcome.violations;
+      if (outcome.first_violation.empty()) {
+        outcome.first_violation =
+            *violation + "\nschedule (playout " + std::to_string(playout) +
+            "):\n" + FormatSchedule(schedule);
+      }
+    }
+  }
+  return outcome;
+}
+
+std::string FormatSchedule(const std::vector<ScheduleExplorer::OpKey>& keys) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    os << "  " << i + 1 << ". deliver " << (keys[i].is_write ? "write" : "read")
+       << " by p" << keys[i].p << " on disk " << keys[i].r.disk << " block "
+       << keys[i].r.block << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace nadreg::sim

@@ -1,0 +1,119 @@
+// Systematic schedule exploration over the deterministic farm — a bounded
+// model checker for the register emulations.
+//
+// The adversary's only power in this model is choosing *when each issued
+// base-register operation takes effect*. The explorer enumerates those
+// choices: it repeatedly re-runs a scenario from scratch, replays a
+// prefix of delivery decisions, lets the system settle, branches on every
+// operation currently pending, and validates each completed schedule
+// (leaf) with a caller-supplied check — e.g. "is the recorded history
+// linearizable?".
+//
+// This complements the two other verification layers:
+//   * randomized campaigns (bench/campaigns.*) sample schedules;
+//   * adversary/schedules.* replay the hand-built proof schedules;
+//   * the explorer *enumerates* all delivery orders of small scenarios,
+//     finding violations (or certifying their absence) without human
+//     guidance — it rediscovers the Fig. 2 non-atomicity on its own
+//     (bench/explore_schedules).
+//
+// Scope and guarantees: every explored schedule is a real execution
+// (soundness). Coverage is bounded: schedules are delivery orders chosen
+// at *settle points* (states where no process can take a step without a
+// delivery), scenarios must be deterministic given the delivery order,
+// and at most one operation per (process, register) may be outstanding
+// (the model's Section 2 discipline — RegisterSet guarantees it), which
+// is what makes replay keys stable across runs.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/det_farm.h"
+
+namespace nadreg::sim {
+
+/// One (re-)execution of the scenario under exploration.
+class ExplorationRun {
+ public:
+  virtual ~ExplorationRun() = default;
+  /// True once every scenario thread has returned.
+  virtual bool Done() const = 0;
+  /// Called on a completed schedule after Done(); returns a violation
+  /// description, or nullopt if the outcome is acceptable.
+  virtual std::optional<std::string> Validate() = 0;
+};
+
+class ScheduleExplorer {
+ public:
+  /// Stable identity of a pending operation for replay: at any settle
+  /// point at most one op per (process, register, direction) is pending.
+  struct OpKey {
+    ProcessId p = kNoProcess;
+    RegisterId r;
+    bool is_write = false;
+
+    friend auto operator<=>(const OpKey&, const OpKey&) = default;
+  };
+
+  struct Options {
+    /// Stop after this many complete schedules (0 = unlimited).
+    std::size_t max_schedules = 20000;
+    /// Stop at the first violation.
+    bool stop_at_first_violation = true;
+    /// Settle detection: the issued-op counter must be stable across this
+    /// many consecutive polls this far apart.
+    std::chrono::microseconds settle_poll{150};
+    int settle_stable_polls = 3;
+    /// How long to wait for a replayed key to appear before declaring a
+    /// replay divergence.
+    std::chrono::milliseconds replay_timeout{2000};
+  };
+
+  struct Outcome {
+    std::size_t schedules = 0;        // complete schedules validated
+    std::size_t nodes = 0;            // exploration tree nodes executed
+    std::size_t violations = 0;
+    std::size_t replay_divergences = 0;
+    bool truncated = false;           // hit max_schedules
+    std::string first_violation;      // description + schedule
+  };
+
+  using RunFactory =
+      std::function<std::unique_ptr<ExplorationRun>(DetFarm&)>;
+
+  /// Explores all delivery orders of the scenario (depth-first).
+  Outcome Explore(const RunFactory& factory, const Options& opts);
+  Outcome Explore(const RunFactory& factory) {
+    return Explore(factory, Options{});
+  }
+
+  /// Monte-Carlo mode: `playouts` independent runs, each delivering
+  /// pending operations in a uniformly random order at every settle
+  /// point. Unlike SimFarm's delay-jitter randomness, a playout can
+  /// reorder deliveries arbitrarily (old pending writes landing after
+  /// many newer ones), which is adversary-grade coverage for scenarios
+  /// too large to exhaust. Violations are validated exactly as in
+  /// Explore.
+  Outcome ExploreRandom(const RunFactory& factory, std::size_t playouts,
+                        std::uint64_t seed, const Options& opts);
+
+ private:
+  bool WaitAndDeliver(DetFarm& farm, const OpKey& key,
+                      const Options& opts) const;
+  void Settle(DetFarm& farm, const ExplorationRun& run,
+              const Options& opts) const;
+  void Drain(DetFarm& farm, const ExplorationRun& run) const;
+  std::vector<OpKey> PendingKeys(DetFarm& farm) const;
+};
+
+/// Formats a schedule (sequence of delivery decisions) for diagnostics.
+std::string FormatSchedule(const std::vector<ScheduleExplorer::OpKey>& keys);
+
+}  // namespace nadreg::sim

@@ -1,0 +1,51 @@
+// Helper for building explorer scenarios: runs workload threads and
+// reports completion; validation is a caller-supplied callback (typically
+// a consistency check over a HistoryRecorder).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/explorer.h"
+
+namespace nadreg::sim {
+
+class ThreadedScenario : public ExplorationRun {
+ public:
+  using Validator = std::function<std::optional<std::string>()>;
+
+  ThreadedScenario() = default;
+
+  /// Spawns a workload thread. Call from the RunFactory only.
+  void Spawn(std::function<void()> fn) {
+    ++total_;
+    threads_.emplace_back([this, fn = std::move(fn)] {
+      fn();
+      done_.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  /// Sets the leaf validator (runs after all threads finished).
+  void SetValidator(Validator v) { validator_ = std::move(v); }
+
+  bool Done() const override {
+    return done_.load(std::memory_order_acquire) == total_;
+  }
+
+  std::optional<std::string> Validate() override {
+    return validator_ ? validator_() : std::nullopt;
+  }
+
+ private:
+  std::atomic<int> done_{0};
+  int total_ = 0;
+  Validator validator_;
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace nadreg::sim

@@ -1,0 +1,144 @@
+#include "sim/sim_farm.h"
+
+#include <utility>
+
+namespace nadreg::sim {
+
+SimFarm::SimFarm(Options opts)
+    : rng_(opts.seed),
+      opts_(opts),
+      service_([this](std::stop_token st) { ServiceLoop(st); }) {}
+
+SimFarm::~SimFarm() {
+  {
+    // The stop flag participates in the service thread's CV predicates;
+    // setting it under the lock ensures the thread either sees it before
+    // sleeping or is woken by the notify below (no lost wakeup).
+    std::lock_guard lock(mu_);
+    service_.request_stop();
+  }
+  cv_.notify_all();
+}
+
+void SimFarm::Enqueue(Event ev) {
+  {
+    std::lock_guard lock(mu_);
+    if (store_.IsCrashed(ev.r)) {
+      // Unresponsive register: the operation is accepted but will never be
+      // serviced. It still counts as issued.
+      if (ev.is_write) {
+        ++stats_.writes_issued;
+      } else {
+        ++stats_.reads_issued;
+      }
+      return;
+    }
+    const auto delay = std::chrono::microseconds(
+        rng_.Between(opts_.min_delay_us, opts_.max_delay_us));
+    ev.due = std::chrono::steady_clock::now() + delay;
+    ev.seq = next_seq_++;
+    if (ev.is_write) {
+      ++stats_.writes_issued;
+    } else {
+      ++stats_.reads_issued;
+    }
+    ++in_flight_;
+    queue_.push(std::move(ev));
+  }
+  cv_.notify_all();
+}
+
+void SimFarm::IssueRead(ProcessId p, RegisterId r, ReadHandler done) {
+  Event ev;
+  ev.p = p;
+  ev.r = r;
+  ev.is_write = false;
+  ev.on_read = std::move(done);
+  Enqueue(std::move(ev));
+}
+
+void SimFarm::IssueWrite(ProcessId p, RegisterId r, Value v,
+                         WriteHandler done) {
+  Event ev;
+  ev.p = p;
+  ev.r = r;
+  ev.is_write = true;
+  ev.value = std::move(v);
+  ev.on_write = std::move(done);
+  Enqueue(std::move(ev));
+}
+
+void SimFarm::CrashRegister(const RegisterId& r) {
+  std::lock_guard lock(mu_);
+  store_.CrashRegister(r);
+}
+
+void SimFarm::CrashDisk(DiskId d) {
+  std::lock_guard lock(mu_);
+  store_.CrashDisk(d);
+}
+
+OpStats SimFarm::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::size_t SimFarm::InFlight() const {
+  std::lock_guard lock(mu_);
+  return in_flight_;
+}
+
+Value SimFarm::Peek(const RegisterId& r) const {
+  std::lock_guard lock(mu_);
+  return store_.Get(r);
+}
+
+void SimFarm::ServiceLoop(std::stop_token stop) {
+  std::unique_lock lock(mu_);
+  while (!stop.stop_requested()) {
+    if (queue_.empty()) {
+      cv_.wait(lock, [&] { return stop.stop_requested() || !queue_.empty(); });
+      continue;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    // Copy the deadline: wait_until holds its time_point argument by
+    // reference and re-reads it after every wake-up, while concurrent
+    // Enqueue() calls may reallocate the queue's storage underneath it.
+    const auto deadline = queue_.top().due;
+    if (deadline > now) {
+      cv_.wait_until(lock, deadline, [&] {
+        return stop.stop_requested() ||
+               (!queue_.empty() &&
+                queue_.top().due <= std::chrono::steady_clock::now());
+      });
+      continue;
+    }
+    Event ev = queue_.top();
+    queue_.pop();
+    --in_flight_;
+    if (store_.IsCrashed(ev.r)) {
+      // Crashed while queued: the operation never responds. Its effect is
+      // lost together with the register.
+      continue;
+    }
+    Value read_result;
+    if (ev.is_write) {
+      store_.Apply(ev.r, std::move(ev.value));  // linearization point
+      ++stats_.writes_completed;
+    } else {
+      read_result = store_.Get(ev.r);  // linearization point
+      ++stats_.reads_completed;
+    }
+    // Run the handler without holding the lock: it may issue further
+    // base-register operations (e.g. the reader write-back in Section 6).
+    lock.unlock();
+    if (ev.is_write) {
+      if (ev.on_write) ev.on_write();
+    } else {
+      if (ev.on_read) ev.on_read(std::move(read_result));
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace nadreg::sim

@@ -1,0 +1,99 @@
+// Randomized threaded simulation of a farm of network-attached disks.
+//
+// Each issued operation is assigned a random service delay drawn from a
+// seeded generator and is delivered (applied + handler invoked) by a
+// service thread when its deadline passes. Crashed registers stop
+// responding: their queued and future operations are silently dropped,
+// which is exactly the paper's unresponsive failure mode — the issuing
+// process can never distinguish "crashed" from "very slow".
+//
+// This backend provides the asynchrony and crash behaviour needed to
+// validate the positive results under thousands of random schedules. For
+// proof-schedule control (covering writes, selective flushing) use
+// sim::DetFarm instead.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/base_register.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/register_store.h"
+
+namespace nadreg::sim {
+
+class SimFarm : public BaseRegisterClient {
+ public:
+  struct Options {
+    std::uint64_t seed = 0x5eed;
+    /// Service delay range, microseconds (uniform).
+    std::uint64_t min_delay_us = 0;
+    std::uint64_t max_delay_us = 300;
+  };
+
+  SimFarm() : SimFarm(Options{}) {}
+  explicit SimFarm(Options opts);
+  ~SimFarm() override;
+
+  SimFarm(const SimFarm&) = delete;
+  SimFarm& operator=(const SimFarm&) = delete;
+
+  void IssueRead(ProcessId p, RegisterId r, ReadHandler done) override;
+  void IssueWrite(ProcessId p, RegisterId r, Value v,
+                  WriteHandler done) override;
+
+  /// Crash a single register: it stops responding from now on.
+  void CrashRegister(const RegisterId& r);
+  /// Full disk crash: all (infinitely many) registers of the disk stop
+  /// responding.
+  void CrashDisk(DiskId d);
+
+  /// Counters of issued/completed base-register operations.
+  OpStats stats() const;
+
+  /// Number of operations issued but not yet delivered or dropped.
+  std::size_t InFlight() const;
+
+  /// Test/harness introspection: current register contents.
+  Value Peek(const RegisterId& r) const;
+
+ private:
+  struct Event {
+    std::chrono::steady_clock::time_point due;
+    std::uint64_t seq = 0;  // tie-break, preserves issue order at equal due
+    ProcessId p = kNoProcess;
+    RegisterId r;
+    bool is_write = false;
+    Value value;
+    ReadHandler on_read;
+    WriteHandler on_write;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.due != b.due) return a.due > b.due;
+      return a.seq > b.seq;
+    }
+  };
+
+  void Enqueue(Event ev);
+  void ServiceLoop(std::stop_token stop);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  RegisterStore store_;
+  Rng rng_;
+  Options opts_;
+  std::uint64_t next_seq_ = 0;
+  OpStats stats_;
+  std::size_t in_flight_ = 0;
+  std::jthread service_;  // last member: joins before the rest is destroyed
+};
+
+}  // namespace nadreg::sim

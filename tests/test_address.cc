@@ -1,0 +1,106 @@
+// Unit tests for the on-disk address layout and farm configuration: name
+// packing bounds, heap-trie encoding, block composition uniqueness, and
+// the quorum arithmetic every emulation relies on.
+#include "core/address.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/config.h"
+
+namespace nadreg::core {
+namespace {
+
+TEST(FarmConfig, QuorumArithmetic) {
+  for (std::uint32_t t : {1u, 2u, 3u, 5u}) {
+    FarmConfig cfg{t};
+    EXPECT_EQ(cfg.num_disks(), 2 * t + 1);
+    EXPECT_EQ(cfg.quorum(), t + 1);
+    // Two quorums always intersect: 2(t+1) > 2t+1.
+    EXPECT_GT(2 * cfg.quorum(), cfg.num_disks());
+  }
+}
+
+TEST(FarmConfig, SpreadPlacesOneBlockPerDisk) {
+  FarmConfig cfg{2};
+  auto regs = cfg.Spread(77);
+  ASSERT_EQ(regs.size(), 5u);
+  std::set<DiskId> disks;
+  for (const auto& r : regs) {
+    EXPECT_EQ(r.block, 77u);
+    disks.insert(r.disk);
+  }
+  EXPECT_EQ(disks.size(), 5u);
+}
+
+TEST(PackName, RoundtripAcrossTheAddressableSpace) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    Name n{rng.Below(1ULL << 32), rng.Below(1ULL << 16)};
+    EXPECT_EQ(UnpackName(PackName(n)), n);
+  }
+}
+
+TEST(PackName, DistinctNamesDistinctPackings) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t pid = 0; pid < 50; ++pid) {
+    for (std::uint64_t idx = 0; idx < 50; ++idx) {
+      EXPECT_TRUE(seen.insert(PackName(Name{pid, idx})).second);
+    }
+  }
+}
+
+TEST(TrieEncoding, RootAndChildrenAreHeapIndexed) {
+  EXPECT_EQ(TrieRoot(), 1u);
+  EXPECT_EQ(TrieChild(TrieRoot(), 0), 2u);
+  EXPECT_EQ(TrieChild(TrieRoot(), 1), 3u);
+  EXPECT_EQ(TrieChild(2, 1), 5u);
+}
+
+TEST(TrieEncoding, DepthFortyEightLeafRecoversPath) {
+  // Walking a packed name's bits from the root must land on 2^48 + path.
+  const Name n{0xDEADBEEFu, 0x1234u};
+  const std::uint64_t packed = PackName(n);
+  std::uint64_t node = TrieRoot();
+  for (int d = 0; d < 48; ++d) {
+    node = TrieChild(node, (packed >> (47 - d)) & 1);
+  }
+  EXPECT_EQ(node, (1ULL << 48) + packed);
+  EXPECT_EQ(UnpackName(node - (1ULL << 48)), n);
+}
+
+TEST(TrieEncoding, DistinctPathsDistinctLeaves) {
+  std::set<std::uint64_t> leaves;
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t packed = rng.Below(1ULL << 48);
+    std::uint64_t node = TrieRoot();
+    for (int d = 0; d < 48; ++d) node = TrieChild(node, (packed >> (47 - d)) & 1);
+    leaves.insert(node);
+  }
+  EXPECT_GT(leaves.size(), 495u);  // collisions would mean broken encoding
+}
+
+TEST(MakeBlock, FieldsDoNotOverlap) {
+  // Distinct (object, component, key) triples must give distinct blocks.
+  std::set<BlockId> blocks;
+  for (std::uint32_t object : {0u, 1u, 511u, 1023u}) {
+    for (Component c : {Component::kFixed, Component::kTrieMark,
+                        Component::kView, Component::kValue}) {
+      for (std::uint64_t key : {0ull, 1ull, (1ull << 49), (1ull << 50) - 1}) {
+        EXPECT_TRUE(blocks.insert(MakeBlock(object, c, key)).second)
+            << "collision at object=" << object << " key=" << key;
+      }
+    }
+  }
+}
+
+TEST(MakeBlock, KeyOccupiesLowBits) {
+  const BlockId b = MakeBlock(3, Component::kValue, 0x1234);
+  EXPECT_EQ(b & ((1ULL << 50) - 1), 0x1234u);
+}
+
+}  // namespace
+}  // namespace nadreg::core

@@ -1,0 +1,98 @@
+// Tests for the executable impossibility-proof schedules: each must
+// produce the violation its theorem predicts — certified by the exact
+// checkers — and nothing more (e.g. Theorem 2's history must stay
+// sequentially consistent, matching Fig. 2's actual guarantee).
+#include "adversary/schedules.h"
+
+#include <gtest/gtest.h>
+
+namespace nadreg::adversary {
+namespace {
+
+TEST(Theorem1, WaitFreeSwmrCandidateViolatesAtomicity) {
+  auto out = RunTheorem1WaitFreeSwmr();
+  EXPECT_FALSE(out.atomic.ok)
+      << "the schedule failed to break the candidate:\n"
+      << checker::FormatHistory(out.history);
+  // The violation is atomicity-specific: the same history serializes fine.
+  EXPECT_TRUE(out.seqcst.ok);
+  EXPECT_FALSE(out.narrative.empty());
+  EXPECT_GE(out.history.size(), 3u);
+}
+
+TEST(Theorem1, WriteBackCandidateFallsToResurrection) {
+  auto out = RunTheorem1WriteBackResurrection();
+  EXPECT_FALSE(out.atomic.ok)
+      << "resurrection schedule failed:\n"
+      << checker::FormatHistory(out.history);
+  EXPECT_TRUE(out.seqcst.ok);
+  // All six operations completed (this schedule needs no crash at all).
+  for (const auto& op : out.history) EXPECT_TRUE(op.completed);
+}
+
+TEST(Theorem2, HiddenWriteViolatesAtomicityOnly) {
+  auto out = RunTheorem2HiddenWrite();
+  EXPECT_FALSE(out.atomic.ok)
+      << "hidden-write schedule failed:\n"
+      << checker::FormatHistory(out.history);
+  // Fig. 2 delivers exactly sequential consistency; the adversary must
+  // not have broken that (otherwise our Table 3 'Yes' would be in doubt).
+  EXPECT_TRUE(out.seqcst.ok) << out.seqcst.explanation;
+  // Crash-free and complete: Theorem 2 is about reliable processes.
+  for (const auto& op : out.history) EXPECT_TRUE(op.completed);
+  EXPECT_EQ(out.history.size(), 7u);  // 4 WRITEs + 3 READs
+}
+
+TEST(Theorem2, ReaderReturnsSoloValueThenOlderValue) {
+  auto out = RunTheorem2HiddenWrite();
+  // Extract the single reader's (pid 99) read sequence.
+  std::vector<std::string> reads;
+  for (const auto& op : out.history) {
+    if (op.kind == checker::OpKind::kRead) reads.push_back(op.value);
+  }
+  ASSERT_EQ(reads.size(), 3u);
+  EXPECT_EQ(reads[0], "vz");
+  EXPECT_EQ(reads[1], "vs");  // the solo WRITE was observed...
+  EXPECT_EQ(reads[2], "vx");  // ...and then completely hidden.
+}
+
+TEST(Theorem3, FinitePrefixConsistentButLivenessViolated) {
+  auto out = RunTheorem3SeqCstLiveness(25);
+  // The trap: every finite prefix is sequentially consistent...
+  EXPECT_TRUE(out.seqcst.ok) << out.seqcst.explanation;
+  // ...but the liveness clause of Section 5.1 fails in the limit.
+  EXPECT_TRUE(out.liveness_violated);
+  EXPECT_FALSE(out.liveness_explanation.empty());
+  // (The finite prefix is not atomic either — A read v1, B then read old.)
+  EXPECT_FALSE(out.atomic.ok);
+}
+
+TEST(Theorem3, StaleReadCountScalesWithSchedule) {
+  auto small = RunTheorem3SeqCstLiveness(5);
+  auto large = RunTheorem3SeqCstLiveness(40);
+  auto count_reads = [](const ScheduleOutcome& o) {
+    std::size_t n = 0;
+    for (const auto& op : o.history) {
+      if (op.kind == checker::OpKind::kRead && op.value.empty()) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_reads(small), 5u);
+  EXPECT_EQ(count_reads(large), 40u);
+  EXPECT_TRUE(small.liveness_violated);
+  EXPECT_TRUE(large.liveness_violated);
+}
+
+TEST(Schedules, AreDeterministic) {
+  auto a = RunTheorem2HiddenWrite();
+  auto b = RunTheorem2HiddenWrite();
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].value, b.history[i].value);
+    EXPECT_EQ(a.history[i].kind, b.history[i].kind);
+  }
+  EXPECT_EQ(a.narrative, b.narrative);
+}
+
+}  // namespace
+}  // namespace nadreg::adversary

@@ -1,0 +1,136 @@
+// Tests for the config store: last-writer-wins over the global log order,
+// erase/tombstones, cross-client visibility and agreement, crash
+// tolerance, and concurrent mixed workloads.
+#include "apps/config_store.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/config.h"
+#include "sim/sim_farm.h"
+
+namespace nadreg::apps {
+namespace {
+
+using core::FarmConfig;
+using sim::SimFarm;
+
+TEST(ConfigStore, GetOfUnsetKeyIsNullopt) {
+  FarmConfig cfg{1};
+  SimFarm farm;
+  ConfigStore store(farm, cfg, 300, 1);
+  EXPECT_FALSE(store.Get("missing").has_value());
+}
+
+TEST(ConfigStore, SetThenGet) {
+  FarmConfig cfg{1};
+  SimFarm farm;
+  ConfigStore store(farm, cfg, 300, 1);
+  store.Set("color", "blue");
+  auto v = store.Get("color");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "blue");
+}
+
+TEST(ConfigStore, LastWriterWinsInLogOrder) {
+  FarmConfig cfg{1};
+  SimFarm farm;
+  ConfigStore store(farm, cfg, 300, 1);
+  store.Set("k", "v1");
+  store.Set("k", "v2");
+  store.Set("k", "v3");
+  EXPECT_EQ(*store.Get("k"), "v3");
+  EXPECT_EQ(store.UpdateCount(), 3u);
+}
+
+TEST(ConfigStore, EraseTombstones) {
+  FarmConfig cfg{1};
+  SimFarm farm;
+  ConfigStore store(farm, cfg, 300, 1);
+  store.Set("k", "v");
+  store.Erase("k");
+  EXPECT_FALSE(store.Get("k").has_value());
+  store.Set("k", "back");
+  EXPECT_EQ(*store.Get("k"), "back");
+}
+
+TEST(ConfigStore, CrossClientVisibility) {
+  FarmConfig cfg{1};
+  SimFarm farm;
+  ConfigStore alice(farm, cfg, 300, 1);
+  ConfigStore bob(farm, cfg, 300, 2);
+  alice.Set("owner", "alice");
+  auto v = bob.Get("owner");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "alice");
+}
+
+TEST(ConfigStore, SnapshotIsConsistentMap) {
+  FarmConfig cfg{1};
+  SimFarm farm;
+  ConfigStore store(farm, cfg, 300, 1);
+  store.Set("a", "1");
+  store.Set("b", "2");
+  store.Set("a", "3");
+  store.Erase("b");
+  auto snap = store.Snapshot();
+  EXPECT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap.at("a"), "3");
+}
+
+TEST(ConfigStore, SurvivesDiskCrash) {
+  FarmConfig cfg{1};
+  SimFarm farm;
+  ConfigStore store(farm, cfg, 300, 1);
+  store.Set("durable", "yes");
+  farm.CrashDisk(0);
+  ConfigStore reader(farm, cfg, 300, 2);
+  auto v = reader.Get("durable");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "yes");
+}
+
+TEST(ConfigStore, ConcurrentClientsAgreeOnFinalState) {
+  FarmConfig cfg{1};
+  SimFarm::Options o;
+  o.seed = 17;
+  o.max_delay_us = 20;
+  SimFarm farm(o);
+  {
+    std::vector<std::jthread> clients;
+    for (ProcessId p = 1; p <= 3; ++p) {
+      clients.emplace_back([&, p] {
+        ConfigStore store(farm, cfg, 300, p);
+        for (int i = 0; i < 3; ++i) {
+          store.Set("key-" + std::to_string(p), std::to_string(i));
+          store.Set("shared", std::to_string(p * 100 + i));
+        }
+      });
+    }
+  }
+  ConfigStore r1(farm, cfg, 300, 50);
+  ConfigStore r2(farm, cfg, 300, 51);
+  auto s1 = r1.Snapshot();
+  auto s2 = r2.Snapshot();
+  EXPECT_EQ(s1, s2) << "two readers disagree on the final state";
+  // Per-client keys reflect each client's last write.
+  for (ProcessId p = 1; p <= 3; ++p) {
+    EXPECT_EQ(s1.at("key-" + std::to_string(p)), "2");
+  }
+  // "shared" holds SOMEONE's final write (global order decides whose).
+  EXPECT_TRUE(s1.contains("shared"));
+}
+
+TEST(ConfigStore, DistinctObjectsIndependent) {
+  FarmConfig cfg{1};
+  SimFarm farm;
+  ConfigStore a(farm, cfg, 300, 1);
+  ConfigStore b(farm, cfg, 301, 1);
+  a.Set("k", "for-a");
+  EXPECT_FALSE(b.Get("k").has_value());
+}
+
+}  // namespace
+}  // namespace nadreg::apps

@@ -1,0 +1,91 @@
+// Tests for the generic hidden-write attack (the Theorem 2 construction
+// parameterized over candidates): it must break every fault-tolerant
+// candidate we have, flag the fragile one as blocked, and never declare a
+// violation the checker would not certify.
+#include "adversary/covering.h"
+
+#include <gtest/gtest.h>
+
+namespace nadreg::adversary {
+namespace {
+
+using core::FarmConfig;
+
+TEST(HiddenWriteAttack, BreaksFig2Candidate) {
+  auto result = HiddenWriteAttack(Fig2Candidate(), FarmConfig{1});
+  EXPECT_EQ(result.kind, AttackResult::Kind::kViolationFound)
+      << result.detail;
+  EXPECT_FALSE(result.atomic.ok);
+  // The damage is atomicity-specific — Fig. 2's real guarantee survives.
+  EXPECT_TRUE(result.seqcst.ok) << result.seqcst.explanation;
+}
+
+TEST(HiddenWriteAttack, BreaksTimestampCandidate) {
+  // The classic uniform timestamp construction is correct over reliable
+  // base registers; the pending-write model kills it — exactly the
+  // paper's point that "one needs to open the box".
+  auto result = HiddenWriteAttack(TimestampCandidate(), FarmConfig{1});
+  EXPECT_EQ(result.kind, AttackResult::Kind::kViolationFound)
+      << result.detail;
+  EXPECT_FALSE(result.atomic.ok);
+  EXPECT_TRUE(result.seqcst.ok) << result.seqcst.explanation;
+}
+
+TEST(HiddenWriteAttack, BreaksTimestampCandidateAtT2) {
+  auto result = HiddenWriteAttack(TimestampCandidate(), FarmConfig{2});
+  EXPECT_EQ(result.kind, AttackResult::Kind::kViolationFound)
+      << result.detail;
+}
+
+TEST(HiddenWriteAttack, DetectsNonFaultTolerantCandidate) {
+  auto result = HiddenWriteAttack(FragileCandidate(), FarmConfig{1});
+  EXPECT_EQ(result.kind, AttackResult::Kind::kCandidateBlocked);
+  EXPECT_NE(result.detail.find("not 1-crash fault-tolerant"),
+            std::string::npos);
+}
+
+TEST(HiddenWriteAttack, HistoriesAreCrashFreeAndComplete) {
+  // Theorem 2's hypotheses: reliable processes, no register actually
+  // crashes. The attack must honour them: every operation completes.
+  auto result = HiddenWriteAttack(Fig2Candidate(), FarmConfig{1});
+  ASSERT_EQ(result.kind, AttackResult::Kind::kViolationFound);
+  for (const auto& op : result.history) {
+    EXPECT_TRUE(op.completed);
+  }
+  // 3 covering WRITEs + solo + late + 4 READs.
+  EXPECT_EQ(result.history.size(), 9u);
+}
+
+TEST(Lemma21Race, AddsAPendingWriteViaCoveringGates) {
+  // The lemma executed literally: p frozen about to write (covering), q
+  // completes over it leaving a pending write, p released and completes.
+  auto result = RunLemma21Race(Fig2Candidate(), FarmConfig{1});
+  ASSERT_TRUE(result.ok) << result.narrative;
+  EXPECT_EQ(result.pending_before, 0u);
+  EXPECT_GE(result.pending_after, 1u);
+  EXPECT_NE(result.narrative.find("covering"), std::string::npos);
+}
+
+TEST(Lemma21Race, WorksOnTimestampCandidateWithReadPhase) {
+  // The timestamp candidate READS before writing; the race machinery must
+  // serve the read phase through the gate and still cover the first WRITE.
+  auto result = RunLemma21Race(TimestampCandidate(), FarmConfig{1});
+  ASSERT_TRUE(result.ok) << result.narrative;
+  EXPECT_GE(result.pending_after, 1u);
+}
+
+TEST(Lemma21Race, WorksAtT2) {
+  auto result = RunLemma21Race(Fig2Candidate(), FarmConfig{2});
+  ASSERT_TRUE(result.ok) << result.narrative;
+}
+
+TEST(HiddenWriteAttack, NarrativeRecordsEveryPhase) {
+  auto result = HiddenWriteAttack(Fig2Candidate(), FarmConfig{1});
+  EXPECT_NE(result.detail.find("covered disk"), std::string::npos);
+  EXPECT_NE(result.detail.find("solo WRITE"), std::string::npos);
+  EXPECT_NE(result.detail.find("flushed"), std::string::npos);
+  EXPECT_NE(result.detail.find("READ #4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nadreg::adversary

@@ -1,0 +1,202 @@
+// Unit tests for the deterministic adversary-controlled farm: pending
+// operations, selective delivery (flushing), drops, crashes, and the
+// covering gates used by the impossibility-proof schedules.
+#include "sim/det_farm.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+namespace nadreg::sim {
+namespace {
+
+TEST(DetFarm, NothingHappensUntilDeliver) {
+  DetFarm farm;
+  std::atomic<bool> responded{false};
+  farm.IssueWrite(1, RegisterId{0, 0}, "x", [&] { responded = true; });
+  EXPECT_FALSE(responded.load());
+  EXPECT_TRUE(farm.Peek(RegisterId{0, 0}).empty());
+
+  auto pending = farm.Pending();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_TRUE(pending[0].is_write);
+  EXPECT_EQ(pending[0].value, "x");
+
+  EXPECT_TRUE(farm.Deliver(pending[0].id));
+  EXPECT_TRUE(responded.load());
+  EXPECT_EQ(farm.Peek(RegisterId{0, 0}), "x");
+}
+
+TEST(DetFarm, DeliverTwiceFails) {
+  DetFarm farm;
+  farm.IssueWrite(1, RegisterId{0, 0}, "x", nullptr);
+  auto id = farm.Pending()[0].id;
+  EXPECT_TRUE(farm.Deliver(id));
+  EXPECT_FALSE(farm.Deliver(id));
+}
+
+TEST(DetFarm, ReadsCaptureValueAtDeliveryTime) {
+  // A read issued BEFORE a write can return the written value if the
+  // adversary delivers the write first — base ops linearize at response.
+  DetFarm farm;
+  RegisterId r{0, 0};
+  std::string got = "unset";
+  farm.IssueRead(1, r, [&](Value v) { got = std::move(v); });
+  farm.IssueWrite(2, r, "late-write", nullptr);
+
+  auto ops = farm.Pending();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_TRUE(farm.Deliver(ops[1].id));  // write first
+  EXPECT_TRUE(farm.Deliver(ops[0].id));  // then the earlier-issued read
+  EXPECT_EQ(got, "late-write");
+}
+
+TEST(DetFarm, FlushingAPendingWriteOverwritesLaterState) {
+  // The Fig. 1 / Theorem 2 phenomenon: an old pending write flushed late
+  // clobbers a newer value.
+  DetFarm farm;
+  RegisterId r{0, 0};
+  farm.IssueWrite(1, r, "old", nullptr);
+  auto old_id = farm.Pending()[0].id;
+  farm.IssueWrite(2, r, "new", nullptr);
+  auto new_id = farm.Pending()[1].id;
+
+  EXPECT_TRUE(farm.Deliver(new_id));
+  EXPECT_EQ(farm.Peek(r), "new");
+  EXPECT_TRUE(farm.Deliver(old_id));  // flush the old pending write
+  EXPECT_EQ(farm.Peek(r), "old");     // the WRITE of "new" has been hidden
+}
+
+TEST(DetFarm, DroppedOpNeverTakesEffect) {
+  DetFarm farm;
+  RegisterId r{0, 0};
+  std::atomic<bool> responded{false};
+  farm.IssueWrite(1, r, "x", [&] { responded = true; });
+  auto id = farm.Pending()[0].id;
+  EXPECT_TRUE(farm.Drop(id));
+  EXPECT_FALSE(farm.Deliver(id));
+  EXPECT_FALSE(responded.load());
+  EXPECT_TRUE(farm.Peek(r).empty());
+}
+
+TEST(DetFarm, CrashRegisterDropsPendingAndFutureOps) {
+  DetFarm farm;
+  RegisterId r{0, 0};
+  farm.IssueWrite(1, r, "x", nullptr);
+  farm.CrashRegister(r);
+  EXPECT_TRUE(farm.Pending().empty());
+  farm.IssueWrite(1, r, "y", nullptr);
+  EXPECT_TRUE(farm.Pending().empty());
+  EXPECT_EQ(farm.DeliverAll(), 0u);
+}
+
+TEST(DetFarm, CrashDiskDropsAllItsRegisters) {
+  DetFarm farm;
+  farm.IssueWrite(1, RegisterId{0, 0}, "a", nullptr);
+  farm.IssueWrite(1, RegisterId{0, 1}, "b", nullptr);
+  farm.IssueWrite(1, RegisterId{1, 0}, "c", nullptr);
+  farm.CrashDisk(0);
+  auto pending = farm.Pending();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].r, (RegisterId{1, 0}));
+}
+
+TEST(DetFarm, DeliverAllHandlesHandlerReissues) {
+  DetFarm farm;
+  RegisterId r{0, 0};
+  std::atomic<int> chain{0};
+  farm.IssueWrite(1, r, "first", [&] {
+    ++chain;
+    farm.IssueWrite(1, r, "second", [&] { ++chain; });
+  });
+  EXPECT_EQ(farm.DeliverAll(), 2u);  // includes the re-issued op
+  EXPECT_EQ(chain.load(), 2);
+  EXPECT_EQ(farm.Peek(r), "second");
+}
+
+TEST(DetFarm, DeliverWhereFiltersByRegister) {
+  DetFarm farm;
+  farm.IssueWrite(1, RegisterId{0, 0}, "a", nullptr);
+  farm.IssueWrite(1, RegisterId{0, 1}, "b", nullptr);
+  farm.IssueWrite(1, RegisterId{0, 0}, "c", nullptr);
+  auto n = farm.DeliverWhere(
+      [](const DetFarm::PendingOp& op) { return op.r.block == 0; });
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(farm.Peek(RegisterId{0, 0}), "c");
+  EXPECT_TRUE(farm.Peek(RegisterId{0, 1}).empty());
+  EXPECT_EQ(farm.Pending().size(), 1u);
+}
+
+TEST(DetFarm, GateParksIssuerBeforeOpIsVisible) {
+  DetFarm farm;
+  farm.ArmGate(42);
+  std::atomic<bool> issue_returned{false};
+  std::jthread issuer([&] {
+    farm.IssueWrite(42, RegisterId{0, 3}, "covered", nullptr);
+    issue_returned = true;
+  });
+
+  // The adversary learns which register the process is about to write —
+  // this is the covering information used by Lemma 2.1.
+  auto op = farm.WaitGated(42);
+  EXPECT_EQ(op.r, (RegisterId{0, 3}));
+  EXPECT_TRUE(op.is_write);
+  EXPECT_EQ(op.value, "covered");
+  // While parked: not visible as pending, not applied, Issue not returned.
+  EXPECT_TRUE(farm.Pending().empty());
+  EXPECT_FALSE(issue_returned.load());
+
+  farm.ReleaseGate(42);
+  issuer.join();
+  EXPECT_TRUE(issue_returned.load());
+  ASSERT_EQ(farm.Pending().size(), 1u);  // now pending; still needs Deliver
+  EXPECT_TRUE(farm.Peek(RegisterId{0, 3}).empty());
+}
+
+TEST(DetFarm, GateIsOneShot) {
+  DetFarm farm;
+  farm.ArmGate(7);
+  std::jthread issuer([&] {
+    farm.IssueWrite(7, RegisterId{0, 0}, "first", nullptr);
+    // Second op must not park: the gate was one-shot.
+    farm.IssueWrite(7, RegisterId{0, 1}, "second", nullptr);
+  });
+  farm.WaitGated(7);
+  farm.ReleaseGate(7);
+  issuer.join();
+  EXPECT_EQ(farm.Pending().size(), 2u);
+}
+
+TEST(DetFarm, GatesOnDifferentProcessesAreIndependent) {
+  DetFarm farm;
+  farm.ArmGate(1);
+  // Process 2 is unaffected by process 1's gate.
+  farm.IssueWrite(2, RegisterId{0, 0}, "p2", nullptr);
+  EXPECT_EQ(farm.Pending().size(), 1u);
+
+  std::jthread issuer([&] { farm.IssueWrite(1, RegisterId{0, 1}, "p1", nullptr); });
+  auto op = farm.WaitGated(1);
+  EXPECT_EQ(op.p, 1u);
+  farm.ReleaseGate(1);
+  issuer.join();
+  EXPECT_EQ(farm.Pending().size(), 2u);
+}
+
+TEST(DetFarm, StatsTrackIssueAndCompletion) {
+  DetFarm farm;
+  farm.IssueWrite(1, RegisterId{0, 0}, "x", nullptr);
+  farm.IssueRead(1, RegisterId{0, 0}, nullptr);
+  auto s0 = farm.stats();
+  EXPECT_EQ(s0.writes_issued, 1u);
+  EXPECT_EQ(s0.reads_issued, 1u);
+  EXPECT_EQ(s0.writes_completed, 0u);
+  farm.DeliverAll();
+  auto s1 = farm.stats();
+  EXPECT_EQ(s1.writes_completed, 1u);
+  EXPECT_EQ(s1.reads_completed, 1u);
+}
+
+}  // namespace
+}  // namespace nadreg::sim

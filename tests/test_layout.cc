@@ -1,0 +1,102 @@
+// Tests for the static layout facade: deterministic name->id mapping,
+// independence of named objects, cross-process agreement, and that every
+// endpoint factory produces a working emulation.
+#include "core/layout.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/sim_farm.h"
+
+namespace nadreg::core {
+namespace {
+
+using sim::SimFarm;
+
+TEST(StaticLayout, SameConfigSameIdsEverywhere) {
+  FarmConfig cfg{1};
+  StaticLayout a(cfg, {"alpha", "beta", "gamma"});
+  StaticLayout b(cfg, {"alpha", "beta", "gamma"});
+  EXPECT_EQ(a.ObjectId("alpha"), b.ObjectId("alpha"));
+  EXPECT_EQ(a.ObjectId("gamma"), b.ObjectId("gamma"));
+  EXPECT_EQ(a.Registers("beta"), b.Registers("beta"));
+}
+
+TEST(StaticLayout, DistinctNamesDistinctIds) {
+  FarmConfig cfg{1};
+  StaticLayout layout(cfg, {"x", "y", "z"});
+  EXPECT_NE(layout.ObjectId("x"), layout.ObjectId("y"));
+  EXPECT_NE(layout.ObjectId("y"), layout.ObjectId("z"));
+  EXPECT_TRUE(layout.Has("x"));
+  EXPECT_FALSE(layout.Has("unknown"));
+}
+
+TEST(StaticLayout, LayoutIdsAvoidAdHocIdSpace) {
+  FarmConfig cfg{1};
+  StaticLayout layout(cfg, {"a"});
+  EXPECT_GE(layout.ObjectId("a"), 512u);  // small manual ids are safe
+}
+
+TEST(StaticLayout, RegistersSpanAllDisks) {
+  FarmConfig cfg{2};
+  StaticLayout layout(cfg, {"wide"});
+  auto regs = layout.Registers("wide");
+  ASSERT_EQ(regs.size(), 5u);
+  for (DiskId d = 0; d < 5; ++d) EXPECT_EQ(regs[d].disk, d);
+}
+
+TEST(StaticLayout, SwsrEndpointsWork) {
+  FarmConfig cfg{1};
+  SimFarm farm;
+  StaticLayout layout(cfg, {"counter"});
+  auto writer = layout.SwsrWriter(farm, "counter", 1);
+  auto reader = layout.SwsrReader(farm, "counter", 2);
+  writer->Write("42");
+  EXPECT_EQ(reader->Read(), "42");
+}
+
+TEST(StaticLayout, MwmrEndpointsShareStateByName) {
+  FarmConfig cfg{1};
+  SimFarm farm;
+  StaticLayout layout(cfg, {"shared", "other"});
+  auto a = layout.MwmrRegister(farm, "shared", 1);
+  auto b = layout.MwmrRegister(farm, "shared", 2);
+  auto c = layout.MwmrRegister(farm, "other", 3);
+  a->Write("from-a");
+  auto v = b->Read();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "from-a");
+  EXPECT_FALSE(c->Read().has_value());  // different name: different object
+}
+
+TEST(StaticLayout, MixedTypesOnDistinctNamesCoexist) {
+  FarmConfig cfg{1};
+  SimFarm farm;
+  StaticLayout layout(cfg, {"flag", "once", "reg"});
+  auto sticky = layout.Sticky(farm, "flag", 1);
+  auto oneshot = layout.OneShot(farm, "once", 1);
+  auto mwsr_w = layout.MwsrRegisterWriter(farm, "reg", 1);
+  auto mwsr_r = layout.MwsrRegisterReader(farm, "reg", 2);
+
+  sticky->Set();
+  EXPECT_TRUE(oneshot->Write("one").ok());
+  mwsr_w->Write("value");
+
+  EXPECT_TRUE(layout.Sticky(farm, "flag", 9)->IsSet());
+  EXPECT_EQ(*layout.OneShot(farm, "once", 9)->Read(), "one");
+  EXPECT_EQ(mwsr_r->Read(), "value");
+}
+
+TEST(StaticLayout, SwmrReaderWorksThroughFacade) {
+  FarmConfig cfg{1};
+  SimFarm farm;
+  StaticLayout layout(cfg, {"doc"});
+  auto writer = layout.SwsrWriter(farm, "doc", 1);  // same writer algorithm
+  auto reader1 = layout.SwmrReader(farm, "doc", 2);
+  auto reader2 = layout.SwmrReader(farm, "doc", 3);
+  writer->Write("multi-reader");
+  EXPECT_EQ(reader1->Read(), "multi-reader");
+  EXPECT_EQ(reader2->Read(), "multi-reader");
+}
+
+}  // namespace
+}  // namespace nadreg::core

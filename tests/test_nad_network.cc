@@ -1,0 +1,222 @@
+// Integration tests for the real TCP NAD: server + client over loopback,
+// crash (unresponsive) semantics over the wire, and the full register
+// emulation stack (core/ algorithms) running unchanged on real sockets —
+// the deployment the paper targets.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "core/config.h"
+#include "core/mwmr_atomic.h"
+#include "core/oneshot.h"
+#include "core/swsr_atomic.h"
+#include "nad/client.h"
+#include "nad/server.h"
+
+namespace nadreg::nad {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Cluster {
+  // One server process per disk, like a real SAN with 2t+1 disks.
+  std::vector<std::unique_ptr<NadServer>> servers;
+  std::unique_ptr<NadClient> client;
+  core::FarmConfig cfg{1};
+
+  static Cluster Start(std::uint32_t t = 1, std::uint64_t max_delay_us = 0) {
+    Cluster c;
+    c.cfg = core::FarmConfig{t};
+    std::map<DiskId, NadClient::Endpoint> endpoints;
+    for (DiskId d = 0; d < c.cfg.num_disks(); ++d) {
+      NadServer::Options o;
+      o.max_delay_us = max_delay_us;
+      o.seed = 1000 + d;
+      auto server = NadServer::Start(o);
+      EXPECT_TRUE(server.ok()) << server.status().ToString();
+      endpoints[d] = NadClient::Endpoint{"127.0.0.1", (*server)->port()};
+      c.servers.push_back(std::move(*server));
+    }
+    auto client = NadClient::Connect(endpoints);
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    c.client = std::move(*client);
+    return c;
+  }
+};
+
+class Waiter {
+ public:
+  void Done() {
+    // Notify under the lock: the waiter may destroy this object as soon
+    // as its predicate holds.
+    std::lock_guard lock(mu_);
+    ++n_;
+    cv_.notify_all();
+  }
+  bool WaitFor(int target, std::chrono::milliseconds d = 5000ms) {
+    std::unique_lock lock(mu_);
+    return cv_.wait_for(lock, d, [&] { return n_ >= target; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int n_ = 0;
+};
+
+TEST(NadNetwork, WriteThenReadOverTheWire) {
+  auto cluster = Cluster::Start();
+  Waiter w;
+  cluster.client->IssueWrite(1, RegisterId{0, 5}, "over-tcp",
+                             [&] { w.Done(); });
+  ASSERT_TRUE(w.WaitFor(1));
+
+  std::string got;
+  Waiter r;
+  cluster.client->IssueRead(1, RegisterId{0, 5}, [&](Value v) {
+    got = std::move(v);
+    r.Done();
+  });
+  ASSERT_TRUE(r.WaitFor(1));
+  EXPECT_EQ(got, "over-tcp");
+}
+
+TEST(NadNetwork, UnwrittenBlockReadsInitial) {
+  auto cluster = Cluster::Start();
+  std::string got = "sentinel";
+  Waiter r;
+  cluster.client->IssueRead(1, RegisterId{1, 12345}, [&](Value v) {
+    got = std::move(v);
+    r.Done();
+  });
+  ASSERT_TRUE(r.WaitFor(1));
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(NadNetwork, CrashedRegisterNeverAnswers) {
+  auto cluster = Cluster::Start();
+  cluster.servers[0]->CrashRegister(RegisterId{0, 1});
+  std::atomic<bool> answered{false};
+  cluster.client->IssueWrite(1, RegisterId{0, 1}, "x",
+                             [&] { answered = true; });
+  std::this_thread::sleep_for(100ms);
+  EXPECT_FALSE(answered.load());
+  EXPECT_EQ(cluster.client->InFlight(), 1u);
+}
+
+TEST(NadNetwork, CrashedDiskSilencesWholeServer) {
+  auto cluster = Cluster::Start();
+  cluster.servers[2]->CrashDisk(2);
+  std::atomic<int> answers{0};
+  for (BlockId b = 0; b < 5; ++b) {
+    cluster.client->IssueRead(1, RegisterId{2, b}, [&](Value) { ++answers; });
+  }
+  Waiter ok;
+  cluster.client->IssueRead(1, RegisterId{0, 0}, [&](Value) { ok.Done(); });
+  ASSERT_TRUE(ok.WaitFor(1));
+  std::this_thread::sleep_for(100ms);
+  EXPECT_EQ(answers.load(), 0);
+}
+
+TEST(NadNetwork, KilledServerBehavesAsCrashedDisk) {
+  auto cluster = Cluster::Start();
+  cluster.servers[1]->Stop();  // hard kill: connection drops
+  std::atomic<bool> answered{false};
+  cluster.client->IssueWrite(1, RegisterId{1, 0}, "x", [&] { answered = true; });
+  std::this_thread::sleep_for(100ms);
+  EXPECT_FALSE(answered.load());
+}
+
+TEST(NadNetwork, ManyOutstandingRequestsMultiplexed) {
+  auto cluster = Cluster::Start(1, /*max_delay_us=*/200);
+  Waiter w;
+  constexpr int kOps = 100;
+  for (int i = 0; i < kOps; ++i) {
+    cluster.client->IssueWrite(1, RegisterId{0, static_cast<BlockId>(i)},
+                               "v" + std::to_string(i), [&] { w.Done(); });
+  }
+  ASSERT_TRUE(w.WaitFor(kOps));
+  EXPECT_EQ(cluster.client->InFlight(), 0u);
+  EXPECT_EQ(cluster.servers[0]->ServedCount(), static_cast<std::uint64_t>(kOps));
+}
+
+TEST(NadNetwork, SwsrAtomicRegisterOverTcp) {
+  auto cluster = Cluster::Start();
+  core::SwsrAtomicWriter writer(*cluster.client, cluster.cfg,
+                                cluster.cfg.Spread(0), 1);
+  core::SwsrAtomicReader reader(*cluster.client, cluster.cfg,
+                                cluster.cfg.Spread(0), 2);
+  for (int i = 0; i < 10; ++i) {
+    writer.Write("net" + std::to_string(i));
+    EXPECT_EQ(reader.Read(), "net" + std::to_string(i));
+  }
+}
+
+TEST(NadNetwork, SwsrSurvivesServerFailure) {
+  auto cluster = Cluster::Start();
+  core::SwsrAtomicWriter writer(*cluster.client, cluster.cfg,
+                                cluster.cfg.Spread(0), 1);
+  core::SwsrAtomicReader reader(*cluster.client, cluster.cfg,
+                                cluster.cfg.Spread(0), 2);
+  writer.Write("before-crash");
+  EXPECT_EQ(reader.Read(), "before-crash");
+  cluster.servers[0]->Stop();  // lose one of three disks
+  writer.Write("after-crash");
+  EXPECT_EQ(reader.Read(), "after-crash");
+}
+
+TEST(NadNetwork, OneShotRegisterOverTcp) {
+  auto cluster = Cluster::Start();
+  core::OneShotRegister w(*cluster.client, cluster.cfg, cluster.cfg.Spread(9), 1);
+  core::OneShotRegister r(*cluster.client, cluster.cfg, cluster.cfg.Spread(9), 2);
+  EXPECT_FALSE(r.Read().has_value());
+  EXPECT_TRUE(w.Write("network-one-shot").ok());
+  auto v = r.Read();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "network-one-shot");
+}
+
+TEST(NadNetwork, MwmrAtomicOverTcpWithServerLoss) {
+  // The full Section 6 construction — name snapshot, one-shot registers,
+  // Fig. 3 — over real sockets, with one disk server killed mid-run.
+  auto cluster = Cluster::Start();
+  core::MwmrAtomic w1(*cluster.client, cluster.cfg, 1, 1);
+  core::MwmrAtomic w2(*cluster.client, cluster.cfg, 1, 2);
+  core::MwmrAtomic reader(*cluster.client, cluster.cfg, 1, 3);
+
+  w1.Write("alpha");
+  auto v1 = reader.Read();
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(*v1, "alpha");
+
+  cluster.servers[1]->Stop();
+
+  w2.Write("beta");
+  auto v2 = reader.Read();
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_EQ(*v2, "beta");
+}
+
+TEST(NadNetwork, TwoClientsShareState) {
+  auto cluster = Cluster::Start();
+  std::map<DiskId, NadClient::Endpoint> endpoints;
+  for (DiskId d = 0; d < cluster.cfg.num_disks(); ++d) {
+    endpoints[d] = NadClient::Endpoint{"127.0.0.1", cluster.servers[d]->port()};
+  }
+  auto second = NadClient::Connect(endpoints);
+  ASSERT_TRUE(second.ok());
+
+  core::SwsrAtomicWriter writer(*cluster.client, cluster.cfg,
+                                cluster.cfg.Spread(0), 1);
+  core::SwsrAtomicReader reader(**second, cluster.cfg, cluster.cfg.Spread(0),
+                                2);
+  writer.Write("shared-state");
+  EXPECT_EQ(reader.Read(), "shared-state");
+}
+
+}  // namespace
+}  // namespace nadreg::nad

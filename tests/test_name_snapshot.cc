@@ -1,0 +1,270 @@
+// Tests for the name snapshot (Section 6): the three defining properties —
+// Validity, Total Ordering, Integrity — under sequential use, concurrent
+// use, random schedules and disk crashes; plus announce/collect mechanics
+// and the adoption path.
+#include "core/name_snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/config.h"
+#include "sim/sim_farm.h"
+
+namespace nadreg::core {
+namespace {
+
+using sim::SimFarm;
+
+bool IsSubset(const std::vector<Name>& a, const std::vector<Name>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+bool ChainOrdered(std::vector<std::vector<Name>> snaps) {
+  std::sort(snaps.begin(), snaps.end(),
+            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  for (std::size_t i = 0; i + 1 < snaps.size(); ++i) {
+    if (!IsSubset(snaps[i], snaps[i + 1])) return false;
+  }
+  return true;
+}
+
+TEST(NameSnapshot, FirstSnapshotContainsOnlySelf) {
+  FarmConfig cfg{1};
+  SimFarm farm;
+  NameSnapshot snap(farm, cfg, /*object=*/1, /*self=*/1);
+  auto s = snap.Snapshot(Name{1, 0});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], (Name{1, 0}));
+}
+
+TEST(NameSnapshot, SequentialSnapshotsGrow) {
+  FarmConfig cfg{1};
+  SimFarm farm;
+  NameSnapshot p1(farm, cfg, 1, 1);
+  NameSnapshot p2(farm, cfg, 1, 2);
+  NameSnapshot p3(farm, cfg, 1, 3);
+
+  auto s1 = p1.Snapshot(Name{1, 0});
+  auto s2 = p2.Snapshot(Name{2, 0});
+  auto s3 = p3.Snapshot(Name{3, 0});
+  EXPECT_EQ(s1.size(), 1u);
+  EXPECT_EQ(s2.size(), 2u);
+  EXPECT_EQ(s3.size(), 3u);
+  // A later snapshot contains every earlier terminated name (Validity +
+  // Integrity + Total Ordering combined, as the paper notes).
+  EXPECT_TRUE(IsSubset(s1, s2));
+  EXPECT_TRUE(IsSubset(s2, s3));
+}
+
+TEST(NameSnapshot, ValidityHoldsForEveryCaller) {
+  FarmConfig cfg{1};
+  SimFarm farm;
+  for (ProcessId p = 1; p <= 8; ++p) {
+    NameSnapshot snap(farm, cfg, 1, p);
+    Name n{p, 0};
+    auto s = snap.Snapshot(n);
+    EXPECT_TRUE(std::binary_search(s.begin(), s.end(), n));
+  }
+}
+
+TEST(NameSnapshot, IntegrityExcludesUnstartedNames) {
+  FarmConfig cfg{1};
+  SimFarm farm;
+  NameSnapshot p1(farm, cfg, 1, 1);
+  auto s = p1.Snapshot(Name{1, 0});
+  // Name {2,0} has not started: it must not appear.
+  EXPECT_FALSE(std::binary_search(s.begin(), s.end(), Name{2, 0}));
+}
+
+TEST(NameSnapshot, SameProcessMultipleNames) {
+  FarmConfig cfg{1};
+  SimFarm farm;
+  NameSnapshot snap(farm, cfg, 1, 7);
+  auto s0 = snap.Snapshot(Name{7, 0});
+  auto s1 = snap.Snapshot(Name{7, 1});
+  auto s2 = snap.Snapshot(Name{7, 2});
+  EXPECT_EQ(s0.size(), 1u);
+  EXPECT_EQ(s1.size(), 2u);
+  EXPECT_EQ(s2.size(), 3u);
+  EXPECT_TRUE(IsSubset(s0, s1));
+  EXPECT_TRUE(IsSubset(s1, s2));
+}
+
+TEST(NameSnapshot, AnnounceThenCollectFindsName) {
+  FarmConfig cfg{1};
+  SimFarm farm;
+  NameSnapshot a(farm, cfg, 1, 1);
+  NameSnapshot b(farm, cfg, 1, 2);
+  a.Announce(Name{1, 5});
+  auto c = b.Collect();
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], (Name{1, 5}));
+}
+
+TEST(NameSnapshot, CollectOnEmptyDirectoryIsEmpty) {
+  FarmConfig cfg{1};
+  SimFarm farm;
+  NameSnapshot a(farm, cfg, 1, 1);
+  EXPECT_TRUE(a.Collect().empty());
+}
+
+TEST(NameSnapshot, DistinctObjectsAreIndependent) {
+  FarmConfig cfg{1};
+  SimFarm farm;
+  NameSnapshot obj1(farm, cfg, 1, 1);
+  NameSnapshot obj2(farm, cfg, 2, 1);
+  obj1.Announce(Name{1, 0});
+  EXPECT_EQ(obj1.Collect().size(), 1u);
+  EXPECT_TRUE(obj2.Collect().empty());
+}
+
+TEST(NameSnapshot, ToleratesDiskCrash) {
+  FarmConfig cfg{1};
+  SimFarm farm;
+  farm.CrashDisk(0);  // full disk crash: infinitely many registers die
+  NameSnapshot p1(farm, cfg, 1, 1);
+  NameSnapshot p2(farm, cfg, 1, 2);
+  auto s1 = p1.Snapshot(Name{1, 0});
+  auto s2 = p2.Snapshot(Name{2, 0});
+  EXPECT_EQ(s1.size(), 1u);
+  EXPECT_EQ(s2.size(), 2u);
+  EXPECT_TRUE(IsSubset(s1, s2));
+}
+
+TEST(NameSnapshot, ToleratesTwoCrashesWithT2) {
+  FarmConfig cfg{2};  // 5 disks
+  SimFarm farm;
+  farm.CrashDisk(1);
+  farm.CrashDisk(3);
+  NameSnapshot p1(farm, cfg, 1, 1);
+  NameSnapshot p2(farm, cfg, 1, 2);
+  EXPECT_EQ(p1.Snapshot(Name{1, 0}).size(), 1u);
+  EXPECT_EQ(p2.Snapshot(Name{2, 0}).size(), 2u);
+}
+
+TEST(NameSnapshot, StatsAccumulate) {
+  FarmConfig cfg{1};
+  SimFarm farm;
+  NameSnapshot snap(farm, cfg, 1, 1);
+  snap.Snapshot(Name{1, 0});
+  const auto& st = snap.stats();
+  EXPECT_GE(st.collects, 2u);      // at least one double collect
+  EXPECT_EQ(st.sticky_sets, 48u);  // one announce: 48 path bits
+  EXPECT_GT(st.sticky_reads, 0u);
+}
+
+TEST(NameSnapshot, AdoptionPathFiresUnderInterference) {
+  // Under real concurrency some double collects fail and resolve via
+  // adoption of a committed view. Run rounds until observed (the property
+  // sweeps verify adopted snapshots obey all three properties; this test
+  // ensures the path is actually exercised).
+  FarmConfig cfg{1};
+  std::uint64_t adoptions = 0;
+  for (std::uint64_t round = 0; round < 40 && adoptions == 0; ++round) {
+    SimFarm::Options o;
+    o.seed = 900 + round;
+    o.max_delay_us = 10;
+    SimFarm farm(o);
+    std::vector<std::jthread> threads;
+    std::mutex mu;
+    for (ProcessId p = 1; p <= 6; ++p) {
+      threads.emplace_back([&, p] {
+        NameSnapshot snap(farm, cfg, 1, p);
+        for (std::uint64_t i = 0; i < 4; ++i) {
+          snap.Snapshot(Name{p, i});
+        }
+        std::lock_guard lock(mu);
+        adoptions += snap.stats().adoptions;
+      });
+    }
+  }
+  EXPECT_GT(adoptions, 0u)
+      << "no snapshot ever resolved via adoption in 40 contended rounds";
+}
+
+// Concurrent property sweep: run many processes concurrently (each with a
+// few names) over random schedules, some with a crashed disk, and verify
+// Validity + Total Ordering + Integrity over the full outcome set.
+struct SweepParam {
+  std::uint64_t seed;
+  int processes;
+  int names_per_process;
+  bool crash_disk;
+};
+
+class NameSnapshotSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(NameSnapshotSweep, PropertiesHoldUnderConcurrency) {
+  const auto param = GetParam();
+  FarmConfig cfg{1};
+  SimFarm::Options o;
+  o.seed = param.seed;
+  o.max_delay_us = 30;
+  SimFarm farm(o);
+  if (param.crash_disk) farm.CrashDisk(2);
+
+  std::mutex mu;
+  std::vector<std::pair<Name, std::vector<Name>>> results;
+  // Integrity bookkeeping: logical start/stop order via a shared counter.
+  std::atomic<std::uint64_t> clock{0};
+  std::vector<std::tuple<Name, std::uint64_t, std::uint64_t>> spans;
+
+  {
+    std::vector<std::jthread> threads;
+    for (int p = 1; p <= param.processes; ++p) {
+      threads.emplace_back([&, p] {
+        NameSnapshot snap(farm, cfg, 1, static_cast<ProcessId>(p));
+        for (int i = 0; i < param.names_per_process; ++i) {
+          Name n{static_cast<ProcessId>(p), static_cast<std::uint64_t>(i)};
+          const std::uint64_t started = ++clock;
+          auto s = snap.Snapshot(n);
+          const std::uint64_t ended = ++clock;
+          std::lock_guard lock(mu);
+          results.emplace_back(n, std::move(s));
+          spans.emplace_back(n, started, ended);
+        }
+      });
+    }
+  }
+
+  // Validity.
+  for (const auto& [n, s] : results) {
+    EXPECT_TRUE(std::binary_search(s.begin(), s.end(), n))
+        << "Validity violated for (" << n.pid << "," << n.index << ")";
+  }
+  // Total Ordering.
+  std::vector<std::vector<Name>> snaps;
+  snaps.reserve(results.size());
+  for (const auto& [n, s] : results) snaps.push_back(s);
+  EXPECT_TRUE(ChainOrdered(snaps)) << "Total Ordering violated";
+  // Integrity: if m started after n's snapshot ended, m ∉ S_n.
+  for (const auto& [n, s] : results) {
+    std::uint64_t n_end = 0;
+    for (const auto& [m, st, en] : spans) {
+      if (m == n) n_end = en;
+    }
+    for (const Name& member : s) {
+      for (const auto& [m, st, en] : spans) {
+        if (m == member) {
+          EXPECT_LT(st, n_end) << "Integrity violated: (" << m.pid << ","
+                               << m.index << ") started after snapshot of ("
+                               << n.pid << "," << n.index << ") ended";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, NameSnapshotSweep,
+    ::testing::Values(SweepParam{201, 2, 2, false}, SweepParam{202, 4, 2, false},
+                      SweepParam{203, 4, 3, true}, SweepParam{204, 6, 2, false},
+                      SweepParam{205, 3, 4, true}, SweepParam{206, 8, 1, false}));
+
+}  // namespace
+}  // namespace nadreg::core

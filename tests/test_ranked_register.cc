@@ -1,0 +1,232 @@
+// Tests for the active-disk substrate, the ranked register, and Active
+// Disk Paxos (the Chockler–Malkhi related-work baseline): RMW atomicity,
+// ranked-register commit/abort semantics, crash tolerance, consensus
+// agreement under concurrency, and uniformity (no process count anywhere).
+#include "apps/ranked_register.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.h"
+#include "sim/active_farm.h"
+
+namespace nadreg::apps {
+namespace {
+
+using core::FarmConfig;
+using sim::ActiveDiskFarm;
+
+ActiveDiskFarm::Options Fast(std::uint64_t seed = 1) {
+  ActiveDiskFarm::Options o;
+  o.seed = seed;
+  o.max_delay_us = 50;
+  return o;
+}
+
+TEST(ActiveDiskFarm, RmwIsAtomicIncrement) {
+  ActiveDiskFarm farm(Fast());
+  RegisterId r{0, 0};
+  std::atomic<int> done{0};
+  constexpr int kOps = 200;
+  auto bump = [](const Value& v) {
+    const int n = v.empty() ? 0 : std::stoi(v);
+    return std::to_string(n + 1);
+  };
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < kOps / 4; ++i) {
+          farm.IssueRmw(1, r, bump, [&](Value) { ++done; });
+        }
+      });
+    }
+  }
+  while (done.load() < kOps) std::this_thread::yield();
+  // Atomic RMW: no lost updates despite 4 concurrent incrementers.
+  EXPECT_EQ(farm.Peek(r), std::to_string(kOps));
+}
+
+TEST(ActiveDiskFarm, RmwReturnsPreviousValue) {
+  ActiveDiskFarm farm(Fast());
+  RegisterId r{0, 0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::string prev = "unset";
+  bool done = false;
+  farm.IssueWrite(1, r, "old", nullptr);
+  // Wait for the write to land, then RMW.
+  while (farm.Peek(r) != "old") std::this_thread::yield();
+  farm.IssueRmw(
+      1, r, [](const Value&) { return std::string("new"); },
+      [&](Value p) {
+        std::lock_guard lock(mu);
+        prev = std::move(p);
+        done = true;
+        cv.notify_all();
+      });
+  std::unique_lock lock(mu);
+  cv.wait(lock, [&] { return done; });
+  EXPECT_EQ(prev, "old");
+  EXPECT_EQ(farm.Peek(r), "new");
+}
+
+TEST(ActiveDiskFarm, CrashedBlockNeverRespondsToRmw) {
+  ActiveDiskFarm farm(Fast());
+  RegisterId r{0, 0};
+  farm.CrashRegister(r);
+  std::atomic<bool> responded{false};
+  farm.IssueRmw(1, r, [](const Value& v) { return v; },
+                [&](Value) { responded = true; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(responded.load());
+}
+
+TEST(RankedBlockCodec, Roundtrip) {
+  RankedBlock b{5, 3, "payload"};
+  auto decoded = DecodeRankedBlock(EncodeRankedBlock(b));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, b);
+}
+
+TEST(RankedBlockCodec, EmptyIsVirgin) {
+  auto decoded = DecodeRankedBlock("");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->read_rank, 0u);
+  EXPECT_EQ(decoded->write_rank, 0u);
+}
+
+TEST(RankedRegister, FirstWriteCommits) {
+  ActiveDiskFarm farm(Fast());
+  FarmConfig cfg{1};
+  RankedRegister reg(farm, cfg, 1, 1);
+  EXPECT_TRUE(reg.Write(10, "v"));
+  auto r = reg.Read(11);
+  EXPECT_EQ(r.write_rank, 10u);
+  EXPECT_EQ(r.value, "v");
+}
+
+TEST(RankedRegister, HigherReadInvalidatesLowerWrite) {
+  // The defining ranked-register property: after rr-read(20), a write
+  // with rank 10 must abort.
+  ActiveDiskFarm farm(Fast());
+  FarmConfig cfg{1};
+  RankedRegister reader(farm, cfg, 1, 1);
+  RankedRegister writer(farm, cfg, 1, 2);
+  reader.Read(20);
+  EXPECT_FALSE(writer.Write(10, "late"));
+  // A write at rank >= 20 still commits.
+  EXPECT_TRUE(writer.Write(20, "on-time"));
+}
+
+TEST(RankedRegister, HigherWriteBeatsLowerWrite) {
+  ActiveDiskFarm farm(Fast());
+  FarmConfig cfg{1};
+  RankedRegister a(farm, cfg, 1, 1);
+  RankedRegister b(farm, cfg, 1, 2);
+  EXPECT_TRUE(a.Write(30, "high"));
+  EXPECT_FALSE(b.Write(10, "low"));
+  auto r = a.Read(40);
+  EXPECT_EQ(r.value, "high");
+}
+
+TEST(RankedRegister, ReadSeesCommittedWriteDespiteCrash) {
+  ActiveDiskFarm farm(Fast());
+  FarmConfig cfg{1};
+  RankedRegister writer(farm, cfg, 1, 1);
+  EXPECT_TRUE(writer.Write(5, "durable"));
+  farm.CrashDisk(1);
+  RankedRegister reader(farm, cfg, 1, 2);
+  auto r = reader.Read(6);
+  EXPECT_EQ(r.write_rank, 5u);
+  EXPECT_EQ(r.value, "durable");
+}
+
+TEST(RankedRegister, DistinctObjectsIndependent) {
+  ActiveDiskFarm farm(Fast());
+  FarmConfig cfg{1};
+  RankedRegister a(farm, cfg, 1, 1);
+  RankedRegister b(farm, cfg, 2, 1);
+  EXPECT_TRUE(a.Write(5, "for-a"));
+  auto r = b.Read(6);
+  EXPECT_EQ(r.write_rank, 0u);
+}
+
+TEST(ActiveDiskPaxos, SoloProposerDecides) {
+  ActiveDiskFarm farm(Fast());
+  FarmConfig cfg{1};
+  ActiveDiskPaxos paxos(farm, cfg, 1, 42);
+  Rng rng(1);
+  EXPECT_EQ(paxos.Propose("mine", rng), "mine");
+}
+
+TEST(ActiveDiskPaxos, SecondProposerAdoptsDecision) {
+  ActiveDiskFarm farm(Fast());
+  FarmConfig cfg{1};
+  ActiveDiskPaxos p1(farm, cfg, 1, 1);
+  ActiveDiskPaxos p2(farm, cfg, 1, 2);
+  Rng rng(2);
+  EXPECT_EQ(p1.Propose("first", rng), "first");
+  EXPECT_EQ(p2.Propose("second", rng), "first");
+}
+
+TEST(ActiveDiskPaxos, UniformityHugeSparseProcessIds) {
+  // No process count anywhere: ids from a huge sparse space just work.
+  ActiveDiskFarm farm(Fast());
+  FarmConfig cfg{1};
+  Rng rng(3);
+  ActiveDiskPaxos p1(farm, cfg, 1, 0x9fffful);
+  std::string first = p1.Propose("from-big-pid", rng);
+  ActiveDiskPaxos p2(farm, cfg, 1, 7);
+  EXPECT_EQ(p2.Propose("other", rng), first);
+}
+
+TEST(ActiveDiskPaxos, ToleratesDiskCrashMidRun) {
+  ActiveDiskFarm farm(Fast());
+  FarmConfig cfg{1};
+  ActiveDiskPaxos p(farm, cfg, 1, 1);
+  Rng rng(4);
+  farm.CrashDisk(0);
+  EXPECT_EQ(p.Propose("resilient", rng), "resilient");
+}
+
+class ActiveDiskPaxosRace : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ActiveDiskPaxosRace, ConcurrentProposersAgree) {
+  ActiveDiskFarm farm(Fast(GetParam()));
+  FarmConfig cfg{1};
+  constexpr int kProposers = 5;
+  std::mutex mu;
+  std::vector<std::string> decisions;
+  {
+    std::vector<std::jthread> threads;
+    for (int p = 0; p < kProposers; ++p) {
+      threads.emplace_back([&, p] {
+        // Sparse pids: uniformity in action.
+        ActiveDiskPaxos paxos(farm, cfg, 1,
+                              static_cast<ProcessId>(1000 + 37 * p));
+        Rng rng(GetParam() * 10 + p);
+        std::string v = paxos.Propose("v" + std::to_string(p), rng);
+        std::lock_guard lock(mu);
+        decisions.push_back(std::move(v));
+      });
+    }
+  }
+  ASSERT_EQ(decisions.size(), static_cast<std::size_t>(kProposers));
+  for (const auto& d : decisions) {
+    EXPECT_EQ(d, decisions[0]) << "agreement violated";
+    EXPECT_EQ(d.rfind("v", 0), 0u) << "validity violated";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ActiveDiskPaxosRace,
+                         ::testing::Values(61, 62, 63, 64));
+
+}  // namespace
+}  // namespace nadreg::apps

@@ -1,0 +1,207 @@
+// Unit tests for the quorum engine: ticket completion counting, quorum
+// waits, the pending-write chaining discipline (paper footnotes 3/6/7),
+// read coalescing, and crash tolerance.
+#include "core/register_set.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/config.h"
+#include "sim/det_farm.h"
+#include "sim/sim_farm.h"
+
+namespace nadreg::core {
+namespace {
+
+using namespace std::chrono_literals;
+using sim::DetFarm;
+using sim::SimFarm;
+
+std::vector<RegisterId> ThreeRegs() {
+  return FarmConfig{1}.Spread(0);  // one block across 3 disks
+}
+
+TEST(RegisterSet, WriteAllReachesEveryRegisterWhenDelivered) {
+  DetFarm farm;
+  RegisterSet set(farm, 1, ThreeRegs());
+  auto t = set.WriteAll("v");
+  EXPECT_EQ(farm.Pending().size(), 3u);
+  farm.DeliverAll();
+  EXPECT_EQ(t.Completed(), 3u);
+  for (const auto& r : set.registers()) EXPECT_EQ(farm.Peek(r), "v");
+}
+
+TEST(RegisterSet, AwaitQuorumReturnsAfterTwoOfThree) {
+  DetFarm farm;
+  RegisterSet set(farm, 1, ThreeRegs());
+  auto t = set.WriteAll("v");
+  auto ops = farm.Pending();
+  farm.Deliver(ops[0].id);
+  farm.Deliver(ops[1].id);
+  EXPECT_TRUE(set.Await(t, 2, 100ms));
+  EXPECT_EQ(t.Completed(), 2u);
+}
+
+TEST(RegisterSet, AwaitTimesOutWithoutQuorum) {
+  DetFarm farm;
+  RegisterSet set(farm, 1, ThreeRegs());
+  auto t = set.WriteAll("v");
+  farm.Deliver(farm.Pending()[0].id);
+  EXPECT_FALSE(set.Await(t, 2, 50ms));
+}
+
+TEST(RegisterSet, AwaitBlocksUntilDeliveryFromAnotherThread) {
+  DetFarm farm;
+  RegisterSet set(farm, 1, ThreeRegs());
+  auto t = set.WriteAll("v");
+  std::jthread adversary([&] {
+    std::this_thread::sleep_for(20ms);
+    farm.DeliverAll();
+  });
+  EXPECT_TRUE(set.Await(t, 3));
+}
+
+TEST(RegisterSet, ReadAllReturnsPerRegisterValues) {
+  DetFarm farm;
+  auto regs = ThreeRegs();
+  RegisterSet set(farm, 1, regs);
+  // Pre-populate registers with distinct values.
+  for (std::size_t i = 0; i < regs.size(); ++i) {
+    farm.IssueWrite(99, regs[i], "v" + std::to_string(i), nullptr);
+  }
+  farm.DeliverAll();
+
+  auto t = set.ReadAll();
+  farm.DeliverAll();
+  ASSERT_TRUE(set.Await(t, 3, 100ms));
+  auto results = t.Results();
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& [idx, v] : results) {
+    EXPECT_EQ(v, "v" + std::to_string(idx));
+  }
+}
+
+TEST(RegisterSet, PendingWriteChainsSecondWrite) {
+  // Footnote 3: a WRITE to a register with a pending write from a previous
+  // WRITE is deferred (forked in the background) until the previous write
+  // finishes — the process never has two ops outstanding on one register.
+  DetFarm farm;
+  RegisterSet set(farm, 1, ThreeRegs());
+  auto t1 = set.WriteAll("first");
+  ASSERT_EQ(farm.Pending().size(), 3u);
+  auto t2 = set.WriteAll("second");
+  // The second WRITE's base writes are queued, not issued.
+  EXPECT_EQ(farm.Pending().size(), 3u);
+
+  // Deliver the first write on register 0: the chained second write is
+  // then issued by the background continuation.
+  auto ops = farm.Pending();
+  farm.Deliver(ops[0].id);
+  auto now = farm.Pending();
+  ASSERT_EQ(now.size(), 3u);  // two firsts + one chained second
+  EXPECT_EQ(t1.Completed(), 1u);
+  EXPECT_EQ(t2.Completed(), 0u);
+
+  farm.DeliverAll();
+  EXPECT_EQ(t1.Completed(), 3u);
+  EXPECT_EQ(t2.Completed(), 3u);
+  for (const auto& r : set.registers()) EXPECT_EQ(farm.Peek(r), "second");
+}
+
+TEST(RegisterSet, ChainStalledForeverOnCrashedRegisterDoesNotBlockQuorum) {
+  DetFarm farm;
+  auto regs = ThreeRegs();
+  RegisterSet set(farm, 1, regs);
+  auto t1 = set.WriteAll("first");
+  // Register 2's first write stays pending forever (register "slow").
+  auto ops = farm.Pending();
+  farm.Deliver(ops[0].id);
+  farm.Deliver(ops[1].id);
+  ASSERT_TRUE(set.Await(t1, 2, 100ms));
+
+  // Second WRITE: register 2's write is queued behind the stalled one, but
+  // registers 0 and 1 complete, so the quorum wait succeeds — wait-free.
+  auto t2 = set.WriteAll("second");
+  farm.DeliverWhere([&](const DetFarm::PendingOp& op) {
+    return op.r != regs[2] && op.value == "second";
+  });
+  EXPECT_TRUE(set.Await(t2, 2, 100ms));
+  // Register 2 still holds the initial value; its queue: [first, second].
+  EXPECT_TRUE(farm.Peek(regs[2]).empty());
+}
+
+TEST(RegisterSet, QueuedReadsCoalesce) {
+  DetFarm farm;
+  auto regs = ThreeRegs();
+  RegisterSet set(farm, 1, regs);
+  auto t1 = set.ReadAll();  // issued
+  auto t2 = set.ReadAll();  // queued
+  auto t3 = set.ReadAll();  // coalesces with t2's queued reads
+  EXPECT_EQ(farm.Pending().size(), 3u);
+
+  farm.DeliverAll();  // delivers t1's reads, then the coalesced batch
+  ASSERT_TRUE(set.Await(t1, 3, 100ms));
+  ASSERT_TRUE(set.Await(t2, 3, 100ms));
+  ASSERT_TRUE(set.Await(t3, 3, 100ms));
+  // Exactly 6 reads reached the farm (3 + 3 coalesced), not 9.
+  EXPECT_EQ(farm.stats().reads_issued, 6u);
+}
+
+TEST(RegisterSet, WritesDoNotCoalesce) {
+  DetFarm farm;
+  RegisterSet set(farm, 1, ThreeRegs());
+  set.WriteAll("a");
+  set.WriteAll("b");
+  set.WriteAll("c");
+  farm.DeliverAll();
+  EXPECT_EQ(farm.stats().writes_issued, 9u);
+}
+
+TEST(RegisterSet, MixedQueueKeepsOrder) {
+  DetFarm farm;
+  auto regs = ThreeRegs();
+  RegisterSet set(farm, 1, regs);
+  set.WriteAll("w1");
+  auto tr = set.ReadAll();   // queued behind w1
+  set.WriteAll("w2");        // queued behind the read
+  farm.DeliverAll();
+  ASSERT_TRUE(set.Await(tr, 3, 100ms));
+  // The read ran after w1 but before w2 on every register.
+  for (const auto& [idx, v] : tr.Results()) EXPECT_EQ(v, "w1");
+  for (const auto& r : regs) EXPECT_EQ(farm.Peek(r), "w2");
+}
+
+TEST(RegisterSet, TwoProcessesHaveIndependentChains) {
+  DetFarm farm;
+  auto regs = ThreeRegs();
+  RegisterSet set_p(farm, 1, regs);
+  RegisterSet set_q(farm, 2, regs);
+  set_p.WriteAll("p");
+  // q's write is NOT chained behind p's: the one-op-per-register rule is
+  // per process (base registers are MWMR).
+  set_q.WriteAll("q");
+  EXPECT_EQ(farm.Pending().size(), 6u);
+}
+
+TEST(RegisterSet, WorksOnRandomizedFarmUnderCrash) {
+  SimFarm::Options o;
+  o.seed = 11;
+  o.max_delay_us = 100;
+  SimFarm farm(o);
+  auto regs = ThreeRegs();
+  farm.CrashDisk(2);  // one of three disks down: quorum 2 still reachable
+  RegisterSet set(farm, 1, regs);
+  for (int i = 0; i < 50; ++i) {
+    auto t = set.WriteAll("v" + std::to_string(i));
+    ASSERT_TRUE(set.Await(t, 2, 2000ms)) << "write " << i;
+  }
+  auto t = set.ReadAll();
+  ASSERT_TRUE(set.Await(t, 2, 2000ms));
+  for (const auto& [idx, v] : t.Results()) EXPECT_EQ(v, "v49");
+}
+
+}  // namespace
+}  // namespace nadreg::core

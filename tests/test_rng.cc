@@ -1,0 +1,80 @@
+// Unit tests for the seeded PRNG: determinism, bounds, fork independence.
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace nadreg {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(123), b(124);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+    EXPECT_LT(rng.Below(1), 1u);
+  }
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    auto v = rng.Between(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all of 3,4,5,6 hit
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(42);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, 1500);  // roughly uniform: expect ~2000 each
+    EXPECT_LT(c, 2500);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0, 10));
+    EXPECT_TRUE(rng.Chance(10, 10));
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(9);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 0, s2 = 0;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+}
+
+}  // namespace
+}  // namespace nadreg
