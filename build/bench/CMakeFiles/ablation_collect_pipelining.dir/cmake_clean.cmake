@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_collect_pipelining.dir/ablation_collect_pipelining.cc.o"
+  "CMakeFiles/ablation_collect_pipelining.dir/ablation_collect_pipelining.cc.o.d"
+  "ablation_collect_pipelining"
+  "ablation_collect_pipelining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_collect_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reader_memo.dir/ablation_reader_memo.cc.o"
+  "CMakeFiles/ablation_reader_memo.dir/ablation_reader_memo.cc.o.d"
+  "ablation_reader_memo"
+  "ablation_reader_memo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reader_memo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

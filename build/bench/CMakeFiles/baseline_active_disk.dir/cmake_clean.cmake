@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_active_disk.dir/baseline_active_disk.cc.o"
+  "CMakeFiles/baseline_active_disk.dir/baseline_active_disk.cc.o.d"
+  "baseline_active_disk"
+  "baseline_active_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_active_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

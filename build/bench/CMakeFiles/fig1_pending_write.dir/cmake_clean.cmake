@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_pending_write.dir/fig1_pending_write.cc.o"
+  "CMakeFiles/fig1_pending_write.dir/fig1_pending_write.cc.o.d"
+  "fig1_pending_write"
+  "fig1_pending_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_pending_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_mwsr_seqcst.dir/fig2_mwsr_seqcst.cc.o"
+  "CMakeFiles/fig2_mwsr_seqcst.dir/fig2_mwsr_seqcst.cc.o.d"
+  "fig2_mwsr_seqcst"
+  "fig2_mwsr_seqcst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_mwsr_seqcst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mwmr_atomic.dir/fig3_mwmr_atomic.cc.o"
+  "CMakeFiles/fig3_mwmr_atomic.dir/fig3_mwmr_atomic.cc.o.d"
+  "fig3_mwmr_atomic"
+  "fig3_mwmr_atomic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mwmr_atomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_apps.dir/micro_apps.cc.o"
+  "CMakeFiles/micro_apps.dir/micro_apps.cc.o.d"
+  "micro_apps"
+  "micro_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_nad.dir/micro_nad.cc.o"
+  "CMakeFiles/micro_nad.dir/micro_nad.cc.o.d"
+  "micro_nad"
+  "micro_nad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_nad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_registers.dir/micro_registers.cc.o"
+  "CMakeFiles/micro_registers.dir/micro_registers.cc.o.d"
+  "micro_registers"
+  "micro_registers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadreg_campaigns.dir/campaigns.cc.o"
+  "CMakeFiles/nadreg_campaigns.dir/campaigns.cc.o.d"
+  "libnadreg_campaigns.a"
+  "libnadreg_campaigns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadreg_campaigns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_waitfree_atomic.dir/table1_waitfree_atomic.cc.o"
+  "CMakeFiles/table1_waitfree_atomic.dir/table1_waitfree_atomic.cc.o.d"
+  "table1_waitfree_atomic"
+  "table1_waitfree_atomic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_waitfree_atomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

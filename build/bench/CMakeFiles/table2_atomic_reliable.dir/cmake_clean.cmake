@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_atomic_reliable.dir/table2_atomic_reliable.cc.o"
+  "CMakeFiles/table2_atomic_reliable.dir/table2_atomic_reliable.cc.o.d"
+  "table2_atomic_reliable"
+  "table2_atomic_reliable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_atomic_reliable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_seqcst.cc" "bench/CMakeFiles/table3_seqcst.dir/table3_seqcst.cc.o" "gcc" "bench/CMakeFiles/table3_seqcst.dir/table3_seqcst.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/nadreg_campaigns.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/nadreg_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nadreg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nadreg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/nadreg_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nadreg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_seqcst.dir/table3_seqcst.cc.o"
+  "CMakeFiles/table3_seqcst.dir/table3_seqcst.cc.o.d"
+  "table3_seqcst"
+  "table3_seqcst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_seqcst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_infinite.dir/table4_infinite.cc.o"
+  "CMakeFiles/table4_infinite.dir/table4_infinite.cc.o.d"
+  "table4_infinite"
+  "table4_infinite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_infinite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_store_demo.dir/config_store_demo.cpp.o"
+  "CMakeFiles/config_store_demo.dir/config_store_demo.cpp.o.d"
+  "config_store_demo"
+  "config_store_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_store_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_paxos_demo.dir/disk_paxos_demo.cpp.o"
+  "CMakeFiles/disk_paxos_demo.dir/disk_paxos_demo.cpp.o.d"
+  "disk_paxos_demo"
+  "disk_paxos_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_paxos_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

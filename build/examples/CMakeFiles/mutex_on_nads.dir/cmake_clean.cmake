@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutex_on_nads.dir/mutex_on_nads.cpp.o"
+  "CMakeFiles/mutex_on_nads.dir/mutex_on_nads.cpp.o.d"
+  "mutex_on_nads"
+  "mutex_on_nads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutex_on_nads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nad_client.dir/nad_client_cli.cpp.o"
+  "CMakeFiles/nad_client.dir/nad_client_cli.cpp.o.d"
+  "nad_client"
+  "nad_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nad_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

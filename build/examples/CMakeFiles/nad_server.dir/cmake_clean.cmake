@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nad_server.dir/nad_server_main.cpp.o"
+  "CMakeFiles/nad_server.dir/nad_server_main.cpp.o.d"
+  "nad_server"
+  "nad_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nad_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

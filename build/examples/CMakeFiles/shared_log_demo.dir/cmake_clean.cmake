@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_log_demo.dir/shared_log_demo.cpp.o"
+  "CMakeFiles/shared_log_demo.dir/shared_log_demo.cpp.o.d"
+  "shared_log_demo"
+  "shared_log_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_log_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

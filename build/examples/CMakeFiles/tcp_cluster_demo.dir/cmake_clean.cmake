@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_cluster_demo.dir/tcp_cluster_demo.cpp.o"
+  "CMakeFiles/tcp_cluster_demo.dir/tcp_cluster_demo.cpp.o.d"
+  "tcp_cluster_demo"
+  "tcp_cluster_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_cluster_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadreg_adversary.dir/covering.cc.o"
+  "CMakeFiles/nadreg_adversary.dir/covering.cc.o.d"
+  "CMakeFiles/nadreg_adversary.dir/schedules.cc.o"
+  "CMakeFiles/nadreg_adversary.dir/schedules.cc.o.d"
+  "libnadreg_adversary.a"
+  "libnadreg_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadreg_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

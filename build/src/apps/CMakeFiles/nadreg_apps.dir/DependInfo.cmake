@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/config_store.cc" "src/apps/CMakeFiles/nadreg_apps.dir/config_store.cc.o" "gcc" "src/apps/CMakeFiles/nadreg_apps.dir/config_store.cc.o.d"
+  "/root/repo/src/apps/disk_paxos.cc" "src/apps/CMakeFiles/nadreg_apps.dir/disk_paxos.cc.o" "gcc" "src/apps/CMakeFiles/nadreg_apps.dir/disk_paxos.cc.o.d"
+  "/root/repo/src/apps/fast_mutex.cc" "src/apps/CMakeFiles/nadreg_apps.dir/fast_mutex.cc.o" "gcc" "src/apps/CMakeFiles/nadreg_apps.dir/fast_mutex.cc.o.d"
+  "/root/repo/src/apps/ranked_register.cc" "src/apps/CMakeFiles/nadreg_apps.dir/ranked_register.cc.o" "gcc" "src/apps/CMakeFiles/nadreg_apps.dir/ranked_register.cc.o.d"
+  "/root/repo/src/apps/shared_log.cc" "src/apps/CMakeFiles/nadreg_apps.dir/shared_log.cc.o" "gcc" "src/apps/CMakeFiles/nadreg_apps.dir/shared_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nadreg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nadreg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nadreg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

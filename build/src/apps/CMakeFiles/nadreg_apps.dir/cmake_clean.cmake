@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadreg_apps.dir/config_store.cc.o"
+  "CMakeFiles/nadreg_apps.dir/config_store.cc.o.d"
+  "CMakeFiles/nadreg_apps.dir/disk_paxos.cc.o"
+  "CMakeFiles/nadreg_apps.dir/disk_paxos.cc.o.d"
+  "CMakeFiles/nadreg_apps.dir/fast_mutex.cc.o"
+  "CMakeFiles/nadreg_apps.dir/fast_mutex.cc.o.d"
+  "CMakeFiles/nadreg_apps.dir/ranked_register.cc.o"
+  "CMakeFiles/nadreg_apps.dir/ranked_register.cc.o.d"
+  "CMakeFiles/nadreg_apps.dir/shared_log.cc.o"
+  "CMakeFiles/nadreg_apps.dir/shared_log.cc.o.d"
+  "libnadreg_apps.a"
+  "libnadreg_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadreg_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadreg_checker.dir/consistency.cc.o"
+  "CMakeFiles/nadreg_checker.dir/consistency.cc.o.d"
+  "CMakeFiles/nadreg_checker.dir/history.cc.o"
+  "CMakeFiles/nadreg_checker.dir/history.cc.o.d"
+  "libnadreg_checker.a"
+  "libnadreg_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadreg_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

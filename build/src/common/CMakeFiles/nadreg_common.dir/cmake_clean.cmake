@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadreg_common.dir/codec.cc.o"
+  "CMakeFiles/nadreg_common.dir/codec.cc.o.d"
+  "CMakeFiles/nadreg_common.dir/log.cc.o"
+  "CMakeFiles/nadreg_common.dir/log.cc.o.d"
+  "libnadreg_common.a"
+  "libnadreg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadreg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

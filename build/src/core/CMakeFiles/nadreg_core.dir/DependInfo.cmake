@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/layout.cc" "src/core/CMakeFiles/nadreg_core.dir/layout.cc.o" "gcc" "src/core/CMakeFiles/nadreg_core.dir/layout.cc.o.d"
+  "/root/repo/src/core/mwmr_atomic.cc" "src/core/CMakeFiles/nadreg_core.dir/mwmr_atomic.cc.o" "gcc" "src/core/CMakeFiles/nadreg_core.dir/mwmr_atomic.cc.o.d"
+  "/root/repo/src/core/mwsr_seqcst.cc" "src/core/CMakeFiles/nadreg_core.dir/mwsr_seqcst.cc.o" "gcc" "src/core/CMakeFiles/nadreg_core.dir/mwsr_seqcst.cc.o.d"
+  "/root/repo/src/core/name_snapshot.cc" "src/core/CMakeFiles/nadreg_core.dir/name_snapshot.cc.o" "gcc" "src/core/CMakeFiles/nadreg_core.dir/name_snapshot.cc.o.d"
+  "/root/repo/src/core/oneshot.cc" "src/core/CMakeFiles/nadreg_core.dir/oneshot.cc.o" "gcc" "src/core/CMakeFiles/nadreg_core.dir/oneshot.cc.o.d"
+  "/root/repo/src/core/register_set.cc" "src/core/CMakeFiles/nadreg_core.dir/register_set.cc.o" "gcc" "src/core/CMakeFiles/nadreg_core.dir/register_set.cc.o.d"
+  "/root/repo/src/core/swmr_atomic.cc" "src/core/CMakeFiles/nadreg_core.dir/swmr_atomic.cc.o" "gcc" "src/core/CMakeFiles/nadreg_core.dir/swmr_atomic.cc.o.d"
+  "/root/repo/src/core/swsr_atomic.cc" "src/core/CMakeFiles/nadreg_core.dir/swsr_atomic.cc.o" "gcc" "src/core/CMakeFiles/nadreg_core.dir/swsr_atomic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nadreg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

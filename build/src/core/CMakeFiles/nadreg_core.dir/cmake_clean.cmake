@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadreg_core.dir/layout.cc.o"
+  "CMakeFiles/nadreg_core.dir/layout.cc.o.d"
+  "CMakeFiles/nadreg_core.dir/mwmr_atomic.cc.o"
+  "CMakeFiles/nadreg_core.dir/mwmr_atomic.cc.o.d"
+  "CMakeFiles/nadreg_core.dir/mwsr_seqcst.cc.o"
+  "CMakeFiles/nadreg_core.dir/mwsr_seqcst.cc.o.d"
+  "CMakeFiles/nadreg_core.dir/name_snapshot.cc.o"
+  "CMakeFiles/nadreg_core.dir/name_snapshot.cc.o.d"
+  "CMakeFiles/nadreg_core.dir/oneshot.cc.o"
+  "CMakeFiles/nadreg_core.dir/oneshot.cc.o.d"
+  "CMakeFiles/nadreg_core.dir/register_set.cc.o"
+  "CMakeFiles/nadreg_core.dir/register_set.cc.o.d"
+  "CMakeFiles/nadreg_core.dir/swmr_atomic.cc.o"
+  "CMakeFiles/nadreg_core.dir/swmr_atomic.cc.o.d"
+  "CMakeFiles/nadreg_core.dir/swsr_atomic.cc.o"
+  "CMakeFiles/nadreg_core.dir/swsr_atomic.cc.o.d"
+  "libnadreg_core.a"
+  "libnadreg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadreg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

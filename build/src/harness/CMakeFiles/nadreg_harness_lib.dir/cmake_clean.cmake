@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadreg_harness_lib.dir/workload.cc.o"
+  "CMakeFiles/nadreg_harness_lib.dir/workload.cc.o.d"
+  "libnadreg_harness_lib.a"
+  "libnadreg_harness_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadreg_harness_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

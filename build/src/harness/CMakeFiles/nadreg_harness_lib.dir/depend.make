@@ -1,0 +1,2 @@
+# Empty dependencies file for nadreg_harness_lib.
+# This may be replaced when dependencies are built.

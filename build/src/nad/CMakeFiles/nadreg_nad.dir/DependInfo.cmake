@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nad/client.cc" "src/nad/CMakeFiles/nadreg_nad.dir/client.cc.o" "gcc" "src/nad/CMakeFiles/nadreg_nad.dir/client.cc.o.d"
+  "/root/repo/src/nad/persistence.cc" "src/nad/CMakeFiles/nadreg_nad.dir/persistence.cc.o" "gcc" "src/nad/CMakeFiles/nadreg_nad.dir/persistence.cc.o.d"
+  "/root/repo/src/nad/protocol.cc" "src/nad/CMakeFiles/nadreg_nad.dir/protocol.cc.o" "gcc" "src/nad/CMakeFiles/nadreg_nad.dir/protocol.cc.o.d"
+  "/root/repo/src/nad/server.cc" "src/nad/CMakeFiles/nadreg_nad.dir/server.cc.o" "gcc" "src/nad/CMakeFiles/nadreg_nad.dir/server.cc.o.d"
+  "/root/repo/src/nad/socket.cc" "src/nad/CMakeFiles/nadreg_nad.dir/socket.cc.o" "gcc" "src/nad/CMakeFiles/nadreg_nad.dir/socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nadreg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nadreg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadreg_nad.dir/client.cc.o"
+  "CMakeFiles/nadreg_nad.dir/client.cc.o.d"
+  "CMakeFiles/nadreg_nad.dir/persistence.cc.o"
+  "CMakeFiles/nadreg_nad.dir/persistence.cc.o.d"
+  "CMakeFiles/nadreg_nad.dir/protocol.cc.o"
+  "CMakeFiles/nadreg_nad.dir/protocol.cc.o.d"
+  "CMakeFiles/nadreg_nad.dir/server.cc.o"
+  "CMakeFiles/nadreg_nad.dir/server.cc.o.d"
+  "CMakeFiles/nadreg_nad.dir/socket.cc.o"
+  "CMakeFiles/nadreg_nad.dir/socket.cc.o.d"
+  "libnadreg_nad.a"
+  "libnadreg_nad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadreg_nad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

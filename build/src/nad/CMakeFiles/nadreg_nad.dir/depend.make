@@ -1,0 +1,2 @@
+# Empty dependencies file for nadreg_nad.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/active_farm.cc" "src/sim/CMakeFiles/nadreg_sim.dir/active_farm.cc.o" "gcc" "src/sim/CMakeFiles/nadreg_sim.dir/active_farm.cc.o.d"
+  "/root/repo/src/sim/det_farm.cc" "src/sim/CMakeFiles/nadreg_sim.dir/det_farm.cc.o" "gcc" "src/sim/CMakeFiles/nadreg_sim.dir/det_farm.cc.o.d"
+  "/root/repo/src/sim/explorer.cc" "src/sim/CMakeFiles/nadreg_sim.dir/explorer.cc.o" "gcc" "src/sim/CMakeFiles/nadreg_sim.dir/explorer.cc.o.d"
+  "/root/repo/src/sim/sim_farm.cc" "src/sim/CMakeFiles/nadreg_sim.dir/sim_farm.cc.o" "gcc" "src/sim/CMakeFiles/nadreg_sim.dir/sim_farm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nadreg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

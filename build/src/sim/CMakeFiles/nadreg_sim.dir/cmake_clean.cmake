@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nadreg_sim.dir/active_farm.cc.o"
+  "CMakeFiles/nadreg_sim.dir/active_farm.cc.o.d"
+  "CMakeFiles/nadreg_sim.dir/det_farm.cc.o"
+  "CMakeFiles/nadreg_sim.dir/det_farm.cc.o.d"
+  "CMakeFiles/nadreg_sim.dir/explorer.cc.o"
+  "CMakeFiles/nadreg_sim.dir/explorer.cc.o.d"
+  "CMakeFiles/nadreg_sim.dir/sim_farm.cc.o"
+  "CMakeFiles/nadreg_sim.dir/sim_farm.cc.o.d"
+  "libnadreg_sim.a"
+  "libnadreg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nadreg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnadreg_sim.a"
+)

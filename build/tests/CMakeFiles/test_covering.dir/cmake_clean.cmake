@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_covering.dir/test_covering.cc.o"
+  "CMakeFiles/test_covering.dir/test_covering.cc.o.d"
+  "test_covering"
+  "test_covering.pdb"
+  "test_covering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_covering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

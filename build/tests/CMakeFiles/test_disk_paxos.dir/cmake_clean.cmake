@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disk_paxos.dir/test_disk_paxos.cc.o"
+  "CMakeFiles/test_disk_paxos.dir/test_disk_paxos.cc.o.d"
+  "test_disk_paxos"
+  "test_disk_paxos.pdb"
+  "test_disk_paxos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disk_paxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

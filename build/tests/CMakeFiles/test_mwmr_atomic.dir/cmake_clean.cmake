@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mwmr_atomic.dir/test_mwmr_atomic.cc.o"
+  "CMakeFiles/test_mwmr_atomic.dir/test_mwmr_atomic.cc.o.d"
+  "test_mwmr_atomic"
+  "test_mwmr_atomic.pdb"
+  "test_mwmr_atomic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mwmr_atomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mwsr_seqcst.dir/test_mwsr_seqcst.cc.o"
+  "CMakeFiles/test_mwsr_seqcst.dir/test_mwsr_seqcst.cc.o.d"
+  "test_mwsr_seqcst"
+  "test_mwsr_seqcst.pdb"
+  "test_mwsr_seqcst[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mwsr_seqcst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

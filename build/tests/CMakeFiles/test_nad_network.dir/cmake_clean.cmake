@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nad_network.dir/test_nad_network.cc.o"
+  "CMakeFiles/test_nad_network.dir/test_nad_network.cc.o.d"
+  "test_nad_network"
+  "test_nad_network.pdb"
+  "test_nad_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nad_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nad_robustness.dir/test_nad_robustness.cc.o"
+  "CMakeFiles/test_nad_robustness.dir/test_nad_robustness.cc.o.d"
+  "test_nad_robustness"
+  "test_nad_robustness.pdb"
+  "test_nad_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nad_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

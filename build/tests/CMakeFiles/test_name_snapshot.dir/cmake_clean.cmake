@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_name_snapshot.dir/test_name_snapshot.cc.o"
+  "CMakeFiles/test_name_snapshot.dir/test_name_snapshot.cc.o.d"
+  "test_name_snapshot"
+  "test_name_snapshot.pdb"
+  "test_name_snapshot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_name_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

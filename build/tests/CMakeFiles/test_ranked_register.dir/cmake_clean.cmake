@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ranked_register.dir/test_ranked_register.cc.o"
+  "CMakeFiles/test_ranked_register.dir/test_ranked_register.cc.o.d"
+  "test_ranked_register"
+  "test_ranked_register.pdb"
+  "test_ranked_register[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ranked_register.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

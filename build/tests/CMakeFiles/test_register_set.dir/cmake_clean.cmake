@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_register_set.dir/test_register_set.cc.o"
+  "CMakeFiles/test_register_set.dir/test_register_set.cc.o.d"
+  "test_register_set"
+  "test_register_set.pdb"
+  "test_register_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_register_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

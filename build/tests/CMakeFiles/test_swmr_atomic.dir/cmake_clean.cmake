@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swmr_atomic.dir/test_swmr_atomic.cc.o"
+  "CMakeFiles/test_swmr_atomic.dir/test_swmr_atomic.cc.o.d"
+  "test_swmr_atomic"
+  "test_swmr_atomic.pdb"
+  "test_swmr_atomic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swmr_atomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

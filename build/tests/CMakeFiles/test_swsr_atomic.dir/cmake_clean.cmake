@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swsr_atomic.dir/test_swsr_atomic.cc.o"
+  "CMakeFiles/test_swsr_atomic.dir/test_swsr_atomic.cc.o.d"
+  "test_swsr_atomic"
+  "test_swsr_atomic.pdb"
+  "test_swsr_atomic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swsr_atomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_codec[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_farm[1]_include.cmake")
+include("/root/repo/build/tests/test_det_farm[1]_include.cmake")
+include("/root/repo/build/tests/test_register_set[1]_include.cmake")
+include("/root/repo/build/tests/test_swsr_atomic[1]_include.cmake")
+include("/root/repo/build/tests/test_swmr_atomic[1]_include.cmake")
+include("/root/repo/build/tests/test_mwsr_seqcst[1]_include.cmake")
+include("/root/repo/build/tests/test_oneshot[1]_include.cmake")
+include("/root/repo/build/tests/test_checker[1]_include.cmake")
+include("/root/repo/build/tests/test_name_snapshot[1]_include.cmake")
+include("/root/repo/build/tests/test_mwmr_atomic[1]_include.cmake")
+include("/root/repo/build/tests/test_nad_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_nad_network[1]_include.cmake")
+include("/root/repo/build/tests/test_adversary[1]_include.cmake")
+include("/root/repo/build/tests/test_disk_paxos[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_explorer[1]_include.cmake")
+include("/root/repo/build/tests/test_ranked_register[1]_include.cmake")
+include("/root/repo/build/tests/test_persistence[1]_include.cmake")
+include("/root/repo/build/tests/test_covering[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_config_store[1]_include.cmake")
+include("/root/repo/build/tests/test_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_soak[1]_include.cmake")
+include("/root/repo/build/tests/test_nad_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_address[1]_include.cmake")
