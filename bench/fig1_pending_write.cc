@@ -13,6 +13,7 @@
 #include "core/config.h"
 #include "core/swsr_atomic.h"
 #include "sim/det_farm.h"
+#include "table_common.h"
 
 int main() {
   using namespace nadreg;
@@ -55,5 +56,6 @@ int main() {
               ok ? "REPRODUCED" : "MISMATCH");
   std::printf("This phenomenon is the engine of every impossibility proof in the paper\n");
   std::printf("(see table1/table2/table3 harnesses for the proofs run mechanically).\n\n");
+  bench::EmitMetricsArtifact("fig1_pending_write");
   return ok ? 0 : 1;
 }

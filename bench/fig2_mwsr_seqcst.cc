@@ -19,6 +19,7 @@
 #include "core/config.h"
 #include "core/mwsr_seqcst.h"
 #include "sim/sim_farm.h"
+#include "table_common.h"
 
 namespace {
 
@@ -131,5 +132,6 @@ int main() {
   std::printf("scales with writers: %s\n", ok ? "yes" : "NO");
   std::printf("\nFIGURE 2: %s\n\n", ok ? "REPRODUCED (cost model matches the algorithm)"
                                        : "MISMATCH");
+  bench::EmitMetricsArtifact("fig2_mwsr_seqcst");
   return ok ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 #include "core/mwmr_atomic.h"
 #include "core/mwsr_seqcst.h"
 #include "sim/sim_farm.h"
+#include "table_common.h"
 
 namespace {
 
@@ -152,5 +153,6 @@ int main() {
   std::printf("\nFIGURE 3: %s\n\n",
               ok ? "REPRODUCED (cost model matches the construction)"
                  : "MISMATCH");
+  bench::EmitMetricsArtifact("fig3_mwmr_atomic");
   return ok ? 0 : 1;
 }

@@ -68,5 +68,6 @@ int main() {
                        "a fortiori: a MWMR register would implement both "
                        "broken cells above"});
 
+  EmitMetricsArtifact("table1_waitfree_atomic");
   return PrintMatrixAndVerdict("TABLE 1", cells);
 }

@@ -96,5 +96,6 @@ int main() {
                        "a fortiori: a MWMR register restricted to one "
                        "reader is a MWSR register"});
 
+  EmitMetricsArtifact("table2_atomic_reliable");
   return PrintMatrixAndVerdict("TABLE 2", cells);
 }

@@ -69,5 +69,6 @@ int main() {
                        "a fortiori: a MWMR register restricted to one "
                        "writer is a SWMR register"});
 
+  EmitMetricsArtifact("table3_seqcst");
   return PrintMatrixAndVerdict("TABLE 3", cells);
 }

@@ -58,5 +58,6 @@ int main() {
     std::printf("\n");
   }
 
+  EmitMetricsArtifact("table4_infinite");
   return PrintMatrixAndVerdict("TABLE 4", cells);
 }

@@ -2,13 +2,32 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "adversary/schedules.h"
 #include "campaigns.h"
+#include "obs/metrics.h"
 
 namespace nadreg::bench {
+
+/// Dumps the process-wide metrics registry (quorum-wait and per-phase
+/// latency histograms, op counters) as `<bench>_metrics.json` next to the
+/// binary's working directory — or into $NADREG_METRICS_DIR when set — so
+/// every table/figure run leaves a machine-readable record of where the
+/// time went.
+inline void EmitMetricsArtifact(const std::string& bench_name) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("NADREG_METRICS_DIR")) dir = env;
+  const std::string path = dir + "/" + bench_name + "_metrics.json";
+  Status s = obs::Registry::Global().WriteJsonFile(path);
+  if (s.ok()) {
+    std::printf("metrics artifact: %s\n", path.c_str());
+  } else {
+    std::printf("metrics artifact: NOT WRITTEN (%s)\n", s.ToString().c_str());
+  }
+}
 
 struct Cell {
   std::string row;       // "Single-Writer" / "Multi-Writer"

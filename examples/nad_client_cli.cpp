@@ -5,10 +5,16 @@
 //   $ ./examples/nad_client --ports 7001,7002,7003 write 0 5 "hello"
 //   $ ./examples/nad_client --ports 7001,7002,7003 read 1 5
 //
+//   # the same with full endpoints (disks on other hosts):
+//   $ ./examples/nad_client --disks a:7001,b:7001,c:7001 read 1 5
+//
 //   # an atomic SWMR register emulated across ALL the listed disks
 //   # (tolerates (n-1)/2 of them being down):
 //   $ ./examples/nad_client --ports 7001,7002,7003 reg-write "value"
 //   $ ./examples/nad_client --ports 7001,7002,7003 reg-read
+//
+//   # one disk daemon's metrics (request counts, service latency):
+//   $ ./examples/nad_client --ports 7001,7002,7003 stats 0
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,26 +29,34 @@
 
 namespace {
 
-std::vector<std::uint16_t> ParsePorts(const std::string& csv) {
-  std::vector<std::uint16_t> ports;
+/// Splits "a,b,c" and parses each piece as [host:]port.
+std::vector<nadreg::nad::Endpoint> ParseEndpoints(const std::string& csv) {
+  std::vector<nadreg::nad::Endpoint> eps;
   std::size_t pos = 0;
-  while (pos < csv.size()) {
+  while (pos <= csv.size()) {
     std::size_t comma = csv.find(',', pos);
     if (comma == std::string::npos) comma = csv.size();
-    ports.push_back(
-        static_cast<std::uint16_t>(std::atoi(csv.substr(pos, comma - pos).c_str())));
+    auto ep = nadreg::nad::ParseEndpoint(csv.substr(pos, comma - pos));
+    if (!ep) {
+      std::fprintf(stderr, "bad endpoint '%s': %s\n",
+                   csv.substr(pos, comma - pos).c_str(),
+                   ep.status().ToString().c_str());
+      return {};
+    }
+    eps.push_back(std::move(*ep));
     pos = comma + 1;
   }
-  return ports;
+  return eps;
 }
 
 int Usage(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s --ports P0,P1,... <command>\n"
+               "usage: %s (--ports P0,P1,... | --disks H0:P0,H1:P1,...) <command>\n"
                "  write <disk> <block> <value>   raw block write\n"
                "  read <disk> <block>            raw block read\n"
                "  reg-write <value>              emulated atomic register write\n"
-               "  reg-read                       emulated atomic register read\n",
+               "  reg-read                       emulated atomic register read\n"
+               "  stats <disk>                   server metrics (STATS opcode)\n",
                prog);
   return 2;
 }
@@ -53,18 +67,18 @@ int main(int argc, char** argv) {
   using namespace nadreg;
   using namespace std::chrono_literals;
 
-  std::vector<std::uint16_t> ports;
+  std::vector<nad::Endpoint> eps;
   int argi = 1;
-  if (argi + 1 < argc && std::strcmp(argv[argi], "--ports") == 0) {
-    ports = ParsePorts(argv[argi + 1]);
+  if (argi + 1 < argc && (std::strcmp(argv[argi], "--ports") == 0 ||
+                          std::strcmp(argv[argi], "--disks") == 0)) {
+    eps = ParseEndpoints(argv[argi + 1]);
     argi += 2;
   }
-  if (ports.empty() || argi >= argc) return Usage(argv[0]);
+  if (eps.empty() || argi >= argc) return Usage(argv[0]);
 
   std::map<DiskId, nad::NadClient::Endpoint> endpoints;
-  for (std::size_t d = 0; d < ports.size(); ++d) {
-    endpoints[static_cast<DiskId>(d)] =
-        nad::NadClient::Endpoint{"127.0.0.1", ports[d]};
+  for (std::size_t d = 0; d < eps.size(); ++d) {
+    endpoints[static_cast<DiskId>(d)] = eps[d];
   }
   auto client = nad::NadClient::Connect(endpoints);
   if (!client) {
@@ -99,9 +113,20 @@ int main(int argc, char** argv) {
     std::printf("%s\n", fut.get().c_str());
     return 0;
   }
+  if (cmd == "stats" && argi < argc) {
+    const auto d = static_cast<DiskId>(std::atoi(argv[argi]));
+    auto text = (*client)->QueryStats(d, 3000ms);
+    if (!text) {
+      std::fprintf(stderr, "stats failed: %s\n",
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", text->c_str());
+    return 0;
+  }
 
   // Emulated register commands: one register spread over all listed disks.
-  const auto n = static_cast<std::uint32_t>(ports.size());
+  const auto n = static_cast<std::uint32_t>(eps.size());
   if (n % 2 == 0) {
     std::fprintf(stderr, "reg-* needs an odd number of disks (2t+1)\n");
     return 2;
@@ -116,9 +141,10 @@ int main(int argc, char** argv) {
   }
   if (cmd == "reg-read") {
     core::SwmrAtomicReader reader(**client, cfg, regs, 2);
-    auto v = reader.ReadWithDeadline(3000ms);
+    auto v = reader.Read(OpOptions::WithDeadline(3000ms));
     if (!v) {
-      std::fprintf(stderr, "timeout: too many disks unresponsive?\n");
+      std::fprintf(stderr, "%s: too many disks unresponsive?\n",
+                   v.status().ToString().c_str());
       return 1;
     }
     std::printf("%s\n", v->empty() ? "<initial>" : v->c_str());

@@ -1,16 +1,20 @@
 // Run a real network-attached disk daemon.
 //
-//   $ ./examples/nad_server --port 7001 [--min-delay-us 0] [--max-delay-us 0]
+//   $ ./examples/nad_server --listen 7001              # 127.0.0.1:7001
+//   $ ./examples/nad_server --listen 0.0.0.0:7001      # all interfaces
+//   $ ./examples/nad_server --port 7001                # legacy spelling
 //
 // The daemon serves read-block / write-block requests for any disk id on
 // a frame-oriented TCP protocol (see src/nad/protocol.h). Point
 // nad_client_cli (or any NadClient) at a set of these to get a live SAN.
+// The STATS opcode (nad_client_cli `stats <disk>`) returns its metrics.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <semaphore>
 
+#include "nad/protocol.h"
 #include "nad/server.h"
 
 namespace {
@@ -25,6 +29,15 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       opts.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
+      auto ep = nad::ParseEndpoint(argv[++i]);
+      if (!ep) {
+        std::fprintf(stderr, "bad --listen %s: %s\n", argv[i],
+                     ep.status().ToString().c_str());
+        return 2;
+      }
+      opts.host = ep->host;
+      opts.port = ep->port;
     } else if (std::strcmp(argv[i], "--min-delay-us") == 0 && i + 1 < argc) {
       opts.min_delay_us = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--max-delay-us") == 0 && i + 1 < argc) {
@@ -33,8 +46,8 @@ int main(int argc, char** argv) {
       opts.data_path = argv[++i];  // durable: journal + recovery
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
-          "usage: %s [--port N] [--min-delay-us N] [--max-delay-us N] "
-          "[--data-path PATH]\n",
+          "usage: %s [--listen [HOST:]PORT | --port N] [--min-delay-us N] "
+          "[--max-delay-us N] [--data-path PATH]\n",
           argv[0]);
       return 0;
     } else {
@@ -49,8 +62,8 @@ int main(int argc, char** argv) {
                  server.status().ToString().c_str());
     return 1;
   }
-  std::printf("nad-server listening on 127.0.0.1:%u (service delay %llu-%llu us)\n",
-              (*server)->port(),
+  std::printf("nad-server listening on %s:%u (service delay %llu-%llu us)\n",
+              opts.host.c_str(), (*server)->port(),
               static_cast<unsigned long long>(opts.min_delay_us),
               static_cast<unsigned long long>(opts.max_delay_us));
   std::printf("press Ctrl-C to stop\n");

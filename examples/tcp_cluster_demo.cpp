@@ -3,8 +3,13 @@
 // register, Disk Paxos consensus — kill a daemon mid-run, then restart it
 // from its journal and show the state survived.
 //
+// The whole run is captured as a chrome://tracing span file
+// (tcp_cluster_trace.json, or $NADREG_TRACE_PATH): every RPC round trip,
+// quorum wait, snapshot collect pass and write-back phase is a span.
+//
 //   $ ./examples/tcp_cluster_demo
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -16,6 +21,7 @@
 #include "core/mwmr_atomic.h"
 #include "nad/client.h"
 #include "nad/server.h"
+#include "obs/trace.h"
 
 int main() {
   using namespace nadreg;
@@ -29,9 +35,20 @@ int main() {
   std::printf("tcp cluster demo: %u durable disk daemons on loopback (t=%u)\n\n",
               cfg.num_disks(), cfg.t);
 
+  // 0. Capture the whole run as a chrome://tracing file.
+  const char* trace_env = std::getenv("NADREG_TRACE_PATH");
+  const std::string trace_path =
+      trace_env != nullptr ? trace_env : "tcp_cluster_trace.json";
+  if (Status s = obs::StartTrace(trace_path); s.ok()) {
+    std::printf("trace capture: %s (open in chrome://tracing)\n\n",
+                trace_path.c_str());
+  } else {
+    std::printf("trace capture unavailable: %s\n\n", s.ToString().c_str());
+  }
+
   // 1. Start the disk daemons (each with its own journal).
   std::vector<std::unique_ptr<nad::NadServer>> servers;
-  std::map<DiskId, nad::NadClient::Endpoint> endpoints;
+  std::map<DiskId, nad::Endpoint> endpoints;
   std::vector<std::uint16_t> ports;
   for (DiskId d = 0; d < cfg.num_disks(); ++d) {
     nad::NadServer::Options opts;
@@ -43,7 +60,7 @@ int main() {
       return 1;
     }
     ports.push_back((*server)->port());
-    endpoints[d] = nad::NadClient::Endpoint{"127.0.0.1", ports.back()};
+    endpoints[d] = nad::Endpoint{"127.0.0.1", ports.back()};
     std::printf("  disk %u: 127.0.0.1:%u (journal: %s.log)\n", d, ports.back(),
                 opts.data_path.c_str());
     servers.push_back(std::move(*server));
@@ -88,6 +105,8 @@ int main() {
                 (*server)->port(), (*server)->RecoveredCount());
     servers[0] = std::move(*server);
   }
+
+  obs::StopTrace();
 
   const bool ok = v && v2 && d0 == d1;
   std::printf("\n%s\n", ok ? "OK — full stack on real sockets with a disk "

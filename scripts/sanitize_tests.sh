@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs the tier-1 test suite under sanitizers: once with ASan+UBSan, once
+# with TSan. Each sanitizer gets its own build tree (build-asan/,
+# build-tsan/) so the default build/ is never disturbed.
+#
+#   $ scripts/sanitize_tests.sh           # both sanitizers
+#   $ scripts/sanitize_tests.sh asan      # just address+undefined
+#   $ scripts/sanitize_tests.sh tsan      # just thread
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+which="${1:-all}"
+
+run_one() {
+  local preset="$1"
+  echo "================================================================"
+  echo ">>> tier-1 tests under preset '$preset'"
+  echo "================================================================"
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j"$(nproc)"
+  ctest --preset "$preset" -j"$(nproc)"
+}
+
+case "$which" in
+  asan) run_one asan-ubsan ;;
+  tsan) run_one tsan ;;
+  all)
+    run_one asan-ubsan
+    run_one tsan
+    ;;
+  *)
+    echo "usage: $0 [asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac

@@ -2,7 +2,25 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace nadreg::core {
+
+namespace {
+
+obs::Histogram& WriteHist() {
+  static obs::Histogram& h =
+      obs::Registry::Global().GetHistogram("mwmr.write_us");
+  return h;
+}
+obs::Histogram& ReadHist() {
+  static obs::Histogram& h =
+      obs::Registry::Global().GetHistogram("mwmr.read_us");
+  return h;
+}
+
+}  // namespace
 
 MwmrAtomic::MwmrAtomic(BaseRegisterClient& client, const FarmConfig& farm,
                        std::uint32_t object, ProcessId self)
@@ -25,45 +43,89 @@ OneShotRegister& MwmrAtomic::ValueReg(const Name& n) {
 }
 
 const SnapRecord* MwmrAtomic::ReadValue(const Name& n) {
+  auto rec = ReadValueUntil(n, std::nullopt);
+  assert(rec.ok());
+  return *rec;
+}
+
+Expected<const SnapRecord*> MwmrAtomic::ReadValueUntil(const Name& n,
+                                                       OpDeadline deadline) {
   auto it = known_values_.find(n);
-  if (it != known_values_.end()) return &it->second;
-  auto bytes = ValueReg(n).Read();
-  if (!bytes) return nullptr;
-  auto rec = DecodeSnapRecord(*bytes);
+  if (it != known_values_.end()) {
+    return const_cast<const SnapRecord*>(&it->second);
+  }
+  auto bytes = ValueReg(n).ReadUntil(deadline);
+  if (!bytes.ok()) return bytes.status();
+  if (!bytes->has_value()) return static_cast<const SnapRecord*>(nullptr);
+  auto rec = DecodeSnapRecord(**bytes);
   assert(rec.ok() && "stored v[n] record must decode");
-  if (!rec.ok()) return nullptr;
-  return &known_values_.emplace(n, std::move(*rec)).first->second;
+  if (!rec.ok()) return static_cast<const SnapRecord*>(nullptr);
+  return const_cast<const SnapRecord*>(
+      &known_values_.emplace(n, std::move(*rec)).first->second);
 }
 
 void MwmrAtomic::WriteAs(const Name& name, const std::string& value) {
-  std::vector<Name> snapshot = snap_.Snapshot(name);
-  SnapRecord rec;
-  rec.value = value;
-  rec.snapshot = std::move(snapshot);
-  Status s = ValueReg(name).Write(EncodeSnapRecord(rec));
+  Status s = WriteAsUntil(name, value, std::nullopt);
   assert(s.ok() && "a name must be used for at most one WRITE");
   (void)s;
 }
 
+Status MwmrAtomic::WriteAsUntil(const Name& name, const std::string& value,
+                                OpDeadline deadline) {
+  obs::ScopedPhase phase(&WriteHist(), "mwmr", "write");
+  auto snapshot = snap_.SnapshotUntil(name, deadline);
+  if (!snapshot.ok()) {
+    ++timeouts_;
+    return snapshot.status();
+  }
+  SnapRecord rec;
+  rec.value = value;
+  rec.snapshot = std::move(*snapshot);
+  Status s = ValueReg(name).WriteUntil(EncodeSnapRecord(rec), deadline);
+  if (!s.ok()) {
+    ++timeouts_;
+    return s;
+  }
+  ++writes_done_;
+  return Status::Ok();
+}
+
 std::optional<std::string> MwmrAtomic::ReadAs(const Name& name) {
-  std::vector<Name> snapshot = snap_.Snapshot(name);
+  auto v = ReadAsUntil(name, std::nullopt);
+  assert(v.ok());
+  return std::move(*v);
+}
+
+Expected<std::optional<std::string>> MwmrAtomic::ReadAsUntil(
+    const Name& name, OpDeadline deadline) {
+  obs::ScopedPhase phase(&ReadHist(), "mwmr", "read");
+  auto snapshot = snap_.SnapshotUntil(name, deadline);
+  if (!snapshot.ok()) {
+    ++timeouts_;
+    return snapshot.status();
+  }
   // Pick the member of T with the largest stored snapshot. Inclusion order
   // reduces to size order under Total Ordering; identical snapshots are
   // tie-broken by larger writer name (any fixed rule works).
   const SnapRecord* best = nullptr;
   Name best_name{};
-  for (const Name& m : snapshot) {
-    const SnapRecord* rec = ReadValue(m);
-    if (rec == nullptr) continue;  // empty entry: reader or unfinished WRITE
+  for (const Name& m : *snapshot) {
+    auto rec = ReadValueUntil(m, deadline);
+    if (!rec.ok()) {
+      ++timeouts_;
+      return rec.status();
+    }
+    if (*rec == nullptr) continue;  // empty entry: reader or unfinished WRITE
     if (best == nullptr ||
-        rec->snapshot.size() > best->snapshot.size() ||
-        (rec->snapshot.size() == best->snapshot.size() && m > best_name)) {
-      best = rec;
+        (*rec)->snapshot.size() > best->snapshot.size() ||
+        ((*rec)->snapshot.size() == best->snapshot.size() && m > best_name)) {
+      best = *rec;
       best_name = m;
     }
   }
-  if (best == nullptr) return std::nullopt;
-  return best->value;
+  ++reads_done_;
+  if (best == nullptr) return std::optional<std::string>{};
+  return std::optional<std::string>{best->value};
 }
 
 std::vector<std::pair<Name, SnapRecord>> MwmrAtomic::CollectAll() {
@@ -88,5 +150,23 @@ void MwmrAtomic::Write(const std::string& value) {
 }
 
 std::optional<std::string> MwmrAtomic::Read() { return ReadAs(FreshName()); }
+
+Status MwmrAtomic::Write(const std::string& value, const OpOptions& opts) {
+  obs::ScopedPhase phase(nullptr, "mwmr", "write_op", opts.label);
+  return WriteAsUntil(FreshName(), value, opts.Start());
+}
+
+Expected<std::optional<std::string>> MwmrAtomic::Read(const OpOptions& opts) {
+  obs::ScopedPhase phase(nullptr, "mwmr", "read_op", opts.label);
+  return ReadAsUntil(FreshName(), opts.Start());
+}
+
+obs::PhaseCounters MwmrAtomic::op_metrics() const {
+  obs::PhaseCounters out = snap_.op_metrics();
+  out.reads = reads_done_;
+  out.writes = writes_done_;
+  out.deadline_timeouts = timeouts_;
+  return out;
+}
 
 }  // namespace nadreg::core

@@ -36,14 +36,17 @@
 
 #include "common/base_register.h"
 #include "common/codec.h"
+#include "common/op_options.h"
+#include "common/status.h"
 #include "core/address.h"
 #include "core/config.h"
 #include "core/name_snapshot.h"
 #include "core/oneshot.h"
+#include "obs/instrumented.h"
 
 namespace nadreg::core {
 
-class MwmrAtomic {
+class MwmrAtomic : public obs::Instrumented {
  public:
   /// One endpoint per process. `object` scopes the on-disk address space;
   /// endpoints of the same emulated register share the same `object`.
@@ -66,6 +69,16 @@ class MwmrAtomic {
   /// READ. nullopt = initial value.
   std::optional<std::string> Read();
 
+  // --- Unified API (deadline + trace label; see common/op_options.h) ------
+
+  /// kTimeout = abandoned past the deadline. The fresh name is consumed
+  /// either way (it may have been announced); the WRITE's value is only
+  /// visible if the final one-shot write reached a quorum — an abandoned
+  /// op looks to everyone else like a slow concurrent one, which the
+  /// model already admits.
+  Status Write(const std::string& value, const OpOptions& opts);
+  Expected<std::optional<std::string>> Read(const OpOptions& opts);
+
   /// Collects every WRITE record visible to a fresh snapshot, with the
   /// snapshot each WRITE stored (used by apps::SharedLog to derive a
   /// total order over all writes rather than just the latest).
@@ -74,9 +87,19 @@ class MwmrAtomic {
   /// Snapshot-layer statistics (collect passes, adoptions, sticky traffic).
   const NameSnapshot::Stats& snapshot_stats() const { return snap_.stats(); }
 
+  /// Unified phase counters: snapshot-layer traffic plus this endpoint's
+  /// completed READs/WRITEs and deadline timeouts.
+  obs::PhaseCounters op_metrics() const override;
+
  private:
   OneShotRegister& ValueReg(const Name& n);
   const SnapRecord* ReadValue(const Name& n);
+  Expected<const SnapRecord*> ReadValueUntil(const Name& n,
+                                             OpDeadline deadline);
+  Status WriteAsUntil(const Name& name, const std::string& value,
+                      OpDeadline deadline);
+  Expected<std::optional<std::string>> ReadAsUntil(const Name& name,
+                                                   OpDeadline deadline);
   Name FreshName();
 
   BaseRegisterClient& client_;
@@ -88,6 +111,9 @@ class MwmrAtomic {
   std::map<Name, std::unique_ptr<OneShotRegister>> value_regs_;
   // v[m] records are immutable once written; cache decoded ones.
   std::map<Name, SnapRecord> known_values_;
+  std::uint64_t reads_done_ = 0;
+  std::uint64_t writes_done_ = 0;
+  std::uint64_t timeouts_ = 0;
 };
 
 }  // namespace nadreg::core

@@ -2,7 +2,25 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace nadreg::core {
+
+namespace {
+
+obs::Histogram& WriteHist() {
+  static obs::Histogram& h =
+      obs::Registry::Global().GetHistogram("mwsr.write_us");
+  return h;
+}
+obs::Histogram& ReadHist() {
+  static obs::Histogram& h =
+      obs::Registry::Global().GetHistogram("mwsr.read_us");
+  return h;
+}
+
+}  // namespace
 
 MwsrWriter::MwsrWriter(BaseRegisterClient& client, const FarmConfig& farm,
                        std::vector<RegisterId> regs, ProcessId self)
@@ -12,10 +30,30 @@ MwsrWriter::MwsrWriter(BaseRegisterClient& client, const FarmConfig& farm,
 }
 
 void MwsrWriter::Write(const std::string& v) {
+  Status s = Write(v, OpOptions{});
+  assert(s.ok());
+  (void)s;
+}
+
+Status MwsrWriter::Write(const std::string& v, const OpOptions& opts) {
+  const OpDeadline deadline = opts.Start();
+  obs::ScopedPhase phase(&WriteHist(), "mwsr", "write", opts.label);
   ++seq_;
   TaggedValue tv{set_.self(), seq_, v};
   auto ticket = set_.WriteAll(EncodeTaggedValue(tv));
-  set_.Await(ticket, quorum_);
+  if (!set_.AwaitUntil(ticket, quorum_, deadline)) {
+    ++timeouts_;
+    return Status::Timeout("mwsr write: quorum not reached before deadline");
+  }
+  ++writes_done_;
+  return Status::Ok();
+}
+
+obs::PhaseCounters MwsrWriter::op_metrics() const {
+  obs::PhaseCounters out = set_.op_metrics();
+  out.writes = writes_done_;
+  out.deadline_timeouts = timeouts_;
+  return out;
 }
 
 MwsrReader::MwsrReader(BaseRegisterClient& client, const FarmConfig& farm,
@@ -26,8 +64,19 @@ MwsrReader::MwsrReader(BaseRegisterClient& client, const FarmConfig& farm,
 }
 
 std::string MwsrReader::Read() {
+  auto v = Read(OpOptions{});
+  assert(v.ok());
+  return std::move(*v);
+}
+
+Expected<std::string> MwsrReader::Read(const OpOptions& opts) {
+  const OpDeadline deadline = opts.Start();
+  obs::ScopedPhase phase(&ReadHist(), "mwsr", "read", opts.label);
   auto ticket = set_.ReadAll();
-  set_.Await(ticket, quorum_);
+  if (!set_.AwaitUntil(ticket, quorum_, deadline)) {
+    ++timeouts_;
+    return Status::Timeout("mwsr read: quorum not reached before deadline");
+  }
   // Fixed deterministic rule: among fresher triples, take the one from the
   // lowest base-register index (Results() is index-sorted).
   for (const auto& [idx, bytes] : ticket.Results()) {
@@ -42,7 +91,15 @@ std::string MwsrReader::Read() {
       break;
     }
   }
+  ++reads_done_;
   return lastv_;
+}
+
+obs::PhaseCounters MwsrReader::op_metrics() const {
+  obs::PhaseCounters out = set_.op_metrics();
+  out.reads = reads_done_;
+  out.deadline_timeouts = timeouts_;
+  return out;
 }
 
 }  // namespace nadreg::core

@@ -24,19 +24,23 @@
 // sequential consistency over random schedules.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/base_register.h"
 #include "common/codec.h"
+#include "common/op_options.h"
+#include "common/status.h"
 #include "core/config.h"
 #include "core/register_set.h"
+#include "obs/instrumented.h"
 
 namespace nadreg::core {
 
 /// Writer endpoint; construct one per writer process (any number).
-class MwsrWriter {
+class MwsrWriter : public obs::Instrumented {
  public:
   MwsrWriter(BaseRegisterClient& client, const FarmConfig& farm,
              std::vector<RegisterId> regs, ProcessId self);
@@ -44,14 +48,21 @@ class MwsrWriter {
   /// WRITE(v). Wait-free.
   void Write(const std::string& v);
 
+  /// Unified API: WRITE(v) under an optional deadline/trace label.
+  Status Write(const std::string& v, const OpOptions& opts);
+
+  obs::PhaseCounters op_metrics() const override;
+
  private:
   RegisterSet set_;
   std::size_t quorum_;
   SeqNum seq_ = 0;
+  std::uint64_t writes_done_ = 0;
+  std::uint64_t timeouts_ = 0;
 };
 
 /// Reader endpoint. Single designated reader: construct exactly one.
-class MwsrReader {
+class MwsrReader : public obs::Instrumented {
  public:
   MwsrReader(BaseRegisterClient& client, const FarmConfig& farm,
              std::vector<RegisterId> regs, ProcessId self);
@@ -59,11 +70,20 @@ class MwsrReader {
   /// READ(). Wait-free; returns lastv per Figure 2.
   std::string Read();
 
+  /// Unified API: READ under an optional deadline/trace label. kTimeout =
+  /// the majority read did not complete in time; the reader state
+  /// (seqs[], lastv) is unchanged by a timed-out READ.
+  Expected<std::string> Read(const OpOptions& opts);
+
+  obs::PhaseCounters op_metrics() const override;
+
  private:
   RegisterSet set_;
   std::size_t quorum_;
   std::string lastv_;
   std::unordered_map<ProcessId, SeqNum> seqs_;
+  std::uint64_t reads_done_ = 0;
+  std::uint64_t timeouts_ = 0;
 };
 
 }  // namespace nadreg::core

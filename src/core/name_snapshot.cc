@@ -5,11 +5,28 @@
 #include <utility>
 
 #include "common/codec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace nadreg::core {
 
 namespace {
 constexpr int kNameBits = 48;  // PackName width; trie depth
+
+obs::Histogram& CollectHist() {
+  static obs::Histogram& h =
+      obs::Registry::Global().GetHistogram("snap.collect_us");
+  return h;
+}
+obs::Histogram& SnapshotHist() {
+  static obs::Histogram& h =
+      obs::Registry::Global().GetHistogram("snap.snapshot_us");
+  return h;
+}
+obs::Counter& AdoptionCounter() {
+  static obs::Counter& c = obs::Registry::Global().GetCounter("snap.adoptions");
+  return c;
+}
 }  // namespace
 
 NameSnapshot::NameSnapshot(BaseRegisterClient& client, const FarmConfig& farm,
@@ -45,14 +62,21 @@ OneShotRegister& NameSnapshot::View(const Name& n) {
   return *it->second;
 }
 
-bool NameSnapshot::MarkIsSet(std::uint64_t trie_node) {
+Expected<bool> NameSnapshot::MarkIsSet(std::uint64_t trie_node,
+                                       OpDeadline deadline) {
   StickyBit& bit = Mark(trie_node);
   if (bit.KnownSet()) return true;  // sticky: stays set forever
   ++stats_.sticky_reads;
-  return bit.IsSet();
+  return bit.IsSetUntil(deadline);
 }
 
 void NameSnapshot::Announce(const Name& name) {
+  Status s = AnnounceUntil(name, std::nullopt);
+  assert(s.ok());
+  (void)s;
+}
+
+Status NameSnapshot::AnnounceUntil(const Name& name, OpDeadline deadline) {
   // All path bits are set CONCURRENTLY (one quorum round trip instead of
   // one per level). Safe because "the whole path is visible" — the
   // predicate collects test — is monotone and first becomes true at the
@@ -72,15 +96,30 @@ void NameSnapshot::Announce(const Name& name) {
       in_flight.emplace_back(&bit, bit.BeginSet());
     }
   }
-  for (auto& [bit, write] : in_flight) bit->FinishSet(write);
+  Status result = Status::Ok();
+  for (auto& [bit, write] : in_flight) {
+    // Drain every in-flight set even after a timeout: the writes are
+    // already issued and finishing the survivors costs no extra rounds.
+    if (Status s = bit->FinishSetUntil(write, deadline); !s.ok()) result = s;
+  }
+  return result;
 }
 
 std::vector<Name> NameSnapshot::Collect() {
-  ++stats_.collects;
-  return pipelined_collect_ ? CollectPipelined() : CollectSequential();
+  auto v = CollectUntil(std::nullopt);
+  assert(v.ok());
+  return std::move(*v);
 }
 
-std::vector<Name> NameSnapshot::CollectSequential() {
+Expected<std::vector<Name>> NameSnapshot::CollectUntil(OpDeadline deadline) {
+  ++stats_.collects;
+  obs::ScopedPhase phase(&CollectHist(), "snap", "collect");
+  return pipelined_collect_ ? CollectPipelined(deadline)
+                            : CollectSequential(deadline);
+}
+
+Expected<std::vector<Name>> NameSnapshot::CollectSequential(
+    OpDeadline deadline) {
   std::vector<Name> out;
   std::vector<std::pair<std::uint64_t, int>> stack;  // (trie node, depth)
   stack.emplace_back(TrieRoot(), 0);
@@ -93,14 +132,17 @@ std::vector<Name> NameSnapshot::CollectSequential() {
     }
     for (unsigned bit : {0u, 1u}) {
       const std::uint64_t child = TrieChild(node, bit);
-      if (MarkIsSet(child)) stack.emplace_back(child, depth + 1);
+      auto set = MarkIsSet(child, deadline);
+      if (!set.ok()) return set.status();
+      if (*set) stack.emplace_back(child, depth + 1);
     }
   }
   std::sort(out.begin(), out.end());
   return out;
 }
 
-std::vector<Name> NameSnapshot::CollectPipelined() {
+Expected<std::vector<Name>> NameSnapshot::CollectPipelined(
+    OpDeadline deadline) {
   // Level-order walk with a whole level's sticky reads outstanding at
   // once: O(depth) quorum round trips instead of one per marked node.
   std::vector<std::uint64_t> frontier{TrieRoot()};
@@ -126,9 +168,18 @@ std::vector<Name> NameSnapshot::CollectPipelined() {
         }
       }
     }
+    Status failed = Status::Ok();
     for (Probe& probe : probes) {
-      if (probe.bit->FinishIsSet(probe.inflight)) next.push_back(probe.node);
+      auto set = probe.bit->FinishIsSetUntil(probe.inflight, deadline);
+      if (!set.ok()) {
+        // Keep draining the remaining probes (their quorum reads are
+        // already in flight) but remember the timeout.
+        failed = set.status();
+        continue;
+      }
+      if (*set) next.push_back(probe.node);
     }
+    if (!failed.ok()) return failed;
     frontier = std::move(next);
   }
   std::vector<Name> out;
@@ -140,44 +191,71 @@ std::vector<Name> NameSnapshot::CollectPipelined() {
   return out;
 }
 
-const std::vector<Name>* NameSnapshot::ReadView(const Name& m) {
+Expected<const std::vector<Name>*> NameSnapshot::ReadView(
+    const Name& m, OpDeadline deadline) {
   auto it = known_views_.find(m);
-  if (it != known_views_.end()) return &it->second;
-  auto bytes = View(m).Read();
-  if (!bytes) return nullptr;
-  auto names = DecodeNameSet(*bytes);
+  if (it != known_views_.end()) {
+    return const_cast<const std::vector<Name>*>(&it->second);
+  }
+  auto bytes = View(m).ReadUntil(deadline);
+  if (!bytes.ok()) return bytes.status();
+  if (!bytes->has_value()) {
+    return static_cast<const std::vector<Name>*>(nullptr);
+  }
+  auto names = DecodeNameSet(**bytes);
   assert(names.ok() && "published view must decode");
-  if (!names.ok()) return nullptr;
-  return &known_views_.emplace(m, std::move(*names)).first->second;
+  if (!names.ok()) return static_cast<const std::vector<Name>*>(nullptr);
+  return const_cast<const std::vector<Name>*>(
+      &known_views_.emplace(m, std::move(*names)).first->second);
 }
 
 std::vector<Name> NameSnapshot::Snapshot(const Name& name) {
-  Announce(name);
-  std::vector<Name> v1 = Collect();
+  auto v = SnapshotUntil(name, std::nullopt);
+  assert(v.ok());
+  return std::move(*v);
+}
+
+Expected<std::vector<Name>> NameSnapshot::SnapshotUntil(const Name& name,
+                                                        OpDeadline deadline) {
+  obs::ScopedPhase op_phase(&SnapshotHist(), "snap", "snapshot");
+  if (Status s = AnnounceUntil(name, deadline); !s.ok()) return s;
+  auto v1 = CollectUntil(deadline);
+  if (!v1.ok()) return v1.status();
   for (;;) {
-    std::vector<Name> v2 = Collect();
-    if (v2 == v1) {
+    auto v2 = CollectUntil(deadline);
+    if (!v2.ok()) return v2.status();
+    if (*v2 == *v1) {
       // Clean pin: v1 is the directory's exact contents at the instant
       // between the two collects. Publish it for adopters, then return.
-      Status s = View(name).Write(EncodeNameSet(v1));
-      assert(s.ok() && "a name must be used for at most one Snapshot");
-      (void)s;
+      Status s = View(name).WriteUntil(EncodeNameSet(*v1), deadline);
+      if (!s.ok()) return s;
       return v1;
     }
     // Interference: some name announced between the collects. Any
     // concurrent operation that managed a clean pin after our announce has
     // published a view containing us — adopt it.
-    for (const Name& m : v2) {
+    for (const Name& m : *v2) {
       if (m == name) continue;
-      const std::vector<Name>* view = ReadView(m);
-      if (view != nullptr &&
-          std::binary_search(view->begin(), view->end(), name)) {
+      auto view = ReadView(m, deadline);
+      if (!view.ok()) return view.status();
+      if (*view != nullptr &&
+          std::binary_search((*view)->begin(), (*view)->end(), name)) {
         ++stats_.adoptions;
-        return *view;
+        AdoptionCounter().Inc();
+        return **view;
       }
     }
     v1 = std::move(v2);
   }
+}
+
+obs::PhaseCounters NameSnapshot::op_metrics() const {
+  obs::PhaseCounters out;
+  out.collects = stats_.collects;
+  out.adoptions = stats_.adoptions;
+  out.sticky_reads = stats_.sticky_reads;
+  out.sticky_sets = stats_.sticky_sets;
+  return out;
 }
 
 }  // namespace nadreg::core

@@ -48,6 +48,10 @@
 // clean collect publishes a view that all concurrent operations adopt.
 // All three *safety* properties — the only ones the Fig. 3 atomicity
 // proof uses — hold unconditionally.
+//
+// Observability: each collect pass is timed and traced ("snap.collect_us"
+// in the global obs registry; spans "snap/collect"), and the per-endpoint
+// Stats counters are surfaced through the unified Instrumented accessor.
 #pragma once
 
 #include <cstdint>
@@ -58,14 +62,17 @@
 #include <vector>
 
 #include "common/base_register.h"
+#include "common/op_options.h"
+#include "common/status.h"
 #include "common/types.h"
 #include "core/address.h"
 #include "core/config.h"
 #include "core/oneshot.h"
+#include "obs/instrumented.h"
 
 namespace nadreg::core {
 
-class NameSnapshot {
+class NameSnapshot : public obs::Instrumented {
  public:
   struct Stats {
     std::uint64_t collects = 0;       // total collect passes
@@ -90,6 +97,12 @@ class NameSnapshot {
   /// for at most one Snapshot call, ever, across the whole system.
   std::vector<Name> Snapshot(const Name& name);
 
+  /// Deadline-aware Snapshot (kTimeout = abandoned past `deadline`; the
+  /// name stays announced but publishes no view — safe, it just looks
+  /// like a slow concurrent operation to everyone else).
+  Expected<std::vector<Name>> SnapshotUntil(const Name& name,
+                                            OpDeadline deadline);
+
   /// Announce without snapshotting (exposed for tests/benches).
   void Announce(const Name& name);
   /// One collect pass (exposed for tests/benches).
@@ -97,12 +110,16 @@ class NameSnapshot {
 
   const Stats& stats() const { return stats_; }
 
+  obs::PhaseCounters op_metrics() const override;
+
  private:
   StickyBit& Mark(std::uint64_t trie_node);
   OneShotRegister& View(const Name& n);
-  bool MarkIsSet(std::uint64_t trie_node);
-  std::vector<Name> CollectSequential();
-  std::vector<Name> CollectPipelined();
+  Expected<bool> MarkIsSet(std::uint64_t trie_node, OpDeadline deadline);
+  Status AnnounceUntil(const Name& name, OpDeadline deadline);
+  Expected<std::vector<Name>> CollectUntil(OpDeadline deadline);
+  Expected<std::vector<Name>> CollectSequential(OpDeadline deadline);
+  Expected<std::vector<Name>> CollectPipelined(OpDeadline deadline);
 
   BaseRegisterClient& client_;
   FarmConfig farm_;
@@ -118,7 +135,8 @@ class NameSnapshot {
   // Committed views already decoded (immutable once written).
   std::map<Name, std::vector<Name>> known_views_;
 
-  const std::vector<Name>* ReadView(const Name& m);
+  Expected<const std::vector<Name>*> ReadView(const Name& m,
+                                              OpDeadline deadline);
 };
 
 }  // namespace nadreg::core

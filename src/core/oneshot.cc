@@ -2,7 +2,20 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace nadreg::core {
+
+namespace {
+
+obs::Histogram& WriteBackHist() {
+  static obs::Histogram& h =
+      obs::Registry::Global().GetHistogram("stable.write_back_us");
+  return h;
+}
+
+}  // namespace
 
 StableRegister::StableRegister(BaseRegisterClient& client,
                                const FarmConfig& farm,
@@ -15,6 +28,12 @@ StableRegister::StableRegister(BaseRegisterClient& client,
 void StableRegister::Write(const std::string& v) {
   InFlightWrite write = BeginWrite(v);
   FinishWrite(write);
+}
+
+Status StableRegister::Write(const std::string& v, const OpOptions& opts) {
+  obs::ScopedPhase phase(nullptr, "stable", "write", opts.label);
+  InFlightWrite write = BeginWrite(v);
+  return FinishWriteUntil(write, opts.Start());
 }
 
 StableRegister::InFlightWrite StableRegister::BeginWrite(const std::string& v) {
@@ -32,14 +51,33 @@ StableRegister::InFlightWrite StableRegister::BeginWrite(const std::string& v) {
 }
 
 void StableRegister::FinishWrite(InFlightWrite& write) {
-  if (write.cached_) return;
-  set_.Await(write.ticket_, quorum_);
+  Status s = FinishWriteUntil(write, std::nullopt);
+  assert(s.ok());
+  (void)s;
+}
+
+Status StableRegister::FinishWriteUntil(InFlightWrite& write,
+                                        OpDeadline deadline) {
+  if (write.cached_) return Status::Ok();
+  if (!set_.AwaitUntil(write.ticket_, quorum_, deadline)) {
+    ++timeouts_;
+    return Status::Timeout("stable write: quorum not reached before deadline");
+  }
   known_ = write.value_;
+  ++writes_done_;
+  return Status::Ok();
 }
 
 std::optional<std::string> StableRegister::Read() {
   InFlightRead read = BeginRead();
   return FinishRead(read);
+}
+
+Expected<std::optional<std::string>> StableRegister::Read(
+    const OpOptions& opts) {
+  obs::ScopedPhase phase(nullptr, "stable", "read", opts.label);
+  InFlightRead read = BeginRead();
+  return FinishReadUntil(read, opts.Start());
 }
 
 StableRegister::InFlightRead StableRegister::BeginRead() {
@@ -53,8 +91,18 @@ StableRegister::InFlightRead StableRegister::BeginRead() {
 }
 
 std::optional<std::string> StableRegister::FinishRead(InFlightRead& read) {
+  auto v = FinishReadUntil(read, std::nullopt);
+  assert(v.ok());
+  return std::move(*v);
+}
+
+Expected<std::optional<std::string>> StableRegister::FinishReadUntil(
+    InFlightRead& read, OpDeadline deadline) {
   if (read.cached_) return known_;
-  set_.Await(read.ticket_, quorum_);
+  if (!set_.AwaitUntil(read.ticket_, quorum_, deadline)) {
+    ++timeouts_;
+    return Status::Timeout("stable read: quorum not reached before deadline");
+  }
   std::string seen;
   for (const auto& [idx, bytes] : read.ticket_.Results()) {
     if (!bytes.empty()) {
@@ -62,13 +110,31 @@ std::optional<std::string> StableRegister::FinishRead(InFlightRead& read) {
       break;
     }
   }
-  if (seen.empty()) return std::nullopt;  // all initial
+  if (seen.empty()) {
+    ++reads_done_;
+    return std::optional<std::string>{};  // all initial
+  }
   // Write-back before returning: after this, v is on a majority and every
   // later READ is guaranteed to see it (atomicity across readers).
-  auto wb = set_.WriteAll(seen);
-  set_.Await(wb, quorum_);
+  {
+    obs::ScopedPhase phase(&WriteBackHist(), "stable", "write_back");
+    auto wb = set_.WriteAll(seen);
+    if (!set_.AwaitUntil(wb, quorum_, deadline)) {
+      ++timeouts_;
+      return Status::Timeout("stable read: write-back timed out");
+    }
+  }
   known_ = seen;
+  ++reads_done_;
   return known_;
+}
+
+obs::PhaseCounters StableRegister::op_metrics() const {
+  obs::PhaseCounters out = set_.op_metrics();
+  out.reads = reads_done_;
+  out.writes = writes_done_;
+  out.deadline_timeouts = timeouts_;
+  return out;
 }
 
 OneShotRegister::OneShotRegister(BaseRegisterClient& client,
@@ -77,14 +143,36 @@ OneShotRegister::OneShotRegister(BaseRegisterClient& client,
     : inner_(client, farm, std::move(regs), self) {}
 
 Status OneShotRegister::Write(const std::string& v) {
+  return Write(v, OpOptions{});
+}
+
+Status OneShotRegister::Write(const std::string& v, const OpOptions& opts) {
   if (written_) return Status::AlreadyWritten();
   if (v.empty()) return Status::Invalid("one-shot: empty value is reserved");
   written_ = true;
-  inner_.Write(v);
-  return Status::Ok();
+  return inner_.Write(v, opts);
+}
+
+Status OneShotRegister::WriteUntil(const std::string& v, OpDeadline deadline) {
+  if (written_) return Status::AlreadyWritten();
+  if (v.empty()) return Status::Invalid("one-shot: empty value is reserved");
+  written_ = true;
+  auto write = inner_.BeginWrite(v);
+  return inner_.FinishWriteUntil(write, deadline);
 }
 
 std::optional<std::string> OneShotRegister::Read() { return inner_.Read(); }
+
+Expected<std::optional<std::string>> OneShotRegister::Read(
+    const OpOptions& opts) {
+  return inner_.Read(opts);
+}
+
+Expected<std::optional<std::string>> OneShotRegister::ReadUntil(
+    OpDeadline deadline) {
+  auto read = inner_.BeginRead();
+  return inner_.FinishReadUntil(read, deadline);
+}
 
 StickyBit::StickyBit(BaseRegisterClient& client, const FarmConfig& farm,
                      std::vector<RegisterId> regs, ProcessId self)
@@ -93,5 +181,15 @@ StickyBit::StickyBit(BaseRegisterClient& client, const FarmConfig& farm,
 void StickyBit::Set() { inner_.Write("1"); }
 
 bool StickyBit::IsSet() { return inner_.Read().has_value(); }
+
+Status StickyBit::SetUntil(OpDeadline deadline) {
+  auto write = inner_.BeginWrite("1");
+  return inner_.FinishWriteUntil(write, deadline);
+}
+
+Expected<bool> StickyBit::IsSetUntil(OpDeadline deadline) {
+  auto read = inner_.BeginRead();
+  return FinishIsSetUntil(read, deadline);
+}
 
 }  // namespace nadreg::core

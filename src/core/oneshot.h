@@ -21,20 +21,23 @@
 // the paper proves unimplementable with finitely many base registers.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/base_register.h"
+#include "common/op_options.h"
 #include "common/status.h"
 #include "core/config.h"
 #include "core/register_set.h"
+#include "obs/instrumented.h"
 
 namespace nadreg::core {
 
 /// Shared implementation: a register whose every write, by any process,
 /// carries one and the same value. One instance per accessing process.
-class StableRegister {
+class StableRegister : public obs::Instrumented {
  public:
   StableRegister(BaseRegisterClient& client, const FarmConfig& farm,
                  std::vector<RegisterId> regs, ProcessId self);
@@ -46,6 +49,11 @@ class StableRegister {
   /// Reads. nullopt = initial value (no write is known to have completed).
   /// Wait-free: tolerates up to t crashed disks.
   std::optional<std::string> Read();
+
+  /// Unified API: kTimeout = the deadline expired mid-protocol (the
+  /// register state is unaffected; a timed-out READ publishes nothing).
+  Status Write(const std::string& v, const OpOptions& opts);
+  Expected<std::optional<std::string>> Read(const OpOptions& opts);
 
   /// True once this endpoint knows the value sits on a majority (after a
   /// successful Write or a non-initial Read). Lets callers skip redundant
@@ -64,6 +72,9 @@ class StableRegister {
   };
   InFlightRead BeginRead();
   std::optional<std::string> FinishRead(InFlightRead& read);
+  /// Deadline-aware Finish (kTimeout = abandoned past `deadline`).
+  Expected<std::optional<std::string>> FinishReadUntil(InFlightRead& read,
+                                                       OpDeadline deadline);
 
   /// Split-phase write (same contract as Write): many stable registers
   /// can be written concurrently (the name snapshot announces all of a
@@ -77,16 +88,22 @@ class StableRegister {
   };
   InFlightWrite BeginWrite(const std::string& v);
   void FinishWrite(InFlightWrite& write);
+  Status FinishWriteUntil(InFlightWrite& write, OpDeadline deadline);
+
+  obs::PhaseCounters op_metrics() const override;
 
  private:
   RegisterSet set_;
   std::size_t quorum_;
   // A stable register can never change once observed: cache it.
   std::optional<std::string> known_;
+  std::uint64_t reads_done_ = 0;
+  std::uint64_t writes_done_ = 0;
+  std::uint64_t timeouts_ = 0;
 };
 
 /// One-shot SWMR register: a single owner may write once.
-class OneShotRegister {
+class OneShotRegister : public obs::Instrumented {
  public:
   OneShotRegister(BaseRegisterClient& client, const FarmConfig& farm,
                   std::vector<RegisterId> regs, ProcessId self);
@@ -99,6 +116,14 @@ class OneShotRegister {
   /// nullopt = initial value.
   std::optional<std::string> Read();
 
+  /// Unified API (see StableRegister).
+  Status Write(const std::string& v, const OpOptions& opts);
+  Expected<std::optional<std::string>> Read(const OpOptions& opts);
+  Status WriteUntil(const std::string& v, OpDeadline deadline);
+  Expected<std::optional<std::string>> ReadUntil(OpDeadline deadline);
+
+  obs::PhaseCounters op_metrics() const override { return inner_.op_metrics(); }
+
  private:
   StableRegister inner_;
   bool written_ = false;
@@ -106,13 +131,16 @@ class OneShotRegister {
 
 /// Sticky bit: a boolean MWMR register that flips once from false to true
 /// (all writes are "true" — trivially the same value).
-class StickyBit {
+class StickyBit : public obs::Instrumented {
  public:
   StickyBit(BaseRegisterClient& client, const FarmConfig& farm,
             std::vector<RegisterId> regs, ProcessId self);
 
   void Set();
   bool IsSet();
+  /// Deadline-aware variants (kTimeout = abandoned past `deadline`).
+  Status SetUntil(OpDeadline deadline);
+  Expected<bool> IsSetUntil(OpDeadline deadline);
   /// True once this endpoint has majority-visible evidence the bit is set.
   bool KnownSet() const { return inner_.Known(); }
 
@@ -122,11 +150,21 @@ class StickyBit {
   bool FinishIsSet(InFlightRead& read) {
     return inner_.FinishRead(read).has_value();
   }
+  Expected<bool> FinishIsSetUntil(InFlightRead& read, OpDeadline deadline) {
+    auto v = inner_.FinishReadUntil(read, deadline);
+    if (!v.ok()) return v.status();
+    return v->has_value();
+  }
 
   /// Split-phase Set (see StableRegister::BeginWrite/FinishWrite).
   using InFlightWrite = StableRegister::InFlightWrite;
   InFlightWrite BeginSet() { return inner_.BeginWrite("1"); }
   void FinishSet(InFlightWrite& write) { inner_.FinishWrite(write); }
+  Status FinishSetUntil(InFlightWrite& write, OpDeadline deadline) {
+    return inner_.FinishWriteUntil(write, deadline);
+  }
+
+  obs::PhaseCounters op_metrics() const override { return inner_.op_metrics(); }
 
  private:
   StableRegister inner_;

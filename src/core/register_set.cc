@@ -1,6 +1,9 @@
 #include "core/register_set.h"
 
+#include <atomic>
 #include <cassert>
+
+#include "obs/metrics.h"
 
 namespace nadreg::core {
 
@@ -48,6 +51,28 @@ struct RegisterSet::Shared : std::enable_shared_from_this<RegisterSet::Shared> {
   std::mutex mu;
   std::vector<Slot> slots;
 
+  // Quorum/pending accounting. Atomics: bumped from Await (no mu) and
+  // from the queue paths (under mu) alike.
+  std::atomic<std::uint64_t> quorum_waits{0};
+  std::atomic<std::uint64_t> quorum_wait_us{0};
+  std::atomic<std::uint64_t> pending_queued{0};
+  std::atomic<std::uint64_t> max_pending_depth{0};
+
+  // Process-global instruments (resolved once; recording is lock-free).
+  obs::Histogram* g_wait_hist =
+      &obs::Registry::Global().GetHistogram("core.quorum_wait_us");
+  obs::Gauge* g_pending_depth =
+      &obs::Registry::Global().GetGauge("core.pending_depth");
+
+  void NoteQueued(std::size_t depth_now) {
+    pending_queued.fetch_add(1, std::memory_order_relaxed);
+    g_pending_depth->Add(1);
+    std::uint64_t seen = max_pending_depth.load(std::memory_order_relaxed);
+    while (depth_now > seen && !max_pending_depth.compare_exchange_weak(
+                                   seen, depth_now, std::memory_order_relaxed)) {
+    }
+  }
+
   void StartOrQueue(std::size_t i, QueuedOp op) {
     {
       std::lock_guard lock(mu);
@@ -62,6 +87,7 @@ struct RegisterSet::Shared : std::enable_shared_from_this<RegisterSet::Shared> {
                       op.subscribers.end());
         } else {
           slot.queue.push_back(std::move(op));
+          NoteQueued(slot.queue.size());
         }
         return;
       }
@@ -111,6 +137,7 @@ struct RegisterSet::Shared : std::enable_shared_from_this<RegisterSet::Shared> {
       } else {
         next = std::move(slot.queue.front());
         slot.queue.pop_front();
+        g_pending_depth->Add(-1);
         have_next = true;
       }
     }
@@ -161,14 +188,43 @@ RegisterSet::Ticket RegisterSet::ReadAll() {
 
 bool RegisterSet::Await(const Ticket& ticket, std::size_t k,
                         std::optional<std::chrono::milliseconds> timeout) {
+  OpDeadline deadline;
+  if (timeout) deadline = std::chrono::steady_clock::now() + *timeout;
+  return AwaitUntil(ticket, k, deadline);
+}
+
+bool RegisterSet::AwaitUntil(const Ticket& ticket, std::size_t k,
+                             OpDeadline deadline) {
   auto& st = *ticket.state_;
-  std::unique_lock lock(st.mu);
-  auto ready = [&] { return st.completed >= k; };
-  if (timeout) {
-    return st.cv.wait_for(lock, *timeout, ready);
+  const auto wait_start = std::chrono::steady_clock::now();
+  bool ok = true;
+  {
+    std::unique_lock lock(st.mu);
+    auto ready = [&] { return st.completed >= k; };
+    if (deadline) {
+      ok = st.cv.wait_until(lock, *deadline, ready);
+    } else {
+      st.cv.wait(lock, ready);
+    }
   }
-  st.cv.wait(lock, ready);
-  return true;
+  const auto waited = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wait_start)
+          .count());
+  shared_->quorum_waits.fetch_add(1, std::memory_order_relaxed);
+  shared_->quorum_wait_us.fetch_add(waited, std::memory_order_relaxed);
+  shared_->g_wait_hist->Observe(waited);
+  return ok;
+}
+
+obs::PhaseCounters RegisterSet::op_metrics() const {
+  obs::PhaseCounters out;
+  out.quorum_waits = shared_->quorum_waits.load(std::memory_order_relaxed);
+  out.quorum_wait_us = shared_->quorum_wait_us.load(std::memory_order_relaxed);
+  out.pending_queued = shared_->pending_queued.load(std::memory_order_relaxed);
+  out.max_pending_depth =
+      shared_->max_pending_depth.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace nadreg::core

@@ -14,6 +14,11 @@
 // Consecutive queued reads are coalesced (a queued-but-unissued read is
 // indistinguishable from a fresh one), so a loop of READ phases over a
 // crashed register uses O(1) memory.
+//
+// Observability: the engine accounts for the paper's two cost centres —
+// time blocked in quorum waits and depth of the pending-write queues —
+// both locally (op_metrics()) and in the global obs registry
+// ("core.quorum_wait_us", "core.pending_depth").
 #pragma once
 
 #include <chrono>
@@ -27,11 +32,13 @@
 #include <vector>
 
 #include "common/base_register.h"
+#include "common/op_options.h"
 #include "common/types.h"
+#include "obs/instrumented.h"
 
 namespace nadreg::core {
 
-class RegisterSet {
+class RegisterSet : public obs::Instrumented {
  public:
   /// Completion record of one quorum call: which registers responded and,
   /// for reads, what they returned.
@@ -71,6 +78,12 @@ class RegisterSet {
   /// Returns false on timeout (when a deadline is supplied).
   bool Await(const Ticket& ticket, std::size_t k,
              std::optional<std::chrono::milliseconds> timeout = std::nullopt);
+
+  /// Await against an absolute deadline (the unified-API plumbing).
+  bool AwaitUntil(const Ticket& ticket, std::size_t k, OpDeadline deadline);
+
+  /// Quorum-wait and pending-queue accounting for this set.
+  obs::PhaseCounters op_metrics() const override;
 
  private:
   struct Shared;

@@ -2,7 +2,30 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace nadreg::core {
+
+namespace {
+
+obs::Histogram& ChooseHist() {
+  static obs::Histogram& h =
+      obs::Registry::Global().GetHistogram("swmr.choose_value_us");
+  return h;
+}
+obs::Histogram& WaitHist() {
+  static obs::Histogram& h =
+      obs::Registry::Global().GetHistogram("swmr.wait_us");
+  return h;
+}
+obs::Histogram& ReadHist() {
+  static obs::Histogram& h =
+      obs::Registry::Global().GetHistogram("swmr.read_us");
+  return h;
+}
+
+}  // namespace
 
 SwmrAtomicReader::SwmrAtomicReader(BaseRegisterClient& client,
                                    const FarmConfig& farm,
@@ -14,25 +37,25 @@ SwmrAtomicReader::SwmrAtomicReader(BaseRegisterClient& client,
 }
 
 std::string SwmrAtomicReader::Read() {
-  auto result = ReadImpl(std::nullopt);
-  assert(result.has_value());
+  auto result = ReadImpl(std::nullopt, {});
+  assert(result.ok());
   return std::move(*result);
+}
+
+Expected<std::string> SwmrAtomicReader::Read(const OpOptions& opts) {
+  return ReadImpl(opts.Start(), opts.label);
 }
 
 std::optional<std::string> SwmrAtomicReader::ReadWithDeadline(
     std::chrono::milliseconds d) {
-  return ReadImpl(std::chrono::steady_clock::now() + d);
+  auto result = ReadImpl(std::chrono::steady_clock::now() + d, {});
+  if (!result.ok()) return std::nullopt;
+  return std::move(*result);
 }
 
-std::optional<std::string> SwmrAtomicReader::ReadImpl(
-    std::optional<std::chrono::steady_clock::time_point> deadline) {
-  const auto remaining =
-      [&]() -> std::optional<std::chrono::milliseconds> {
-    if (!deadline) return std::nullopt;
-    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-        *deadline - std::chrono::steady_clock::now());
-    return left.count() > 0 ? left : std::chrono::milliseconds(0);
-  };
+Expected<std::string> SwmrAtomicReader::ReadImpl(OpDeadline deadline,
+                                                 const std::string& label) {
+  obs::ScopedPhase op_phase(&ReadHist(), "swmr", "read", label);
 
   // Track the freshest seq seen per base register; phase 1's reads
   // already count toward phase 2's condition.
@@ -41,8 +64,12 @@ std::optional<std::string> SwmrAtomicReader::ReadImpl(
   // Phase 1: choose-value. Read a majority, pick the largest seq.
   TaggedValue chosen;  // (v0, s0); seq 0 = initial value
   {
+    obs::ScopedPhase phase(&ChooseHist(), "swmr", "choose_value", label);
     auto ticket = set_.ReadAll();
-    if (!set_.Await(ticket, quorum_, remaining())) return std::nullopt;
+    if (!set_.AwaitUntil(ticket, quorum_, deadline)) {
+      ++timeouts_;
+      return Status::Timeout("swmr read: choose-value quorum timed out");
+    }
     for (const auto& [idx, bytes] : ticket.Results()) {
       auto tv = DecodeTaggedValue(bytes);
       if (!tv) continue;
@@ -52,22 +79,36 @@ std::optional<std::string> SwmrAtomicReader::ReadImpl(
   }
 
   // Phase 2: wait. Keep reading until a majority carry seq >= s0.
-  for (;;) {
-    std::size_t caught_up = 0;
-    for (SeqNum s : seen) {
-      if (s >= chosen.seq) ++caught_up;
-    }
-    if (caught_up >= quorum_) break;
+  {
+    obs::ScopedPhase phase(&WaitHist(), "swmr", "wait", label);
+    for (;;) {
+      std::size_t caught_up = 0;
+      for (SeqNum s : seen) {
+        if (s >= chosen.seq) ++caught_up;
+      }
+      if (caught_up >= quorum_) break;
 
-    auto ticket = set_.ReadAll();
-    if (!set_.Await(ticket, quorum_, remaining())) return std::nullopt;
-    for (const auto& [idx, bytes] : ticket.Results()) {
-      auto tv = DecodeTaggedValue(bytes);
-      if (!tv) continue;
-      if (tv->seq > seen[idx]) seen[idx] = tv->seq;
+      auto ticket = set_.ReadAll();
+      if (!set_.AwaitUntil(ticket, quorum_, deadline)) {
+        ++timeouts_;
+        return Status::Timeout("swmr read: wait phase timed out");
+      }
+      for (const auto& [idx, bytes] : ticket.Results()) {
+        auto tv = DecodeTaggedValue(bytes);
+        if (!tv) continue;
+        if (tv->seq > seen[idx]) seen[idx] = tv->seq;
+      }
     }
   }
+  ++reads_done_;
   return chosen.payload;
+}
+
+obs::PhaseCounters SwmrAtomicReader::op_metrics() const {
+  obs::PhaseCounters out = set_.op_metrics();
+  out.reads = reads_done_;
+  out.deadline_timeouts = timeouts_;
+  return out;
 }
 
 }  // namespace nadreg::core

@@ -23,18 +23,26 @@
 // price the paper shows must be paid. Under reliable processes (Table 2's
 // hypothesis) the writer's background writes eventually land and the wait
 // phase terminates.
+//
+// Both READ phases are traced and timed ("swmr.choose_value_us",
+// "swmr.wait_us" in the global obs registry) — the wait phase is the
+// paper's blocking cost, now measurable.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/base_register.h"
 #include "common/codec.h"
+#include "common/op_options.h"
+#include "common/status.h"
 #include "core/config.h"
 #include "core/register_set.h"
 #include "core/swsr_atomic.h"
+#include "obs/instrumented.h"
 
 namespace nadreg::core {
 
@@ -42,7 +50,7 @@ namespace nadreg::core {
 using SwmrAtomicWriter = SwsrAtomicWriter;
 
 /// Reader endpoint; construct one per reader process (any number).
-class SwmrAtomicReader {
+class SwmrAtomicReader : public obs::Instrumented {
  public:
   SwmrAtomicReader(BaseRegisterClient& client, const FarmConfig& farm,
                    std::vector<RegisterId> regs, ProcessId self);
@@ -51,17 +59,23 @@ class SwmrAtomicReader {
   /// under reliable processes and at most t crashed disks it terminates.
   std::string Read();
 
-  /// READ with a deadline, for harnesses that must not hang when they
-  /// deliberately violate the reliability hypothesis. Returns nullopt on
-  /// timeout (the READ is abandoned; this is outside the model).
+  /// Unified API: READ under an optional deadline/trace label. kTimeout =
+  /// deadline expired (the READ is abandoned; this is outside the model).
+  Expected<std::string> Read(const OpOptions& opts);
+
+  /// Back-compat shim for the pre-OpOptions deadline API.
   std::optional<std::string> ReadWithDeadline(std::chrono::milliseconds d);
 
+  obs::PhaseCounters op_metrics() const override;
+
  private:
-  std::optional<std::string> ReadImpl(
-      std::optional<std::chrono::steady_clock::time_point> deadline);
+  Expected<std::string> ReadImpl(OpDeadline deadline,
+                                 const std::string& label);
 
   RegisterSet set_;
   std::size_t quorum_;
+  std::uint64_t reads_done_ = 0;
+  std::uint64_t timeouts_ = 0;
 };
 
 }  // namespace nadreg::core

@@ -2,7 +2,25 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace nadreg::core {
+
+namespace {
+
+obs::Histogram& WriteHist() {
+  static obs::Histogram& h =
+      obs::Registry::Global().GetHistogram("swsr.write_us");
+  return h;
+}
+obs::Histogram& ReadHist() {
+  static obs::Histogram& h =
+      obs::Registry::Global().GetHistogram("swsr.read_us");
+  return h;
+}
+
+}  // namespace
 
 SwsrAtomicWriter::SwsrAtomicWriter(BaseRegisterClient& client,
                                    const FarmConfig& farm,
@@ -14,10 +32,30 @@ SwsrAtomicWriter::SwsrAtomicWriter(BaseRegisterClient& client,
 }
 
 void SwsrAtomicWriter::Write(const std::string& v) {
+  Status s = Write(v, OpOptions{});
+  assert(s.ok());
+  (void)s;
+}
+
+Status SwsrAtomicWriter::Write(const std::string& v, const OpOptions& opts) {
+  const OpDeadline deadline = opts.Start();
+  obs::ScopedPhase phase(&WriteHist(), "swsr", "write", opts.label);
   ++seq_;
   TaggedValue tv{set_.self(), seq_, v};
   auto ticket = set_.WriteAll(EncodeTaggedValue(tv));
-  set_.Await(ticket, quorum_);
+  if (!set_.AwaitUntil(ticket, quorum_, deadline)) {
+    ++timeouts_;
+    return Status::Timeout("swsr write: quorum not reached before deadline");
+  }
+  ++writes_done_;
+  return Status::Ok();
+}
+
+obs::PhaseCounters SwsrAtomicWriter::op_metrics() const {
+  obs::PhaseCounters out = set_.op_metrics();
+  out.writes = writes_done_;
+  out.deadline_timeouts = timeouts_;
+  return out;
 }
 
 SwsrAtomicReader::SwsrAtomicReader(BaseRegisterClient& client,
@@ -39,20 +77,50 @@ SwsrRegularReader::SwsrRegularReader(BaseRegisterClient& client,
 }
 
 std::string SwsrRegularReader::Read() {
+  auto v = Read(OpOptions{});
+  assert(v.ok());
+  return std::move(*v);
+}
+
+Expected<std::string> SwsrRegularReader::Read(const OpOptions& opts) {
+  const OpDeadline deadline = opts.Start();
+  obs::ScopedPhase phase(&ReadHist(), "swsr", "read.regular", opts.label);
   auto ticket = set_.ReadAll();
-  set_.Await(ticket, quorum_);
+  if (!set_.AwaitUntil(ticket, quorum_, deadline)) {
+    ++timeouts_;
+    return Status::Timeout("swsr read: quorum not reached before deadline");
+  }
   TaggedValue best;  // per-READ only: no memo
   for (const auto& [idx, bytes] : ticket.Results()) {
     auto tv = DecodeTaggedValue(bytes);
     if (!tv) continue;
     if (tv->seq > best.seq) best = std::move(*tv);
   }
+  ++reads_done_;
   return best.payload;
 }
 
+obs::PhaseCounters SwsrRegularReader::op_metrics() const {
+  obs::PhaseCounters out = set_.op_metrics();
+  out.reads = reads_done_;
+  out.deadline_timeouts = timeouts_;
+  return out;
+}
+
 std::string SwsrAtomicReader::Read() {
+  auto v = Read(OpOptions{});
+  assert(v.ok());
+  return std::move(*v);
+}
+
+Expected<std::string> SwsrAtomicReader::Read(const OpOptions& opts) {
+  const OpDeadline deadline = opts.Start();
+  obs::ScopedPhase phase(&ReadHist(), "swsr", "read", opts.label);
   auto ticket = set_.ReadAll();
-  set_.Await(ticket, quorum_);
+  if (!set_.AwaitUntil(ticket, quorum_, deadline)) {
+    ++timeouts_;
+    return Status::Timeout("swsr read: quorum not reached before deadline");
+  }
   for (const auto& [idx, bytes] : ticket.Results()) {
     auto tv = DecodeTaggedValue(bytes);
     // A base register can only contain bytes some writer stored; decode
@@ -60,7 +128,15 @@ std::string SwsrAtomicReader::Read() {
     if (!tv) continue;
     if (tv->seq > best_.seq) best_ = std::move(*tv);
   }
+  ++reads_done_;
   return best_.payload;
+}
+
+obs::PhaseCounters SwsrAtomicReader::op_metrics() const {
+  obs::PhaseCounters out = set_.op_metrics();
+  out.reads = reads_done_;
+  out.deadline_timeouts = timeouts_;
+  return out;
 }
 
 }  // namespace nadreg::core

@@ -23,13 +23,16 @@
 
 #include "common/base_register.h"
 #include "common/codec.h"
+#include "common/op_options.h"
+#include "common/status.h"
 #include "core/config.h"
 #include "core/register_set.h"
+#include "obs/instrumented.h"
 
 namespace nadreg::core {
 
 /// Writer endpoint. Single designated writer: construct exactly one.
-class SwsrAtomicWriter {
+class SwsrAtomicWriter : public obs::Instrumented {
  public:
   SwsrAtomicWriter(BaseRegisterClient& client, const FarmConfig& farm,
                    std::vector<RegisterId> regs, ProcessId self);
@@ -38,14 +41,23 @@ class SwsrAtomicWriter {
   /// writes still pending after return follow the Fig. 1 discipline.
   void Write(const std::string& v);
 
+  /// Unified API: WRITE(v) under an optional deadline/trace label.
+  /// kTimeout = the quorum did not complete in time (the write may still
+  /// land later via its pending base writes).
+  Status Write(const std::string& v, const OpOptions& opts);
+
+  obs::PhaseCounters op_metrics() const override;
+
  private:
   RegisterSet set_;
   std::size_t quorum_;
   SeqNum seq_ = 0;
+  std::uint64_t writes_done_ = 0;
+  std::uint64_t timeouts_ = 0;
 };
 
 /// Reader endpoint. Single designated reader: construct exactly one.
-class SwsrAtomicReader {
+class SwsrAtomicReader : public obs::Instrumented {
  public:
   SwsrAtomicReader(BaseRegisterClient& client, const FarmConfig& farm,
                    std::vector<RegisterId> regs, ProcessId self);
@@ -54,10 +66,17 @@ class SwsrAtomicReader {
   /// register was never written).
   std::string Read();
 
+  /// Unified API: READ under an optional deadline/trace label.
+  Expected<std::string> Read(const OpOptions& opts);
+
+  obs::PhaseCounters op_metrics() const override;
+
  private:
   RegisterSet set_;
   std::size_t quorum_;
   TaggedValue best_;  // largest (seq) ever seen — the reader's memo
+  std::uint64_t reads_done_ = 0;
+  std::uint64_t timeouts_ = 0;
 };
 
 /// Ablation of the Section 3.2 design choice: the same reader WITHOUT the
@@ -66,7 +85,7 @@ class SwsrAtomicReader {
 /// WRITE may observe new-then-old (new-old inversion), which regularity
 /// permits and atomicity forbids. bench/ablation_reader_memo demonstrates
 /// the separation with a concrete schedule and both checkers.
-class SwsrRegularReader {
+class SwsrRegularReader : public obs::Instrumented {
  public:
   SwsrRegularReader(BaseRegisterClient& client, const FarmConfig& farm,
                     std::vector<RegisterId> regs, ProcessId self);
@@ -74,9 +93,16 @@ class SwsrRegularReader {
   /// READ(): the freshest value among a majority — no cross-READ state.
   std::string Read();
 
+  /// Unified API: READ under an optional deadline/trace label.
+  Expected<std::string> Read(const OpOptions& opts);
+
+  obs::PhaseCounters op_metrics() const override;
+
  private:
   RegisterSet set_;
   std::size_t quorum_;
+  std::uint64_t reads_done_ = 0;
+  std::uint64_t timeouts_ = 0;
 };
 
 }  // namespace nadreg::core

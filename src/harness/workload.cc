@@ -11,8 +11,11 @@
 #include "core/mwsr_seqcst.h"
 #include "core/swmr_atomic.h"
 #include "core/swsr_atomic.h"
+#include "common/log.h"
 #include "nad/client.h"
 #include "nad/server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/sim_farm.h"
 
 namespace nadreg::harness {
@@ -108,6 +111,17 @@ std::string AlgorithmName(Algorithm a) {
 
 WorkloadResult RunWorkload(const WorkloadOptions& opts) {
   WorkloadResult result;
+  obs::Counter& op_writes =
+      obs::Registry::Global().GetCounter("harness.ops.writes");
+  obs::Counter& op_reads =
+      obs::Registry::Global().GetCounter("harness.ops.reads");
+  result.writes_before = op_writes.Get();
+  result.reads_before = op_reads.Get();
+  if (!opts.trace_jsonl_path.empty()) {
+    if (Status s = obs::StartTrace(opts.trace_jsonl_path); !s.ok()) {
+      LOG_WARN << "workload: trace capture unavailable: " << s.ToString();
+    }
+  }
   FarmConfig cfg{opts.t};
   Backend backend = Backend::Make(opts, cfg);
   BaseRegisterClient& farm = backend.client();
@@ -157,6 +171,7 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
               auto h = rec.BeginWrite(pid, v);
               writer.Write(v);
               rec.EndWrite(h);
+              op_writes.Inc();
             }
             break;
           }
@@ -167,6 +182,7 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
               auto h = rec.BeginWrite(pid, v);
               writer.Write(v);
               rec.EndWrite(h);
+              op_writes.Inc();
             }
             break;
           }
@@ -177,6 +193,7 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
               auto h = rec.BeginWrite(pid, v);
               reg.Write(v);
               rec.EndWrite(h);
+              op_writes.Inc();
             }
             break;
           }
@@ -192,6 +209,7 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
             for (int i = 0; i < opts.ops_per_process; ++i) {
               auto h = rec.BeginRead(pid);
               rec.EndRead(h, reader.Read());
+              op_reads.Inc();
             }
             break;
           }
@@ -200,6 +218,7 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
             for (int i = 0; i < opts.ops_per_process; ++i) {
               auto h = rec.BeginRead(pid);
               rec.EndRead(h, reader.Read());
+              op_reads.Inc();
             }
             break;
           }
@@ -208,6 +227,7 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
             for (int i = 0; i < opts.ops_per_process; ++i) {
               auto h = rec.BeginRead(pid);
               rec.EndRead(h, reader.Read());
+              op_reads.Inc();
             }
             break;
           }
@@ -216,6 +236,7 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
             for (int i = 0; i < opts.ops_per_process; ++i) {
               auto h = rec.BeginRead(pid);
               rec.EndRead(h, reader.Read());
+              op_reads.Inc();
             }
             break;
           }
@@ -225,11 +246,23 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
               auto h = rec.BeginRead(pid);
               auto v = reg.Read();
               rec.EndRead(h, v.value_or(""));
+              op_reads.Inc();
             }
             break;
           }
         }
       });
+    }
+  }
+
+  result.writes_after = op_writes.Get();
+  result.reads_after = op_reads.Get();
+  if (!opts.trace_jsonl_path.empty()) obs::StopTrace();
+  if (!opts.metrics_json_path.empty()) {
+    if (Status s =
+            obs::Registry::Global().WriteJsonFile(opts.metrics_json_path);
+        !s.ok()) {
+      LOG_WARN << "workload: metrics artifact not written: " << s.ToString();
     }
   }
 

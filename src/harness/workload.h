@@ -39,12 +39,23 @@ struct WorkloadOptions {
   /// Run over REAL TCP disk daemons on loopback instead of the simulated
   /// farm; a "crash" then hard-stops a daemon process.
   bool over_tcp = false;
+  /// When non-empty, dump the process-wide metrics registry as JSON here
+  /// after the run (quorum waits, per-phase latency, RPC round trips).
+  std::string metrics_json_path;
+  /// When non-empty, capture a chrome://tracing span file over the run.
+  std::string trace_jsonl_path;
 };
 
 struct WorkloadResult {
   Claim claim = Claim::kAtomic;
   std::vector<checker::Operation> history;
   checker::CheckResult check;  // the claim, checked
+
+  /// Global op counters ("harness.ops.writes"/"harness.ops.reads")
+  /// sampled before and after the run; the deltas equal this run's
+  /// completed operations (asserted in tests/test_properties.cc).
+  std::uint64_t writes_before = 0, writes_after = 0;
+  std::uint64_t reads_before = 0, reads_after = 0;
 
   bool ok() const { return check.ok; }
 };

@@ -1,8 +1,14 @@
 #include "nad/client.h"
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace nadreg::nad {
+
+NadClient::NadClient()
+    : read_us_(&obs::Registry::Global().GetHistogram("nad.client.read_us")),
+      write_us_(&obs::Registry::Global().GetHistogram("nad.client.write_us")),
+      in_flight_(&obs::Registry::Global().GetGauge("nad.client.in_flight")) {}
 
 Expected<std::unique_ptr<NadClient>> NadClient::Connect(
     std::map<DiskId, Endpoint> endpoints) {
@@ -43,14 +49,17 @@ void NadClient::IssueRead(ProcessId /*p*/, RegisterId r, ReadHandler done) {
   req.reg = r;
   {
     std::lock_guard lock(conn->pending_mu);
-    conn->pending_reads.emplace(req.request_id, std::move(done));
+    conn->pending_reads.emplace(
+        req.request_id,
+        PendingRead{std::move(done), std::chrono::steady_clock::now()});
   }
+  in_flight_->Add(1);
   std::lock_guard lock(conn->send_mu);
   if (!SendFrame(conn->sock, EncodeMessage(req)).ok()) {
     // Connection dead: the disk is unreachable — handler never runs,
     // exactly like a crashed register. Clean up the stashed handler.
     std::lock_guard plock(conn->pending_mu);
-    conn->pending_reads.erase(req.request_id);
+    if (conn->pending_reads.erase(req.request_id) > 0) in_flight_->Add(-1);
   }
 }
 
@@ -65,13 +74,45 @@ void NadClient::IssueWrite(ProcessId /*p*/, RegisterId r, Value v,
   req.value = std::move(v);
   {
     std::lock_guard lock(conn->pending_mu);
-    conn->pending_writes.emplace(req.request_id, std::move(done));
+    conn->pending_writes.emplace(
+        req.request_id,
+        PendingWrite{std::move(done), std::chrono::steady_clock::now()});
   }
+  in_flight_->Add(1);
   std::lock_guard lock(conn->send_mu);
   if (!SendFrame(conn->sock, EncodeMessage(req)).ok()) {
     std::lock_guard plock(conn->pending_mu);
-    conn->pending_writes.erase(req.request_id);
+    if (conn->pending_writes.erase(req.request_id) > 0) in_flight_->Add(-1);
   }
+}
+
+Expected<std::string> NadClient::QueryStats(DiskId d,
+                                            std::chrono::milliseconds timeout) {
+  Conn* conn = ConnFor(d);
+  if (conn == nullptr) return Status::Unavailable("stats: unmapped disk");
+  Message req;
+  req.type = MsgType::kStatsReq;
+  req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  auto waiter = std::make_shared<StatsWaiter>();
+  {
+    std::lock_guard lock(conn->pending_mu);
+    conn->pending_stats.emplace(req.request_id, waiter);
+  }
+  {
+    std::lock_guard lock(conn->send_mu);
+    if (!SendFrame(conn->sock, EncodeMessage(req)).ok()) {
+      std::lock_guard plock(conn->pending_mu);
+      conn->pending_stats.erase(req.request_id);
+      return Status::Unavailable("stats: connection dead");
+    }
+  }
+  std::unique_lock lock(waiter->mu);
+  if (!waiter->cv.wait_for(lock, timeout, [&] { return waiter->done; })) {
+    std::lock_guard plock(conn->pending_mu);
+    conn->pending_stats.erase(req.request_id);
+    return Status::Timeout("stats: no response before deadline");
+  }
+  return waiter->text;
 }
 
 std::size_t NadClient::InFlight() const {
@@ -92,26 +133,46 @@ void NadClient::ReaderLoop(Conn* conn) {
       LOG_WARN << "nad-client: malformed response: " << msg.status().ToString();
       continue;
     }
+    const auto now = std::chrono::steady_clock::now();
     if (msg->type == MsgType::kReadResp) {
-      ReadHandler handler;
+      PendingRead pending;
       {
         std::lock_guard lock(conn->pending_mu);
         auto it = conn->pending_reads.find(msg->request_id);
         if (it == conn->pending_reads.end()) continue;
-        handler = std::move(it->second);
+        pending = std::move(it->second);
         conn->pending_reads.erase(it);
       }
-      if (handler) handler(std::move(msg->value));
+      in_flight_->Add(-1);
+      read_us_->ObserveSince(pending.start);
+      obs::EmitSpan("nad", "read", pending.start, now);
+      if (pending.handler) pending.handler(std::move(msg->value));
     } else if (msg->type == MsgType::kWriteResp) {
-      WriteHandler handler;
+      PendingWrite pending;
       {
         std::lock_guard lock(conn->pending_mu);
         auto it = conn->pending_writes.find(msg->request_id);
         if (it == conn->pending_writes.end()) continue;
-        handler = std::move(it->second);
+        pending = std::move(it->second);
         conn->pending_writes.erase(it);
       }
-      if (handler) handler();
+      in_flight_->Add(-1);
+      write_us_->ObserveSince(pending.start);
+      obs::EmitSpan("nad", "write", pending.start, now);
+      if (pending.handler) pending.handler();
+    } else if (msg->type == MsgType::kStatsResp) {
+      std::shared_ptr<StatsWaiter> waiter;
+      {
+        std::lock_guard lock(conn->pending_mu);
+        auto it = conn->pending_stats.find(msg->request_id);
+        if (it == conn->pending_stats.end()) continue;
+        waiter = std::move(it->second);
+        conn->pending_stats.erase(it);
+      }
+      std::lock_guard wlock(waiter->mu);
+      waiter->text = std::move(msg->value);
+      waiter->done = true;
+      waiter->cv.notify_all();
     }
   }
 }

@@ -7,9 +7,17 @@
 // the completion handlers by request id. A dead connection or a silently
 // swallowed request simply means the handler never runs — precisely the
 // crashed-register semantics the emulations are built to tolerate.
+//
+// Observability: every RPC's issue→response latency feeds the global
+// metrics registry ("nad.client.read_us" / "nad.client.write_us"), the
+// outstanding-operation depth is tracked as a gauge with high-watermark
+// ("nad.client.in_flight"), and each completed RPC emits a trace span
+// when a capture is active (see obs/trace.h).
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -23,15 +31,15 @@
 #include "common/status.h"
 #include "nad/protocol.h"
 #include "nad/socket.h"
+#include "obs/metrics.h"
 
 namespace nadreg::nad {
 
 class NadClient : public BaseRegisterClient {
  public:
-  struct Endpoint {
-    std::string host = "127.0.0.1";
-    std::uint16_t port = 0;
-  };
+  /// Back-compat alias: the endpoint type now lives in the protocol
+  /// header, shared with the server CLI and demos.
+  using Endpoint = nad::Endpoint;
 
   /// Connects to every endpoint. Fails (kUnavailable) if any connection
   /// cannot be established — a disk that is down at start-up should be
@@ -47,25 +55,52 @@ class NadClient : public BaseRegisterClient {
   void IssueWrite(ProcessId p, RegisterId r, Value v,
                   WriteHandler done) override;
 
+  /// Fetches the server-side metrics dump (STATS opcode) from one disk.
+  /// Blocks up to `timeout`; kTimeout if the disk does not answer (a
+  /// crashed disk swallows STATS like any other request), kUnavailable if
+  /// the disk is unmapped or its connection is dead.
+  Expected<std::string> QueryStats(DiskId d, std::chrono::milliseconds timeout);
+
   /// Number of operations whose response is still outstanding.
   std::size_t InFlight() const;
 
  private:
+  struct PendingRead {
+    ReadHandler handler;
+    std::chrono::steady_clock::time_point start;
+  };
+  struct PendingWrite {
+    WriteHandler handler;
+    std::chrono::steady_clock::time_point start;
+  };
+  struct StatsWaiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::string text;
+  };
   struct Conn {
     Socket sock;
     std::mutex send_mu;
     std::mutex pending_mu;
-    std::unordered_map<std::uint64_t, ReadHandler> pending_reads;
-    std::unordered_map<std::uint64_t, WriteHandler> pending_writes;
+    std::unordered_map<std::uint64_t, PendingRead> pending_reads;
+    std::unordered_map<std::uint64_t, PendingWrite> pending_writes;
+    std::unordered_map<std::uint64_t, std::shared_ptr<StatsWaiter>>
+        pending_stats;
     std::jthread reader;
   };
 
-  NadClient() = default;
+  NadClient();
   void ReaderLoop(Conn* conn);
   Conn* ConnFor(DiskId d);
 
   std::atomic<std::uint64_t> next_request_id_{1};
   std::map<DiskId, std::unique_ptr<Conn>> conns_;
+
+  // Resolved once; recording is lock-free (see obs/metrics.h).
+  obs::Histogram* read_us_;
+  obs::Histogram* write_us_;
+  obs::Gauge* in_flight_;
 };
 
 }  // namespace nadreg::nad

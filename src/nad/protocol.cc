@@ -22,6 +22,11 @@ std::string EncodeMessage(const Message& m) {
       break;
     case MsgType::kWriteResp:
       break;
+    case MsgType::kStatsReq:
+      break;
+    case MsgType::kStatsResp:
+      e.PutBytes(m.value);
+      break;
   }
   return out;
 }
@@ -32,7 +37,7 @@ Expected<Message> DecodeMessage(std::string_view payload) {
   auto type = d.GetU8();
   if (!type) return type.status();
   if (*type < static_cast<std::uint8_t>(MsgType::kReadReq) ||
-      *type > static_cast<std::uint8_t>(MsgType::kWriteResp)) {
+      *type > static_cast<std::uint8_t>(MsgType::kStatsResp)) {
     return Status::Invalid("message: unknown type");
   }
   m.type = static_cast<MsgType>(*type);
@@ -68,9 +73,39 @@ Expected<Message> DecodeMessage(std::string_view payload) {
     }
     case MsgType::kWriteResp:
       break;
+    case MsgType::kStatsReq:
+      break;
+    case MsgType::kStatsResp: {
+      auto value = d.GetBytes();
+      if (!value) return value.status();
+      m.value = std::move(*value);
+      break;
+    }
   }
   if (!d.AtEnd()) return Status::Invalid("message: trailing bytes");
   return m;
+}
+
+Expected<Endpoint> ParseEndpoint(std::string_view s) {
+  Endpoint ep;
+  std::string_view port_part = s;
+  const auto colon = s.rfind(':');
+  if (colon != std::string_view::npos) {
+    if (colon == 0) return Status::Invalid("endpoint: empty host");
+    ep.host = std::string(s.substr(0, colon));
+    port_part = s.substr(colon + 1);
+  }
+  if (port_part.empty()) return Status::Invalid("endpoint: empty port");
+  std::uint32_t port = 0;
+  for (char c : port_part) {
+    if (c < '0' || c > '9') {
+      return Status::Invalid("endpoint: port must be numeric");
+    }
+    port = port * 10 + static_cast<std::uint32_t>(c - '0');
+    if (port > 65535) return Status::Invalid("endpoint: port out of range");
+  }
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
 }
 
 }  // namespace nadreg::nad

@@ -13,6 +13,13 @@
 //   WriteReq := u32 disk, u64 block, bytes value
 //   ReadResp := bytes value
 //   WriteResp:= (empty)
+//   StatsReq := (empty)
+//   StatsResp:= bytes text
+//
+// STATS is an out-of-band observability opcode (it does not exist in the
+// paper's model and takes no part in any emulation): the server answers
+// with a plain-text dump of its metrics registry — request counts,
+// per-opcode service latency, journal/recovery counters.
 //
 // A crashed register/disk simply never answers — there is no error
 // response for it, exactly like the unresponsive failure mode.
@@ -20,6 +27,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/codec.h"
 #include "common/status.h"
@@ -32,6 +40,8 @@ enum class MsgType : std::uint8_t {
   kWriteReq = 2,
   kReadResp = 3,
   kWriteResp = 4,
+  kStatsReq = 5,
+  kStatsResp = 6,
 };
 
 struct Message {
@@ -52,5 +62,18 @@ Expected<Message> DecodeMessage(std::string_view payload);
 /// Maximum accepted frame payload (guards server memory against a
 /// malformed or hostile length prefix).
 inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Where a NAD server listens / a client connects. Shared by every binary
+/// that names a disk on the network (client library, CLIs, demos).
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// Parses "host:port" or bare "port" (host defaults to 127.0.0.1).
+/// Rejects empty hosts, non-numeric or out-of-range ports.
+Expected<Endpoint> ParseEndpoint(std::string_view s);
 
 }  // namespace nadreg::nad

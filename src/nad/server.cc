@@ -8,7 +8,7 @@
 namespace nadreg::nad {
 
 Expected<std::unique_ptr<NadServer>> NadServer::Start(Options opts) {
-  auto listener = Listener::Bind(opts.port);
+  auto listener = Listener::Bind(opts.port, opts.host);
   if (!listener) return listener.status();
   // Cannot use make_unique: the constructor is private.
   std::unique_ptr<NadServer> server(new NadServer(opts));
@@ -26,7 +26,14 @@ Expected<std::unique_ptr<NadServer>> NadServer::Start(Options opts) {
   return server;
 }
 
-NadServer::NadServer(Options opts) : opts_(opts), rng_(opts.seed) {}
+NadServer::NadServer(Options opts)
+    : opts_(opts),
+      rng_(opts.seed),
+      reads_served_(&metrics_.GetCounter("nad.server.reads")),
+      writes_served_(&metrics_.GetCounter("nad.server.writes")),
+      dropped_crashed_(&metrics_.GetCounter("nad.server.dropped_crashed")),
+      read_serve_us_(&metrics_.GetHistogram("nad.server.read_serve_us")),
+      write_serve_us_(&metrics_.GetHistogram("nad.server.write_serve_us")) {}
 
 NadServer::~NadServer() { Stop(); }
 
@@ -93,10 +100,28 @@ void NadServer::Serve(Socket conn, Rng rng) {
                << msg.status().ToString();
       continue;
     }
+    if (msg->type == MsgType::kStatsReq) {
+      // Out-of-band observability: answered immediately (no artificial
+      // delay, no crash check — STATS is not a disk operation).
+      Message resp;
+      resp.request_id = msg->request_id;
+      resp.type = MsgType::kStatsResp;
+      std::string text = metrics_.ToText();
+      {
+        std::lock_guard lock(mu_);
+        text += "counter nad.server.served " + std::to_string(served_) + "\n";
+        text += "counter nad.server.recovered " + std::to_string(recovered_) +
+                "\n";
+      }
+      resp.value = std::move(text);
+      if (!SendFrame(conn, EncodeMessage(resp)).ok()) break;
+      continue;
+    }
     if (msg->type != MsgType::kReadReq && msg->type != MsgType::kWriteReq) {
       LOG_WARN << "nad-server: dropping non-request message";
       continue;
     }
+    const auto serve_start = std::chrono::steady_clock::now();
     if (opts_.max_delay_us > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(
           rng.Between(opts_.min_delay_us, opts_.max_delay_us)));
@@ -108,6 +133,7 @@ void NadServer::Serve(Socket conn, Rng rng) {
       if (store_.IsCrashed(msg->reg)) {
         // Unresponsive failure mode: swallow the request. The client can
         // never distinguish this from a slow disk.
+        dropped_crashed_->Inc();
         continue;
       }
       if (msg->type == MsgType::kWriteReq) {
@@ -127,6 +153,13 @@ void NadServer::Serve(Socket conn, Rng rng) {
         resp.value = store_.Get(msg->reg);  // linearization
       }
       ++served_;
+    }
+    if (resp.type == MsgType::kWriteResp) {
+      writes_served_->Inc();
+      write_serve_us_->ObserveSince(serve_start);
+    } else {
+      reads_served_->Inc();
+      read_serve_us_->ObserveSince(serve_start);
     }
     if (!SendFrame(conn, EncodeMessage(resp)).ok()) break;
   }

@@ -19,6 +19,7 @@
 #include "common/types.h"
 #include "nad/persistence.h"
 #include "nad/socket.h"
+#include "obs/metrics.h"
 #include "sim/register_store.h"
 
 namespace nadreg::nad {
@@ -27,6 +28,7 @@ class NadServer {
  public:
   struct Options {
     std::uint16_t port = 0;  // 0: ephemeral, see port()
+    std::string host = "127.0.0.1";  // bind address ("0.0.0.0" for all)
     std::uint64_t seed = 0x5eed;
     /// Artificial per-request service delay range (microseconds).
     std::uint64_t min_delay_us = 0;
@@ -53,6 +55,11 @@ class NadServer {
 
   /// Requests served (responses actually sent).
   std::uint64_t ServedCount() const;
+
+  /// This server's metrics (request counts, per-opcode service latency).
+  /// Per-instance — many servers in one process don't share it — and the
+  /// same data the STATS opcode returns over the wire as plain text.
+  const obs::Registry& metrics() const { return metrics_; }
 
   /// Number of records replayed at start-up (0 for a fresh/volatile disk).
   std::size_t RecoveredCount() const { return recovered_; }
@@ -82,6 +89,15 @@ class NadServer {
   bool stopping_ = false;
   std::vector<Socket*> live_conns_;  // for Stop() to shut down
   Rng rng_;
+
+  // Per-instance observability (see metrics()). The pointers are the
+  // hot-path handles, resolved once in the constructor.
+  obs::Registry metrics_;
+  obs::Counter* reads_served_;
+  obs::Counter* writes_served_;
+  obs::Counter* dropped_crashed_;
+  obs::Histogram* read_serve_us_;
+  obs::Histogram* write_serve_us_;
 
   std::vector<std::jthread> conn_threads_;
   std::jthread accept_thread_;

@@ -22,7 +22,7 @@ void Socket::Shutdown() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
-Expected<Listener> Listener::Bind(std::uint16_t port) {
+Expected<Listener> Listener::Bind(std::uint16_t port, const std::string& host) {
   Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
   if (!sock.valid()) {
     return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
@@ -32,7 +32,9 @@ Expected<Listener> Listener::Bind(std::uint16_t port) {
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::Invalid("bind: bad host address " + host);
+  }
   addr.sin_port = htons(port);
   if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     return Status::Unavailable(std::string("bind: ") + std::strerror(errno));

@@ -38,10 +38,13 @@ class Socket {
   int fd_ = -1;
 };
 
-/// Listening TCP socket on 127.0.0.1. Pass port 0 for an ephemeral port.
+/// Listening TCP socket, by default on 127.0.0.1. Pass port 0 for an
+/// ephemeral port; `host` must be a dotted-quad address ("0.0.0.0" to
+/// listen on all interfaces).
 class Listener {
  public:
-  static Expected<Listener> Bind(std::uint16_t port);
+  static Expected<Listener> Bind(std::uint16_t port,
+                                 const std::string& host = "127.0.0.1");
 
   std::uint16_t port() const { return port_; }
   /// Blocks until a client connects (or the listener is shut down, in

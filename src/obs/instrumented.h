@@ -1,0 +1,60 @@
+// The unified stats surface of the observability layer: every register
+// emulation endpoint and the quorum engine expose their phase counters
+// through one accessor instead of per-class one-offs (this replaces the
+// old MwmrAtomic::snapshot_stats()-style paths).
+#pragma once
+
+#include <cstdint>
+
+namespace nadreg::obs {
+
+/// Per-endpoint operation/phase counters. Layers fill the fields they own
+/// and leave the rest at zero; counters compose by addition, so an
+/// emulation reports its own phases plus its quorum engine's.
+struct PhaseCounters {
+  // Emulated OPERATIONs completed through this endpoint.
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t deadline_timeouts = 0;
+
+  // Quorum engine (core::RegisterSet).
+  std::uint64_t quorum_waits = 0;     // blocking Await calls
+  std::uint64_t quorum_wait_us = 0;   // total time blocked in Await
+  std::uint64_t pending_queued = 0;   // base ops queued behind a pending op
+  std::uint64_t max_pending_depth = 0;  // deepest per-register queue seen
+
+  // Name-snapshot layer (Fig. 3 emulations only).
+  std::uint64_t collects = 0;
+  std::uint64_t adoptions = 0;
+  std::uint64_t sticky_reads = 0;
+  std::uint64_t sticky_sets = 0;
+
+  PhaseCounters& operator+=(const PhaseCounters& o) {
+    reads += o.reads;
+    writes += o.writes;
+    deadline_timeouts += o.deadline_timeouts;
+    quorum_waits += o.quorum_waits;
+    quorum_wait_us += o.quorum_wait_us;
+    pending_queued += o.pending_queued;
+    if (o.max_pending_depth > max_pending_depth) {
+      max_pending_depth = o.max_pending_depth;
+    }
+    collects += o.collects;
+    adoptions += o.adoptions;
+    sticky_reads += o.sticky_reads;
+    sticky_sets += o.sticky_sets;
+    return *this;
+  }
+};
+
+/// Implemented by everything that can account for its own work.
+class Instrumented {
+ public:
+  virtual ~Instrumented() = default;
+
+  /// A consistent snapshot of this endpoint's counters (values only ever
+  /// grow; concurrent operations may be mid-flight).
+  virtual PhaseCounters op_metrics() const = 0;
+};
+
+}  // namespace nadreg::obs

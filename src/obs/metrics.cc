@@ -1,0 +1,122 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace nadreg::obs {
+
+std::uint64_t Histogram::PercentileUs(double p) const {
+  const std::uint64_t n = Count();
+  if (n == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  const auto target =
+      static_cast<std::uint64_t>(static_cast<double>(n) * p / 100.0);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += BucketCount(i);
+    if (seen > target || (seen == n && seen >= target)) return BucketUpperUs(i);
+  }
+  return MaxUs();
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string Registry::ToJson() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "" : ",") << "\n    \"" << name << "\": " << c->Get();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "" : ",") << "\n    \"" << name << "\": {\"value\": "
+        << g->Get() << ", \"max\": " << g->Max() << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "" : ",") << "\n    \"" << name << "\": {\"count\": "
+        << h->Count() << ", \"sum_us\": " << h->SumUs() << ", \"max_us\": "
+        << h->MaxUs() << ", \"p50_us\": " << h->PercentileUs(50)
+        << ", \"p90_us\": " << h->PercentileUs(90) << ", \"p99_us\": "
+        << h->PercentileUs(99) << ",\n      \"buckets\": [";
+    bool bfirst = true;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t count = h->BucketCount(i);
+      if (count == 0) continue;  // sparse output: empty buckets are implied
+      out << (bfirst ? "" : ", ") << "{\"le_us\": ";
+      if (i < Histogram::kFiniteBuckets) {
+        out << (1ULL << i);
+      } else {
+        out << "\"inf\"";
+      }
+      out << ", \"count\": " << count << "}";
+      bfirst = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+std::string Registry::ToText() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << "counter " << name << " " << c->Get() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << "gauge " << name << " " << g->Get() << " max " << g->Max() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << "histogram " << name << " count " << h->Count() << " sum_us "
+        << h->SumUs() << " p50_us " << h->PercentileUs(50) << " p99_us "
+        << h->PercentileUs(99) << " max_us " << h->MaxUs() << "\n";
+  }
+  return out.str();
+}
+
+Status Registry::WriteJsonFile(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Unavailable("metrics: cannot open " + path);
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) return Status::Unavailable("metrics: short write to " + path);
+  return Status::Ok();
+}
+
+Registry& Registry::Global() {
+  static Registry* global = new Registry();  // leaked: outlive all users
+  return *global;
+}
+
+}  // namespace nadreg::obs

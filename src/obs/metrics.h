@@ -1,0 +1,145 @@
+// Lock-cheap metrics primitives and a process-wide registry.
+//
+// Every layer of the stack (nad client/server, the quorum engine, the
+// emulation phases, the workload harness) records into these so a bench or
+// demo run can emit a machine-readable artifact of *where the time went*:
+// quorum waits, pending-write queueing, snapshot collect passes, RPC
+// round trips. The hot-path cost is one relaxed atomic RMW per event —
+// registration (the only locking path) happens once per metric name and
+// callers cache the returned reference.
+//
+// Three instrument kinds, mirroring what register-emulation papers report
+// (cf. "On the Practicality of Atomic MWMR Register Implementations"):
+//
+//   Counter    monotonic u64 (ops issued, adoptions, timeouts, ...)
+//   Gauge      i64 level with a high-watermark (in-flight depth, queue depth)
+//   Histogram  fixed power-of-two latency buckets in microseconds, with
+//              count/sum/max and approximate percentiles
+#pragma once
+
+#include <atomic>
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace nadreg::obs {
+
+/// Monotonically increasing event count. Thread-safe; relaxed ordering is
+/// enough because metrics are advisory, never synchronization.
+class Counter {
+ public:
+  void Inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t Get() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// A level that can go up and down, tracking its high-watermark.
+class Gauge {
+ public:
+  void Add(std::int64_t delta) {
+    const std::int64_t now = v_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    UpdateMax(now);
+  }
+  void Set(std::int64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    UpdateMax(v);
+  }
+  std::int64_t Get() const { return v_.load(std::memory_order_relaxed); }
+  std::int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  void UpdateMax(std::int64_t now) {
+    std::int64_t seen = max_.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !max_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<std::int64_t> v_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Latency histogram with fixed power-of-two buckets (microseconds).
+/// Bucket i counts observations with value <= 2^i us; the last bucket is
+/// the overflow (+inf) bucket. 26 finite buckets cover 1us .. ~33s.
+class Histogram {
+ public:
+  static constexpr std::size_t kFiniteBuckets = 26;
+  static constexpr std::size_t kBuckets = kFiniteBuckets + 1;
+
+  void Observe(std::uint64_t us) {
+    buckets_[BucketIndex(us)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_us_.fetch_add(us, std::memory_order_relaxed);
+    std::uint64_t seen = max_us_.load(std::memory_order_relaxed);
+    while (us > seen && !max_us_.compare_exchange_weak(
+                            seen, us, std::memory_order_relaxed)) {
+    }
+  }
+  void ObserveSince(std::chrono::steady_clock::time_point start) {
+    Observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  }
+
+  std::uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t SumUs() const { return sum_us_.load(std::memory_order_relaxed); }
+  std::uint64_t MaxUs() const { return max_us_.load(std::memory_order_relaxed); }
+  std::uint64_t BucketCount(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Upper bound (us) of bucket i; the overflow bucket reports MaxUs().
+  std::uint64_t BucketUpperUs(std::size_t i) const {
+    return i < kFiniteBuckets ? (1ULL << i) : MaxUs();
+  }
+  /// Approximate percentile (upper bound of the bucket holding the p-th
+  /// observation), p in [0, 100]. Returns 0 for an empty histogram.
+  std::uint64_t PercentileUs(double p) const;
+
+  static std::size_t BucketIndex(std::uint64_t us) {
+    std::size_t i = 0;
+    while (i < kFiniteBuckets && us > (1ULL << i)) ++i;
+    return i;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+  std::atomic<std::uint64_t> max_us_{0};
+};
+
+/// Names metrics and hands out stable references. Lookups lock; returned
+/// references stay valid for the registry's lifetime, so callers resolve
+/// once and then record lock-free.
+class Registry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// All metrics as a JSON document (the bench artifact format).
+  std::string ToJson() const;
+  /// All metrics as "kind name value..." lines (the STATS opcode format).
+  std::string ToText() const;
+  Status WriteJsonFile(const std::string& path) const;
+
+  /// The process-wide registry every built-in instrumentation point uses.
+  static Registry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace nadreg::obs

@@ -1,0 +1,134 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+namespace nadreg::obs {
+
+namespace {
+
+struct Sink {
+  std::mutex mu;
+  std::FILE* file = nullptr;
+  std::chrono::steady_clock::time_point epoch;
+  bool wrote_event = false;
+};
+
+Sink& GlobalSink() {
+  static Sink* sink = new Sink();
+  return *sink;
+}
+
+// Fast active check without taking the sink mutex on the hot path.
+std::atomic<bool> g_active{false};
+
+std::uint64_t CurrentTid() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) % 1000000;
+}
+
+// Span titles are library-chosen plus caller labels; escape the two
+// characters that could break the JSON string.
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back('?');
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status StartTrace(const std::string& path) {
+  Sink& sink = GlobalSink();
+  std::lock_guard lock(sink.mu);
+  if (sink.file != nullptr) {
+    std::fputs("{}]\n", sink.file);
+    std::fclose(sink.file);
+    sink.file = nullptr;
+    g_active.store(false, std::memory_order_release);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::Unavailable("trace: cannot open " + path);
+  std::fputs("[\n", f);
+  sink.file = f;
+  sink.epoch = std::chrono::steady_clock::now();
+  sink.wrote_event = false;
+  g_active.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
+void StopTrace() {
+  Sink& sink = GlobalSink();
+  std::lock_guard lock(sink.mu);
+  if (sink.file == nullptr) return;
+  g_active.store(false, std::memory_order_release);
+  // Close the array strictly (the last event line ends with a comma).
+  std::fputs("{}]\n", sink.file);
+  std::fclose(sink.file);
+  sink.file = nullptr;
+}
+
+bool TraceActive() { return g_active.load(std::memory_order_acquire); }
+
+void EmitSpan(std::string_view cat, std::string_view name,
+              std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::time_point end) {
+  if (!TraceActive()) return;
+  Sink& sink = GlobalSink();
+  std::lock_guard lock(sink.mu);
+  if (sink.file == nullptr) return;  // raced with StopTrace
+  const auto ts = std::chrono::duration_cast<std::chrono::microseconds>(
+                      start - sink.epoch)
+                      .count();
+  const auto dur =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+          .count();
+  std::fprintf(sink.file,
+               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%lld,"
+               "\"dur\":%lld,\"pid\":1,\"tid\":%llu},\n",
+               Escape(name).c_str(), Escape(cat).c_str(),
+               static_cast<long long>(ts < 0 ? 0 : ts),
+               static_cast<long long>(dur < 0 ? 0 : dur),
+               static_cast<unsigned long long>(CurrentTid()));
+  sink.wrote_event = true;
+}
+
+ScopedPhase::ScopedPhase(Histogram* hist, std::string_view cat,
+                         std::string_view name, std::string_view label)
+    : hist_(hist),
+      traced_(TraceActive()),
+      cat_(cat),
+      start_(std::chrono::steady_clock::now()) {
+  if (traced_) {
+    name_ = std::string(name);
+    if (!label.empty()) {
+      name_ += ':';
+      name_ += label;
+    }
+  }
+}
+
+ScopedPhase::~ScopedPhase() {
+  const auto end = std::chrono::steady_clock::now();
+  if (hist_ != nullptr) {
+    hist_->Observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(end - start_)
+            .count()));
+  }
+  if (traced_) EmitSpan(cat_, name_, start_, end);
+}
+
+std::chrono::microseconds ScopedPhase::Elapsed() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start_);
+}
+
+}  // namespace nadreg::obs

@@ -1,0 +1,67 @@
+// Structured operation tracing: a process-global JSONL sink emitting
+// chrome://tracing "complete" events (ph "X"), so a bench or demo run can
+// be opened in chrome://tracing / Perfetto and read phase by phase —
+// choose-value vs wait in the SWMR READ, collect passes in the name
+// snapshot, write-backs, RPC round trips.
+//
+// The sink is off by default; when off, a span costs one relaxed atomic
+// load. StartTrace/StopTrace bracket a capture. The output is a strict
+// JSON array (one event per line), which both chrome://tracing and plain
+// JSON tooling accept.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace nadreg::obs {
+
+/// Opens `path` and starts capturing trace events process-wide.
+/// Fails (kUnavailable) if the file cannot be opened; restarting an
+/// active trace closes the previous file first.
+Status StartTrace(const std::string& path);
+
+/// Stops capturing and closes the file (no-op when not tracing).
+void StopTrace();
+
+/// True while a trace capture is active.
+bool TraceActive();
+
+/// Emits one complete event covering [start, end). `cat` and `name` feed
+/// the chrome://tracing category/title; no-op when not tracing.
+void EmitSpan(std::string_view cat, std::string_view name,
+              std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::time_point end);
+
+/// RAII phase probe: times a scope into an optional latency histogram
+/// (always, tracing or not) and emits a trace span when a capture is
+/// active. The workhorse of per-phase instrumentation:
+///
+///   obs::ScopedPhase phase(&hist_wait_, "swmr", "wait", opts.label);
+class ScopedPhase {
+ public:
+  /// `hist` may be null (trace-only span). `label`, when non-empty, is
+  /// appended to the span title as "name:label".
+  ScopedPhase(Histogram* hist, std::string_view cat, std::string_view name,
+              std::string_view label = {});
+  ~ScopedPhase();
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  /// Elapsed time so far.
+  std::chrono::microseconds Elapsed() const;
+
+ private:
+  Histogram* hist_;
+  bool traced_;
+  std::string_view cat_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace nadreg::obs

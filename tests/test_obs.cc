@@ -1,0 +1,342 @@
+// Observability layer: metric primitive semantics (including under
+// concurrency), trace file format, endpoint parsing, and the unified
+// OpOptions deadline across all four register emulations.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/op_options.h"
+#include "core/config.h"
+#include "core/mwmr_atomic.h"
+#include "core/mwsr_seqcst.h"
+#include "core/oneshot.h"
+#include "core/swmr_atomic.h"
+#include "core/swsr_atomic.h"
+#include "nad/protocol.h"
+#include "obs/instrumented.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/sim_farm.h"
+
+namespace nadreg {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  obs::Counter c;
+  EXPECT_EQ(c.Get(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.Get(), 42u);
+}
+
+TEST(Counter, ConcurrentIncrementsAreExact) {
+  obs::Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kIncs = 20000;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&c] {
+        for (int i = 0; i < kIncs; ++i) c.Inc();
+      });
+    }
+  }
+  EXPECT_EQ(c.Get(), static_cast<std::uint64_t>(kThreads) * kIncs);
+}
+
+TEST(Gauge, TracksLevelAndHighWatermark) {
+  obs::Gauge g;
+  g.Add(3);
+  g.Add(4);
+  g.Add(-5);
+  EXPECT_EQ(g.Get(), 2);
+  EXPECT_EQ(g.Max(), 7);
+  g.Set(1);
+  EXPECT_EQ(g.Get(), 1);
+  EXPECT_EQ(g.Max(), 7);  // the watermark never regresses
+}
+
+TEST(Histogram, BucketIndexIsPowerOfTwoUpperBound) {
+  EXPECT_EQ(obs::Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1), 0u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(2), 1u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(4), 2u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(5), 3u);
+  // Far past the largest finite bucket: the overflow bucket.
+  EXPECT_EQ(obs::Histogram::BucketIndex(~0ULL),
+            obs::Histogram::kFiniteBuckets);
+}
+
+TEST(Histogram, CountSumMaxAndPercentiles) {
+  obs::Histogram h;
+  EXPECT_EQ(h.PercentileUs(50), 0u);  // empty
+  for (std::uint64_t us : {1u, 2u, 4u, 8u, 1000u}) h.Observe(us);
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_EQ(h.SumUs(), 1015u);
+  EXPECT_EQ(h.MaxUs(), 1000u);
+  // p50 lands in the bucket of the 3rd observation (value 4 -> le 4).
+  EXPECT_EQ(h.PercentileUs(50), 4u);
+  // p100 lands in the bucket holding 1000 (le 1024).
+  EXPECT_EQ(h.PercentileUs(100), 1024u);
+}
+
+TEST(Histogram, ConcurrentObservationsKeepTotalsConsistent) {
+  obs::Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kObs = 5000;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&h] {
+        for (int i = 0; i < kObs; ++i) h.Observe(7);
+      });
+    }
+  }
+  EXPECT_EQ(h.Count(), static_cast<std::uint64_t>(kThreads) * kObs);
+  EXPECT_EQ(h.SumUs(), static_cast<std::uint64_t>(kThreads) * kObs * 7);
+  std::uint64_t bucketed = 0;
+  for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+    bucketed += h.BucketCount(i);
+  }
+  EXPECT_EQ(bucketed, h.Count());
+}
+
+TEST(Registry, SameNameSameInstrument) {
+  obs::Registry reg;
+  obs::Counter& a = reg.GetCounter("x");
+  obs::Counter& b = reg.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  a.Inc();
+  EXPECT_EQ(b.Get(), 1u);
+  // Kinds have independent namespaces.
+  reg.GetGauge("x").Set(5);
+  EXPECT_EQ(reg.GetCounter("x").Get(), 1u);
+}
+
+TEST(Registry, JsonAndTextContainAllInstruments) {
+  obs::Registry reg;
+  reg.GetCounter("ops.total").Inc(3);
+  reg.GetGauge("depth").Set(2);
+  reg.GetHistogram("lat_us").Observe(10);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"ops.total\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"lat_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+  const std::string text = reg.ToText();
+  EXPECT_NE(text.find("counter ops.total 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("gauge depth 2"), std::string::npos);
+  EXPECT_NE(text.find("histogram lat_us count 1"), std::string::npos);
+}
+
+TEST(Registry, WriteJsonFileRoundTrips) {
+  obs::Registry reg;
+  reg.GetCounter("c").Inc();
+  const auto path = std::filesystem::temp_directory_path() /
+                    "nadreg_test_metrics.json";
+  ASSERT_TRUE(reg.WriteJsonFile(path.string()).ok());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), reg.ToJson());
+  std::filesystem::remove(path);
+}
+
+TEST(PhaseCounters, ComposeByAdditionWithMaxDepth) {
+  obs::PhaseCounters a;
+  a.reads = 2;
+  a.max_pending_depth = 3;
+  obs::PhaseCounters b;
+  b.reads = 1;
+  b.writes = 4;
+  b.max_pending_depth = 2;
+  a += b;
+  EXPECT_EQ(a.reads, 3u);
+  EXPECT_EQ(a.writes, 4u);
+  EXPECT_EQ(a.max_pending_depth, 3u);  // max, not sum
+}
+
+// ----------------------------------------------------------------- trace
+
+TEST(Trace, FileIsAStrictJsonArrayOfCompleteEvents) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "nadreg_test_trace.json";
+  ASSERT_TRUE(obs::StartTrace(path.string()).ok());
+  EXPECT_TRUE(obs::TraceActive());
+  {
+    obs::ScopedPhase phase(nullptr, "test", "span_one", "lbl");
+    std::this_thread::sleep_for(1ms);
+  }
+  const auto now = std::chrono::steady_clock::now();
+  obs::EmitSpan("test", "span_two", now - 5ms, now);
+  obs::StopTrace();
+  EXPECT_FALSE(obs::TraceActive());
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string body = buf.str();
+  EXPECT_EQ(body.front(), '[');
+  EXPECT_NE(body.find("\"ph\":\"X\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"name\":\"span_one:lbl\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"span_two\""), std::string::npos);
+  EXPECT_NE(body.find("\"cat\":\"test\""), std::string::npos);
+  // Closed as valid JSON ("{}]" terminator after the trailing comma).
+  EXPECT_NE(body.find("{}]"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, SpansAreDroppedWhenInactive) {
+  ASSERT_FALSE(obs::TraceActive());
+  const auto now = std::chrono::steady_clock::now();
+  obs::EmitSpan("test", "ignored", now - 1ms, now);  // must not crash
+  obs::Histogram h;
+  {
+    obs::ScopedPhase phase(&h, "test", "timed");
+  }
+  EXPECT_EQ(h.Count(), 1u);  // histogram fed even without a trace
+}
+
+// -------------------------------------------------------------- endpoint
+
+TEST(ParseEndpoint, AcceptsHostPortAndBarePort) {
+  auto ep = nad::ParseEndpoint("10.0.0.7:7001");
+  ASSERT_TRUE(ep.ok());
+  EXPECT_EQ(ep->host, "10.0.0.7");
+  EXPECT_EQ(ep->port, 7001);
+
+  auto bare = nad::ParseEndpoint("7002");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->host, "127.0.0.1");
+  EXPECT_EQ(bare->port, 7002);
+}
+
+TEST(ParseEndpoint, RejectsMalformedInputs) {
+  EXPECT_FALSE(nad::ParseEndpoint("").ok());
+  EXPECT_FALSE(nad::ParseEndpoint(":80").ok());
+  EXPECT_FALSE(nad::ParseEndpoint("host:").ok());
+  EXPECT_FALSE(nad::ParseEndpoint("host:abc").ok());
+  EXPECT_FALSE(nad::ParseEndpoint("host:70000").ok());
+  EXPECT_FALSE(nad::ParseEndpoint("host:-1").ok());
+}
+
+// ------------------------------------- unified OpOptions deadline + stats
+
+struct Rig {
+  core::FarmConfig cfg{1};
+  std::vector<RegisterId> regs = cfg.Spread(0);
+};
+
+/// Crashes a majority so no quorum can ever complete: every deadline
+/// op must time out instead of blocking forever.
+void CrashMajority(sim::SimFarm& farm, const core::FarmConfig& cfg) {
+  for (DiskId d = 0; d + 1 < cfg.num_disks(); ++d) farm.CrashDisk(d);
+}
+
+TEST(OpOptionsDeadline, SwsrAndSwmrTimeOutWithoutQuorum) {
+  Rig rig;
+  sim::SimFarm farm;
+  CrashMajority(farm, rig.cfg);
+  core::SwsrAtomicWriter writer(farm, rig.cfg, rig.regs, 1);
+  Status w = writer.Write("v", OpOptions::WithDeadline(50ms));
+  EXPECT_EQ(w.code(), StatusCode::kTimeout) << w.ToString();
+
+  core::SwmrAtomicReader reader(farm, rig.cfg, rig.regs, 2);
+  auto r = reader.Read(OpOptions::WithDeadline(50ms));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+  EXPECT_GE(reader.op_metrics().deadline_timeouts, 1u);
+}
+
+TEST(OpOptionsDeadline, MwsrTimesOutWithoutQuorum) {
+  Rig rig;
+  sim::SimFarm farm;
+  CrashMajority(farm, rig.cfg);
+  core::MwsrWriter writer(farm, rig.cfg, rig.regs, 1);
+  EXPECT_EQ(writer.Write("v", OpOptions::WithDeadline(50ms)).code(),
+            StatusCode::kTimeout);
+  core::MwsrReader reader(farm, rig.cfg, rig.regs, 2);
+  EXPECT_EQ(reader.Read(OpOptions::WithDeadline(50ms)).status().code(),
+            StatusCode::kTimeout);
+}
+
+TEST(OpOptionsDeadline, StableRegisterTimesOutWithoutQuorum) {
+  Rig rig;
+  sim::SimFarm farm;
+  CrashMajority(farm, rig.cfg);
+  core::StableRegister reg(farm, rig.cfg, rig.regs, 1);
+  EXPECT_EQ(reg.Write("v", OpOptions::WithDeadline(50ms)).code(),
+            StatusCode::kTimeout);
+  EXPECT_EQ(reg.Read(OpOptions::WithDeadline(50ms)).status().code(),
+            StatusCode::kTimeout);
+  EXPECT_GE(reg.op_metrics().deadline_timeouts, 2u);
+}
+
+TEST(OpOptionsDeadline, MwmrTimesOutWithoutQuorum) {
+  Rig rig;
+  sim::SimFarm farm;
+  CrashMajority(farm, rig.cfg);
+  core::MwmrAtomic reg(farm, rig.cfg, /*object=*/1, /*pid=*/1);
+  EXPECT_EQ(reg.Write("v", OpOptions::WithDeadline(50ms)).code(),
+            StatusCode::kTimeout);
+  EXPECT_EQ(reg.Read(OpOptions::WithDeadline(50ms)).status().code(),
+            StatusCode::kTimeout);
+  EXPECT_GE(reg.op_metrics().deadline_timeouts, 2u);
+}
+
+TEST(OpOptionsDeadline, GenerousDeadlineSucceedsOnHealthyFarm) {
+  Rig rig;
+  sim::SimFarm farm;
+  core::SwsrAtomicWriter writer(farm, rig.cfg, rig.regs, 1);
+  core::SwmrAtomicReader reader(farm, rig.cfg, rig.regs, 2);
+  ASSERT_TRUE(writer.Write("hello", OpOptions::WithDeadline(5000ms)).ok());
+  auto v = reader.Read(OpOptions::WithDeadline(5000ms));
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(*v, "hello");
+
+  core::MwmrAtomic mwmr(farm, rig.cfg, 2, 3);
+  ASSERT_TRUE(mwmr.Write("mw", OpOptions::WithDeadline(5000ms)).ok());
+  auto mv = mwmr.Read(OpOptions::WithDeadline(5000ms));
+  ASSERT_TRUE(mv.ok());
+  ASSERT_TRUE(mv->has_value());
+  EXPECT_EQ(**mv, "mw");
+}
+
+TEST(InstrumentedAccessor, EveryEmulationAccountsForItsOps) {
+  Rig rig;
+  sim::SimFarm farm;
+  core::SwsrAtomicWriter writer(farm, rig.cfg, rig.regs, 1);
+  core::SwsrAtomicReader reader(farm, rig.cfg, rig.regs, 2);
+  writer.Write("a");
+  writer.Write("b");
+  reader.Read();
+  EXPECT_EQ(writer.op_metrics().writes, 2u);
+  EXPECT_GE(writer.op_metrics().quorum_waits, 2u);
+  EXPECT_EQ(reader.op_metrics().reads, 1u);
+
+  core::MwmrAtomic mwmr(farm, rig.cfg, /*object=*/3, /*pid=*/4);
+  mwmr.Write("v");
+  mwmr.Read();
+  const obs::PhaseCounters pc = mwmr.op_metrics();
+  EXPECT_EQ(pc.writes, 1u);
+  EXPECT_EQ(pc.reads, 1u);
+  EXPECT_GE(pc.collects, 4u);  // >= one double-collect per operation
+  EXPECT_GE(pc.sticky_sets, 1u);
+  // The accessor agrees with the legacy snapshot_stats() surface.
+  EXPECT_EQ(pc.collects, mwmr.snapshot_stats().collects);
+  EXPECT_EQ(pc.adoptions, mwmr.snapshot_stats().adoptions);
+}
+
+}  // namespace
+}  // namespace nadreg

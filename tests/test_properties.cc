@@ -144,6 +144,35 @@ TEST(WorkloadHarness, RepeatedRunsStayGreen) {
   }
 }
 
+// The harness's global op counters must only ever grow, and each run's
+// deltas must equal exactly the operations its history recorded.
+TEST(WorkloadHarness, OpCountersMonotoneAndConsistentWithHistory) {
+  WorkloadOptions opts;
+  opts.algorithm = Algorithm::kSwmrAtomic;
+  opts.seed = 91;
+  opts.writers = 1;
+  opts.readers = 2;
+  opts.ops_per_process = 4;
+  auto r1 = RunWorkload(opts);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_GE(r1.writes_after, r1.writes_before);
+  EXPECT_GE(r1.reads_after, r1.reads_before);
+  EXPECT_EQ(r1.writes_after - r1.writes_before, 4u);  // 1 writer x 4 ops
+  EXPECT_EQ(r1.reads_after - r1.reads_before, 8u);    // 2 readers x 4 ops
+  EXPECT_EQ((r1.writes_after - r1.writes_before) +
+                (r1.reads_after - r1.reads_before),
+            r1.history.size());
+
+  // A second run resumes from where the first left the global counters.
+  opts.seed = 92;
+  auto r2 = RunWorkload(opts);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GE(r2.writes_before, r1.writes_after);
+  EXPECT_GE(r2.reads_before, r1.reads_after);
+  EXPECT_EQ(r2.writes_after - r2.writes_before, 4u);
+  EXPECT_EQ(r2.reads_after - r2.reads_before, 8u);
+}
+
 TEST(WorkloadHarness, ClampsRolesToAlgorithmLimits) {
   WorkloadOptions opts;
   opts.algorithm = Algorithm::kSwsrAtomic;
