@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Focused ThreadSanitizer pass over the concurrency-heavy suites: the NAD
+# wire protocol, the network client/server (sender + reader threads,
+# striped store), and the RegisterSet quorum engine. Uses the `tsan`
+# CMake preset (build-tsan/) so the default build/ is never disturbed.
+#
+#   $ scripts/tsan_tests.sh
+#
+# For the full suite under TSan (and ASan) use scripts/sanitize_tests.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan
+cmake --build --preset tsan -j"$(nproc)" --target \
+  test_nad_protocol test_nad_network test_nad_robustness test_register_set
+
+ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
+  -R '^(Protocol|NadNetwork|NadRobustness|RegisterSet)\.'

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "common/types.h"
 
@@ -46,6 +47,32 @@ class BaseRegisterClient {
   /// effect at that moment.
   virtual void IssueWrite(ProcessId p, RegisterId r, Value v,
                           WriteHandler done) = 0;
+
+  /// One read of a quorum phase, for the vectored issue path.
+  struct ReadOp {
+    RegisterId reg;
+    ReadHandler done;
+  };
+  /// One write of a quorum phase, for the vectored issue path.
+  struct WriteOp {
+    RegisterId reg;
+    Value value;
+    WriteHandler done;
+  };
+
+  /// Issues many independent reads at once — a quorum phase's whole
+  /// fan-out in one call. Semantically identical to calling IssueRead per
+  /// op (each op completes — or silently never does — on its own), but a
+  /// networked backend may vector everything bound for the same disk into
+  /// one batched round trip. The default forwards op by op.
+  virtual void IssueReads(ProcessId p, std::vector<ReadOp> ops) {
+    for (ReadOp& op : ops) IssueRead(p, op.reg, std::move(op.done));
+  }
+
+  /// Issues many independent writes at once; see IssueReads.
+  virtual void IssueWrites(ProcessId p, std::vector<WriteOp> ops) {
+    for (WriteOp& op : ops) IssueWrite(p, op.reg, std::move(op.value), std::move(op.done));
+  }
 };
 
 /// Operation counters, used by the harness to measure base-register work

@@ -73,27 +73,59 @@ struct RegisterSet::Shared : std::enable_shared_from_this<RegisterSet::Shared> {
     }
   }
 
-  void StartOrQueue(std::size_t i, QueuedOp op) {
+  // Issues one whole phase (a read or write of every register) with the
+  // paper's pending-write discipline per register. All registers whose
+  // slot is free are handed to the client in ONE vectored call, so a
+  // networked backend coalesces the phase into one batch frame per disk;
+  // busy slots queue (reads coalescing) and chain from OnComplete.
+  void IssuePhase(const std::shared_ptr<Ticket::State>& st, bool is_write,
+                  const Value& v) {
+    std::vector<std::size_t> to_issue;
+    to_issue.reserve(regs.size());
     {
       std::lock_guard lock(mu);
-      Slot& slot = slots[i];
-      if (slot.busy) {
+      for (std::size_t i = 0; i < regs.size(); ++i) {
+        Slot& slot = slots[i];
+        if (!slot.busy) {
+          slot.busy = true;
+          to_issue.push_back(i);
+          continue;
+        }
         // Coalesce a fresh read with a queued (unissued) read: a read that
         // has not been issued yet is as fresh as a new one.
-        if (!op.is_write && !slot.queue.empty() &&
-            !slot.queue.back().is_write) {
-          auto& back = slot.queue.back().subscribers;
-          back.insert(back.end(), op.subscribers.begin(),
-                      op.subscribers.end());
+        if (!is_write && !slot.queue.empty() && !slot.queue.back().is_write) {
+          slot.queue.back().subscribers.push_back(st);
         } else {
+          QueuedOp op;
+          op.is_write = is_write;
+          if (is_write) op.value = v;
+          op.subscribers = {st};
           slot.queue.push_back(std::move(op));
           NoteQueued(slot.queue.size());
         }
-        return;
       }
-      slot.busy = true;
     }
-    IssueOp(i, std::move(op));
+    if (to_issue.empty()) return;
+    auto self_ptr = shared_from_this();
+    if (is_write) {
+      std::vector<BaseRegisterClient::WriteOp> ops;
+      ops.reserve(to_issue.size());
+      for (std::size_t i : to_issue) {
+        ops.push_back({regs[i], v, [self_ptr, i, st] {
+                         self_ptr->OnComplete(i, {st}, std::nullopt);
+                       }});
+      }
+      client->IssueWrites(self, std::move(ops));
+    } else {
+      std::vector<BaseRegisterClient::ReadOp> ops;
+      ops.reserve(to_issue.size());
+      for (std::size_t i : to_issue) {
+        ops.push_back({regs[i], [self_ptr, i, st](Value value) {
+                         self_ptr->OnComplete(i, {st}, std::move(value));
+                       }});
+      }
+      client->IssueReads(self, std::move(ops));
+    }
   }
 
   void IssueOp(std::size_t i, QueuedOp op) {
@@ -164,25 +196,14 @@ const std::vector<RegisterId>& RegisterSet::registers() const {
 RegisterSet::Ticket RegisterSet::WriteAll(const Value& v) {
   Ticket ticket;
   ticket.state_ = std::make_shared<Ticket::State>(shared_->regs.size());
-  for (std::size_t i = 0; i < shared_->regs.size(); ++i) {
-    Shared::QueuedOp op;
-    op.is_write = true;
-    op.value = v;
-    op.subscribers = {ticket.state_};
-    shared_->StartOrQueue(i, std::move(op));
-  }
+  shared_->IssuePhase(ticket.state_, /*is_write=*/true, v);
   return ticket;
 }
 
 RegisterSet::Ticket RegisterSet::ReadAll() {
   Ticket ticket;
   ticket.state_ = std::make_shared<Ticket::State>(shared_->regs.size());
-  for (std::size_t i = 0; i < shared_->regs.size(); ++i) {
-    Shared::QueuedOp op;
-    op.is_write = false;
-    op.subscribers = {ticket.state_};
-    shared_->StartOrQueue(i, std::move(op));
-  }
+  shared_->IssuePhase(ticket.state_, /*is_write=*/false, Value{});
   return ticket;
 }
 

@@ -15,6 +15,12 @@
 // indistinguishable from a fresh one), so a loop of READ phases over a
 // crashed register uses O(1) memory.
 //
+// A phase's immediately-issuable registers go to the client in one
+// vectored IssueReads/IssueWrites call, so the TCP backend collapses the
+// whole fan-out into one batched frame per disk (per-register semantics
+// are untouched — each op still completes, or silently never does, on
+// its own).
+//
 // Observability: the engine accounts for the paper's two cost centres —
 // time blocked in quorum waits and depth of the pending-write queues —
 // both locally (op_metrics()) and in the global obs registry

@@ -5,14 +5,19 @@
 
 namespace nadreg::nad {
 
-NadClient::NadClient()
-    : read_us_(&obs::Registry::Global().GetHistogram("nad.client.read_us")),
+NadClient::NadClient(Options options)
+    : options_(options),
+      read_us_(&obs::Registry::Global().GetHistogram("nad.client.read_us")),
       write_us_(&obs::Registry::Global().GetHistogram("nad.client.write_us")),
-      in_flight_(&obs::Registry::Global().GetGauge("nad.client.in_flight")) {}
+      batch_size_(
+          &obs::Registry::Global().GetHistogram("nad.client.batch_size")),
+      in_flight_(&obs::Registry::Global().GetGauge("nad.client.in_flight")),
+      rejected_oversized_(&obs::Registry::Global().GetCounter(
+          "nad.client.rejected_oversized")) {}
 
 Expected<std::unique_ptr<NadClient>> NadClient::Connect(
-    std::map<DiskId, Endpoint> endpoints) {
-  std::unique_ptr<NadClient> client(new NadClient());
+    std::map<DiskId, Endpoint> endpoints, Options options) {
+  std::unique_ptr<NadClient> client(new NadClient(options));
   for (const auto& [disk, ep] : endpoints) {
     auto sock = nad::Connect(ep.host, ep.port);
     if (!sock) return sock.status();
@@ -24,13 +29,26 @@ Expected<std::unique_ptr<NadClient>> NadClient::Connect(
     conn->reader = std::jthread([c = client.get(), cp = conn.get()] {
       c->ReaderLoop(cp);
     });
+    conn->sender = std::jthread([c = client.get(), cp = conn.get()] {
+      c->SenderLoop(cp);
+    });
   }
   return client;
 }
 
 NadClient::~NadClient() {
-  for (auto& [disk, conn] : conns_) conn->sock.Shutdown();
   for (auto& [disk, conn] : conns_) {
+    {
+      std::lock_guard lock(conn->send_mu);
+      conn->closed = true;
+    }
+    conn->send_cv.notify_all();
+    // Unblocks the reader (in recv) and a sender stuck in send on a
+    // peer that stopped draining.
+    conn->sock.Shutdown();
+  }
+  for (auto& [disk, conn] : conns_) {
+    if (conn->sender.joinable()) conn->sender.join();
     if (conn->reader.joinable()) conn->reader.join();
   }
 }
@@ -38,6 +56,24 @@ NadClient::~NadClient() {
 NadClient::Conn* NadClient::ConnFor(DiskId d) {
   auto it = conns_.find(d);
   return it == conns_.end() ? nullptr : it->second.get();
+}
+
+bool NadClient::Enqueue(Conn* conn, Message msg) {
+  {
+    std::lock_guard lock(conn->send_mu);
+    if (conn->closed) return false;
+    conn->outgoing.push_back(std::move(msg));
+  }
+  conn->send_cv.notify_one();
+  return true;
+}
+
+void NadClient::RejectOversized(const RegisterId& r, std::size_t value_bytes) {
+  rejected_oversized_->Inc();
+  LOG_WARN << "nad-client: dropping write of " << value_bytes
+           << " bytes to disk " << r.disk << " block " << r.block
+           << ": value cannot fit a " << kMaxFrameBytes
+           << "-byte frame (handler will never run)";
 }
 
 void NadClient::IssueRead(ProcessId /*p*/, RegisterId r, ReadHandler done) {
@@ -54,8 +90,7 @@ void NadClient::IssueRead(ProcessId /*p*/, RegisterId r, ReadHandler done) {
         PendingRead{std::move(done), std::chrono::steady_clock::now()});
   }
   in_flight_->Add(1);
-  std::lock_guard lock(conn->send_mu);
-  if (!SendFrame(conn->sock, EncodeMessage(req)).ok()) {
+  if (!Enqueue(conn, std::move(req))) {
     // Connection dead: the disk is unreachable — handler never runs,
     // exactly like a crashed register. Clean up the stashed handler.
     std::lock_guard plock(conn->pending_mu);
@@ -67,6 +102,10 @@ void NadClient::IssueWrite(ProcessId /*p*/, RegisterId r, Value v,
                            WriteHandler done) {
   Conn* conn = ConnFor(r.disk);
   if (conn == nullptr) return;
+  if (v.size() > kMaxFrameBytes - kWriteReqOverhead) {
+    RejectOversized(r, v.size());
+    return;
+  }
   Message req;
   req.type = MsgType::kWriteReq;
   req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
@@ -79,10 +118,93 @@ void NadClient::IssueWrite(ProcessId /*p*/, RegisterId r, Value v,
         PendingWrite{std::move(done), std::chrono::steady_clock::now()});
   }
   in_flight_->Add(1);
-  std::lock_guard lock(conn->send_mu);
-  if (!SendFrame(conn->sock, EncodeMessage(req)).ok()) {
+  if (!Enqueue(conn, std::move(req))) {
     std::lock_guard plock(conn->pending_mu);
     if (conn->pending_writes.erase(req.request_id) > 0) in_flight_->Add(-1);
+  }
+}
+
+void NadClient::IssueReads(ProcessId /*p*/, std::vector<ReadOp> ops) {
+  // Group per connection so each disk's ops land in its outgoing queue
+  // atomically — one sender drain pass then coalesces them into one
+  // batch frame rather than racing the first op onto the wire alone.
+  std::map<Conn*, std::vector<Message>> per_conn;
+  const auto now = std::chrono::steady_clock::now();
+  for (ReadOp& op : ops) {
+    Conn* conn = ConnFor(op.reg.disk);
+    if (conn == nullptr) continue;
+    Message req;
+    req.type = MsgType::kReadReq;
+    req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    req.reg = op.reg;
+    {
+      std::lock_guard lock(conn->pending_mu);
+      conn->pending_reads.emplace(req.request_id,
+                                  PendingRead{std::move(op.done), now});
+    }
+    in_flight_->Add(1);
+    per_conn[conn].push_back(std::move(req));
+  }
+  for (auto& [conn, msgs] : per_conn) {
+    bool accepted = false;
+    {
+      std::lock_guard lock(conn->send_mu);
+      if (!conn->closed) {
+        for (Message& m : msgs) conn->outgoing.push_back(std::move(m));
+        accepted = true;
+      }
+    }
+    if (accepted) {
+      conn->send_cv.notify_one();
+    } else {
+      std::lock_guard plock(conn->pending_mu);
+      for (const Message& m : msgs) {
+        if (conn->pending_reads.erase(m.request_id) > 0) in_flight_->Add(-1);
+      }
+    }
+  }
+}
+
+void NadClient::IssueWrites(ProcessId /*p*/, std::vector<WriteOp> ops) {
+  std::map<Conn*, std::vector<Message>> per_conn;
+  const auto now = std::chrono::steady_clock::now();
+  for (WriteOp& op : ops) {
+    Conn* conn = ConnFor(op.reg.disk);
+    if (conn == nullptr) continue;
+    if (op.value.size() > kMaxFrameBytes - kWriteReqOverhead) {
+      RejectOversized(op.reg, op.value.size());
+      continue;
+    }
+    Message req;
+    req.type = MsgType::kWriteReq;
+    req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    req.reg = op.reg;
+    req.value = std::move(op.value);
+    {
+      std::lock_guard lock(conn->pending_mu);
+      conn->pending_writes.emplace(req.request_id,
+                                   PendingWrite{std::move(op.done), now});
+    }
+    in_flight_->Add(1);
+    per_conn[conn].push_back(std::move(req));
+  }
+  for (auto& [conn, msgs] : per_conn) {
+    bool accepted = false;
+    {
+      std::lock_guard lock(conn->send_mu);
+      if (!conn->closed) {
+        for (Message& m : msgs) conn->outgoing.push_back(std::move(m));
+        accepted = true;
+      }
+    }
+    if (accepted) {
+      conn->send_cv.notify_one();
+    } else {
+      std::lock_guard plock(conn->pending_mu);
+      for (const Message& m : msgs) {
+        if (conn->pending_writes.erase(m.request_id) > 0) in_flight_->Add(-1);
+      }
+    }
   }
 }
 
@@ -98,13 +220,10 @@ Expected<std::string> NadClient::QueryStats(DiskId d,
     std::lock_guard lock(conn->pending_mu);
     conn->pending_stats.emplace(req.request_id, waiter);
   }
-  {
-    std::lock_guard lock(conn->send_mu);
-    if (!SendFrame(conn->sock, EncodeMessage(req)).ok()) {
-      std::lock_guard plock(conn->pending_mu);
-      conn->pending_stats.erase(req.request_id);
-      return Status::Unavailable("stats: connection dead");
-    }
+  if (!Enqueue(conn, std::move(req))) {
+    std::lock_guard plock(conn->pending_mu);
+    conn->pending_stats.erase(req.request_id);
+    return Status::Unavailable("stats: connection dead");
   }
   std::unique_lock lock(waiter->mu);
   if (!waiter->cv.wait_for(lock, timeout, [&] { return waiter->done; })) {
@@ -124,6 +243,116 @@ std::size_t NadClient::InFlight() const {
   return n;
 }
 
+void NadClient::FlushRun(std::vector<Message>* run, std::string* wire) {
+  if (run->empty()) return;
+  if (run->size() == 1) {
+    // A lone op costs less as a plain per-op frame — and keeps the
+    // pre-batch opcodes exercised against every server.
+    batch_size_->Observe(1);
+    AppendFrame(wire, EncodeMessage(run->front()));
+    run->clear();
+    return;
+  }
+  Message batch;
+  batch.type = MsgType::kBatchReq;
+  batch.subs = std::move(*run);
+  batch_size_->Observe(batch.subs.size());
+  AppendFrame(wire, EncodeMessage(batch));
+  run->clear();
+}
+
+void NadClient::SenderLoop(Conn* conn) {
+  // Batch payload = type + request id + count + per-sub length prefixes.
+  constexpr std::size_t kBatchHeader = 1 + 8 + 4;
+  for (;;) {
+    std::deque<Message> drained;
+    {
+      std::unique_lock lock(conn->send_mu);
+      conn->send_cv.wait(
+          lock, [&] { return conn->closed || !conn->outgoing.empty(); });
+      if (conn->closed) return;
+      drained.swap(conn->outgoing);
+    }
+    // Coalesce the drain pass into as few frames as possible, preserving
+    // FIFO order: consecutive reads/writes form one batch (split at the
+    // frame cap); STATS stays a standalone out-of-band frame.
+    std::string wire;
+    std::vector<Message> run;
+    std::size_t run_bytes = kBatchHeader;
+    for (Message& msg : drained) {
+      if (!options_.enable_batching || msg.type == MsgType::kStatsReq) {
+        FlushRun(&run, &wire);
+        run_bytes = kBatchHeader;
+        if (msg.type != MsgType::kStatsReq) batch_size_->Observe(1);
+        AppendFrame(&wire, EncodeMessage(msg));
+        continue;
+      }
+      const std::size_t sub_bytes =
+          kBatchSubOverhead + (1 + 8 + 4 + 8) +
+          (msg.type == MsgType::kWriteReq ? 4 + msg.value.size() : 0);
+      if (!run.empty() && run_bytes + sub_bytes > kMaxFrameBytes) {
+        FlushRun(&run, &wire);
+        run_bytes = kBatchHeader;
+      }
+      run_bytes += sub_bytes;
+      run.push_back(std::move(msg));
+    }
+    FlushRun(&run, &wire);
+    if (!SendAll(conn->sock, wire).ok()) {
+      // Connection dead: everything queued or already pending on this
+      // disk will simply never complete — crashed-disk semantics.
+      std::lock_guard lock(conn->send_mu);
+      conn->closed = true;
+      conn->outgoing.clear();
+      return;
+    }
+  }
+}
+
+void NadClient::DispatchResponse(Conn* conn, Message msg) {
+  const auto now = std::chrono::steady_clock::now();
+  if (msg.type == MsgType::kReadResp) {
+    PendingRead pending;
+    {
+      std::lock_guard lock(conn->pending_mu);
+      auto it = conn->pending_reads.find(msg.request_id);
+      if (it == conn->pending_reads.end()) return;
+      pending = std::move(it->second);
+      conn->pending_reads.erase(it);
+    }
+    in_flight_->Add(-1);
+    read_us_->ObserveSince(pending.start);
+    obs::EmitSpan("nad", "read", pending.start, now);
+    if (pending.handler) pending.handler(std::move(msg.value));
+  } else if (msg.type == MsgType::kWriteResp) {
+    PendingWrite pending;
+    {
+      std::lock_guard lock(conn->pending_mu);
+      auto it = conn->pending_writes.find(msg.request_id);
+      if (it == conn->pending_writes.end()) return;
+      pending = std::move(it->second);
+      conn->pending_writes.erase(it);
+    }
+    in_flight_->Add(-1);
+    write_us_->ObserveSince(pending.start);
+    obs::EmitSpan("nad", "write", pending.start, now);
+    if (pending.handler) pending.handler();
+  } else if (msg.type == MsgType::kStatsResp) {
+    std::shared_ptr<StatsWaiter> waiter;
+    {
+      std::lock_guard lock(conn->pending_mu);
+      auto it = conn->pending_stats.find(msg.request_id);
+      if (it == conn->pending_stats.end()) return;
+      waiter = std::move(it->second);
+      conn->pending_stats.erase(it);
+    }
+    std::lock_guard wlock(waiter->mu);
+    waiter->text = std::move(msg.value);
+    waiter->done = true;
+    waiter->cv.notify_all();
+  }
+}
+
 void NadClient::ReaderLoop(Conn* conn) {
   for (;;) {
     auto payload = RecvFrame(conn->sock, kMaxFrameBytes);
@@ -133,46 +362,10 @@ void NadClient::ReaderLoop(Conn* conn) {
       LOG_WARN << "nad-client: malformed response: " << msg.status().ToString();
       continue;
     }
-    const auto now = std::chrono::steady_clock::now();
-    if (msg->type == MsgType::kReadResp) {
-      PendingRead pending;
-      {
-        std::lock_guard lock(conn->pending_mu);
-        auto it = conn->pending_reads.find(msg->request_id);
-        if (it == conn->pending_reads.end()) continue;
-        pending = std::move(it->second);
-        conn->pending_reads.erase(it);
-      }
-      in_flight_->Add(-1);
-      read_us_->ObserveSince(pending.start);
-      obs::EmitSpan("nad", "read", pending.start, now);
-      if (pending.handler) pending.handler(std::move(msg->value));
-    } else if (msg->type == MsgType::kWriteResp) {
-      PendingWrite pending;
-      {
-        std::lock_guard lock(conn->pending_mu);
-        auto it = conn->pending_writes.find(msg->request_id);
-        if (it == conn->pending_writes.end()) continue;
-        pending = std::move(it->second);
-        conn->pending_writes.erase(it);
-      }
-      in_flight_->Add(-1);
-      write_us_->ObserveSince(pending.start);
-      obs::EmitSpan("nad", "write", pending.start, now);
-      if (pending.handler) pending.handler();
-    } else if (msg->type == MsgType::kStatsResp) {
-      std::shared_ptr<StatsWaiter> waiter;
-      {
-        std::lock_guard lock(conn->pending_mu);
-        auto it = conn->pending_stats.find(msg->request_id);
-        if (it == conn->pending_stats.end()) continue;
-        waiter = std::move(it->second);
-        conn->pending_stats.erase(it);
-      }
-      std::lock_guard wlock(waiter->mu);
-      waiter->text = std::move(msg->value);
-      waiter->done = true;
-      waiter->cv.notify_all();
+    if (msg->type == MsgType::kBatchResp) {
+      for (Message& sub : msg->subs) DispatchResponse(conn, std::move(sub));
+    } else {
+      DispatchResponse(conn, std::move(*msg));
     }
   }
 }

@@ -4,21 +4,32 @@
 //
 // Each disk id maps to one server endpoint; the client keeps one
 // connection per disk with a reader thread that dispatches responses to
-// the completion handlers by request id. A dead connection or a silently
+// the completion handlers by request id, and a sender thread that drains
+// a per-connection outgoing queue. Issue* therefore never touches the
+// socket: it enqueues and returns — truly nonblocking even when the peer
+// stops draining (the Fig. 1 model requires issue to return immediately;
+// a blocking send would stall the whole process on one slow disk).
+//
+// Each sender drain pass coalesces every queued read/write bound for its
+// disk into one kBatchReq frame (split at kMaxFrameBytes), so a quorum
+// phase issued via IssueReads/IssueWrites costs one frame and one syscall
+// per disk instead of one per register. A dead connection or a silently
 // swallowed request simply means the handler never runs — precisely the
 // crashed-register semantics the emulations are built to tolerate.
 //
 // Observability: every RPC's issue→response latency feeds the global
 // metrics registry ("nad.client.read_us" / "nad.client.write_us"), the
 // outstanding-operation depth is tracked as a gauge with high-watermark
-// ("nad.client.in_flight"), and each completed RPC emits a trace span
-// when a capture is active (see obs/trace.h).
+// ("nad.client.in_flight"), the per-frame coalescing depth is recorded as
+// "nad.client.batch_size", and each completed RPC emits a trace span when
+// a capture is active (see obs/trace.h).
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -41,11 +52,22 @@ class NadClient : public BaseRegisterClient {
   /// header, shared with the server CLI and demos.
   using Endpoint = nad::Endpoint;
 
+  struct Options {
+    /// When false, every operation is sent as its own per-op frame (the
+    /// pre-batch opcodes) — the interop / ablation mode. The sender
+    /// thread still makes issue nonblocking either way.
+    bool enable_batching = true;
+  };
+
   /// Connects to every endpoint. Fails (kUnavailable) if any connection
   /// cannot be established — a disk that is down at start-up should be
   /// mapped anyway and will simply appear crashed.
   static Expected<std::unique_ptr<NadClient>> Connect(
-      std::map<DiskId, Endpoint> endpoints);
+      std::map<DiskId, Endpoint> endpoints) {
+    return Connect(std::move(endpoints), Options{});
+  }
+  static Expected<std::unique_ptr<NadClient>> Connect(
+      std::map<DiskId, Endpoint> endpoints, Options options);
 
   ~NadClient() override;
   NadClient(const NadClient&) = delete;
@@ -54,6 +76,11 @@ class NadClient : public BaseRegisterClient {
   void IssueRead(ProcessId p, RegisterId r, ReadHandler done) override;
   void IssueWrite(ProcessId p, RegisterId r, Value v,
                   WriteHandler done) override;
+
+  /// Vectored issue: all ops for the same disk are enqueued atomically,
+  /// so one sender drain pass coalesces them into one batch frame.
+  void IssueReads(ProcessId p, std::vector<ReadOp> ops) override;
+  void IssueWrites(ProcessId p, std::vector<WriteOp> ops) override;
 
   /// Fetches the server-side metrics dump (STATS opcode) from one disk.
   /// Blocks up to `timeout`; kTimeout if the disk does not answer (a
@@ -81,26 +108,44 @@ class NadClient : public BaseRegisterClient {
   };
   struct Conn {
     Socket sock;
-    std::mutex send_mu;
+    std::mutex send_mu;  // guards outgoing + closed
+    std::condition_variable send_cv;
+    std::deque<Message> outgoing;
+    bool closed = false;  // send failed or client shutting down
     std::mutex pending_mu;
     std::unordered_map<std::uint64_t, PendingRead> pending_reads;
     std::unordered_map<std::uint64_t, PendingWrite> pending_writes;
     std::unordered_map<std::uint64_t, std::shared_ptr<StatsWaiter>>
         pending_stats;
+    std::jthread sender;
     std::jthread reader;
   };
 
-  NadClient();
+  explicit NadClient(Options options);
   void ReaderLoop(Conn* conn);
+  void SenderLoop(Conn* conn);
+  /// Flushes a run of coalesced request messages into `wire` as one
+  /// batch frame (or a per-op frame for a singleton / batching-off run).
+  void FlushRun(std::vector<Message>* run, std::string* wire);
+  void DispatchResponse(Conn* conn, Message msg);
+  /// Enqueues one request on `conn` (caller must hold nothing). Returns
+  /// false when the connection is closed — the op will never be sent.
+  bool Enqueue(Conn* conn, Message msg);
   Conn* ConnFor(DiskId d);
+  /// Drops an op whose value can never fit a frame: logs, counts, and
+  /// leaves the handler unrun (fail-fast — nothing touches the wire).
+  void RejectOversized(const RegisterId& r, std::size_t value_bytes);
 
+  Options options_;
   std::atomic<std::uint64_t> next_request_id_{1};
   std::map<DiskId, std::unique_ptr<Conn>> conns_;
 
   // Resolved once; recording is lock-free (see obs/metrics.h).
   obs::Histogram* read_us_;
   obs::Histogram* write_us_;
+  obs::Histogram* batch_size_;
   obs::Gauge* in_flight_;
+  obs::Counter* rejected_oversized_;
 };
 
 }  // namespace nadreg::nad

@@ -27,6 +27,22 @@ std::string EncodeMessage(const Message& m) {
     case MsgType::kStatsResp:
       e.PutBytes(m.value);
       break;
+    case MsgType::kBatchReq:
+    case MsgType::kBatchResp:
+      e.PutU32(static_cast<std::uint32_t>(m.subs.size()));
+      for (const Message& sub : m.subs) e.PutBytes(EncodeMessage(sub));
+      break;
+  }
+  return out;
+}
+
+Expected<std::string> EncodeMessageChecked(const Message& m) {
+  std::string out = EncodeMessage(m);
+  if (out.size() > kMaxFrameBytes) {
+    return Status::Invalid("message: encoded payload of " +
+                           std::to_string(out.size()) +
+                           " bytes exceeds frame cap of " +
+                           std::to_string(kMaxFrameBytes));
   }
   return out;
 }
@@ -37,7 +53,7 @@ Expected<Message> DecodeMessage(std::string_view payload) {
   auto type = d.GetU8();
   if (!type) return type.status();
   if (*type < static_cast<std::uint8_t>(MsgType::kReadReq) ||
-      *type > static_cast<std::uint8_t>(MsgType::kStatsResp)) {
+      *type > static_cast<std::uint8_t>(MsgType::kBatchResp)) {
     return Status::Invalid("message: unknown type");
   }
   m.type = static_cast<MsgType>(*type);
@@ -79,6 +95,29 @@ Expected<Message> DecodeMessage(std::string_view payload) {
       auto value = d.GetBytes();
       if (!value) return value.status();
       m.value = std::move(*value);
+      break;
+    }
+    case MsgType::kBatchReq:
+    case MsgType::kBatchResp: {
+      auto count = d.GetU32();
+      if (!count) return count.status();
+      // Each sub-operation costs at least its length prefix; a hostile
+      // count cannot make us reserve beyond what the payload can hold.
+      if (*count > d.Remaining() / kBatchSubOverhead) {
+        return Status::Invalid("batch: count exceeds payload");
+      }
+      m.subs.reserve(*count);
+      for (std::uint32_t i = 0; i < *count; ++i) {
+        auto sub_bytes = d.GetBytes();
+        if (!sub_bytes) return sub_bytes.status();
+        auto sub = DecodeMessage(*sub_bytes);
+        if (!sub) return sub.status();
+        const bool ok = m.type == MsgType::kBatchReq
+                            ? IsBatchableRequest(sub->type)
+                            : IsBatchableResponse(sub->type);
+        if (!ok) return Status::Invalid("batch: sub-operation of wrong type");
+        m.subs.push_back(std::move(*sub));
+      }
       break;
     }
   }

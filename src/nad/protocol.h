@@ -15,11 +15,21 @@
 //   WriteResp:= (empty)
 //   StatsReq := (empty)
 //   StatsResp:= bytes text
+//   BatchReq := u32 count, count * bytes(sub-request payload)
+//   BatchResp:= u32 count, count * bytes(sub-response payload)
 //
 // STATS is an out-of-band observability opcode (it does not exist in the
 // paper's model and takes no part in any emulation): the server answers
 // with a plain-text dump of its metrics registry — request counts,
 // per-opcode service latency, journal/recovery counters.
+//
+// BATCH is the vectored opcode: one frame carries N independent
+// sub-operations, each a complete ReadReq/WriteReq payload with its own
+// request id (responses: ReadResp/WriteResp). Sub-operations are served
+// in order; their responses come back in one BatchResp. A crashed
+// register silently *omits* its sub-response from the batch — exactly
+// the per-register unresponsive failure mode, vectored. Batches never
+// nest and never carry STATS.
 //
 // A crashed register/disk simply never answers — there is no error
 // response for it, exactly like the unresponsive failure mode.
@@ -28,6 +38,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/codec.h"
 #include "common/status.h"
@@ -42,13 +53,25 @@ enum class MsgType : std::uint8_t {
   kWriteResp = 4,
   kStatsReq = 5,
   kStatsResp = 6,
+  kBatchReq = 7,
+  kBatchResp = 8,
 };
+
+/// True for the opcodes a batch frame may carry as sub-operations.
+inline constexpr bool IsBatchableRequest(MsgType t) {
+  return t == MsgType::kReadReq || t == MsgType::kWriteReq;
+}
+inline constexpr bool IsBatchableResponse(MsgType t) {
+  return t == MsgType::kReadResp || t == MsgType::kWriteResp;
+}
 
 struct Message {
   MsgType type = MsgType::kReadReq;
-  std::uint64_t request_id = 0;
+  std::uint64_t request_id = 0;  // unused (0) for batch frames
   RegisterId reg;     // requests only
   std::string value;  // WriteReq and ReadResp
+  /// Sub-operations of a kBatchReq/kBatchResp frame, in service order.
+  std::vector<Message> subs;
 
   friend bool operator==(const Message&, const Message&) = default;
 };
@@ -62,6 +85,20 @@ Expected<Message> DecodeMessage(std::string_view payload);
 /// Maximum accepted frame payload (guards server memory against a
 /// malformed or hostile length prefix).
 inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Serializes a message, enforcing kMaxFrameBytes on the *encode* path:
+/// an oversized payload (e.g. a write value near the frame cap) fails
+/// fast with kInvalid instead of hitting the wire and desynchronizing or
+/// killing the connection at the peer's decode guard.
+Expected<std::string> EncodeMessageChecked(const Message& m);
+
+/// Frame-payload overhead of one encoded WriteReq around its value
+/// (type + request id + disk + block + value length prefix). A write
+/// value of more than kMaxFrameBytes - kWriteReqOverhead bytes can never
+/// be framed, batched or not.
+inline constexpr std::size_t kWriteReqOverhead = 1 + 8 + 4 + 8 + 4;
+/// Per-sub-operation overhead inside a batch frame (u32 length prefix).
+inline constexpr std::size_t kBatchSubOverhead = 4;
 
 /// Where a NAD server listens / a client connects. Shared by every binary
 /// that names a disk on the network (client library, CLIs, demos).

@@ -13,8 +13,10 @@ Expected<std::unique_ptr<NadServer>> NadServer::Start(Options opts) {
   // Cannot use make_unique: the constructor is private.
   std::unique_ptr<NadServer> server(new NadServer(opts));
   if (!opts.data_path.empty()) {
-    auto recovered = RecoverState(opts.data_path, &server->store_);
+    sim::RegisterStore recovered_store;
+    auto recovered = RecoverState(opts.data_path, &recovered_store);
     if (!recovered.ok()) return recovered.status();
+    server->store_.Load(recovered_store);
     server->recovered_ = *recovered;
     if (Status s = server->journal_.Open(opts.data_path + ".log"); !s.ok()) {
       return s;
@@ -33,7 +35,8 @@ NadServer::NadServer(Options opts)
       writes_served_(&metrics_.GetCounter("nad.server.writes")),
       dropped_crashed_(&metrics_.GetCounter("nad.server.dropped_crashed")),
       read_serve_us_(&metrics_.GetHistogram("nad.server.read_serve_us")),
-      write_serve_us_(&metrics_.GetHistogram("nad.server.write_serve_us")) {}
+      write_serve_us_(&metrics_.GetHistogram("nad.server.write_serve_us")),
+      batch_size_(&metrics_.GetHistogram("nad.server.batch_size")) {}
 
 NadServer::~NadServer() { Stop(); }
 
@@ -49,26 +52,26 @@ void NadServer::Stop() {
   conn_threads_.clear();  // joins
 }
 
-void NadServer::CrashRegister(const RegisterId& r) {
-  std::lock_guard lock(mu_);
-  store_.CrashRegister(r);
-}
+void NadServer::CrashRegister(const RegisterId& r) { store_.CrashRegister(r); }
 
-void NadServer::CrashDisk(DiskId d) {
-  std::lock_guard lock(mu_);
-  store_.CrashDisk(d);
-}
+void NadServer::CrashDisk(DiskId d) { store_.CrashDisk(d); }
 
 Status NadServer::Checkpoint() {
-  std::lock_guard lock(mu_);
   if (!journal_.IsOpen()) return Status::Ok();  // volatile server
-  if (Status s = WriteCheckpoint(opts_.data_path, store_); !s.ok()) return s;
+  // Quiesce every stripe so no write can journal between the snapshot
+  // and the journal truncation (it would be lost on recovery). Lock
+  // order matches the write path: stripes first, then the journal.
+  auto stripes = store_.LockAll();
+  std::lock_guard jlock(journal_mu_);
+  if (Status s = WriteCheckpoint(opts_.data_path, store_.SnapshotLocked());
+      !s.ok()) {
+    return s;
+  }
   return journal_.Reset();
 }
 
 std::uint64_t NadServer::ServedCount() const {
-  std::lock_guard lock(mu_);
-  return served_;
+  return served_.load(std::memory_order_relaxed);
 }
 
 void NadServer::AcceptLoop() {
@@ -83,6 +86,45 @@ void NadServer::AcceptLoop() {
           Serve(std::move(c), r);
         });
   }
+}
+
+std::optional<Message> NadServer::ServeOp(Message msg) {
+  const auto serve_start = std::chrono::steady_clock::now();
+  if (store_.IsCrashed(msg.reg)) {
+    // Unresponsive failure mode: swallow the request. The client can
+    // never distinguish this from a slow disk.
+    dropped_crashed_->Inc();
+    return std::nullopt;
+  }
+  Message resp;
+  resp.request_id = msg.request_id;
+  if (msg.type == MsgType::kWriteReq) {
+    // Write-ahead: a write is journaled before it is acknowledged, so a
+    // restart never forgets an acknowledged write. Journal order and
+    // apply order agree per register (both under the stripe lock).
+    const bool applied =
+        store_.ApplyOrdered(msg.reg, std::move(msg.value), [&](const Value& v) {
+          if (!journal_.IsOpen()) return true;
+          std::lock_guard jlock(journal_mu_);
+          if (Status s = journal_.Append(msg.reg, v); !s.ok()) {
+            LOG_ERROR << "nad-server: journal append failed: " << s.ToString()
+                      << "; dropping request";
+            return false;
+          }
+          return true;
+        });
+    if (!applied) return std::nullopt;  // unresponsive, like a failing disk
+    resp.type = MsgType::kWriteResp;
+    writes_served_->Inc();
+    write_serve_us_->ObserveSince(serve_start);
+  } else {
+    resp.type = MsgType::kReadResp;
+    resp.value = store_.Get(msg.reg);  // linearization
+    reads_served_->Inc();
+    read_serve_us_->ObserveSince(serve_start);
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
+  return resp;
 }
 
 void NadServer::Serve(Socket conn, Rng rng) {
@@ -107,61 +149,43 @@ void NadServer::Serve(Socket conn, Rng rng) {
       resp.request_id = msg->request_id;
       resp.type = MsgType::kStatsResp;
       std::string text = metrics_.ToText();
-      {
-        std::lock_guard lock(mu_);
-        text += "counter nad.server.served " + std::to_string(served_) + "\n";
-        text += "counter nad.server.recovered " + std::to_string(recovered_) +
-                "\n";
-      }
+      text += "counter nad.server.served " + std::to_string(ServedCount()) +
+              "\n";
+      text += "counter nad.server.recovered " + std::to_string(recovered_) +
+              "\n";
       resp.value = std::move(text);
       if (!SendFrame(conn, EncodeMessage(resp)).ok()) break;
       continue;
     }
-    if (msg->type != MsgType::kReadReq && msg->type != MsgType::kWriteReq) {
+    if (msg->type != MsgType::kReadReq && msg->type != MsgType::kWriteReq &&
+        msg->type != MsgType::kBatchReq) {
       LOG_WARN << "nad-server: dropping non-request message";
       continue;
     }
-    const auto serve_start = std::chrono::steady_clock::now();
     if (opts_.max_delay_us > 0) {
+      // One frame = one disk request; a batch is one vectored operation.
       std::this_thread::sleep_for(std::chrono::microseconds(
           rng.Between(opts_.min_delay_us, opts_.max_delay_us)));
     }
-    Message resp;
-    resp.request_id = msg->request_id;
-    {
-      std::lock_guard lock(mu_);
-      if (store_.IsCrashed(msg->reg)) {
-        // Unresponsive failure mode: swallow the request. The client can
-        // never distinguish this from a slow disk.
-        dropped_crashed_->Inc();
-        continue;
-      }
-      if (msg->type == MsgType::kWriteReq) {
-        if (journal_.IsOpen()) {
-          // Write-ahead: a write is journaled before it is acknowledged,
-          // so a restart never forgets an acknowledged write.
-          if (Status s = journal_.Append(msg->reg, msg->value); !s.ok()) {
-            LOG_ERROR << "nad-server: journal append failed: "
-                      << s.ToString() << "; dropping request";
-            continue;  // unresponsive, like a failing disk
-          }
+    if (msg->type == MsgType::kBatchReq) {
+      batch_size_->Observe(msg->subs.size());
+      Message resp;
+      resp.type = MsgType::kBatchResp;
+      resp.subs.reserve(msg->subs.size());
+      for (Message& sub : msg->subs) {
+        // A crashed register omits its sub-response; the others answer.
+        if (auto sub_resp = ServeOp(std::move(sub))) {
+          resp.subs.push_back(std::move(*sub_resp));
         }
-        store_.Apply(msg->reg, std::move(msg->value));  // linearization
-        resp.type = MsgType::kWriteResp;
-      } else {
-        resp.type = MsgType::kReadResp;
-        resp.value = store_.Get(msg->reg);  // linearization
       }
-      ++served_;
+      // Every sub-operation crashed: stay silent, like the per-op path.
+      if (resp.subs.empty()) continue;
+      if (!SendFrame(conn, EncodeMessage(resp)).ok()) break;
+      continue;
     }
-    if (resp.type == MsgType::kWriteResp) {
-      writes_served_->Inc();
-      write_serve_us_->ObserveSince(serve_start);
-    } else {
-      reads_served_->Inc();
-      read_serve_us_->ObserveSince(serve_start);
-    }
-    if (!SendFrame(conn, EncodeMessage(resp)).ok()) break;
+    auto resp = ServeOp(std::move(*msg));
+    if (!resp) continue;
+    if (!SendFrame(conn, EncodeMessage(*resp)).ok()) break;
   }
   std::lock_guard lock(mu_);
   std::erase(live_conns_, &conn);

@@ -6,11 +6,21 @@
 // an optional artificial service delay models a slow disk; a crashed
 // register or disk silently stops answering (unresponsive mode) — the
 // request is swallowed, never errored.
+//
+// Concurrency: register state lives in a sim::ShardedRegisterStore with
+// striped per-register locking, so connections serving distinct registers
+// never contend on a global lock. The kBatchReq opcode is served
+// vectored: every sub-operation of the batch is executed in order and the
+// surviving sub-responses come back in one kBatchResp frame — a crashed
+// register's sub-response is silently omitted, preserving per-register
+// unresponsiveness inside a batch.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -18,6 +28,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "nad/persistence.h"
+#include "nad/protocol.h"
 #include "nad/socket.h"
 #include "obs/metrics.h"
 #include "sim/register_store.h"
@@ -30,7 +41,8 @@ class NadServer {
     std::uint16_t port = 0;  // 0: ephemeral, see port()
     std::string host = "127.0.0.1";  // bind address ("0.0.0.0" for all)
     std::uint64_t seed = 0x5eed;
-    /// Artificial per-request service delay range (microseconds).
+    /// Artificial per-request service delay range (microseconds). A batch
+    /// frame counts as one request — it is one vectored disk operation.
     std::uint64_t min_delay_us = 0;
     std::uint64_t max_delay_us = 0;
     /// Durability: when non-empty, applied writes are journaled to
@@ -53,7 +65,8 @@ class NadServer {
   void CrashRegister(const RegisterId& r);
   void CrashDisk(DiskId d);
 
-  /// Requests served (responses actually sent).
+  /// Requests served (responses actually sent); a batch counts each of
+  /// its sub-operations.
   std::uint64_t ServedCount() const;
 
   /// This server's metrics (request counts, per-opcode service latency).
@@ -76,16 +89,23 @@ class NadServer {
 
   void AcceptLoop();
   void Serve(Socket conn, Rng rng);
+  /// Serves one read/write sub-operation against the sharded store.
+  /// nullopt = swallowed (crashed register or journal failure).
+  std::optional<Message> ServeOp(Message msg);
 
   Options opts_;
   std::uint16_t port_ = 0;
   std::unique_ptr<Listener> listener_;
 
-  mutable std::mutex mu_;
-  sim::RegisterStore store_;
+  // Hot path: striped locking inside the store; everything else atomic.
+  sim::ShardedRegisterStore store_;
+  std::atomic<std::uint64_t> served_{0};
+  std::size_t recovered_ = 0;  // written once in Start, then read-only
+
+  // Cold path: connection bookkeeping and the write-ahead journal.
+  mutable std::mutex mu_;  // stopping_, live_conns_, rng_
+  std::mutex journal_mu_;  // file I/O order; taken after a stripe lock
   Journal journal_;
-  std::size_t recovered_ = 0;
-  std::uint64_t served_ = 0;
   bool stopping_ = false;
   std::vector<Socket*> live_conns_;  // for Stop() to shut down
   Rng rng_;
@@ -98,6 +118,7 @@ class NadServer {
   obs::Counter* dropped_crashed_;
   obs::Histogram* read_serve_us_;
   obs::Histogram* write_serve_us_;
+  obs::Histogram* batch_size_;
 
   std::vector<std::jthread> conn_threads_;
   std::jthread accept_thread_;

@@ -95,14 +95,18 @@ Status SendAll(const Socket& sock, std::string_view data) {
 }
 
 Status SendFrame(const Socket& sock, std::string_view payload) {
+  std::string frame;
+  AppendFrame(&frame, payload);
+  return SendAll(sock, frame);
+}
+
+void AppendFrame(std::string* wire, std::string_view payload) {
   std::uint32_t len = static_cast<std::uint32_t>(payload.size());
   char hdr[4];
   std::memcpy(hdr, &len, 4);
-  std::string frame;
-  frame.reserve(4 + payload.size());
-  frame.append(hdr, 4);
-  frame.append(payload);
-  return SendAll(sock, frame);
+  wire->reserve(wire->size() + 4 + payload.size());
+  wire->append(hdr, 4);
+  wire->append(payload);
 }
 
 namespace {

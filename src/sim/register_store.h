@@ -2,11 +2,20 @@
 // register values plus crash bookkeeping. Shared by the randomized and
 // deterministic simulation backends. Not thread safe by itself; backends
 // guard it with their own lock.
+//
+// ShardedRegisterStore adds striped per-register locking on top: the NAD
+// daemon serves many connections concurrently, and a single global lock
+// around every Get/Apply serializes the whole farm. Stripes make accesses
+// to distinct registers (the common case: each emulation register lives
+// on its own block) contend only on their stripe.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/types.h"
 
@@ -52,6 +61,118 @@ class RegisterStore {
   inline static const Value kInitial{};
   std::unordered_map<RegisterId, Value> values_;
   std::unordered_set<RegisterId> crashed_registers_;
+  std::unordered_set<DiskId> crashed_disks_;
+};
+
+/// Thread-safe register store with striped per-register locking.
+///
+/// Values and per-register crash state shard across kStripes independent
+/// RegisterStores, each behind its own mutex; whole-disk crash state is a
+/// small separate set (checked lock-free-cheap on every access, mutated
+/// only by fault injection). Lock order, where nesting is needed at all:
+/// stripes ascending, then any caller-owned lock (e.g. a journal mutex
+/// inside ApplyOrdered's write_ahead callback).
+class ShardedRegisterStore {
+ public:
+  static constexpr std::size_t kStripes = 16;
+
+  /// Current value of a register (copied out under the stripe lock).
+  Value Get(const RegisterId& r) const {
+    const Stripe& s = StripeFor(r);
+    std::lock_guard lock(s.mu);
+    return s.store.Get(r);
+  }
+
+  /// Applies a write (the register's linearization point).
+  void Apply(const RegisterId& r, Value v) {
+    Stripe& s = StripeFor(r);
+    std::lock_guard lock(s.mu);
+    s.store.Apply(r, std::move(v));
+  }
+
+  /// Write-ahead variant: runs `write_ahead(value)` (e.g. a journal
+  /// append) and then applies, both under the register's stripe lock, so
+  /// per-register journal order always matches per-register apply order.
+  /// The write is dropped when `write_ahead` returns false.
+  template <typename Fn>
+  bool ApplyOrdered(const RegisterId& r, Value v, Fn&& write_ahead) {
+    Stripe& s = StripeFor(r);
+    std::lock_guard lock(s.mu);
+    if (!write_ahead(static_cast<const Value&>(v))) return false;
+    s.store.Apply(r, std::move(v));
+    return true;
+  }
+
+  void CrashRegister(const RegisterId& r) {
+    Stripe& s = StripeFor(r);
+    std::lock_guard lock(s.mu);
+    s.store.CrashRegister(r);
+  }
+
+  void CrashDisk(DiskId d) {
+    std::lock_guard lock(disk_mu_);
+    crashed_disks_.insert(d);
+  }
+
+  bool IsCrashed(const RegisterId& r) const {
+    {
+      std::lock_guard lock(disk_mu_);
+      if (crashed_disks_.contains(r.disk)) return true;
+    }
+    const Stripe& s = StripeFor(r);
+    std::lock_guard lock(s.mu);
+    return s.store.IsCrashed(r);
+  }
+
+  std::size_t MaterializedCount() const {
+    std::size_t n = 0;
+    for (const Stripe& s : stripes_) {
+      std::lock_guard lock(s.mu);
+      n += s.store.MaterializedCount();
+    }
+    return n;
+  }
+
+  /// Bulk-loads recovered state (start-up, before any concurrent access).
+  void Load(const RegisterStore& from) {
+    for (const auto& [reg, value] : from.Values()) Apply(reg, value);
+  }
+
+  /// Acquires every stripe lock (ascending order). Holding the returned
+  /// guards quiesces all writes — the checkpoint path takes these first,
+  /// then the journal mutex, matching the writer's stripe→journal order.
+  [[nodiscard]] std::vector<std::unique_lock<std::mutex>> LockAll() const {
+    std::vector<std::unique_lock<std::mutex>> guards;
+    guards.reserve(kStripes);
+    for (const Stripe& s : stripes_) guards.emplace_back(s.mu);
+    return guards;
+  }
+
+  /// Merged copy of all materialized values. Only consistent across
+  /// registers while the caller holds LockAll().
+  RegisterStore SnapshotLocked() const {
+    RegisterStore out;
+    for (const Stripe& s : stripes_) {
+      for (const auto& [reg, value] : s.store.Values()) out.Apply(reg, value);
+    }
+    return out;
+  }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    RegisterStore store;
+  };
+
+  Stripe& StripeFor(const RegisterId& r) {
+    return stripes_[std::hash<RegisterId>{}(r) % kStripes];
+  }
+  const Stripe& StripeFor(const RegisterId& r) const {
+    return stripes_[std::hash<RegisterId>{}(r) % kStripes];
+  }
+
+  std::array<Stripe, kStripes> stripes_;
+  mutable std::mutex disk_mu_;
   std::unordered_set<DiskId> crashed_disks_;
 };
 

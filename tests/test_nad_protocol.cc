@@ -76,6 +76,166 @@ TEST(Protocol, TrailingBytesRejected) {
   EXPECT_FALSE(DecodeMessage(payload).ok());
 }
 
+Message MakeRead(std::uint64_t id, DiskId d, BlockId b) {
+  Message m;
+  m.type = MsgType::kReadReq;
+  m.request_id = id;
+  m.reg = RegisterId{d, b};
+  return m;
+}
+
+Message MakeWrite(std::uint64_t id, DiskId d, BlockId b, std::string v) {
+  Message m;
+  m.type = MsgType::kWriteReq;
+  m.request_id = id;
+  m.reg = RegisterId{d, b};
+  m.value = std::move(v);
+  return m;
+}
+
+TEST(Protocol, BatchReqRoundtrip) {
+  Message batch;
+  batch.type = MsgType::kBatchReq;
+  batch.subs.push_back(MakeRead(1, 0, 7));
+  batch.subs.push_back(MakeWrite(2, 3, 9, std::string("mixed\0payload", 13)));
+  batch.subs.push_back(MakeRead(3, 2, 0));
+  auto decoded = DecodeMessage(EncodeMessage(batch));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, batch);
+}
+
+TEST(Protocol, BatchRespRoundtrip) {
+  Message batch;
+  batch.type = MsgType::kBatchResp;
+  Message r1;
+  r1.type = MsgType::kReadResp;
+  r1.request_id = 11;
+  r1.value = "block contents";
+  Message r2;
+  r2.type = MsgType::kWriteResp;
+  r2.request_id = 12;
+  batch.subs = {r1, r2};
+  auto decoded = DecodeMessage(EncodeMessage(batch));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, batch);
+}
+
+TEST(Protocol, EmptyBatchRoundtrips) {
+  Message batch;
+  batch.type = MsgType::kBatchReq;
+  auto decoded = DecodeMessage(EncodeMessage(batch));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->subs.empty());
+}
+
+TEST(Protocol, BatchRejectsWrongSubTypes) {
+  // A response inside a request batch.
+  Message batch;
+  batch.type = MsgType::kBatchReq;
+  Message resp;
+  resp.type = MsgType::kReadResp;
+  resp.request_id = 1;
+  batch.subs = {resp};
+  EXPECT_FALSE(DecodeMessage(EncodeMessage(batch)).ok());
+  // A request inside a response batch.
+  batch.type = MsgType::kBatchResp;
+  batch.subs = {MakeRead(1, 0, 0)};
+  EXPECT_FALSE(DecodeMessage(EncodeMessage(batch)).ok());
+  // STATS never rides in a batch.
+  Message stats;
+  stats.type = MsgType::kStatsReq;
+  batch.type = MsgType::kBatchReq;
+  batch.subs = {stats};
+  EXPECT_FALSE(DecodeMessage(EncodeMessage(batch)).ok());
+}
+
+TEST(Protocol, NestedBatchRejected) {
+  Message inner;
+  inner.type = MsgType::kBatchReq;
+  inner.subs.push_back(MakeRead(1, 0, 0));
+  Message outer;
+  outer.type = MsgType::kBatchReq;
+  outer.subs.push_back(inner);
+  EXPECT_FALSE(DecodeMessage(EncodeMessage(outer)).ok());
+}
+
+TEST(Protocol, BatchTruncationRejectedAtEveryCut) {
+  Message batch;
+  batch.type = MsgType::kBatchReq;
+  batch.subs.push_back(MakeWrite(5, 1, 2, "vv"));
+  batch.subs.push_back(MakeRead(6, 0, 3));
+  std::string payload = EncodeMessage(batch);
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeMessage(payload.substr(0, cut)).ok()) << "cut " << cut;
+  }
+}
+
+TEST(Protocol, BatchHostileCountRejected) {
+  // A count far beyond what the payload can carry must fail cleanly
+  // (never over-reserve, never read past the end).
+  Message batch;
+  batch.type = MsgType::kBatchReq;
+  batch.subs.push_back(MakeRead(1, 0, 0));
+  std::string payload = EncodeMessage(batch);
+  // Count field sits right after type (1) + request id (8).
+  payload[9] = '\xff';
+  payload[10] = '\xff';
+  payload[11] = '\xff';
+  payload[12] = '\xff';
+  EXPECT_FALSE(DecodeMessage(payload).ok());
+}
+
+TEST(Protocol, BatchFuzzDecodeIsTotalAndCanonical) {
+  Rng rng(4242);
+  for (int i = 0; i < 2000; ++i) {
+    // Start from a valid batch, then flip random bytes: decode must stay
+    // total, and anything accepted must re-encode identically.
+    Message batch;
+    batch.type = rng.Below(2) == 0 ? MsgType::kBatchReq : MsgType::kBatchResp;
+    const std::size_t n = rng.Below(4);
+    for (std::size_t j = 0; j < n; ++j) {
+      Message sub;
+      if (batch.type == MsgType::kBatchReq) {
+        sub = rng.Below(2) == 0 ? MakeRead(j, 0, j) : MakeWrite(j, 1, j, "x");
+      } else {
+        sub.type = rng.Below(2) == 0 ? MsgType::kReadResp : MsgType::kWriteResp;
+        sub.request_id = j;
+        if (sub.type == MsgType::kReadResp) sub.value = "y";
+      }
+      batch.subs.push_back(std::move(sub));
+    }
+    std::string payload = EncodeMessage(batch);
+    const std::size_t flips = 1 + rng.Below(4);
+    for (std::size_t f = 0; f < flips && !payload.empty(); ++f) {
+      payload[rng.Below(payload.size())] = static_cast<char>(rng.Below(256));
+    }
+    auto m = DecodeMessage(payload);
+    if (m.ok()) EXPECT_EQ(EncodeMessage(*m), payload);
+  }
+}
+
+TEST(Protocol, CheckedEncodeRejectsOversizedWrite) {
+  // A write whose frame would blow the cap fails fast with kInvalid on
+  // the encode path — it must never hit the wire and desynchronize or
+  // kill the connection at the server's decode guard.
+  Message big = MakeWrite(1, 0, 0, std::string(kMaxFrameBytes, 'x'));
+  auto encoded = EncodeMessageChecked(big);
+  ASSERT_FALSE(encoded.ok());
+  EXPECT_EQ(encoded.status().code(), StatusCode::kInvalid);
+}
+
+TEST(Protocol, CheckedEncodeAcceptsLargestFramableWrite) {
+  Message fits =
+      MakeWrite(1, 0, 0, std::string(kMaxFrameBytes - kWriteReqOverhead, 'x'));
+  auto encoded = EncodeMessageChecked(fits);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  EXPECT_EQ(encoded->size(), kMaxFrameBytes);
+  // One byte more can never be framed.
+  Message over = MakeWrite(
+      1, 0, 0, std::string(kMaxFrameBytes - kWriteReqOverhead + 1, 'x'));
+  EXPECT_FALSE(EncodeMessageChecked(over).ok());
+}
+
 TEST(Protocol, FuzzDecodeIsTotal) {
   Rng rng(777);
   for (int i = 0; i < 2000; ++i) {

@@ -111,6 +111,24 @@ TEST(NadRobustness, OversizedValueRejectedClientSide) {
     std::unique_lock lock(mu);
     ASSERT_TRUE(cv.wait_for(lock, 5000ms, [&] { return ok_done; }));
   }
+  // Over the cap: rejected on the encode path before touching the wire —
+  // the handler never runs, nothing is left in flight, and the same
+  // connection keeps serving (no stream desync, no connection kill).
+  std::atomic<bool> oversized_ran{false};
+  (*client)->IssueWrite(1, RegisterId{0, 1}, std::string(kMaxFrameBytes, 'x'),
+                        [&] { oversized_ran = true; });
+  EXPECT_EQ((*client)->InFlight(), 0u);
+  bool after_done = false;
+  (*client)->IssueWrite(1, RegisterId{0, 2}, "still-alive", [&] {
+    std::lock_guard lock(mu);
+    after_done = true;
+    cv.notify_all();
+  });
+  {
+    std::unique_lock lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, 5000ms, [&] { return after_done; }));
+  }
+  EXPECT_FALSE(oversized_ran.load());
 }
 
 TEST(NadRobustness, ManyConcurrentClientsNoCrossTalk) {
