@@ -5,11 +5,10 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <map>
-#include <mutex>
 
+#include "common/sync.h"
 #include "apps/disk_paxos.h"
 #include "core/config.h"
 #include "core/register_set.h"
@@ -65,18 +64,18 @@ void RunQuorumPhases(core::RegisterSet& set, std::size_t phases) {
 
 void BM_TcpWriteRoundtrip(benchmark::State& state) {
   Cluster cluster;
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   bool done = false;
   for (auto _ : state) {
     done = false;
     cluster.client->IssueWrite(1, RegisterId{0, 0}, "payload", [&] {
-      std::lock_guard lock(mu);
+      MutexLock lock(mu);
       done = true;
-      cv.notify_one();
+      cv.NotifyOne();
     });
-    std::unique_lock lock(mu);
-    cv.wait(lock, [&] { return done; });
+    MutexLock lock(mu);
+    cv.Wait(mu, [&] { return done; });
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -84,18 +83,18 @@ BENCHMARK(BM_TcpWriteRoundtrip);
 
 void BM_TcpReadRoundtrip(benchmark::State& state) {
   Cluster cluster;
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   bool done = false;
   for (auto _ : state) {
     done = false;
     cluster.client->IssueRead(1, RegisterId{0, 0}, [&](Value) {
-      std::lock_guard lock(mu);
+      MutexLock lock(mu);
       done = true;
-      cv.notify_one();
+      cv.NotifyOne();
     });
-    std::unique_lock lock(mu);
-    cv.wait(lock, [&] { return done; });
+    MutexLock lock(mu);
+    cv.Wait(mu, [&] { return done; });
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -7,10 +7,10 @@
 //   $ ./examples/disk_paxos_demo [seed]
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "apps/disk_paxos.h"
 #include "common/rng.h"
 #include "core/config.h"
@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
               kProposers, cfg.num_disks(), cfg.t,
               static_cast<unsigned long long>(seed));
 
-  std::mutex mu;
+  Mutex mu;
   std::vector<std::pair<int, std::string>> decisions;
   std::vector<std::uint64_t> ballots(kProposers);
 
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
         apps::DiskPaxos paxos(farm, cfg, /*object=*/1, kProposers, p);
         Rng rng(seed * 31 + p);
         std::string v = paxos.Propose("value-of-p" + std::to_string(p), rng);
-        std::lock_guard lock(mu);
+        MutexLock lock(mu);
         decisions.emplace_back(p, v);
         ballots[p] = paxos.BallotsTried();
       });
@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
     threads.emplace_back([&] {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
       farm.CrashDisk(2);
-      std::lock_guard lock(mu);
+      MutexLock lock(mu);
       std::printf("  !! disk 2 crashed mid-race\n");
     });
   }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile in .clang-tidy) over the library sources using
+# the compile database from build/. Skips gracefully when clang-tidy is not
+# installed (e.g. the gcc-only dev container) so callers can wire this into
+# scripts unconditionally; CI's clang job runs it for real.
+#
+#   $ scripts/tidy.sh                 # whole src/ tree
+#   $ scripts/tidy.sh src/nad        # one subtree
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "tidy.sh: clang-tidy not installed; skipping (CI runs it)" >&2
+  exit 0
+fi
+
+build_dir=build
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+target="${1:-src}"
+mapfile -t files < <(git ls-files "$target" | grep -E '\.(cc|cpp)$' \
+  | grep -v '^tests/lint_fixtures/')
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "tidy.sh: no sources under '$target'" >&2
+  exit 2
+fi
+
+clang-tidy -p "$build_dir" --quiet "${files[@]}"

@@ -1,10 +1,9 @@
 #include "apps/disk_paxos.h"
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 
+#include "common/sync.h"
 #include "core/address.h"
 
 namespace nadreg::apps {
@@ -40,13 +39,14 @@ namespace {
 /// Completion state of one two-phase round: per-disk progress plus the
 /// freshest record seen for every process.
 struct PhaseState {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::uint32_t reads_needed_per_disk = 0;
-  std::vector<std::uint32_t> reads_done;  // per disk
-  std::uint32_t disks_complete = 0;
-  std::uint64_t max_mbal_seen = 0;
-  std::vector<DiskBlock> freshest;  // per process, by max bal
+  Mutex mu;
+  CondVar cv;
+  std::uint32_t reads_needed_per_disk = 0;  // set before any handler runs
+  std::vector<std::uint32_t> reads_done GUARDED_BY(mu);  // per disk
+  std::uint32_t disks_complete GUARDED_BY(mu) = 0;
+  std::uint64_t max_mbal_seen GUARDED_BY(mu) = 0;
+  // Per process, by max bal.
+  std::vector<DiskBlock> freshest GUARDED_BY(mu);
 };
 
 }  // namespace
@@ -74,16 +74,16 @@ DiskPaxos::PhaseResult DiskPaxos::RunPhase(std::vector<DiskBlock>* blocks_seen) 
     // phase state and count the disk as complete when all reads landed.
     client_.IssueWrite(self, BlockOf(d, pid_), record, [this, state, d, self] {
       if (n_ == 1) {
-        std::lock_guard lock(state->mu);
+        MutexLock lock(state->mu);
         ++state->disks_complete;
-        state->cv.notify_all();
+        state->cv.NotifyAll();
         return;
       }
       for (std::uint32_t q = 0; q < n_; ++q) {
         if (q == pid_) continue;
         client_.IssueRead(self, BlockOf(d, q), [state, d, q](Value bytes) {
           auto block = DecodeDiskBlock(bytes);
-          std::lock_guard lock(state->mu);
+          MutexLock lock(state->mu);
           if (block.ok()) {
             if (block->mbal > state->max_mbal_seen) {
               state->max_mbal_seen = block->mbal;
@@ -95,15 +95,16 @@ DiskPaxos::PhaseResult DiskPaxos::RunPhase(std::vector<DiskBlock>* blocks_seen) 
           if (++state->reads_done[d] == state->reads_needed_per_disk) {
             ++state->disks_complete;
           }
-          state->cv.notify_all();
+          state->cv.NotifyAll();
         });
       }
     });
   }
 
   // Wait for a majority of disks, or an abort signal (a higher mbal).
-  std::unique_lock lock(state->mu);
-  state->cv.wait(lock, [&] {
+  MutexLock lock(state->mu);
+  state->cv.Wait(state->mu, [&] {
+    state->mu.AssertHeld();  // CondVar waits run predicates under the lock
     return state->disks_complete >= farm_.quorum() ||
            state->max_mbal_seen > dblock_.mbal;
   });

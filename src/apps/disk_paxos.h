@@ -46,7 +46,7 @@ struct DiskBlock {
 };
 
 std::string EncodeDiskBlock(const DiskBlock& b);
-Expected<DiskBlock> DecodeDiskBlock(std::string_view bytes);
+[[nodiscard]] Expected<DiskBlock> DecodeDiskBlock(std::string_view bytes);
 
 class DiskPaxos {
  public:

@@ -1,11 +1,10 @@
 #include "apps/ranked_register.h"
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/address.h"
 
 namespace nadreg::apps {
@@ -40,11 +39,12 @@ namespace {
 
 /// Majority-wait state shared with the per-disk RMW handlers.
 struct QuorumState {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::uint32_t responses = 0;
-  std::uint32_t commits = 0;           // writes only
-  RankedBlock freshest;                // reads only: max write_rank seen
+  Mutex mu;
+  CondVar cv;
+  std::uint32_t responses GUARDED_BY(mu) = 0;
+  std::uint32_t commits GUARDED_BY(mu) = 0;  // writes only
+  // Reads only: max write_rank seen.
+  RankedBlock freshest GUARDED_BY(mu);
 };
 
 }  // namespace
@@ -71,16 +71,19 @@ RankedRegister::ReadResult RankedRegister::Read(std::uint64_t rank) {
         },
         [state](Value previous) {
           auto block = DecodeRankedBlock(previous);
-          std::lock_guard lock(state->mu);
+          MutexLock lock(state->mu);
           if (block.ok() && block->write_rank > state->freshest.write_rank) {
             state->freshest = std::move(*block);
           }
           ++state->responses;
-          state->cv.notify_all();
+          state->cv.NotifyAll();
         });
   }
-  std::unique_lock lock(state->mu);
-  state->cv.wait(lock, [&] { return state->responses >= cfg_.quorum(); });
+  MutexLock lock(state->mu);
+  state->cv.Wait(state->mu, [&] {
+    state->mu.AssertHeld();
+    return state->responses >= cfg_.quorum();
+  });
   return ReadResult{state->freshest.write_rank, state->freshest.value};
 }
 
@@ -101,15 +104,18 @@ bool RankedRegister::Write(std::uint64_t rank, const std::string& value) {
         [state, rank](Value previous) {
           auto block = DecodeRankedBlock(previous);
           const RankedBlock b = block.ok() ? *block : RankedBlock{};
-          std::lock_guard lock(state->mu);
+          MutexLock lock(state->mu);
           // The guard is over the PRE-state: committed iff it held.
           if (b.read_rank <= rank && b.write_rank <= rank) ++state->commits;
           ++state->responses;
-          state->cv.notify_all();
+          state->cv.NotifyAll();
         });
   }
-  std::unique_lock lock(state->mu);
-  state->cv.wait(lock, [&] { return state->responses >= cfg_.quorum(); });
+  MutexLock lock(state->mu);
+  state->cv.Wait(state->mu, [&] {
+    state->mu.AssertHeld();
+    return state->responses >= cfg_.quorum();
+  });
   // Commit iff every disk in the majority committed: any abort means a
   // higher-ranked operation got there first.
   return state->commits >= cfg_.quorum() &&

@@ -49,7 +49,7 @@ struct RankedBlock {
 };
 
 std::string EncodeRankedBlock(const RankedBlock& b);
-Expected<RankedBlock> DecodeRankedBlock(std::string_view bytes);
+[[nodiscard]] Expected<RankedBlock> DecodeRankedBlock(std::string_view bytes);
 
 class RankedRegister {
  public:

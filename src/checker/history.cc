@@ -8,7 +8,7 @@ namespace nadreg::checker {
 
 HistoryRecorder::OpHandle HistoryRecorder::BeginWrite(ProcessId p,
                                                       std::string value) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Operation op;
   op.id = ops_.size();
   op.process = p;
@@ -20,7 +20,7 @@ HistoryRecorder::OpHandle HistoryRecorder::BeginWrite(ProcessId p,
 }
 
 HistoryRecorder::OpHandle HistoryRecorder::BeginRead(ProcessId p) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Operation op;
   op.id = ops_.size();
   op.process = p;
@@ -31,13 +31,13 @@ HistoryRecorder::OpHandle HistoryRecorder::BeginRead(ProcessId p) {
 }
 
 void HistoryRecorder::EndWrite(OpHandle h) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ops_.at(h).respond = Tick();
   ops_.at(h).completed = true;
 }
 
 void HistoryRecorder::EndRead(OpHandle h, std::string returned) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Operation& op = ops_.at(h);
   op.respond = Tick();
   op.completed = true;
@@ -45,12 +45,12 @@ void HistoryRecorder::EndRead(OpHandle h, std::string returned) {
 }
 
 std::vector<Operation> HistoryRecorder::History() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return ops_;
 }
 
 std::vector<Operation> HistoryRecorder::CheckableHistory() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Operation> out;
   out.reserve(ops_.size());
   for (const Operation& op : ops_) {
@@ -68,7 +68,7 @@ std::vector<Operation> HistoryRecorder::CheckableHistory() const {
 }
 
 std::size_t HistoryRecorder::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return ops_.size();
 }
 

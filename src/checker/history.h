@@ -9,10 +9,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/types.h"
 
 namespace nadreg::checker {
@@ -55,9 +55,9 @@ class HistoryRecorder {
  private:
   std::uint64_t Tick() { return clock_.fetch_add(1, std::memory_order_relaxed) + 1; }
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::atomic<std::uint64_t> clock_{0};
-  std::vector<Operation> ops_;
+  std::vector<Operation> ops_ GUARDED_BY(mu_);
 };
 
 /// Human-readable rendering of a history (for counterexample output).

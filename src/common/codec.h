@@ -96,7 +96,7 @@ struct TaggedValue {
 std::string EncodeTaggedValue(const TaggedValue& tv);
 /// Decodes a register value. The empty string (register initial value)
 /// decodes to the default TaggedValue (seq 0).
-Expected<TaggedValue> DecodeTaggedValue(std::string_view bytes);
+[[nodiscard]] Expected<TaggedValue> DecodeTaggedValue(std::string_view bytes);
 
 /// The record the Fig. 3 MWMR construction stores in the one-shot register
 /// v[p]: the written value plus the name-snapshot taken by the WRITE.
@@ -108,14 +108,14 @@ struct SnapRecord {
 };
 
 std::string EncodeSnapRecord(const SnapRecord& rec);
-Expected<SnapRecord> DecodeSnapRecord(std::string_view bytes);
+[[nodiscard]] Expected<SnapRecord> DecodeSnapRecord(std::string_view bytes);
 
 std::string EncodeName(const Name& n);
-Expected<Name> DecodeName(std::string_view bytes);
+[[nodiscard]] Expected<Name> DecodeName(std::string_view bytes);
 
 /// A plain set of names (kept sorted ascending) — the payload of a
 /// published snapshot view.
 std::string EncodeNameSet(const std::vector<Name>& names);
-Expected<std::vector<Name>> DecodeNameSet(std::string_view bytes);
+[[nodiscard]] Expected<std::vector<Name>> DecodeNameSet(std::string_view bytes);
 
 }  // namespace nadreg

@@ -18,7 +18,7 @@ void Logger::Write(LogLevel level, const std::string& message) {
     case LogLevel::kError: tag = "E"; break;
     case LogLevel::kOff: return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::fprintf(stderr, "[%s] %s\n", tag, message.c_str());
 }
 

@@ -3,9 +3,10 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "common/sync.h"
 
 namespace nadreg {
 
@@ -25,7 +26,7 @@ class Logger {
 
  private:
   std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
-  std::mutex mu_;
+  Mutex mu_;  // serializes whole lines onto stderr
 };
 
 namespace internal {

@@ -18,8 +18,10 @@ enum class StatusCode {
   kAlreadyWritten  // one-shot register written twice
 };
 
-/// Result of an operation that can fail in expected ways.
-class Status {
+/// Result of an operation that can fail in expected ways. [[nodiscard]]
+/// at class level: every function returning a Status by value must have
+/// its result examined (dropping one silently swallows a failure).
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
@@ -56,9 +58,10 @@ class Status {
   std::string message_;
 };
 
-/// A value or a Status explaining why there is none.
+/// A value or a Status explaining why there is none. [[nodiscard]] like
+/// Status: an ignored Expected is an ignored failure.
 template <typename T>
-class Expected {
+class [[nodiscard]] Expected {
  public:
   Expected(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   Expected(Status status) : status_(std::move(status)) {  // NOLINT

@@ -3,28 +3,29 @@
 #include <atomic>
 #include <cassert>
 
+#include "common/sync.h"
 #include "obs/metrics.h"
 
 namespace nadreg::core {
 
 struct RegisterSet::Ticket::State {
-  mutable std::mutex mu;
-  std::condition_variable cv;
-  std::size_t completed = 0;
+  mutable Mutex mu;
+  CondVar cv;
+  std::size_t completed GUARDED_BY(mu) = 0;
   // One slot per register index; set when that register's op completes.
-  std::vector<std::optional<Value>> results;
+  std::vector<std::optional<Value>> results GUARDED_BY(mu);
 
   explicit State(std::size_t n) : results(n) {}
 };
 
 std::size_t RegisterSet::Ticket::Completed() const {
-  std::lock_guard lock(state_->mu);
+  MutexLock lock(state_->mu);
   return state_->completed;
 }
 
 std::vector<std::pair<std::size_t, Value>> RegisterSet::Ticket::Results()
     const {
-  std::lock_guard lock(state_->mu);
+  MutexLock lock(state_->mu);
   std::vector<std::pair<std::size_t, Value>> out;
   out.reserve(state_->completed);
   for (std::size_t i = 0; i < state_->results.size(); ++i) {
@@ -48,8 +49,8 @@ struct RegisterSet::Shared : std::enable_shared_from_this<RegisterSet::Shared> {
   BaseRegisterClient* client = nullptr;
   ProcessId self = kNoProcess;
   std::vector<RegisterId> regs;
-  std::mutex mu;
-  std::vector<Slot> slots;
+  Mutex mu;
+  std::vector<Slot> slots GUARDED_BY(mu);
 
   // Quorum/pending accounting. Atomics: bumped from Await (no mu) and
   // from the queue paths (under mu) alike.
@@ -83,7 +84,7 @@ struct RegisterSet::Shared : std::enable_shared_from_this<RegisterSet::Shared> {
     std::vector<std::size_t> to_issue;
     to_issue.reserve(regs.size());
     {
-      std::lock_guard lock(mu);
+      MutexLock lock(mu);
       for (std::size_t i = 0; i < regs.size(); ++i) {
         Slot& slot = slots[i];
         if (!slot.busy) {
@@ -150,19 +151,19 @@ struct RegisterSet::Shared : std::enable_shared_from_this<RegisterSet::Shared> {
                   std::optional<Value> read_value) {
     for (const auto& t : subs) {
       {
-        std::lock_guard lock(t->mu);
+        MutexLock lock(t->mu);
         if (!t->results[i]) {
           t->results[i] = read_value ? *read_value : Value{};
           ++t->completed;
         }
       }
-      t->cv.notify_all();
+      t->cv.NotifyAll();
     }
     // Chain the next queued operation on this register, if any.
     QueuedOp next;
     bool have_next = false;
     {
-      std::lock_guard lock(mu);
+      MutexLock lock(mu);
       Slot& slot = slots[i];
       if (slot.queue.empty()) {
         slot.busy = false;
@@ -220,12 +221,15 @@ bool RegisterSet::AwaitUntil(const Ticket& ticket, std::size_t k,
   const auto wait_start = std::chrono::steady_clock::now();
   bool ok = true;
   {
-    std::unique_lock lock(st.mu);
-    auto ready = [&] { return st.completed >= k; };
+    MutexLock lock(st.mu);
+    auto ready = [&] {
+      st.mu.AssertHeld();  // CondVar waits run predicates under the lock
+      return st.completed >= k;
+    };
     if (deadline) {
-      ok = st.cv.wait_until(lock, *deadline, ready);
+      ok = st.cv.WaitUntil(st.mu, *deadline, ready);
     } else {
-      st.cv.wait(lock, ready);
+      st.cv.Wait(st.mu, ready);
     }
   }
   const auto waited = static_cast<std::uint64_t>(

@@ -39,10 +39,10 @@ Expected<std::unique_ptr<NadClient>> NadClient::Connect(
 NadClient::~NadClient() {
   for (auto& [disk, conn] : conns_) {
     {
-      std::lock_guard lock(conn->send_mu);
+      MutexLock lock(conn->send_mu);
       conn->closed = true;
     }
-    conn->send_cv.notify_all();
+    conn->send_cv.NotifyAll();
     // Unblocks the reader (in recv) and a sender stuck in send on a
     // peer that stopped draining.
     conn->sock.Shutdown();
@@ -60,11 +60,11 @@ NadClient::Conn* NadClient::ConnFor(DiskId d) {
 
 bool NadClient::Enqueue(Conn* conn, Message msg) {
   {
-    std::lock_guard lock(conn->send_mu);
+    MutexLock lock(conn->send_mu);
     if (conn->closed) return false;
     conn->outgoing.push_back(std::move(msg));
   }
-  conn->send_cv.notify_one();
+  conn->send_cv.NotifyOne();
   return true;
 }
 
@@ -84,7 +84,7 @@ void NadClient::IssueRead(ProcessId /*p*/, RegisterId r, ReadHandler done) {
   req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   req.reg = r;
   {
-    std::lock_guard lock(conn->pending_mu);
+    MutexLock lock(conn->pending_mu);
     conn->pending_reads.emplace(
         req.request_id,
         PendingRead{std::move(done), std::chrono::steady_clock::now()});
@@ -93,7 +93,7 @@ void NadClient::IssueRead(ProcessId /*p*/, RegisterId r, ReadHandler done) {
   if (!Enqueue(conn, std::move(req))) {
     // Connection dead: the disk is unreachable — handler never runs,
     // exactly like a crashed register. Clean up the stashed handler.
-    std::lock_guard plock(conn->pending_mu);
+    MutexLock plock(conn->pending_mu);
     if (conn->pending_reads.erase(req.request_id) > 0) in_flight_->Add(-1);
   }
 }
@@ -112,14 +112,14 @@ void NadClient::IssueWrite(ProcessId /*p*/, RegisterId r, Value v,
   req.reg = r;
   req.value = std::move(v);
   {
-    std::lock_guard lock(conn->pending_mu);
+    MutexLock lock(conn->pending_mu);
     conn->pending_writes.emplace(
         req.request_id,
         PendingWrite{std::move(done), std::chrono::steady_clock::now()});
   }
   in_flight_->Add(1);
   if (!Enqueue(conn, std::move(req))) {
-    std::lock_guard plock(conn->pending_mu);
+    MutexLock plock(conn->pending_mu);
     if (conn->pending_writes.erase(req.request_id) > 0) in_flight_->Add(-1);
   }
 }
@@ -138,7 +138,7 @@ void NadClient::IssueReads(ProcessId /*p*/, std::vector<ReadOp> ops) {
     req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
     req.reg = op.reg;
     {
-      std::lock_guard lock(conn->pending_mu);
+      MutexLock lock(conn->pending_mu);
       conn->pending_reads.emplace(req.request_id,
                                   PendingRead{std::move(op.done), now});
     }
@@ -148,16 +148,16 @@ void NadClient::IssueReads(ProcessId /*p*/, std::vector<ReadOp> ops) {
   for (auto& [conn, msgs] : per_conn) {
     bool accepted = false;
     {
-      std::lock_guard lock(conn->send_mu);
+      MutexLock lock(conn->send_mu);
       if (!conn->closed) {
         for (Message& m : msgs) conn->outgoing.push_back(std::move(m));
         accepted = true;
       }
     }
     if (accepted) {
-      conn->send_cv.notify_one();
+      conn->send_cv.NotifyOne();
     } else {
-      std::lock_guard plock(conn->pending_mu);
+      MutexLock plock(conn->pending_mu);
       for (const Message& m : msgs) {
         if (conn->pending_reads.erase(m.request_id) > 0) in_flight_->Add(-1);
       }
@@ -181,7 +181,7 @@ void NadClient::IssueWrites(ProcessId /*p*/, std::vector<WriteOp> ops) {
     req.reg = op.reg;
     req.value = std::move(op.value);
     {
-      std::lock_guard lock(conn->pending_mu);
+      MutexLock lock(conn->pending_mu);
       conn->pending_writes.emplace(req.request_id,
                                    PendingWrite{std::move(op.done), now});
     }
@@ -191,16 +191,16 @@ void NadClient::IssueWrites(ProcessId /*p*/, std::vector<WriteOp> ops) {
   for (auto& [conn, msgs] : per_conn) {
     bool accepted = false;
     {
-      std::lock_guard lock(conn->send_mu);
+      MutexLock lock(conn->send_mu);
       if (!conn->closed) {
         for (Message& m : msgs) conn->outgoing.push_back(std::move(m));
         accepted = true;
       }
     }
     if (accepted) {
-      conn->send_cv.notify_one();
+      conn->send_cv.NotifyOne();
     } else {
-      std::lock_guard plock(conn->pending_mu);
+      MutexLock plock(conn->pending_mu);
       for (const Message& m : msgs) {
         if (conn->pending_writes.erase(m.request_id) > 0) in_flight_->Add(-1);
       }
@@ -217,27 +217,35 @@ Expected<std::string> NadClient::QueryStats(DiskId d,
   req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   auto waiter = std::make_shared<StatsWaiter>();
   {
-    std::lock_guard lock(conn->pending_mu);
+    MutexLock lock(conn->pending_mu);
     conn->pending_stats.emplace(req.request_id, waiter);
   }
   if (!Enqueue(conn, std::move(req))) {
-    std::lock_guard plock(conn->pending_mu);
+    MutexLock plock(conn->pending_mu);
     conn->pending_stats.erase(req.request_id);
     return Status::Unavailable("stats: connection dead");
   }
-  std::unique_lock lock(waiter->mu);
-  if (!waiter->cv.wait_for(lock, timeout, [&] { return waiter->done; })) {
-    std::lock_guard plock(conn->pending_mu);
+  bool answered;
+  {
+    MutexLock lock(waiter->mu);
+    answered = waiter->cv.WaitFor(waiter->mu, timeout, [&] {
+      waiter->mu.AssertHeld();  // predicates run under the lock
+      return waiter->done;
+    });
+  }
+  if (!answered) {
+    MutexLock plock(conn->pending_mu);
     conn->pending_stats.erase(req.request_id);
     return Status::Timeout("stats: no response before deadline");
   }
+  MutexLock lock(waiter->mu);
   return waiter->text;
 }
 
 std::size_t NadClient::InFlight() const {
   std::size_t n = 0;
   for (const auto& [disk, conn] : conns_) {
-    std::lock_guard lock(conn->pending_mu);
+    MutexLock lock(conn->pending_mu);
     n += conn->pending_reads.size() + conn->pending_writes.size();
   }
   return n;
@@ -267,9 +275,11 @@ void NadClient::SenderLoop(Conn* conn) {
   for (;;) {
     std::deque<Message> drained;
     {
-      std::unique_lock lock(conn->send_mu);
-      conn->send_cv.wait(
-          lock, [&] { return conn->closed || !conn->outgoing.empty(); });
+      MutexLock lock(conn->send_mu);
+      conn->send_cv.Wait(conn->send_mu, [&] {
+        conn->send_mu.AssertHeld();
+        return conn->closed || !conn->outgoing.empty();
+      });
       if (conn->closed) return;
       drained.swap(conn->outgoing);
     }
@@ -301,7 +311,7 @@ void NadClient::SenderLoop(Conn* conn) {
     if (!SendAll(conn->sock, wire).ok()) {
       // Connection dead: everything queued or already pending on this
       // disk will simply never complete — crashed-disk semantics.
-      std::lock_guard lock(conn->send_mu);
+      MutexLock lock(conn->send_mu);
       conn->closed = true;
       conn->outgoing.clear();
       return;
@@ -314,7 +324,7 @@ void NadClient::DispatchResponse(Conn* conn, Message msg) {
   if (msg.type == MsgType::kReadResp) {
     PendingRead pending;
     {
-      std::lock_guard lock(conn->pending_mu);
+      MutexLock lock(conn->pending_mu);
       auto it = conn->pending_reads.find(msg.request_id);
       if (it == conn->pending_reads.end()) return;
       pending = std::move(it->second);
@@ -327,7 +337,7 @@ void NadClient::DispatchResponse(Conn* conn, Message msg) {
   } else if (msg.type == MsgType::kWriteResp) {
     PendingWrite pending;
     {
-      std::lock_guard lock(conn->pending_mu);
+      MutexLock lock(conn->pending_mu);
       auto it = conn->pending_writes.find(msg.request_id);
       if (it == conn->pending_writes.end()) return;
       pending = std::move(it->second);
@@ -340,16 +350,16 @@ void NadClient::DispatchResponse(Conn* conn, Message msg) {
   } else if (msg.type == MsgType::kStatsResp) {
     std::shared_ptr<StatsWaiter> waiter;
     {
-      std::lock_guard lock(conn->pending_mu);
+      MutexLock lock(conn->pending_mu);
       auto it = conn->pending_stats.find(msg.request_id);
       if (it == conn->pending_stats.end()) return;
       waiter = std::move(it->second);
       conn->pending_stats.erase(it);
     }
-    std::lock_guard wlock(waiter->mu);
+    MutexLock wlock(waiter->mu);
     waiter->text = std::move(msg.value);
     waiter->done = true;
-    waiter->cv.notify_all();
+    waiter->cv.NotifyAll();
   }
 }
 

@@ -27,12 +27,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -40,6 +38,7 @@
 
 #include "common/base_register.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "nad/protocol.h"
 #include "nad/socket.h"
 #include "obs/metrics.h"
@@ -101,22 +100,26 @@ class NadClient : public BaseRegisterClient {
     std::chrono::steady_clock::time_point start;
   };
   struct StatsWaiter {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    std::string text;
+    Mutex mu;
+    CondVar cv;
+    bool done GUARDED_BY(mu) = false;
+    std::string text GUARDED_BY(mu);
   };
+  // Lock order within a Conn: send_mu and pending_mu are never nested.
   struct Conn {
     Socket sock;
-    std::mutex send_mu;  // guards outgoing + closed
-    std::condition_variable send_cv;
-    std::deque<Message> outgoing;
-    bool closed = false;  // send failed or client shutting down
-    std::mutex pending_mu;
-    std::unordered_map<std::uint64_t, PendingRead> pending_reads;
-    std::unordered_map<std::uint64_t, PendingWrite> pending_writes;
+    Mutex send_mu;
+    CondVar send_cv;
+    std::deque<Message> outgoing GUARDED_BY(send_mu);
+    // Send failed or client shutting down.
+    bool closed GUARDED_BY(send_mu) = false;
+    Mutex pending_mu;
+    std::unordered_map<std::uint64_t, PendingRead> pending_reads
+        GUARDED_BY(pending_mu);
+    std::unordered_map<std::uint64_t, PendingWrite> pending_writes
+        GUARDED_BY(pending_mu);
     std::unordered_map<std::uint64_t, std::shared_ptr<StatsWaiter>>
-        pending_stats;
+        pending_stats GUARDED_BY(pending_mu);
     std::jthread sender;
     std::jthread reader;
   };

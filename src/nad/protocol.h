@@ -80,7 +80,7 @@ struct Message {
 std::string EncodeMessage(const Message& m);
 
 /// Parses a message payload. Total: never trusts lengths or enum values.
-Expected<Message> DecodeMessage(std::string_view payload);
+[[nodiscard]] Expected<Message> DecodeMessage(std::string_view payload);
 
 /// Maximum accepted frame payload (guards server memory against a
 /// malformed or hostile length prefix).
@@ -90,7 +90,7 @@ inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
 /// an oversized payload (e.g. a write value near the frame cap) fails
 /// fast with kInvalid instead of hitting the wire and desynchronizing or
 /// killing the connection at the peer's decode guard.
-Expected<std::string> EncodeMessageChecked(const Message& m);
+[[nodiscard]] Expected<std::string> EncodeMessageChecked(const Message& m);
 
 /// Frame-payload overhead of one encoded WriteReq around its value
 /// (type + request id + disk + block + value length prefix). A write
@@ -111,6 +111,6 @@ struct Endpoint {
 
 /// Parses "host:port" or bare "port" (host defaults to 127.0.0.1).
 /// Rejects empty hosts, non-numeric or out-of-range ports.
-Expected<Endpoint> ParseEndpoint(std::string_view s);
+[[nodiscard]] Expected<Endpoint> ParseEndpoint(std::string_view s);
 
 }  // namespace nadreg::nad

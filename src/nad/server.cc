@@ -18,6 +18,8 @@ Expected<std::unique_ptr<NadServer>> NadServer::Start(Options opts) {
     if (!recovered.ok()) return recovered.status();
     server->store_.Load(recovered_store);
     server->recovered_ = *recovered;
+    // Still single-threaded here; the lock only satisfies the guard.
+    MutexLock jlock(server->journal_mu_);
     if (Status s = server->journal_.Open(opts.data_path + ".log"); !s.ok()) {
       return s;
     }
@@ -42,7 +44,7 @@ NadServer::~NadServer() { Stop(); }
 
 void NadServer::Stop() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     stopping_ = true;
     for (Socket* conn : live_conns_) conn->Shutdown();
@@ -57,13 +59,16 @@ void NadServer::CrashRegister(const RegisterId& r) { store_.CrashRegister(r); }
 void NadServer::CrashDisk(DiskId d) { store_.CrashDisk(d); }
 
 Status NadServer::Checkpoint() {
-  if (!journal_.IsOpen()) return Status::Ok();  // volatile server
+  {
+    MutexLock jlock(journal_mu_);
+    if (!journal_.IsOpen()) return Status::Ok();  // volatile server
+  }
   // Quiesce every stripe so no write can journal between the snapshot
   // and the journal truncation (it would be lost on recovery). Lock
   // order matches the write path: stripes first, then the journal.
   auto stripes = store_.LockAll();
-  std::lock_guard jlock(journal_mu_);
-  if (Status s = WriteCheckpoint(opts_.data_path, store_.SnapshotLocked());
+  MutexLock jlock(journal_mu_);
+  if (Status s = WriteCheckpoint(opts_.data_path, stripes.Snapshot());
       !s.ok()) {
     return s;
   }
@@ -78,7 +83,7 @@ void NadServer::AcceptLoop() {
   for (;;) {
     auto conn = listener_->Accept();
     if (!conn) return;  // listener shut down
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     Rng conn_rng = rng_.Fork();
     conn_threads_.emplace_back(
@@ -104,8 +109,10 @@ std::optional<Message> NadServer::ServeOp(Message msg) {
     // apply order agree per register (both under the stripe lock).
     const bool applied =
         store_.ApplyOrdered(msg.reg, std::move(msg.value), [&](const Value& v) {
+          // Stripe lock is held here; journal_mu_ nests inside it (the
+          // documented stripe -> journal order, same as Checkpoint).
+          MutexLock jlock(journal_mu_);
           if (!journal_.IsOpen()) return true;
-          std::lock_guard jlock(journal_mu_);
           if (Status s = journal_.Append(msg.reg, v); !s.ok()) {
             LOG_ERROR << "nad-server: journal append failed: " << s.ToString()
                       << "; dropping request";
@@ -129,7 +136,7 @@ std::optional<Message> NadServer::ServeOp(Message msg) {
 
 void NadServer::Serve(Socket conn, Rng rng) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     live_conns_.push_back(&conn);
   }
@@ -187,7 +194,7 @@ void NadServer::Serve(Socket conn, Rng rng) {
     if (!resp) continue;
     if (!SendFrame(conn, EncodeMessage(*resp)).ok()) break;
   }
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::erase(live_conns_, &conn);
 }
 

@@ -19,13 +19,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/types.h"
 #include "nad/persistence.h"
 #include "nad/protocol.h"
@@ -103,12 +103,15 @@ class NadServer {
   std::size_t recovered_ = 0;  // written once in Start, then read-only
 
   // Cold path: connection bookkeeping and the write-ahead journal.
-  mutable std::mutex mu_;  // stopping_, live_conns_, rng_
-  std::mutex journal_mu_;  // file I/O order; taken after a stripe lock
-  Journal journal_;
-  bool stopping_ = false;
-  std::vector<Socket*> live_conns_;  // for Stop() to shut down
-  Rng rng_;
+  mutable Mutex mu_;
+  // Journal file I/O order; taken after a stripe lock (write path) or
+  // after the full-store quiesce (checkpoint path) — never before either.
+  Mutex journal_mu_;
+  Journal journal_ GUARDED_BY(journal_mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
+  // For Stop() to shut down.
+  std::vector<Socket*> live_conns_ GUARDED_BY(mu_);
+  Rng rng_ GUARDED_BY(mu_);
 
   // Per-instance observability (see metrics()). The pointers are the
   // hot-path handles, resolved once in the constructor.

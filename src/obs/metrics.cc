@@ -21,28 +21,28 @@ std::uint64_t Histogram::PercentileUs(double p) const {
 }
 
 Counter& Registry::GetCounter(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::GetGauge(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& Registry::GetHistogram(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 std::string Registry::ToJson() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream out;
   out << "{\n  \"counters\": {";
   bool first = true;
@@ -86,7 +86,7 @@ std::string Registry::ToJson() const {
 }
 
 std::string Registry::ToText() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream out;
   for (const auto& [name, c] : counters_) {
     out << "counter " << name << " " << c->Get() << "\n";

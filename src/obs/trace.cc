@@ -2,18 +2,19 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <thread>
+
+#include "common/sync.h"
 
 namespace nadreg::obs {
 
 namespace {
 
 struct Sink {
-  std::mutex mu;
-  std::FILE* file = nullptr;
-  std::chrono::steady_clock::time_point epoch;
-  bool wrote_event = false;
+  Mutex mu;
+  std::FILE* file GUARDED_BY(mu) = nullptr;
+  std::chrono::steady_clock::time_point epoch GUARDED_BY(mu);
+  bool wrote_event GUARDED_BY(mu) = false;
 };
 
 Sink& GlobalSink() {
@@ -48,7 +49,7 @@ std::string Escape(std::string_view s) {
 
 Status StartTrace(const std::string& path) {
   Sink& sink = GlobalSink();
-  std::lock_guard lock(sink.mu);
+  MutexLock lock(sink.mu);
   if (sink.file != nullptr) {
     std::fputs("{}]\n", sink.file);
     std::fclose(sink.file);
@@ -67,7 +68,7 @@ Status StartTrace(const std::string& path) {
 
 void StopTrace() {
   Sink& sink = GlobalSink();
-  std::lock_guard lock(sink.mu);
+  MutexLock lock(sink.mu);
   if (sink.file == nullptr) return;
   g_active.store(false, std::memory_order_release);
   // Close the array strictly (the last event line ends with a comma).
@@ -83,7 +84,7 @@ void EmitSpan(std::string_view cat, std::string_view name,
               std::chrono::steady_clock::time_point end) {
   if (!TraceActive()) return;
   Sink& sink = GlobalSink();
-  std::lock_guard lock(sink.mu);
+  MutexLock lock(sink.mu);
   if (sink.file == nullptr) return;  // raced with StopTrace
   const auto ts = std::chrono::duration_cast<std::chrono::microseconds>(
                       start - sink.epoch)

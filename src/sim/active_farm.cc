@@ -11,15 +11,15 @@ ActiveDiskFarm::ActiveDiskFarm(Options opts)
 
 ActiveDiskFarm::~ActiveDiskFarm() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     service_.request_stop();
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void ActiveDiskFarm::Enqueue(Event ev) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     const bool crashed = store_.IsCrashed(ev.r);
     switch (ev.kind) {
       case Event::Kind::kRead:
@@ -39,7 +39,7 @@ void ActiveDiskFarm::Enqueue(Event ev) {
     ev.seq = next_seq_++;
     queue_.push(std::move(ev));
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void ActiveDiskFarm::IssueRead(ProcessId p, RegisterId r, ReadHandler done) {
@@ -74,35 +74,38 @@ void ActiveDiskFarm::IssueRmw(ProcessId p, RegisterId r, RmwFunction fn,
 }
 
 void ActiveDiskFarm::CrashRegister(const RegisterId& r) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   store_.CrashRegister(r);
 }
 
 void ActiveDiskFarm::CrashDisk(DiskId d) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   store_.CrashDisk(d);
 }
 
 OpStats ActiveDiskFarm::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 std::uint64_t ActiveDiskFarm::RmwIssued() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return rmw_issued_;
 }
 
 Value ActiveDiskFarm::Peek(const RegisterId& r) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return store_.Get(r);
 }
 
 void ActiveDiskFarm::ServiceLoop(std::stop_token stop) {
-  std::unique_lock lock(mu_);
+  mu_.Lock();
   while (!stop.stop_requested()) {
     if (queue_.empty()) {
-      cv_.wait(lock, [&] { return stop.stop_requested() || !queue_.empty(); });
+      cv_.Wait(mu_, [&] {
+        mu_.AssertHeld();  // CondVar::Wait runs predicates under the lock
+        return stop.stop_requested() || !queue_.empty();
+      });
       continue;
     }
     const auto now = std::chrono::steady_clock::now();
@@ -110,7 +113,8 @@ void ActiveDiskFarm::ServiceLoop(std::stop_token stop) {
     // Enqueue may reallocate the queue's storage meanwhile).
     const auto deadline = queue_.top().due;
     if (deadline > now) {
-      cv_.wait_until(lock, deadline, [&] {
+      cv_.WaitUntil(mu_, deadline, [&] {
+        mu_.AssertHeld();
         return stop.stop_requested() ||
                (!queue_.empty() &&
                 queue_.top().due <= std::chrono::steady_clock::now());
@@ -137,7 +141,7 @@ void ActiveDiskFarm::ServiceLoop(std::stop_token stop) {
         ++rmw_completed_;
         break;
     }
-    lock.unlock();
+    mu_.Unlock();
     switch (ev.kind) {
       case Event::Kind::kRead:
         if (ev.on_read) ev.on_read(std::move(previous));
@@ -149,8 +153,9 @@ void ActiveDiskFarm::ServiceLoop(std::stop_token stop) {
         if (ev.on_rmw) ev.on_rmw(std::move(previous));
         break;
     }
-    lock.lock();
+    mu_.Lock();
   }
+  mu_.Unlock();
 }
 
 }  // namespace nadreg::sim

@@ -17,15 +17,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "common/base_register.h"
+#include "common/sync.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "sim/register_store.h"
@@ -96,16 +95,17 @@ class ActiveDiskFarm : public BaseRegisterClient {
   void Enqueue(Event ev);
   void ServiceLoop(std::stop_token stop);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  RegisterStore store_;
-  Rng rng_;
-  Options opts_;
-  std::uint64_t next_seq_ = 0;
-  OpStats stats_;
-  std::uint64_t rmw_issued_ = 0;
-  std::uint64_t rmw_completed_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_
+      GUARDED_BY(mu_);
+  RegisterStore store_ GUARDED_BY(mu_);
+  Rng rng_ GUARDED_BY(mu_);
+  Options opts_;  // immutable after construction
+  std::uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  OpStats stats_ GUARDED_BY(mu_);
+  std::uint64_t rmw_issued_ GUARDED_BY(mu_) = 0;
+  std::uint64_t rmw_completed_ GUARDED_BY(mu_) = 0;
   std::jthread service_;
 };
 

@@ -5,8 +5,7 @@
 
 namespace nadreg::sim {
 
-void DetFarm::MaybePark(std::unique_lock<std::mutex>& lock,
-                        const PendingOp& op) {
+void DetFarm::MaybePark(const PendingOp& op) {
   auto it = gates_.find(op.p);
   if (it == gates_.end() || !it->second.armed) return;
   GateState& gate = it->second;
@@ -14,22 +13,22 @@ void DetFarm::MaybePark(std::unique_lock<std::mutex>& lock,
   gate.parked = true;
   gate.released = false;
   gate.op = op;
-  gate_cv_.notify_all();
-  gate_cv_.wait(lock, [&gate] { return gate.released; });
+  gate_cv_.NotifyAll();
+  gate_cv_.Wait(mu_, [&gate] { return gate.released; });
   gate.parked = false;
   gate.released = false;
-  gate_cv_.notify_all();
+  gate_cv_.NotifyAll();
 }
 
 void DetFarm::Issue(OpRecord rec) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   rec.desc.id = next_id_++;
   if (rec.desc.is_write) {
     ++stats_.writes_issued;
   } else {
     ++stats_.reads_issued;
   }
-  MaybePark(lock, rec.desc);
+  MaybePark(rec.desc);
   if (store_.IsCrashed(rec.desc.r)) return;  // never responds
   pending_.emplace(rec.desc.id, std::move(rec));
 }
@@ -60,7 +59,7 @@ std::vector<DetFarm::PendingOp> DetFarm::Pending() const {
 
 std::vector<DetFarm::PendingOp> DetFarm::PendingWhere(
     const std::function<bool(const PendingOp&)>& pred) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<PendingOp> out;
   for (const auto& [id, rec] : pending_) {
     if (pred(rec.desc)) out.push_back(rec.desc);
@@ -69,7 +68,7 @@ std::vector<DetFarm::PendingOp> DetFarm::PendingWhere(
 }
 
 std::optional<DetFarm::OpRecord> DetFarm::Take(OpId id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = pending_.find(id);
   if (it == pending_.end()) return std::nullopt;
   if (store_.IsCrashed(it->second.desc.r)) {
@@ -106,7 +105,7 @@ std::size_t DetFarm::DeliverAll() {
   for (;;) {
     OpId id = 0;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (pending_.empty()) break;
       id = pending_.begin()->first;
     }
@@ -125,12 +124,12 @@ std::size_t DetFarm::DeliverWhere(
 }
 
 bool DetFarm::Drop(OpId id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return pending_.erase(id) > 0;
 }
 
 void DetFarm::CrashRegister(const RegisterId& r) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   store_.CrashRegister(r);
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (it->second.desc.r == r) {
@@ -142,7 +141,7 @@ void DetFarm::CrashRegister(const RegisterId& r) {
 }
 
 void DetFarm::CrashDisk(DiskId d) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   store_.CrashDisk(d);
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (it->second.desc.r.disk == d) {
@@ -154,13 +153,14 @@ void DetFarm::CrashDisk(DiskId d) {
 }
 
 void DetFarm::ArmGate(ProcessId p) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   gates_[p].armed = true;
 }
 
 DetFarm::PendingOp DetFarm::WaitGated(ProcessId p) {
-  std::unique_lock lock(mu_);
-  gate_cv_.wait(lock, [&] {
+  MutexLock lock(mu_);
+  gate_cv_.Wait(mu_, [&] {
+    mu_.AssertHeld();  // CondVar::Wait runs predicates under the lock
     auto it = gates_.find(p);
     return it != gates_.end() && it->second.parked;
   });
@@ -168,30 +168,33 @@ DetFarm::PendingOp DetFarm::WaitGated(ProcessId p) {
 }
 
 bool DetFarm::IsParked(ProcessId p) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = gates_.find(p);
   return it != gates_.end() && it->second.parked;
 }
 
 void DetFarm::ReleaseGate(ProcessId p) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   auto it = gates_.find(p);
   assert(it != gates_.end() && it->second.parked &&
          "ReleaseGate: process is not parked");
   it->second.released = true;
-  gate_cv_.notify_all();
+  gate_cv_.NotifyAll();
   // Wait until the parked thread has actually resumed and enqueued its op,
   // so the adversary can rely on Pending() seeing it afterwards.
-  gate_cv_.wait(lock, [&] { return !gates_[p].parked; });
+  gate_cv_.Wait(mu_, [&] {
+    mu_.AssertHeld();
+    return !gates_[p].parked;
+  });
 }
 
 Value DetFarm::Peek(const RegisterId& r) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return store_.Get(r);
 }
 
 OpStats DetFarm::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

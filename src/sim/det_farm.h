@@ -19,16 +19,15 @@
 // crashing a register so it appears merely slow.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/base_register.h"
+#include "common/sync.h"
 #include "common/types.h"
 #include "sim/register_store.h"
 
@@ -125,19 +124,21 @@ class DetFarm : public BaseRegisterClient {
     PendingOp op;
   };
 
-  // Parks at the gate if armed (called with lock held; may unlock/relock).
-  void MaybePark(std::unique_lock<std::mutex>& lock, const PendingOp& op);
+  // Parks at the gate if armed. Holds mu_ on entry and exit; the wait
+  // inside releases it while parked (CondVar semantics).
+  void MaybePark(const PendingOp& op) REQUIRES(mu_);
   void Issue(OpRecord rec);
   // Extracts the op record; returns nullopt if not deliverable.
   std::optional<OpRecord> Take(OpId id);
 
-  mutable std::mutex mu_;
-  std::condition_variable gate_cv_;
-  RegisterStore store_;
-  std::map<OpId, OpRecord> pending_;  // ordered by id == issue order
-  std::unordered_map<ProcessId, GateState> gates_;
-  OpId next_id_ = 1;
-  OpStats stats_;
+  mutable Mutex mu_;
+  CondVar gate_cv_;
+  RegisterStore store_ GUARDED_BY(mu_);
+  // Ordered by id == issue order.
+  std::map<OpId, OpRecord> pending_ GUARDED_BY(mu_);
+  std::unordered_map<ProcessId, GateState> gates_ GUARDED_BY(mu_);
+  OpId next_id_ GUARDED_BY(mu_) = 1;
+  OpStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace nadreg::sim

@@ -50,6 +50,8 @@ void ScheduleExplorer::Settle(DetFarm& farm, const ExplorationRun& run,
     }
     last_issued = issued;
     last_pending = pending;
+    // Settle() polls real worker threads from the driver side; it never
+    // runs inside the simulated schedule. lint-allow(no-sleep): driver only
     std::this_thread::sleep_for(opts.settle_poll);
   }
 }
@@ -60,6 +62,8 @@ void ScheduleExplorer::Drain(DetFarm& farm, const ExplorationRun& run) const {
   // inner node so its threads can be joined.
   while (!run.Done()) {
     if (farm.DeliverAll() == 0) {
+      // Driver-side backoff while scenario threads catch up; delivery
+      // order stays deterministic. lint-allow(no-sleep): driver only
       std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
   }

@@ -14,15 +14,15 @@ SimFarm::~SimFarm() {
     // The stop flag participates in the service thread's CV predicates;
     // setting it under the lock ensures the thread either sees it before
     // sleeping or is woken by the notify below (no lost wakeup).
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     service_.request_stop();
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void SimFarm::Enqueue(Event ev) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (store_.IsCrashed(ev.r)) {
       // Unresponsive register: the operation is accepted but will never be
       // serviced. It still counts as issued.
@@ -45,7 +45,7 @@ void SimFarm::Enqueue(Event ev) {
     ++in_flight_;
     queue_.push(std::move(ev));
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void SimFarm::IssueRead(ProcessId p, RegisterId r, ReadHandler done) {
@@ -69,35 +69,38 @@ void SimFarm::IssueWrite(ProcessId p, RegisterId r, Value v,
 }
 
 void SimFarm::CrashRegister(const RegisterId& r) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   store_.CrashRegister(r);
 }
 
 void SimFarm::CrashDisk(DiskId d) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   store_.CrashDisk(d);
 }
 
 OpStats SimFarm::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 std::size_t SimFarm::InFlight() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return in_flight_;
 }
 
 Value SimFarm::Peek(const RegisterId& r) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return store_.Get(r);
 }
 
 void SimFarm::ServiceLoop(std::stop_token stop) {
-  std::unique_lock lock(mu_);
+  mu_.Lock();
   while (!stop.stop_requested()) {
     if (queue_.empty()) {
-      cv_.wait(lock, [&] { return stop.stop_requested() || !queue_.empty(); });
+      cv_.Wait(mu_, [&] {
+        mu_.AssertHeld();  // CondVar::Wait runs predicates under the lock
+        return stop.stop_requested() || !queue_.empty();
+      });
       continue;
     }
     const auto now = std::chrono::steady_clock::now();
@@ -106,7 +109,8 @@ void SimFarm::ServiceLoop(std::stop_token stop) {
     // Enqueue() calls may reallocate the queue's storage underneath it.
     const auto deadline = queue_.top().due;
     if (deadline > now) {
-      cv_.wait_until(lock, deadline, [&] {
+      cv_.WaitUntil(mu_, deadline, [&] {
+        mu_.AssertHeld();
         return stop.stop_requested() ||
                (!queue_.empty() &&
                 queue_.top().due <= std::chrono::steady_clock::now());
@@ -131,14 +135,15 @@ void SimFarm::ServiceLoop(std::stop_token stop) {
     }
     // Run the handler without holding the lock: it may issue further
     // base-register operations (e.g. the reader write-back in Section 6).
-    lock.unlock();
+    mu_.Unlock();
     if (ev.is_write) {
       if (ev.on_write) ev.on_write();
     } else {
       if (ev.on_read) ev.on_read(std::move(read_result));
     }
-    lock.lock();
+    mu_.Lock();
   }
+  mu_.Unlock();
 }
 
 }  // namespace nadreg::sim

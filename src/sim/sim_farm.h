@@ -14,14 +14,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "common/base_register.h"
+#include "common/sync.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "sim/register_store.h"
@@ -84,15 +83,16 @@ class SimFarm : public BaseRegisterClient {
   void Enqueue(Event ev);
   void ServiceLoop(std::stop_token stop);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  RegisterStore store_;
-  Rng rng_;
-  Options opts_;
-  std::uint64_t next_seq_ = 0;
-  OpStats stats_;
-  std::size_t in_flight_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_
+      GUARDED_BY(mu_);
+  RegisterStore store_ GUARDED_BY(mu_);
+  Rng rng_ GUARDED_BY(mu_);
+  Options opts_;  // immutable after construction
+  std::uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  OpStats stats_ GUARDED_BY(mu_);
+  std::size_t in_flight_ GUARDED_BY(mu_) = 0;
   std::jthread service_;  // last member: joins before the rest is destroyed
 };
 

@@ -1,0 +1,21 @@
+// lint-path: src/harness/bad_ignored_status.cc
+// Known-bad fixture: must-check results dropped on the floor. The linter
+// flags bare-statement calls to Decode* / Encode*Checked / ParseEndpoint;
+// assigning the result or casting to (void) with a reason is clean.
+#include "nad/protocol.h"
+
+namespace nadreg::nad {
+
+inline void BadCaller(const Message& m, std::string_view wire) {
+  DecodeMessage(wire);          // lint-expect(ignored-status)
+  EncodeMessageChecked(m);      // lint-expect(ignored-status)
+  ParseEndpoint("host:1234");   // lint-expect(ignored-status)
+
+  // Consumed results are fine:
+  auto decoded = DecodeMessage(wire);
+  if (!decoded.ok()) return;
+  // Explicit discard with a reason is fine:
+  (void)EncodeMessageChecked(m);  // size probed elsewhere
+}
+
+}  // namespace nadreg::nad

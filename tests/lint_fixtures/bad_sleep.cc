@@ -1,0 +1,16 @@
+// lint-path: src/sim/bad_sleep.cc
+// Known-bad fixture: wall-clock time inside the simulation layer. The
+// farms schedule by logical delivery order; real sleeps make schedules
+// irreproducible, and system_clock makes timeouts jump with NTP.
+#include <chrono>
+#include <thread>
+
+namespace nadreg::sim {
+
+inline void BadSettle() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // lint-expect(no-sleep)
+  auto now = std::chrono::system_clock::now();  // lint-expect(no-sleep)
+  (void)now;
+}
+
+}  // namespace nadreg::sim

@@ -4,12 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "apps/fast_mutex.h"
 #include "apps/shared_log.h"
 #include "core/config.h"

@@ -1,11 +1,11 @@
 // Tests for Disk Paxos on the NAD substrate: codec, single-proposer
 // decisions, agreement & validity under concurrent proposers, disk
 // crashes, and runs over random schedules.
+#include "common/sync.h"
 #include "apps/disk_paxos.h"
 
 #include <gtest/gtest.h>
 
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -112,7 +112,7 @@ TEST_P(DiskPaxosRace, ConcurrentProposersAgree) {
   SimFarm farm(o);
 
   constexpr int kProposers = 4;
-  std::mutex mu;
+  Mutex mu;
   std::vector<std::string> decisions;
   {
     std::vector<std::jthread> threads;
@@ -121,7 +121,7 @@ TEST_P(DiskPaxosRace, ConcurrentProposersAgree) {
         DiskPaxos paxos(farm, cfg, 1, kProposers, p);
         Rng rng(GetParam() * 100 + p);
         std::string v = paxos.Propose("value-" + std::to_string(p), rng);
-        std::lock_guard lock(mu);
+        MutexLock lock(mu);
         decisions.push_back(std::move(v));
       });
     }
@@ -143,7 +143,7 @@ TEST(DiskPaxos, AgreementUnderCrashAndConcurrency) {
   o.max_delay_us = 50;
   SimFarm farm(o);
 
-  std::mutex mu;
+  Mutex mu;
   std::vector<std::string> decisions;
   {
     std::vector<std::jthread> threads;
@@ -152,7 +152,7 @@ TEST(DiskPaxos, AgreementUnderCrashAndConcurrency) {
         DiskPaxos paxos(farm, cfg, 1, 3, p);
         Rng rng(500 + p);
         std::string v = paxos.Propose("v" + std::to_string(p), rng);
-        std::lock_guard lock(mu);
+        MutexLock lock(mu);
         decisions.push_back(std::move(v));
       });
     }

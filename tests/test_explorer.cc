@@ -166,7 +166,8 @@ ScheduleExplorer::RunFactory OneShotScenario() {
     scenario->Spawn([&farm, rec, cfg, regs] {
       core::OneShotRegister writer(farm, cfg, regs, 1);
       auto h = rec->BeginWrite(1, "v");
-      writer.Write("v");
+      // The recorded history, not the status, is what the checker judges.
+      (void)writer.Write("v");
       rec->EndWrite(h);
     });
     for (ProcessId pid : {2u, 3u}) {

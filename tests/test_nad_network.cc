@@ -6,10 +6,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
+#include "common/sync.h"
 #include "core/config.h"
 #include "core/mwmr_atomic.h"
 #include "core/oneshot.h"
@@ -56,18 +55,18 @@ class Waiter {
   void Done() {
     // Notify under the lock: the waiter may destroy this object as soon
     // as its predicate holds.
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     ++n_;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   bool WaitFor(int target, std::chrono::milliseconds d = 5000ms) {
-    std::unique_lock lock(mu_);
-    return cv_.wait_for(lock, d, [&] { return n_ >= target; });
+    MutexLock lock(mu_);
+    return cv_.WaitFor(mu_, d, [&] { return n_ >= target; });
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
+  Mutex mu_;
+  CondVar cv_;
   int n_ = 0;
 };
 
@@ -212,23 +211,23 @@ TEST(NadNetwork, IssueIsNonBlockingWhenPeerStopsDraining) {
   // now; issue only enqueues.
   auto listener = Listener::Bind(0);
   ASSERT_TRUE(listener.ok());
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   Socket peer;  // held open and never read: the stalled server
   bool accepted = false;
   std::jthread acceptor([&] {
     auto s = listener->Accept();
     if (!s.ok()) return;
-    std::lock_guard lock(mu);
+    MutexLock lock(mu);
     peer = std::move(*s);
     accepted = true;
-    cv.notify_all();
+    cv.NotifyAll();
   });
   auto client = NadClient::Connect({{0, Endpoint{"127.0.0.1", listener->port()}}});
   ASSERT_TRUE(client.ok());
   {
-    std::unique_lock lock(mu);
-    ASSERT_TRUE(cv.wait_for(lock, 5000ms, [&] { return accepted; }));
+    MutexLock lock(mu);
+    ASSERT_TRUE(cv.WaitFor(mu, 5000ms, [&] { return accepted; }));
   }
   // 64 MiB of writes — far beyond any socket buffer. Every issue call
   // must return promptly even though nothing is being drained.

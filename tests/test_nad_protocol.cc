@@ -210,7 +210,9 @@ TEST(Protocol, BatchFuzzDecodeIsTotalAndCanonical) {
       payload[rng.Below(payload.size())] = static_cast<char>(rng.Below(256));
     }
     auto m = DecodeMessage(payload);
-    if (m.ok()) EXPECT_EQ(EncodeMessage(*m), payload);
+    if (m.ok()) {
+      EXPECT_EQ(EncodeMessage(*m), payload);
+    }
   }
 }
 

@@ -6,10 +6,9 @@
 
 #include <atomic>
 #include <cstring>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
+#include "common/sync.h"
 #include "nad/client.h"
 #include "nad/protocol.h"
 #include "nad/server.h"
@@ -99,17 +98,17 @@ TEST(NadRobustness, OversizedValueRejectedClientSide) {
       {{0, NadClient::Endpoint{"127.0.0.1", disk.server->port()}}});
   ASSERT_TRUE(client.ok());
   // Slightly under the frame cap: succeeds.
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   bool ok_done = false;
   (*client)->IssueWrite(1, RegisterId{0, 0}, std::string(1 << 19, 'x'), [&] {
-    std::lock_guard lock(mu);
+    MutexLock lock(mu);
     ok_done = true;
-    cv.notify_all();
+    cv.NotifyAll();
   });
   {
-    std::unique_lock lock(mu);
-    ASSERT_TRUE(cv.wait_for(lock, 5000ms, [&] { return ok_done; }));
+    MutexLock lock(mu);
+    ASSERT_TRUE(cv.WaitFor(mu, 5000ms, [&] { return ok_done; }));
   }
   // Over the cap: rejected on the encode path before touching the wire —
   // the handler never runs, nothing is left in flight, and the same
@@ -120,13 +119,13 @@ TEST(NadRobustness, OversizedValueRejectedClientSide) {
   EXPECT_EQ((*client)->InFlight(), 0u);
   bool after_done = false;
   (*client)->IssueWrite(1, RegisterId{0, 2}, "still-alive", [&] {
-    std::lock_guard lock(mu);
+    MutexLock lock(mu);
     after_done = true;
-    cv.notify_all();
+    cv.NotifyAll();
   });
   {
-    std::unique_lock lock(mu);
-    ASSERT_TRUE(cv.wait_for(lock, 5000ms, [&] { return after_done; }));
+    MutexLock lock(mu);
+    ASSERT_TRUE(cv.WaitFor(mu, 5000ms, [&] { return after_done; }));
   }
   EXPECT_FALSE(oversized_ran.load());
 }
@@ -145,8 +144,8 @@ TEST(NadRobustness, ManyConcurrentClientsNoCrossTalk) {
         ++failures;
         return;
       }
-      std::mutex mu;
-      std::condition_variable cv;
+      Mutex mu;
+      CondVar cv;
       int done = 0;
       for (int i = 0; i < kOps; ++i) {
         // Each client owns its own block: values must never bleed across.
@@ -154,13 +153,13 @@ TEST(NadRobustness, ManyConcurrentClientsNoCrossTalk) {
                               RegisterId{0, static_cast<BlockId>(c)},
                               "c" + std::to_string(c) + "." + std::to_string(i),
                               [&] {
-                                std::lock_guard lock(mu);
+                                MutexLock lock(mu);
                                 ++done;
-                                cv.notify_all();
+                                cv.NotifyAll();
                               });
       }
-      std::unique_lock lock(mu);
-      if (!cv.wait_for(lock, 10000ms, [&] { return done == kOps; })) {
+      MutexLock lock(mu);
+      if (!cv.WaitFor(mu, 10000ms, [&] { return done == kOps; })) {
         ++failures;
         return;
       }
@@ -169,12 +168,12 @@ TEST(NadRobustness, ManyConcurrentClientsNoCrossTalk) {
       (*client)->IssueRead(static_cast<ProcessId>(c),
                            RegisterId{0, static_cast<BlockId>(c)},
                            [&](Value v) {
-                             std::lock_guard lock2(mu);
+                             MutexLock lock2(mu);
                              got = std::move(v);
                              read_done = true;
-                             cv.notify_all();
+                             cv.NotifyAll();
                            });
-      if (!cv.wait_for(lock, 10000ms, [&] { return read_done; })) {
+      if (!cv.WaitFor(mu, 10000ms, [&] { return read_done; })) {
         ++failures;
         return;
       }

@@ -2,12 +2,12 @@
 // Validity, Total Ordering, Integrity — under sequential use, concurrent
 // use, random schedules and disk crashes; plus announce/collect mechanics
 // and the adoption path.
+#include "common/sync.h"
 #include "core/name_snapshot.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
@@ -171,14 +171,14 @@ TEST(NameSnapshot, AdoptionPathFiresUnderInterference) {
     o.max_delay_us = 10;
     SimFarm farm(o);
     std::vector<std::jthread> threads;
-    std::mutex mu;
+    Mutex mu;
     for (ProcessId p = 1; p <= 6; ++p) {
       threads.emplace_back([&, p] {
         NameSnapshot snap(farm, cfg, 1, p);
         for (std::uint64_t i = 0; i < 4; ++i) {
           snap.Snapshot(Name{p, i});
         }
-        std::lock_guard lock(mu);
+        MutexLock lock(mu);
         adoptions += snap.stats().adoptions;
       });
     }
@@ -208,7 +208,7 @@ TEST_P(NameSnapshotSweep, PropertiesHoldUnderConcurrency) {
   SimFarm farm(o);
   if (param.crash_disk) farm.CrashDisk(2);
 
-  std::mutex mu;
+  Mutex mu;
   std::vector<std::pair<Name, std::vector<Name>>> results;
   // Integrity bookkeeping: logical start/stop order via a shared counter.
   std::atomic<std::uint64_t> clock{0};
@@ -224,7 +224,7 @@ TEST_P(NameSnapshotSweep, PropertiesHoldUnderConcurrency) {
           const std::uint64_t started = ++clock;
           auto s = snap.Snapshot(n);
           const std::uint64_t ended = ++clock;
-          std::lock_guard lock(mu);
+          MutexLock lock(mu);
           results.emplace_back(n, std::move(s));
           spans.emplace_back(n, started, ended);
         }

@@ -2,12 +2,11 @@
 // torn-tail tolerance, and full restart recovery over the wire.
 #include <gtest/gtest.h>
 
-#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 
+#include "common/sync.h"
 #include "nad/client.h"
 #include "nad/persistence.h"
 #include "nad/server.h"
@@ -102,17 +101,17 @@ TEST(Persistence, CheckpointThenJournalReplayOrder) {
 // --- End-to-end through the daemon -----------------------------------------
 
 struct SyncPoint {
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   int n = 0;
   void Done() {
-    std::lock_guard lock(mu);  // notify under the lock: destruction-safe
+    MutexLock lock(mu);  // notify under the lock: destruction-safe
     ++n;
-    cv.notify_all();
+    cv.NotifyAll();
   }
   void Wait(int target) {
-    std::unique_lock lock(mu);
-    cv.wait(lock, [&] { return n >= target; });
+    MutexLock lock(mu);
+    cv.Wait(mu, [&] { return n >= target; });
   }
 };
 

@@ -2,13 +2,12 @@
 // Disk Paxos (the Chockler–Malkhi related-work baseline): RMW atomicity,
 // ranked-register commit/abort semantics, crash tolerance, consensus
 // agreement under concurrency, and uniformity (no process count anywhere).
+#include "common/sync.h"
 #include "apps/ranked_register.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -56,8 +55,8 @@ TEST(ActiveDiskFarm, RmwIsAtomicIncrement) {
 TEST(ActiveDiskFarm, RmwReturnsPreviousValue) {
   ActiveDiskFarm farm(Fast());
   RegisterId r{0, 0};
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   std::string prev = "unset";
   bool done = false;
   farm.IssueWrite(1, r, "old", nullptr);
@@ -66,13 +65,13 @@ TEST(ActiveDiskFarm, RmwReturnsPreviousValue) {
   farm.IssueRmw(
       1, r, [](const Value&) { return std::string("new"); },
       [&](Value p) {
-        std::lock_guard lock(mu);
+        MutexLock lock(mu);
         prev = std::move(p);
         done = true;
-        cv.notify_all();
+        cv.NotifyAll();
       });
-  std::unique_lock lock(mu);
-  cv.wait(lock, [&] { return done; });
+  MutexLock lock(mu);
+  cv.Wait(mu, [&] { return done; });
   EXPECT_EQ(prev, "old");
   EXPECT_EQ(farm.Peek(r), "new");
 }
@@ -202,7 +201,7 @@ TEST_P(ActiveDiskPaxosRace, ConcurrentProposersAgree) {
   ActiveDiskFarm farm(Fast(GetParam()));
   FarmConfig cfg{1};
   constexpr int kProposers = 5;
-  std::mutex mu;
+  Mutex mu;
   std::vector<std::string> decisions;
   {
     std::vector<std::jthread> threads;
@@ -213,7 +212,7 @@ TEST_P(ActiveDiskPaxosRace, ConcurrentProposersAgree) {
                               static_cast<ProcessId>(1000 + 37 * p));
         Rng rng(GetParam() * 10 + p);
         std::string v = paxos.Propose("v" + std::to_string(p), rng);
-        std::lock_guard lock(mu);
+        MutexLock lock(mu);
         decisions.push_back(std::move(v));
       });
     }

@@ -1,13 +1,12 @@
 // Unit tests for the randomized threaded disk-farm simulator: delivery,
 // crash (unresponsive) semantics, lazy register materialization, stats.
+#include "common/sync.h"
 #include "sim/sim_farm.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,22 +30,22 @@ class Counter {
   void Bump() {
     // Notify under the lock: the waiter may destroy this object as soon
     // as its predicate holds.
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     ++n_;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   bool WaitFor(int target, std::chrono::milliseconds d = 2000ms) {
-    std::unique_lock lock(mu_);
-    return cv_.wait_for(lock, d, [&] { return n_ >= target; });
+    MutexLock lock(mu_);
+    return cv_.WaitFor(mu_, d, [&] { return n_ >= target; });
   }
   int value() {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return n_;
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
+  Mutex mu_;
+  CondVar cv_;
   int n_ = 0;
 };
 
