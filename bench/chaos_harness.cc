@@ -1,0 +1,333 @@
+// chaos_harness — the fault-injection campaign runner.
+//
+// Replays declarative fault plans (src/faults) against the paper's
+// register emulations and Disk Paxos, on the simulated farm and on a real
+// TCP disk cluster, and has the consistency checkers certify every
+// surviving history:
+//
+//   1. tolerated-minority crashes: every emulation (regular, atomic and
+//      sequentially consistent; finite and infinite constructions) runs
+//      under generated plans that crash exactly t of 2t+1 disks plus
+//      transient delay faults — zero checker violations expected, no
+//      deadlines needed (the algorithms stay wait-free inside the budget).
+//   2. over-budget detection: a plan that crashes t+1 disks is flagged
+//      up-front (FaultPlan::CrashedDisks() vs t) and the run completes
+//      via per-op deadlines with counted timeouts instead of hanging —
+//      safety still certified on the surviving history.
+//   3. TCP chaos: disconnects, stalls, delays and frame drops against
+//      live daemons; the client's reconnect/retry/circuit-breaker path
+//      (nad/client.h) must recover with zero checker violations and at
+//      least one observed reconnect.
+//   4. Disk Paxos: concurrent proposers reach agreement while a disk
+//      crashes mid-ballot.
+//
+// Results land in BENCH_faults.json together with the fault-path metric
+// series (faults.injected, nad.client.retries / reconnects / expired /
+// breaker_open, core.skipped_suspected).
+//
+// Flags: --quick (fewer seeds/ops; the CI smoke configuration),
+//        --sim-only (skip the TCP scenarios).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/disk_paxos.h"
+#include "common/rng.h"
+#include "core/config.h"
+#include "faults/fault_plan.h"
+#include "faults/injector.h"
+#include "harness/workload.h"
+#include "obs/metrics.h"
+#include "sim/sim_farm.h"
+
+namespace {
+
+using namespace std::chrono_literals;
+using nadreg::DiskId;
+using nadreg::Rng;
+using nadreg::faults::FaultEvent;
+using nadreg::faults::FaultInjector;
+using nadreg::faults::FaultKind;
+using nadreg::faults::FaultPlan;
+using nadreg::harness::Algorithm;
+using nadreg::harness::RunWorkload;
+using nadreg::harness::WorkloadOptions;
+
+struct ScenarioResult {
+  std::string name;
+  bool pass = false;
+  std::string detail;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t timeouts = 0;
+};
+
+std::uint64_t GlobalCounter(const char* name) {
+  return nadreg::obs::Registry::Global().GetCounter(name).Get();
+}
+
+/// Crash exactly t disks at random times, and make one surviving disk
+/// transiently slow (delay + heal) — the paper's adversary plus a
+/// recoverable transport fault, all inside the tolerated budget.
+FaultPlan ToleratedPlan(Rng& rng, std::uint32_t t) {
+  // Short horizon: sim runs complete in well under a millisecond, so a
+  // longer schedule would mostly fire after the workload already ended.
+  const std::uint32_t disks = 2 * t + 1;
+  FaultPlan plan = FaultPlan::GenerateCrashPlan(rng, disks, t, 400us);
+  const std::set<DiskId> crashed = plan.CrashedDisks();
+  DiskId slow = 0;
+  while (crashed.count(slow) != 0) ++slow;
+  FaultEvent delay;
+  delay.at = 100us;
+  delay.kind = FaultKind::kDelay;
+  delay.disks = {slow};
+  delay.min_delay_us = 50;
+  delay.max_delay_us = 200;
+  plan.Add(delay);
+  FaultEvent heal;
+  heal.at = 600us;
+  heal.kind = FaultKind::kHeal;
+  heal.disks = {slow};
+  plan.Add(heal);
+  return plan;
+}
+
+ScenarioResult RunToleratedScenario(Algorithm alg, std::uint32_t t,
+                                    int seeds, int ops) {
+  ScenarioResult r;
+  r.name = "sim/tolerated/" + nadreg::harness::AlgorithmName(alg) + "/t" +
+           std::to_string(t);
+  r.pass = true;
+  for (int s = 1; s <= seeds; ++s) {
+    Rng rng(0xc4a05ULL * static_cast<std::uint64_t>(s) + t);
+    FaultPlan plan = ToleratedPlan(rng, t);
+    WorkloadOptions w;
+    w.algorithm = alg;
+    w.seed = 7000 + static_cast<std::uint64_t>(s);
+    w.t = t;
+    w.writers = 2;
+    w.readers = 2;
+    w.ops_per_process = ops;
+    w.fault_plan_text = plan.ToString();
+    auto res = RunWorkload(w);
+    r.faults_injected += res.faults_injected;
+    r.timeouts += res.timeouts;
+    if (!res.ok()) {
+      r.pass = false;
+      r.detail = "seed " + std::to_string(s) + ": " +
+                 (res.fault_plan_status.ok() ? res.check.explanation
+                                             : res.fault_plan_status.ToString());
+      return r;
+    }
+  }
+  r.detail = std::to_string(seeds) + " seeds, histories certified";
+  return r;
+}
+
+/// Crashes t+1 of 2t+1 disks at time zero: more than the paper's budget,
+/// so quorum phases can legitimately never finish. The harness must (a)
+/// flag the plan as over-budget before running it and (b) complete via
+/// per-op deadlines with every op counted as timed out — never hang.
+ScenarioResult RunOverBudgetScenario(std::uint32_t t, int ops) {
+  ScenarioResult r;
+  r.name = "sim/over-budget/t" + std::to_string(t);
+  std::string text;
+  for (std::uint32_t d = 0; d <= t; ++d) {
+    text += "at 0us crash-disk " + std::to_string(d) + "\n";
+  }
+  auto plan = FaultPlan::Parse(text);
+  if (!plan.ok()) {
+    r.detail = "plan parse failed: " + plan.status().ToString();
+    return r;
+  }
+  const std::size_t budget = plan->CrashedDisks().size();
+  const bool flagged = budget > t;
+  WorkloadOptions w;
+  w.algorithm = Algorithm::kSwsrAtomic;
+  w.seed = 99;
+  w.t = t;
+  w.ops_per_process = ops;
+  w.fault_plan_text = text;
+  w.op_deadline = 150ms;
+  auto res = RunWorkload(w);
+  r.faults_injected = res.faults_injected;
+  r.timeouts = res.timeouts;
+  // Reaching this line at all is the liveness half of the test; the
+  // checker on whatever completed is the safety half.
+  r.pass = flagged && res.check.ok && res.timeouts > 0;
+  r.detail = "crashes " + std::to_string(budget) + " > t=" +
+             std::to_string(t) + (flagged ? " (flagged)" : " (NOT flagged)") +
+             ", " + std::to_string(res.timeouts) + " ops timed out, run returned";
+  return r;
+}
+
+/// Live daemons under recoverable transport chaos: the client must ride
+/// out disconnects (reconnect + retransmit), stalls and frame drops.
+ScenarioResult RunTcpChaosScenario(Algorithm alg, int ops) {
+  ScenarioResult r;
+  r.name = "tcp/chaos/" + nadreg::harness::AlgorithmName(alg);
+  const std::uint64_t reconnects_before = GlobalCounter("nad.client.reconnects");
+  WorkloadOptions w;
+  w.algorithm = alg;
+  w.seed = 4242;
+  w.t = 1;
+  w.writers = 2;
+  w.readers = 2;
+  w.ops_per_process = ops;
+  w.over_tcp = true;
+  w.max_delay_us = 0;  // service delay comes from the plan, not Options
+  w.client_op_timeout = 500ms;
+  w.op_deadline = 5000ms;  // safety net: a stuck run fails, never hangs
+  // The delays pace the run so it outlasts the fault schedule (loopback
+  // RPCs alone would finish before the first disconnect fires).
+  w.fault_plan_text =
+      "at 0us delay 0 100us 300us\n"
+      "at 0us delay 1 100us 300us\n"
+      "at 0us delay 2 100us 300us\n"
+      "at 500us disconnect 0\n"
+      "at 2ms disconnect 1\n"
+      "at 4ms stall 2 3ms\n"
+      "at 6ms drop 0 300\n"
+      "at 10ms heal 0\n";
+  auto res = RunWorkload(w);
+  const std::uint64_t reconnects =
+      GlobalCounter("nad.client.reconnects") - reconnects_before;
+  r.faults_injected = res.faults_injected;
+  r.timeouts = res.timeouts;
+  r.pass = res.ok() && reconnects >= 1;
+  r.detail = std::to_string(reconnects) + " reconnects, " +
+             std::to_string(res.timeouts) + " timeouts" +
+             (res.ok() ? ", history certified" : ", FAILED: " +
+              (res.fault_plan_status.ok() ? res.check.explanation
+                                          : res.fault_plan_status.ToString()));
+  return r;
+}
+
+/// Disk Paxos: three concurrent proposers, one disk crashing mid-run.
+/// Consensus must still decide exactly one value.
+ScenarioResult RunDiskPaxosScenario() {
+  ScenarioResult r;
+  r.name = "sim/disk-paxos/t1";
+  nadreg::core::FarmConfig cfg{1};
+  nadreg::sim::SimFarm farm;
+  auto plan = FaultPlan::Parse("at 1ms crash-disk 1\n");
+  if (!plan.ok()) {
+    r.detail = "plan parse failed";
+    return r;
+  }
+  FaultInjector injector(std::move(*plan), farm);
+  injector.Start();
+  constexpr int kProposers = 3;
+  std::vector<std::string> chosen(kProposers);
+  {
+    std::vector<std::jthread> threads;
+    for (int p = 0; p < kProposers; ++p) {
+      threads.emplace_back([&, p] {
+        nadreg::apps::DiskPaxos paxos(farm, cfg, /*object=*/9, kProposers,
+                                      static_cast<std::uint32_t>(p));
+        Rng rng(0xbadaULL + static_cast<std::uint64_t>(p));
+        chosen[static_cast<std::size_t>(p)] =
+            paxos.Propose("value-" + std::to_string(p), rng);
+      });
+    }
+  }
+  injector.Stop();
+  r.faults_injected = injector.injected_count();
+  r.pass = !chosen[0].empty();
+  for (const std::string& c : chosen) {
+    if (c != chosen[0]) r.pass = false;
+  }
+  r.detail = r.pass ? "3 proposers agreed on " + chosen[0]
+                    : "proposers disagreed";
+  return r;
+}
+
+void WriteArtifact(const std::vector<ScenarioResult>& results) {
+  std::FILE* f = std::fopen("BENCH_faults.json", "w");
+  if (f == nullptr) return;
+  std::uint64_t injected = 0;
+  for (const ScenarioResult& r : results) injected += r.faults_injected;
+  std::fprintf(f, "{\n  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"pass\": %s, "
+                 "\"faults_injected\": %llu, \"timeouts\": %llu, "
+                 "\"detail\": \"%s\"}%s\n",
+                 r.name.c_str(), r.pass ? "true" : "false",
+                 static_cast<unsigned long long>(r.faults_injected),
+                 static_cast<unsigned long long>(r.timeouts),
+                 r.detail.c_str(), i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"faults_injected_total\": %llu,\n"
+               "  \"client_retries\": %llu,\n"
+               "  \"client_reconnects\": %llu,\n"
+               "  \"client_reconnect_failures\": %llu,\n"
+               "  \"client_expired\": %llu,\n"
+               "  \"client_breaker_open\": %llu,\n"
+               "  \"core_skipped_suspected\": %llu\n"
+               "}\n",
+               static_cast<unsigned long long>(injected),
+               static_cast<unsigned long long>(GlobalCounter("nad.client.retries")),
+               static_cast<unsigned long long>(GlobalCounter("nad.client.reconnects")),
+               static_cast<unsigned long long>(
+                   GlobalCounter("nad.client.reconnect_failures")),
+               static_cast<unsigned long long>(GlobalCounter("nad.client.expired")),
+               static_cast<unsigned long long>(
+                   GlobalCounter("nad.client.breaker_open")),
+               static_cast<unsigned long long>(
+                   GlobalCounter("core.skipped_suspected")));
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool sim_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--sim-only") == 0) sim_only = true;
+  }
+  const int seeds = quick ? 2 : 5;
+  const int ops = quick ? 4 : 8;
+
+  std::printf("CHAOS HARNESS — fault plans vs the paper's emulations%s\n\n",
+              quick ? " (quick)" : "");
+
+  std::vector<ScenarioResult> results;
+  const Algorithm algs[] = {
+      Algorithm::kSwsrRegular, Algorithm::kSwsrAtomic, Algorithm::kSwmrAtomic,
+      Algorithm::kMwsrSeqCst, Algorithm::kMwmrAtomic,
+  };
+  for (Algorithm a : algs) {
+    results.push_back(RunToleratedScenario(a, /*t=*/1, seeds, ops));
+    if (!quick) {
+      results.push_back(RunToleratedScenario(a, /*t=*/2, seeds, ops));
+    }
+  }
+  results.push_back(RunOverBudgetScenario(/*t=*/1, /*ops=*/2));
+  results.push_back(RunDiskPaxosScenario());
+  if (!sim_only) {
+    results.push_back(RunTcpChaosScenario(Algorithm::kSwmrAtomic,
+                                          quick ? 40 : 120));
+    results.push_back(RunTcpChaosScenario(Algorithm::kMwmrAtomic,
+                                          quick ? 25 : 60));
+  }
+
+  bool all_pass = true;
+  for (const ScenarioResult& r : results) {
+    std::printf("  [%s] %-40s %s\n", r.pass ? "PASS" : "FAIL", r.name.c_str(),
+                r.detail.c_str());
+    all_pass = all_pass && r.pass;
+  }
+  WriteArtifact(results);
+  std::printf("\n%s — %zu scenarios, artifact: BENCH_faults.json\n",
+              all_pass ? "ALL PASS" : "FAILURES", results.size());
+  return all_pass ? 0 : 1;
+}

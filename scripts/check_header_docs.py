@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Header documentation check: every public header in the enforced
+directories must carry a Doxygen file-level doc block.
+
+Rule: the first line of the header is exactly ``/// \\file`` and it is
+followed by at least MIN_PROSE_LINES further ``///`` lines of prose (the
+paper role / contract description). This is what the ``docs`` CMake target
+renders, and what keeps "where does this file live in the paper" answers
+one glance away.
+
+Enforced directories (the library's public surface): src/nad/ and
+src/core/. Other src/ headers are reported as warnings only, so the doc
+pass can grow without blocking CI.
+
+Exit status: 0 = clean, 1 = violations in enforced dirs, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+ENFORCED = ("src/nad/", "src/core/")
+MIN_PROSE_LINES = 2
+
+
+def check_header(path: Path, rel: str) -> str | None:
+    """Returns a violation message, or None if the header is documented."""
+    try:
+        lines = path.read_text(errors="replace").splitlines()
+    except OSError as e:
+        return f"unreadable: {e}"
+    if not lines:
+        return "empty file"
+    if lines[0].strip() != "/// \\file":
+        return "first line is not '/// \\file'"
+    prose = 0
+    for line in lines[1:]:
+        if not line.startswith("///"):
+            break
+        if line[3:].strip():
+            prose += 1
+    if prose < MIN_PROSE_LINES:
+        return (f"file-level doc block has {prose} prose line(s); "
+                f"need >= {MIN_PROSE_LINES}")
+    return None
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path,
+                    default=Path(__file__).resolve().parent.parent)
+    args = ap.parse_args()
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"check_header_docs: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+
+    failures = 0
+    warnings = 0
+    nchecked = 0
+    for path in sorted((root / "src").rglob("*.h")):
+        rel = path.relative_to(root).as_posix()
+        nchecked += 1
+        msg = check_header(path, rel)
+        if msg is None:
+            continue
+        if rel.startswith(ENFORCED):
+            print(f"{rel}: {msg}")
+            failures += 1
+        else:
+            print(f"{rel}: warning: {msg}", file=sys.stderr)
+            warnings += 1
+    print(f"check_header_docs: {nchecked} headers, {failures} violation(s), "
+          f"{warnings} warning(s)", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

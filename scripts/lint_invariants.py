@@ -8,10 +8,13 @@ Rules
                  Everything else must use nadreg::Mutex / MutexLock / CondVar
                  (common/sync.h) so Clang thread-safety analysis sees every
                  lock in the tree.
-  no-sleep       No sleep_for / sleep_until / system_clock inside src/sim/
-                 and src/core/: simulated time must come from the farm's
-                 logical clock (determinism), and algorithm code must use
-                 the monotonic steady_clock for timeouts.
+  no-sleep       No sleep_for / sleep_until / system_clock inside src/sim/,
+                 src/core/, src/faults/ and the client retry path
+                 (src/nad/retry.*, src/nad/client.*): simulated time must
+                 come from the farm's logical clock (determinism), and
+                 algorithm / backoff / injector code must use the monotonic
+                 steady_clock with interruptible CondVar waits — a raw
+                 sleep cannot be cancelled by shutdown.
   ignored-status Calls to Decode* / Encode*Checked / ParseEndpoint used as a
                  bare statement silently swallow a failure. Assign the
                  result or cast to (void) with a reason.
@@ -140,7 +143,13 @@ def check_file(virtual_path: str, lines: list[str], enumerators: list[str],
     del expect_markers
     p = virtual_path.replace("\\", "/")
     in_common = p.startswith("src/common/")
-    in_sim_or_core = p.startswith(("src/sim/", "src/core/"))
+    # The retry/backoff path may never raw-sleep: a sleeping thread cannot
+    # be interrupted by shutdown, while a CondVar deadline wait can.
+    in_no_sleep_scope = (
+        p.startswith(("src/sim/", "src/core/", "src/faults/"))
+        or re.fullmatch(r"src/nad/(?:retry|client)\.(?:h|cc|cpp|hpp)", p)
+        is not None
+    )
     in_nad = p.startswith("src/nad/")
     findings: list[Finding] = []
 
@@ -154,12 +163,13 @@ def check_file(virtual_path: str, lines: list[str], enumerators: list[str],
                     virtual_path, i + 1, "raw-mutex",
                     "raw std:: sync primitive; use nadreg::Mutex/MutexLock/"
                     "CondVar from common/sync.h"))
-        if in_sim_or_core and SLEEP_RE.search(code):
+        if in_no_sleep_scope and SLEEP_RE.search(code):
             if not allowed(lines, i, "no-sleep"):
                 findings.append(Finding(
                     virtual_path, i + 1, "no-sleep",
-                    "wall-clock sleep/clock in simulation or algorithm "
-                    "code; use the farm's logical time or steady_clock"))
+                    "wall-clock sleep/clock in simulation, algorithm or "
+                    "retry code; use the farm's logical time or "
+                    "steady_clock with interruptible CondVar waits"))
         if IGNORED_STATUS_RE.match(code):
             if not allowed(lines, i, "ignored-status"):
                 findings.append(Finding(

@@ -1,29 +1,30 @@
-// The Theorem 2 construction as a GENERIC attack: parameterized over any
-// candidate MWSR register implementation, not scripted against a specific
-// one (contrast adversary/schedules.h, which replays hand-built schedules).
-//
-// The attack implements the proof's run skeleton:
-//
-//   1. Cover every disk with a pending write: for each disk d, a fresh
-//      WRITER executes a WRITE while disk d is unresponsive (merely slow,
-//      as far as anyone can tell). A correct candidate — which must
-//      tolerate one crashed register — completes anyway, leaving its
-//      operations on d pending (the paper's possibly-no-pending /
-//      deceiving configurations). A candidate that instead blocks is
-//      reported as such: it is not a 1-crash-tolerant implementation,
-//      which is the other horn of the theorem's dichotomy.
-//   2. Solo WRITE(v*): completes with every disk responsive — nothing of
-//      it is pending; the single READER observes v*.
-//   3. Flush: the adversary delivers the covered pending writes, erasing
-//      v* from every base register.
-//   4. The READER reads again; the exact checker decides atomicity of the
-//      whole (crash-free, fully completed) history.
-//
-// Against every quorum-style candidate we know how to write — including
-// the classic uniform timestamp construction (read the maximum timestamp,
-// write max+1), which is correct over RELIABLE base registers — the
-// attack produces a certified non-atomic history, which is exactly what
-// Theorem 2 predicts must happen to every finite uniform candidate.
+/// \file
+/// The Theorem 2 construction as a GENERIC attack: parameterized over any
+/// candidate MWSR register implementation, not scripted against a specific
+/// one (contrast adversary/schedules.h, which replays hand-built schedules).
+///
+/// The attack implements the proof's run skeleton:
+///
+///   1. Cover every disk with a pending write: for each disk d, a fresh
+///      WRITER executes a WRITE while disk d is unresponsive (merely slow,
+///      as far as anyone can tell). A correct candidate — which must
+///      tolerate one crashed register — completes anyway, leaving its
+///      operations on d pending (the paper's possibly-no-pending /
+///      deceiving configurations). A candidate that instead blocks is
+///      reported as such: it is not a 1-crash-tolerant implementation,
+///      which is the other horn of the theorem's dichotomy.
+///   2. Solo WRITE(v*): completes with every disk responsive — nothing of
+///      it is pending; the single READER observes v*.
+///   3. Flush: the adversary delivers the covered pending writes, erasing
+///      v* from every base register.
+///   4. The READER reads again; the exact checker decides atomicity of the
+///      whole (crash-free, fully completed) history.
+///
+/// Against every quorum-style candidate we know how to write — including
+/// the classic uniform timestamp construction (read the maximum timestamp,
+/// write max+1), which is correct over RELIABLE base registers — the
+/// attack produces a certified non-atomic history, which is exactly what
+/// Theorem 2 predicts must happen to every finite uniform candidate.
 #pragma once
 
 #include <functional>

@@ -1,42 +1,43 @@
-// Executable impossibility-proof schedules (Theorems 1–3).
-//
-// An impossibility theorem cannot be "run", but its proof is a schedule
-// construction: an adversary that steers delivery order, covers registers,
-// leaves writes pending after completed WRITEs, and flushes them later.
-// This module executes those schedules against the *natural uniform
-// candidate algorithms* (the ones the paper's positive results are built
-// from, used beyond their guaranteed table cell) and produces concrete
-// histories whose violations are certified by the exact checkers.
-//
-// Each schedule returns the recorded history, the atomicity and
-// sequential-consistency verdicts, and a step-by-step narrative that maps
-// the run onto the proof it instantiates.
-//
-//   Theorem 1 (Table 1, SWMR = No; wait-free atomic, processes may crash):
-//     a torn WRITE sits on a minority; wait-free reader A must return the
-//     new value, reader B steered to stale disks then returns the old one
-//     — the history is not linearizable. A write-back variant of the
-//     candidate is also broken, by flushing an old reader write-back over
-//     newer state (pending-write resurrection).
-//
-//   Theorem 2 (Table 2, MWSR = No; atomic, reliable processes):
-//     the proof's endgame. Three WRITERs complete, each leaving one
-//     pending base write, until every base register is covered by a
-//     pending write (the "deceiving configuration"); a solo WRITE then
-//     completes on every register; flushing the pending writes erases all
-//     its traces, and the single reader — having already returned the solo
-//     value — returns an older one. Not atomic; still sequentially
-//     consistent (consistent with Fig. 2's actual guarantee).
-//
-//   Theorem 3 (Table 3, SWMR = No; wait-free sequentially consistent):
-//     the Section 5.1 infinite-execution liveness requirement. A torn
-//     WRITE is observed once by reader A; reader B's quorum is forever
-//     steered to the stale majority. Every finite prefix is sequentially
-//     consistent (the checker agrees), but in any serialization of the
-//     infinite run the WRITE occupies a finite position and all but
-//     finitely many of B's READs must follow it — yet B returns the old
-//     value unboundedly often. The schedule reports the growing stale-read
-//     count as the liveness-violation witness.
+/// \file
+/// Executable impossibility-proof schedules (Theorems 1–3).
+///
+/// An impossibility theorem cannot be "run", but its proof is a schedule
+/// construction: an adversary that steers delivery order, covers registers,
+/// leaves writes pending after completed WRITEs, and flushes them later.
+/// This module executes those schedules against the *natural uniform
+/// candidate algorithms* (the ones the paper's positive results are built
+/// from, used beyond their guaranteed table cell) and produces concrete
+/// histories whose violations are certified by the exact checkers.
+///
+/// Each schedule returns the recorded history, the atomicity and
+/// sequential-consistency verdicts, and a step-by-step narrative that maps
+/// the run onto the proof it instantiates.
+///
+///   Theorem 1 (Table 1, SWMR = No; wait-free atomic, processes may crash):
+///     a torn WRITE sits on a minority; wait-free reader A must return the
+///     new value, reader B steered to stale disks then returns the old one
+///     — the history is not linearizable. A write-back variant of the
+///     candidate is also broken, by flushing an old reader write-back over
+///     newer state (pending-write resurrection).
+///
+///   Theorem 2 (Table 2, MWSR = No; atomic, reliable processes):
+///     the proof's endgame. Three WRITERs complete, each leaving one
+///     pending base write, until every base register is covered by a
+///     pending write (the "deceiving configuration"); a solo WRITE then
+///     completes on every register; flushing the pending writes erases all
+///     its traces, and the single reader — having already returned the solo
+///     value — returns an older one. Not atomic; still sequentially
+///     consistent (consistent with Fig. 2's actual guarantee).
+///
+///   Theorem 3 (Table 3, SWMR = No; wait-free sequentially consistent):
+///     the Section 5.1 infinite-execution liveness requirement. A torn
+///     WRITE is observed once by reader A; reader B's quorum is forever
+///     steered to the stale majority. Every finite prefix is sequentially
+///     consistent (the checker agrees), but in any serialization of the
+///     infinite run the WRITE occupies a finite position and all but
+///     finitely many of B's READs must follow it — yet B returns the old
+///     value unboundedly often. The schedule reports the growing stale-read
+///     count as the liveness-violation witness.
 #pragma once
 
 #include <string>

@@ -1,20 +1,21 @@
-// A fault-tolerant configuration store on network-attached disks — the
-// kind of coordination-free building block the paper's model supports.
-//
-// Semantics: a key/value map with totally ordered updates. Set(key, v)
-// appends an update record to the Section 6 shared log; Get/Snapshot
-// replay the log's global order (all readers agree on it, by the name
-// snapshot's Total Ordering). There is no leader, no consensus, and no
-// bound on the number of clients — writes are wait-free and survive up to
-// t full disk crashes.
-//
-// Last-writer-wins is well-defined BECAUSE the log order is global: two
-// concurrent Set("k", ...) land in the same order for every observer,
-// which a plain register emulation per key could not guarantee across
-// keys (and a uniform finite-register MWMR emulation cannot exist at all
-// — Theorem 2; this store is the "larger module" route the paper's
-// introduction suggests: implement a coarser object directly instead of
-// translating register by register).
+/// \file
+/// A fault-tolerant configuration store on network-attached disks — the
+/// kind of coordination-free building block the paper's model supports.
+///
+/// Semantics: a key/value map with totally ordered updates. Set(key, v)
+/// appends an update record to the Section 6 shared log; Get/Snapshot
+/// replay the log's global order (all readers agree on it, by the name
+/// snapshot's Total Ordering). There is no leader, no consensus, and no
+/// bound on the number of clients — writes are wait-free and survive up to
+/// t full disk crashes.
+///
+/// Last-writer-wins is well-defined BECAUSE the log order is global: two
+/// concurrent Set("k", ...) land in the same order for every observer,
+/// which a plain register emulation per key could not guarantee across
+/// keys (and a uniform finite-register MWMR emulation cannot exist at all
+/// — Theorem 2; this store is the "larger module" route the paper's
+/// introduction suggests: implement a coarser object directly instead of
+/// translating register by register).
 #pragma once
 
 #include <cstdint>

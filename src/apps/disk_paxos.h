@@ -1,27 +1,28 @@
-// Disk Paxos (Gafni & Lamport, DISC 2000) on the nadreg NAD substrate —
-// the system the paper cites as the motivation for network-attached-disk
-// shared memory (Section 1).
-//
-// Consensus for n known processes over 2t+1 disks, of which t may crash.
-// Each process p owns one block per disk holding its disk-paxos record
-// (mbal, bal, inp). A ballot proceeds in two phases; in each phase the
-// process writes its record to its block on every disk and reads the
-// blocks of all other processes from a majority of disks. Seeing a higher
-// mbal aborts the ballot.
-//
-// Unlike the registers library this application is *not* uniform — Disk
-// Paxos indexes blocks by process, so n must be known. That contrast is
-// the paper's point: Disk Paxos-style algorithms work on NADs, but a
-// uniform translation layer of MWMR registers cannot exist with finitely
-// many blocks (Theorem 2).
-//
-// Note the model difference the paper highlights (Related work): Disk
-// Paxos was specified for a synchronous fail-detect model; here it runs in
-// the asynchronous model where a non-responding disk is indistinguishable
-// from a slow one — safety is unaffected (it never depended on timing),
-// and liveness holds once a single proposer runs alone with a majority of
-// disks responsive, which is the same partial-synchrony assumption Paxos
-// always needs.
+/// \file
+/// Disk Paxos (Gafni & Lamport, DISC 2000) on the nadreg NAD substrate —
+/// the system the paper cites as the motivation for network-attached-disk
+/// shared memory (Section 1).
+///
+/// Consensus for n known processes over 2t+1 disks, of which t may crash.
+/// Each process p owns one block per disk holding its disk-paxos record
+/// (mbal, bal, inp). A ballot proceeds in two phases; in each phase the
+/// process writes its record to its block on every disk and reads the
+/// blocks of all other processes from a majority of disks. Seeing a higher
+/// mbal aborts the ballot.
+///
+/// Unlike the registers library this application is *not* uniform — Disk
+/// Paxos indexes blocks by process, so n must be known. That contrast is
+/// the paper's point: Disk Paxos-style algorithms work on NADs, but a
+/// uniform translation layer of MWMR registers cannot exist with finitely
+/// many blocks (Theorem 2).
+///
+/// Note the model difference the paper highlights (Related work): Disk
+/// Paxos was specified for a synchronous fail-detect model; here it runs in
+/// the asynchronous model where a non-responding disk is indistinguishable
+/// from a slow one — safety is unaffected (it never depended on timing),
+/// and liveness holds once a single proposer runs alone with a majority of
+/// disks responsive, which is the same partial-synchrony assumption Paxos
+/// always needs.
 #pragma once
 
 #include <cstdint>

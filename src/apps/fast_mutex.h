@@ -1,22 +1,23 @@
-// Lamport's fast mutual exclusion (TOCS 1987) translated to run on
-// network-attached disks — the translation the paper's introduction asks
-// about: "Can we uniformly implement such registers with NADs? Such an
-// implementation would allow an automatic translation of these MX
-// algorithms, and many others, to use NADs."
-//
-// The algorithm is verbatim Lamport: shared MWMR registers x and y and a
-// per-process flag array b[1..n], with the fast path taking O(1) register
-// operations in the absence of contention. Every shared register here is
-// an emulated register from core/ — the Fig. 3 wait-free atomic MWMR
-// construction over 2t+1 fail-prone disks — so the mutex tolerates t full
-// disk crashes with no change to Lamport's code.
-//
-// Note the boundary the paper draws: the *registers* are uniform (any
-// process may touch x and y), but Lamport's algorithm itself indexes b by
-// process, so the lock is instantiated for n known processes. A uniform
-// MX (Attiya–Bortnikov) would need the uniform MWMR registers whose
-// finite-register implementation Theorem 2 rules out — which is exactly
-// why this demo runs on the infinitely-many-registers construction.
+/// \file
+/// Lamport's fast mutual exclusion (TOCS 1987) translated to run on
+/// network-attached disks — the translation the paper's introduction asks
+/// about: "Can we uniformly implement such registers with NADs? Such an
+/// implementation would allow an automatic translation of these MX
+/// algorithms, and many others, to use NADs."
+///
+/// The algorithm is verbatim Lamport: shared MWMR registers x and y and a
+/// per-process flag array b[1..n], with the fast path taking O(1) register
+/// operations in the absence of contention. Every shared register here is
+/// an emulated register from core/ — the Fig. 3 wait-free atomic MWMR
+/// construction over 2t+1 fail-prone disks — so the mutex tolerates t full
+/// disk crashes with no change to Lamport's code.
+///
+/// Note the boundary the paper draws: the *registers* are uniform (any
+/// process may touch x and y), but Lamport's algorithm itself indexes b by
+/// process, so the lock is instantiated for n known processes. A uniform
+/// MX (Attiya–Bortnikov) would need the uniform MWMR registers whose
+/// finite-register implementation Theorem 2 rules out — which is exactly
+/// why this demo runs on the infinitely-many-registers construction.
 #pragma once
 
 #include <cstdint>

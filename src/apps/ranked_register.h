@@ -1,30 +1,31 @@
-// Ranked register and Active Disk Paxos (Chockler & Malkhi, PODC 2002) —
-// the related-work baseline the paper contrasts itself with ([22]).
-//
-// A *ranked register* stores a (rank, value) pair and offers:
-//   rr-read(k):     returns the current (write-rank, value) and ensures no
-//                   write with rank < k can commit afterwards;
-//   rr-write(k, v): either COMMITS (installing (k, v)) or ABORTS —
-//                   aborting only if some operation with rank > k was seen.
-//
-// It is implementable from fail-prone *read-modify-write* blocks (active
-// disks) but NOT from plain read/write blocks — which is precisely the
-// boundary this repository's main library lives on: the paper's plain
-// NADs support uniform registers only with infinitely many blocks,
-// whereas one RMW block per disk yields uniform consensus outright.
-//
-// Per-disk implementation (one RMW block holding rR, wR, v):
-//   rr-read(k):  RMW { rR := max(rR, k) }, return previous (wR, v).
-//   rr-write(k): RMW { if rR <= k and wR <= k then (wR, v) := (k, val) },
-//                committed iff the guard held.
-// Fault tolerance: 2t+1 disks; reads take the max write-rank over a
-// majority; writes commit iff every response in a majority committed.
-//
-// ActiveDiskPaxos is the classic round-based consensus over one ranked
-// register: read with your rank, adopt any value found, try to write it;
-// commit decides. It is UNIFORM — no process count anywhere — unlike
-// apps::DiskPaxos, whose blocks are indexed by process. The baseline
-// bench (bench/baseline_active_disk) measures exactly that contrast.
+/// \file
+/// Ranked register and Active Disk Paxos (Chockler & Malkhi, PODC 2002) —
+/// the related-work baseline the paper contrasts itself with ([22]).
+///
+/// A *ranked register* stores a (rank, value) pair and offers:
+///   rr-read(k):     returns the current (write-rank, value) and ensures no
+///                   write with rank < k can commit afterwards;
+///   rr-write(k, v): either COMMITS (installing (k, v)) or ABORTS —
+///                   aborting only if some operation with rank > k was seen.
+///
+/// It is implementable from fail-prone *read-modify-write* blocks (active
+/// disks) but NOT from plain read/write blocks — which is precisely the
+/// boundary this repository's main library lives on: the paper's plain
+/// NADs support uniform registers only with infinitely many blocks,
+/// whereas one RMW block per disk yields uniform consensus outright.
+///
+/// Per-disk implementation (one RMW block holding rR, wR, v):
+///   rr-read(k):  RMW { rR := max(rR, k) }, return previous (wR, v).
+///   rr-write(k): RMW { if rR <= k and wR <= k then (wR, v) := (k, val) },
+///                committed iff the guard held.
+/// Fault tolerance: 2t+1 disks; reads take the max write-rank over a
+/// majority; writes commit iff every response in a majority committed.
+///
+/// ActiveDiskPaxos is the classic round-based consensus over one ranked
+/// register: read with your rank, adopt any value found, try to write it;
+/// commit decides. It is UNIFORM — no process count anywhere — unlike
+/// apps::DiskPaxos, whose blocks are indexed by process. The baseline
+/// bench (bench/baseline_active_disk) measures exactly that contrast.
 #pragma once
 
 #include <cstdint>

@@ -1,17 +1,18 @@
-// A totally ordered, fault-tolerant shared log built directly from the
-// Section 6 primitives — a derived application showing the name snapshot
-// is useful beyond register emulation.
-//
-// Append(payload): take a name snapshot under a fresh name, then store
-// (payload, snapshot) in the one-shot register of that name — exactly a
-// Fig. 3 WRITE that is never overwritten logically.
-//
-// Read(): take a snapshot, fetch every member's record, and order entries
-// by (stored snapshot, name). Total Ordering makes stored snapshots an
-// inclusion chain, so all readers agree on one global order, and Validity/
-// Integrity give the usual session guarantees: an append that completed
-// before a read started is always visible to that read, and entries never
-// disappear or reorder between reads.
+/// \file
+/// A totally ordered, fault-tolerant shared log built directly from the
+/// Section 6 primitives — a derived application showing the name snapshot
+/// is useful beyond register emulation.
+///
+/// Append(payload): take a name snapshot under a fresh name, then store
+/// (payload, snapshot) in the one-shot register of that name — exactly a
+/// Fig. 3 WRITE that is never overwritten logically.
+///
+/// Read(): take a snapshot, fetch every member's record, and order entries
+/// by (stored snapshot, name). Total Ordering makes stored snapshots an
+/// inclusion chain, so all readers agree on one global order, and Validity/
+/// Integrity give the usual session guarantees: an append that completed
+/// before a read started is always visible to that read, and entries never
+/// disappear or reorder between reads.
 #pragma once
 
 #include <cstdint>

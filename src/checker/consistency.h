@@ -1,27 +1,28 @@
-// Register consistency checkers: atomicity (linearizability) and
-// sequential consistency, for single read/write register histories.
-//
-// Both are exhaustive searches with memoization — exact decision
-// procedures, not heuristics:
-//
-//  * CheckAtomic: Wing–Gong style. A linearization is built left to right;
-//    at each step any operation may be appended whose invocation precedes
-//    the earliest response among the remaining operations (the real-time
-//    constraint), and a READ may only be appended when it returns the
-//    current register value. States (remaining-set, register value) are
-//    memoized, which makes histories with bounded concurrency cheap.
-//
-//  * CheckSequentiallyConsistent: the same search without the real-time
-//    constraint — candidates are each process's next operation in program
-//    order. This decides serializability of the finite history; the
-//    paper's Section 5.1 *infinite-execution liveness* requirement is
-//    exercised separately by scenario tests (a finite checker cannot
-//    refute it).
-//
-// Histories may contain incomplete WRITEs (respond = +inf): they may
-// linearize anywhere after invocation or — if CheckAtomic's `allow_unused
-// pending writes` semantics apply — be omitted entirely, matching a write
-// that never took effect. Incomplete READs must be dropped before calling.
+/// \file
+/// Register consistency checkers: atomicity (linearizability) and
+/// sequential consistency, for single read/write register histories.
+///
+/// Both are exhaustive searches with memoization — exact decision
+/// procedures, not heuristics:
+///
+///  * CheckAtomic: Wing–Gong style. A linearization is built left to right;
+///    at each step any operation may be appended whose invocation precedes
+///    the earliest response among the remaining operations (the real-time
+///    constraint), and a READ may only be appended when it returns the
+///    current register value. States (remaining-set, register value) are
+///    memoized, which makes histories with bounded concurrency cheap.
+///
+///  * CheckSequentiallyConsistent: the same search without the real-time
+///    constraint — candidates are each process's next operation in program
+///    order. This decides serializability of the finite history; the
+///    paper's Section 5.1 *infinite-execution liveness* requirement is
+///    exercised separately by scenario tests (a finite checker cannot
+///    refute it).
+///
+/// Histories may contain incomplete WRITEs (respond = +inf): they may
+/// linearize anywhere after invocation or — if CheckAtomic's `allow_unused
+/// pending writes` semantics apply — be omitted entirely, matching a write
+/// that never took effect. Incomplete READs must be dropped before calling.
 #pragma once
 
 #include <string>

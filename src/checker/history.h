@@ -1,10 +1,11 @@
-// Concurrent-history recording for emulated registers.
-//
-// Tests and the verification harness wrap every emulated READ/WRITE in
-// Begin*/End* calls; the recorder assigns logical invocation/response
-// timestamps from a global atomic counter. The resulting history is what
-// the checkers analyse for atomicity (linearizability) or sequential
-// consistency.
+/// \file
+/// Concurrent-history recording for emulated registers.
+///
+/// Tests and the verification harness wrap every emulated READ/WRITE in
+/// Begin*/End* calls; the recorder assigns logical invocation/response
+/// timestamps from a global atomic counter. The resulting history is what
+/// the checkers analyse for atomicity (linearizability) or sequential
+/// consistency.
 #pragma once
 
 #include <atomic>

@@ -1,16 +1,17 @@
-// The asynchronous fail-prone base-register interface — the paper's model of
-// a network-attached disk (Section 2).
-//
-// Base registers are atomic MWMR registers that may crash (unresponsive
-// mode, Jayanti-Chandra-Toueg). Access is *nonblocking*: IssueRead /
-// IssueWrite return immediately and the completion handler runs later — or
-// never, if the register has crashed. An issued write whose handler has not
-// yet run is a *pending write* (Figure 1): it may take effect arbitrarily
-// far in the future, possibly after the issuing OPERATION completed.
-//
-// Linearization convention (Section 4.1 proof): a base-register operation
-// takes effect exactly when it responds. Backends apply writes at response
-// delivery time.
+/// \file
+/// The asynchronous fail-prone base-register interface — the paper's model of
+/// a network-attached disk (Section 2).
+///
+/// Base registers are atomic MWMR registers that may crash (unresponsive
+/// mode, Jayanti-Chandra-Toueg). Access is *nonblocking*: IssueRead /
+/// IssueWrite return immediately and the completion handler runs later — or
+/// never, if the register has crashed. An issued write whose handler has not
+/// yet run is a *pending write* (Figure 1): it may take effect arbitrarily
+/// far in the future, possibly after the issuing OPERATION completed.
+///
+/// Linearization convention (Section 4.1 proof): a base-register operation
+/// takes effect exactly when it responds. Backends apply writes at response
+/// delivery time.
 #pragma once
 
 #include <functional>
@@ -72,6 +73,21 @@ class BaseRegisterClient {
   /// Issues many independent writes at once; see IssueReads.
   virtual void IssueWrites(ProcessId p, std::vector<WriteOp> ops) {
     for (WriteOp& op : ops) IssueWrite(p, op.reg, std::move(op.value), std::move(op.done));
+  }
+
+  /// Transport-level crash suspicion. True when the backend has strong
+  /// evidence the disk is unreachable (e.g. the TCP client's per-disk
+  /// circuit breaker is open after repeated reconnect failures or
+  /// operation expiries). Advisory and revisable — suspicion may clear
+  /// when the disk heals. The quorum engine (core::RegisterSet) uses it
+  /// to fail fast: an operation issued to a suspected disk would never
+  /// complete anyway (crashed-register semantics), so it is not issued.
+  /// The default — and every simulated backend — suspects nothing: in the
+  /// paper's model a crashed register is indistinguishable from a slow
+  /// one, and only a real transport gets to cheat with connection errors.
+  virtual bool IsSuspectedCrashed(DiskId d) const {
+    (void)d;
+    return false;
   }
 };
 

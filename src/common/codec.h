@@ -1,9 +1,10 @@
-// Binary serialization for the records the emulation algorithms store in
-// disk blocks, and for the TCP NAD wire protocol.
-//
-// Encoding is little-endian fixed width with length-prefixed byte strings.
-// All decode paths are total: they return Expected<> and never read past
-// the end of the buffer (disk blocks and network bytes are untrusted).
+/// \file
+/// Binary serialization for the records the emulation algorithms store in
+/// disk blocks, and for the TCP NAD wire protocol.
+///
+/// Encoding is little-endian fixed width with length-prefixed byte strings.
+/// All decode paths are total: they return Expected<> and never read past
+/// the end of the buffer (disk blocks and network bytes are untrusted).
 #pragma once
 
 #include <cstdint>

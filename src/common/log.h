@@ -1,5 +1,6 @@
-// Minimal leveled logger. Thread safe, writes to stderr, off by default
-// above kWarn so tests stay quiet; harness binaries raise the level.
+/// \file
+/// Minimal leveled logger. Thread safe, writes to stderr, off by default
+/// above kWarn so tests stay quiet; harness binaries raise the level.
 #pragma once
 
 #include <atomic>

@@ -1,17 +1,18 @@
-// Per-operation options for the unified emulated-register API.
-//
-// Every emulation exposes one consistent shape:
-//
-//   Read(const OpOptions&)        -> Expected<...>   (kTimeout on deadline)
-//   Write(value, const OpOptions&) -> Status         (kTimeout on deadline)
-//
-// replacing the old Read()/ReadWithDeadline() split. The pre-existing
-// bare signatures remain as thin back-compat overloads.
-//
-// A deadline is a harness/deployment concern, not part of the paper's
-// model: an operation abandoned on timeout may still take effect later
-// via its pending base-register writes (Fig. 1 discipline) — exactly like
-// the old ReadWithDeadline.
+/// \file
+/// Per-operation options for the unified emulated-register API.
+///
+/// Every emulation exposes one consistent shape:
+///
+///   Read(const OpOptions&)        -> Expected<...>   (kTimeout on deadline)
+///   Write(value, const OpOptions&) -> Status         (kTimeout on deadline)
+///
+/// replacing the old Read()/ReadWithDeadline() split. The pre-existing
+/// bare signatures remain as thin back-compat overloads.
+///
+/// A deadline is a harness/deployment concern, not part of the paper's
+/// model: an operation abandoned on timeout may still take effect later
+/// via its pending base-register writes (Fig. 1 discipline) — exactly like
+/// the old ReadWithDeadline.
 #pragma once
 
 #include <chrono>

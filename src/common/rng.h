@@ -1,6 +1,7 @@
-// Seeded, reproducible random number generation (xoshiro256** + splitmix64).
-// Every randomized component in nadreg takes an explicit seed so that test
-// failures and harness runs are replayable.
+/// \file
+/// Seeded, reproducible random number generation (xoshiro256** + splitmix64).
+/// Every randomized component in nadreg takes an explicit seed so that test
+/// failures and harness runs are replayable.
 #pragma once
 
 #include <array>

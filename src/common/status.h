@@ -1,5 +1,6 @@
-// Lightweight status/error type for expected failures across module APIs.
-// Exceptions are reserved for programming errors (precondition violations).
+/// \file
+/// Lightweight status/error type for expected failures across module APIs.
+/// Exceptions are reserved for programming errors (precondition violations).
 #pragma once
 
 #include <cassert>

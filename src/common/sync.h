@@ -1,16 +1,17 @@
-// Annotated synchronization primitives: the only mutex/condvar types the
-// repo uses outside this directory (enforced by scripts/lint_invariants.py).
-//
-// nadreg::Mutex, MutexLock and CondVar are thin wrappers over the std
-// primitives carrying Clang Thread Safety Analysis attributes (see
-// common/thread_annotations.h), so the locking discipline — which fields
-// a mutex guards, which functions require it, the stripe→journal lock
-// order — is machine-checked by a Clang build with
-// -DNADREG_THREAD_SAFETY=ON instead of living in comments and TSan runs.
-//
-// The wrappers add no state and no behaviour: Mutex is exactly
-// std::mutex, MutexLock is exactly std::lock_guard, CondVar waits are
-// exactly std::condition_variable waits against the wrapped mutex.
+/// \file
+/// Annotated synchronization primitives: the only mutex/condvar types the
+/// repo uses outside this directory (enforced by scripts/lint_invariants.py).
+///
+/// nadreg::Mutex, MutexLock and CondVar are thin wrappers over the std
+/// primitives carrying Clang Thread Safety Analysis attributes (see
+/// common/thread_annotations.h), so the locking discipline — which fields
+/// a mutex guards, which functions require it, the stripe→journal lock
+/// order — is machine-checked by a Clang build with
+/// -DNADREG_THREAD_SAFETY=ON instead of living in comments and TSan runs.
+///
+/// The wrappers add no state and no behaviour: Mutex is exactly
+/// std::mutex, MutexLock is exactly std::lock_guard, CondVar waits are
+/// exactly std::condition_variable waits against the wrapped mutex.
 #pragma once
 
 #include <chrono>

@@ -1,17 +1,18 @@
-// Macros mapping to Clang's Thread Safety Analysis attributes.
-//
-// The repo's locking discipline (which field is guarded by which mutex,
-// which methods require or acquire which lock, and the lock hierarchy —
-// see DESIGN.md §12) is written down with these macros so that a Clang
-// build with -Wthread-safety turns a violated invariant into a compile
-// error. Under GCC (or Clang without the analysis) every macro expands
-// to nothing, so annotated code stays portable.
-//
-// Enable checking with:  cmake -DNADREG_THREAD_SAFETY=ON  (Clang only),
-// which adds -Wthread-safety -Werror. The annotated primitives these
-// macros decorate live in common/sync.h (nadreg::Mutex / MutexLock /
-// CondVar); raw std::mutex is banned outside src/common/ by
-// scripts/lint_invariants.py.
+/// \file
+/// Macros mapping to Clang's Thread Safety Analysis attributes.
+///
+/// The repo's locking discipline (which field is guarded by which mutex,
+/// which methods require or acquire which lock, and the lock hierarchy —
+/// see DESIGN.md §12) is written down with these macros so that a Clang
+/// build with -Wthread-safety turns a violated invariant into a compile
+/// error. Under GCC (or Clang without the analysis) every macro expands
+/// to nothing, so annotated code stays portable.
+///
+/// Enable checking with:  cmake -DNADREG_THREAD_SAFETY=ON  (Clang only),
+/// which adds -Wthread-safety -Werror. The annotated primitives these
+/// macros decorate live in common/sync.h (nadreg::Mutex / MutexLock /
+/// CondVar); raw std::mutex is banned outside src/common/ by
+/// scripts/lint_invariants.py.
 #pragma once
 
 #if defined(__clang__) && (!defined(SWIG))

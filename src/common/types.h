@@ -1,10 +1,11 @@
-// Core identifier and value types shared by every nadreg subsystem.
-//
-// The paper's model (Section 2): processes have unique ids but no bound on
-// how many exist (uniformity); network-attached disks are arrays of blocks;
-// each block is modelled as a fail-prone MWMR atomic register holding an
-// uninterpreted value. We model block contents as raw bytes, exactly like a
-// disk block; algorithm-level records are serialized via common/codec.h.
+/// \file
+/// Core identifier and value types shared by every nadreg subsystem.
+///
+/// The paper's model (Section 2): processes have unique ids but no bound on
+/// how many exist (uniformity); network-attached disks are arrays of blocks;
+/// each block is modelled as a fail-prone MWMR atomic register holding an
+/// uninterpreted value. We model block contents as raw bytes, exactly like a
+/// disk block; algorithm-level records are serialized via common/codec.h.
 #pragma once
 
 #include <compare>

@@ -1,21 +1,22 @@
-// Deterministic block-address layout on the disks — the "on-disk format"
-// of the emulated objects. Every process must compute identical addresses
-// without coordination (uniformity), so the layout is a pure function.
-//
-// A BlockId is a 64-bit LBA, carved as
-//
-//     [ object : 10 bits ][ component : 4 bits ][ key : 50 bits ]
-//
-// * object    — which emulated object instance (an application-chosen id);
-// * component — which part of the object's on-disk structure;
-// * key       — component-specific: a packed Name for per-name registers,
-//               or a heap-encoded trie node for the name-directory bits.
-//
-// Name packing: Name{pid, index} packs into 48 bits as (pid:32 | index:16).
-// This is an *addressing* discipline, not a model restriction: the model's
-// namespace is unbounded; a 64-bit LBA (like a real disk's) simply bounds
-// how many distinct names one deployment can address, exactly as a real
-// disk bounds how many blocks it can address.
+/// \file
+/// Deterministic block-address layout on the disks — the "on-disk format"
+/// of the emulated objects. Every process must compute identical addresses
+/// without coordination (uniformity), so the layout is a pure function.
+///
+/// A BlockId is a 64-bit LBA, carved as
+///
+///     [ object : 10 bits ][ component : 4 bits ][ key : 50 bits ]
+///
+/// * object    — which emulated object instance (an application-chosen id);
+/// * component — which part of the object's on-disk structure;
+/// * key       — component-specific: a packed Name for per-name registers,
+///               or a heap-encoded trie node for the name-directory bits.
+///
+/// Name packing: Name{pid, index} packs into 48 bits as (pid:32 | index:16).
+/// This is an *addressing* discipline, not a model restriction: the model's
+/// namespace is unbounded; a 64-bit LBA (like a real disk's) simply bounds
+/// how many distinct names one deployment can address, exactly as a real
+/// disk bounds how many blocks it can address.
 #pragma once
 
 #include <cassert>

@@ -1,5 +1,6 @@
-// Deployment configuration: how many disks, how many may be faulty, and
-// which base registers an emulated object occupies.
+/// \file
+/// Deployment configuration: how many disks, how many may be faulty, and
+/// which base registers an emulated object occupies.
 #pragma once
 
 #include <cassert>

@@ -1,19 +1,20 @@
-// StaticLayout: a name-based facade over the on-disk object address space.
-//
-// Every emulated object needs an `object` id that all processes agree on
-// without coordination (uniformity). In practice deployments agree on a
-// CONFIGURATION — an ordered list of object names — and derive ids from
-// it deterministically. StaticLayout captures that idiom: construct it
-// from the same list everywhere (order defines the ids), then create
-// endpoint objects by name:
-//
-//   core::StaticLayout layout(cfg, {"leader-lease", "members", "log"});
-//   auto reg  = layout.MwmrRegister(client, "members", my_pid);
-//   auto log  = ...
-//
-// The layout also hands out the base-register vectors for the
-// finite-register emulations (one block row per name), so application
-// code never touches raw block ids.
+/// \file
+/// StaticLayout: a name-based facade over the on-disk object address space.
+///
+/// Every emulated object needs an `object` id that all processes agree on
+/// without coordination (uniformity). In practice deployments agree on a
+/// CONFIGURATION — an ordered list of object names — and derive ids from
+/// it deterministically. StaticLayout captures that idiom: construct it
+/// from the same list everywhere (order defines the ids), then create
+/// endpoint objects by name:
+///
+///   core::StaticLayout layout(cfg, {"leader-lease", "members", "log"});
+///   auto reg  = layout.MwmrRegister(client, "members", my_pid);
+///   auto log  = ...
+///
+/// The layout also hands out the base-register vectors for the
+/// finite-register emulations (one block row per name), so application
+/// code never touches raw block ids.
 #pragma once
 
 #include <cstdint>

@@ -1,30 +1,31 @@
-// Uniform wait-free atomic MWMR register from infinitely many fail-prone
-// base registers spread over 2t+1 disks (Section 6, Figure 3) — Table 4.
-//
-//   WRITE(val) under fresh name n:
-//     S := name_snapshot(n)
-//     v[n] := (val, S)                      (one-shot register)
-//
-//   READ under fresh name n:
-//     S := name_snapshot(n)
-//     T := { m ∈ S : v[m] non-empty }
-//     if T = ∅: return the initial value
-//     m* := the m ∈ T whose stored snapshot v[m].snapshot is largest in
-//           inclusion order (Total Ordering makes them comparable; ties —
-//           identical snapshots — are broken by larger name, a fixed
-//           deterministic rule as the paper allows)
-//     return v[m*].value
-//
-// Each name may WRITE at most once (Fig. 3); the multi-WRITE interface
-// below applies the paper's transformation: every process reserves
-// infinitely many names — here (pid, 0), (pid, 1), … — and each new READ
-// or WRITE uses a fresh one.
-//
-// The linearization-point assignment of Theorem 4 (and thus atomicity)
-// depends only on the snapshot's Validity / Total Ordering / Integrity and
-// on one-shot register atomicity; tests/test_mwmr_atomic.cc checks the
-// emulated register's histories with the linearizability checker under
-// full-disk-crash injection.
+/// \file
+/// Uniform wait-free atomic MWMR register from infinitely many fail-prone
+/// base registers spread over 2t+1 disks (Section 6, Figure 3) — Table 4.
+///
+///   WRITE(val) under fresh name n:
+///     S := name_snapshot(n)
+///     v[n] := (val, S)                      (one-shot register)
+///
+///   READ under fresh name n:
+///     S := name_snapshot(n)
+///     T := { m ∈ S : v[m] non-empty }
+///     if T = ∅: return the initial value
+///     m* := the m ∈ T whose stored snapshot v[m].snapshot is largest in
+///           inclusion order (Total Ordering makes them comparable; ties —
+///           identical snapshots — are broken by larger name, a fixed
+///           deterministic rule as the paper allows)
+///     return v[m*].value
+///
+/// Each name may WRITE at most once (Fig. 3); the multi-WRITE interface
+/// below applies the paper's transformation: every process reserves
+/// infinitely many names — here (pid, 0), (pid, 1), … — and each new READ
+/// or WRITE uses a fresh one.
+///
+/// The linearization-point assignment of Theorem 4 (and thus atomicity)
+/// depends only on the snapshot's Validity / Total Ordering / Integrity and
+/// on one-shot register atomicity; tests/test_mwmr_atomic.cc checks the
+/// emulated register's histories with the linearizability checker under
+/// full-disk-crash injection.
 #pragma once
 
 #include <cstdint>

@@ -1,27 +1,28 @@
-// Uniform wait-free *sequentially consistent* MWSR register from 2t+1
-// fail-prone base registers (Figure 2) — the "Yes" Multi-Writer/
-// Single-Reader cell of Table 3.
-//
-//   WRITER q:  local seq_q. WRITE(v): ++seq_q; write (q, seq_q, v) to all
-//              2t+1 base registers; wait for t+1 to complete.
-//   READER p:  local lastv and an (unbounded, lazily grown) map seqs[]
-//              indexed by writer id. READ: read a majority; if some triple
-//              (q, s, v) read has s > seqs[q], pick one such triple (the
-//              paper: "it does not matter which"), set seqs[q] := s,
-//              lastv := v. Return lastv.
-//
-// The reader's per-writer freshness map is what makes this *uniform*: it
-// grows with the set of writers actually observed, never with a declared
-// process count. The implementation picks, among the fresher triples, the
-// one from the lowest base-register index — any deterministic rule is
-// allowed by the paper, and a fixed rule makes adversarial tests
-// reproducible.
-//
-// This register is sequentially consistent but NOT atomic: the reader may
-// return writes of different writers out of real-time order (it serializes
-// them in its own discovery order). bench/table2 demonstrates the
-// non-atomicity with a concrete schedule; the property tests verify
-// sequential consistency over random schedules.
+/// \file
+/// Uniform wait-free *sequentially consistent* MWSR register from 2t+1
+/// fail-prone base registers (Figure 2) — the "Yes" Multi-Writer/
+/// Single-Reader cell of Table 3.
+///
+///   WRITER q:  local seq_q. WRITE(v): ++seq_q; write (q, seq_q, v) to all
+///              2t+1 base registers; wait for t+1 to complete.
+///   READER p:  local lastv and an (unbounded, lazily grown) map seqs[]
+///              indexed by writer id. READ: read a majority; if some triple
+///              (q, s, v) read has s > seqs[q], pick one such triple (the
+///              paper: "it does not matter which"), set seqs[q] := s,
+///              lastv := v. Return lastv.
+///
+/// The reader's per-writer freshness map is what makes this *uniform*: it
+/// grows with the set of writers actually observed, never with a declared
+/// process count. The implementation picks, among the fresher triples, the
+/// one from the lowest base-register index — any deterministic rule is
+/// allowed by the paper, and a fixed rule makes adversarial tests
+/// reproducible.
+///
+/// This register is sequentially consistent but NOT atomic: the reader may
+/// return writes of different writers out of real-time order (it serializes
+/// them in its own discovery order). bench/table2 demonstrates the
+/// non-atomicity with a concrete schedule; the property tests verify
+/// sequential consistency over random schedules.
 #pragma once
 
 #include <cstdint>

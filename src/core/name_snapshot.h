@@ -1,57 +1,58 @@
-// Name snapshot for the infinite-arrival model (Section 6, after Gafni,
-// Merritt & Taubenfeld, PODC 2001).
-//
-// At any time a process may start a snapshot under a fresh name n; when it
-// terminates it outputs a set of names S_n such that:
-//
-//   * Validity:       n ∈ S_n.
-//   * Total Ordering: all output snapshots form an inclusion chain.
-//   * Integrity:      if m does not start by the time n's snapshot
-//                     terminates, then m ∉ S_n.
-//
-// Construction (uses exactly the register types Section 6 shows to be
-// fault-tolerantly implementable — sticky bits and one-shot registers,
-// spread over the 2t+1 disks):
-//
-//   * Name directory: an unbounded binary trie of sticky bits. A name
-//     announces itself by setting the 48 sticky bits along its packed
-//     name's root-to-leaf path — concurrently, in one quorum round trip:
-//     a partially announced name is never collectable because "the whole
-//     path is visible" is monotone and first holds when the last path bit
-//     lands, and the leaf bit is name-specific. A collect walks the
-//     marked trie (level-pipelined by default); it gathers every fully
-//     announced name and, because the directory is grow-only and its bits
-//     are atomic, two equal consecutive collects pin the exact directory
-//     contents at a single instant.
-//   * view[n]: a one-shot register owned by name n, holding the snapshot
-//     set n committed (published before n returns).
-//
-//   Snapshot(n):
-//     announce(n)
-//     V1 := collect()
-//     loop:
-//       V2 := collect()
-//       if V2 == V1:  view[n] := V1; return V1            (clean pin)
-//       else: for m in V2, if view[m] is written and n ∈ view[m]:
-//                 return view[m]                           (adoption)
-//             V1 := V2
-//
-// Every returned set is the directory's exact contents at some instant no
-// later than the operation's own termination, which yields all three
-// properties (see tests/test_name_snapshot.cc for the property suite).
-//
-// Faithfulness note (also in DESIGN.md §7): the paper defers to [28] for a
-// snapshot that is wait-free even under unbounded concurrency. Ours is
-// wait-free whenever new arrivals stop interfering for one double-collect
-// (in particular in every finite-arrival run) and lock-free in general:
-// interference means ever-new names announce, and any of them that pins a
-// clean collect publishes a view that all concurrent operations adopt.
-// All three *safety* properties — the only ones the Fig. 3 atomicity
-// proof uses — hold unconditionally.
-//
-// Observability: each collect pass is timed and traced ("snap.collect_us"
-// in the global obs registry; spans "snap/collect"), and the per-endpoint
-// Stats counters are surfaced through the unified Instrumented accessor.
+/// \file
+/// Name snapshot for the infinite-arrival model (Section 6, after Gafni,
+/// Merritt & Taubenfeld, PODC 2001).
+///
+/// At any time a process may start a snapshot under a fresh name n; when it
+/// terminates it outputs a set of names S_n such that:
+///
+///   * Validity:       n ∈ S_n.
+///   * Total Ordering: all output snapshots form an inclusion chain.
+///   * Integrity:      if m does not start by the time n's snapshot
+///                     terminates, then m ∉ S_n.
+///
+/// Construction (uses exactly the register types Section 6 shows to be
+/// fault-tolerantly implementable — sticky bits and one-shot registers,
+/// spread over the 2t+1 disks):
+///
+///   * Name directory: an unbounded binary trie of sticky bits. A name
+///     announces itself by setting the 48 sticky bits along its packed
+///     name's root-to-leaf path — concurrently, in one quorum round trip:
+///     a partially announced name is never collectable because "the whole
+///     path is visible" is monotone and first holds when the last path bit
+///     lands, and the leaf bit is name-specific. A collect walks the
+///     marked trie (level-pipelined by default); it gathers every fully
+///     announced name and, because the directory is grow-only and its bits
+///     are atomic, two equal consecutive collects pin the exact directory
+///     contents at a single instant.
+///   * view[n]: a one-shot register owned by name n, holding the snapshot
+///     set n committed (published before n returns).
+///
+///   Snapshot(n):
+///     announce(n)
+///     V1 := collect()
+///     loop:
+///       V2 := collect()
+///       if V2 == V1:  view[n] := V1; return V1            (clean pin)
+///       else: for m in V2, if view[m] is written and n ∈ view[m]:
+///                 return view[m]                           (adoption)
+///             V1 := V2
+///
+/// Every returned set is the directory's exact contents at some instant no
+/// later than the operation's own termination, which yields all three
+/// properties (see tests/test_name_snapshot.cc for the property suite).
+///
+/// Faithfulness note (also in DESIGN.md §7): the paper defers to [28] for a
+/// snapshot that is wait-free even under unbounded concurrency. Ours is
+/// wait-free whenever new arrivals stop interfering for one double-collect
+/// (in particular in every finite-arrival run) and lock-free in general:
+/// interference means ever-new names announce, and any of them that pins a
+/// clean collect publishes a view that all concurrent operations adopt.
+/// All three *safety* properties — the only ones the Fig. 3 atomicity
+/// proof uses — hold unconditionally.
+///
+/// Observability: each collect pass is timed and traced ("snap.collect_us"
+/// in the global obs registry; spans "snap/collect"), and the per-endpoint
+/// Stats counters are surfaced through the unified Instrumented accessor.
 #pragma once
 
 #include <cstdint>

@@ -1,24 +1,25 @@
-// Wait-free fault-tolerant one-shot registers and sticky bits (Section 6).
-//
-// A *one-shot* register is a Single-Writer Multi-Reader register that may
-// be written only once; before that it holds its initial value. A *stable*
-// register relaxes single-writer to "many writers, but every write carries
-// the same value" — the paper's flag[] registers are the boolean case
-// (sticky bits). Both share one implementation over 2t+1 base registers
-// placed on distinct disks:
-//
-//   WRITE(v): write v to all 2t+1 base registers; wait for t+1.
-//   READ():   read t+1 responses. If all carry the initial value, return
-//             initial. Otherwise let v be the (unique) non-initial value
-//             seen; write v back to the 2t+1 registers, wait for t+1, and
-//             return v.
-//
-// The reader write-back is what makes the register atomic: once a READ
-// returned v, v sits on a majority, so every later READ's quorum
-// intersects it and also returns v. Uniqueness of the non-initial value is
-// the caller's promise (single writer / single possible value) — without
-// it the construction is exactly the kind of multi-valued MWMR register
-// the paper proves unimplementable with finitely many base registers.
+/// \file
+/// Wait-free fault-tolerant one-shot registers and sticky bits (Section 6).
+///
+/// A *one-shot* register is a Single-Writer Multi-Reader register that may
+/// be written only once; before that it holds its initial value. A *stable*
+/// register relaxes single-writer to "many writers, but every write carries
+/// the same value" — the paper's flag[] registers are the boolean case
+/// (sticky bits). Both share one implementation over 2t+1 base registers
+/// placed on distinct disks:
+///
+///   WRITE(v): write v to all 2t+1 base registers; wait for t+1.
+///   READ():   read t+1 responses. If all carry the initial value, return
+///             initial. Otherwise let v be the (unique) non-initial value
+///             seen; write v back to the 2t+1 registers, wait for t+1, and
+///             return v.
+///
+/// The reader write-back is what makes the register atomic: once a READ
+/// returned v, v sits on a majority, so every later READ's quorum
+/// intersects it and also returns v. Uniqueness of the non-initial value is
+/// the caller's promise (single writer / single possible value) — without
+/// it the construction is exactly the kind of multi-valued MWMR register
+/// the paper proves unimplementable with finitely many base registers.
 #pragma once
 
 #include <cstdint>

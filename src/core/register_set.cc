@@ -64,6 +64,8 @@ struct RegisterSet::Shared : std::enable_shared_from_this<RegisterSet::Shared> {
       &obs::Registry::Global().GetHistogram("core.quorum_wait_us");
   obs::Gauge* g_pending_depth =
       &obs::Registry::Global().GetGauge("core.pending_depth");
+  obs::Counter* g_skipped_suspected =
+      &obs::Registry::Global().GetCounter("core.skipped_suspected");
 
   void NoteQueued(std::size_t depth_now) {
     pending_queued.fetch_add(1, std::memory_order_relaxed);
@@ -88,6 +90,16 @@ struct RegisterSet::Shared : std::enable_shared_from_this<RegisterSet::Shared> {
       for (std::size_t i = 0; i < regs.size(); ++i) {
         Slot& slot = slots[i];
         if (!slot.busy) {
+          if (client->IsSuspectedCrashed(regs[i].disk)) {
+            // Fail fast on a transport-reported crash (open circuit
+            // breaker): issuing would only park the op until expiry, and
+            // never issuing gives identical crashed-register semantics —
+            // this ticket index simply never completes. The slot stays
+            // free, so a later phase probes again once the breaker
+            // half-opens and the suspicion clears.
+            g_skipped_suspected->Inc();
+            continue;
+          }
           slot.busy = true;
           to_issue.push_back(i);
           continue;

@@ -1,30 +1,31 @@
-// One process's quorum engine over a fixed set of base registers, with the
-// paper's pending-write discipline.
-//
-// Model rule (Section 2): a process never has two simultaneous operations
-// outstanding on the same base register. Footnotes 3/6/7: if a WRITE wants
-// to write a base register that still has a pending write from a previous
-// WRITE, the writer "forks a background task to issue the write as soon as
-// all previous writes have finished". RegisterSet implements exactly that:
-// per base register it keeps at most one outstanding operation and a FIFO
-// of follow-ups, issued from the completion handler of the predecessor. A
-// crashed register therefore stalls its queue forever — and the quorum
-// waits never require it, which is what keeps the algorithms wait-free.
-//
-// Consecutive queued reads are coalesced (a queued-but-unissued read is
-// indistinguishable from a fresh one), so a loop of READ phases over a
-// crashed register uses O(1) memory.
-//
-// A phase's immediately-issuable registers go to the client in one
-// vectored IssueReads/IssueWrites call, so the TCP backend collapses the
-// whole fan-out into one batched frame per disk (per-register semantics
-// are untouched — each op still completes, or silently never does, on
-// its own).
-//
-// Observability: the engine accounts for the paper's two cost centres —
-// time blocked in quorum waits and depth of the pending-write queues —
-// both locally (op_metrics()) and in the global obs registry
-// ("core.quorum_wait_us", "core.pending_depth").
+/// \file
+/// One process's quorum engine over a fixed set of base registers, with the
+/// paper's pending-write discipline.
+///
+/// Model rule (Section 2): a process never has two simultaneous operations
+/// outstanding on the same base register. Footnotes 3/6/7: if a WRITE wants
+/// to write a base register that still has a pending write from a previous
+/// WRITE, the writer "forks a background task to issue the write as soon as
+/// all previous writes have finished". RegisterSet implements exactly that:
+/// per base register it keeps at most one outstanding operation and a FIFO
+/// of follow-ups, issued from the completion handler of the predecessor. A
+/// crashed register therefore stalls its queue forever — and the quorum
+/// waits never require it, which is what keeps the algorithms wait-free.
+///
+/// Consecutive queued reads are coalesced (a queued-but-unissued read is
+/// indistinguishable from a fresh one), so a loop of READ phases over a
+/// crashed register uses O(1) memory.
+///
+/// A phase's immediately-issuable registers go to the client in one
+/// vectored IssueReads/IssueWrites call, so the TCP backend collapses the
+/// whole fan-out into one batched frame per disk (per-register semantics
+/// are untouched — each op still completes, or silently never does, on
+/// its own).
+///
+/// Observability: the engine accounts for the paper's two cost centres —
+/// time blocked in quorum waits and depth of the pending-write queues —
+/// both locally (op_metrics()) and in the global obs registry
+/// ("core.quorum_wait_us", "core.pending_depth").
 #pragma once
 
 #include <chrono>

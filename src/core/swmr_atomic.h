@@ -1,32 +1,33 @@
-// Uniform atomic SWMR register from 2t+1 fail-prone base registers, for
-// systems where *processes are reliable* (Section 4.2) — the "Yes"
-// Single-Writer/Multi-Reader cell of Table 2.
-//
-// The writer is the same sequence-number writer as in Section 3.2. A READ
-// has two phases:
-//
-//   choose-value:  read a majority; let (v0, s0) be the pair with the
-//                  largest sequence number.
-//   wait:          keep reading all base registers until a majority have
-//                  sequence numbers >= s0. Then return v0.
-//
-// The wait phase makes the READ's chosen value *stable*: once the READ
-// returns, (>= s0) is on a majority, so every later READ's choose-value
-// phase — which reads a majority — picks a sequence number >= s0. That is
-// what rules out new-old inversion between different readers and makes the
-// register atomic rather than merely regular.
-//
-// This implementation is intentionally NOT wait-free: the wait phase can
-// block if the writer crashes mid-WRITE (its value then sits on fewer than
-// t+1 registers forever). Theorem 1 proves no uniform *wait-free* atomic
-// SWMR implementation exists, so blocking is not an artifact — it is the
-// price the paper shows must be paid. Under reliable processes (Table 2's
-// hypothesis) the writer's background writes eventually land and the wait
-// phase terminates.
-//
-// Both READ phases are traced and timed ("swmr.choose_value_us",
-// "swmr.wait_us" in the global obs registry) — the wait phase is the
-// paper's blocking cost, now measurable.
+/// \file
+/// Uniform atomic SWMR register from 2t+1 fail-prone base registers, for
+/// systems where *processes are reliable* (Section 4.2) — the "Yes"
+/// Single-Writer/Multi-Reader cell of Table 2.
+///
+/// The writer is the same sequence-number writer as in Section 3.2. A READ
+/// has two phases:
+///
+///   choose-value:  read a majority; let (v0, s0) be the pair with the
+///                  largest sequence number.
+///   wait:          keep reading all base registers until a majority have
+///                  sequence numbers >= s0. Then return v0.
+///
+/// The wait phase makes the READ's chosen value *stable*: once the READ
+/// returns, (>= s0) is on a majority, so every later READ's choose-value
+/// phase — which reads a majority — picks a sequence number >= s0. That is
+/// what rules out new-old inversion between different readers and makes the
+/// register atomic rather than merely regular.
+///
+/// This implementation is intentionally NOT wait-free: the wait phase can
+/// block if the writer crashes mid-WRITE (its value then sits on fewer than
+/// t+1 registers forever). Theorem 1 proves no uniform *wait-free* atomic
+/// SWMR implementation exists, so blocking is not an artifact — it is the
+/// price the paper shows must be paid. Under reliable processes (Table 2's
+/// hypothesis) the writer's background writes eventually land and the wait
+/// phase terminates.
+///
+/// Both READ phases are traced and timed ("swmr.choose_value_us",
+/// "swmr.wait_us" in the global obs registry) — the wait phase is the
+/// paper's blocking cost, now measurable.
 #pragma once
 
 #include <chrono>

@@ -1,21 +1,22 @@
-// Uniform wait-free atomic SWSR register from 2t+1 fail-prone base
-// registers (Section 3.2) — the "Yes" cell of Table 1.
-//
-//   WRITE(v):  issue write of (writer, ++seq, v) to all 2t+1 base
-//              registers; wait for t+1 to complete.
-//   READ():    read t+1 of the 2t+1; return the payload with the largest
-//              sequence number among the values read *and the largest
-//              sequence number ever seen before*.
-//
-// Correctness (paper): (1) sequence numbers make it impossible to READ
-// values out of order — the reader's memo of the largest seq ever seen is
-// what gives regularity between its own READs; (2) a completed WRITE
-// reached a majority, every later READ quorum intersects it, so the READ
-// sees that value or a later one.
-//
-// Wait-freedom: quorums never wait for more than t+1 of 2t+1 registers, so
-// up to t crashed registers (or disks) cannot block any operation, and no
-// operation ever waits for another process.
+/// \file
+/// Uniform wait-free atomic SWSR register from 2t+1 fail-prone base
+/// registers (Section 3.2) — the "Yes" cell of Table 1.
+///
+///   WRITE(v):  issue write of (writer, ++seq, v) to all 2t+1 base
+///              registers; wait for t+1 to complete.
+///   READ():    read t+1 of the 2t+1; return the payload with the largest
+///              sequence number among the values read *and the largest
+///              sequence number ever seen before*.
+///
+/// Correctness (paper): (1) sequence numbers make it impossible to READ
+/// values out of order — the reader's memo of the largest seq ever seen is
+/// what gives regularity between its own READs; (2) a completed WRITE
+/// reached a majority, every later READ quorum intersects it, so the READ
+/// sees that value or a later one.
+///
+/// Wait-freedom: quorums never wait for more than t+1 of 2t+1 registers, so
+/// up to t crashed registers (or disks) cannot block any operation, and no
+/// operation ever waits for another process.
 #pragma once
 
 #include <cstdint>

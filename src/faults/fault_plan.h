@@ -1,0 +1,113 @@
+/// \file
+/// FaultPlan: a declarative, loadable schedule of fault events.
+///
+/// The chaos harness (bench/chaos_harness.cc) and tests describe an
+/// execution's adversary as data rather than code: a small line-oriented
+/// text spec, one event per line, that a FaultInjector (injector.h)
+/// replays against any FaultSink (fault_sink.h). Keeping the adversary
+/// declarative means the same plan runs unchanged against the simulated
+/// farms and the real TCP cluster, and a failing chaos run can be
+/// reproduced from the plan text printed in its report.
+///
+/// Spec format (one event per line; `#` starts a comment):
+///
+///     at <time> crash-register <disk>:<block>
+///     at <time> crash-disk <disk>
+///     at <time> delay <disk> <min-dur> <max-dur>
+///     at <time> drop <disk> <permille>
+///     at <time> disconnect <disk>
+///     at <time> stall <disk> <dur>
+///     at <time> partition <disk> [<disk> ...]
+///     at <time> heal <disk> [<disk> ...]
+///
+/// Times and durations take a us/ms/s suffix (e.g. `250ms`). `partition`
+/// isolates the listed disks: full request drop plus a connection reset,
+/// until a later `heal` lists them again. Events are replayed in event
+/// order after a stable sort by time.
+///
+/// Ownership/threading: FaultPlan is a plain value type; parsing has no
+/// side effects. Thread-compatible (const access is safe to share).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace nadreg::faults {
+
+/// The kind of a scheduled fault event, mirroring FaultSink's surface.
+enum class FaultKind {
+  kCrashRegister,  ///< one register becomes unresponsive forever
+  kCrashDisk,      ///< a whole disk becomes unresponsive forever
+  kDelay,          ///< per-request service delay range for a disk
+  kDrop,           ///< probabilistic request drop (permille)
+  kDisconnect,     ///< sever established connections once (recoverable)
+  kStall,          ///< hold all requests for a fixed duration
+  kPartition,      ///< isolate disks: full drop + disconnect, until heal
+  kHeal            ///< clear recoverable faults on the listed disks
+};
+
+/// Printable lowercase keyword for a kind (as used in the spec format).
+const char* FaultKindName(FaultKind k);
+
+/// One scheduled fault. Only the fields relevant to `kind` are meaningful.
+struct FaultEvent {
+  std::chrono::microseconds at{0};  ///< offset from plan start
+  FaultKind kind = FaultKind::kCrashDisk;
+  std::vector<DiskId> disks;     ///< targets (1 entry except partition/heal)
+  BlockId block = 0;             ///< crash-register only
+  std::uint64_t min_delay_us = 0;  ///< delay only
+  std::uint64_t max_delay_us = 0;  ///< delay only
+  std::uint32_t permille = 0;      ///< drop only
+  std::chrono::microseconds stall{0};  ///< stall only
+
+  /// Renders the event as one spec line (round-trips through Parse).
+  std::string ToLine() const;
+};
+
+/// An ordered schedule of fault events plus crash-budget accounting.
+class FaultPlan {
+ public:
+  /// Parses a plan from spec text. Returns kInvalid with a line-numbered
+  /// message on the first malformed line. Events are stably sorted by
+  /// time, so same-time events keep their textual order.
+  static Expected<FaultPlan> Parse(std::string_view text);
+
+  /// Reads and parses a plan file (kUnavailable if unreadable).
+  static Expected<FaultPlan> LoadFile(const std::string& path);
+
+  /// Generates a crash-only plan: `crashes` whole-disk crashes among
+  /// `n_disks`, at Rng-chosen distinct disks and times within `horizon`.
+  /// This is the paper's adversary — up to t of 2t+1 disks failing at
+  /// arbitrary moments.
+  static FaultPlan GenerateCrashPlan(Rng& rng, std::uint32_t n_disks,
+                                     std::uint32_t crashes,
+                                     std::chrono::microseconds horizon);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Appends an event, keeping the schedule sorted.
+  void Add(FaultEvent e);
+
+  /// Distinct disks this plan crashes outright (crash-disk events).
+  /// Compare against the emulation's tolerated t: a plan with
+  /// CrashedDisks().size() > t exceeds the paper's fault budget and
+  /// phases may legitimately never gather a quorum.
+  std::set<DiskId> CrashedDisks() const;
+
+  /// Renders the whole plan as spec text (round-trips through Parse).
+  std::string ToString() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace nadreg::faults

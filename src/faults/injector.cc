@@ -1,0 +1,121 @@
+#include "faults/injector.h"
+
+#include <string>
+#include <utility>
+
+namespace nadreg::faults {
+
+FaultInjector::FaultInjector(FaultPlan plan, FaultSink& sink,
+                             obs::Registry* registry)
+    : plan_(std::move(plan)),
+      sink_(sink),
+      injected_total_(registry->GetCounter("faults.injected")),
+      registry_(registry) {}
+
+FaultInjector::~FaultInjector() { Stop(); }
+
+void FaultInjector::Start() {
+  thread_ = std::jthread([this](std::stop_token st) { ThreadMain(st); });
+}
+
+void FaultInjector::Stop() {
+  {
+    MutexLock lock(mu_);
+    stopped_ = true;
+  }
+  cv_.NotifyAll();
+  if (thread_.joinable()) {
+    thread_.request_stop();
+    thread_.join();
+  }
+}
+
+void FaultInjector::ThreadMain(std::stop_token stop) {
+  const auto start = std::chrono::steady_clock::now();
+  mu_.Lock();
+  while (!stopped_ && !stop.stop_requested() &&
+         next_ < plan_.events().size()) {
+    const FaultEvent& ev = plan_.events()[next_];
+    const auto due = start + ev.at;
+    if (std::chrono::steady_clock::now() >= due) {
+      ++next_;
+      mu_.Unlock();
+      Apply(ev);  // outside the lock: sinks may block or fan out
+      mu_.Lock();
+      continue;
+    }
+    cv_.WaitUntil(mu_, due, [&] {
+      mu_.AssertHeld();  // CondVar::WaitUntil runs predicates under the lock
+      return stopped_ || stop.stop_requested();
+    });
+  }
+  mu_.Unlock();
+}
+
+void FaultInjector::ApplyThrough(std::chrono::microseconds elapsed) {
+  for (;;) {
+    mu_.Lock();
+    if (next_ >= plan_.events().size() || plan_.events()[next_].at > elapsed) {
+      mu_.Unlock();
+      return;
+    }
+    const FaultEvent& ev = plan_.events()[next_++];
+    mu_.Unlock();
+    Apply(ev);
+  }
+}
+
+std::size_t FaultInjector::injected_count() const {
+  MutexLock lock(mu_);
+  return next_;
+}
+
+bool FaultInjector::done() const {
+  MutexLock lock(mu_);
+  return next_ >= plan_.events().size();
+}
+
+void FaultInjector::Apply(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::kCrashRegister:
+      sink_.CrashRegister(
+          RegisterId{ev.disks.empty() ? 0 : ev.disks[0], ev.block});
+      break;
+    case FaultKind::kCrashDisk:
+      for (DiskId d : ev.disks) sink_.CrashDisk(d);
+      break;
+    case FaultKind::kDelay:
+      for (DiskId d : ev.disks) {
+        sink_.DelayDisk(d, ev.min_delay_us, ev.max_delay_us);
+      }
+      break;
+    case FaultKind::kDrop:
+      for (DiskId d : ev.disks) sink_.DropRequests(d, ev.permille);
+      break;
+    case FaultKind::kDisconnect:
+      for (DiskId d : ev.disks) sink_.DisconnectDisk(d);
+      break;
+    case FaultKind::kStall:
+      for (DiskId d : ev.disks) {
+        sink_.StallDisk(
+            d, std::chrono::duration_cast<std::chrono::milliseconds>(ev.stall));
+      }
+      break;
+    case FaultKind::kPartition:
+      // A partitioned disk is unreachable but alive: everything new is
+      // dropped and established connections are severed. Heal undoes it.
+      for (DiskId d : ev.disks) {
+        sink_.DropRequests(d, 1000);
+        sink_.DisconnectDisk(d);
+      }
+      break;
+    case FaultKind::kHeal:
+      for (DiskId d : ev.disks) sink_.Heal(d);
+      break;
+  }
+  injected_total_.Inc();
+  registry_->GetCounter(std::string("faults.injected.") + FaultKindName(ev.kind))
+      .Inc();
+}
+
+}  // namespace nadreg::faults

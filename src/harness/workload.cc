@@ -1,12 +1,18 @@
 #include "harness/workload.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <memory>
+#include <optional>
 #include <thread>
 
+#include "common/op_options.h"
 #include "common/rng.h"
 #include "core/config.h"
+#include "faults/fault_plan.h"
+#include "faults/fault_sink.h"
+#include "faults/injector.h"
 #include "core/mwmr_atomic.h"
 #include "core/mwsr_seqcst.h"
 #include "core/swmr_atomic.h"
@@ -33,12 +39,46 @@ std::string MakeValue(int writer, int i, std::size_t payload_bytes) {
   return v;
 }
 
+/// Fans FaultSink calls out to the right TCP daemon by DiskId — the
+/// cluster's fault-domain router (here one daemon serves one disk, so
+/// the daemon-side DiskId argument is redundant but harmless).
+struct ClusterFaultSink : faults::FaultSink {
+  std::map<DiskId, nad::NadServer*> by_disk;
+
+  nad::NadServer* At(DiskId d) {
+    auto it = by_disk.find(d);
+    return it == by_disk.end() ? nullptr : it->second;
+  }
+  void CrashRegister(const RegisterId& r) override {
+    if (auto* s = At(r.disk)) s->CrashRegister(r);
+  }
+  void CrashDisk(DiskId d) override {
+    if (auto* s = At(d)) s->CrashDisk(d);
+  }
+  void DelayDisk(DiskId d, std::uint64_t min_us, std::uint64_t max_us) override {
+    if (auto* s = At(d)) s->DelayDisk(d, min_us, max_us);
+  }
+  void DropRequests(DiskId d, std::uint32_t permille) override {
+    if (auto* s = At(d)) s->DropRequests(d, permille);
+  }
+  void DisconnectDisk(DiskId d) override {
+    if (auto* s = At(d)) s->DisconnectDisk(d);
+  }
+  void StallDisk(DiskId d, std::chrono::milliseconds dur) override {
+    if (auto* s = At(d)) s->StallDisk(d, dur);
+  }
+  void Heal(DiskId d) override {
+    if (auto* s = At(d)) s->Heal(d);
+  }
+};
+
 /// The disk substrate behind a workload: the simulated farm or a cluster
 /// of real TCP disk daemons on loopback.
 struct Backend {
   std::unique_ptr<SimFarm> sim;
   std::vector<std::unique_ptr<nad::NadServer>> servers;
   std::unique_ptr<nad::NadClient> tcp;
+  ClusterFaultSink tcp_sink;
 
   static Backend Make(const WorkloadOptions& opts, const FarmConfig& cfg) {
     Backend b;
@@ -57,9 +97,13 @@ struct Backend {
       auto server = nad::NadServer::Start(so);
       if (!server.ok()) continue;  // a missing disk simply looks crashed
       endpoints[d] = nad::NadClient::Endpoint{"127.0.0.1", (*server)->port()};
+      b.tcp_sink.by_disk[d] = server->get();
       b.servers.push_back(std::move(*server));
     }
-    auto client = nad::NadClient::Connect(endpoints);
+    nad::NadClient::Options copts;
+    copts.enable_batching = opts.enable_batching;
+    copts.op_timeout = opts.client_op_timeout;
+    auto client = nad::NadClient::Connect(endpoints, copts);
     if (client.ok()) b.tcp = std::move(*client);
     return b;
   }
@@ -67,6 +111,12 @@ struct Backend {
   BaseRegisterClient& client() {
     if (sim) return *sim;
     return *tcp;
+  }
+
+  /// The fault-injection surface of whichever substrate is live.
+  faults::FaultSink& sink() {
+    if (sim) return *sim;
+    return tcp_sink;
   }
 
   void Crash(DiskId d) {
@@ -122,11 +172,32 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
       LOG_WARN << "workload: trace capture unavailable: " << s.ToString();
     }
   }
+  // Parse the declarative fault plan before spinning anything up: a
+  // malformed plan aborts the run (silently skipping the adversary would
+  // make a chaos run vacuously green).
+  std::optional<faults::FaultPlan> plan;
+  if (!opts.fault_plan_text.empty()) {
+    auto parsed = faults::FaultPlan::Parse(opts.fault_plan_text);
+    if (!parsed.ok()) {
+      result.fault_plan_status = parsed.status();
+      if (!opts.trace_jsonl_path.empty()) obs::StopTrace();
+      return result;
+    }
+    plan = std::move(*parsed);
+  }
   FarmConfig cfg{opts.t};
   Backend backend = Backend::Make(opts, cfg);
   BaseRegisterClient& farm = backend.client();
   HistoryRecorder rec;
   const auto regs = cfg.Spread(0);
+
+  // Per-op deadline (zero = none) and the abandoned-op counter shared by
+  // every worker thread. An abandoned WRITE stays in the history as
+  // incomplete — CheckableHistory keeps it, because its pending base
+  // writes may still take effect; an abandoned READ is dropped.
+  OpOptions op_opts;
+  if (opts.op_deadline.count() > 0) op_opts.deadline = opts.op_deadline;
+  std::atomic<std::uint64_t> timeouts{0};
 
   // Clamp roles to the algorithm's single-writer/single-reader limits.
   int writers = opts.writers;
@@ -155,7 +226,14 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
       break;
   }
 
+  std::unique_ptr<faults::FaultInjector> fault_injector;
+  if (plan) {
+    fault_injector =
+        std::make_unique<faults::FaultInjector>(std::move(*plan),
+                                                backend.sink());
+  }
   {
+    if (fault_injector) fault_injector->Start();
     auto injector = CrashInjector(backend, cfg, opts.seed, opts.crash_disks);
     std::vector<std::jthread> threads;
     for (int w = 0; w < writers; ++w) {
@@ -169,7 +247,10 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
             for (int i = 1; i <= opts.ops_per_process; ++i) {
               const std::string v = MakeValue(w + 1, i, opts.payload_bytes);
               auto h = rec.BeginWrite(pid, v);
-              writer.Write(v);
+              if (!writer.Write(v, op_opts).ok()) {
+                timeouts.fetch_add(1, std::memory_order_relaxed);
+                continue;  // abandoned WRITE: stays incomplete (pending)
+              }
               rec.EndWrite(h);
               op_writes.Inc();
             }
@@ -180,7 +261,10 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
             for (int i = 1; i <= opts.ops_per_process; ++i) {
               const std::string v = MakeValue(w + 1, i, opts.payload_bytes);
               auto h = rec.BeginWrite(pid, v);
-              writer.Write(v);
+              if (!writer.Write(v, op_opts).ok()) {
+                timeouts.fetch_add(1, std::memory_order_relaxed);
+                continue;
+              }
               rec.EndWrite(h);
               op_writes.Inc();
             }
@@ -191,7 +275,10 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
             for (int i = 1; i <= opts.ops_per_process; ++i) {
               const std::string v = MakeValue(w + 1, i, opts.payload_bytes);
               auto h = rec.BeginWrite(pid, v);
-              reg.Write(v);
+              if (!reg.Write(v, op_opts).ok()) {
+                timeouts.fetch_add(1, std::memory_order_relaxed);
+                continue;
+              }
               rec.EndWrite(h);
               op_writes.Inc();
             }
@@ -208,7 +295,12 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
             core::SwsrAtomicReader reader(farm, cfg, regs, pid);
             for (int i = 0; i < opts.ops_per_process; ++i) {
               auto h = rec.BeginRead(pid);
-              rec.EndRead(h, reader.Read());
+              auto v = reader.Read(op_opts);
+              if (!v.ok()) {
+                timeouts.fetch_add(1, std::memory_order_relaxed);
+                continue;  // abandoned READ: dropped from the history
+              }
+              rec.EndRead(h, *v);
               op_reads.Inc();
             }
             break;
@@ -217,7 +309,12 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
             core::SwsrRegularReader reader(farm, cfg, regs, pid);
             for (int i = 0; i < opts.ops_per_process; ++i) {
               auto h = rec.BeginRead(pid);
-              rec.EndRead(h, reader.Read());
+              auto v = reader.Read(op_opts);
+              if (!v.ok()) {
+                timeouts.fetch_add(1, std::memory_order_relaxed);
+                continue;
+              }
+              rec.EndRead(h, *v);
               op_reads.Inc();
             }
             break;
@@ -226,7 +323,12 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
             core::SwmrAtomicReader reader(farm, cfg, regs, pid);
             for (int i = 0; i < opts.ops_per_process; ++i) {
               auto h = rec.BeginRead(pid);
-              rec.EndRead(h, reader.Read());
+              auto v = reader.Read(op_opts);
+              if (!v.ok()) {
+                timeouts.fetch_add(1, std::memory_order_relaxed);
+                continue;
+              }
+              rec.EndRead(h, *v);
               op_reads.Inc();
             }
             break;
@@ -235,7 +337,12 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
             core::MwsrReader reader(farm, cfg, regs, pid);
             for (int i = 0; i < opts.ops_per_process; ++i) {
               auto h = rec.BeginRead(pid);
-              rec.EndRead(h, reader.Read());
+              auto v = reader.Read(op_opts);
+              if (!v.ok()) {
+                timeouts.fetch_add(1, std::memory_order_relaxed);
+                continue;
+              }
+              rec.EndRead(h, *v);
               op_reads.Inc();
             }
             break;
@@ -244,8 +351,12 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
             core::MwmrAtomic reg(farm, cfg, 1, pid);
             for (int i = 0; i < opts.ops_per_process; ++i) {
               auto h = rec.BeginRead(pid);
-              auto v = reg.Read();
-              rec.EndRead(h, v.value_or(""));
+              auto v = reg.Read(op_opts);
+              if (!v.ok()) {
+                timeouts.fetch_add(1, std::memory_order_relaxed);
+                continue;
+              }
+              rec.EndRead(h, v->value_or(""));
               op_reads.Inc();
             }
             break;
@@ -255,6 +366,11 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
     }
   }
 
+  if (fault_injector) {
+    fault_injector->Stop();
+    result.faults_injected = fault_injector->injected_count();
+  }
+  result.timeouts = timeouts.load(std::memory_order_relaxed);
   result.writes_after = op_writes.Get();
   result.reads_after = op_reads.Get();
   if (!opts.trace_jsonl_path.empty()) obs::StopTrace();

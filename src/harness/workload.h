@@ -1,17 +1,30 @@
-// Configurable randomized workload runner: spins up writer/reader threads
-// against a chosen register emulation on a seeded simulated farm with
-// optional crash injection, records the concurrent history, and returns
-// it together with the consistency level the algorithm claims. Used by
-// the property-test sweeps (tests/test_properties.cc) and available to
-// the bench harnesses.
+/// \file
+/// Configurable randomized workload runner: spins up writer/reader threads
+/// against a chosen register emulation on a seeded simulated farm (or a
+/// real TCP disk cluster) with optional fault injection, records the
+/// concurrent history, and returns it together with the consistency level
+/// the algorithm claims. Used by the property-test sweeps
+/// (tests/test_properties.cc), the chaos harness (bench/chaos_harness.cc)
+/// and the bench binaries.
+///
+/// Fault injection comes in two flavours: the legacy `crash_disks` knob
+/// (random whole-disk crashes, kept for the property sweeps) and a full
+/// declarative `fault_plan_text` (faults/fault_plan.h grammar) replayed in
+/// real time by a FaultInjector against whichever backend is running. An
+/// `op_deadline` bounds every emulated operation so an over-budget plan
+/// (more than t crashed disks) surfaces as counted timeouts instead of a
+/// hung run; abandoned writes stay in the history as incomplete (the
+/// checker may linearize them — Fig. 1 pending-write semantics).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "checker/consistency.h"
 #include "checker/history.h"
+#include "common/status.h"
 
 namespace nadreg::harness {
 
@@ -39,6 +52,21 @@ struct WorkloadOptions {
   /// Run over REAL TCP disk daemons on loopback instead of the simulated
   /// farm; a "crash" then hard-stops a daemon process.
   bool over_tcp = false;
+  /// Declarative fault schedule (faults/fault_plan.h spec grammar),
+  /// replayed in real time over the run against the active backend.
+  /// Empty = no injector. Parse errors abort the run before any worker
+  /// starts (see WorkloadResult::fault_plan_status).
+  std::string fault_plan_text;
+  /// Per emulated-operation deadline; zero = block until the model
+  /// guarantees termination. Required to survive over-budget plans: a
+  /// timed-out op is abandoned and counted (WorkloadResult::timeouts).
+  std::chrono::milliseconds op_deadline{0};
+  /// TCP backend only: the NAD client's per-base-op expiry budget
+  /// (janitor + circuit breaker; see nad/client.h). Zero = never expire.
+  std::chrono::milliseconds client_op_timeout{0};
+  /// TCP backend only: per-op frames instead of coalesced batch frames
+  /// (the interop/ablation toggle, forwarded to nad::NadClient::Options).
+  bool enable_batching = true;
   /// When non-empty, dump the process-wide metrics registry as JSON here
   /// after the run (quorum waits, per-phase latency, RPC round trips).
   std::string metrics_json_path;
@@ -57,7 +85,12 @@ struct WorkloadResult {
   std::uint64_t writes_before = 0, writes_after = 0;
   std::uint64_t reads_before = 0, reads_after = 0;
 
-  bool ok() const { return check.ok; }
+  /// Fault-injection accounting (zero without a fault plan / deadline).
+  Status fault_plan_status = Status::Ok();  ///< parse result of the plan
+  std::uint64_t faults_injected = 0;  ///< events the injector fired
+  std::uint64_t timeouts = 0;         ///< ops abandoned at op_deadline
+
+  bool ok() const { return check.ok && fault_plan_status.ok(); }
 };
 
 /// Runs the workload and checks the algorithm's claimed consistency.

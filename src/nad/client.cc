@@ -1,5 +1,7 @@
 #include "nad/client.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 #include "obs/trace.h"
 
@@ -13,7 +15,15 @@ NadClient::NadClient(Options options)
           &obs::Registry::Global().GetHistogram("nad.client.batch_size")),
       in_flight_(&obs::Registry::Global().GetGauge("nad.client.in_flight")),
       rejected_oversized_(&obs::Registry::Global().GetCounter(
-          "nad.client.rejected_oversized")) {}
+          "nad.client.rejected_oversized")),
+      retries_(&obs::Registry::Global().GetCounter("nad.client.retries")),
+      reconnects_(
+          &obs::Registry::Global().GetCounter("nad.client.reconnects")),
+      reconnect_failures_(&obs::Registry::Global().GetCounter(
+          "nad.client.reconnect_failures")),
+      expired_(&obs::Registry::Global().GetCounter("nad.client.expired")),
+      breaker_open_(
+          &obs::Registry::Global().GetCounter("nad.client.breaker_open")) {}
 
 Expected<std::unique_ptr<NadClient>> NadClient::Connect(
     std::map<DiskId, Endpoint> endpoints, Options options) {
@@ -21,7 +31,9 @@ Expected<std::unique_ptr<NadClient>> NadClient::Connect(
   for (const auto& [disk, ep] : endpoints) {
     auto sock = nad::Connect(ep.host, ep.port);
     if (!sock) return sock.status();
-    auto conn = std::make_unique<Conn>();
+    auto conn = std::make_unique<Conn>(options.retry);
+    conn->disk = disk;
+    conn->endpoint = ep;
     conn->sock = std::move(*sock);
     client->conns_.emplace(disk, std::move(conn));
   }
@@ -33,19 +45,30 @@ Expected<std::unique_ptr<NadClient>> NadClient::Connect(
       c->SenderLoop(cp);
     });
   }
+  if (options.op_timeout.count() > 0) {
+    client->janitor_ = std::jthread(
+        [c = client.get()](std::stop_token st) { c->JanitorLoop(st); });
+  }
   return client;
 }
 
 NadClient::~NadClient() {
+  {
+    MutexLock lock(janitor_mu_);
+    janitor_stop_ = true;
+  }
+  janitor_cv_.NotifyAll();
+  if (janitor_.joinable()) janitor_.join();
   for (auto& [disk, conn] : conns_) {
     {
       MutexLock lock(conn->send_mu);
       conn->closed = true;
+      // Under send_mu: the sender may be installing a fresh socket right
+      // now (reconnect). Shutdown unblocks the reader (in recv) and a
+      // sender stuck in send on a peer that stopped draining.
+      conn->sock.Shutdown();
     }
     conn->send_cv.NotifyAll();
-    // Unblocks the reader (in recv) and a sender stuck in send on a
-    // peer that stopped draining.
-    conn->sock.Shutdown();
   }
   for (auto& [disk, conn] : conns_) {
     if (conn->sender.joinable()) conn->sender.join();
@@ -53,9 +76,27 @@ NadClient::~NadClient() {
   }
 }
 
-NadClient::Conn* NadClient::ConnFor(DiskId d) {
+NadClient::Conn* NadClient::ConnFor(DiskId d) const {
   auto it = conns_.find(d);
   return it == conns_.end() ? nullptr : it->second.get();
+}
+
+std::chrono::steady_clock::time_point NadClient::ExpiryFrom(
+    std::chrono::steady_clock::time_point now) const {
+  if (options_.op_timeout.count() <= 0) {
+    return std::chrono::steady_clock::time_point::max();
+  }
+  return now + options_.op_timeout;
+}
+
+bool NadClient::IsSuspectedCrashed(DiskId d) const {
+  Conn* conn = ConnFor(d);
+  if (conn == nullptr) return true;  // unmapped disk behaves as crashed
+  MutexLock lock(conn->send_mu);
+  if (conn->closed) return true;
+  // AllowRequest transitions open → half-open after the cooldown, so
+  // suspicion clears exactly when probes should start flowing again.
+  return !conn->breaker.AllowRequest(std::chrono::steady_clock::now());
 }
 
 bool NadClient::Enqueue(Conn* conn, Message msg) {
@@ -83,11 +124,11 @@ void NadClient::IssueRead(ProcessId /*p*/, RegisterId r, ReadHandler done) {
   req.type = MsgType::kReadReq;
   req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   req.reg = r;
+  const auto now = std::chrono::steady_clock::now();
   {
     MutexLock lock(conn->pending_mu);
     conn->pending_reads.emplace(
-        req.request_id,
-        PendingRead{std::move(done), std::chrono::steady_clock::now()});
+        req.request_id, PendingRead{std::move(done), now, r, ExpiryFrom(now)});
   }
   in_flight_->Add(1);
   if (!Enqueue(conn, std::move(req))) {
@@ -110,12 +151,13 @@ void NadClient::IssueWrite(ProcessId /*p*/, RegisterId r, Value v,
   req.type = MsgType::kWriteReq;
   req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   req.reg = r;
-  req.value = std::move(v);
+  req.value = v;  // the original moves into the pending entry (retransmit)
+  const auto now = std::chrono::steady_clock::now();
   {
     MutexLock lock(conn->pending_mu);
     conn->pending_writes.emplace(
         req.request_id,
-        PendingWrite{std::move(done), std::chrono::steady_clock::now()});
+        PendingWrite{std::move(done), now, r, std::move(v), ExpiryFrom(now)});
   }
   in_flight_->Add(1);
   if (!Enqueue(conn, std::move(req))) {
@@ -139,8 +181,9 @@ void NadClient::IssueReads(ProcessId /*p*/, std::vector<ReadOp> ops) {
     req.reg = op.reg;
     {
       MutexLock lock(conn->pending_mu);
-      conn->pending_reads.emplace(req.request_id,
-                                  PendingRead{std::move(op.done), now});
+      conn->pending_reads.emplace(
+          req.request_id,
+          PendingRead{std::move(op.done), now, op.reg, ExpiryFrom(now)});
     }
     in_flight_->Add(1);
     per_conn[conn].push_back(std::move(req));
@@ -179,11 +222,13 @@ void NadClient::IssueWrites(ProcessId /*p*/, std::vector<WriteOp> ops) {
     req.type = MsgType::kWriteReq;
     req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
     req.reg = op.reg;
-    req.value = std::move(op.value);
+    req.value = op.value;  // original moves into the pending entry
     {
       MutexLock lock(conn->pending_mu);
-      conn->pending_writes.emplace(req.request_id,
-                                   PendingWrite{std::move(op.done), now});
+      conn->pending_writes.emplace(
+          req.request_id,
+          PendingWrite{std::move(op.done), now, op.reg, std::move(op.value),
+                       ExpiryFrom(now)});
     }
     in_flight_->Add(1);
     per_conn[conn].push_back(std::move(req));
@@ -251,6 +296,68 @@ std::size_t NadClient::InFlight() const {
   return n;
 }
 
+void NadClient::JanitorLoop(std::stop_token stop) {
+  // Sweep well inside the expiry budget so an op overshoots its deadline
+  // by at most ~a quarter of it.
+  const auto interval = std::chrono::milliseconds(
+      std::max<std::int64_t>(1, options_.op_timeout.count() / 4));
+  janitor_mu_.Lock();
+  while (!janitor_stop_ && !stop.stop_requested()) {
+    janitor_cv_.WaitFor(janitor_mu_, interval, [&] {
+      janitor_mu_.AssertHeld();  // predicates run under the lock
+      return janitor_stop_;
+    });
+    if (janitor_stop_) break;
+    janitor_mu_.Unlock();
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& [disk, conn] : conns_) {
+      if (SweepExpired(conn.get(), now) > 0) {
+        // Expiries are failure evidence: the disk accepted a connection
+        // but did not answer in time (stalled / dropping / crashed).
+        MutexLock lock(conn->send_mu);
+        if (conn->breaker.RecordFailure(now)) breaker_open_->Inc();
+      }
+    }
+    janitor_mu_.Lock();
+  }
+  janitor_mu_.Unlock();
+}
+
+std::size_t NadClient::SweepExpired(Conn* conn,
+                                    std::chrono::steady_clock::time_point now) {
+  // Handlers are collected and destroyed outside the lock: dropping one
+  // can release ticket state whose destructor is free to lock elsewhere.
+  std::vector<ReadHandler> dead_reads;
+  std::vector<WriteHandler> dead_writes;
+  {
+    MutexLock lock(conn->pending_mu);
+    for (auto it = conn->pending_reads.begin();
+         it != conn->pending_reads.end();) {
+      if (it->second.expires <= now) {
+        dead_reads.push_back(std::move(it->second.handler));
+        it = conn->pending_reads.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = conn->pending_writes.begin();
+         it != conn->pending_writes.end();) {
+      if (it->second.expires <= now) {
+        dead_writes.push_back(std::move(it->second.handler));
+        it = conn->pending_writes.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  const std::size_t n = dead_reads.size() + dead_writes.size();
+  if (n > 0) {
+    in_flight_->Add(-static_cast<std::int64_t>(n));
+    expired_->Inc(n);
+  }
+  return n;
+}
+
 void NadClient::FlushRun(std::vector<Message>* run, std::string* wire) {
   if (run->empty()) return;
   if (run->size() == 1) {
@@ -269,20 +376,108 @@ void NadClient::FlushRun(std::vector<Message>* run, std::string* wire) {
   run->clear();
 }
 
+bool NadClient::ReconnectLocked(Conn* conn, BackoffState* backoff, Rng* rng) {
+  if (!options_.enable_reconnect) {
+    // Pre-fault-injection behaviour: a dead connection stays dead and the
+    // disk appears crashed forever.
+    conn->closed = true;
+    conn->outgoing.clear();
+    conn->send_cv.NotifyAll();  // release a parked reader into its exit
+    return false;
+  }
+  // The reader may still be inside recv on the old socket; wait for it to
+  // park so the socket can be replaced under it.
+  conn->send_cv.Wait(conn->send_mu, [&] {
+    conn->send_mu.AssertHeld();  // predicates run under the lock
+    return conn->closed || conn->reader_parked;
+  });
+  if (conn->closed) return false;
+  // Interruptible capped-exponential backoff with jitter — a CondVar
+  // deadline wait, never a raw sleep, so shutdown cuts it short.
+  conn->send_cv.WaitFor(conn->send_mu, backoff->Next(*rng), [&] {
+    conn->send_mu.AssertHeld();
+    return conn->closed;
+  });
+  if (conn->closed) return false;
+  conn->send_mu.Unlock();
+  auto sock = nad::Connect(conn->endpoint.host, conn->endpoint.port);
+  conn->send_mu.Lock();
+  if (conn->closed) return false;
+  const auto now = std::chrono::steady_clock::now();
+  if (!sock) {
+    reconnect_failures_->Inc();
+    if (conn->breaker.RecordFailure(now)) breaker_open_->Inc();
+    return true;  // still broken; the loop retries with a longer delay
+  }
+  conn->sock = std::move(*sock);
+  conn->broken = false;
+  ++conn->generation;
+  backoff->Reset();
+  conn->breaker.RecordSuccess();
+  reconnects_->Inc();
+  // Retransmit everything still pending, oldest first. Requests that were
+  // served but whose response was lost get applied again — an idempotent
+  // replay of a still-pending op (see the class comment). Queued frames
+  // are rebuilt from the pending maps, so the stale outgoing queue is
+  // dropped (in-flight STATS probes die with it; QueryStats times out).
+  std::size_t resent = 0;
+  {
+    MutexLock plock(conn->pending_mu);  // send_mu → pending_mu (§12)
+    conn->outgoing.clear();
+    std::vector<Message> msgs;
+    msgs.reserve(conn->pending_reads.size() + conn->pending_writes.size());
+    for (const auto& [id, pr] : conn->pending_reads) {
+      Message m;
+      m.type = MsgType::kReadReq;
+      m.request_id = id;
+      m.reg = pr.reg;
+      msgs.push_back(std::move(m));
+    }
+    for (const auto& [id, pw] : conn->pending_writes) {
+      Message m;
+      m.type = MsgType::kWriteReq;
+      m.request_id = id;
+      m.reg = pw.reg;
+      m.value = pw.value;
+      msgs.push_back(std::move(m));
+    }
+    std::sort(msgs.begin(), msgs.end(),
+              [](const Message& a, const Message& b) {
+                return a.request_id < b.request_id;
+              });
+    resent = msgs.size();
+    for (Message& m : msgs) conn->outgoing.push_back(std::move(m));
+  }
+  if (resent > 0) retries_->Inc(resent);
+  conn->send_cv.NotifyAll();  // wake the parked reader onto the new socket
+  return true;
+}
+
 void NadClient::SenderLoop(Conn* conn) {
   // Batch payload = type + request id + count + per-sub length prefixes.
   constexpr std::size_t kBatchHeader = 1 + 8 + 4;
+  // Deterministic per-disk jitter stream (decorrelates the reconnect
+  // storms of many clients hitting one recovered disk).
+  Rng rng(0x9e3779b97f4a7c15ULL ^
+          (static_cast<std::uint64_t>(conn->disk) << 17));
+  BackoffState backoff(options_.retry);
+  conn->send_mu.Lock();
   for (;;) {
-    std::deque<Message> drained;
-    {
-      MutexLock lock(conn->send_mu);
-      conn->send_cv.Wait(conn->send_mu, [&] {
-        conn->send_mu.AssertHeld();
-        return conn->closed || !conn->outgoing.empty();
-      });
-      if (conn->closed) return;
-      drained.swap(conn->outgoing);
+    if (conn->closed) break;
+    if (conn->broken) {
+      if (!ReconnectLocked(conn, &backoff, &rng)) break;
+      continue;
     }
+    if (conn->outgoing.empty()) {
+      conn->send_cv.Wait(conn->send_mu, [&] {
+        conn->send_mu.AssertHeld();  // predicates run under the lock
+        return conn->closed || conn->broken || !conn->outgoing.empty();
+      });
+      continue;
+    }
+    std::deque<Message> drained;
+    drained.swap(conn->outgoing);
+    conn->send_mu.Unlock();
     // Coalesce the drain pass into as few frames as possible, preserving
     // FIFO order: consecutive reads/writes form one batch (split at the
     // frame cap); STATS stays a standalone out-of-band frame.
@@ -308,15 +503,17 @@ void NadClient::SenderLoop(Conn* conn) {
       run.push_back(std::move(msg));
     }
     FlushRun(&run, &wire);
-    if (!SendAll(conn->sock, wire).ok()) {
-      // Connection dead: everything queued or already pending on this
-      // disk will simply never complete — crashed-disk semantics.
-      MutexLock lock(conn->send_mu);
-      conn->closed = true;
-      conn->outgoing.clear();
-      return;
+    const bool sent = SendAll(conn->sock, wire).ok();
+    conn->send_mu.Lock();
+    if (!sent && !conn->closed && !conn->broken) {
+      // Dead socket: hand off to the reconnect path. The dropped frames
+      // stay stashed in the pending maps and will be retransmitted.
+      conn->broken = true;
+      conn->sock.Shutdown();  // unblock the reader so it can park
+      conn->send_cv.NotifyAll();
     }
   }
+  conn->send_mu.Unlock();
 }
 
 void NadClient::DispatchResponse(Conn* conn, Message msg) {
@@ -366,11 +563,37 @@ void NadClient::DispatchResponse(Conn* conn, Message msg) {
 void NadClient::ReaderLoop(Conn* conn) {
   for (;;) {
     auto payload = RecvFrame(conn->sock, kMaxFrameBytes);
-    if (!payload) return;  // connection closed: pending handlers never run
+    if (!payload) {
+      // Connection lost (or shutting down): park until the sender installs
+      // a fresh socket (generation bump) or the client closes for good.
+      conn->send_mu.Lock();
+      if (!conn->closed && !conn->broken) {
+        conn->broken = true;
+        conn->sock.Shutdown();  // unblock a sender stuck mid-send
+      }
+      conn->reader_parked = true;
+      conn->send_cv.NotifyAll();
+      const std::uint64_t gen = conn->generation;
+      conn->send_cv.Wait(conn->send_mu, [&] {
+        conn->send_mu.AssertHeld();  // predicates run under the lock
+        return conn->closed || conn->generation != gen;
+      });
+      conn->reader_parked = false;
+      const bool done = conn->closed;
+      conn->send_mu.Unlock();
+      if (done) return;
+      continue;  // resume on the fresh socket
+    }
     auto msg = DecodeMessage(*payload);
     if (!msg) {
       LOG_WARN << "nad-client: malformed response: " << msg.status().ToString();
       continue;
+    }
+    {
+      // Any successfully received frame is proof of life: close the
+      // breaker so suspicion clears as soon as the disk answers again.
+      MutexLock lock(conn->send_mu);
+      conn->breaker.RecordSuccess();
     }
     if (msg->type == MsgType::kBatchResp) {
       for (Message& sub : msg->subs) DispatchResponse(conn, std::move(sub));

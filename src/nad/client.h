@@ -1,28 +1,60 @@
-// TCP NAD client: implements the asynchronous fail-prone base-register
-// interface (BaseRegisterClient) against real network-attached disk
-// servers, so every emulation in core/ runs unchanged over the network.
-//
-// Each disk id maps to one server endpoint; the client keeps one
-// connection per disk with a reader thread that dispatches responses to
-// the completion handlers by request id, and a sender thread that drains
-// a per-connection outgoing queue. Issue* therefore never touches the
-// socket: it enqueues and returns — truly nonblocking even when the peer
-// stops draining (the Fig. 1 model requires issue to return immediately;
-// a blocking send would stall the whole process on one slow disk).
-//
-// Each sender drain pass coalesces every queued read/write bound for its
-// disk into one kBatchReq frame (split at kMaxFrameBytes), so a quorum
-// phase issued via IssueReads/IssueWrites costs one frame and one syscall
-// per disk instead of one per register. A dead connection or a silently
-// swallowed request simply means the handler never runs — precisely the
-// crashed-register semantics the emulations are built to tolerate.
-//
-// Observability: every RPC's issue→response latency feeds the global
-// metrics registry ("nad.client.read_us" / "nad.client.write_us"), the
-// outstanding-operation depth is tracked as a gauge with high-watermark
-// ("nad.client.in_flight"), the per-frame coalescing depth is recorded as
-// "nad.client.batch_size", and each completed RPC emits a trace span when
-// a capture is active (see obs/trace.h).
+/// \file
+/// TCP NAD client: implements the asynchronous fail-prone base-register
+/// interface (BaseRegisterClient) against real network-attached disk
+/// servers, so every emulation in core/ runs unchanged over the network.
+///
+/// Each disk id maps to one server endpoint; the client keeps one
+/// connection per disk with a reader thread that dispatches responses to
+/// the completion handlers by request id, and a sender thread that drains
+/// a per-connection outgoing queue. Issue* therefore never touches the
+/// socket: it enqueues and returns — truly nonblocking even when the peer
+/// stops draining (the Fig. 1 model requires issue to return immediately;
+/// a blocking send would stall the whole process on one slow disk).
+///
+/// Each sender drain pass coalesces every queued read/write bound for its
+/// disk into one kBatchReq frame (split at kMaxFrameBytes), so a quorum
+/// phase issued via IssueReads/IssueWrites costs one frame and one syscall
+/// per disk instead of one per register.
+///
+/// Failure handling (the chaos-tolerant transport under the paper's
+/// fail-prone model):
+///
+///  * Reconnect — when a connection dies (send or recv failure), the
+///    reader parks, the sender re-establishes the connection with capped
+///    exponential backoff + jitter (nad/retry.h; CondVar waits, never raw
+///    sleeps, so shutdown interrupts instantly), then retransmits every
+///    still-pending request on the new socket. Retransmission can apply a
+///    write twice; that is harmless under the emulations' discipline —
+///    every base register has at most one writer process with at most one
+///    outstanding write (core::RegisterSet), so a duplicate is an
+///    idempotent replay of the still-pending write, squarely within the
+///    Fig. 1 pending-write semantics.
+///  * Expiry — with Options::op_timeout set, a janitor thread expires
+///    pending operations past their deadline: the handler simply never
+///    runs (crashed-register semantics; an expired-but-sent write is a
+///    textbook pending write and the checkers treat it as such).
+///  * Circuit breaking — consecutive reconnect failures or expiry sweeps
+///    open a per-disk breaker (nad/retry.h). While open,
+///    IsSuspectedCrashed(disk) returns true, so core::RegisterSet stops
+///    issuing doomed operations to that disk instead of letting a phase
+///    hang on it; after a cooldown the breaker half-opens and traffic
+///    probes the disk again.
+///
+/// Lock/ownership contract (DESIGN.md §12): each Conn has send_mu
+/// (socket/outgoing/lifecycle state) and pending_mu (pending-op maps).
+/// Nesting order is send_mu → pending_mu (the reconnect rebuild walks the
+/// pending maps while holding send_mu); no path takes them in the other
+/// order. The sender thread is the only writer of Conn::sock, and only
+/// while the reader is parked, so the loops use the socket without locks.
+///
+/// Observability: per-RPC latency ("nad.client.read_us"/"write_us"),
+/// outstanding depth ("nad.client.in_flight"), coalescing depth
+/// ("nad.client.batch_size"), plus the fault-path series:
+/// "nad.client.retries" (requests retransmitted after a reconnect),
+/// "nad.client.reconnects" (successful reconnects),
+/// "nad.client.reconnect_failures", "nad.client.expired" (operations
+/// expired by the janitor) and "nad.client.breaker_open" (closed/half-open
+/// → open transitions). Completed RPCs emit trace spans (obs/trace.h).
 #pragma once
 
 #include <atomic>
@@ -40,6 +72,7 @@
 #include "common/status.h"
 #include "common/sync.h"
 #include "nad/protocol.h"
+#include "nad/retry.h"
 #include "nad/socket.h"
 #include "obs/metrics.h"
 
@@ -56,6 +89,14 @@ class NadClient : public BaseRegisterClient {
     /// pre-batch opcodes) — the interop / ablation mode. The sender
     /// thread still makes issue nonblocking either way.
     bool enable_batching = true;
+    /// When false, a dead connection stays dead (the pre-fault-injection
+    /// behaviour: the disk appears crashed forever).
+    bool enable_reconnect = true;
+    /// Per-operation expiry budget. Zero = never expire (an unanswered
+    /// op stays pending forever, exactly the paper's unresponsive mode).
+    std::chrono::milliseconds op_timeout{0};
+    /// Backoff and circuit-breaker tuning for the reconnect path.
+    RetryPolicy retry;
   };
 
   /// Connects to every endpoint. Fails (kUnavailable) if any connection
@@ -81,6 +122,11 @@ class NadClient : public BaseRegisterClient {
   void IssueReads(ProcessId p, std::vector<ReadOp> ops) override;
   void IssueWrites(ProcessId p, std::vector<WriteOp> ops) override;
 
+  /// True while the disk's circuit breaker is open (or the disk is
+  /// unmapped / shut down). See the class comment; consumed by
+  /// core::RegisterSet to fail phases fast instead of hanging them.
+  bool IsSuspectedCrashed(DiskId d) const override;
+
   /// Fetches the server-side metrics dump (STATS opcode) from one disk.
   /// Blocks up to `timeout`; kTimeout if the disk does not answer (a
   /// crashed disk swallows STATS like any other request), kUnavailable if
@@ -94,10 +140,15 @@ class NadClient : public BaseRegisterClient {
   struct PendingRead {
     ReadHandler handler;
     std::chrono::steady_clock::time_point start;
+    RegisterId reg;  // for retransmission after a reconnect
+    std::chrono::steady_clock::time_point expires;
   };
   struct PendingWrite {
     WriteHandler handler;
     std::chrono::steady_clock::time_point start;
+    RegisterId reg;   // for retransmission after a reconnect
+    Value value;      // ditto
+    std::chrono::steady_clock::time_point expires;
   };
   struct StatsWaiter {
     Mutex mu;
@@ -105,14 +156,26 @@ class NadClient : public BaseRegisterClient {
     bool done GUARDED_BY(mu) = false;
     std::string text GUARDED_BY(mu);
   };
-  // Lock order within a Conn: send_mu and pending_mu are never nested.
+  // Lock order within a Conn: send_mu → pending_mu (reconnect rebuilds
+  // the outgoing queue from the pending maps); never the reverse.
   struct Conn {
+    DiskId disk = 0;
+    Endpoint endpoint;  // immutable; reconnect target
+    // Written only by the sender thread, and only while the reader is
+    // parked (see reader_parked) — so both loops use it lock-free.
     Socket sock;
     Mutex send_mu;
     CondVar send_cv;
     std::deque<Message> outgoing GUARDED_BY(send_mu);
-    // Send failed or client shutting down.
+    /// Current socket known dead; sender owns re-establishing it.
+    bool broken GUARDED_BY(send_mu) = false;
+    /// Client shutting down (or reconnect disabled and the socket died).
     bool closed GUARDED_BY(send_mu) = false;
+    /// Reader is waiting for a fresh socket (generation bump) or closed.
+    bool reader_parked GUARDED_BY(send_mu) = false;
+    /// Bumped per successful reconnect; the parked reader waits on it.
+    std::uint64_t generation GUARDED_BY(send_mu) = 1;
+    CircuitBreaker breaker GUARDED_BY(send_mu);
     Mutex pending_mu;
     std::unordered_map<std::uint64_t, PendingRead> pending_reads
         GUARDED_BY(pending_mu);
@@ -122,11 +185,23 @@ class NadClient : public BaseRegisterClient {
         pending_stats GUARDED_BY(pending_mu);
     std::jthread sender;
     std::jthread reader;
+
+    explicit Conn(const RetryPolicy& policy) : breaker(policy) {}
   };
 
   explicit NadClient(Options options);
   void ReaderLoop(Conn* conn);
   void SenderLoop(Conn* conn);
+  /// Expires pending ops past their deadline (only runs with op_timeout).
+  void JanitorLoop(std::stop_token stop);
+  /// One janitor pass over one connection; returns ops expired.
+  std::size_t SweepExpired(Conn* conn,
+                           std::chrono::steady_clock::time_point now);
+  /// Sender-side reconnect: waits for the reader to park, backs off,
+  /// redials, and retransmits pending ops. Entered and left with send_mu
+  /// held; returns false when the connection is closed for good.
+  bool ReconnectLocked(Conn* conn, BackoffState* backoff, Rng* rng)
+      REQUIRES(conn->send_mu);
   /// Flushes a run of coalesced request messages into `wire` as one
   /// batch frame (or a per-op frame for a singleton / batching-off run).
   void FlushRun(std::vector<Message>* run, std::string* wire);
@@ -134,7 +209,10 @@ class NadClient : public BaseRegisterClient {
   /// Enqueues one request on `conn` (caller must hold nothing). Returns
   /// false when the connection is closed — the op will never be sent.
   bool Enqueue(Conn* conn, Message msg);
-  Conn* ConnFor(DiskId d);
+  Conn* ConnFor(DiskId d) const;
+  /// Expiry deadline for an op issued now.
+  std::chrono::steady_clock::time_point ExpiryFrom(
+      std::chrono::steady_clock::time_point now) const;
   /// Drops an op whose value can never fit a frame: logs, counts, and
   /// leaves the handler unrun (fail-fast — nothing touches the wire).
   void RejectOversized(const RegisterId& r, std::size_t value_bytes);
@@ -143,12 +221,22 @@ class NadClient : public BaseRegisterClient {
   std::atomic<std::uint64_t> next_request_id_{1};
   std::map<DiskId, std::unique_ptr<Conn>> conns_;
 
+  Mutex janitor_mu_;
+  CondVar janitor_cv_;
+  bool janitor_stop_ GUARDED_BY(janitor_mu_) = false;
+  std::jthread janitor_;
+
   // Resolved once; recording is lock-free (see obs/metrics.h).
   obs::Histogram* read_us_;
   obs::Histogram* write_us_;
   obs::Histogram* batch_size_;
   obs::Gauge* in_flight_;
   obs::Counter* rejected_oversized_;
+  obs::Counter* retries_;
+  obs::Counter* reconnects_;
+  obs::Counter* reconnect_failures_;
+  obs::Counter* expired_;
+  obs::Counter* breaker_open_;
 };
 
 }  // namespace nadreg::nad

@@ -1,18 +1,19 @@
-// Durability for the NAD daemon: an append-only journal of applied block
-// writes plus a compact checkpoint, replayed on restart. A network-
-// attached disk is, after all, a disk — stopping the daemon must not lose
-// acknowledged writes.
-//
-// On-disk layout (both files share the record format):
-//   record := u32 disk, u64 block, bytes value   (little-endian, codec.h)
-//
-//   <path>.snap — checkpoint: one record per materialized block
-//   <path>.log  — journal: one record per applied write since checkpoint
-//
-// Recovery loads the checkpoint then replays the journal; a torn tail
-// record (crash mid-append) is detected and discarded. Checkpoint() writes
-// a fresh snapshot to a temp file, renames it into place, then truncates
-// the journal — crash-safe in either order of observation.
+/// \file
+/// Durability for the NAD daemon: an append-only journal of applied block
+/// writes plus a compact checkpoint, replayed on restart. A network-
+/// attached disk is, after all, a disk — stopping the daemon must not lose
+/// acknowledged writes.
+///
+/// On-disk layout (both files share the record format):
+///   record := u32 disk, u64 block, bytes value   (little-endian, codec.h)
+///
+///   <path>.snap — checkpoint: one record per materialized block
+///   <path>.log  — journal: one record per applied write since checkpoint
+///
+/// Recovery loads the checkpoint then replays the journal; a torn tail
+/// record (crash mid-append) is detected and discarded. Checkpoint() writes
+/// a fresh snapshot to a temp file, renames it into place, then truncates
+/// the journal — crash-safe in either order of observation.
 #pragma once
 
 #include <cstdio>

@@ -1,38 +1,39 @@
-// Wire protocol of the TCP network-attached disk.
-//
-// A NAD is "a simple device that just executes requests to read and write
-// blocks of data" (Section 1). The protocol is correspondingly small:
-// length-prefixed frames carrying one of four messages. Requests carry a
-// client-chosen id echoed in the response so a client can multiplex many
-// outstanding nonblocking operations over one connection — the model's
-// concurrent pending requests (Fig. 1).
-//
-//   frame    := u32 payload_length, payload
-//   payload  := u8 type, u64 request_id, body
-//   ReadReq  := u32 disk, u64 block
-//   WriteReq := u32 disk, u64 block, bytes value
-//   ReadResp := bytes value
-//   WriteResp:= (empty)
-//   StatsReq := (empty)
-//   StatsResp:= bytes text
-//   BatchReq := u32 count, count * bytes(sub-request payload)
-//   BatchResp:= u32 count, count * bytes(sub-response payload)
-//
-// STATS is an out-of-band observability opcode (it does not exist in the
-// paper's model and takes no part in any emulation): the server answers
-// with a plain-text dump of its metrics registry — request counts,
-// per-opcode service latency, journal/recovery counters.
-//
-// BATCH is the vectored opcode: one frame carries N independent
-// sub-operations, each a complete ReadReq/WriteReq payload with its own
-// request id (responses: ReadResp/WriteResp). Sub-operations are served
-// in order; their responses come back in one BatchResp. A crashed
-// register silently *omits* its sub-response from the batch — exactly
-// the per-register unresponsive failure mode, vectored. Batches never
-// nest and never carry STATS.
-//
-// A crashed register/disk simply never answers — there is no error
-// response for it, exactly like the unresponsive failure mode.
+/// \file
+/// Wire protocol of the TCP network-attached disk.
+///
+/// A NAD is "a simple device that just executes requests to read and write
+/// blocks of data" (Section 1). The protocol is correspondingly small:
+/// length-prefixed frames carrying one of four messages. Requests carry a
+/// client-chosen id echoed in the response so a client can multiplex many
+/// outstanding nonblocking operations over one connection — the model's
+/// concurrent pending requests (Fig. 1).
+///
+///   frame    := u32 payload_length, payload
+///   payload  := u8 type, u64 request_id, body
+///   ReadReq  := u32 disk, u64 block
+///   WriteReq := u32 disk, u64 block, bytes value
+///   ReadResp := bytes value
+///   WriteResp:= (empty)
+///   StatsReq := (empty)
+///   StatsResp:= bytes text
+///   BatchReq := u32 count, count * bytes(sub-request payload)
+///   BatchResp:= u32 count, count * bytes(sub-response payload)
+///
+/// STATS is an out-of-band observability opcode (it does not exist in the
+/// paper's model and takes no part in any emulation): the server answers
+/// with a plain-text dump of its metrics registry — request counts,
+/// per-opcode service latency, journal/recovery counters.
+///
+/// BATCH is the vectored opcode: one frame carries N independent
+/// sub-operations, each a complete ReadReq/WriteReq payload with its own
+/// request id (responses: ReadResp/WriteResp). Sub-operations are served
+/// in order; their responses come back in one BatchResp. A crashed
+/// register silently *omits* its sub-response from the batch — exactly
+/// the per-register unresponsive failure mode, vectored. Batches never
+/// nest and never carry STATS.
+///
+/// A crashed register/disk simply never answers — there is no error
+/// response for it, exactly like the unresponsive failure mode.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,62 @@
+#include "nad/retry.h"
+
+#include <algorithm>
+
+namespace nadreg::nad {
+
+std::chrono::microseconds BackoffState::Next(Rng& rng) {
+  // min(initial * 2^failures, max) without overflow: stop doubling once
+  // past the cap.
+  std::int64_t base_us = policy_.initial_backoff.count();
+  const std::int64_t cap_us = std::max<std::int64_t>(
+      policy_.max_backoff.count(), policy_.initial_backoff.count());
+  for (std::uint32_t i = 0; i < failures_ && base_us < cap_us; ++i) {
+    base_us *= 2;
+  }
+  base_us = std::min(base_us, cap_us);
+  if (failures_ < ~0u) ++failures_;
+  std::int64_t jitter_us = 0;
+  if (policy_.jitter_permille > 0 && base_us > 0) {
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(base_us) * policy_.jitter_permille / 1000;
+    if (span > 0) jitter_us = static_cast<std::int64_t>(rng.Below(span + 1));
+  }
+  return std::chrono::microseconds(base_us + jitter_us);
+}
+
+bool CircuitBreaker::AllowRequest(std::chrono::steady_clock::time_point now) {
+  switch (state_) {
+    case State::kClosed:
+    case State::kHalfOpen:
+      return true;
+    case State::kOpen:
+      if (now - opened_at_ >= policy_.breaker_cooldown) {
+        state_ = State::kHalfOpen;
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  state_ = State::kClosed;
+  failures_ = 0;
+}
+
+bool CircuitBreaker::RecordFailure(std::chrono::steady_clock::time_point now) {
+  if (failures_ < ~0u) ++failures_;
+  const bool open_now = state_ == State::kHalfOpen ||
+                        (state_ == State::kClosed &&
+                         failures_ >= policy_.breaker_threshold);
+  if (open_now) {
+    const bool was_open = state_ == State::kOpen;
+    state_ = State::kOpen;
+    opened_at_ = now;
+    return !was_open;
+  }
+  if (state_ == State::kOpen) opened_at_ = now;  // still cooling down
+  return false;
+}
+
+}  // namespace nadreg::nad

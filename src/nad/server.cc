@@ -36,6 +36,7 @@ NadServer::NadServer(Options opts)
       reads_served_(&metrics_.GetCounter("nad.server.reads")),
       writes_served_(&metrics_.GetCounter("nad.server.writes")),
       dropped_crashed_(&metrics_.GetCounter("nad.server.dropped_crashed")),
+      dropped_faulted_(&metrics_.GetCounter("nad.server.dropped_faulted")),
       read_serve_us_(&metrics_.GetHistogram("nad.server.read_serve_us")),
       write_serve_us_(&metrics_.GetHistogram("nad.server.write_serve_us")),
       batch_size_(&metrics_.GetHistogram("nad.server.batch_size")) {}
@@ -49,6 +50,7 @@ void NadServer::Stop() {
     stopping_ = true;
     for (Socket* conn : live_conns_) conn->Shutdown();
   }
+  fault_cv_.NotifyAll();  // release any connection held by a stall
   if (listener_) listener_->Shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
   conn_threads_.clear();  // joins
@@ -57,6 +59,40 @@ void NadServer::Stop() {
 void NadServer::CrashRegister(const RegisterId& r) { store_.CrashRegister(r); }
 
 void NadServer::CrashDisk(DiskId d) { store_.CrashDisk(d); }
+
+void NadServer::DelayDisk(DiskId /*d*/, std::uint64_t min_us,
+                          std::uint64_t max_us) {
+  delay_min_override_.store(min_us, std::memory_order_relaxed);
+  delay_max_override_.store(max_us, std::memory_order_relaxed);
+}
+
+void NadServer::DropRequests(DiskId /*d*/, std::uint32_t permille) {
+  drop_permille_.store(permille, std::memory_order_relaxed);
+}
+
+void NadServer::DisconnectDisk(DiskId /*d*/) {
+  // Sever every established connection but keep listening: unlike a
+  // crash this is recoverable — a reconnecting client resumes.
+  MutexLock lock(mu_);
+  for (Socket* conn : live_conns_) conn->Shutdown();
+}
+
+void NadServer::StallDisk(DiskId /*d*/, std::chrono::milliseconds dur) {
+  MutexLock lock(mu_);
+  const auto until = std::chrono::steady_clock::now() + dur;
+  if (until > stall_until_) stall_until_ = until;
+}
+
+void NadServer::Heal(DiskId /*d*/) {
+  delay_min_override_.store(kNoDelayOverride, std::memory_order_relaxed);
+  delay_max_override_.store(kNoDelayOverride, std::memory_order_relaxed);
+  drop_permille_.store(0, std::memory_order_relaxed);
+  {
+    MutexLock lock(mu_);
+    stall_until_ = std::chrono::steady_clock::time_point{};
+  }
+  fault_cv_.NotifyAll();  // release requests held by a cleared stall
+}
 
 Status NadServer::Checkpoint() {
   {
@@ -169,10 +205,39 @@ void NadServer::Serve(Socket conn, Rng rng) {
       LOG_WARN << "nad-server: dropping non-request message";
       continue;
     }
-    if (opts_.max_delay_us > 0) {
+    // Fault filter (before ServeOp): a stalled daemon HOLDS the request
+    // until the stall elapses; a lossy daemon DROPS it. STATS is exempt —
+    // it is observability, not a disk operation.
+    {
+      mu_.Lock();
+      while (!stopping_ &&
+             stall_until_ > std::chrono::steady_clock::now()) {
+        const auto until = stall_until_;
+        fault_cv_.WaitUntil(mu_, until, [&] {
+          mu_.AssertHeld();  // CondVar waits run predicates under the lock
+          return stopping_ || stall_until_ < until;  // Heal cleared it
+        });
+      }
+      const bool stop_now = stopping_;
+      mu_.Unlock();
+      if (stop_now) break;
+    }
+    if (const auto drop = drop_permille_.load(std::memory_order_relaxed);
+        drop > 0 && rng.Chance(drop, 1000)) {
+      dropped_faulted_->Inc();
+      continue;
+    }
+    std::uint64_t min_delay = opts_.min_delay_us;
+    std::uint64_t max_delay = opts_.max_delay_us;
+    if (const auto omax = delay_max_override_.load(std::memory_order_relaxed);
+        omax != kNoDelayOverride) {
+      min_delay = delay_min_override_.load(std::memory_order_relaxed);
+      max_delay = omax;
+    }
+    if (max_delay > 0) {
       // One frame = one disk request; a batch is one vectored operation.
-      std::this_thread::sleep_for(std::chrono::microseconds(
-          rng.Between(opts_.min_delay_us, opts_.max_delay_us)));
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(rng.Between(min_delay, max_delay)));
     }
     if (msg->type == MsgType::kBatchReq) {
       batch_size_->Observe(msg->subs.size());

@@ -1,19 +1,33 @@
-// TCP network-attached disk daemon.
-//
-// Serves read-block / write-block requests for any number of disks over
-// TCP, one frame-oriented connection per client. Matches the paper's NAD
-// model: per-connection requests are served in FIFO order (a disk queue);
-// an optional artificial service delay models a slow disk; a crashed
-// register or disk silently stops answering (unresponsive mode) — the
-// request is swallowed, never errored.
-//
-// Concurrency: register state lives in a sim::ShardedRegisterStore with
-// striped per-register locking, so connections serving distinct registers
-// never contend on a global lock. The kBatchReq opcode is served
-// vectored: every sub-operation of the batch is executed in order and the
-// surviving sub-responses come back in one kBatchResp frame — a crashed
-// register's sub-response is silently omitted, preserving per-register
-// unresponsiveness inside a batch.
+/// \file
+/// TCP network-attached disk daemon.
+///
+/// Serves read-block / write-block requests for any number of disks over
+/// TCP, one frame-oriented connection per client. Matches the paper's NAD
+/// model: per-connection requests are served in FIFO order (a disk queue);
+/// an optional artificial service delay models a slow disk; a crashed
+/// register or disk silently stops answering (unresponsive mode) — the
+/// request is swallowed, never errored.
+///
+/// Fault injection: the daemon is a faults::FaultSink, so a FaultInjector
+/// can drive it like a simulated farm. The crash faults delegate to the
+/// store (permanent, the paper's model); the transport faults are a
+/// *fault filter* applied per request frame before ServeOp — a stalled
+/// daemon holds requests until the stall elapses, a lossy daemon drops
+/// each frame with the configured probability, DisconnectDisk severs all
+/// established connections (the daemon keeps listening, so reconnecting
+/// clients recover), and Heal clears every recoverable fault. One daemon
+/// is one fault domain: the DiskId arguments of the transport faults are
+/// ignored.
+///
+/// Concurrency: register state lives in a sim::ShardedRegisterStore with
+/// striped per-register locking, so connections serving distinct registers
+/// never contend on a global lock. The kBatchReq opcode is served
+/// vectored: every sub-operation of the batch is executed in order and the
+/// surviving sub-responses come back in one kBatchResp frame — a crashed
+/// register's sub-response is silently omitted, preserving per-register
+/// unresponsiveness inside a batch. Lock order (DESIGN.md §12): stripe
+/// locks before journal_mu_; mu_ (connection bookkeeping, stall state)
+/// nests with neither.
 #pragma once
 
 #include <atomic>
@@ -27,6 +41,7 @@
 #include "common/status.h"
 #include "common/sync.h"
 #include "common/types.h"
+#include "faults/fault_sink.h"
 #include "nad/persistence.h"
 #include "nad/protocol.h"
 #include "nad/socket.h"
@@ -35,7 +50,7 @@
 
 namespace nadreg::nad {
 
-class NadServer {
+class NadServer : public faults::FaultSink {
  public:
   struct Options {
     std::uint16_t port = 0;  // 0: ephemeral, see port()
@@ -55,15 +70,27 @@ class NadServer {
   /// or (with data_path set) the state cannot be recovered/journaled.
   static Expected<std::unique_ptr<NadServer>> Start(Options opts);
 
-  ~NadServer();
+  ~NadServer() override;
   NadServer(const NadServer&) = delete;
   NadServer& operator=(const NadServer&) = delete;
 
   std::uint16_t port() const { return port_; }
 
-  /// Fault injection, same semantics as the simulated farm.
-  void CrashRegister(const RegisterId& r);
-  void CrashDisk(DiskId d);
+  // --- faults::FaultSink (see the file comment) ---------------------------
+
+  /// Crash faults: same semantics as the simulated farm (permanent).
+  void CrashRegister(const RegisterId& r) override;
+  void CrashDisk(DiskId d) override;
+  /// Runtime per-request service-delay override (replaces Options' range).
+  void DelayDisk(DiskId d, std::uint64_t min_us, std::uint64_t max_us) override;
+  /// Drops each incoming request frame with probability permille/1000.
+  void DropRequests(DiskId d, std::uint32_t permille) override;
+  /// Severs every established connection; keeps listening (recoverable).
+  void DisconnectDisk(DiskId d) override;
+  /// Holds every request until `dur` from now elapses, then serves them.
+  void StallDisk(DiskId d, std::chrono::milliseconds dur) override;
+  /// Clears delay override, drop rate, and stall (crashes persist).
+  void Heal(DiskId d) override;
 
   /// Requests served (responses actually sent); a batch counts each of
   /// its sub-operations.
@@ -102,8 +129,20 @@ class NadServer {
   std::atomic<std::uint64_t> served_{0};
   std::size_t recovered_ = 0;  // written once in Start, then read-only
 
+  // Fault filter state (see the file comment). The delay override and
+  // drop rate are read per request frame, so they are lock-free atomics;
+  // kNoDelayOverride means "use Options' range".
+  static constexpr std::uint64_t kNoDelayOverride = ~0ULL;
+  std::atomic<std::uint64_t> delay_min_override_{kNoDelayOverride};
+  std::atomic<std::uint64_t> delay_max_override_{kNoDelayOverride};
+  std::atomic<std::uint32_t> drop_permille_{0};
+
   // Cold path: connection bookkeeping and the write-ahead journal.
   mutable Mutex mu_;
+  // Requests are held (not dropped) while now < stall_until_; served
+  // threads wait on fault_cv_, which Stop() interrupts.
+  CondVar fault_cv_;
+  std::chrono::steady_clock::time_point stall_until_ GUARDED_BY(mu_){};
   // Journal file I/O order; taken after a stripe lock (write path) or
   // after the full-store quiesce (checkpoint path) — never before either.
   Mutex journal_mu_;
@@ -119,6 +158,7 @@ class NadServer {
   obs::Counter* reads_served_;
   obs::Counter* writes_served_;
   obs::Counter* dropped_crashed_;
+  obs::Counter* dropped_faulted_;
   obs::Histogram* read_serve_us_;
   obs::Histogram* write_serve_us_;
   obs::Histogram* batch_size_;

@@ -1,5 +1,6 @@
-// Minimal RAII POSIX TCP socket helpers used by the NAD server and client.
-// Loopback/LAN oriented; frames are [u32 length][payload].
+/// \file
+/// Minimal RAII POSIX TCP socket helpers used by the NAD server and client.
+/// Loopback/LAN oriented; frames are [u32 length][payload].
 #pragma once
 
 #include <cstdint>

@@ -1,7 +1,8 @@
-// The unified stats surface of the observability layer: every register
-// emulation endpoint and the quorum engine expose their phase counters
-// through one accessor instead of per-class one-offs (this replaces the
-// old MwmrAtomic::snapshot_stats()-style paths).
+/// \file
+/// The unified stats surface of the observability layer: every register
+/// emulation endpoint and the quorum engine expose their phase counters
+/// through one accessor instead of per-class one-offs (this replaces the
+/// old MwmrAtomic::snapshot_stats()-style paths).
 #pragma once
 
 #include <cstdint>

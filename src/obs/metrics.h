@@ -1,20 +1,21 @@
-// Lock-cheap metrics primitives and a process-wide registry.
-//
-// Every layer of the stack (nad client/server, the quorum engine, the
-// emulation phases, the workload harness) records into these so a bench or
-// demo run can emit a machine-readable artifact of *where the time went*:
-// quorum waits, pending-write queueing, snapshot collect passes, RPC
-// round trips. The hot-path cost is one relaxed atomic RMW per event —
-// registration (the only locking path) happens once per metric name and
-// callers cache the returned reference.
-//
-// Three instrument kinds, mirroring what register-emulation papers report
-// (cf. "On the Practicality of Atomic MWMR Register Implementations"):
-//
-//   Counter    monotonic u64 (ops issued, adoptions, timeouts, ...)
-//   Gauge      i64 level with a high-watermark (in-flight depth, queue depth)
-//   Histogram  fixed power-of-two latency buckets in microseconds, with
-//              count/sum/max and approximate percentiles
+/// \file
+/// Lock-cheap metrics primitives and a process-wide registry.
+///
+/// Every layer of the stack (nad client/server, the quorum engine, the
+/// emulation phases, the workload harness) records into these so a bench or
+/// demo run can emit a machine-readable artifact of *where the time went*:
+/// quorum waits, pending-write queueing, snapshot collect passes, RPC
+/// round trips. The hot-path cost is one relaxed atomic RMW per event —
+/// registration (the only locking path) happens once per metric name and
+/// callers cache the returned reference.
+///
+/// Three instrument kinds, mirroring what register-emulation papers report
+/// (cf. "On the Practicality of Atomic MWMR Register Implementations"):
+///
+///   Counter    monotonic u64 (ops issued, adoptions, timeouts, ...)
+///   Gauge      i64 level with a high-watermark (in-flight depth, queue depth)
+///   Histogram  fixed power-of-two latency buckets in microseconds, with
+///              count/sum/max and approximate percentiles
 #pragma once
 
 #include <atomic>

@@ -1,13 +1,14 @@
-// Structured operation tracing: a process-global JSONL sink emitting
-// chrome://tracing "complete" events (ph "X"), so a bench or demo run can
-// be opened in chrome://tracing / Perfetto and read phase by phase —
-// choose-value vs wait in the SWMR READ, collect passes in the name
-// snapshot, write-backs, RPC round trips.
-//
-// The sink is off by default; when off, a span costs one relaxed atomic
-// load. StartTrace/StopTrace bracket a capture. The output is a strict
-// JSON array (one event per line), which both chrome://tracing and plain
-// JSON tooling accept.
+/// \file
+/// Structured operation tracing: a process-global JSONL sink emitting
+/// chrome://tracing "complete" events (ph "X"), so a bench or demo run can
+/// be opened in chrome://tracing / Perfetto and read phase by phase —
+/// choose-value vs wait in the SWMR READ, collect passes in the name
+/// snapshot, write-backs, RPC round trips.
+///
+/// The sink is off by default; when off, a span costs one relaxed atomic
+/// load. StartTrace/StopTrace bracket a capture. The output is a strict
+/// JSON array (one event per line), which both chrome://tracing and plain
+/// JSON tooling accept.
 #pragma once
 
 #include <chrono>

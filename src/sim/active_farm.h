@@ -1,19 +1,20 @@
-// Simulated farm of ACTIVE disks (Acharya et al.; Riedel et al.) — disks
-// that can execute small programs against a block, i.e. atomic
-// read-modify-write, unlike the plain NADs of the paper's main model.
-//
-// This substrate exists for the related-work baseline (Chockler & Malkhi,
-// "Active Disk Paxos with infinitely many processes", PODC 2002, cited as
-// [22]): a *ranked register* is implementable from fail-prone RMW blocks
-// — but not from plain read/write blocks — and yields uniform consensus
-// for unboundedly many processes. Keeping RMW in a separate farm type
-// keeps the model boundary visible in the type system: nothing in core/
-// can touch an RMW block.
-//
-// Note the related-work subtlety the code mirrors: one cannot implement a
-// *reliable* RMW object from fail-prone ones (Jayanti–Chandra–Toueg), so
-// apps::RankedRegister does not try — it implements the weaker ranked-
-// register abstraction from 2t+1 fail-prone RMW blocks directly.
+/// \file
+/// Simulated farm of ACTIVE disks (Acharya et al.; Riedel et al.) — disks
+/// that can execute small programs against a block, i.e. atomic
+/// read-modify-write, unlike the plain NADs of the paper's main model.
+///
+/// This substrate exists for the related-work baseline (Chockler & Malkhi,
+/// "Active Disk Paxos with infinitely many processes", PODC 2002, cited as
+/// [22]): a *ranked register* is implementable from fail-prone RMW blocks
+/// — but not from plain read/write blocks — and yields uniform consensus
+/// for unboundedly many processes. Keeping RMW in a separate farm type
+/// keeps the model boundary visible in the type system: nothing in core/
+/// can touch an RMW block.
+///
+/// Note the related-work subtlety the code mirrors: one cannot implement a
+/// *reliable* RMW object from fail-prone ones (Jayanti–Chandra–Toueg), so
+/// apps::RankedRegister does not try — it implements the weaker ranked-
+/// register abstraction from 2t+1 fail-prone RMW blocks directly.
 #pragma once
 
 #include <chrono>
@@ -27,6 +28,7 @@
 #include "common/sync.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "faults/fault_sink.h"
 #include "sim/register_store.h"
 
 namespace nadreg::sim {
@@ -40,7 +42,7 @@ using RmwFunction = std::function<Value(const Value& current)>;
 
 /// Asynchronous access to fail-prone active-disk blocks. Supports plain
 /// reads/writes (a superset of BaseRegisterClient) plus RMW.
-class ActiveDiskFarm : public BaseRegisterClient {
+class ActiveDiskFarm : public BaseRegisterClient, public faults::FaultSink {
  public:
   struct Options {
     std::uint64_t seed = 0x5eed;
@@ -65,8 +67,8 @@ class ActiveDiskFarm : public BaseRegisterClient {
   /// the previous value. Crashed blocks never respond.
   void IssueRmw(ProcessId p, RegisterId r, RmwFunction fn, RmwHandler done);
 
-  void CrashRegister(const RegisterId& r);
-  void CrashDisk(DiskId d);
+  void CrashRegister(const RegisterId& r) override;
+  void CrashDisk(DiskId d) override;
 
   OpStats stats() const;
   std::uint64_t RmwIssued() const;

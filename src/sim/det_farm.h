@@ -1,22 +1,23 @@
-// Deterministic, adversary-controlled farm of fail-prone base registers.
-//
-// Nothing happens unless the adversary (the test or the proof-schedule
-// driver) makes it happen:
-//
-//  * An issued operation becomes *pending* and stays pending until the
-//    adversary calls Deliver(op) — the paper's "flush" of a pending write —
-//    or Drop(op)/CrashRegister(r), after which it never responds.
-//  * A *gate* can be armed for a process: the process's next Issue* call
-//    parks inside the call, before the operation becomes visible. This is
-//    exactly a *covering write* (Burns–Lynch, used by Theorems 1–3): the
-//    process is frozen "just about to write". The adversary observes which
-//    register the process is covering (WaitGated) and later lets the
-//    operation through (ReleaseGate).
-//
-// Together these realize every move in the Section 4.1 run construction:
-// freezing a writer to cover a register, leaving writes pending after an
-// OPERATION completed (Fig. 1), flushing pending writes in any order, and
-// crashing a register so it appears merely slow.
+/// \file
+/// Deterministic, adversary-controlled farm of fail-prone base registers.
+///
+/// Nothing happens unless the adversary (the test or the proof-schedule
+/// driver) makes it happen:
+///
+///  * An issued operation becomes *pending* and stays pending until the
+///    adversary calls Deliver(op) — the paper's "flush" of a pending write —
+///    or Drop(op)/CrashRegister(r), after which it never responds.
+///  * A *gate* can be armed for a process: the process's next Issue* call
+///    parks inside the call, before the operation becomes visible. This is
+///    exactly a *covering write* (Burns–Lynch, used by Theorems 1–3): the
+///    process is frozen "just about to write". The adversary observes which
+///    register the process is covering (WaitGated) and later lets the
+///    operation through (ReleaseGate).
+///
+/// Together these realize every move in the Section 4.1 run construction:
+/// freezing a writer to cover a register, leaving writes pending after an
+/// OPERATION completed (Fig. 1), flushing pending writes in any order, and
+/// crashing a register so it appears merely slow.
 #pragma once
 
 #include <cstdint>
@@ -29,11 +30,12 @@
 #include "common/base_register.h"
 #include "common/sync.h"
 #include "common/types.h"
+#include "faults/fault_sink.h"
 #include "sim/register_store.h"
 
 namespace nadreg::sim {
 
-class DetFarm : public BaseRegisterClient {
+class DetFarm : public BaseRegisterClient, public faults::FaultSink {
  public:
   using OpId = std::uint64_t;
 
@@ -84,10 +86,11 @@ class DetFarm : public BaseRegisterClient {
   // --- Adversary: crashes -------------------------------------------------
 
   /// Crashes a register: all its pending ops are dropped and future ops on
-  /// it never respond.
-  void CrashRegister(const RegisterId& r);
+  /// it never respond. (faults::FaultSink; transport faults stay no-ops —
+  /// the adversary already controls every delivery explicitly.)
+  void CrashRegister(const RegisterId& r) override;
   /// Crashes a whole disk (all its registers, including untouched ones).
-  void CrashDisk(DiskId d);
+  void CrashDisk(DiskId d) override;
 
   // --- Adversary: covering gates ------------------------------------------
 

@@ -1,29 +1,30 @@
-// Systematic schedule exploration over the deterministic farm — a bounded
-// model checker for the register emulations.
-//
-// The adversary's only power in this model is choosing *when each issued
-// base-register operation takes effect*. The explorer enumerates those
-// choices: it repeatedly re-runs a scenario from scratch, replays a
-// prefix of delivery decisions, lets the system settle, branches on every
-// operation currently pending, and validates each completed schedule
-// (leaf) with a caller-supplied check — e.g. "is the recorded history
-// linearizable?".
-//
-// This complements the two other verification layers:
-//   * randomized campaigns (bench/campaigns.*) sample schedules;
-//   * adversary/schedules.* replay the hand-built proof schedules;
-//   * the explorer *enumerates* all delivery orders of small scenarios,
-//     finding violations (or certifying their absence) without human
-//     guidance — it rediscovers the Fig. 2 non-atomicity on its own
-//     (bench/explore_schedules).
-//
-// Scope and guarantees: every explored schedule is a real execution
-// (soundness). Coverage is bounded: schedules are delivery orders chosen
-// at *settle points* (states where no process can take a step without a
-// delivery), scenarios must be deterministic given the delivery order,
-// and at most one operation per (process, register) may be outstanding
-// (the model's Section 2 discipline — RegisterSet guarantees it), which
-// is what makes replay keys stable across runs.
+/// \file
+/// Systematic schedule exploration over the deterministic farm — a bounded
+/// model checker for the register emulations.
+///
+/// The adversary's only power in this model is choosing *when each issued
+/// base-register operation takes effect*. The explorer enumerates those
+/// choices: it repeatedly re-runs a scenario from scratch, replays a
+/// prefix of delivery decisions, lets the system settle, branches on every
+/// operation currently pending, and validates each completed schedule
+/// (leaf) with a caller-supplied check — e.g. "is the recorded history
+/// linearizable?".
+///
+/// This complements the two other verification layers:
+///   * randomized campaigns (bench/campaigns.*) sample schedules;
+///   * adversary/schedules.* replay the hand-built proof schedules;
+///   * the explorer *enumerates* all delivery orders of small scenarios,
+///     finding violations (or certifying their absence) without human
+///     guidance — it rediscovers the Fig. 2 non-atomicity on its own
+///     (bench/explore_schedules).
+///
+/// Scope and guarantees: every explored schedule is a real execution
+/// (soundness). Coverage is bounded: schedules are delivery orders chosen
+/// at *settle points* (states where no process can take a step without a
+/// delivery), scenarios must be deterministic given the delivery order,
+/// and at most one operation per (process, register) may be outstanding
+/// (the model's Section 2 discipline — RegisterSet guarantees it), which
+/// is what makes replay keys stable across runs.
 #pragma once
 
 #include <chrono>

@@ -1,13 +1,14 @@
-// In-memory state of a farm of network-attached disks: lazily materialized
-// register values plus crash bookkeeping. Shared by the randomized and
-// deterministic simulation backends. Not thread safe by itself; backends
-// guard it with their own lock.
-//
-// ShardedRegisterStore adds striped per-register locking on top: the NAD
-// daemon serves many connections concurrently, and a single global lock
-// around every Get/Apply serializes the whole farm. Stripes make accesses
-// to distinct registers (the common case: each emulation register lives
-// on its own block) contend only on their stripe.
+/// \file
+/// In-memory state of a farm of network-attached disks: lazily materialized
+/// register values plus crash bookkeeping. Shared by the randomized and
+/// deterministic simulation backends. Not thread safe by itself; backends
+/// guard it with their own lock.
+///
+/// ShardedRegisterStore adds striped per-register locking on top: the NAD
+/// daemon serves many connections concurrently, and a single global lock
+/// around every Get/Apply serializes the whole farm. Stripes make accesses
+/// to distinct registers (the common case: each emulation register lives
+/// on its own block) contend only on their stripe.
 #pragma once
 
 #include <array>

@@ -1,6 +1,7 @@
-// Helper for building explorer scenarios: runs workload threads and
-// reports completion; validation is a caller-supplied callback (typically
-// a consistency check over a HistoryRecorder).
+/// \file
+/// Helper for building explorer scenarios: runs workload threads and
+/// reports completion; validation is a caller-supplied callback (typically
+/// a consistency check over a HistoryRecorder).
 #pragma once
 
 #include <atomic>

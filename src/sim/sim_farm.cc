@@ -33,8 +33,25 @@ void SimFarm::Enqueue(Event ev) {
       }
       return;
     }
-    const auto delay = std::chrono::microseconds(
-        rng_.Between(opts_.min_delay_us, opts_.max_delay_us));
+    if (auto it = drop_permille_.find(ev.r.disk);
+        it != drop_permille_.end() && rng_.Chance(it->second, 1000)) {
+      // Lossy link: the operation is swallowed like a crash would swallow
+      // it — issued, never serviced. Unlike a crash this heals.
+      if (ev.is_write) {
+        ++stats_.writes_issued;
+      } else {
+        ++stats_.reads_issued;
+      }
+      return;
+    }
+    std::uint64_t min_us = opts_.min_delay_us;
+    std::uint64_t max_us = opts_.max_delay_us;
+    if (auto it = delay_override_.find(ev.r.disk);
+        it != delay_override_.end()) {
+      min_us = it->second.first;
+      max_us = it->second.second;
+    }
+    const auto delay = std::chrono::microseconds(rng_.Between(min_us, max_us));
     ev.due = std::chrono::steady_clock::now() + delay;
     ev.seq = next_seq_++;
     if (ev.is_write) {
@@ -76,6 +93,26 @@ void SimFarm::CrashRegister(const RegisterId& r) {
 void SimFarm::CrashDisk(DiskId d) {
   MutexLock lock(mu_);
   store_.CrashDisk(d);
+}
+
+void SimFarm::DelayDisk(DiskId d, std::uint64_t min_us, std::uint64_t max_us) {
+  MutexLock lock(mu_);
+  delay_override_[d] = {min_us, max_us};
+}
+
+void SimFarm::DropRequests(DiskId d, std::uint32_t permille) {
+  MutexLock lock(mu_);
+  if (permille == 0) {
+    drop_permille_.erase(d);
+  } else {
+    drop_permille_[d] = permille;
+  }
+}
+
+void SimFarm::Heal(DiskId d) {
+  MutexLock lock(mu_);
+  delay_override_.erase(d);
+  drop_permille_.erase(d);
 }
 
 OpStats SimFarm::stats() const {

@@ -1,33 +1,36 @@
-// Randomized threaded simulation of a farm of network-attached disks.
-//
-// Each issued operation is assigned a random service delay drawn from a
-// seeded generator and is delivered (applied + handler invoked) by a
-// service thread when its deadline passes. Crashed registers stop
-// responding: their queued and future operations are silently dropped,
-// which is exactly the paper's unresponsive failure mode — the issuing
-// process can never distinguish "crashed" from "very slow".
-//
-// This backend provides the asynchrony and crash behaviour needed to
-// validate the positive results under thousands of random schedules. For
-// proof-schedule control (covering writes, selective flushing) use
-// sim::DetFarm instead.
+/// \file
+/// Randomized threaded simulation of a farm of network-attached disks.
+///
+/// Each issued operation is assigned a random service delay drawn from a
+/// seeded generator and is delivered (applied + handler invoked) by a
+/// service thread when its deadline passes. Crashed registers stop
+/// responding: their queued and future operations are silently dropped,
+/// which is exactly the paper's unresponsive failure mode — the issuing
+/// process can never distinguish "crashed" from "very slow".
+///
+/// This backend provides the asynchrony and crash behaviour needed to
+/// validate the positive results under thousands of random schedules. For
+/// proof-schedule control (covering writes, selective flushing) use
+/// sim::DetFarm instead.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <queue>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/base_register.h"
 #include "common/sync.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "faults/fault_sink.h"
 #include "sim/register_store.h"
 
 namespace nadreg::sim {
 
-class SimFarm : public BaseRegisterClient {
+class SimFarm : public BaseRegisterClient, public faults::FaultSink {
  public:
   struct Options {
     std::uint64_t seed = 0x5eed;
@@ -47,11 +50,20 @@ class SimFarm : public BaseRegisterClient {
   void IssueWrite(ProcessId p, RegisterId r, Value v,
                   WriteHandler done) override;
 
+  // --- faults::FaultSink ---------------------------------------------------
+
   /// Crash a single register: it stops responding from now on.
-  void CrashRegister(const RegisterId& r);
+  void CrashRegister(const RegisterId& r) override;
   /// Full disk crash: all (infinitely many) registers of the disk stop
   /// responding.
-  void CrashDisk(DiskId d);
+  void CrashDisk(DiskId d) override;
+  /// Per-disk service-delay override (replaces Options' range for d).
+  void DelayDisk(DiskId d, std::uint64_t min_us, std::uint64_t max_us) override;
+  /// Silently swallows each new operation on d with probability
+  /// permille/1000 (it counts as issued but never responds).
+  void DropRequests(DiskId d, std::uint32_t permille) override;
+  /// Clears the delay override and drop rate for d (crashes persist).
+  void Heal(DiskId d) override;
 
   /// Counters of issued/completed base-register operations.
   OpStats stats() const;
@@ -90,6 +102,10 @@ class SimFarm : public BaseRegisterClient {
   RegisterStore store_ GUARDED_BY(mu_);
   Rng rng_ GUARDED_BY(mu_);
   Options opts_;  // immutable after construction
+  // Recoverable (Heal-able) per-disk faults injected via FaultSink.
+  std::unordered_map<DiskId, std::pair<std::uint64_t, std::uint64_t>>
+      delay_override_ GUARDED_BY(mu_);
+  std::unordered_map<DiskId, std::uint32_t> drop_permille_ GUARDED_BY(mu_);
   std::uint64_t next_seq_ GUARDED_BY(mu_) = 0;
   OpStats stats_ GUARDED_BY(mu_);
   std::size_t in_flight_ GUARDED_BY(mu_) = 0;

@@ -1,0 +1,20 @@
+// lint-path: src/nad/retry.cc
+// Known-bad fixture: raw sleeps in the client retry/backoff path. A
+// sleeping thread cannot be interrupted by shutdown — backoff must wait
+// on a CondVar with a steady_clock deadline so the client destructor
+// never blocks behind a full backoff interval.
+#include <chrono>
+#include <thread>
+
+namespace nadreg::nad {
+
+inline void BadBackoff(std::chrono::microseconds d) {
+  std::this_thread::sleep_for(d);  // lint-expect(no-sleep)
+}
+
+inline void BadDeadline() {
+  const auto t = std::chrono::system_clock::now();  // lint-expect(no-sleep)
+  (void)t;
+}
+
+}  // namespace nadreg::nad

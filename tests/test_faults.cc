@@ -1,0 +1,349 @@
+// Tests for the fault-injection subsystem (src/faults): plan parsing,
+// round-tripping, error reporting, crash-plan generation, deterministic
+// injector replay with metrics, and the SimFarm transport-fault sinks
+// (delay override, probabilistic drop, heal).
+#include "common/sync.h"
+#include "faults/fault_plan.h"
+#include "faults/injector.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "sim/sim_farm.h"
+
+namespace nadreg::faults {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(FaultPlan, ParsesEveryEventKind) {
+  const char* kText =
+      "# adversary for run 7\n"
+      "at 0us crash-register 2:9\n"
+      "at 10us crash-disk 1\n"
+      "at 250ms delay 0 50us 200us\n"
+      "at 1s drop 2 300\n"
+      "at 2s disconnect 0\n"
+      "at 3s stall 1 5ms\n"
+      "at 4s partition 0 2\n"
+      "at 5s heal 0 2\n";
+  auto plan = FaultPlan::Parse(kText);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->events().size(), 8u);
+  const auto& ev = plan->events();
+  EXPECT_EQ(ev[0].kind, FaultKind::kCrashRegister);
+  EXPECT_EQ(ev[0].disks, std::vector<DiskId>{2});
+  EXPECT_EQ(ev[0].block, 9u);
+  EXPECT_EQ(ev[1].kind, FaultKind::kCrashDisk);
+  EXPECT_EQ(ev[2].kind, FaultKind::kDelay);
+  EXPECT_EQ(ev[2].at, std::chrono::microseconds(250ms));
+  EXPECT_EQ(ev[2].min_delay_us, 50u);
+  EXPECT_EQ(ev[2].max_delay_us, 200u);
+  EXPECT_EQ(ev[3].kind, FaultKind::kDrop);
+  EXPECT_EQ(ev[3].permille, 300u);
+  EXPECT_EQ(ev[4].kind, FaultKind::kDisconnect);
+  EXPECT_EQ(ev[5].kind, FaultKind::kStall);
+  EXPECT_EQ(ev[5].stall, std::chrono::microseconds(5ms));
+  EXPECT_EQ(ev[6].kind, FaultKind::kPartition);
+  EXPECT_EQ(ev[6].disks, (std::vector<DiskId>{0, 2}));
+  EXPECT_EQ(ev[7].kind, FaultKind::kHeal);
+}
+
+TEST(FaultPlan, RoundTripsThroughToString) {
+  const char* kText =
+      "at 5us crash-disk 0\n"
+      "at 100us delay 1 10us 90us\n"
+      "at 2ms partition 1 2\n"
+      "at 1s heal 1 2\n";
+  auto plan = FaultPlan::Parse(kText);
+  ASSERT_TRUE(plan.ok());
+  auto again = FaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->ToString(), plan->ToString());
+  ASSERT_EQ(again->events().size(), plan->events().size());
+  for (std::size_t i = 0; i < plan->events().size(); ++i) {
+    EXPECT_EQ(again->events()[i].ToLine(), plan->events()[i].ToLine());
+  }
+}
+
+TEST(FaultPlan, SortsEventsByTimeKeepingTextualOrderForTies) {
+  auto plan = FaultPlan::Parse(
+      "at 3ms crash-disk 2\n"
+      "at 1ms crash-disk 0\n"
+      "at 1ms crash-disk 1\n");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->events().size(), 3u);
+  EXPECT_EQ(plan->events()[0].disks, std::vector<DiskId>{0});
+  EXPECT_EQ(plan->events()[1].disks, std::vector<DiskId>{1});
+  EXPECT_EQ(plan->events()[2].disks, std::vector<DiskId>{2});
+}
+
+TEST(FaultPlan, RejectsMalformedLinesWithLineNumbers) {
+  struct Case {
+    const char* text;
+    const char* why;
+  };
+  const Case cases[] = {
+      {"crash-disk 0\n", "missing 'at <time>'"},
+      {"at 5 crash-disk 0\n", "time without a unit"},
+      {"at 5us explode 0\n", "unknown keyword"},
+      {"at 5us crash-register 3\n", "crash-register wants disk:block"},
+      {"at 5us delay 0 200us 100us\n", "max below min"},
+      {"at 5us drop 0 1001\n", "permille above 1000"},
+      {"at 5us stall 0\n", "stall without a duration"},
+      {"at 5us partition\n", "partition without disks"},
+  };
+  for (const Case& c : cases) {
+    auto plan = FaultPlan::Parse(c.text);
+    EXPECT_FALSE(plan.ok()) << c.why;
+    if (!plan.ok()) {
+      EXPECT_EQ(plan.status().code(), StatusCode::kInvalid) << c.why;
+      EXPECT_NE(plan.status().ToString().find("line 1"), std::string::npos)
+          << "diagnostic should carry the line number: "
+          << plan.status().ToString();
+    }
+  }
+  // The line number tracks the offending line, not just "1".
+  auto plan = FaultPlan::Parse("at 1us crash-disk 0\nat bogus crash-disk 1\n");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().ToString().find("line 2"), std::string::npos);
+}
+
+TEST(FaultPlan, GeneratedCrashPlanRespectsTheBudget) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto plan = FaultPlan::GenerateCrashPlan(rng, /*n_disks=*/5,
+                                             /*crashes=*/2, 1000us);
+    EXPECT_EQ(plan.events().size(), 2u);
+    EXPECT_EQ(plan.CrashedDisks().size(), 2u);  // distinct victims
+    for (const FaultEvent& ev : plan.events()) {
+      EXPECT_EQ(ev.kind, FaultKind::kCrashDisk);
+      ASSERT_EQ(ev.disks.size(), 1u);
+      EXPECT_LT(ev.disks[0], 5u);
+      EXPECT_LE(ev.at, std::chrono::microseconds(1000us));
+    }
+    // Generated plans are valid spec text.
+    EXPECT_TRUE(FaultPlan::Parse(plan.ToString()).ok());
+  }
+}
+
+TEST(FaultPlan, CrashedDisksCountsOnlyWholeDiskCrashes) {
+  auto plan = FaultPlan::Parse(
+      "at 0us crash-register 0:1\n"
+      "at 1us crash-disk 1\n"
+      "at 2us crash-disk 1\n"  // duplicate: one distinct victim
+      "at 3us drop 2 500\n");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->CrashedDisks(), std::set<DiskId>{1});
+}
+
+/// Records every sink call, for deterministic replay assertions.
+struct RecordingSink : FaultSink {
+  std::vector<std::string> calls;
+  void CrashRegister(const RegisterId& r) override {
+    calls.push_back("crash-register " + std::to_string(r.disk) + ":" +
+                    std::to_string(r.block));
+  }
+  void CrashDisk(DiskId d) override {
+    calls.push_back("crash-disk " + std::to_string(d));
+  }
+  void DelayDisk(DiskId d, std::uint64_t mn, std::uint64_t mx) override {
+    calls.push_back("delay " + std::to_string(d) + " " + std::to_string(mn) +
+                    " " + std::to_string(mx));
+  }
+  void DropRequests(DiskId d, std::uint32_t pm) override {
+    calls.push_back("drop " + std::to_string(d) + " " + std::to_string(pm));
+  }
+  void DisconnectDisk(DiskId d) override {
+    calls.push_back("disconnect " + std::to_string(d));
+  }
+  void StallDisk(DiskId d, std::chrono::milliseconds dur) override {
+    calls.push_back("stall " + std::to_string(d) + " " +
+                    std::to_string(dur.count()) + "ms");
+  }
+  void Heal(DiskId d) override { calls.push_back("heal " + std::to_string(d)); }
+};
+
+TEST(FaultInjector, DeterministicReplayFiresInScheduleOrder) {
+  auto plan = FaultPlan::Parse(
+      "at 10us crash-register 0:7\n"
+      "at 20us delay 1 5us 9us\n"
+      "at 30us crash-disk 2\n"
+      "at 40us heal 1\n");
+  ASSERT_TRUE(plan.ok());
+  RecordingSink sink;
+  obs::Registry reg;
+  FaultInjector inj(std::move(*plan), sink, &reg);
+  EXPECT_FALSE(inj.done());
+
+  inj.ApplyThrough(9us);
+  EXPECT_TRUE(sink.calls.empty());
+  inj.ApplyThrough(25us);
+  EXPECT_EQ(sink.calls,
+            (std::vector<std::string>{"crash-register 0:7", "delay 1 5 9"}));
+  inj.ApplyThrough(25us);  // monotonic re-poll: nothing re-fires
+  EXPECT_EQ(sink.calls.size(), 2u);
+  inj.ApplyThrough(1000us);
+  EXPECT_EQ(sink.calls,
+            (std::vector<std::string>{"crash-register 0:7", "delay 1 5 9",
+                                      "crash-disk 2", "heal 1"}));
+  EXPECT_TRUE(inj.done());
+  EXPECT_EQ(inj.injected_count(), 4u);
+  EXPECT_EQ(reg.GetCounter("faults.injected").Get(), 4u);
+  EXPECT_EQ(reg.GetCounter("faults.injected.crash-disk").Get(), 1u);
+  EXPECT_EQ(reg.GetCounter("faults.injected.delay").Get(), 1u);
+}
+
+TEST(FaultInjector, PartitionExpandsToDropAndDisconnectPerDisk) {
+  auto plan = FaultPlan::Parse("at 0us partition 0 2\n");
+  ASSERT_TRUE(plan.ok());
+  RecordingSink sink;
+  obs::Registry reg;
+  FaultInjector inj(std::move(*plan), sink, &reg);
+  inj.ApplyThrough(0us);
+  EXPECT_EQ(sink.calls,
+            (std::vector<std::string>{"drop 0 1000", "disconnect 0",
+                                      "drop 2 1000", "disconnect 2"}));
+  EXPECT_EQ(reg.GetCounter("faults.injected.partition").Get(), 1u);
+}
+
+TEST(FaultInjector, RealTimeReplayFiresEverythingAndStops) {
+  auto plan = FaultPlan::Parse(
+      "at 0us crash-disk 0\n"
+      "at 1ms crash-disk 1\n");
+  ASSERT_TRUE(plan.ok());
+  RecordingSink sink;
+  obs::Registry reg;
+  FaultInjector inj(std::move(*plan), sink, &reg);
+  inj.Start();
+  // Bounded wait for completion (the schedule spans 1ms of real time).
+  for (int i = 0; i < 500 && !inj.done(); ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  inj.Stop();
+  EXPECT_TRUE(inj.done());
+  EXPECT_EQ(sink.calls,
+            (std::vector<std::string>{"crash-disk 0", "crash-disk 1"}));
+}
+
+TEST(FaultInjector, StopInterruptsPendingEventsImmediately) {
+  auto plan = FaultPlan::Parse("at 3600s crash-disk 0\n");  // far future
+  ASSERT_TRUE(plan.ok());
+  RecordingSink sink;
+  obs::Registry reg;
+  FaultInjector inj(std::move(*plan), sink, &reg);
+  const auto start = std::chrono::steady_clock::now();
+  inj.Start();
+  inj.Stop();  // must not wait out the hour
+  const auto took = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(took, 5s);
+  EXPECT_TRUE(sink.calls.empty());
+  EXPECT_FALSE(inj.done());
+}
+
+// --- SimFarm as a FaultSink -----------------------------------------------
+
+class Latch {
+ public:
+  void Bump() {
+    MutexLock lock(mu_);
+    ++n_;
+    cv_.NotifyAll();
+  }
+  bool WaitFor(int target, std::chrono::milliseconds d = 2000ms) {
+    MutexLock lock(mu_);
+    return cv_.WaitFor(mu_, d, [&] { return n_ >= target; });
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  int n_ = 0;
+};
+
+TEST(SimFarmFaults, FullDropSwallowsRequestsAndHealRestoresService) {
+  sim::SimFarm::Options o;
+  o.seed = 9;
+  o.max_delay_us = 10;
+  sim::SimFarm farm(o);
+  FaultSink& sink = farm;
+
+  sink.DropRequests(0, 1000);  // every request to disk 0 is swallowed
+  Latch dropped;
+  farm.IssueWrite(1, RegisterId{0, 1}, "lost", [&] { dropped.Bump(); });
+  EXPECT_FALSE(dropped.WaitFor(1, 100ms));  // handler must never run
+
+  sink.Heal(0);
+  Latch healed;
+  farm.IssueWrite(1, RegisterId{0, 2}, "kept", [&] { healed.Bump(); });
+  EXPECT_TRUE(healed.WaitFor(1));
+}
+
+TEST(SimFarmFaults, PartialDropIsProbabilisticPerRequest) {
+  sim::SimFarm::Options o;
+  o.seed = 11;
+  o.max_delay_us = 5;
+  sim::SimFarm farm(o);
+  FaultSink& sink = farm;
+  sink.DropRequests(0, 500);  // ~half the requests vanish
+
+  Latch done;
+  constexpr int kOps = 200;
+  std::atomic<int> completed{0};
+  for (int i = 0; i < kOps; ++i) {
+    farm.IssueWrite(1, RegisterId{0, static_cast<BlockId>(i)}, "v", [&] {
+      completed.fetch_add(1, std::memory_order_relaxed);
+      done.Bump();
+    });
+  }
+  // Some must survive and some must be dropped — both extremes would
+  // mean the permille arithmetic is broken (P < 1e-50 at 200 trials).
+  EXPECT_FALSE(done.WaitFor(kOps, 500ms));
+  EXPECT_GT(completed.load(), 0);
+  EXPECT_LT(completed.load(), kOps);
+}
+
+TEST(SimFarmFaults, DelayOverrideSlowsDeliveryAndHealClearsIt) {
+  sim::SimFarm::Options o;
+  o.seed = 13;
+  o.min_delay_us = 0;
+  o.max_delay_us = 1;  // near-instant by default
+  sim::SimFarm farm(o);
+  FaultSink& sink = farm;
+  sink.DelayDisk(0, 20'000, 30'000);  // 20–30ms per request
+
+  Latch slow;
+  const auto start = std::chrono::steady_clock::now();
+  farm.IssueWrite(1, RegisterId{0, 1}, "v", [&] { slow.Bump(); });
+  ASSERT_TRUE(slow.WaitFor(1));
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 15ms);
+
+  sink.Heal(0);
+  Latch fast;
+  const auto start2 = std::chrono::steady_clock::now();
+  farm.IssueWrite(1, RegisterId{0, 2}, "v", [&] { fast.Bump(); });
+  ASSERT_TRUE(fast.WaitFor(1));
+  EXPECT_LT(std::chrono::steady_clock::now() - start2, 15ms);
+}
+
+TEST(SimFarmFaults, CrashFaultsAreNotHealable) {
+  sim::SimFarm::Options o;
+  o.seed = 17;
+  o.max_delay_us = 5;
+  sim::SimFarm farm(o);
+  FaultSink& sink = farm;
+  sink.CrashDisk(0);
+  sink.Heal(0);  // heals transport faults only; a crash is forever
+  Latch done;
+  farm.IssueWrite(1, RegisterId{0, 1}, "v", [&] { done.Bump(); });
+  EXPECT_FALSE(done.WaitFor(1, 100ms));
+}
+
+}  // namespace
+}  // namespace nadreg::faults

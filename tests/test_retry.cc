@@ -1,0 +1,146 @@
+// Deterministic tests for the client retry path (nad/retry.h): backoff
+// growth/cap/jitter bounds with a seeded Rng, and the circuit breaker's
+// closed → open → half-open → closed lifecycle driven by explicit
+// time_points — no threads, no sleeps, no wall-clock dependence.
+#include "nad/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "common/rng.h"
+
+namespace nadreg::nad {
+namespace {
+
+using namespace std::chrono_literals;
+using std::chrono::microseconds;
+using std::chrono::steady_clock;
+
+RetryPolicy NoJitterPolicy() {
+  RetryPolicy p;
+  p.initial_backoff = 1ms;
+  p.max_backoff = 16ms;
+  p.jitter_permille = 0;
+  return p;
+}
+
+TEST(Backoff, DoublesPerFailureUpToTheCap) {
+  BackoffState b(NoJitterPolicy());
+  Rng rng(1);
+  EXPECT_EQ(b.Next(rng), microseconds(1ms));
+  EXPECT_EQ(b.Next(rng), microseconds(2ms));
+  EXPECT_EQ(b.Next(rng), microseconds(4ms));
+  EXPECT_EQ(b.Next(rng), microseconds(8ms));
+  EXPECT_EQ(b.Next(rng), microseconds(16ms));
+  // Capped from here on, no matter how many more failures accrue.
+  EXPECT_EQ(b.Next(rng), microseconds(16ms));
+  EXPECT_EQ(b.Next(rng), microseconds(16ms));
+  EXPECT_EQ(b.failures(), 7u);
+}
+
+TEST(Backoff, ResetReturnsToTheInitialDelay) {
+  BackoffState b(NoJitterPolicy());
+  Rng rng(2);
+  (void)b.Next(rng);
+  (void)b.Next(rng);
+  (void)b.Next(rng);
+  b.Reset();
+  EXPECT_EQ(b.failures(), 0u);
+  EXPECT_EQ(b.Next(rng), microseconds(1ms));
+}
+
+TEST(Backoff, JitterStaysWithinTheConfiguredPermille) {
+  RetryPolicy p;
+  p.initial_backoff = 10ms;
+  p.max_backoff = 10ms;
+  p.jitter_permille = 300;  // up to +30%
+  BackoffState b(p);
+  Rng rng(42);
+  bool saw_jitter = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto d = b.Next(rng);
+    EXPECT_GE(d, microseconds(10ms));
+    EXPECT_LE(d, microseconds(13ms));
+    if (d > microseconds(10ms)) saw_jitter = true;
+  }
+  // With 200 samples of a 3ms span, a jitter-free run means the jitter
+  // arithmetic broke, not that we got unlucky.
+  EXPECT_TRUE(saw_jitter);
+}
+
+TEST(Backoff, SameSeedSameSchedule) {
+  RetryPolicy p;
+  p.jitter_permille = 500;
+  BackoffState a(p), b(p);
+  Rng ra(7), rb(7);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.Next(ra), b.Next(rb));
+}
+
+TEST(Breaker, StaysClosedBelowTheThreshold) {
+  CircuitBreaker cb(NoJitterPolicy());  // threshold 4
+  const auto t0 = steady_clock::time_point{};
+  EXPECT_FALSE(cb.RecordFailure(t0));
+  EXPECT_FALSE(cb.RecordFailure(t0));
+  EXPECT_FALSE(cb.RecordFailure(t0));
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(cb.AllowRequest(t0));
+}
+
+TEST(Breaker, OpensAtTheThresholdAndReportsTheTransitionOnce) {
+  CircuitBreaker cb(NoJitterPolicy());
+  const auto t0 = steady_clock::time_point{};
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(cb.RecordFailure(t0));
+  EXPECT_TRUE(cb.RecordFailure(t0));  // 4th failure: the open transition
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(cb.AllowRequest(t0));
+  // Further failures while open are not new transitions.
+  EXPECT_FALSE(cb.RecordFailure(t0 + 1ms));
+}
+
+TEST(Breaker, HalfOpensAfterTheCooldownThenClosesOnSuccess) {
+  RetryPolicy p = NoJitterPolicy();
+  p.breaker_cooldown = 250ms;
+  CircuitBreaker cb(p);
+  const auto t0 = steady_clock::time_point{};
+  for (int i = 0; i < 4; ++i) (void)cb.RecordFailure(t0);
+  ASSERT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(cb.AllowRequest(t0 + 249ms));  // still cooling down
+  EXPECT_TRUE(cb.AllowRequest(t0 + 250ms));   // admits a probe
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kHalfOpen);
+  cb.RecordSuccess();
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(cb.consecutive_failures(), 0u);
+  EXPECT_TRUE(cb.AllowRequest(t0 + 251ms));
+}
+
+TEST(Breaker, HalfOpenFailureReopensImmediately) {
+  RetryPolicy p = NoJitterPolicy();
+  p.breaker_cooldown = 100ms;
+  CircuitBreaker cb(p);
+  const auto t0 = steady_clock::time_point{};
+  for (int i = 0; i < 4; ++i) (void)cb.RecordFailure(t0);
+  ASSERT_TRUE(cb.AllowRequest(t0 + 100ms));  // half-open probe admitted
+  // The probe fails: one failure reopens, and the cooldown restarts from
+  // the failure time, not the original opening.
+  EXPECT_TRUE(cb.RecordFailure(t0 + 101ms));
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(cb.AllowRequest(t0 + 200ms));
+  EXPECT_TRUE(cb.AllowRequest(t0 + 201ms));
+}
+
+TEST(Breaker, FailureWhileCoolingDownExtendsTheCooldown) {
+  RetryPolicy p = NoJitterPolicy();
+  p.breaker_cooldown = 100ms;
+  CircuitBreaker cb(p);
+  const auto t0 = steady_clock::time_point{};
+  for (int i = 0; i < 4; ++i) (void)cb.RecordFailure(t0);
+  // An expiry sweep reports another failure at t0+50ms while open: the
+  // cooldown window restarts there.
+  EXPECT_FALSE(cb.RecordFailure(t0 + 50ms));
+  EXPECT_FALSE(cb.AllowRequest(t0 + 149ms));
+  EXPECT_TRUE(cb.AllowRequest(t0 + 150ms));
+}
+
+}  // namespace
+}  // namespace nadreg::nad
