@@ -23,7 +23,10 @@ Rules
                  the exhaustiveness check when the protocol grows).
 
 Suppression: append  // lint-allow(<rule>): <reason>  to the offending line
-(or the line directly above it).
+(or the line directly above it). Exception: the schedule explorer
+(src/sim/explorer.cc) is *strictly* sleep-free — its quiescence detection
+is event-driven by design (DetFarm scheduler hooks), so a wall-clock wait
+there is always a bug and lint-allow(no-sleep) is not honoured.
 
 Fixture mode (--fixtures DIR) self-tests the linter: each fixture file
 declares its virtual tree location with  // lint-path: <path>  and marks the
@@ -45,6 +48,8 @@ from pathlib import Path
 SOURCE_EXTS = {".h", ".cc", ".cpp", ".hpp"}
 SKIP_DIR_NAMES = {"build", "third_party", ".git"}
 FIXTURE_DIR = Path("tests/lint_fixtures")
+# Files where no-sleep may not be suppressed: event-driven by design.
+STRICT_NO_SLEEP = {"src/sim/explorer.cc"}
 
 RAW_MUTEX_RE = re.compile(
     r"\bstd::(?:recursive_|shared_|timed_)*mutex\b"
@@ -164,7 +169,15 @@ def check_file(virtual_path: str, lines: list[str], enumerators: list[str],
                     "raw std:: sync primitive; use nadreg::Mutex/MutexLock/"
                     "CondVar from common/sync.h"))
         if in_no_sleep_scope and SLEEP_RE.search(code):
-            if not allowed(lines, i, "no-sleep"):
+            strict = p in STRICT_NO_SLEEP
+            if strict and allowed(lines, i, "no-sleep"):
+                findings.append(Finding(
+                    virtual_path, i + 1, "no-sleep",
+                    "lint-allow(no-sleep) is not honoured here: the "
+                    "explorer's quiescence detection is event-driven "
+                    "(DetFarm scheduler hooks); a wall-clock wait would "
+                    "make branching nondeterministic"))
+            elif strict or not allowed(lines, i, "no-sleep"):
                 findings.append(Finding(
                     virtual_path, i + 1, "no-sleep",
                     "wall-clock sleep/clock in simulation, algorithm or "

@@ -3,7 +3,6 @@
 #include <chrono>
 #include <future>
 #include <sstream>
-#include <thread>
 
 #include "common/codec.h"
 #include "core/config.h"
@@ -23,7 +22,8 @@ using sim::DetFarm;
 using Pred = std::function<bool(const DetFarm::PendingOp&)>;
 
 void SpinUntilPending(DetFarm& farm, const Pred& pred, std::size_t n) {
-  while (farm.PendingWhere(pred).size() < n) std::this_thread::yield();
+  // Event-driven: DetFarm wakes us on every Issue (no yield-polling).
+  (void)farm.WaitPendingAtLeast(pred, n);
 }
 
 /// Runs a blocking emulated operation while the adversary serves exactly

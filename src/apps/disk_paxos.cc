@@ -2,7 +2,9 @@
 
 #include <memory>
 #include <thread>
+#include <utility>
 
+#include "common/quorum_wait.h"
 #include "common/sync.h"
 #include "core/address.h"
 
@@ -67,47 +69,74 @@ DiskPaxos::PhaseResult DiskPaxos::RunPhase(std::vector<DiskBlock>* blocks_seen) 
 
   const std::string record = EncodeDiskBlock(dblock_);
   const ProcessId self = pid_;
+  // Handlers capture only values and the shared state — a trailing
+  // completion may run after this frame (and even *this*) are gone.
+  BaseRegisterClient* client = &client_;
 
   for (DiskId d = 0; d < farm_.num_disks(); ++d) {
     // Disk Paxos discipline: on each disk, first write our block, then
     // read everyone else's. The read handlers fold results into the
     // phase state and count the disk as complete when all reads landed.
-    client_.IssueWrite(self, BlockOf(d, pid_), record, [this, state, d, self] {
-      if (n_ == 1) {
-        MutexLock lock(state->mu);
-        ++state->disks_complete;
-        state->cv.NotifyAll();
-        return;
-      }
-      for (std::uint32_t q = 0; q < n_; ++q) {
-        if (q == pid_) continue;
-        client_.IssueRead(self, BlockOf(d, q), [state, d, q](Value bytes) {
-          auto block = DecodeDiskBlock(bytes);
-          MutexLock lock(state->mu);
-          if (block.ok()) {
-            if (block->mbal > state->max_mbal_seen) {
-              state->max_mbal_seen = block->mbal;
+    std::vector<std::pair<std::uint32_t, RegisterId>> peers;
+    for (std::uint32_t q = 0; q < n_; ++q) {
+      if (q != pid_) peers.emplace_back(q, BlockOf(d, q));
+    }
+    client_.IssueWrite(
+        self, BlockOf(d, pid_), record,
+        [client, state, d, self, peers = std::move(peers)] {
+          if (peers.empty()) {  // single proposer: nothing to read back
+            {
+              MutexLock lock(state->mu);
+              ++state->disks_complete;
             }
-            if (block->bal > state->freshest[q].bal) {
-              state->freshest[q] = std::move(*block);
-            }
+            state->cv.NotifyAll();
+            client->NoteCompletion(self);
+            return;
           }
-          if (++state->reads_done[d] == state->reads_needed_per_disk) {
-            ++state->disks_complete;
+          for (const auto& [q, reg] : peers) {
+            client->IssueRead(
+                self, reg, [client, state, d, q, self](Value bytes) {
+                  auto block = DecodeDiskBlock(bytes);
+                  {
+                    MutexLock lock(state->mu);
+                    if (block.ok()) {
+                      if (block->mbal > state->max_mbal_seen) {
+                        state->max_mbal_seen = block->mbal;
+                      }
+                      if (block->bal > state->freshest[q].bal) {
+                        state->freshest[q] = std::move(*block);
+                      }
+                    }
+                    if (++state->reads_done[d] ==
+                        state->reads_needed_per_disk) {
+                      ++state->disks_complete;
+                    }
+                  }
+                  state->cv.NotifyAll();
+                  client->NoteCompletion(self);
+                });
           }
-          state->cv.NotifyAll();
+          client->NoteCompletion(self);
         });
-      }
-    });
   }
 
   // Wait for a majority of disks, or an abort signal (a higher mbal).
+  std::function<void()> wake = [state] {
+    MutexLock lock(state->mu);
+    state->cv.NotifyAll();
+  };
   MutexLock lock(state->mu);
-  state->cv.Wait(state->mu, [&] {
-    state->mu.AssertHeld();  // CondVar waits run predicates under the lock
-    return state->disks_complete >= farm_.quorum() ||
-           state->max_mbal_seen > dblock_.mbal;
-  });
+  const bool alive = BlockedQuorumWait(
+      client_, self, state->mu, state->cv, wake, std::nullopt,
+      // A single delivery may complete a disk (or raise max_mbal_seen),
+      // so never report this wait as delivery-commutable.
+      [] { return std::size_t{1}; },
+      [&] {
+        state->mu.AssertHeld();  // predicates run under the lock
+        return state->disks_complete >= farm_.quorum() ||
+               state->max_mbal_seen > dblock_.mbal;
+      });
+  if (!alive) return PhaseResult::kAborted;  // abandoned farm: give up
   if (state->max_mbal_seen > dblock_.mbal) return PhaseResult::kAborted;
   *blocks_seen = state->freshest;
   return PhaseResult::kOk;

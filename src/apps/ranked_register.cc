@@ -4,6 +4,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/quorum_wait.h"
 #include "common/sync.h"
 #include "core/address.h"
 
@@ -47,9 +48,32 @@ struct QuorumState {
   RankedBlock freshest GUARDED_BY(mu);
 };
 
+// Waits for a majority of RMW responses, reporting the blocked state to a
+// deterministic scheduler. Returns false on an abandoned farm.
+bool AwaitMajority(sim::ActiveDiskClient& farm, ProcessId self,
+                   const std::shared_ptr<QuorumState>& state,
+                   std::uint32_t quorum) {
+  std::function<void()> wake = [state] {
+    MutexLock lock(state->mu);
+    state->cv.NotifyAll();
+  };
+  MutexLock lock(state->mu);
+  return BlockedQuorumWait(
+      farm, self, state->mu, state->cv, wake, std::nullopt,
+      [&]() -> std::size_t {
+        state->mu.AssertHeld();
+        return state->responses < quorum ? quorum - state->responses
+                                         : std::size_t{0};
+      },
+      [&] {
+        state->mu.AssertHeld();
+        return state->responses >= quorum;
+      });
+}
+
 }  // namespace
 
-RankedRegister::RankedRegister(sim::ActiveDiskFarm& farm,
+RankedRegister::RankedRegister(sim::ActiveDiskClient& farm,
                                const core::FarmConfig& cfg,
                                std::uint32_t object, ProcessId self)
     : farm_(farm), cfg_(cfg), object_(object), self_(self) {}
@@ -60,6 +84,10 @@ RegisterId RankedRegister::BlockOn(DiskId d) const {
 
 RankedRegister::ReadResult RankedRegister::Read(std::uint64_t rank) {
   auto state = std::make_shared<QuorumState>();
+  // Captured by value: trailing completions may run after *this* (and the
+  // calling frame) are gone; only the farm and the state must stay alive.
+  sim::ActiveDiskClient* farm = &farm_;
+  const ProcessId self = self_;
   for (DiskId d = 0; d < cfg_.num_disks(); ++d) {
     farm_.IssueRmw(
         self_, BlockOn(d),
@@ -69,26 +97,28 @@ RankedRegister::ReadResult RankedRegister::Read(std::uint64_t rank) {
           if (rank > b.read_rank) b.read_rank = rank;  // the read promise
           return EncodeRankedBlock(b);
         },
-        [state](Value previous) {
+        [state, farm, self](Value previous) {
           auto block = DecodeRankedBlock(previous);
-          MutexLock lock(state->mu);
-          if (block.ok() && block->write_rank > state->freshest.write_rank) {
-            state->freshest = std::move(*block);
+          {
+            MutexLock lock(state->mu);
+            if (block.ok() && block->write_rank > state->freshest.write_rank) {
+              state->freshest = std::move(*block);
+            }
+            ++state->responses;
           }
-          ++state->responses;
           state->cv.NotifyAll();
+          farm->NoteCompletion(self);
         });
   }
+  (void)AwaitMajority(farm_, self_, state, cfg_.quorum());
   MutexLock lock(state->mu);
-  state->cv.Wait(state->mu, [&] {
-    state->mu.AssertHeld();
-    return state->responses >= cfg_.quorum();
-  });
   return ReadResult{state->freshest.write_rank, state->freshest.value};
 }
 
 bool RankedRegister::Write(std::uint64_t rank, const std::string& value) {
   auto state = std::make_shared<QuorumState>();
+  sim::ActiveDiskClient* farm = &farm_;
+  const ProcessId self = self_;
   for (DiskId d = 0; d < cfg_.num_disks(); ++d) {
     farm_.IssueRmw(
         self_, BlockOn(d),
@@ -101,28 +131,28 @@ bool RankedRegister::Write(std::uint64_t rank, const std::string& value) {
           }
           return EncodeRankedBlock(b);
         },
-        [state, rank](Value previous) {
+        [state, rank, farm, self](Value previous) {
           auto block = DecodeRankedBlock(previous);
           const RankedBlock b = block.ok() ? *block : RankedBlock{};
-          MutexLock lock(state->mu);
-          // The guard is over the PRE-state: committed iff it held.
-          if (b.read_rank <= rank && b.write_rank <= rank) ++state->commits;
-          ++state->responses;
+          {
+            MutexLock lock(state->mu);
+            // The guard is over the PRE-state: committed iff it held.
+            if (b.read_rank <= rank && b.write_rank <= rank) ++state->commits;
+            ++state->responses;
+          }
           state->cv.NotifyAll();
+          farm->NoteCompletion(self);
         });
   }
+  if (!AwaitMajority(farm_, self_, state, cfg_.quorum())) return false;
   MutexLock lock(state->mu);
-  state->cv.Wait(state->mu, [&] {
-    state->mu.AssertHeld();
-    return state->responses >= cfg_.quorum();
-  });
   // Commit iff every disk in the majority committed: any abort means a
   // higher-ranked operation got there first.
   return state->commits >= cfg_.quorum() &&
          state->commits == state->responses;
 }
 
-ActiveDiskPaxos::ActiveDiskPaxos(sim::ActiveDiskFarm& farm,
+ActiveDiskPaxos::ActiveDiskPaxos(sim::ActiveDiskClient& farm,
                                  const core::FarmConfig& cfg,
                                  std::uint32_t object, ProcessId self)
     : reg_(farm, cfg, object, self), self_(self) {}

@@ -36,7 +36,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/config.h"
-#include "sim/active_farm.h"
+#include "sim/rmw_client.h"
 
 namespace nadreg::apps {
 
@@ -59,11 +59,15 @@ class RankedRegister {
     std::string value;  // empty when write_rank == 0 (never written)
   };
 
-  /// One endpoint per process; participants share `object`.
-  RankedRegister(sim::ActiveDiskFarm& farm, const core::FarmConfig& cfg,
+  /// One endpoint per process; participants share `object`. Works against
+  /// any RMW substrate — the real-time ActiveDiskFarm or the explorer's
+  /// DetFarm.
+  RankedRegister(sim::ActiveDiskClient& farm, const core::FarmConfig& cfg,
                  std::uint32_t object, ProcessId self);
 
-  /// rr-read with rank k. Wait-free (majority of 2t+1 disks).
+  /// rr-read with rank k. Wait-free (majority of 2t+1 disks). On an
+  /// abandoned farm the wait fails fast and the result may be stale (a
+  /// subsequent Write at this rank will not commit).
   ReadResult Read(std::uint64_t rank);
 
   /// rr-write with rank k. Returns true iff the write committed.
@@ -72,7 +76,7 @@ class RankedRegister {
  private:
   RegisterId BlockOn(DiskId d) const;
 
-  sim::ActiveDiskFarm& farm_;
+  sim::ActiveDiskClient& farm_;
   core::FarmConfig cfg_;
   std::uint32_t object_;
   ProcessId self_;
@@ -81,7 +85,7 @@ class RankedRegister {
 /// Uniform consensus for unboundedly many processes over active disks.
 class ActiveDiskPaxos {
  public:
-  ActiveDiskPaxos(sim::ActiveDiskFarm& farm, const core::FarmConfig& cfg,
+  ActiveDiskPaxos(sim::ActiveDiskClient& farm, const core::FarmConfig& cfg,
                   std::uint32_t object, ProcessId self);
 
   /// One ballot at the given rank; nullopt = aborted (contention).

@@ -14,6 +14,7 @@
 /// delivery time.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <vector>
 
@@ -74,6 +75,45 @@ class BaseRegisterClient {
   virtual void IssueWrites(ProcessId p, std::vector<WriteOp> ops) {
     for (WriteOp& op : ops) IssueWrite(p, op.reg, std::move(op.value), std::move(op.done));
   }
+
+  // --- Scheduler hooks ----------------------------------------------------
+  // A deterministic scheduler (sim::DetFarm) decides when to deliver
+  // completions, so it must know when every workload thread is parked in a
+  // quorum wait (quiescence) and when a run has been abandoned. Quorum
+  // engines report their blocking through these hooks (see
+  // common/quorum_wait.h for the canonical wait loop). Real backends keep
+  // the defaults: no tracking, never abandoned.
+
+  /// Announces that process `p` is about to block until `remaining` more of
+  /// its completions arrive. `wake` must make the blocked thread re-check
+  /// its predicate (notify its condition variable *while holding the
+  /// waiter's mutex*, so a wake racing with wait entry cannot be lost); the
+  /// scheduler may invoke it from any thread, possibly after the wait
+  /// already returned, so the closure must keep its state alive
+  /// (shared_ptr). Returns false when the client refuses the registration
+  /// (run abandoned): the caller must fail its wait instead of blocking.
+  virtual bool NoteBlocked(ProcessId p, std::size_t remaining,
+                           std::function<void()> wake) {
+    (void)p;
+    (void)remaining;
+    (void)wake;
+    return true;
+  }
+
+  /// Announces that process `p` returned from its blocked wait (pairs with
+  /// every NoteBlocked that returned true).
+  virtual void NoteRunnable(ProcessId p) { (void)p; }
+
+  /// Announces that a completion handler belonging to process `p` finished
+  /// running — the waiter registered under `p`, if any, may now be
+  /// wakeable even if its `wake` was never fired by the scheduler.
+  virtual void NoteCompletion(ProcessId p) { (void)p; }
+
+  /// True when the backend has abandoned the run: pending operations will
+  /// never be delivered, so quorum waits must fail fast instead of
+  /// blocking forever. Called with arbitrary locks held — implementations
+  /// must not take locks here.
+  virtual bool Abandoned() const { return false; }
 
   /// Transport-level crash suspicion. True when the backend has strong
   /// evidence the disk is unreachable (e.g. the TCP client's per-disk

@@ -1,0 +1,71 @@
+/// \file
+/// BlockedQuorumWait: the one blocking pattern every quorum wait in the
+/// tree uses, written once so the scheduler-hook protocol
+/// (BaseRegisterClient::NoteBlocked / NoteRunnable / Abandoned) cannot be
+/// half-implemented at a call site.
+///
+/// Protocol, per iteration while the predicate is false:
+///
+///   1. If the client abandoned the run, fail the wait (return false).
+///   2. Register as blocked with the current `remaining()` count and the
+///      wake callback. A false return means the client abandoned between
+///      steps 1 and 2 — fail the wait.
+///   3. Block on `cv` (plain, non-predicated wait: EVERY notification
+///      returns to the loop so the registration is refreshed with an
+///      up-to-date remaining count).
+///   4. Deregister (NoteRunnable) and re-check.
+///
+/// The wake callback a caller passes must notify `cv` while holding `mu`:
+///
+///   std::function<void()> wake = [st] { MutexLock l(st->mu); st->cv.NotifyAll(); };
+///
+/// Locking before notifying is what makes the hand-off race-free — a wake
+/// fired between NoteBlocked and the cv wait blocks on `mu` until the
+/// waiter is inside the wait and cannot be lost. The closure must own the
+/// waited-on state (shared_ptr), because a scheduler may fire it after the
+/// waiting frame already returned.
+#pragma once
+
+#include <functional>
+
+#include "common/base_register.h"
+#include "common/op_options.h"
+#include "common/sync.h"
+#include "common/thread_annotations.h"
+#include "common/types.h"
+
+namespace nadreg {
+
+/// Blocks process `p` until `pred()` holds, keeping `client` informed.
+///
+/// `mu` must be held on entry and is held again on return; `pred` and
+/// `remaining` are evaluated under `mu`. `remaining()` must return how
+/// many more *single completion deliveries* for `p` could still be needed
+/// before `pred()` can turn true — a conservative lower bound: return 1
+/// whenever one delivery might suffice (the deterministic scheduler uses
+/// `remaining > 1` as licence to commute deliveries; see
+/// sim/explorer.cc's independence relation).
+///
+/// Returns true when `pred()` holds; false when the wait is hopeless —
+/// the deadline expired or the client abandoned the run.
+template <typename Remaining, typename Pred>
+bool BlockedQuorumWait(BaseRegisterClient& client, ProcessId p, Mutex& mu,
+                       CondVar& cv, const std::function<void()>& wake,
+                       OpDeadline deadline, Remaining remaining, Pred pred)
+    REQUIRES(mu) {
+  for (;;) {
+    if (pred()) return true;
+    if (client.Abandoned()) return false;
+    if (!client.NoteBlocked(p, remaining(), wake)) return false;
+    bool timed_out = false;
+    if (deadline) {
+      timed_out = !cv.WaitUntil(mu, *deadline);
+    } else {
+      cv.Wait(mu);
+    }
+    client.NoteRunnable(p);
+    if (timed_out) return pred();
+  }
+}
+
+}  // namespace nadreg

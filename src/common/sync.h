@@ -83,6 +83,19 @@ class CondVar {
     lock.release();
   }
 
+  /// Plain timed wait: returns false when the deadline passed before a
+  /// notification arrived (spurious wake-ups also return true — callers
+  /// re-check their predicate in a loop, as BlockedQuorumWait does).
+  template <typename Clock, typename Duration>
+  bool WaitUntil(Mutex& mu,
+                 const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const bool ok = cv_.wait_until(lock, deadline) == std::cv_status::no_timeout;
+    lock.release();
+    return ok;
+  }
+
   /// Returns pred() at wake-up (false = timed out with pred still false).
   template <typename Clock, typename Duration, typename Pred>
   bool WaitUntil(Mutex& mu,

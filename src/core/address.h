@@ -34,15 +34,39 @@ enum class Component : std::uint8_t {
   kScratch = 4,   // application use
 };
 
+/// How Names map onto trie paths: `name_bits` is the packed width (= the
+/// name-directory trie's depth), `index_bits` how many low bits hold
+/// Name::index (the rest hold Name::pid). The default reproduces the
+/// deployment layout above. Smaller layouts exist for bounded model
+/// checking: the paper's trie serves an *unbounded* namespace, but a
+/// checked scenario draws from a known finite set of names, and a trie
+/// deeper than log2 of that set only multiplies every announce/collect
+/// by dozens of base operations without adding behaviors. All endpoints
+/// of one emulated object must agree on the layout (it is part of the
+/// on-disk format, like `object` itself).
+struct NameLayout {
+  int name_bits = 48;
+  int index_bits = 16;
+
+  std::uint64_t Pack(const Name& n) const {
+    assert(index_bits < name_bits && name_bits <= 48 &&
+           "NameLayout: widths out of range");
+    assert(n.index < (1ULL << index_bits) &&
+           "NameLayout: index exceeds addressing width");
+    assert(n.pid < (1ULL << (name_bits - index_bits)) &&
+           "NameLayout: pid exceeds addressing width");
+    return (n.pid << index_bits) | n.index;
+  }
+  Name Unpack(std::uint64_t packed) const {
+    return Name{packed >> index_bits, packed & ((1ULL << index_bits) - 1)};
+  }
+};
+
 /// Packs a Name into 48 bits. Precondition: pid < 2^32 and index < 2^16.
-inline std::uint64_t PackName(const Name& n) {
-  assert(n.pid < (1ULL << 32) && "PackName: pid exceeds addressing width");
-  assert(n.index < (1ULL << 16) && "PackName: index exceeds addressing width");
-  return (n.pid << 16) | n.index;
-}
+inline std::uint64_t PackName(const Name& n) { return NameLayout{}.Pack(n); }
 
 inline Name UnpackName(std::uint64_t packed) {
-  return Name{packed >> 16, packed & 0xffff};
+  return NameLayout{}.Unpack(packed);
 }
 
 /// Heap encoding of a binary-trie node: root is 1, child(x, bit) = 2x+bit.

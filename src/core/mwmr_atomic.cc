@@ -23,19 +23,20 @@ obs::Histogram& ReadHist() {
 }  // namespace
 
 MwmrAtomic::MwmrAtomic(BaseRegisterClient& client, const FarmConfig& farm,
-                       std::uint32_t object, ProcessId self)
+                       std::uint32_t object, ProcessId self, NameLayout layout)
     : client_(client),
       farm_(farm),
       object_(object),
       self_(self),
-      snap_(client, farm, object, self) {}
+      layout_(layout),
+      snap_(client, farm, object, self, /*pipelined_collect=*/true, layout) {}
 
 OneShotRegister& MwmrAtomic::ValueReg(const Name& n) {
   auto it = value_regs_.find(n);
   if (it == value_regs_.end()) {
     auto reg = std::make_unique<OneShotRegister>(
         client_, farm_,
-        farm_.Spread(MakeBlock(object_, Component::kValue, PackName(n))),
+        farm_.Spread(MakeBlock(object_, Component::kValue, layout_.Pack(n))),
         self_);
     it = value_regs_.emplace(n, std::move(reg)).first;
   }

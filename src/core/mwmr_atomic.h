@@ -50,9 +50,13 @@ namespace nadreg::core {
 class MwmrAtomic : public obs::Instrumented {
  public:
   /// One endpoint per process. `object` scopes the on-disk address space;
-  /// endpoints of the same emulated register share the same `object`.
+  /// endpoints of the same emulated register share the same `object` (and
+  /// the same `layout` — it is part of the on-disk format). The default
+  /// layout is the full deployment namespace; bounded model checking
+  /// passes a small one so each announce/collect touches a handful of
+  /// sticky bits instead of 48 (see core/address.h).
   MwmrAtomic(BaseRegisterClient& client, const FarmConfig& farm,
-             std::uint32_t object, ProcessId self);
+             std::uint32_t object, ProcessId self, NameLayout layout = {});
 
   // --- Figure 3 primitive interface (one operation per name) -------------
 
@@ -107,6 +111,7 @@ class MwmrAtomic : public obs::Instrumented {
   FarmConfig farm_;
   std::uint32_t object_;
   ProcessId self_;
+  NameLayout layout_;
   NameSnapshot snap_;
   std::uint64_t next_index_ = 0;
   std::map<Name, std::unique_ptr<OneShotRegister>> value_regs_;

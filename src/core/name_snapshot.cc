@@ -11,8 +11,6 @@
 namespace nadreg::core {
 
 namespace {
-constexpr int kNameBits = 48;  // PackName width; trie depth
-
 obs::Histogram& CollectHist() {
   static obs::Histogram& h =
       obs::Registry::Global().GetHistogram("snap.collect_us");
@@ -31,12 +29,13 @@ obs::Counter& AdoptionCounter() {
 
 NameSnapshot::NameSnapshot(BaseRegisterClient& client, const FarmConfig& farm,
                            std::uint32_t object, ProcessId self,
-                           bool pipelined_collect)
+                           bool pipelined_collect, NameLayout layout)
     : client_(client),
       farm_(farm),
       object_(object),
       self_(self),
-      pipelined_collect_(pipelined_collect) {}
+      pipelined_collect_(pipelined_collect),
+      layout_(layout) {}
 
 StickyBit& NameSnapshot::Mark(std::uint64_t trie_node) {
   auto it = marks_.find(trie_node);
@@ -55,7 +54,7 @@ OneShotRegister& NameSnapshot::View(const Name& n) {
   if (it == views_.end()) {
     auto reg = std::make_unique<OneShotRegister>(
         client_, farm_,
-        farm_.Spread(MakeBlock(object_, Component::kView, PackName(n))),
+        farm_.Spread(MakeBlock(object_, Component::kView, layout_.Pack(n))),
         self_);
     it = views_.emplace(n, std::move(reg)).first;
   }
@@ -84,12 +83,12 @@ Status NameSnapshot::AnnounceUntil(const Name& name, OpDeadline deadline) {
   // announce can ever be collected, regardless of set order. (The leaf
   // node is name-specific, so sibling names' bits can never complete a
   // path whose leaf was not set by this name's own announce.)
-  const std::uint64_t packed = PackName(name);
+  const std::uint64_t packed = layout_.Pack(name);
   std::uint64_t node = TrieRoot();
   std::vector<std::pair<StickyBit*, StickyBit::InFlightWrite>> in_flight;
-  in_flight.reserve(kNameBits);
-  for (int d = 0; d < kNameBits; ++d) {
-    node = TrieChild(node, (packed >> (kNameBits - 1 - d)) & 1);
+  in_flight.reserve(layout_.name_bits);
+  for (int d = 0; d < layout_.name_bits; ++d) {
+    node = TrieChild(node, (packed >> (layout_.name_bits - 1 - d)) & 1);
     StickyBit& bit = Mark(node);
     if (!bit.KnownSet()) {
       ++stats_.sticky_sets;
@@ -126,8 +125,8 @@ Expected<std::vector<Name>> NameSnapshot::CollectSequential(
   while (!stack.empty()) {
     auto [node, depth] = stack.back();
     stack.pop_back();
-    if (depth == kNameBits) {
-      out.push_back(UnpackName(node - (1ULL << kNameBits)));
+    if (depth == layout_.name_bits) {
+      out.push_back(layout_.Unpack(node - (1ULL << layout_.name_bits)));
       continue;
     }
     for (unsigned bit : {0u, 1u}) {
@@ -146,7 +145,7 @@ Expected<std::vector<Name>> NameSnapshot::CollectPipelined(
   // Level-order walk with a whole level's sticky reads outstanding at
   // once: O(depth) quorum round trips instead of one per marked node.
   std::vector<std::uint64_t> frontier{TrieRoot()};
-  for (int depth = 0; depth < kNameBits && !frontier.empty(); ++depth) {
+  for (int depth = 0; depth < layout_.name_bits && !frontier.empty(); ++depth) {
     struct Probe {
       std::uint64_t node;
       StickyBit* bit;
@@ -185,7 +184,7 @@ Expected<std::vector<Name>> NameSnapshot::CollectPipelined(
   std::vector<Name> out;
   out.reserve(frontier.size());
   for (std::uint64_t leaf : frontier) {
-    out.push_back(UnpackName(leaf - (1ULL << kNameBits)));
+    out.push_back(layout_.Unpack(leaf - (1ULL << layout_.name_bits)));
   }
   std::sort(out.begin(), out.end());
   return out;

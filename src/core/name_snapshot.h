@@ -88,10 +88,13 @@ class NameSnapshot : public obs::Instrumented {
   /// concurrently outstanding quorum reads (latency O(depth) round trips
   /// instead of O(marked nodes)); the sequential mode is kept for the
   /// ablation bench. Both modes read the same bits in parent-before-child
-  /// order, so the double-collect pin argument is unchanged.
+  /// order, so the double-collect pin argument is unchanged. `layout`
+  /// bounds the name universe (trie depth = layout.name_bits); the default
+  /// is the full deployment layout — smaller layouts are for bounded model
+  /// checking (see core/address.h).
   NameSnapshot(BaseRegisterClient& client, const FarmConfig& farm,
                std::uint32_t object, ProcessId self,
-               bool pipelined_collect = true);
+               bool pipelined_collect = true, NameLayout layout = {});
 
   /// Runs the snapshot protocol for `name`. The caller must own `name`
   /// (first field = its ProcessId discipline is the caller's) and use it
@@ -127,6 +130,7 @@ class NameSnapshot : public obs::Instrumented {
   std::uint32_t object_;
   ProcessId self_;
   bool pipelined_collect_;
+  NameLayout layout_;
   Stats stats_;
 
   // Sticky bits and views are immutable once observed; keep instances (and

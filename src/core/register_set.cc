@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cassert>
 
+#include "common/quorum_wait.h"
 #include "common/sync.h"
 #include "obs/metrics.h"
 
@@ -171,6 +172,10 @@ struct RegisterSet::Shared : std::enable_shared_from_this<RegisterSet::Shared> {
       }
       t->cv.NotifyAll();
     }
+    // Tell a deterministic scheduler a completion for this process ran
+    // (quiescence accounting; no-op on real backends). After the
+    // notifies, before chaining — the chained issue re-enters the client.
+    client->NoteCompletion(self);
     // Chain the next queued operation on this register, if any.
     QueuedOp next;
     bool have_next = false;
@@ -229,20 +234,27 @@ bool RegisterSet::Await(const Ticket& ticket, std::size_t k,
 
 bool RegisterSet::AwaitUntil(const Ticket& ticket, std::size_t k,
                              OpDeadline deadline) {
-  auto& st = *ticket.state_;
+  auto st = ticket.state_;
   const auto wait_start = std::chrono::steady_clock::now();
-  bool ok = true;
+  bool ok;
   {
-    MutexLock lock(st.mu);
-    auto ready = [&] {
-      st.mu.AssertHeld();  // CondVar waits run predicates under the lock
-      return st.completed >= k;
+    // The wake closure owns the ticket state: a deterministic scheduler
+    // may fire it after this frame returned.
+    std::function<void()> wake = [st] {
+      MutexLock lock(st->mu);
+      st->cv.NotifyAll();
     };
-    if (deadline) {
-      ok = st.cv.WaitUntil(st.mu, *deadline, ready);
-    } else {
-      st.cv.Wait(st.mu, ready);
-    }
+    MutexLock lock(st->mu);
+    ok = BlockedQuorumWait(
+        *shared_->client, shared_->self, st->mu, st->cv, wake, deadline,
+        [&] {
+          st->mu.AssertHeld();  // predicates run under the lock
+          return st->completed < k ? k - st->completed : std::size_t{0};
+        },
+        [&] {
+          st->mu.AssertHeld();
+          return st->completed >= k;
+        });
   }
   const auto waited = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(

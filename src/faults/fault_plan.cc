@@ -72,6 +72,23 @@ std::string FormatDuration(std::chrono::microseconds d) {
 
 }  // namespace
 
+std::string FormatRegisterToken(const RegisterId& r) {
+  return std::to_string(r.disk) + ":" + std::to_string(r.block);
+}
+
+Expected<RegisterId> ParseRegisterToken(const std::string& tok) {
+  auto colon = tok.find(':');
+  if (colon == std::string::npos) {
+    return Status::Invalid("bad register token '" + tok +
+                           "' (want <disk>:<block>)");
+  }
+  auto d = ParseUint(tok.substr(0, colon));
+  if (!d.ok()) return d.status();
+  auto b = ParseUint(tok.substr(colon + 1));
+  if (!b.ok()) return b.status();
+  return RegisterId{static_cast<DiskId>(*d), *b};
+}
+
 const char* FaultKindName(FaultKind k) {
   switch (k) {
     case FaultKind::kCrashRegister:
@@ -99,8 +116,8 @@ std::string FaultEvent::ToLine() const {
   out += FaultKindName(kind);
   switch (kind) {
     case FaultKind::kCrashRegister:
-      out += " " + std::to_string(disks.empty() ? 0 : disks[0]) + ":" +
-             std::to_string(block);
+      out += " " + FormatRegisterToken(
+                       RegisterId{disks.empty() ? 0 : disks[0], block});
       break;
     case FaultKind::kDelay:
       out += " " + std::to_string(disks.empty() ? 0 : disks[0]) + " " +
@@ -155,17 +172,11 @@ Expected<FaultPlan> FaultPlan::Parse(std::string_view text) {
     auto need = [&](std::size_t n) { return toks.size() == 3 + n; };
     if (kind == "crash-register") {
       if (!need(1)) return fail("crash-register wants <disk>:<block>");
-      auto colon = toks[3].find(':');
-      if (colon == std::string::npos) {
-        return fail("crash-register wants <disk>:<block>");
-      }
-      auto d = ParseUint(toks[3].substr(0, colon));
-      auto b = ParseUint(toks[3].substr(colon + 1));
-      if (!d.ok()) return fail(d.status().message());
-      if (!b.ok()) return fail(b.status().message());
+      auto reg = ParseRegisterToken(toks[3]);
+      if (!reg.ok()) return fail(reg.status().message());
       ev.kind = FaultKind::kCrashRegister;
-      ev.disks.push_back(static_cast<DiskId>(*d));
-      ev.block = *b;
+      ev.disks.push_back(reg->disk);
+      ev.block = reg->block;
     } else if (kind == "crash-disk") {
       if (!need(1)) return fail("crash-disk wants <disk>");
       auto d = ParseUint(toks[3]);

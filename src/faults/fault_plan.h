@@ -57,6 +57,13 @@ enum class FaultKind {
 /// Printable lowercase keyword for a kind (as used in the spec format).
 const char* FaultKindName(FaultKind k);
 
+/// Renders a RegisterId as the `<disk>:<block>` token shared by fault
+/// plans and explorer schedule traces (sim/schedule_trace.h).
+std::string FormatRegisterToken(const RegisterId& r);
+
+/// Parses a `<disk>:<block>` token (kInvalid on malformed input).
+Expected<RegisterId> ParseRegisterToken(const std::string& tok);
+
 /// One scheduled fault. Only the fields relevant to `kind` are meaningful.
 struct FaultEvent {
   std::chrono::microseconds at{0};  ///< offset from plan start

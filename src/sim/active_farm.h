@@ -30,19 +30,13 @@
 #include "common/types.h"
 #include "faults/fault_sink.h"
 #include "sim/register_store.h"
+#include "sim/rmw_client.h"
 
 namespace nadreg::sim {
 
-/// Handler for a read-modify-write: receives the block's value *before*
-/// the modification.
-using RmwHandler = std::function<void(Value previous)>;
-
-/// The atomic modification a disk applies: maps old contents to new.
-using RmwFunction = std::function<Value(const Value& current)>;
-
-/// Asynchronous access to fail-prone active-disk blocks. Supports plain
-/// reads/writes (a superset of BaseRegisterClient) plus RMW.
-class ActiveDiskFarm : public BaseRegisterClient, public faults::FaultSink {
+/// Asynchronous access to fail-prone active-disk blocks with real-time
+/// randomized delivery delays (the RMW analogue of SimFarm).
+class ActiveDiskFarm : public ActiveDiskClient, public faults::FaultSink {
  public:
   struct Options {
     std::uint64_t seed = 0x5eed;
@@ -62,10 +56,8 @@ class ActiveDiskFarm : public BaseRegisterClient, public faults::FaultSink {
   void IssueWrite(ProcessId p, RegisterId r, Value v,
                   WriteHandler done) override;
 
-  /// Issues an atomic read-modify-write: at the operation's linearization
-  /// point the disk computes fn(current), stores it, and responds with
-  /// the previous value. Crashed blocks never respond.
-  void IssueRmw(ProcessId p, RegisterId r, RmwFunction fn, RmwHandler done);
+  void IssueRmw(ProcessId p, RegisterId r, RmwFunction fn,
+                RmwHandler done) override;
 
   void CrashRegister(const RegisterId& r) override;
   void CrashDisk(DiskId d) override;

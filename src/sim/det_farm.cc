@@ -6,6 +6,7 @@
 namespace nadreg::sim {
 
 void DetFarm::MaybePark(const PendingOp& op) {
+  if (abandoned_.load(std::memory_order_acquire)) return;
   auto it = gates_.find(op.p);
   if (it == gates_.end() || !it->second.armed) return;
   GateState& gate = it->second;
@@ -14,10 +15,12 @@ void DetFarm::MaybePark(const PendingOp& op) {
   gate.released = false;
   gate.op = op;
   gate_cv_.NotifyAll();
+  sched_cv_.NotifyAll();  // a parked process counts as blocked
   gate_cv_.Wait(mu_, [&gate] { return gate.released; });
   gate.parked = false;
   gate.released = false;
   gate_cv_.NotifyAll();
+  sched_cv_.NotifyAll();
 }
 
 void DetFarm::Issue(OpRecord rec) {
@@ -31,6 +34,7 @@ void DetFarm::Issue(OpRecord rec) {
   MaybePark(rec.desc);
   if (store_.IsCrashed(rec.desc.r)) return;  // never responds
   pending_.emplace(rec.desc.id, std::move(rec));
+  sched_cv_.NotifyAll();  // WaitPendingAtLeast watchers
 }
 
 void DetFarm::IssueRead(ProcessId p, RegisterId r, ReadHandler done) {
@@ -50,6 +54,18 @@ void DetFarm::IssueWrite(ProcessId p, RegisterId r, Value v,
   rec.desc.is_write = true;
   rec.desc.value = std::move(v);
   rec.on_write = std::move(done);
+  Issue(std::move(rec));
+}
+
+void DetFarm::IssueRmw(ProcessId p, RegisterId r, RmwFunction fn,
+                       RmwHandler done) {
+  OpRecord rec;
+  rec.desc.p = p;
+  rec.desc.r = r;
+  rec.desc.is_write = true;  // an RMW mutates the block
+  rec.desc.is_rmw = true;
+  rec.rmw = std::move(fn);
+  rec.on_rmw = std::move(done);
   Issue(std::move(rec));
 }
 
@@ -77,7 +93,15 @@ std::optional<DetFarm::OpRecord> DetFarm::Take(OpId id) {
   }
   OpRecord rec = std::move(it->second);
   pending_.erase(it);
-  if (rec.desc.is_write) {
+  if (rec.desc.is_rmw) {
+    // RMW linearization point: respond with the previous value, store the
+    // transformed one. rmw is a pure value transform (rmw_client.h), so
+    // running it under mu_ is safe.
+    Value previous = store_.Get(rec.desc.r);
+    store_.Apply(rec.desc.r, rec.rmw(previous));
+    rec.desc.value = std::move(previous);
+    ++stats_.writes_completed;
+  } else if (rec.desc.is_write) {
     store_.Apply(rec.desc.r, rec.desc.value);  // linearization point
     ++stats_.writes_completed;
   } else {
@@ -92,7 +116,9 @@ bool DetFarm::Deliver(OpId id) {
   auto rec = Take(id);
   if (!rec) return false;
   // Handler runs without the lock: it may issue further operations.
-  if (rec->desc.is_write) {
+  if (rec->desc.is_rmw) {
+    if (rec->on_rmw) rec->on_rmw(std::move(rec->desc.value));
+  } else if (rec->desc.is_write) {
     if (rec->on_write) rec->on_write();
   } else {
     if (rec->on_read) rec->on_read(std::move(rec->desc.value));
@@ -186,6 +212,147 @@ void DetFarm::ReleaseGate(ProcessId p) {
     mu_.AssertHeld();
     return !gates_[p].parked;
   });
+}
+
+std::vector<DetFarm::PendingOp> DetFarm::WaitPendingAtLeast(
+    const std::function<bool(const PendingOp&)>& pred, std::size_t n) {
+  MutexLock lock(mu_);
+  std::vector<PendingOp> out;
+  sched_cv_.Wait(mu_, [&] {
+    mu_.AssertHeld();
+    out.clear();
+    for (const auto& [id, rec] : pending_) {
+      if (pred(rec.desc)) out.push_back(rec.desc);
+    }
+    return out.size() >= n || abandoned_.load(std::memory_order_acquire);
+  });
+  return out;
+}
+
+void DetFarm::BeginScenarioThread() {
+  MutexLock lock(mu_);
+  ++live_threads_;
+  sched_cv_.NotifyAll();
+}
+
+void DetFarm::EndScenarioThread() {
+  MutexLock lock(mu_);
+  assert(live_threads_ > 0 && "EndScenarioThread without Begin");
+  --live_threads_;
+  sched_cv_.NotifyAll();
+}
+
+bool DetFarm::NoteBlocked(ProcessId p, std::size_t remaining,
+                          std::function<void()> wake) {
+  MutexLock lock(mu_);
+  if (abandoned_.load(std::memory_order_acquire)) return false;
+  BlockedEntry entry;
+  entry.remaining = remaining;
+  entry.wake = std::move(wake);
+  blocked_.emplace(p, std::move(entry));
+  sched_cv_.NotifyAll();
+  return true;
+}
+
+void DetFarm::NoteRunnable(ProcessId p) {
+  MutexLock lock(mu_);
+  auto it = blocked_.find(p);
+  if (it != blocked_.end()) blocked_.erase(it);
+  sched_cv_.NotifyAll();
+}
+
+void DetFarm::NoteCompletion(ProcessId p) {
+  MutexLock lock(mu_);
+  auto [first, last] = blocked_.equal_range(p);
+  for (auto it = first; it != last; ++it) it->second.poked = true;
+  sched_cv_.NotifyAll();
+}
+
+std::size_t DetFarm::ParkedCountLocked() const {
+  std::size_t parked = 0;
+  for (const auto& [p, gate] : gates_) {
+    if (gate.parked) ++parked;
+  }
+  return parked;
+}
+
+bool DetFarm::QuiescentLocked() const {
+  if (live_threads_ == 0) return true;
+  if (blocked_.size() + ParkedCountLocked() < live_threads_) return false;
+  // A poked waiter may be about to wake (its completion just ran): not
+  // quiescent until it cycled through its wait loop and re-registered.
+  for (const auto& [p, entry] : blocked_) {
+    if (entry.poked) return false;
+  }
+  return true;
+}
+
+DetFarm::Quiescence DetFarm::WaitQuiescent(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  Quiescence q;
+  for (;;) {
+    // Kicks for poked waiters whose own condition variable was never
+    // notified (the delivered completion belonged to an earlier phase).
+    // Fired outside mu_ — each wake locks the waiter's mutex.
+    std::vector<std::function<void()>> kicks;
+    {
+      MutexLock lock(mu_);
+      const bool ok = sched_cv_.WaitUntil(mu_, deadline, [&] {
+        mu_.AssertHeld();
+        if (QuiescentLocked()) return true;
+        for (const auto& [p, entry] : blocked_) {
+          if (entry.poked && !entry.wake_sent) return true;
+        }
+        return false;
+      });
+      if (QuiescentLocked()) {
+        q.all_done = live_threads_ == 0;
+        for (const auto& [id, rec] : pending_) q.pending.push_back(rec.desc);
+        for (const auto& [p, entry] : blocked_) {
+          auto it = q.blocked_need.find(p);
+          if (it == q.blocked_need.end()) {
+            q.blocked_need.emplace(p, entry.remaining);
+          } else if (entry.remaining < it->second) {
+            it->second = entry.remaining;
+          }
+        }
+        return q;
+      }
+      if (!ok) {
+        q.timed_out = true;
+        return q;
+      }
+      for (auto& [p, entry] : blocked_) {
+        if (entry.poked && !entry.wake_sent) {
+          entry.wake_sent = true;
+          kicks.push_back(entry.wake);
+        }
+      }
+    }
+    for (const auto& kick : kicks) kick();
+  }
+}
+
+void DetFarm::Abandon() {
+  std::vector<std::function<void()>> wakes;
+  {
+    MutexLock lock(mu_);
+    abandoned_.store(true, std::memory_order_release);
+    for (auto& [p, entry] : blocked_) {
+      if (!entry.wake_sent) {
+        entry.wake_sent = true;
+        wakes.push_back(entry.wake);
+      }
+    }
+    for (auto& [p, gate] : gates_) {
+      if (gate.parked) gate.released = true;
+    }
+    gate_cv_.NotifyAll();
+    sched_cv_.NotifyAll();
+  }
+  // Wakes run outside mu_: each locks its waiter's mutex, and the waiter's
+  // next NoteBlocked will be refused (Abandoned), failing the wait.
+  for (const auto& wake : wakes) wake();
 }
 
 Value DetFarm::Peek(const RegisterId& r) const {

@@ -18,8 +18,22 @@
 /// freezing a writer to cover a register, leaving writes pending after an
 /// OPERATION completed (Fig. 1), flushing pending writes in any order, and
 /// crashing a register so it appears merely slow.
+///
+/// For model checking, the farm additionally tracks *quiescence*: scenario
+/// threads register via BeginScenarioThread/EndScenarioThread, quorum
+/// engines report their blocked waits through the BaseRegisterClient
+/// scheduler hooks (NoteBlocked/NoteRunnable/NoteCompletion), and
+/// WaitQuiescent blocks — event-driven, no polling — until every live
+/// scenario thread is parked in a quorum wait (or gone). At that point the
+/// pending set and the waiters' remaining-counts are an exact snapshot of
+/// the system state, which is what makes exploration deterministic.
+/// Abandon() poisons the farm: pending ops are frozen forever, blocked
+/// waiters are woken to fail fast (Abandoned() turns true), so the
+/// explorer can discard a partially executed run without leaking threads.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -32,10 +46,11 @@
 #include "common/types.h"
 #include "faults/fault_sink.h"
 #include "sim/register_store.h"
+#include "sim/rmw_client.h"
 
 namespace nadreg::sim {
 
-class DetFarm : public BaseRegisterClient, public faults::FaultSink {
+class DetFarm : public ActiveDiskClient, public faults::FaultSink {
  public:
   using OpId = std::uint64_t;
 
@@ -44,7 +59,8 @@ class DetFarm : public BaseRegisterClient, public faults::FaultSink {
     ProcessId p = kNoProcess;
     RegisterId r;
     bool is_write = false;
-    Value value;  // writes only
+    bool is_rmw = false;  // implies is_write (an RMW mutates the block)
+    Value value;          // writes only
   };
 
   DetFarm() = default;
@@ -52,10 +68,15 @@ class DetFarm : public BaseRegisterClient, public faults::FaultSink {
   DetFarm(const DetFarm&) = delete;
   DetFarm& operator=(const DetFarm&) = delete;
 
-  // --- BaseRegisterClient -------------------------------------------------
+  // --- BaseRegisterClient / ActiveDiskClient ------------------------------
   void IssueRead(ProcessId p, RegisterId r, ReadHandler done) override;
   void IssueWrite(ProcessId p, RegisterId r, Value v,
                   WriteHandler done) override;
+  /// Deterministic RMW (Active Disk Paxos substrate): pending like any
+  /// other op; fn runs at the Deliver() linearization point. Counted as a
+  /// write in stats() and matched by is_write predicates.
+  void IssueRmw(ProcessId p, RegisterId r, RmwFunction fn,
+                RmwHandler done) override;
 
   // --- Adversary: delivery ------------------------------------------------
 
@@ -65,6 +86,12 @@ class DetFarm : public BaseRegisterClient, public faults::FaultSink {
   /// Pending operations matching a predicate, in issue order.
   std::vector<PendingOp> PendingWhere(
       const std::function<bool(const PendingOp&)>& pred) const;
+
+  /// Blocks (event-driven) until at least `n` pending ops match `pred`,
+  /// then returns them. Returns early with whatever matches if the farm
+  /// is abandoned.
+  std::vector<PendingOp> WaitPendingAtLeast(
+      const std::function<bool(const PendingOp&)>& pred, std::size_t n);
 
   /// Delivers one operation: applies it to the register (its linearization
   /// point) and invokes its completion handler on the calling thread.
@@ -109,6 +136,47 @@ class DetFarm : public BaseRegisterClient, public faults::FaultSink {
   /// needs Deliver to take effect) and the Issue* call returns.
   void ReleaseGate(ProcessId p);
 
+  // --- Scheduler: quiescence and abandonment ------------------------------
+
+  /// Registers the calling context as one scenario thread. Call before the
+  /// thread starts issuing (ThreadedScenario does this on Spawn, from the
+  /// factory, so the thread count is never under-reported).
+  void BeginScenarioThread();
+  /// The scenario thread finished its workload.
+  void EndScenarioThread();
+
+  // Scheduler hooks (BaseRegisterClient). Quorum engines call these via
+  // BlockedQuorumWait; see the class comment for the protocol.
+  bool NoteBlocked(ProcessId p, std::size_t remaining,
+                   std::function<void()> wake) override;
+  void NoteRunnable(ProcessId p) override;
+  void NoteCompletion(ProcessId p) override;
+  bool Abandoned() const override {
+    return abandoned_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot taken at a quiescent point: every live scenario thread was
+  /// simultaneously parked in a quorum wait (or at a covering gate).
+  struct Quiescence {
+    bool timed_out = false;  // never went quiescent within the timeout
+    bool all_done = false;   // no live scenario threads remain
+    /// Pending ops at the quiescent point, in issue order.
+    std::vector<PendingOp> pending;
+    /// Per blocked process: the smallest `remaining` count any of its
+    /// waits reported — 1 means a single delivery may unblock it.
+    std::map<ProcessId, std::size_t> blocked_need;
+  };
+
+  /// Blocks until the farm is quiescent (event-driven; the timeout is a
+  /// safety valve for scenarios that block outside the hook protocol).
+  Quiescence WaitQuiescent(std::chrono::milliseconds timeout);
+
+  /// Poisons the farm: Abandoned() turns true, every blocked waiter is
+  /// woken to fail its wait, parked gates are released. Pending ops stay
+  /// deliverable (DeliverAll still drains them) but new issues on the
+  /// abandoned farm no longer park at gates.
+  void Abandon();
+
   // --- Introspection -------------------------------------------------------
 
   Value Peek(const RegisterId& r) const;
@@ -119,12 +187,24 @@ class DetFarm : public BaseRegisterClient, public faults::FaultSink {
     PendingOp desc;
     ReadHandler on_read;
     WriteHandler on_write;
+    RmwFunction rmw;
+    RmwHandler on_rmw;
   };
   struct GateState {
     bool armed = false;
     bool parked = false;
     bool released = false;
     PendingOp op;
+  };
+  struct BlockedEntry {
+    std::size_t remaining = 0;
+    std::function<void()> wake;
+    // A completion for this process ran after the entry was registered;
+    // the waiter may be about to wake (suppresses quiescence) or may need
+    // a kick (its own condition variable was never notified — e.g. the
+    // completion belonged to an earlier, already-satisfied phase).
+    bool poked = false;
+    bool wake_sent = false;  // kick already fired for this entry
   };
 
   // Parks at the gate if armed. Holds mu_ on entry and exit; the wait
@@ -133,13 +213,21 @@ class DetFarm : public BaseRegisterClient, public faults::FaultSink {
   void Issue(OpRecord rec);
   // Extracts the op record; returns nullopt if not deliverable.
   std::optional<OpRecord> Take(OpId id);
+  std::size_t ParkedCountLocked() const REQUIRES(mu_);
+  bool QuiescentLocked() const REQUIRES(mu_);
 
   mutable Mutex mu_;
   CondVar gate_cv_;
+  // Notified on every event the scheduler waits for: new pending op,
+  // blocked/runnable/completion transitions, thread begin/end, abandon.
+  CondVar sched_cv_;
   RegisterStore store_ GUARDED_BY(mu_);
   // Ordered by id == issue order.
   std::map<OpId, OpRecord> pending_ GUARDED_BY(mu_);
   std::unordered_map<ProcessId, GateState> gates_ GUARDED_BY(mu_);
+  std::multimap<ProcessId, BlockedEntry> blocked_ GUARDED_BY(mu_);
+  std::size_t live_threads_ GUARDED_BY(mu_) = 0;
+  std::atomic<bool> abandoned_{false};
   OpId next_id_ GUARDED_BY(mu_) = 1;
   OpStats stats_ GUARDED_BY(mu_);
 };

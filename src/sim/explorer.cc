@@ -1,8 +1,12 @@
 #include "sim/explorer.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
 #include <sstream>
-#include <thread>
+#include <tuple>
+#include <utility>
 
 #include "common/rng.h"
 
@@ -10,137 +14,306 @@ namespace nadreg::sim {
 
 namespace {
 
-bool Matches(const DetFarm::PendingOp& op, const ScheduleExplorer::OpKey& key) {
-  return op.p == key.p && op.r == key.r && op.is_write == key.is_write;
+bool Matches(const DetFarm::PendingOp& op, const Decision& d) {
+  return op.p == d.p && op.r == d.r && op.is_write == d.is_write;
+}
+
+std::size_t CountFaults(const std::vector<Decision>& schedule) {
+  std::size_t n = 0;
+  for (const Decision& d : schedule) {
+    if (IsFaultDecision(d)) ++n;
+  }
+  return n;
+}
+
+// Distinct disks touched by the schedule's fault decisions — the number
+// of base objects the adversary has made faulty (paper's t accounting:
+// a crashed or silently-dropping register makes its disk faulty).
+std::size_t CountFaultyDisks(const std::vector<Decision>& schedule) {
+  std::set<DiskId> disks;
+  for (const Decision& d : schedule) {
+    if (IsFaultDecision(d)) disks.insert(d.r.disk);
+  }
+  return disks.size();
+}
+
+// Applies one decision against the farm at a quiescent point. Deliveries
+// and drops resolve to the OLDEST pending match of the replay key (the
+// same rule the trace format documents). Returns false when nothing
+// matches — a replay divergence.
+bool ApplyDecision(DetFarm& farm, const Decision& d) {
+  if (d.kind == Decision::Kind::kCrash) {
+    farm.CrashRegister(d.r);
+    return true;
+  }
+  auto candidates = farm.PendingWhere(
+      [&](const DetFarm::PendingOp& op) { return Matches(op, d); });
+  if (candidates.empty()) return false;
+  return d.kind == Decision::Kind::kDeliver ? farm.Deliver(candidates[0].id)
+                                            : farm.Drop(candidates[0].id);
+}
+
+// One branchable decision plus the POR facts about it at this node.
+struct Enabled {
+  Decision d;
+  // Delivering this op cannot complete its issuer's current quorum wait
+  // (the waiter reported remaining >= 2 at quiescence). Only wake-free
+  // deliveries may commute — a wake changes which OPERATION ends next and
+  // therefore the recorded real-time order.
+  bool wake_free = false;
+};
+
+// Everything the adversary may do at this quiescent point, deliveries
+// first in sorted key order, then (within budget) drops and register
+// crashes. Sorted order is what makes exploration deterministic.
+std::vector<Enabled> EnabledDecisions(const DetFarm::Quiescence& q,
+                                      std::size_t faults_used,
+                                      const ScheduleExplorer::Options& opts) {
+  std::vector<Decision> keys;
+  keys.reserve(q.pending.size());
+  for (const DetFarm::PendingOp& op : q.pending) {
+    keys.push_back(Decision{Decision::Kind::kDeliver, op.p, op.r, op.is_write});
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  std::vector<Enabled> out;
+  for (const Decision& k : keys) {
+    Enabled e;
+    e.d = k;
+    // Absent entry = the issuer is not currently in a tracked quorum wait
+    // (e.g. parked at a covering gate): conservatively not wake-free.
+    auto it = q.blocked_need.find(k.p);
+    e.wake_free = it != q.blocked_need.end() && it->second > 1;
+    out.push_back(e);
+  }
+  if (faults_used < opts.crash_budget) {
+    for (const Decision& k : keys) {
+      Enabled e;
+      e.d = Decision{Decision::Kind::kDrop, k.p, k.r, k.is_write};
+      out.push_back(e);
+    }
+    std::vector<RegisterId> regs;
+    for (const Decision& k : keys) regs.push_back(k.r);
+    std::sort(regs.begin(), regs.end());
+    regs.erase(std::unique(regs.begin(), regs.end()), regs.end());
+    for (const RegisterId& r : regs) {
+      Enabled e;
+      e.d = Decision{Decision::Kind::kCrash, kNoProcess, r, false};
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+// The POR independence relation (see the file comment in explorer.h):
+// two decisions commute iff both are wake-free deliveries that cannot
+// race on a register's contents. Fault decisions never commute — a crash
+// or drop changes which ops exist downstream.
+bool Independent(const Enabled& a, const Enabled& b) {
+  if (a.d.kind != Decision::Kind::kDeliver ||
+      b.d.kind != Decision::Kind::kDeliver) {
+    return false;
+  }
+  if (!a.wake_free || !b.wake_free) return false;
+  return a.d.r != b.d.r || (!a.d.is_write && !b.d.is_write);
 }
 
 }  // namespace
 
-bool ScheduleExplorer::WaitAndDeliver(DetFarm& farm, const OpKey& key,
-                                      const Options& opts) const {
-  const auto deadline = std::chrono::steady_clock::now() + opts.replay_timeout;
+std::string ScheduleExplorer::Outcome::FirstViolation() const {
+  if (counterexamples.empty()) return {};
+  const Violation& v = counterexamples.front();
+  return v.description + "\nschedule:\n" + FormatSchedule(v.schedule);
+}
+
+namespace {
+
+// Finishes an exploration run so its threads can be joined: deliver
+// whatever is deliverable (in issue order), and poison the farm when the
+// surviving threads are blocked forever. Every path out of a node goes
+// through here — a leaked blocked thread would deadlock the jthread join
+// in ~ThreadedScenario.
+void AbortRun(DetFarm& farm, const ExplorationRun& run,
+              const ScheduleExplorer::Options& opts) {
+  int hopeless_rounds = 0;
   for (;;) {
-    auto candidates = farm.PendingWhere(
-        [&](const DetFarm::PendingOp& op) { return Matches(op, key); });
-    if (!candidates.empty()) {
-      return farm.Deliver(candidates.front().id);
+    auto q = farm.WaitQuiescent(opts.quiesce_timeout);
+    if (q.timed_out) {
+      // A thread is blocked outside the scheduler-hook protocol. Poison
+      // and retry; if that never helps, joining would hang anyway — fail
+      // loudly instead.
+      farm.Abandon();
+      if (++hopeless_rounds >= 3) {
+        std::fprintf(stderr,
+                     "explorer: scenario thread stuck outside the "
+                     "scheduler-hook protocol; cannot abort run\n");
+        std::abort();
+      }
+      continue;
     }
-    if (std::chrono::steady_clock::now() > deadline) return false;
-    std::this_thread::yield();
+    if (q.all_done) {
+      farm.DeliverAll();  // trailing base ops of finished threads
+      if (run.Done()) return;
+      continue;  // Done() lags EndScenarioThread by a moment at most
+    }
+    if (!q.pending.empty()) {
+      farm.DeliverAll();
+      continue;
+    }
+    farm.Abandon();  // blocked forever: wake waiters to fail fast
   }
 }
 
-void ScheduleExplorer::Settle(DetFarm& farm, const ExplorationRun& run,
-                              const Options& opts) const {
-  // Wait until the scenario stops issuing: the issued-op counter and the
-  // pending set must be stable across settle_stable_polls polls. Also
-  // wait out the start-up window where nothing has been issued yet.
-  int stable = 0;
-  std::uint64_t last_issued = ~0ULL;
-  std::size_t last_pending = ~std::size_t{0};
-  for (;;) {
-    const auto stats = farm.stats();
-    const std::uint64_t issued = stats.TotalIssued();
-    const std::size_t pending = farm.Pending().size();
-    const bool anything = issued > 0 || run.Done();
-    if (anything && issued == last_issued && pending == last_pending) {
-      if (++stable >= opts.settle_stable_polls) return;
-    } else {
-      stable = 0;
-    }
-    last_issued = issued;
-    last_pending = pending;
-    // Settle() polls real worker threads from the driver side; it never
-    // runs inside the simulated schedule. lint-allow(no-sleep): driver only
-    std::this_thread::sleep_for(opts.settle_poll);
+void RecordSchedule(ScheduleExplorer::Outcome& out,
+                    const std::vector<Decision>& schedule,
+                    std::optional<std::string> violation,
+                    const ScheduleExplorer::Options& opts) {
+  ++out.schedules;
+  if (!violation) return;
+  ++out.violations;
+  if (out.counterexamples.size() < opts.max_counterexamples) {
+    out.counterexamples.push_back(
+        ScheduleExplorer::Violation{std::move(*violation), schedule});
   }
 }
 
-void ScheduleExplorer::Drain(DetFarm& farm, const ExplorationRun& run) const {
-  // Deliver everything (including chained re-issues) until every scenario
-  // thread has finished. Used both to complete a leaf and to abandon an
-  // inner node so its threads can be joined.
-  while (!run.Done()) {
-    if (farm.DeliverAll() == 0) {
-      // Driver-side backoff while scenario threads catch up; delivery
-      // order stays deterministic. lint-allow(no-sleep): driver only
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
-    }
+// A stuck leaf: quiescent, nothing pending, surviving threads blocked
+// forever. Classify against the fault budget, then abandon and validate
+// the partial history (safety must hold regardless).
+void HandleStuck(ScheduleExplorer::Outcome& out,
+                 const std::vector<Decision>& schedule, DetFarm& farm,
+                 ExplorationRun& run, const ScheduleExplorer::Options& opts) {
+  ++out.stuck;
+  const std::size_t faulty = CountFaultyDisks(schedule);
+  const bool within_budget = faulty <= opts.tolerated_crashed_disks;
+  if (!within_budget) ++out.over_budget;
+  AbortRun(farm, run, opts);
+  std::optional<std::string> violation = run.Validate();
+  if (!violation && within_budget) {
+    violation = "wait-freedom violated: all threads blocked with only " +
+                std::to_string(faulty) +
+                " faulty disk(s), within the tolerated " +
+                std::to_string(opts.tolerated_crashed_disks);
   }
-  // A finished thread may still have background ops outstanding.
-  farm.DeliverAll();
+  RecordSchedule(out, schedule, std::move(violation), opts);
 }
 
-std::vector<ScheduleExplorer::OpKey> ScheduleExplorer::PendingKeys(
-    DetFarm& farm) const {
-  std::vector<OpKey> keys;
-  for (const auto& op : farm.Pending()) {
-    keys.push_back(OpKey{op.p, op.r, op.is_write});
-  }
-  std::sort(keys.begin(), keys.end());
-  // The Section 2 discipline (one outstanding op per process/register)
-  // makes keys unique; duplicates would break replay, so drop them and
-  // let the first occurrence stand for the pair (conservative).
-  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-  return keys;
-}
+}  // namespace
 
 ScheduleExplorer::Outcome ScheduleExplorer::Explore(const RunFactory& factory,
                                                     const Options& opts) {
   Outcome outcome;
-  std::vector<std::vector<OpKey>> work{{}};
+  struct WorkItem {
+    std::vector<Decision> prefix;
+    std::vector<Decision> sleep;  // POR sleep set inherited from the parent
+  };
+  std::vector<WorkItem> work{{}};
 
   while (!work.empty()) {
     if (opts.max_schedules != 0 && outcome.schedules >= opts.max_schedules) {
       outcome.truncated = true;
       break;
     }
+    if (opts.max_nodes != 0 && outcome.nodes >= opts.max_nodes) {
+      outcome.truncated = true;
+      break;
+    }
     if (opts.stop_at_first_violation && outcome.violations > 0) break;
 
-    std::vector<OpKey> prefix = std::move(work.back());
+    WorkItem item = std::move(work.back());
     work.pop_back();
     ++outcome.nodes;
 
     DetFarm farm;
     auto run = factory(farm);
 
+    // Stateless re-execution: replay the prefix decision by decision,
+    // each at its quiescent point.
     bool replay_ok = true;
-    for (const OpKey& key : prefix) {
-      if (!WaitAndDeliver(farm, key, opts)) {
+    for (const Decision& d : item.prefix) {
+      auto q = farm.WaitQuiescent(opts.quiesce_timeout);
+      if (q.timed_out || !ApplyDecision(farm, d)) {
         replay_ok = false;
         break;
       }
     }
     if (!replay_ok) {
       ++outcome.replay_divergences;
-      Drain(farm, *run);
+      AbortRun(farm, *run, opts);
       continue;
     }
 
-    Settle(farm, *run, opts);
-    const std::vector<OpKey> choices = PendingKeys(farm);
+    auto q = farm.WaitQuiescent(opts.quiesce_timeout);
+    if (q.timed_out) {
+      ++outcome.replay_divergences;
+      AbortRun(farm, *run, opts);
+      continue;
+    }
 
-    if (choices.empty()) {
-      // Leaf: a complete schedule. Finish the run and validate.
-      Drain(farm, *run);
-      ++outcome.schedules;
-      if (auto violation = run->Validate()) {
-        ++outcome.violations;
-        if (outcome.first_violation.empty()) {
-          outcome.first_violation =
-              *violation + "\nschedule:\n" + FormatSchedule(prefix);
+    if (run->Done()) {
+      // Leaf. Only trailing base ops of finished OPERATIONs remain (Fig. 1
+      // pending writes); no thread will observe them, so their order
+      // cannot change the history — deliver in issue order and validate.
+      farm.DeliverAll();
+      RecordSchedule(outcome, item.prefix, run->Validate(), opts);
+      continue;
+    }
+
+    if (q.pending.empty()) {
+      HandleStuck(outcome, item.prefix, farm, *run, opts);
+      continue;
+    }
+
+    if (opts.max_depth != 0 && item.prefix.size() >= opts.max_depth) {
+      // Depth cutoff (retry-loop scenarios have infinite paths): the
+      // subtree is unexplored, so the sweep is no longer exhaustive.
+      outcome.truncated = true;
+      AbortRun(farm, *run, opts);
+      continue;
+    }
+
+    auto enabled = EnabledDecisions(q, CountFaults(item.prefix), opts);
+
+    // Sleep-set filter: decisions explored by an already-visited sibling
+    // subtree whose reorderings this subtree would only repeat.
+    std::vector<Enabled> sleeping;
+    std::vector<Enabled> branch;
+    for (const Enabled& e : enabled) {
+      const bool asleep =
+          opts.partial_order_reduction &&
+          std::find(item.sleep.begin(), item.sleep.end(), e.d) !=
+              item.sleep.end();
+      if (asleep) {
+        sleeping.push_back(e);
+        ++outcome.pruned;
+      } else {
+        branch.push_back(e);
+      }
+    }
+
+    // Push children in reverse so the first decision is explored first
+    // (depth-first). Child i sleeps on every earlier sibling j < i (and
+    // every inherited sleeper) that is independent of decision i — those
+    // interleavings are covered by the earlier subtree.
+    for (std::size_t i = branch.size(); i-- > 0;) {
+      WorkItem child;
+      child.prefix = item.prefix;
+      child.prefix.push_back(branch[i].d);
+      if (opts.partial_order_reduction) {
+        for (const Enabled& s : sleeping) {
+          if (Independent(s, branch[i])) child.sleep.push_back(s.d);
+        }
+        for (std::size_t j = 0; j < i; ++j) {
+          if (Independent(branch[j], branch[i])) {
+            child.sleep.push_back(branch[j].d);
+          }
         }
       }
-    } else {
-      // Branch on every deliverable operation. Push in reverse so the
-      // lexicographically first choice is explored first.
-      for (auto it = choices.rbegin(); it != choices.rend(); ++it) {
-        std::vector<OpKey> child = prefix;
-        child.push_back(*it);
-        work.push_back(std::move(child));
-      }
-      Drain(farm, *run);  // abandon this node's run cleanly
+      work.push_back(std::move(child));
     }
+
+    AbortRun(farm, *run, opts);
   }
   return outcome;
 }
@@ -155,35 +328,142 @@ ScheduleExplorer::Outcome ScheduleExplorer::ExploreRandom(
     ++outcome.nodes;
     DetFarm farm;
     auto run = factory(farm);
-    std::vector<OpKey> schedule;
+    std::vector<Decision> schedule;
+    bool diverged = false;
+    bool cut = false;
+    bool stuck = false;
     for (;;) {
-      Settle(farm, *run, opts);
-      auto pending = farm.Pending();
-      if (pending.empty()) break;
-      const auto& pick = pending[rng.Below(pending.size())];
-      schedule.push_back(OpKey{pick.p, pick.r, pick.is_write});
-      farm.Deliver(pick.id);
-    }
-    Drain(farm, *run);
-    ++outcome.schedules;
-    if (auto violation = run->Validate()) {
-      ++outcome.violations;
-      if (outcome.first_violation.empty()) {
-        outcome.first_violation =
-            *violation + "\nschedule (playout " + std::to_string(playout) +
-            "):\n" + FormatSchedule(schedule);
+      auto q = farm.WaitQuiescent(opts.quiesce_timeout);
+      if (q.timed_out) {
+        diverged = true;
+        break;
       }
+      if (run->Done()) break;
+      if (q.pending.empty()) {
+        stuck = true;
+        break;
+      }
+      if (opts.max_depth != 0 && schedule.size() >= opts.max_depth) {
+        cut = true;  // playout cut off: don't validate a partial run
+        outcome.truncated = true;
+        break;
+      }
+      auto enabled = EnabledDecisions(q, CountFaults(schedule), opts);
+      const Enabled& pick = enabled[rng.Below(enabled.size())];
+      schedule.push_back(pick.d);
+      ApplyDecision(farm, pick.d);
     }
+    if (diverged) {
+      ++outcome.replay_divergences;
+      AbortRun(farm, *run, opts);
+      continue;
+    }
+    if (cut) {
+      AbortRun(farm, *run, opts);
+      continue;
+    }
+    if (stuck) {
+      HandleStuck(outcome, schedule, farm, *run, opts);
+      continue;
+    }
+    farm.DeliverAll();
+    RecordSchedule(outcome, schedule, run->Validate(), opts);
   }
   return outcome;
 }
 
-std::string FormatSchedule(const std::vector<ScheduleExplorer::OpKey>& keys) {
+ScheduleExplorer::ReplayResult ScheduleExplorer::ReplaySchedule(
+    const RunFactory& factory, const std::vector<Decision>& schedule,
+    const Options& opts) {
+  ReplayResult result;
+  DetFarm farm;
+  auto run = factory(farm);
+
+  for (const Decision& d : schedule) {
+    auto q = farm.WaitQuiescent(opts.quiesce_timeout);
+    if (q.timed_out || !ApplyDecision(farm, d)) {
+      result.diverged = true;
+      break;
+    }
+    ++result.applied;
+  }
+  if (result.diverged) {
+    AbortRun(farm, *run, opts);
+    return result;
+  }
+
+  // Drain the rest deterministically. For a shortened (minimized) schedule
+  // this completes the run without further branching; for a full recorded
+  // schedule only finished operations' trailing deliveries remain. The
+  // drain delivers ONE op per quiescent round, picked by (process,
+  // register, kind) rather than issue id: ids follow the arrival order of
+  // concurrent threads' first ops, which varies run to run, so an
+  // id-ordered DeliverAll with live threads would replay the same schedule
+  // into different histories.
+  for (;;) {
+    auto q = farm.WaitQuiescent(opts.quiesce_timeout);
+    if (q.timed_out) {
+      result.diverged = true;
+      AbortRun(farm, *run, opts);
+      return result;
+    }
+    if (run->Done()) {
+      farm.DeliverAll();  // trailing ops of finished operations only
+      break;
+    }
+    if (q.pending.empty()) {
+      result.stuck = true;
+      AbortRun(farm, *run, opts);
+      break;
+    }
+    const DetFarm::PendingOp* next = &q.pending.front();
+    for (const DetFarm::PendingOp& op : q.pending) {
+      if (std::tie(op.p, op.r, op.is_write, op.id) <
+          std::tie(next->p, next->r, next->is_write, next->id)) {
+        next = &op;
+      }
+    }
+    farm.Deliver(next->id);
+  }
+
+  result.violation = run->Validate();
+  if (!result.violation && result.stuck &&
+      CountFaultyDisks(schedule) <= opts.tolerated_crashed_disks) {
+    result.violation =
+        "wait-freedom violated: all threads blocked within the fault budget";
+  }
+  return result;
+}
+
+std::vector<Decision> ScheduleExplorer::MinimizeSchedule(
+    const RunFactory& factory, const std::vector<Decision>& schedule,
+    const Options& opts) {
+  std::vector<Decision> current = schedule;
+  auto base = ReplaySchedule(factory, current, opts);
+  if (base.diverged || !base.violation) return current;
+
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (std::size_t i = 0; i < current.size();) {
+      std::vector<Decision> candidate = current;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      auto r = ReplaySchedule(factory, candidate, opts);
+      if (!r.diverged && r.violation) {
+        current = std::move(candidate);
+        shrunk = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return current;
+}
+
+std::string FormatSchedule(const std::vector<Decision>& schedule) {
   std::ostringstream os;
-  for (std::size_t i = 0; i < keys.size(); ++i) {
-    os << "  " << i + 1 << ". deliver " << (keys[i].is_write ? "write" : "read")
-       << " by p" << keys[i].p << " on disk " << keys[i].r.disk << " block "
-       << keys[i].r.block << "\n";
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    os << "  " << i + 1 << ". " << FormatDecision(schedule[i]) << "\n";
   }
   return os.str();
 }

@@ -1,30 +1,54 @@
 /// \file
-/// Systematic schedule exploration over the deterministic farm — a bounded
-/// model checker for the register emulations.
+/// Fault-aware bounded model checking over the deterministic farm.
 ///
-/// The adversary's only power in this model is choosing *when each issued
-/// base-register operation takes effect*. The explorer enumerates those
-/// choices: it repeatedly re-runs a scenario from scratch, replays a
-/// prefix of delivery decisions, lets the system settle, branches on every
-/// operation currently pending, and validates each completed schedule
-/// (leaf) with a caller-supplied check — e.g. "is the recorded history
-/// linearizable?".
+/// The adversary's power in the fail-prone register model is choosing
+/// *when each issued base-register operation takes effect* — and whether
+/// it ever does. The explorer enumerates those choices: it repeatedly
+/// re-runs a scenario from scratch, replays a prefix of decisions, waits
+/// for quiescence (event-driven — every live scenario thread parked in a
+/// quorum wait; see DetFarm::WaitQuiescent), branches on every enabled
+/// decision, and validates each completed schedule (leaf) with a
+/// caller-supplied check — e.g. "is the recorded history linearizable?".
+///
+/// Decisions (sim/schedule_trace.h) are of three kinds:
+///   * deliver a pending op — the paper's flush of a pending write;
+///   * drop it — the register silently swallows the request;
+///   * crash a register — it becomes unresponsive forever (JCT).
+/// Drop/crash branching is bounded by Options::crash_budget, so a run
+/// certifies an emulation under *every placement* of up-to-budget faults.
+/// A schedule on which every surviving thread blocks forever is *stuck*:
+/// within the paper's fault budget (≤ tolerated_crashed_disks distinct
+/// disks faulted) that is a wait-freedom violation; beyond it, it is the
+/// expected over-budget outcome — counted, and the partial history is
+/// still checked for safety (the paper's guarantee degrades to safety
+/// only, never to non-atomicity).
+///
+/// Partial-order reduction (sleep sets): two deliveries commute when they
+/// target different registers (or are both reads of one register) *and*
+/// neither can complete its issuer's current quorum wait (the waiter
+/// still needs ≥ 2 completions — DetFarm reports each waiter's remaining
+/// count at quiescence). Such pairs produce byte-identical recorded
+/// histories in either order, so exploring one order suffices; pruned
+/// branches are counted in Outcome::pruned. Deliveries that may unblock
+/// a waiter change the real-time order of OPERATION begin/end events and
+/// are never treated as independent — that conservatism is what keeps
+/// the reduction sound for history-based validators.
 ///
 /// This complements the two other verification layers:
 ///   * randomized campaigns (bench/campaigns.*) sample schedules;
 ///   * adversary/schedules.* replay the hand-built proof schedules;
-///   * the explorer *enumerates* all delivery orders of small scenarios,
+///   * the explorer *enumerates* the decision tree of small scenarios,
 ///     finding violations (or certifying their absence) without human
 ///     guidance — it rediscovers the Fig. 2 non-atomicity on its own
-///     (bench/explore_schedules).
+///     (bench/explore_schedules) and serializes every counterexample as
+///     a replayable trace.
 ///
 /// Scope and guarantees: every explored schedule is a real execution
-/// (soundness). Coverage is bounded: schedules are delivery orders chosen
-/// at *settle points* (states where no process can take a step without a
-/// delivery), scenarios must be deterministic given the delivery order,
-/// and at most one operation per (process, register) may be outstanding
-/// (the model's Section 2 discipline — RegisterSet guarantees it), which
-/// is what makes replay keys stable across runs.
+/// (soundness). Coverage is bounded: decisions are taken at *quiescent
+/// points* only, scenarios must be deterministic given the decision
+/// sequence, and at most one operation per (process, register, direction)
+/// may be pending (the model's Section 2 discipline — RegisterSet
+/// guarantees it), which is what makes replay keys stable across runs.
 #pragma once
 
 #include <chrono>
@@ -37,6 +61,7 @@
 
 #include "common/types.h"
 #include "sim/det_farm.h"
+#include "sim/schedule_trace.h"
 
 namespace nadreg::sim {
 
@@ -47,74 +72,117 @@ class ExplorationRun {
   /// True once every scenario thread has returned.
   virtual bool Done() const = 0;
   /// Called on a completed schedule after Done(); returns a violation
-  /// description, or nullopt if the outcome is acceptable.
+  /// description, or nullopt if the outcome is acceptable. Also called on
+  /// stuck schedules after the farm was abandoned — the partial history
+  /// must still be safe.
   virtual std::optional<std::string> Validate() = 0;
 };
 
 class ScheduleExplorer {
  public:
-  /// Stable identity of a pending operation for replay: at any settle
-  /// point at most one op per (process, register, direction) is pending.
-  struct OpKey {
-    ProcessId p = kNoProcess;
-    RegisterId r;
-    bool is_write = false;
-
-    friend auto operator<=>(const OpKey&, const OpKey&) = default;
-  };
-
   struct Options {
     /// Stop after this many complete schedules (0 = unlimited).
     std::size_t max_schedules = 20000;
+    /// Decisions per schedule (0 = unlimited). Needed for scenarios with
+    /// retry loops (the SWMR wait phase, paxos ballots): an adversary
+    /// that starves one process forever makes the decision tree
+    /// infinitely deep, so a bounded-exhaustive run must cut it off.
+    /// Deeper nodes mark the outcome truncated instead of recursing.
+    std::size_t max_depth = 0;
+    /// Tree nodes executed (0 = unlimited). The companion cap to
+    /// max_depth: depth-truncated paths complete no schedule, so
+    /// max_schedules alone cannot bound a sweep whose tree is infinitely
+    /// deep — the node budget is what guarantees termination.
+    std::size_t max_nodes = 0;
     /// Stop at the first violation.
     bool stop_at_first_violation = true;
-    /// Settle detection: the issued-op counter must be stable across this
-    /// many consecutive polls this far apart.
-    std::chrono::microseconds settle_poll{150};
-    int settle_stable_polls = 3;
-    /// How long to wait for a replayed key to appear before declaring a
-    /// replay divergence.
-    std::chrono::milliseconds replay_timeout{2000};
+    /// Counterexamples retained in Outcome::counterexamples; violations
+    /// beyond the cap are still counted.
+    std::size_t max_counterexamples = 8;
+    /// Fault decisions (drop / crash-register) allowed per schedule.
+    std::uint32_t crash_budget = 0;
+    /// The paper's t: a stuck schedule whose fault decisions touched at
+    /// most this many distinct disks is a wait-freedom violation; beyond
+    /// it, the expected over-budget outcome.
+    std::uint32_t tolerated_crashed_disks = 0;
+    /// Sleep-set partial-order reduction (sound; see file comment).
+    bool partial_order_reduction = true;
+    /// Safety valve: how long WaitQuiescent may block before the run is
+    /// declared divergent (a scenario thread blocking outside the
+    /// scheduler-hook protocol would otherwise hang exploration).
+    std::chrono::milliseconds quiesce_timeout{5000};
+  };
+
+  /// A violating schedule: what went wrong and how to get there again.
+  struct Violation {
+    std::string description;
+    std::vector<Decision> schedule;
   };
 
   struct Outcome {
-    std::size_t schedules = 0;        // complete schedules validated
-    std::size_t nodes = 0;            // exploration tree nodes executed
+    std::size_t schedules = 0;  // complete schedules validated
+    std::size_t nodes = 0;      // exploration tree nodes executed
     std::size_t violations = 0;
+    std::size_t pruned = 0;       // branches skipped by sleep sets
+    std::size_t stuck = 0;        // schedules that ended with blocked threads
+    std::size_t over_budget = 0;  // stuck beyond tolerated_crashed_disks
     std::size_t replay_divergences = 0;
-    bool truncated = false;           // hit max_schedules
-    std::string first_violation;      // description + schedule
+    bool truncated = false;  // hit max_schedules
+    /// All violations found, capped at max_counterexamples, in discovery
+    /// order.
+    std::vector<Violation> counterexamples;
+    /// Description + formatted schedule of the first violation (empty when
+    /// clean) — the one-look diagnostic for test failure messages.
+    std::string FirstViolation() const;
   };
 
   using RunFactory =
       std::function<std::unique_ptr<ExplorationRun>(DetFarm&)>;
 
-  /// Explores all delivery orders of the scenario (depth-first).
+  /// Explores the decision tree of the scenario (depth-first).
   Outcome Explore(const RunFactory& factory, const Options& opts);
   Outcome Explore(const RunFactory& factory) {
     return Explore(factory, Options{});
   }
 
-  /// Monte-Carlo mode: `playouts` independent runs, each delivering
-  /// pending operations in a uniformly random order at every settle
-  /// point. Unlike SimFarm's delay-jitter randomness, a playout can
-  /// reorder deliveries arbitrarily (old pending writes landing after
-  /// many newer ones), which is adversary-grade coverage for scenarios
-  /// too large to exhaust. Violations are validated exactly as in
-  /// Explore.
+  /// Monte-Carlo mode: `playouts` independent runs, each taking a
+  /// uniformly random enabled decision at every quiescent point. Unlike
+  /// SimFarm's delay-jitter randomness, a playout can reorder deliveries
+  /// arbitrarily (old pending writes landing after many newer ones) and
+  /// spend fault budget anywhere, which is adversary-grade coverage for
+  /// scenarios too large to exhaust. Violations are validated exactly as
+  /// in Explore.
   Outcome ExploreRandom(const RunFactory& factory, std::size_t playouts,
                         std::uint64_t seed, const Options& opts);
 
- private:
-  bool WaitAndDeliver(DetFarm& farm, const OpKey& key,
-                      const Options& opts) const;
-  void Settle(DetFarm& farm, const ExplorationRun& run,
-              const Options& opts) const;
-  void Drain(DetFarm& farm, const ExplorationRun& run) const;
-  std::vector<OpKey> PendingKeys(DetFarm& farm) const;
+  /// Result of re-executing one serialized schedule.
+  struct ReplayResult {
+    /// A decision did not match any pending op at its quiescent point —
+    /// the trace does not belong to this scenario/build.
+    bool diverged = false;
+    std::size_t applied = 0;  // decisions applied before divergence
+    bool stuck = false;       // ended with surviving threads blocked
+    /// The violation the schedule reproduces (nullopt = clean run).
+    std::optional<std::string> violation;
+  };
+
+  /// Re-executes one schedule (e.g. a parsed counterexample trace). After
+  /// the last decision the remaining run is drained deterministically in
+  /// issue order, so a recorded counterexample reproduces its violation
+  /// byte-for-byte and a shortened schedule still completes.
+  ReplayResult ReplaySchedule(const RunFactory& factory,
+                              const std::vector<Decision>& schedule,
+                              const Options& opts);
+
+  /// Greedy minimization: repeatedly deletes single decisions while the
+  /// replay still (non-divergently) violates, to a fixpoint. Returns the
+  /// shortest schedule found (the input if it does not violate).
+  std::vector<Decision> MinimizeSchedule(const RunFactory& factory,
+                                         const std::vector<Decision>& schedule,
+                                         const Options& opts);
 };
 
-/// Formats a schedule (sequence of delivery decisions) for diagnostics.
-std::string FormatSchedule(const std::vector<ScheduleExplorer::OpKey>& keys);
+/// Formats a schedule for diagnostics: one numbered decision per line.
+std::string FormatSchedule(const std::vector<Decision>& schedule);
 
 }  // namespace nadreg::sim

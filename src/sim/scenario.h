@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/det_farm.h"
 #include "sim/explorer.h"
 
 namespace nadreg::sim {
@@ -20,14 +21,19 @@ class ThreadedScenario : public ExplorationRun {
  public:
   using Validator = std::function<std::optional<std::string>()>;
 
-  ThreadedScenario() = default;
+  /// Scenario threads register with `farm` so its quiescence accounting
+  /// covers them (BeginScenarioThread on Spawn — synchronously, from the
+  /// factory, so the count is never under-reported).
+  explicit ThreadedScenario(DetFarm& farm) : farm_(&farm) {}
 
   /// Spawns a workload thread. Call from the RunFactory only.
   void Spawn(std::function<void()> fn) {
     ++total_;
+    farm_->BeginScenarioThread();
     threads_.emplace_back([this, fn = std::move(fn)] {
       fn();
       done_.fetch_add(1, std::memory_order_release);
+      farm_->EndScenarioThread();
     });
   }
 
@@ -43,6 +49,7 @@ class ThreadedScenario : public ExplorationRun {
   }
 
  private:
+  DetFarm* farm_;
   std::atomic<int> done_{0};
   int total_ = 0;
   Validator validator_;

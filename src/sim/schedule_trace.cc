@@ -1,0 +1,149 @@
+#include "sim/schedule_trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "faults/fault_plan.h"
+
+namespace nadreg::sim {
+namespace {
+
+// Splits a line into whitespace-separated tokens, stripping `#` comments.
+std::vector<std::string> Tokenize(std::string_view line) {
+  if (auto hash = line.find('#'); hash != std::string_view::npos) {
+    line = line.substr(0, hash);
+  }
+  std::vector<std::string> out;
+  std::istringstream in{std::string(line)};
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+Expected<ProcessId> ParseProcessToken(const std::string& tok) {
+  if (tok.size() < 2 || tok[0] != 'p') {
+    return Status::Invalid("bad process token '" + tok + "' (want p<pid>)");
+  }
+  try {
+    std::size_t pos = 0;
+    unsigned long long n = std::stoull(tok.substr(1), &pos);
+    if (pos != tok.size() - 1) {
+      return Status::Invalid("bad process token '" + tok + "'");
+    }
+    return static_cast<ProcessId>(n);
+  } catch (...) {
+    return Status::Invalid("bad process token '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+std::string FormatDecision(const Decision& d) {
+  const std::string reg = faults::FormatRegisterToken(d.r);
+  switch (d.kind) {
+    case Decision::Kind::kCrash:
+      return "crash-register " + reg;
+    case Decision::Kind::kDeliver:
+    case Decision::Kind::kDrop:
+      break;
+  }
+  std::string out = d.kind == Decision::Kind::kDeliver ? "deliver" : "drop";
+  out += " p" + std::to_string(d.p);
+  out += d.is_write ? " write " : " read ";
+  out += reg;
+  return out;
+}
+
+std::string FormatTrace(const ScheduleTrace& trace) {
+  std::string out = "# nadreg schedule trace v1\n";
+  if (!trace.scenario.empty()) out += "scenario " + trace.scenario + "\n";
+  for (const Decision& d : trace.decisions) {
+    out += FormatDecision(d);
+    out += '\n';
+  }
+  return out;
+}
+
+Expected<ScheduleTrace> ParseTrace(std::string_view text) {
+  ScheduleTrace trace;
+  std::size_t lineno = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    std::string_view line = text.substr(
+        start,
+        end == std::string_view::npos ? text.size() - start : end - start);
+    start = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    ++lineno;
+
+    auto toks = Tokenize(line);
+    if (toks.empty()) continue;
+    auto fail = [&](const std::string& why) {
+      return Status::Invalid("schedule trace line " + std::to_string(lineno) +
+                             ": " + why);
+    };
+
+    if (toks[0] == "scenario") {
+      if (toks.size() != 2) return fail("scenario wants one name");
+      if (!trace.scenario.empty()) return fail("duplicate scenario line");
+      trace.scenario = toks[1];
+      continue;
+    }
+
+    Decision d;
+    if (toks[0] == "crash-register") {
+      if (toks.size() != 2) return fail("crash-register wants <disk>:<block>");
+      auto reg = faults::ParseRegisterToken(toks[1]);
+      if (!reg.ok()) return fail(reg.status().message());
+      d.kind = Decision::Kind::kCrash;
+      d.r = *reg;
+    } else if (toks[0] == "deliver" || toks[0] == "drop") {
+      if (toks.size() != 4) {
+        return fail(toks[0] + " wants p<pid> read|write <disk>:<block>");
+      }
+      auto pid = ParseProcessToken(toks[1]);
+      if (!pid.ok()) return fail(pid.status().message());
+      if (toks[2] != "read" && toks[2] != "write") {
+        return fail("bad direction '" + toks[2] + "' (want read|write)");
+      }
+      auto reg = faults::ParseRegisterToken(toks[3]);
+      if (!reg.ok()) return fail(reg.status().message());
+      d.kind = toks[0] == "deliver" ? Decision::Kind::kDeliver
+                                    : Decision::Kind::kDrop;
+      d.p = *pid;
+      d.is_write = toks[2] == "write";
+      d.r = *reg;
+    } else {
+      return fail("unknown decision '" + toks[0] + "'");
+    }
+    trace.decisions.push_back(d);
+  }
+  return trace;
+}
+
+Expected<ScheduleTrace> LoadTraceFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open schedule trace '" + path + "'");
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return ParseTrace(text);
+}
+
+Status SaveTraceFile(const ScheduleTrace& trace, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot write schedule trace '" + path + "'");
+  }
+  const std::string text = FormatTrace(trace);
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = written == text.size() && std::fclose(f) == 0;
+  if (!ok) return Status::Unavailable("short write to '" + path + "'");
+  return Status::Ok();
+}
+
+}  // namespace nadreg::sim

@@ -1,0 +1,82 @@
+/// \file
+/// Persistent counterexample traces for the schedule explorer.
+///
+/// A *schedule* is the sequence of adversary decisions the explorer made
+/// at successive quiescent points of a run: which pending base-register
+/// operation to deliver, which to drop, which register to crash. A
+/// violating schedule serialized to this line-oriented text format is a
+/// one-command local repro of a CI-found interleaving
+/// (`bench/explore_schedules --replay <file>`).
+///
+/// Format — one decision per line, `#` starts a comment, an optional
+/// `scenario <name>` line names the scenario registry entry the trace
+/// belongs to:
+///
+///     # nadreg schedule trace v1
+///     scenario mwsr-as-atomic
+///     deliver p1 write 0:7
+///     crash-register 1:7
+///     drop p2 write 2:7
+///     deliver p99 read 0:7
+///
+/// Deliveries and drops name the target operation by its stable replay
+/// key (process, direction, register) — not by op id, which depends on
+/// issue timing — and always resolve to the OLDEST pending match, so a
+/// parsed trace replays the same interleaving the explorer executed.
+/// The `<disk>:<block>` register token is shared with
+/// faults::FaultPlan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace nadreg::sim {
+
+/// One adversary decision at a quiescent point of an exploration.
+struct Decision {
+  enum class Kind : std::uint8_t {
+    kDeliver = 0,  ///< deliver the oldest pending op matching (p, dir, r)
+    kDrop = 1,     ///< drop it instead: the op never responds
+    kCrash = 2     ///< crash register r (drops all its pending ops too)
+  };
+  Kind kind = Kind::kDeliver;
+  ProcessId p = kNoProcess;  // kDeliver / kDrop only
+  RegisterId r;
+  bool is_write = false;  // kDeliver / kDrop only
+
+  friend auto operator<=>(const Decision&, const Decision&) = default;
+};
+
+/// True for decisions that consume the fault budget (drop / crash).
+inline bool IsFaultDecision(const Decision& d) {
+  return d.kind != Decision::Kind::kDeliver;
+}
+
+/// Renders one decision as its trace line (no newline).
+std::string FormatDecision(const Decision& d);
+
+/// A schedule plus the name of the scenario it drives.
+struct ScheduleTrace {
+  std::string scenario;  ///< registry key; empty when the caller knows
+  std::vector<Decision> decisions;
+};
+
+/// Renders a trace as spec text (round-trips through ParseTrace).
+std::string FormatTrace(const ScheduleTrace& trace);
+
+/// Parses trace text. Returns kInvalid with a line-numbered message on
+/// the first malformed line.
+[[nodiscard]] Expected<ScheduleTrace> ParseTrace(std::string_view text);
+
+/// Reads and parses a trace file (kUnavailable if unreadable).
+[[nodiscard]] Expected<ScheduleTrace> LoadTraceFile(const std::string& path);
+
+/// Writes a trace file (kUnavailable on I/O failure).
+Status SaveTraceFile(const ScheduleTrace& trace, const std::string& path);
+
+}  // namespace nadreg::sim

@@ -1,0 +1,23 @@
+// lint-path: src/sim/explorer.cc
+// Known-bad fixture: wall-clock waits in the schedule explorer. The
+// explorer's quiescence detection is event-driven (DetFarm scheduler
+// hooks), so no-sleep is STRICT here — even an explicit
+// lint-allow(no-sleep) suppression must still be flagged. Never compiled;
+// the linter self-test asserts every lint-expect line below is flagged.
+#include <chrono>
+#include <thread>
+
+namespace nadreg::sim {
+
+inline void BadSettlePoll() {
+  // A plain sleep is flagged as everywhere else in src/sim/:
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // lint-expect(no-sleep)
+
+  // ...and the suppression that would silence it elsewhere is NOT
+  // honoured in this file (the old settle-poll heuristic must not creep
+  // back in under a lint-allow):
+  // lint-allow(no-sleep): settle heuristic
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));  // lint-expect(no-sleep)
+}
+
+}  // namespace nadreg::sim

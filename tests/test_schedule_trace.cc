@@ -1,0 +1,129 @@
+// Tests for the persistent schedule-trace format: exact line rendering,
+// text round-trips, file round-trips, and line-numbered parse errors.
+#include "sim/schedule_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace nadreg::sim {
+namespace {
+
+Decision Deliver(ProcessId p, DiskId d, BlockId b, bool is_write) {
+  Decision out;
+  out.kind = Decision::Kind::kDeliver;
+  out.p = p;
+  out.r = RegisterId{d, b};
+  out.is_write = is_write;
+  return out;
+}
+
+Decision Drop(ProcessId p, DiskId d, BlockId b, bool is_write) {
+  Decision out = Deliver(p, d, b, is_write);
+  out.kind = Decision::Kind::kDrop;
+  return out;
+}
+
+Decision Crash(DiskId d, BlockId b) {
+  Decision out;
+  out.kind = Decision::Kind::kCrash;
+  out.r = RegisterId{d, b};
+  return out;
+}
+
+TEST(ScheduleTrace, FormatsEachDecisionKind) {
+  EXPECT_EQ(FormatDecision(Deliver(1, 0, 7, true)), "deliver p1 write 0:7");
+  EXPECT_EQ(FormatDecision(Deliver(99, 2, 7, false)), "deliver p99 read 2:7");
+  EXPECT_EQ(FormatDecision(Drop(2, 1, 7, true)), "drop p2 write 1:7");
+  EXPECT_EQ(FormatDecision(Crash(1, 7)), "crash-register 1:7");
+}
+
+TEST(ScheduleTrace, FaultDecisionPredicate) {
+  EXPECT_FALSE(IsFaultDecision(Deliver(1, 0, 7, true)));
+  EXPECT_TRUE(IsFaultDecision(Drop(1, 0, 7, true)));
+  EXPECT_TRUE(IsFaultDecision(Crash(0, 7)));
+}
+
+TEST(ScheduleTrace, TextRoundTripPreservesEverything) {
+  ScheduleTrace trace;
+  trace.scenario = "mwsr-as-atomic";
+  trace.decisions = {Deliver(1, 0, 7, true), Crash(1, 7),
+                     Drop(2, 2, 7, true), Deliver(99, 0, 7, false)};
+  const std::string text = FormatTrace(trace);
+  EXPECT_NE(text.find("# nadreg schedule trace v1"), std::string::npos);
+  auto parsed = ParseTrace(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->scenario, trace.scenario);
+  EXPECT_EQ(parsed->decisions, trace.decisions);
+}
+
+TEST(ScheduleTrace, ParsesCommentsBlanksAndNoScenario) {
+  const std::string text =
+      "# a comment\n"
+      "\n"
+      "deliver p1 write 0:7  # trailing comment\n"
+      "crash-register 2:7\n";
+  auto parsed = ParseTrace(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_TRUE(parsed->scenario.empty());
+  const std::vector<Decision> want = {Deliver(1, 0, 7, true), Crash(2, 7)};
+  EXPECT_EQ(parsed->decisions, want);
+}
+
+TEST(ScheduleTrace, RejectsMalformedLinesWithLineNumbers) {
+  struct Case {
+    const char* text;
+    const char* needle;  // must appear in the error message
+  };
+  const Case cases[] = {
+      {"bogus p1 write 0:7\n", "unknown decision"},
+      {"deliver q1 write 0:7\n", "bad process token"},
+      {"deliver p1 sideways 0:7\n", "bad direction"},
+      {"deliver p1 write 07\n", "register"},
+      {"deliver p1 write\n", "wants"},
+      {"crash-register\n", "wants"},
+      {"scenario a b\n", "scenario wants one name"},
+  };
+  for (const auto& c : cases) {
+    auto parsed = ParseTrace(std::string("deliver p1 read 0:7\n") + c.text);
+    ASSERT_FALSE(parsed.ok()) << c.text;
+    EXPECT_NE(parsed.status().message().find(c.needle), std::string::npos)
+        << "error for '" << c.text << "' was: " << parsed.status().message();
+    // The offending line is line 2 of the assembled input.
+    EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos)
+        << parsed.status().message();
+  }
+}
+
+TEST(ScheduleTrace, RejectsDuplicateScenarioLine) {
+  auto parsed = ParseTrace("scenario a\nscenario b\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("duplicate scenario"),
+            std::string::npos)
+      << parsed.status().message();
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ScheduleTrace, FileRoundTrip) {
+  ScheduleTrace trace;
+  trace.scenario = "swsr";
+  trace.decisions = {Deliver(1, 0, 7, true), Deliver(2, 1, 7, false)};
+  const std::string path = testing::TempDir() + "/trace_roundtrip.txt";
+  ASSERT_TRUE(SaveTraceFile(trace, path).ok());
+  auto loaded = LoadTraceFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded->scenario, trace.scenario);
+  EXPECT_EQ(loaded->decisions, trace.decisions);
+  std::remove(path.c_str());
+}
+
+TEST(ScheduleTrace, LoadMissingFileIsUnavailable) {
+  auto loaded = LoadTraceFile("/nonexistent/definitely/missing.trace");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace nadreg::sim
