@@ -9,12 +9,16 @@ Rules
                  (common/sync.h) so Clang thread-safety analysis sees every
                  lock in the tree.
   no-sleep       No sleep_for / sleep_until / system_clock inside src/sim/,
-                 src/core/, src/faults/ and the client retry path
-                 (src/nad/retry.*, src/nad/client.*): simulated time must
-                 come from the farm's logical clock (determinism), and
-                 algorithm / backoff / injector code must use the monotonic
+                 src/core/, src/faults/ and the client transport
+                 (src/nad/retry.*, src/nad/client.*, src/nad/event_loop.*,
+                 src/nad/timer_wheel.*): simulated time must come from the
+                 farm's logical clock (determinism), and algorithm /
+                 backoff / injector code must use the monotonic
                  steady_clock with interruptible CondVar waits — a raw
-                 sleep cannot be cancelled by shutdown.
+                 sleep cannot be cancelled by shutdown. An event loop
+                 sleeps only inside epoll_wait (timed by its timer wheel);
+                 a raw sleep on the loop thread would stall every
+                 connection the loop owns.
   ignored-status Calls to Decode* / Encode*Checked / ParseEndpoint used as a
                  bare statement silently swallow a failure. Assign the
                  result or cast to (void) with a reason.
@@ -152,7 +156,9 @@ def check_file(virtual_path: str, lines: list[str], enumerators: list[str],
     # be interrupted by shutdown, while a CondVar deadline wait can.
     in_no_sleep_scope = (
         p.startswith(("src/sim/", "src/core/", "src/faults/"))
-        or re.fullmatch(r"src/nad/(?:retry|client)\.(?:h|cc|cpp|hpp)", p)
+        or re.fullmatch(
+            r"src/nad/(?:retry|client|event_loop|timer_wheel)"
+            r"\.(?:h|cc|cpp|hpp)", p)
         is not None
     )
     in_nad = p.startswith("src/nad/")

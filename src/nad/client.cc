@@ -1,11 +1,137 @@
 #include "nad/client.h"
 
 #include <algorithm>
+#include <array>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
 
 #include "common/log.h"
+#include "common/rng.h"
+#include "common/sync.h"
+#include "nad/socket.h"
 #include "obs/trace.h"
 
 namespace nadreg::nad {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// suspected_until_us sentinel: suspected forever (dead-for-good link).
+constexpr std::int64_t kSuspectForever = std::numeric_limits<std::int64_t>::max();
+
+std::int64_t ToUs(Clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+/// Most iovec slots one FlushWire gather pass hands the kernel.
+constexpr std::size_t kMaxIov = 64;
+
+struct PendingRead {
+  ReadHandler handler;
+  Clock::time_point start;
+  RegisterId reg;  // for retransmission after a reconnect
+  Clock::time_point expires;
+};
+
+struct PendingWrite {
+  WriteHandler handler;
+  Clock::time_point start;
+  RegisterId reg;  // for retransmission after a reconnect
+  Value value;     // ditto
+  Clock::time_point expires;
+};
+
+struct PendingStats {
+  NadClient::StatsHandler handler;
+  Clock::time_point start;
+  Clock::time_point expires;
+};
+
+/// One framed wire unit: the 4-byte length prefix kept apart from the
+/// encoded payload so FlushWire gather-writes both without a concat copy.
+struct OutFrame {
+  char hdr[4];
+  std::string payload;
+};
+
+}  // namespace
+
+/// One admitted op en route from Submit (any thread) to Admit (the
+/// owning loop). Deadlines are resolved at Submit time so queueing delay
+/// counts against the budget.
+struct NadClient::SubmitEntry {
+  Op op;
+  Conn* conn = nullptr;
+  Clock::time_point start;
+  Clock::time_point expires;
+};
+
+/// Per-disk connection. Everything below `loop` is owned by that loop
+/// and touched only on its thread (the single-writer rule, DESIGN.md
+/// §12) — no mutexes. The two atomics at the bottom are the published
+/// cross-thread view.
+struct NadClient::Conn final : EventLoop::IoWatcher {
+  NadClient* client;
+  const DiskId disk;
+  const Endpoint endpoint;  // immutable; reconnect target
+  EventLoop* loop = nullptr;
+  std::size_t loop_index = 0;
+
+  /// kUp: socket healthy. kConnecting: non-blocking redial in flight.
+  /// kBackoff: waiting on the wheel for the next redial. kDown: dead for
+  /// good (reconnect disabled).
+  enum class Link { kUp, kConnecting, kBackoff, kDown };
+  Link link = Link::kUp;
+  Socket sock;
+  std::uint64_t next_request_id = 1;
+  /// EAGAIN hit mid-flush: waiting for the next EPOLLOUT edge.
+  bool want_write = false;
+  /// Set while an Admit pass has queued this conn for its flush step.
+  bool admit_queued = false;
+  /// Admitted requests not yet framed (the coalescing unit).
+  std::deque<Message> staged;
+  /// Framed bytes not yet accepted by the kernel.
+  std::deque<OutFrame> wire;
+  std::size_t wire_off = 0;  // bytes of wire.front() already sent
+  std::string rx;            // unparsed inbound bytes
+
+  std::unordered_map<std::uint64_t, PendingRead> reads;
+  std::unordered_map<std::uint64_t, PendingWrite> writes;
+  std::unordered_map<std::uint64_t, PendingStats> stats;
+
+  BackoffState backoff;
+  CircuitBreaker breaker;
+  /// Deterministic per-disk jitter stream (decorrelates the reconnect
+  /// storms of many clients hitting one recovered disk).
+  Rng rng;
+  std::uint64_t sweep_timer = 0;  // wheel id; 0 = unarmed
+  Clock::time_point sweep_deadline{};
+  std::uint64_t redial_timer = 0;  // wheel id; 0 = unarmed
+
+  /// Published view of IsSuspectedCrashed: 0 = not suspected, a steady-
+  /// clock microsecond stamp = suspected until then, kSuspectForever =
+  /// dead for good. Written by the owning loop, read from any thread.
+  std::atomic<std::int64_t> suspected_until_us{0};
+
+  Conn(NadClient* c, DiskId d, Endpoint ep, const RetryPolicy& policy)
+      : client(c),
+        disk(d),
+        endpoint(std::move(ep)),
+        backoff(policy),
+        breaker(policy),
+        rng(0x9e3779b97f4a7c15ULL ^ (static_cast<std::uint64_t>(d) << 17)) {}
+
+  void OnIoReady(std::uint32_t events) override {
+    client->OnIoReady(this, events);
+  }
+};
 
 NadClient::NadClient(Options options)
     : options_(options),
@@ -27,53 +153,52 @@ NadClient::NadClient(Options options)
 
 Expected<std::unique_ptr<NadClient>> NadClient::Connect(
     std::map<DiskId, Endpoint> endpoints, Options options) {
+  if (options.num_event_loops > kMaxEventLoops) {
+    return Status::Invalid("num_event_loops " +
+                           std::to_string(options.num_event_loops) +
+                           " exceeds the limit of " +
+                           std::to_string(kMaxEventLoops));
+  }
   std::unique_ptr<NadClient> client(new NadClient(options));
   for (const auto& [disk, ep] : endpoints) {
     auto sock = nad::Connect(ep.host, ep.port);
     if (!sock) return sock.status();
-    auto conn = std::make_unique<Conn>(options.retry);
-    conn->disk = disk;
-    conn->endpoint = ep;
+    if (Status st = SetNonBlocking(*sock); !st.ok()) return st;
+    auto conn = std::make_unique<Conn>(client.get(), disk, ep, options.retry);
     conn->sock = std::move(*sock);
     client->conns_.emplace(disk, std::move(conn));
   }
-  for (auto& [disk, conn] : client->conns_) {
-    conn->reader = std::jthread([c = client.get(), cp = conn.get()] {
-      c->ReaderLoop(cp);
-    });
-    conn->sender = std::jthread([c = client.get(), cp = conn.get()] {
-      c->SenderLoop(cp);
-    });
+  std::size_t n = options.num_event_loops;
+  if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  n = std::min(n, std::max<std::size_t>(1, client->conns_.size()));
+  for (std::size_t i = 0; i < n; ++i) {
+    auto loop = EventLoop::Create();
+    if (!loop) return loop.status();
+    client->loops_.push_back(std::move(*loop));
   }
-  if (options.op_timeout.count() > 0) {
-    client->janitor_ = std::jthread(
-        [c = client.get()](std::stop_token st) { c->JanitorLoop(st); });
+  std::size_t idx = 0;
+  for (auto& [disk, conn] : client->conns_) {
+    conn->loop = client->loops_[idx % n].get();
+    conn->loop_index = idx % n;
+    ++idx;
+  }
+  for (auto& loop : client->loops_) loop->Start();
+  // Register each socket on its owning loop. The inbox is FIFO, so this
+  // runs before any Submit admission posted afterwards can flush.
+  for (auto& [disk, conn] : client->conns_) {
+    Conn* cp = conn.get();
+    cp->loop->Post([c = client.get(), cp] { c->RegisterConn(cp); });
   }
   return client;
 }
 
 NadClient::~NadClient() {
-  {
-    MutexLock lock(janitor_mu_);
-    janitor_stop_ = true;
-  }
-  janitor_cv_.NotifyAll();
-  if (janitor_.joinable()) janitor_.join();
-  for (auto& [disk, conn] : conns_) {
-    {
-      MutexLock lock(conn->send_mu);
-      conn->closed = true;
-      // Under send_mu: the sender may be installing a fresh socket right
-      // now (reconnect). Shutdown unblocks the reader (in recv) and a
-      // sender stuck in send on a peer that stopped draining.
-      conn->sock.Shutdown();
-    }
-    conn->send_cv.NotifyAll();
-  }
-  for (auto& [disk, conn] : conns_) {
-    if (conn->sender.joinable()) conn->sender.join();
-    if (conn->reader.joinable()) conn->reader.join();
-  }
+  // Stop all loops, then join: once no loop thread runs, the connection
+  // state has no writer left and tears down without synchronization.
+  // Pending handlers are destroyed unrun — crashed-register semantics to
+  // the very end, exactly like the old reader/sender shutdown.
+  for (auto& loop : loops_) loop->Stop();
+  for (auto& loop : loops_) loop->Join();
 }
 
 NadClient::Conn* NadClient::ConnFor(DiskId d) const {
@@ -92,21 +217,24 @@ std::chrono::steady_clock::time_point NadClient::ExpiryFrom(
 bool NadClient::IsSuspectedCrashed(DiskId d) const {
   Conn* conn = ConnFor(d);
   if (conn == nullptr) return true;  // unmapped disk behaves as crashed
-  MutexLock lock(conn->send_mu);
-  if (conn->closed) return true;
-  // AllowRequest transitions open → half-open after the cooldown, so
-  // suspicion clears exactly when probes should start flowing again.
-  return !conn->breaker.AllowRequest(std::chrono::steady_clock::now());
+  const std::int64_t until =
+      conn->suspected_until_us.load(std::memory_order_relaxed);
+  if (until == 0) return false;
+  if (until == kSuspectForever) return true;
+  // The loop stamps open-breaker suspicion as opened_at + cooldown, so
+  // suspicion clears exactly when the breaker would half-open and probes
+  // should start flowing again.
+  return ToUs(Clock::now()) < until;
 }
 
-bool NadClient::Enqueue(Conn* conn, Message msg) {
-  {
-    MutexLock lock(conn->send_mu);
-    if (conn->closed) return false;
-    conn->outgoing.push_back(std::move(msg));
-  }
-  conn->send_cv.NotifyOne();
-  return true;
+void NadClient::AddInFlight(std::int64_t delta) {
+  in_flight_count_.fetch_add(delta, std::memory_order_relaxed);
+  in_flight_->Add(delta);
+}
+
+std::size_t NadClient::InFlight() const {
+  const std::int64_t v = in_flight_count_.load(std::memory_order_relaxed);
+  return v > 0 ? static_cast<std::size_t>(v) : 0;
 }
 
 void NadClient::RejectOversized(const RegisterId& r, std::size_t value_bytes) {
@@ -117,254 +245,233 @@ void NadClient::RejectOversized(const RegisterId& r, std::size_t value_bytes) {
            << "-byte frame (handler will never run)";
 }
 
-void NadClient::IssueRead(ProcessId /*p*/, RegisterId r, ReadHandler done) {
-  Conn* conn = ConnFor(r.disk);
-  if (conn == nullptr) return;  // unmapped disk behaves as crashed
-  Message req;
-  req.type = MsgType::kReadReq;
-  req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
-  req.reg = r;
-  const auto now = std::chrono::steady_clock::now();
-  {
-    MutexLock lock(conn->pending_mu);
-    conn->pending_reads.emplace(
-        req.request_id, PendingRead{std::move(done), now, r, ExpiryFrom(now)});
-  }
-  in_flight_->Add(1);
-  if (!Enqueue(conn, std::move(req))) {
-    // Connection dead: the disk is unreachable — handler never runs,
-    // exactly like a crashed register. Clean up the stashed handler.
-    MutexLock plock(conn->pending_mu);
-    if (conn->pending_reads.erase(req.request_id) > 0) in_flight_->Add(-1);
-  }
+NadClient::Op NadClient::Op::Read(RegisterId r, ReadHandler done) {
+  Op op;
+  op.kind = Kind::kRead;
+  op.reg = r;
+  op.on_read = std::move(done);
+  return op;
 }
 
-void NadClient::IssueWrite(ProcessId /*p*/, RegisterId r, Value v,
-                           WriteHandler done) {
-  Conn* conn = ConnFor(r.disk);
-  if (conn == nullptr) return;
-  if (v.size() > kMaxFrameBytes - kWriteReqOverhead) {
-    RejectOversized(r, v.size());
-    return;
-  }
-  Message req;
-  req.type = MsgType::kWriteReq;
-  req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
-  req.reg = r;
-  req.value = v;  // the original moves into the pending entry (retransmit)
-  const auto now = std::chrono::steady_clock::now();
-  {
-    MutexLock lock(conn->pending_mu);
-    conn->pending_writes.emplace(
-        req.request_id,
-        PendingWrite{std::move(done), now, r, std::move(v), ExpiryFrom(now)});
-  }
-  in_flight_->Add(1);
-  if (!Enqueue(conn, std::move(req))) {
-    MutexLock plock(conn->pending_mu);
-    if (conn->pending_writes.erase(req.request_id) > 0) in_flight_->Add(-1);
-  }
+NadClient::Op NadClient::Op::Write(RegisterId r, Value v, WriteHandler done) {
+  Op op;
+  op.kind = Kind::kWrite;
+  op.reg = r;
+  op.value = std::move(v);
+  op.on_write = std::move(done);
+  return op;
 }
 
-void NadClient::IssueReads(ProcessId /*p*/, std::vector<ReadOp> ops) {
-  // Group per connection so each disk's ops land in its outgoing queue
-  // atomically — one sender drain pass then coalesces them into one
-  // batch frame rather than racing the first op onto the wire alone.
-  std::map<Conn*, std::vector<Message>> per_conn;
-  const auto now = std::chrono::steady_clock::now();
-  for (ReadOp& op : ops) {
+NadClient::Op NadClient::Op::Stats(DiskId d, StatsHandler done) {
+  Op op;
+  op.kind = Kind::kStats;
+  op.reg.disk = d;
+  op.on_stats = std::move(done);
+  return op;
+}
+
+void NadClient::Submit(ProcessId /*p*/, std::vector<Op> ops,
+                       const OpOptions& opts) {
+  const auto now = Clock::now();
+  const auto expires =
+      opts.deadline.has_value() ? now + *opts.deadline : ExpiryFrom(now);
+  // Group per owning loop so one Post hands each loop its whole share of
+  // the batch atomically — the admission pass then coalesces everything
+  // bound for one disk into one batch frame (and each loop wakes once).
+  std::vector<std::vector<SubmitEntry>> per_loop(loops_.size());
+  for (Op& op : ops) {
     Conn* conn = ConnFor(op.reg.disk);
-    if (conn == nullptr) continue;
-    Message req;
-    req.type = MsgType::kReadReq;
-    req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
-    req.reg = op.reg;
-    {
-      MutexLock lock(conn->pending_mu);
-      conn->pending_reads.emplace(
-          req.request_id,
-          PendingRead{std::move(op.done), now, op.reg, ExpiryFrom(now)});
-    }
-    in_flight_->Add(1);
-    per_conn[conn].push_back(std::move(req));
-  }
-  for (auto& [conn, msgs] : per_conn) {
-    bool accepted = false;
-    {
-      MutexLock lock(conn->send_mu);
-      if (!conn->closed) {
-        for (Message& m : msgs) conn->outgoing.push_back(std::move(m));
-        accepted = true;
+    if (conn == nullptr) {
+      // Unmapped disk behaves as crashed: the handler never runs — except
+      // STATS, which is observability, not a model op, and fails fast.
+      if (op.kind == Op::Kind::kStats && op.on_stats) {
+        op.on_stats(Status::Unavailable("stats: unmapped disk"));
       }
+      continue;
     }
-    if (accepted) {
-      conn->send_cv.NotifyOne();
-    } else {
-      MutexLock plock(conn->pending_mu);
-      for (const Message& m : msgs) {
-        if (conn->pending_reads.erase(m.request_id) > 0) in_flight_->Add(-1);
-      }
-    }
-  }
-}
-
-void NadClient::IssueWrites(ProcessId /*p*/, std::vector<WriteOp> ops) {
-  std::map<Conn*, std::vector<Message>> per_conn;
-  const auto now = std::chrono::steady_clock::now();
-  for (WriteOp& op : ops) {
-    Conn* conn = ConnFor(op.reg.disk);
-    if (conn == nullptr) continue;
-    if (op.value.size() > kMaxFrameBytes - kWriteReqOverhead) {
+    if (op.kind == Op::Kind::kWrite &&
+        op.value.size() > kMaxFrameBytes - kWriteReqOverhead) {
       RejectOversized(op.reg, op.value.size());
       continue;
     }
-    Message req;
-    req.type = MsgType::kWriteReq;
-    req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
-    req.reg = op.reg;
-    req.value = op.value;  // original moves into the pending entry
-    {
-      MutexLock lock(conn->pending_mu);
-      conn->pending_writes.emplace(
-          req.request_id,
-          PendingWrite{std::move(op.done), now, op.reg, std::move(op.value),
-                       ExpiryFrom(now)});
-    }
-    in_flight_->Add(1);
-    per_conn[conn].push_back(std::move(req));
+    AddInFlight(1);
+    per_loop[conn->loop_index].push_back(
+        SubmitEntry{std::move(op), conn, now, expires});
   }
-  for (auto& [conn, msgs] : per_conn) {
-    bool accepted = false;
-    {
-      MutexLock lock(conn->send_mu);
-      if (!conn->closed) {
-        for (Message& m : msgs) conn->outgoing.push_back(std::move(m));
-        accepted = true;
-      }
-    }
-    if (accepted) {
-      conn->send_cv.NotifyOne();
-    } else {
-      MutexLock plock(conn->pending_mu);
-      for (const Message& m : msgs) {
-        if (conn->pending_writes.erase(m.request_id) > 0) in_flight_->Add(-1);
-      }
-    }
+  for (std::size_t i = 0; i < per_loop.size(); ++i) {
+    if (per_loop[i].empty()) continue;
+    // shared_ptr capture: std::function requires copyable callables and
+    // C++20 has no move_only_function to carry the vector by value.
+    auto batch =
+        std::make_shared<std::vector<SubmitEntry>>(std::move(per_loop[i]));
+    loops_[i]->Post([this, batch] { Admit(std::move(*batch)); });
   }
+}
+
+void NadClient::IssueRead(ProcessId p, RegisterId r, ReadHandler done) {
+  std::vector<Op> ops;
+  ops.push_back(Op::Read(r, std::move(done)));
+  Submit(p, std::move(ops));
+}
+
+void NadClient::IssueWrite(ProcessId p, RegisterId r, Value v,
+                           WriteHandler done) {
+  std::vector<Op> ops;
+  ops.push_back(Op::Write(r, std::move(v), std::move(done)));
+  Submit(p, std::move(ops));
+}
+
+void NadClient::IssueReads(ProcessId p, std::vector<ReadOp> ops) {
+  std::vector<Op> batch;
+  batch.reserve(ops.size());
+  for (ReadOp& op : ops) batch.push_back(Op::Read(op.reg, std::move(op.done)));
+  Submit(p, std::move(batch));
+}
+
+void NadClient::IssueWrites(ProcessId p, std::vector<WriteOp> ops) {
+  std::vector<Op> batch;
+  batch.reserve(ops.size());
+  for (WriteOp& op : ops) {
+    batch.push_back(Op::Write(op.reg, std::move(op.value), std::move(op.done)));
+  }
+  Submit(p, std::move(batch));
 }
 
 Expected<std::string> NadClient::QueryStats(DiskId d,
                                             std::chrono::milliseconds timeout) {
-  Conn* conn = ConnFor(d);
-  if (conn == nullptr) return Status::Unavailable("stats: unmapped disk");
-  Message req;
-  req.type = MsgType::kStatsReq;
-  req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
-  auto waiter = std::make_shared<StatsWaiter>();
-  {
-    MutexLock lock(conn->pending_mu);
-    conn->pending_stats.emplace(req.request_id, waiter);
-  }
-  if (!Enqueue(conn, std::move(req))) {
-    MutexLock plock(conn->pending_mu);
-    conn->pending_stats.erase(req.request_id);
-    return Status::Unavailable("stats: connection dead");
-  }
-  bool answered;
-  {
+  // Blocking shim over a Submit STATS op: the op rides the same pending
+  // map and expiry sweep as reads/writes (no bespoke waiter plumbing in
+  // the transport), and this function just parks on the completion.
+  struct Waiter {
+    Mutex mu;
+    CondVar cv;
+    bool done GUARDED_BY(mu) = false;
+    Expected<std::string> result GUARDED_BY(mu) =
+        Status::Timeout("stats: no response before deadline");
+  };
+  auto waiter = std::make_shared<Waiter>();
+  std::vector<Op> ops;
+  ops.push_back(Op::Stats(d, [waiter](Expected<std::string> r) {
     MutexLock lock(waiter->mu);
-    answered = waiter->cv.WaitFor(waiter->mu, timeout, [&] {
-      waiter->mu.AssertHeld();  // predicates run under the lock
-      return waiter->done;
-    });
-  }
-  if (!answered) {
-    MutexLock plock(conn->pending_mu);
-    conn->pending_stats.erase(req.request_id);
-    return Status::Timeout("stats: no response before deadline");
-  }
+    waiter->result = std::move(r);
+    waiter->done = true;
+    waiter->cv.NotifyAll();
+  }));
+  Submit(0, std::move(ops), OpOptions::WithDeadline(timeout));
+  // Slack past the deadline: the expiry sweep itself answers kTimeout,
+  // one wheel tick late at worst; the extra wait just covers scheduling.
   MutexLock lock(waiter->mu);
-  return waiter->text;
+  waiter->cv.WaitFor(waiter->mu, timeout + std::chrono::milliseconds(100),
+                     [&] {
+                       waiter->mu.AssertHeld();  // predicates run locked
+                       return waiter->done;
+                     });
+  return waiter->result;
 }
 
-std::size_t NadClient::InFlight() const {
-  std::size_t n = 0;
-  for (const auto& [disk, conn] : conns_) {
-    MutexLock lock(conn->pending_mu);
-    n += conn->pending_reads.size() + conn->pending_writes.size();
+// ---------------------------------------------------------------------------
+// Loop-thread internals. Everything below runs on a connection's owning
+// loop; connection state needs no locks (single-writer, DESIGN.md §12).
+// ---------------------------------------------------------------------------
+
+void NadClient::RegisterConn(Conn* conn) {
+  if (Status st = conn->loop->Watch(conn->sock.fd(), conn); !st.ok()) {
+    LOG_WARN << "nad-client: cannot watch disk " << conn->disk << ": "
+             << st.ToString();
+    OnLinkBroken(conn);
   }
-  return n;
 }
 
-void NadClient::JanitorLoop(std::stop_token stop) {
-  // Sweep well inside the expiry budget so an op overshoots its deadline
-  // by at most ~a quarter of it.
-  const auto interval = std::chrono::milliseconds(
-      std::max<std::int64_t>(1, options_.op_timeout.count() / 4));
-  janitor_mu_.Lock();
-  while (!janitor_stop_ && !stop.stop_requested()) {
-    janitor_cv_.WaitFor(janitor_mu_, interval, [&] {
-      janitor_mu_.AssertHeld();  // predicates run under the lock
-      return janitor_stop_;
-    });
-    if (janitor_stop_) break;
-    janitor_mu_.Unlock();
-    const auto now = std::chrono::steady_clock::now();
-    for (auto& [disk, conn] : conns_) {
-      if (SweepExpired(conn.get(), now) > 0) {
-        // Expiries are failure evidence: the disk accepted a connection
-        // but did not answer in time (stalled / dropping / crashed).
-        MutexLock lock(conn->send_mu);
-        if (conn->breaker.RecordFailure(now)) breaker_open_->Inc();
+void NadClient::Admit(std::vector<SubmitEntry> entries) {
+  std::vector<Conn*> touched;
+  for (SubmitEntry& e : entries) {
+    Conn* c = e.conn;
+    if (c->link == Conn::Link::kDown) {
+      // Dead for good: the op can never be sent. Handler never runs
+      // (crashed-register semantics); STATS fails fast instead.
+      AddInFlight(-1);
+      if (e.op.kind == Op::Kind::kStats && e.op.on_stats) {
+        e.op.on_stats(Status::Unavailable("stats: connection dead"));
       }
+      continue;
     }
-    janitor_mu_.Lock();
-  }
-  janitor_mu_.Unlock();
-}
-
-std::size_t NadClient::SweepExpired(Conn* conn,
-                                    std::chrono::steady_clock::time_point now) {
-  // Handlers are collected and destroyed outside the lock: dropping one
-  // can release ticket state whose destructor is free to lock elsewhere.
-  std::vector<ReadHandler> dead_reads;
-  std::vector<WriteHandler> dead_writes;
-  {
-    MutexLock lock(conn->pending_mu);
-    for (auto it = conn->pending_reads.begin();
-         it != conn->pending_reads.end();) {
-      if (it->second.expires <= now) {
-        dead_reads.push_back(std::move(it->second.handler));
-        it = conn->pending_reads.erase(it);
-      } else {
-        ++it;
-      }
+    const std::uint64_t id = c->next_request_id++;
+    Message req;
+    req.request_id = id;
+    if (e.op.kind == Op::Kind::kRead) {
+      req.type = MsgType::kReadReq;
+      req.reg = e.op.reg;
+      c->reads.emplace(id, PendingRead{std::move(e.op.on_read), e.start,
+                                       e.op.reg, e.expires});
+    } else if (e.op.kind == Op::Kind::kWrite) {
+      req.type = MsgType::kWriteReq;
+      req.reg = e.op.reg;
+      req.value = e.op.value;  // the original moves into the pending entry
+      c->writes.emplace(id, PendingWrite{std::move(e.op.on_write), e.start,
+                                         e.op.reg, std::move(e.op.value),
+                                         e.expires});
+    } else {
+      req.type = MsgType::kStatsReq;
+      c->stats.emplace(id, PendingStats{std::move(e.op.on_stats), e.start,
+                                        e.expires});
     }
-    for (auto it = conn->pending_writes.begin();
-         it != conn->pending_writes.end();) {
-      if (it->second.expires <= now) {
-        dead_writes.push_back(std::move(it->second.handler));
-        it = conn->pending_writes.erase(it);
-      } else {
-        ++it;
-      }
+    c->staged.push_back(std::move(req));
+    MaybeArmSweep(c, e.expires);
+    if (!c->admit_queued) {
+      c->admit_queued = true;
+      touched.push_back(c);
     }
   }
-  const std::size_t n = dead_reads.size() + dead_writes.size();
-  if (n > 0) {
-    in_flight_->Add(-static_cast<std::int64_t>(n));
-    expired_->Inc(n);
+  for (Conn* c : touched) {
+    c->admit_queued = false;
+    // Ops staged while the link is down wait in the pending maps; the
+    // reconnect rebuild retransmits them (STATS expires via the sweep).
+    if (c->link == Conn::Link::kUp) {
+      FrameStaged(c);
+      FlushWire(c);
+    }
   }
-  return n;
 }
 
-void NadClient::FlushRun(std::vector<Message>* run, std::string* wire) {
+void NadClient::FrameStaged(Conn* conn) {
+  if (conn->staged.empty()) return;
+  // Batch payload = type + request id + count + per-sub length prefixes.
+  constexpr std::size_t kBatchHeader = 1 + 8 + 4;
+  // Coalesce the admission pass into as few frames as possible,
+  // preserving FIFO order: consecutive reads/writes form one batch
+  // (split at the frame cap); STATS stays a standalone out-of-band
+  // frame.
+  std::vector<Message> run;
+  std::size_t run_bytes = kBatchHeader;
+  for (Message& msg : conn->staged) {
+    if (!options_.enable_batching || msg.type == MsgType::kStatsReq) {
+      FlushRun(&run, conn);
+      run_bytes = kBatchHeader;
+      if (msg.type != MsgType::kStatsReq) batch_size_->Observe(1);
+      PushFrame(conn, EncodeMessage(msg));
+      continue;
+    }
+    const std::size_t sub_bytes =
+        kBatchSubOverhead + (1 + 8 + 4 + 8) +
+        (msg.type == MsgType::kWriteReq ? 4 + msg.value.size() : 0);
+    if (!run.empty() && run_bytes + sub_bytes > kMaxFrameBytes) {
+      FlushRun(&run, conn);
+      run_bytes = kBatchHeader;
+    }
+    run_bytes += sub_bytes;
+    run.push_back(std::move(msg));
+  }
+  FlushRun(&run, conn);
+  conn->staged.clear();
+}
+
+void NadClient::FlushRun(std::vector<Message>* run, Conn* conn) {
   if (run->empty()) return;
   if (run->size() == 1) {
     // A lone op costs less as a plain per-op frame — and keeps the
     // pre-batch opcodes exercised against every server.
     batch_size_->Observe(1);
-    AppendFrame(wire, EncodeMessage(run->front()));
+    PushFrame(conn, EncodeMessage(run->front()));
     run->clear();
     return;
   }
@@ -372,234 +479,399 @@ void NadClient::FlushRun(std::vector<Message>* run, std::string* wire) {
   batch.type = MsgType::kBatchReq;
   batch.subs = std::move(*run);
   batch_size_->Observe(batch.subs.size());
-  AppendFrame(wire, EncodeMessage(batch));
+  PushFrame(conn, EncodeMessage(batch));
   run->clear();
 }
 
-bool NadClient::ReconnectLocked(Conn* conn, BackoffState* backoff, Rng* rng) {
-  if (!options_.enable_reconnect) {
-    // Pre-fault-injection behaviour: a dead connection stays dead and the
-    // disk appears crashed forever.
-    conn->closed = true;
-    conn->outgoing.clear();
-    conn->send_cv.NotifyAll();  // release a parked reader into its exit
-    return false;
-  }
-  // The reader may still be inside recv on the old socket; wait for it to
-  // park so the socket can be replaced under it.
-  conn->send_cv.Wait(conn->send_mu, [&] {
-    conn->send_mu.AssertHeld();  // predicates run under the lock
-    return conn->closed || conn->reader_parked;
-  });
-  if (conn->closed) return false;
-  // Interruptible capped-exponential backoff with jitter — a CondVar
-  // deadline wait, never a raw sleep, so shutdown cuts it short.
-  conn->send_cv.WaitFor(conn->send_mu, backoff->Next(*rng), [&] {
-    conn->send_mu.AssertHeld();
-    return conn->closed;
-  });
-  if (conn->closed) return false;
-  conn->send_mu.Unlock();
-  auto sock = nad::Connect(conn->endpoint.host, conn->endpoint.port);
-  conn->send_mu.Lock();
-  if (conn->closed) return false;
-  const auto now = std::chrono::steady_clock::now();
-  if (!sock) {
-    reconnect_failures_->Inc();
-    if (conn->breaker.RecordFailure(now)) breaker_open_->Inc();
-    return true;  // still broken; the loop retries with a longer delay
-  }
-  conn->sock = std::move(*sock);
-  conn->broken = false;
-  ++conn->generation;
-  backoff->Reset();
-  conn->breaker.RecordSuccess();
-  reconnects_->Inc();
-  // Retransmit everything still pending, oldest first. Requests that were
-  // served but whose response was lost get applied again — an idempotent
-  // replay of a still-pending op (see the class comment). Queued frames
-  // are rebuilt from the pending maps, so the stale outgoing queue is
-  // dropped (in-flight STATS probes die with it; QueryStats times out).
-  std::size_t resent = 0;
-  {
-    MutexLock plock(conn->pending_mu);  // send_mu → pending_mu (§12)
-    conn->outgoing.clear();
-    std::vector<Message> msgs;
-    msgs.reserve(conn->pending_reads.size() + conn->pending_writes.size());
-    for (const auto& [id, pr] : conn->pending_reads) {
-      Message m;
-      m.type = MsgType::kReadReq;
-      m.request_id = id;
-      m.reg = pr.reg;
-      msgs.push_back(std::move(m));
+void NadClient::PushFrame(Conn* conn, std::string payload) {
+  OutFrame frame;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::memcpy(frame.hdr, &len, 4);
+  frame.payload = std::move(payload);
+  conn->wire.push_back(std::move(frame));
+}
+
+void NadClient::FlushWire(Conn* conn) {
+  if (conn->link != Conn::Link::kUp) return;
+  while (!conn->wire.empty()) {
+    // Gather up to kMaxIov slots: header + payload per frame, the front
+    // frame adjusted for the bytes a previous partial write consumed.
+    std::array<iovec, kMaxIov> iov;
+    std::size_t iov_count = 0;
+    std::size_t skip = conn->wire_off;
+    for (auto it = conn->wire.begin();
+         it != conn->wire.end() && iov_count + 2 <= iov.size(); ++it) {
+      if (skip < 4) {
+        iov[iov_count].iov_base = const_cast<char*>(it->hdr) + skip;
+        iov[iov_count].iov_len = 4 - skip;
+        ++iov_count;
+        iov[iov_count].iov_base = const_cast<char*>(it->payload.data());
+        iov[iov_count].iov_len = it->payload.size();
+        ++iov_count;
+      } else {
+        const std::size_t payload_off = skip - 4;
+        iov[iov_count].iov_base =
+            const_cast<char*>(it->payload.data()) + payload_off;
+        iov[iov_count].iov_len = it->payload.size() - payload_off;
+        ++iov_count;
+      }
+      skip = 0;
     }
-    for (const auto& [id, pw] : conn->pending_writes) {
-      Message m;
-      m.type = MsgType::kWriteReq;
-      m.request_id = id;
-      m.reg = pw.reg;
-      m.value = pw.value;
-      msgs.push_back(std::move(m));
+    std::size_t sent = 0;
+    if (Status st = SendSome(conn->sock, iov.data(), iov_count, &sent);
+        !st.ok()) {
+      // Dead socket: hand off to the reconnect path. The dropped frames
+      // stay stashed in the pending maps and will be retransmitted.
+      OnLinkBroken(conn);
+      return;
     }
-    std::sort(msgs.begin(), msgs.end(),
-              [](const Message& a, const Message& b) {
-                return a.request_id < b.request_id;
-              });
-    resent = msgs.size();
-    for (Message& m : msgs) conn->outgoing.push_back(std::move(m));
+    if (sent == 0) {
+      // Kernel buffer full: resume on the next EPOLLOUT edge.
+      conn->want_write = true;
+      return;
+    }
+    while (sent > 0) {
+      OutFrame& front = conn->wire.front();
+      const std::size_t total = 4 + front.payload.size();
+      const std::size_t remaining = total - conn->wire_off;
+      if (sent >= remaining) {
+        sent -= remaining;
+        conn->wire.pop_front();
+        conn->wire_off = 0;
+      } else {
+        conn->wire_off += sent;
+        sent = 0;
+      }
+    }
   }
-  if (resent > 0) retries_->Inc(resent);
-  conn->send_cv.NotifyAll();  // wake the parked reader onto the new socket
+  conn->want_write = false;
+}
+
+void NadClient::OnIoReady(Conn* conn, std::uint32_t events) {
+  if (conn->link == Conn::Link::kConnecting) {
+    if (events & EventLoop::kError) {
+      conn->loop->Unwatch(conn->sock.fd());
+      conn->sock.Close();
+      OnRedialFailed(conn);
+      return;
+    }
+    if (events & EventLoop::kWritable) {
+      if (Status st = FinishConnect(conn->sock); !st.ok()) {
+        conn->loop->Unwatch(conn->sock.fd());
+        conn->sock.Close();
+        OnRedialFailed(conn);
+        return;
+      }
+      OnRedialConnected(conn);
+    }
+    return;
+  }
+  // A stale edge for an fd closed earlier in this epoll batch lands here
+  // with the link already down; ignore it.
+  if (conn->link != Conn::Link::kUp) return;
+  if (events & EventLoop::kError) {
+    OnLinkBroken(conn);
+    return;
+  }
+  if (events & EventLoop::kReadable) {
+    if (!DrainReads(conn)) return;  // link broke mid-drain
+  }
+  if ((events & EventLoop::kWritable) && conn->want_write) FlushWire(conn);
+}
+
+bool NadClient::DrainReads(Conn* conn) {
+  // Edge-triggered: drain to EAGAIN or the next edge never comes.
+  char buf[65536];
+  for (;;) {
+    std::size_t got = 0;
+    if (Status st = RecvSome(conn->sock, buf, sizeof buf, &got); !st.ok()) {
+      OnLinkBroken(conn);
+      return false;
+    }
+    if (got == 0) return true;  // drained (would block)
+    conn->rx.append(buf, got);
+    if (!ParseFrames(conn)) return false;
+  }
+}
+
+bool NadClient::ParseFrames(Conn* conn) {
+  std::string& rx = conn->rx;
+  std::size_t off = 0;
+  while (rx.size() - off >= 4) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, rx.data() + off, 4);
+    if (len > kMaxFrameBytes) {
+      LOG_WARN << "nad-client: disk " << conn->disk
+               << " sent an oversized frame (" << len
+               << " bytes); dropping the connection";
+      OnLinkBroken(conn);
+      return false;
+    }
+    if (rx.size() - off - 4 < len) break;
+    HandleFrame(conn, std::string_view(rx.data() + off + 4, len));
+    off += 4 + len;
+  }
+  rx.erase(0, off);
   return true;
 }
 
-void NadClient::SenderLoop(Conn* conn) {
-  // Batch payload = type + request id + count + per-sub length prefixes.
-  constexpr std::size_t kBatchHeader = 1 + 8 + 4;
-  // Deterministic per-disk jitter stream (decorrelates the reconnect
-  // storms of many clients hitting one recovered disk).
-  Rng rng(0x9e3779b97f4a7c15ULL ^
-          (static_cast<std::uint64_t>(conn->disk) << 17));
-  BackoffState backoff(options_.retry);
-  conn->send_mu.Lock();
-  for (;;) {
-    if (conn->closed) break;
-    if (conn->broken) {
-      if (!ReconnectLocked(conn, &backoff, &rng)) break;
-      continue;
-    }
-    if (conn->outgoing.empty()) {
-      conn->send_cv.Wait(conn->send_mu, [&] {
-        conn->send_mu.AssertHeld();  // predicates run under the lock
-        return conn->closed || conn->broken || !conn->outgoing.empty();
-      });
-      continue;
-    }
-    std::deque<Message> drained;
-    drained.swap(conn->outgoing);
-    conn->send_mu.Unlock();
-    // Coalesce the drain pass into as few frames as possible, preserving
-    // FIFO order: consecutive reads/writes form one batch (split at the
-    // frame cap); STATS stays a standalone out-of-band frame.
-    std::string wire;
-    std::vector<Message> run;
-    std::size_t run_bytes = kBatchHeader;
-    for (Message& msg : drained) {
-      if (!options_.enable_batching || msg.type == MsgType::kStatsReq) {
-        FlushRun(&run, &wire);
-        run_bytes = kBatchHeader;
-        if (msg.type != MsgType::kStatsReq) batch_size_->Observe(1);
-        AppendFrame(&wire, EncodeMessage(msg));
-        continue;
-      }
-      const std::size_t sub_bytes =
-          kBatchSubOverhead + (1 + 8 + 4 + 8) +
-          (msg.type == MsgType::kWriteReq ? 4 + msg.value.size() : 0);
-      if (!run.empty() && run_bytes + sub_bytes > kMaxFrameBytes) {
-        FlushRun(&run, &wire);
-        run_bytes = kBatchHeader;
-      }
-      run_bytes += sub_bytes;
-      run.push_back(std::move(msg));
-    }
-    FlushRun(&run, &wire);
-    const bool sent = SendAll(conn->sock, wire).ok();
-    conn->send_mu.Lock();
-    if (!sent && !conn->closed && !conn->broken) {
-      // Dead socket: hand off to the reconnect path. The dropped frames
-      // stay stashed in the pending maps and will be retransmitted.
-      conn->broken = true;
-      conn->sock.Shutdown();  // unblock the reader so it can park
-      conn->send_cv.NotifyAll();
-    }
+void NadClient::HandleFrame(Conn* conn, std::string_view payload) {
+  auto msg = DecodeMessage(payload);
+  if (!msg) {
+    LOG_WARN << "nad-client: malformed response: " << msg.status().ToString();
+    return;
   }
-  conn->send_mu.Unlock();
+  // Any successfully received frame is proof of life: close the breaker
+  // so suspicion clears as soon as the disk answers again.
+  conn->breaker.RecordSuccess();
+  conn->suspected_until_us.store(0, std::memory_order_relaxed);
+  if (msg->type == MsgType::kBatchResp) {
+    for (Message& sub : msg->subs) DispatchResponse(conn, std::move(sub));
+  } else {
+    DispatchResponse(conn, std::move(*msg));
+  }
 }
 
 void NadClient::DispatchResponse(Conn* conn, Message msg) {
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = Clock::now();
   if (msg.type == MsgType::kReadResp) {
-    PendingRead pending;
-    {
-      MutexLock lock(conn->pending_mu);
-      auto it = conn->pending_reads.find(msg.request_id);
-      if (it == conn->pending_reads.end()) return;
-      pending = std::move(it->second);
-      conn->pending_reads.erase(it);
-    }
-    in_flight_->Add(-1);
+    auto it = conn->reads.find(msg.request_id);
+    if (it == conn->reads.end()) return;
+    PendingRead pending = std::move(it->second);
+    conn->reads.erase(it);
+    AddInFlight(-1);
     read_us_->ObserveSince(pending.start);
     obs::EmitSpan("nad", "read", pending.start, now);
     if (pending.handler) pending.handler(std::move(msg.value));
   } else if (msg.type == MsgType::kWriteResp) {
-    PendingWrite pending;
-    {
-      MutexLock lock(conn->pending_mu);
-      auto it = conn->pending_writes.find(msg.request_id);
-      if (it == conn->pending_writes.end()) return;
-      pending = std::move(it->second);
-      conn->pending_writes.erase(it);
-    }
-    in_flight_->Add(-1);
+    auto it = conn->writes.find(msg.request_id);
+    if (it == conn->writes.end()) return;
+    PendingWrite pending = std::move(it->second);
+    conn->writes.erase(it);
+    AddInFlight(-1);
     write_us_->ObserveSince(pending.start);
     obs::EmitSpan("nad", "write", pending.start, now);
     if (pending.handler) pending.handler();
   } else if (msg.type == MsgType::kStatsResp) {
-    std::shared_ptr<StatsWaiter> waiter;
-    {
-      MutexLock lock(conn->pending_mu);
-      auto it = conn->pending_stats.find(msg.request_id);
-      if (it == conn->pending_stats.end()) return;
-      waiter = std::move(it->second);
-      conn->pending_stats.erase(it);
-    }
-    MutexLock wlock(waiter->mu);
-    waiter->text = std::move(msg.value);
-    waiter->done = true;
-    waiter->cv.NotifyAll();
+    auto it = conn->stats.find(msg.request_id);
+    if (it == conn->stats.end()) return;
+    PendingStats pending = std::move(it->second);
+    conn->stats.erase(it);
+    AddInFlight(-1);
+    if (pending.handler) pending.handler(std::move(msg.value));
   }
 }
 
-void NadClient::ReaderLoop(Conn* conn) {
-  for (;;) {
-    auto payload = RecvFrame(conn->sock, kMaxFrameBytes);
-    if (!payload) {
-      // Connection lost (or shutting down): park until the sender installs
-      // a fresh socket (generation bump) or the client closes for good.
-      conn->send_mu.Lock();
-      if (!conn->closed && !conn->broken) {
-        conn->broken = true;
-        conn->sock.Shutdown();  // unblock a sender stuck mid-send
-      }
-      conn->reader_parked = true;
-      conn->send_cv.NotifyAll();
-      const std::uint64_t gen = conn->generation;
-      conn->send_cv.Wait(conn->send_mu, [&] {
-        conn->send_mu.AssertHeld();  // predicates run under the lock
-        return conn->closed || conn->generation != gen;
+void NadClient::OnLinkBroken(Conn* conn) {
+  if (conn->link != Conn::Link::kUp) return;
+  if (conn->sock.valid()) {
+    conn->loop->Unwatch(conn->sock.fd());
+    conn->sock.Close();
+  }
+  conn->want_write = false;
+  conn->staged.clear();
+  conn->wire.clear();
+  conn->wire_off = 0;
+  conn->rx.clear();
+  // STATS probes die with the link: observability reads have no
+  // pending-write semantics to preserve, so they fail fast instead of
+  // being retransmitted.
+  auto dead_stats = std::move(conn->stats);
+  conn->stats.clear();
+  if (!dead_stats.empty()) {
+    AddInFlight(-static_cast<std::int64_t>(dead_stats.size()));
+  }
+  for (auto& [id, pending] : dead_stats) {
+    if (pending.handler) {
+      pending.handler(Status::Unavailable("stats: connection lost"));
+    }
+  }
+  if (!options_.enable_reconnect) {
+    // Pre-fault-injection behaviour: a dead connection stays dead and
+    // the disk appears crashed forever. Armed sweeps keep expiring what
+    // remains pending.
+    conn->link = Conn::Link::kDown;
+    conn->suspected_until_us.store(kSuspectForever, std::memory_order_relaxed);
+    return;
+  }
+  conn->link = Conn::Link::kBackoff;
+  ScheduleRedial(conn);
+}
+
+void NadClient::ScheduleRedial(Conn* conn) {
+  // Capped exponential backoff with jitter, as a wheel timer — the
+  // loop stays responsive for its other connections while this one
+  // waits (the old code parked a dedicated sender thread in a CondVar).
+  const auto delay = conn->backoff.Next(conn->rng);
+  conn->redial_timer =
+      conn->loop->timers().Schedule(Clock::now() + delay, [this, conn] {
+        conn->redial_timer = 0;
+        StartRedial(conn);
       });
-      conn->reader_parked = false;
-      const bool done = conn->closed;
-      conn->send_mu.Unlock();
-      if (done) return;
-      continue;  // resume on the fresh socket
-    }
-    auto msg = DecodeMessage(*payload);
-    if (!msg) {
-      LOG_WARN << "nad-client: malformed response: " << msg.status().ToString();
-      continue;
-    }
-    {
-      // Any successfully received frame is proof of life: close the
-      // breaker so suspicion clears as soon as the disk answers again.
-      MutexLock lock(conn->send_mu);
-      conn->breaker.RecordSuccess();
-    }
-    if (msg->type == MsgType::kBatchResp) {
-      for (Message& sub : msg->subs) DispatchResponse(conn, std::move(sub));
+}
+
+void NadClient::StartRedial(Conn* conn) {
+  if (conn->link != Conn::Link::kBackoff) return;
+  bool connected = false;
+  auto sock = StartConnect(conn->endpoint.host, conn->endpoint.port,
+                           &connected);
+  if (!sock) {
+    OnRedialFailed(conn);
+    return;
+  }
+  conn->sock = std::move(*sock);
+  if (Status st = conn->loop->Watch(conn->sock.fd(), conn); !st.ok()) {
+    LOG_WARN << "nad-client: cannot watch disk " << conn->disk << ": "
+             << st.ToString();
+    conn->sock.Close();
+    OnRedialFailed(conn);
+    return;
+  }
+  conn->link = Conn::Link::kConnecting;
+  if (connected) OnRedialConnected(conn);
+  // Otherwise the handshake resolves on the next EPOLLOUT/EPOLLERR edge.
+}
+
+void NadClient::OnRedialFailed(Conn* conn) {
+  reconnect_failures_->Inc();
+  RecordBreakerFailure(conn, Clock::now());
+  conn->link = Conn::Link::kBackoff;
+  ScheduleRedial(conn);  // still broken; retry with a longer delay
+}
+
+void NadClient::OnRedialConnected(Conn* conn) {
+  conn->link = Conn::Link::kUp;
+  conn->backoff.Reset();
+  conn->breaker.RecordSuccess();
+  conn->suspected_until_us.store(0, std::memory_order_relaxed);
+  reconnects_->Inc();
+  // Retransmit everything still pending, oldest first. Requests that
+  // were served but whose response was lost get applied again — an
+  // idempotent replay of a still-pending op (see the class comment).
+  // Frames are rebuilt from the pending maps, so anything staged or
+  // framed before the break (already covered by the maps) is dropped
+  // first rather than sent twice.
+  conn->staged.clear();
+  conn->wire.clear();
+  conn->wire_off = 0;
+  std::vector<Message> msgs;
+  msgs.reserve(conn->reads.size() + conn->writes.size());
+  for (const auto& [id, pending] : conn->reads) {
+    Message m;
+    m.type = MsgType::kReadReq;
+    m.request_id = id;
+    m.reg = pending.reg;
+    msgs.push_back(std::move(m));
+  }
+  for (const auto& [id, pending] : conn->writes) {
+    Message m;
+    m.type = MsgType::kWriteReq;
+    m.request_id = id;
+    m.reg = pending.reg;
+    m.value = pending.value;
+    msgs.push_back(std::move(m));
+  }
+  std::sort(msgs.begin(), msgs.end(),
+            [](const Message& a, const Message& b) {
+              return a.request_id < b.request_id;
+            });
+  if (!msgs.empty()) retries_->Inc(msgs.size());
+  for (Message& m : msgs) conn->staged.push_back(std::move(m));
+  FrameStaged(conn);
+  FlushWire(conn);
+}
+
+void NadClient::MaybeArmSweep(Conn* conn,
+                              std::chrono::steady_clock::time_point at) {
+  if (at == Clock::time_point::max()) return;
+  if (conn->sweep_timer != 0) {
+    if (conn->sweep_deadline <= at) return;  // an earlier sweep covers it
+    conn->loop->timers().Cancel(conn->sweep_timer);
+  }
+  conn->sweep_deadline = at;
+  conn->sweep_timer = conn->loop->timers().Schedule(at, [this, conn] {
+    conn->sweep_timer = 0;
+    Sweep(conn);
+  });
+}
+
+void NadClient::Sweep(Conn* conn) {
+  const auto now = Clock::now();
+  // Handlers are collected first and invoked/destroyed after the maps
+  // are consistent: dropping one can release ticket state whose
+  // destructor may re-enter Submit.
+  std::vector<ReadHandler> dead_reads;
+  std::vector<WriteHandler> dead_writes;
+  std::vector<StatsHandler> timed_out_stats;
+  auto next = Clock::time_point::max();
+  for (auto it = conn->reads.begin(); it != conn->reads.end();) {
+    if (it->second.expires <= now) {
+      dead_reads.push_back(std::move(it->second.handler));
+      it = conn->reads.erase(it);
     } else {
-      DispatchResponse(conn, std::move(*msg));
+      next = std::min(next, it->second.expires);
+      ++it;
     }
+  }
+  for (auto it = conn->writes.begin(); it != conn->writes.end();) {
+    if (it->second.expires <= now) {
+      dead_writes.push_back(std::move(it->second.handler));
+      it = conn->writes.erase(it);
+    } else {
+      next = std::min(next, it->second.expires);
+      ++it;
+    }
+  }
+  for (auto it = conn->stats.begin(); it != conn->stats.end();) {
+    if (it->second.expires <= now) {
+      timed_out_stats.push_back(std::move(it->second.handler));
+      it = conn->stats.erase(it);
+    } else {
+      next = std::min(next, it->second.expires);
+      ++it;
+    }
+  }
+  const std::size_t n =
+      dead_reads.size() + dead_writes.size() + timed_out_stats.size();
+  if (n > 0) {
+    AddInFlight(-static_cast<std::int64_t>(n));
+    expired_->Inc(n);
+    // Expiries are failure evidence: the disk accepted a connection but
+    // did not answer in time (stalled / dropping / crashed).
+    RecordBreakerFailure(conn, now);
+  }
+  MaybeArmSweep(conn, next);
+  for (StatsHandler& handler : timed_out_stats) {
+    if (handler) handler(Status::Timeout("stats: no response before deadline"));
+  }
+  // Expired read/write handlers are destroyed unrun here —
+  // crashed-register semantics (an expired-but-sent write is a textbook
+  // pending write).
+}
+
+void NadClient::RecordBreakerFailure(Conn* conn,
+                                     std::chrono::steady_clock::time_point now) {
+  // Let an elapsed cooldown half-open the breaker first (the old code
+  // relied on IsSuspectedCrashed callers to drive that transition), then
+  // record the failure and publish the resulting suspicion window.
+  (void)conn->breaker.AllowRequest(now);
+  if (conn->breaker.RecordFailure(now)) breaker_open_->Inc();
+  PublishSuspicion(conn, now);
+}
+
+void NadClient::PublishSuspicion(Conn* conn,
+                                 std::chrono::steady_clock::time_point now) {
+  if (conn->link == Conn::Link::kDown) {
+    conn->suspected_until_us.store(kSuspectForever, std::memory_order_relaxed);
+    return;
+  }
+  if (conn->breaker.state() == CircuitBreaker::State::kOpen) {
+    // RecordFailure stamps opened_at_ = now while open, so the window is
+    // exactly one cooldown from the latest failure.
+    conn->suspected_until_us.store(ToUs(now + options_.retry.breaker_cooldown),
+                                   std::memory_order_relaxed);
+  } else {
+    conn->suspected_until_us.store(0, std::memory_order_relaxed);
   }
 }
 

@@ -3,49 +3,64 @@
 /// interface (BaseRegisterClient) against real network-attached disk
 /// servers, so every emulation in core/ runs unchanged over the network.
 ///
-/// Each disk id maps to one server endpoint; the client keeps one
-/// connection per disk with a reader thread that dispatches responses to
-/// the completion handlers by request id, and a sender thread that drains
-/// a per-connection outgoing queue. Issue* therefore never touches the
-/// socket: it enqueues and returns — truly nonblocking even when the peer
-/// stops draining (the Fig. 1 model requires issue to return immediately;
-/// a blocking send would stall the whole process on one slow disk).
+/// The transport is an event-loop core (the Aerospike async-path shape,
+/// ROADMAP item 1): N single-threaded epoll loops (Options::
+/// num_event_loops, default = hardware concurrency), each owning a
+/// disjoint pool of non-blocking connections with gather-write (writev)
+/// framing, edge-triggered readiness, and a per-loop timer wheel that
+/// absorbs what used to be a janitor thread (expiry sweeps) and the
+/// reconnect CondVar waits (backoff redial timers). Completion handlers
+/// run on the owning loop.
 ///
-/// Each sender drain pass coalesces every queued read/write bound for its
-/// disk into one kBatchReq frame (split at kMaxFrameBytes), so a quorum
-/// phase issued via IssueReads/IssueWrites costs one frame and one syscall
-/// per disk instead of one per register.
+/// The client-facing API is one entry point: Submit(process, ops,
+/// options) takes a vector of Op variants — reads, writes, and STATS
+/// probes — each carrying its own completion; OpOptions supplies a
+/// per-submission deadline overriding Options::op_timeout. Submit never
+/// touches a socket: it validates, counts the ops in flight, and posts
+/// them to their owning loops — truly nonblocking even when a peer stops
+/// draining (the Fig. 1 model requires issue to return immediately). The
+/// classic IssueRead/IssueWrite/IssueReads/IssueWrites and QueryStats are
+/// thin shims over Submit, so core::RegisterSet, quorum_wait.h, and all
+/// emulations run unchanged.
+///
+/// Each admission pass coalesces every staged read/write bound for a disk
+/// into one kBatchReq frame (split at kMaxFrameBytes), so a quorum phase
+/// issued via IssueReads/IssueWrites costs one frame per disk instead of
+/// one per register.
 ///
 /// Failure handling (the chaos-tolerant transport under the paper's
 /// fail-prone model):
 ///
-///  * Reconnect — when a connection dies (send or recv failure), the
-///    reader parks, the sender re-establishes the connection with capped
-///    exponential backoff + jitter (nad/retry.h; CondVar waits, never raw
-///    sleeps, so shutdown interrupts instantly), then retransmits every
-///    still-pending request on the new socket. Retransmission can apply a
-///    write twice; that is harmless under the emulations' discipline —
-///    every base register has at most one writer process with at most one
-///    outstanding write (core::RegisterSet), so a duplicate is an
-///    idempotent replay of the still-pending write, squarely within the
-///    Fig. 1 pending-write semantics.
-///  * Expiry — with Options::op_timeout set, a janitor thread expires
-///    pending operations past their deadline: the handler simply never
-///    runs (crashed-register semantics; an expired-but-sent write is a
-///    textbook pending write and the checkers treat it as such).
-///  * Circuit breaking — consecutive reconnect failures or expiry sweeps
-///    open a per-disk breaker (nad/retry.h). While open,
-///    IsSuspectedCrashed(disk) returns true, so core::RegisterSet stops
-///    issuing doomed operations to that disk instead of letting a phase
-///    hang on it; after a cooldown the breaker half-opens and traffic
-///    probes the disk again.
+///  * Reconnect — when a connection dies (send or recv failure), its loop
+///    clears the wire buffers, schedules a redial on the timer wheel with
+///    capped exponential backoff + jitter (nad/retry.h), performs a
+///    non-blocking connect, and retransmits every still-pending request
+///    on the new socket. Retransmission can apply a write twice; that is
+///    harmless under the emulations' discipline — every base register has
+///    at most one writer process with at most one outstanding write
+///    (core::RegisterSet), so a duplicate is an idempotent replay of the
+///    still-pending write, squarely within the Fig. 1 pending-write
+///    semantics. In-flight STATS probes die with the link (kUnavailable).
+///  * Expiry — every pending op with a finite deadline (Options::
+///    op_timeout or an OpOptions deadline) is swept by a wheel timer
+///    armed at the earliest expiry: read/write handlers simply never run
+///    (crashed-register semantics; an expired-but-sent write is a
+///    textbook pending write and the checkers treat it as such), STATS
+///    handlers complete with kTimeout.
+///  * Circuit breaking — reconnect failures or expiry sweeps open a
+///    per-disk breaker (nad/retry.h). While open, IsSuspectedCrashed
+///    (disk) returns true, so core::RegisterSet stops issuing doomed
+///    operations to that disk instead of letting a phase hang on it;
+///    after a cooldown the breaker half-opens and traffic probes again.
 ///
-/// Lock/ownership contract (DESIGN.md §12): each Conn has send_mu
-/// (socket/outgoing/lifecycle state) and pending_mu (pending-op maps).
-/// Nesting order is send_mu → pending_mu (the reconnect rebuild walks the
-/// pending maps while holding send_mu); no path takes them in the other
-/// order. The sender thread is the only writer of Conn::sock, and only
-/// while the reader is parked, so the loops use the socket without locks.
+/// Ownership contract (DESIGN.md §12): all connection state — socket,
+/// staged/wire queues, pending-op maps, breaker, backoff, timers — is
+/// owned by the connection's loop and touched only on the loop thread
+/// (the single-writer rule). The old send_mu → pending_mu nesting is
+/// gone; the only client mutexes left are each loop's task inbox and the
+/// QueryStats shim's private waiter. Cross-thread reads (InFlight, the
+/// in-flight gauge, IsSuspectedCrashed) go through dedicated atomics
+/// updated by the loops.
 ///
 /// Observability: per-RPC latency ("nad.client.read_us"/"write_us"),
 /// outstanding depth ("nad.client.in_flight"), coalescing depth
@@ -53,30 +68,56 @@
 /// "nad.client.retries" (requests retransmitted after a reconnect),
 /// "nad.client.reconnects" (successful reconnects),
 /// "nad.client.reconnect_failures", "nad.client.expired" (operations
-/// expired by the janitor) and "nad.client.breaker_open" (closed/half-open
-/// → open transitions). Completed RPCs emit trace spans (obs/trace.h).
+/// expired past their deadline) and "nad.client.breaker_open"
+/// (closed/half-open → open transitions). Completed RPCs emit trace
+/// spans (obs/trace.h). InFlight() and the in-flight gauge share one
+/// atomic counter, so they agree at every instant — including across
+/// expiry sweeps.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
-#include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "common/base_register.h"
+#include "common/op_options.h"
 #include "common/status.h"
-#include "common/sync.h"
+#include "nad/event_loop.h"
 #include "nad/protocol.h"
 #include "nad/retry.h"
-#include "nad/socket.h"
 #include "obs/metrics.h"
 
 namespace nadreg::nad {
+
+/// Tuning knobs for NadClient, passed to NadClient::Connect. Namespace
+/// scope (aliased as NadClient::Options) so Connect can default it — a
+/// nested class's member initializers are not usable in a default
+/// argument of its own enclosing class.
+struct ClientOptions {
+  /// When false, every operation is sent as its own per-op frame (the
+  /// pre-batch opcodes) — the interop / ablation mode. Admission stays
+  /// nonblocking either way.
+  bool enable_batching = true;
+  /// When false, a dead connection stays dead (the pre-fault-injection
+  /// behaviour: the disk appears crashed forever).
+  bool enable_reconnect = true;
+  /// Per-operation expiry budget. Zero = never expire (an unanswered
+  /// op stays pending forever, exactly the paper's unresponsive mode).
+  /// An OpOptions deadline passed to Submit overrides this per call.
+  std::chrono::milliseconds op_timeout{0};
+  /// Backoff and circuit-breaker tuning for the reconnect path.
+  RetryPolicy retry;
+  /// Event loops hosting the connections. 0 = one per hardware thread.
+  /// Clamped to the connection count (a connection has exactly one
+  /// owning loop); values above NadClient::kMaxEventLoops fail Connect
+  /// with kInvalid.
+  std::size_t num_event_loops = 0;
+};
 
 class NadClient : public BaseRegisterClient {
  public:
@@ -84,41 +125,62 @@ class NadClient : public BaseRegisterClient {
   /// header, shared with the server CLI and demos.
   using Endpoint = nad::Endpoint;
 
-  struct Options {
-    /// When false, every operation is sent as its own per-op frame (the
-    /// pre-batch opcodes) — the interop / ablation mode. The sender
-    /// thread still makes issue nonblocking either way.
-    bool enable_batching = true;
-    /// When false, a dead connection stays dead (the pre-fault-injection
-    /// behaviour: the disk appears crashed forever).
-    bool enable_reconnect = true;
-    /// Per-operation expiry budget. Zero = never expire (an unanswered
-    /// op stays pending forever, exactly the paper's unresponsive mode).
-    std::chrono::milliseconds op_timeout{0};
-    /// Backoff and circuit-breaker tuning for the reconnect path.
-    RetryPolicy retry;
-  };
+  /// Completion for a STATS op: the server's metrics dump on success,
+  /// kTimeout when the deadline expired first, kUnavailable when the
+  /// disk is unmapped or the connection died before an answer.
+  using StatsHandler = std::function<void(Expected<std::string>)>;
+
+  /// Sanity ceiling for Options::num_event_loops, validated at Connect.
+  static constexpr std::size_t kMaxEventLoops = 256;
+
+  using Options = ClientOptions;
 
   /// Connects to every endpoint. Fails (kUnavailable) if any connection
   /// cannot be established — a disk that is down at start-up should be
-  /// mapped anyway and will simply appear crashed.
+  /// mapped anyway and will simply appear crashed. kInvalid if
+  /// `options.num_event_loops` exceeds kMaxEventLoops.
   static Expected<std::unique_ptr<NadClient>> Connect(
-      std::map<DiskId, Endpoint> endpoints) {
-    return Connect(std::move(endpoints), Options{});
-  }
-  static Expected<std::unique_ptr<NadClient>> Connect(
-      std::map<DiskId, Endpoint> endpoints, Options options);
+      std::map<DiskId, Endpoint> endpoints, Options options = {});
 
   ~NadClient() override;
   NadClient(const NadClient&) = delete;
   NadClient& operator=(const NadClient&) = delete;
 
+  /// One operation of a Submit batch. Reads, writes, and STATS probes
+  /// are variants of the same op shape, each with its own completion
+  /// handler (run on the owning connection's loop thread — handlers must
+  /// not block).
+  struct Op {
+    enum class Kind : std::uint8_t { kRead, kWrite, kStats };
+
+    Kind kind = Kind::kRead;
+    /// Target register for reads/writes; STATS uses only reg.disk.
+    RegisterId reg{};
+    Value value{};  // write payload; unused otherwise
+    ReadHandler on_read;
+    WriteHandler on_write;
+    StatsHandler on_stats;
+
+    static Op Read(RegisterId r, ReadHandler done);
+    static Op Write(RegisterId r, Value v, WriteHandler done);
+    static Op Stats(DiskId d, StatsHandler done);
+  };
+
+  /// The single issue path: validates each op, counts it in flight, and
+  /// hands it to its disk's owning loop. Never blocks. Ops for the same
+  /// disk submitted in one call are admitted atomically, so one
+  /// admission pass coalesces them into one batch frame. Ops on an
+  /// unmapped or closed-forever disk behave as crashed (the handler
+  /// never runs), except STATS which completes with kUnavailable;
+  /// oversized writes are dropped fail-fast (see RejectOversized).
+  /// `opts.deadline`, when set, overrides Options::op_timeout for every
+  /// op in this call.
+  void Submit(ProcessId p, std::vector<Op> ops, const OpOptions& opts = {});
+
+  // ---- Thin shims over Submit (the pre-redesign surface) ----
   void IssueRead(ProcessId p, RegisterId r, ReadHandler done) override;
   void IssueWrite(ProcessId p, RegisterId r, Value v,
                   WriteHandler done) override;
-
-  /// Vectored issue: all ops for the same disk are enqueued atomically,
-  /// so one sender drain pass coalesces them into one batch frame.
   void IssueReads(ProcessId p, std::vector<ReadOp> ops) override;
   void IssueWrites(ProcessId p, std::vector<WriteOp> ops) override;
 
@@ -128,87 +190,26 @@ class NadClient : public BaseRegisterClient {
   bool IsSuspectedCrashed(DiskId d) const override;
 
   /// Fetches the server-side metrics dump (STATS opcode) from one disk.
-  /// Blocks up to `timeout`; kTimeout if the disk does not answer (a
-  /// crashed disk swallows STATS like any other request), kUnavailable if
-  /// the disk is unmapped or its connection is dead.
+  /// A blocking shim over a Submit STATS op with an OpOptions deadline:
+  /// kTimeout if the disk does not answer in time (a crashed disk
+  /// swallows STATS like any other request), kUnavailable if the disk is
+  /// unmapped or its connection is dead.
   Expected<std::string> QueryStats(DiskId d, std::chrono::milliseconds timeout);
 
-  /// Number of operations whose response is still outstanding.
+  /// Number of operations whose response is still outstanding (reads,
+  /// writes, and STATS probes). Always equals the nad.client.in_flight
+  /// gauge: both read the same atomic counter.
   std::size_t InFlight() const;
 
- private:
-  struct PendingRead {
-    ReadHandler handler;
-    std::chrono::steady_clock::time_point start;
-    RegisterId reg;  // for retransmission after a reconnect
-    std::chrono::steady_clock::time_point expires;
-  };
-  struct PendingWrite {
-    WriteHandler handler;
-    std::chrono::steady_clock::time_point start;
-    RegisterId reg;   // for retransmission after a reconnect
-    Value value;      // ditto
-    std::chrono::steady_clock::time_point expires;
-  };
-  struct StatsWaiter {
-    Mutex mu;
-    CondVar cv;
-    bool done GUARDED_BY(mu) = false;
-    std::string text GUARDED_BY(mu);
-  };
-  // Lock order within a Conn: send_mu → pending_mu (reconnect rebuilds
-  // the outgoing queue from the pending maps); never the reverse.
-  struct Conn {
-    DiskId disk = 0;
-    Endpoint endpoint;  // immutable; reconnect target
-    // Written only by the sender thread, and only while the reader is
-    // parked (see reader_parked) — so both loops use it lock-free.
-    Socket sock;
-    Mutex send_mu;
-    CondVar send_cv;
-    std::deque<Message> outgoing GUARDED_BY(send_mu);
-    /// Current socket known dead; sender owns re-establishing it.
-    bool broken GUARDED_BY(send_mu) = false;
-    /// Client shutting down (or reconnect disabled and the socket died).
-    bool closed GUARDED_BY(send_mu) = false;
-    /// Reader is waiting for a fresh socket (generation bump) or closed.
-    bool reader_parked GUARDED_BY(send_mu) = false;
-    /// Bumped per successful reconnect; the parked reader waits on it.
-    std::uint64_t generation GUARDED_BY(send_mu) = 1;
-    CircuitBreaker breaker GUARDED_BY(send_mu);
-    Mutex pending_mu;
-    std::unordered_map<std::uint64_t, PendingRead> pending_reads
-        GUARDED_BY(pending_mu);
-    std::unordered_map<std::uint64_t, PendingWrite> pending_writes
-        GUARDED_BY(pending_mu);
-    std::unordered_map<std::uint64_t, std::shared_ptr<StatsWaiter>>
-        pending_stats GUARDED_BY(pending_mu);
-    std::jthread sender;
-    std::jthread reader;
+  /// Event loops actually running (after defaulting and clamping).
+  std::size_t NumEventLoops() const { return loops_.size(); }
 
-    explicit Conn(const RetryPolicy& policy) : breaker(policy) {}
-  };
+ private:
+  struct Conn;         // all state loop-owned; defined in client.cc
+  struct SubmitEntry;  // one admitted op en route to its loop
 
   explicit NadClient(Options options);
-  void ReaderLoop(Conn* conn);
-  void SenderLoop(Conn* conn);
-  /// Expires pending ops past their deadline (only runs with op_timeout).
-  void JanitorLoop(std::stop_token stop);
-  /// One janitor pass over one connection; returns ops expired.
-  std::size_t SweepExpired(Conn* conn,
-                           std::chrono::steady_clock::time_point now);
-  /// Sender-side reconnect: waits for the reader to park, backs off,
-  /// redials, and retransmits pending ops. Entered and left with send_mu
-  /// held; returns false when the connection is closed for good.
-  bool ReconnectLocked(Conn* conn, BackoffState* backoff, Rng* rng)
-      REQUIRES(conn->send_mu);
-  /// Flushes a run of coalesced request messages into `wire` as one
-  /// batch frame (or a per-op frame for a singleton / batching-off run).
-  void FlushRun(std::vector<Message>* run, std::string* wire);
-  void DispatchResponse(Conn* conn, Message msg);
-  /// Enqueues one request on `conn` (caller must hold nothing). Returns
-  /// false when the connection is closed — the op will never be sent.
-  bool Enqueue(Conn* conn, Message msg);
+
   Conn* ConnFor(DiskId d) const;
   /// Expiry deadline for an op issued now.
   std::chrono::steady_clock::time_point ExpiryFrom(
@@ -216,15 +217,41 @@ class NadClient : public BaseRegisterClient {
   /// Drops an op whose value can never fit a frame: logs, counts, and
   /// leaves the handler unrun (fail-fast — nothing touches the wire).
   void RejectOversized(const RegisterId& r, std::size_t value_bytes);
+  /// Single-writer update of the shared in-flight count + gauge.
+  void AddInFlight(std::int64_t delta);
+
+  // ---- Loop-thread-only internals (see client.cc) ----
+  void RegisterConn(Conn* conn);
+  void Admit(std::vector<SubmitEntry> entries);
+  void OnIoReady(Conn* conn, std::uint32_t events);
+  bool DrainReads(Conn* conn);
+  bool ParseFrames(Conn* conn);
+  void HandleFrame(Conn* conn, std::string_view payload);
+  void DispatchResponse(Conn* conn, Message msg);
+  void FrameStaged(Conn* conn);
+  void FlushRun(std::vector<Message>* run, Conn* conn);
+  void PushFrame(Conn* conn, std::string payload);
+  void FlushWire(Conn* conn);
+  void OnLinkBroken(Conn* conn);
+  void ScheduleRedial(Conn* conn);
+  void StartRedial(Conn* conn);
+  void OnRedialFailed(Conn* conn);
+  void OnRedialConnected(Conn* conn);
+  void MaybeArmSweep(Conn* conn, std::chrono::steady_clock::time_point at);
+  void Sweep(Conn* conn);
+  void RecordBreakerFailure(Conn* conn,
+                            std::chrono::steady_clock::time_point now);
+  void PublishSuspicion(Conn* conn,
+                        std::chrono::steady_clock::time_point now);
 
   Options options_;
-  std::atomic<std::uint64_t> next_request_id_{1};
+  std::vector<std::unique_ptr<EventLoop>> loops_;
   std::map<DiskId, std::unique_ptr<Conn>> conns_;
 
-  Mutex janitor_mu_;
-  CondVar janitor_cv_;
-  bool janitor_stop_ GUARDED_BY(janitor_mu_) = false;
-  std::jthread janitor_;
+  /// Source of truth for InFlight() and the in-flight gauge (the two can
+  /// never disagree: every admit/complete/expire/drop updates both
+  /// through AddInFlight).
+  std::atomic<std::int64_t> in_flight_count_{0};
 
   // Resolved once; recording is lock-free (see obs/metrics.h).
   obs::Histogram* read_us_;

@@ -1,0 +1,100 @@
+/// \file
+/// Single-threaded epoll event loop hosting the client's connections.
+///
+/// Each NadClient owns N loops (Options::num_event_loops); each loop owns
+/// a disjoint subset of the connections and is the *only* thread that
+/// touches their sockets, queues, pending-op maps, timers, and breakers —
+/// the single-writer rule that replaced the old send_mu → pending_mu
+/// nesting (DESIGN.md §12). The sole cross-thread entry point is Post():
+/// an eventfd-woken FIFO inbox guarded by the loop's only mutex.
+///
+/// Sockets register edge-triggered (EPOLLET), so watchers must drain
+/// reads to EAGAIN and write until EAGAIN before relying on the next
+/// readiness edge. Timers live on a per-loop TimerWheel advanced every
+/// iteration; the epoll_wait timeout is bounded by the wheel's earliest
+/// deadline (and is infinite when both the wheel and inbox are idle).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/sync.h"
+#include "nad/timer_wheel.h"
+
+namespace nadreg::nad {
+
+class EventLoop {
+ public:
+  /// Readiness bits passed to IoWatcher::OnIoReady — a deliberately tiny
+  /// abstraction over the epoll event mask so connection code does not
+  /// include <sys/epoll.h>.
+  static constexpr std::uint32_t kReadable = 1u << 0;
+  static constexpr std::uint32_t kWritable = 1u << 1;
+  /// Error/hangup on the fd; the watcher should tear the link down.
+  static constexpr std::uint32_t kError = 1u << 2;
+
+  /// A registered fd's owner. OnIoReady always runs on the loop thread.
+  class IoWatcher {
+   public:
+    virtual ~IoWatcher() = default;
+    virtual void OnIoReady(std::uint32_t events) = 0;
+  };
+
+  using Task = std::function<void()>;
+
+  /// kUnavailable if the epoll or wakeup fd cannot be created.
+  static Expected<std::unique_ptr<EventLoop>> Create();
+
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Spawns the loop thread. Call exactly once.
+  void Start();
+  /// Signals the loop to exit after the current iteration (idempotent).
+  void Stop();
+  /// Joins the loop thread. Call after Stop; no tasks run afterwards.
+  void Join();
+
+  /// Enqueues `task` to run on the loop thread, FIFO. Thread-safe; the
+  /// only cross-thread entry point. Tasks posted after Stop may never
+  /// run.
+  void Post(Task task);
+
+  /// Registers `fd` edge-triggered for read+write readiness. Loop-thread
+  /// only (Post a task to get there).
+  Status Watch(int fd, IoWatcher* watcher);
+  /// Unregisters `fd`. Loop-thread only; safe to call for an fd that is
+  /// about to close.
+  void Unwatch(int fd);
+
+  /// The loop's timer wheel. Loop-thread only.
+  TimerWheel& timers() { return wheel_; }
+
+  bool OnLoopThread() const {
+    return std::this_thread::get_id() == loop_tid_.load();
+  }
+
+ private:
+  EventLoop(int epoll_fd, int wake_fd);
+  void Run(std::stop_token stop);
+  void WakeUp();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::thread::id> loop_tid_{};
+
+  Mutex inbox_mu_;
+  std::vector<Task> inbox_ GUARDED_BY(inbox_mu_);
+
+  TimerWheel wheel_;
+  std::jthread thread_;  // last member: joins before the rest tears down
+};
+
+}  // namespace nadreg::nad

@@ -17,8 +17,9 @@
 /// and the no-sleep lint rule (scripts/lint_invariants.py) holds trivially.
 ///
 /// Ownership/threading: externally synchronized. NadClient keeps one
-/// BackoffState + CircuitBreaker per connection under that connection's
-/// send_mu; tests use them single-threaded.
+/// BackoffState + CircuitBreaker per connection, owned by the
+/// connection's event loop and touched only on the loop thread (the
+/// DESIGN.md §12 single-writer rule); tests use them single-threaded.
 #pragma once
 
 #include <chrono>

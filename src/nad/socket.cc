@@ -1,6 +1,7 @@
 #include "nad/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -78,6 +79,88 @@ Expected<Socket> Connect(const std::string& host, std::uint16_t port) {
   int opt = 1;
   ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &opt, sizeof(opt));
   return sock;
+}
+
+Status SetNonBlocking(const Socket& sock) {
+  const int flags = ::fcntl(sock.fd(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(sock.fd(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::Unavailable(std::string("fcntl(O_NONBLOCK): ") +
+                               std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Expected<Socket> StartConnect(const std::string& host, std::uint16_t port,
+                              bool* connected) {
+  *connected = false;
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  if (Status s = SetNonBlocking(sock); !s.ok()) return s;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::Invalid("connect: bad host address " + host);
+  }
+  int opt = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &opt, sizeof(opt));
+  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+      0) {
+    *connected = true;
+    return sock;
+  }
+  if (errno == EINPROGRESS || errno == EINTR) return sock;
+  return Status::Unavailable(std::string("connect: ") + std::strerror(errno));
+}
+
+Status FinishConnect(const Socket& sock) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+    return Status::Unavailable(std::string("getsockopt(SO_ERROR): ") +
+                               std::strerror(errno));
+  }
+  if (err != 0) {
+    return Status::Unavailable(std::string("connect: ") + std::strerror(err));
+  }
+  return Status::Ok();
+}
+
+Status SendSome(const Socket& sock, const iovec* iov, std::size_t iov_count,
+                std::size_t* sent) {
+  *sent = 0;
+  for (;;) {
+    msghdr msg{};
+    msg.msg_iov = const_cast<iovec*>(iov);
+    msg.msg_iovlen = iov_count;
+    const ssize_t n = ::sendmsg(sock.fd(), &msg, MSG_NOSIGNAL);
+    if (n >= 0) {
+      *sent = static_cast<std::size_t>(n);
+      return Status::Ok();
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::Ok();
+    return Status::Unavailable(std::string("sendmsg: ") +
+                               std::strerror(errno));
+  }
+}
+
+Status RecvSome(const Socket& sock, char* buf, std::size_t len,
+                std::size_t* got) {
+  *got = 0;
+  for (;;) {
+    const ssize_t n = ::recv(sock.fd(), buf, len, 0);
+    if (n > 0) {
+      *got = static_cast<std::size_t>(n);
+      return Status::Ok();
+    }
+    if (n == 0) return Status::Unavailable("recv: connection closed");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::Ok();
+    return Status::Unavailable(std::string("recv: ") + std::strerror(errno));
+  }
 }
 
 Status SendAll(const Socket& sock, std::string_view data) {

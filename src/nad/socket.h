@@ -3,6 +3,8 @@
 /// Loopback/LAN oriented; frames are [u32 length][payload].
 #pragma once
 
+#include <sys/uio.h>
+
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -62,6 +64,33 @@ class Listener {
 
 /// Connects to 127.0.0.1:port (or the given host).
 Expected<Socket> Connect(const std::string& host, std::uint16_t port);
+
+/// Puts the socket into non-blocking mode (O_NONBLOCK).
+Status SetNonBlocking(const Socket& sock);
+
+/// Begins a non-blocking connect. On success `*connected` says whether
+/// the handshake completed synchronously; when false, wait for the socket
+/// to become writable and call FinishConnect. The returned socket is
+/// already non-blocking with TCP_NODELAY set.
+Expected<Socket> StartConnect(const std::string& host, std::uint16_t port,
+                              bool* connected);
+
+/// Resolves an in-progress StartConnect once the socket reports writable:
+/// kOk if the handshake succeeded, kUnavailable with the SO_ERROR text
+/// otherwise.
+Status FinishConnect(const Socket& sock);
+
+/// Non-blocking gather-write of `iov` (one sendmsg, MSG_NOSIGNAL).
+/// `*sent` is the number of bytes accepted — 0 when the kernel buffer is
+/// full (would block). kUnavailable on peer close or error.
+Status SendSome(const Socket& sock, const iovec* iov, std::size_t iov_count,
+                std::size_t* sent);
+
+/// Non-blocking read into `buf`. `*got` is the number of bytes read — 0
+/// when nothing is available (would block). kUnavailable on clean close
+/// or error.
+Status RecvSome(const Socket& sock, char* buf, std::size_t len,
+                std::size_t* got);
 
 /// Sends the whole buffer; kUnavailable on peer close/error.
 Status SendAll(const Socket& sock, std::string_view data);

@@ -1,0 +1,98 @@
+#include "nad/timer_wheel.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace nadreg::nad {
+
+TimerWheel::TimerWheel(Clock::time_point origin, std::chrono::microseconds tick,
+                       std::size_t slots)
+    : origin_(origin), tick_(tick), slots_(std::max<std::size_t>(1, slots)) {}
+
+std::uint64_t TimerWheel::TickFloor(Clock::time_point t) const {
+  if (t <= origin_) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t - origin_)
+          .count() /
+      tick_.count());
+}
+
+std::uint64_t TimerWheel::TickCeil(Clock::time_point t) const {
+  if (t <= origin_) return 0;
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(t - origin_)
+          .count();
+  return static_cast<std::uint64_t>((us + tick_.count() - 1) / tick_.count());
+}
+
+std::uint64_t TimerWheel::Schedule(Clock::time_point deadline, Callback cb) {
+  // Clamp into the unfired range: a past deadline (or one scheduled from a
+  // callback firing right now) lands on the next unfired tick.
+  const std::uint64_t due = std::max(TickCeil(deadline), cursor_);
+  const std::uint64_t id = next_id_++;
+  slots_[due % slots_.size()].push_back(Entry{id, due, std::move(cb)});
+  due_index_.insert(due);
+  ids_.emplace(id, due);
+  ++live_;
+  return id;
+}
+
+bool TimerWheel::Cancel(std::uint64_t id) {
+  const auto it = ids_.find(id);
+  if (it == ids_.end()) return false;
+  const std::uint64_t due = it->second;
+  ids_.erase(it);
+  auto& slot = slots_[due % slots_.size()];
+  for (std::size_t i = 0; i < slot.size(); ++i) {
+    if (slot[i].id != id) continue;
+    slot.erase(slot.begin() + static_cast<std::ptrdiff_t>(i));
+    break;
+  }
+  due_index_.erase(due_index_.find(due));
+  --live_;
+  return true;
+}
+
+std::size_t TimerWheel::Advance(Clock::time_point now) {
+  const std::uint64_t target = TickFloor(now);
+  std::size_t fired = 0;
+  std::vector<Entry> due_now;
+  while (cursor_ <= target) {
+    if (live_ == 0) {
+      // Nothing can be due: fast-forward instead of spinning the ring.
+      cursor_ = target + 1;
+      break;
+    }
+    auto& slot = slots_[cursor_ % slots_.size()];
+    // Extract this tick's entries in insertion order before firing:
+    // callbacks may Schedule into this very slot (for a future
+    // revolution) or Cancel peers, so the slot must be consistent first.
+    due_now.clear();
+    for (std::size_t i = 0; i < slot.size();) {
+      if (slot[i].due != cursor_) {
+        ++i;
+        continue;
+      }
+      due_now.push_back(std::move(slot[i]));
+      slot.erase(slot.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    for (const Entry& e : due_now) {
+      ids_.erase(e.id);
+      due_index_.erase(due_index_.find(e.due));
+      --live_;
+    }
+    ++cursor_;  // before firing: reschedules clamp past this tick
+    for (Entry& e : due_now) {
+      ++fired;
+      e.cb();
+    }
+  }
+  return fired;
+}
+
+TimerWheel::Clock::time_point TimerWheel::NextDeadline() const {
+  if (due_index_.empty()) return Clock::time_point::max();
+  return origin_ + *due_index_.begin() * tick_;
+}
+
+}  // namespace nadreg::nad

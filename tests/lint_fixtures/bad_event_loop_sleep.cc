@@ -1,0 +1,17 @@
+// lint-path: src/nad/event_loop.cc
+// Known-bad fixture: a wall-clock sleep on an event-loop thread. The loop
+// must block only inside epoll_wait (timed by its timer wheel); a raw
+// sleep stalls every connection the loop owns and cannot be interrupted
+// by Stop(), so shutdown would hang for the sleep's duration.
+#include <chrono>
+#include <thread>
+
+namespace nadreg::nad {
+
+inline void BadLoopPause() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // lint-expect(no-sleep)
+  auto wall = std::chrono::system_clock::now();  // lint-expect(no-sleep)
+  (void)wall;
+}
+
+}  // namespace nadreg::nad

@@ -1,0 +1,150 @@
+// TimerWheel unit tests: deterministic synthetic time (no sleeps, no
+// clock reads beyond one anchor) driving schedule/cancel/advance through
+// slot collisions, multi-revolution deadlines, and callback reentrancy —
+// the behaviours the client event loops depend on for expiry sweeps and
+// reconnect backoff timers.
+#include "nad/timer_wheel.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+namespace nadreg::nad {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = TimerWheel::Clock;
+
+class TimerWheelTest : public ::testing::Test {
+ protected:
+  const Clock::time_point origin_ = Clock::time_point(1000s);
+  TimerWheel wheel_{origin_, 1ms, 256};
+
+  Clock::time_point At(std::chrono::microseconds us) { return origin_ + us; }
+};
+
+TEST_F(TimerWheelTest, FiresAtOrAfterDeadlineNeverBefore) {
+  bool fired = false;
+  wheel_.Schedule(At(2500us), [&] { fired = true; });
+  EXPECT_EQ(wheel_.Advance(At(2400us)), 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(wheel_.Advance(At(3000us)), 1u);
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(wheel_.empty());
+}
+
+TEST_F(TimerWheelTest, FiresInDeadlineOrderAcrossTicks) {
+  std::vector<int> order;
+  wheel_.Schedule(At(30ms), [&] { order.push_back(3); });
+  wheel_.Schedule(At(10ms), [&] { order.push_back(1); });
+  wheel_.Schedule(At(20ms), [&] { order.push_back(2); });
+  EXPECT_EQ(wheel_.Advance(At(100ms)), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(TimerWheelTest, InsertionOrderWithinOneTick) {
+  std::vector<int> order;
+  wheel_.Schedule(At(5ms), [&] { order.push_back(1); });
+  wheel_.Schedule(At(5ms), [&] { order.push_back(2); });
+  wheel_.Schedule(At(5ms), [&] { order.push_back(3); });
+  EXPECT_EQ(wheel_.Advance(At(5ms)), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(TimerWheelTest, CancelPreventsFiring) {
+  bool fired = false;
+  const std::uint64_t id = wheel_.Schedule(At(5ms), [&] { fired = true; });
+  EXPECT_TRUE(wheel_.Cancel(id));
+  EXPECT_FALSE(wheel_.Cancel(id));  // already gone
+  EXPECT_EQ(wheel_.Advance(At(1s)), 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(wheel_.empty());
+}
+
+TEST_F(TimerWheelTest, CancelAfterFiringReturnsFalse) {
+  const std::uint64_t id = wheel_.Schedule(At(1ms), [] {});
+  EXPECT_EQ(wheel_.Advance(At(2ms)), 1u);
+  EXPECT_FALSE(wheel_.Cancel(id));
+}
+
+TEST_F(TimerWheelTest, SlotCollisionAcrossRevolutionsDoesNotFireEarly) {
+  // 1ms ticks, 256 slots: deadlines 2ms and 2ms + 256ms share a slot.
+  int fired = 0;
+  wheel_.Schedule(At(2ms), [&] { ++fired; });
+  wheel_.Schedule(At(2ms + 256ms), [&] { ++fired; });
+  EXPECT_EQ(wheel_.Advance(At(2ms)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(wheel_.size(), 1u);
+  EXPECT_EQ(wheel_.Advance(At(2ms + 255ms)), 0u);
+  EXPECT_EQ(wheel_.Advance(At(2ms + 256ms)), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST_F(TimerWheelTest, MultiRevolutionDeadlineSurvivesIdleFastForward) {
+  bool fired = false;
+  wheel_.Schedule(At(3000ms), [&] { fired = true; });  // ~12 revolutions out
+  EXPECT_EQ(wheel_.Advance(At(2999ms)), 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(wheel_.Advance(At(3001ms)), 1u);
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(TimerWheelTest, PastDeadlineFiresOnNextAdvance) {
+  wheel_.Advance(At(50ms));  // cursor well past the origin
+  bool fired = false;
+  wheel_.Schedule(At(10ms), [&] { fired = true; });  // already overdue
+  EXPECT_EQ(wheel_.Advance(At(51ms)), 1u);
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(TimerWheelTest, CallbackMayRescheduleWithoutRefiringSameAdvance) {
+  int fires = 0;
+  std::function<void()> rearm = [&] {
+    ++fires;
+    // Re-arms for "now": must land on a later tick, not loop forever
+    // inside the Advance that is firing us.
+    wheel_.Schedule(At(5ms), rearm);
+  };
+  wheel_.Schedule(At(5ms), rearm);
+  EXPECT_EQ(wheel_.Advance(At(5ms)), 1u);
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(wheel_.size(), 1u);
+  EXPECT_EQ(wheel_.Advance(At(6ms)), 1u);
+  EXPECT_EQ(fires, 2);
+}
+
+TEST_F(TimerWheelTest, CallbackMayCancelAPeer) {
+  bool peer_fired = false;
+  std::uint64_t peer = 0;
+  wheel_.Schedule(At(5ms), [&] { wheel_.Cancel(peer); });
+  peer = wheel_.Schedule(At(6ms), [&] { peer_fired = true; });
+  EXPECT_EQ(wheel_.Advance(At(10ms)), 1u);
+  EXPECT_FALSE(peer_fired);
+  EXPECT_TRUE(wheel_.empty());
+}
+
+TEST_F(TimerWheelTest, NextDeadlineTracksEarliestLiveTimer) {
+  EXPECT_EQ(wheel_.NextDeadline(), Clock::time_point::max());
+  const std::uint64_t early = wheel_.Schedule(At(10ms), [] {});
+  wheel_.Schedule(At(20ms), [] {});
+  EXPECT_LE(wheel_.NextDeadline(), At(10ms));
+  EXPECT_GT(wheel_.NextDeadline(), At(9ms));
+  EXPECT_TRUE(wheel_.Cancel(early));
+  EXPECT_LE(wheel_.NextDeadline(), At(20ms));
+  EXPECT_GT(wheel_.NextDeadline(), At(19ms));
+  EXPECT_EQ(wheel_.Advance(At(30ms)), 1u);
+  EXPECT_EQ(wheel_.NextDeadline(), Clock::time_point::max());
+}
+
+TEST_F(TimerWheelTest, AdvanceIsMonotoneAndIdempotent) {
+  int fires = 0;
+  wheel_.Schedule(At(5ms), [&] { ++fires; });
+  EXPECT_EQ(wheel_.Advance(At(10ms)), 1u);
+  EXPECT_EQ(wheel_.Advance(At(10ms)), 0u);  // same instant again
+  EXPECT_EQ(wheel_.Advance(At(8ms)), 0u);   // time never runs backwards
+  EXPECT_EQ(fires, 1);
+}
+
+}  // namespace
+}  // namespace nadreg::nad
