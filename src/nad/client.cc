@@ -182,6 +182,13 @@ Expected<std::unique_ptr<NadClient>> NadClient::Connect(
     conn->loop_index = idx % n;
     ++idx;
   }
+  // If a loop dies of an epoll failure, its share of the connections
+  // must fail over (suspected forever, pending ops resolved) instead of
+  // silently hanging every op posted to the dead loop.
+  for (auto& loop : client->loops_) {
+    EventLoop* lp = loop.get();
+    lp->SetFatalHandler([c = client.get(), lp] { c->OnLoopDead(lp); });
+  }
   for (auto& loop : client->loops_) loop->Start();
   // Register each socket on its owning loop. The inbox is FIFO, so this
   // runs before any Submit admission posted afterwards can flush.
@@ -281,11 +288,14 @@ void NadClient::Submit(ProcessId /*p*/, std::vector<Op> ops,
   std::vector<std::vector<SubmitEntry>> per_loop(loops_.size());
   for (Op& op : ops) {
     Conn* conn = ConnFor(op.reg.disk);
-    if (conn == nullptr) {
-      // Unmapped disk behaves as crashed: the handler never runs — except
-      // STATS, which is observability, not a model op, and fails fast.
+    if (conn == nullptr || conn->loop->dead()) {
+      // Unmapped disk — or one whose owning loop died of an epoll
+      // failure, where a Post would land in a queue no thread serves —
+      // behaves as crashed: the handler never runs, except STATS, which
+      // is observability, not a model op, and fails fast.
       if (op.kind == Op::Kind::kStats && op.on_stats) {
-        op.on_stats(Status::Unavailable("stats: unmapped disk"));
+        op.on_stats(Status::Unavailable(
+            conn == nullptr ? "stats: unmapped disk" : "stats: loop dead"));
       }
       continue;
     }
@@ -386,12 +396,18 @@ void NadClient::Admit(std::vector<SubmitEntry> entries) {
   std::vector<Conn*> touched;
   for (SubmitEntry& e : entries) {
     Conn* c = e.conn;
-    if (c->link == Conn::Link::kDown) {
+    const bool stats_on_broken_link =
+        e.op.kind == Op::Kind::kStats && c->link != Conn::Link::kUp;
+    if (c->link == Conn::Link::kDown || stats_on_broken_link) {
       // Dead for good: the op can never be sent. Handler never runs
-      // (crashed-register semantics); STATS fails fast instead.
+      // (crashed-register semantics); STATS fails fast instead — also
+      // while the link is merely reconnecting, because the redial
+      // rebuild retransmits only reads/writes (STATS probes die with
+      // the link, per the header contract) and a stats op parked here
+      // with no deadline would otherwise stay in flight forever.
       AddInFlight(-1);
       if (e.op.kind == Op::Kind::kStats && e.op.on_stats) {
-        e.op.on_stats(Status::Unavailable("stats: connection dead"));
+        e.op.on_stats(Status::Unavailable("stats: connection down"));
       }
       continue;
     }
@@ -424,8 +440,9 @@ void NadClient::Admit(std::vector<SubmitEntry> entries) {
   }
   for (Conn* c : touched) {
     c->admit_queued = false;
-    // Ops staged while the link is down wait in the pending maps; the
-    // reconnect rebuild retransmits them (STATS expires via the sweep).
+    // Reads/writes staged while the link is down wait in the pending
+    // maps; the reconnect rebuild retransmits them (STATS never gets
+    // here on a broken link — it failed kUnavailable above).
     if (c->link == Conn::Link::kUp) {
       FrameStaged(c);
       FlushWire(c);
@@ -696,6 +713,42 @@ void NadClient::OnLinkBroken(Conn* conn) {
   }
   conn->link = Conn::Link::kBackoff;
   ScheduleRedial(conn);
+}
+
+void NadClient::OnLoopDead(EventLoop* loop) {
+  // Runs on the dying loop thread (its last act), so the single-writer
+  // rule still holds. Nothing will ever run on this loop again — no io,
+  // no sweeps, no redials — so unlike OnLinkBroken the pending
+  // reads/writes cannot be parked for retransmission or expiry: their
+  // handlers are destroyed unrun (crashed-register semantics) and the
+  // in-flight count drops with them so the gauge stays truthful.
+  for (auto& [disk, owned] : conns_) {
+    Conn* conn = owned.get();
+    if (conn->loop != loop) continue;
+    if (conn->sock.valid()) {
+      loop->Unwatch(conn->sock.fd());
+      conn->sock.Close();
+    }
+    conn->link = Conn::Link::kDown;
+    conn->suspected_until_us.store(kSuspectForever, std::memory_order_relaxed);
+    conn->want_write = false;
+    conn->staged.clear();
+    conn->wire.clear();
+    conn->wire_off = 0;
+    conn->rx.clear();
+    const std::size_t n =
+        conn->reads.size() + conn->writes.size() + conn->stats.size();
+    auto dead_stats = std::move(conn->stats);
+    conn->reads.clear();
+    conn->writes.clear();
+    conn->stats.clear();
+    if (n > 0) AddInFlight(-static_cast<std::int64_t>(n));
+    for (auto& [id, pending] : dead_stats) {
+      if (pending.handler) {
+        pending.handler(Status::Unavailable("stats: event loop died"));
+      }
+    }
+  }
 }
 
 void NadClient::ScheduleRedial(Conn* conn) {

@@ -40,7 +40,8 @@
 ///    at most one writer process with at most one outstanding write
 ///    (core::RegisterSet), so a duplicate is an idempotent replay of the
 ///    still-pending write, squarely within the Fig. 1 pending-write
-///    semantics. In-flight STATS probes die with the link (kUnavailable).
+///    semantics. STATS probes die with the link (kUnavailable) — both
+///    the in-flight ones and any admitted before the link is back up.
 ///  * Expiry — every pending op with a finite deadline (Options::
 ///    op_timeout or an OpOptions deadline) is swept by a wheel timer
 ///    armed at the earliest expiry: read/write handlers simply never run
@@ -233,6 +234,11 @@ class NadClient : public BaseRegisterClient {
   void PushFrame(Conn* conn, std::string payload);
   void FlushWire(Conn* conn);
   void OnLinkBroken(Conn* conn);
+  /// Fatal-handler body for a loop that died of an epoll failure: marks
+  /// its connections dead-for-good (suspected forever) and resolves
+  /// their pending ops — read/write handlers destroyed unrun, STATS
+  /// failed kUnavailable — since no sweep or redial will ever run there.
+  void OnLoopDead(EventLoop* loop);
   void ScheduleRedial(Conn* conn);
   void StartRedial(Conn* conn);
   void OnRedialFailed(Conn* conn);

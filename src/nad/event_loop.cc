@@ -127,10 +127,27 @@ void EventLoop::Run(std::stop_token stop) {
     const int n =
         ::epoll_wait(epoll_fd_, events.data(), events.size(), timeout_ms);
     if (n < 0 && errno != EINTR) {
-      LOG_WARN << "event loop: epoll_wait: " << std::strerror(errno);
+      LOG_WARN << "event loop: epoll_wait: " << std::strerror(errno)
+               << "; loop dying, failing over its connections";
+      Die(&tasks);
       break;
     }
-    // Inbox first: connection registrations and Submit admissions posted
+    // Drain the wake counter BEFORE swapping the inbox. A Post() that
+    // lands after this read leaves the counter non-zero, so even though
+    // the swap below already picks its task up, the level-triggered wake
+    // fd forces the next epoll_wait to return (a harmless spurious wake).
+    // Draining after the swap loses that wake: a Post between swap and
+    // drain would leave its task queued with the signal consumed, and an
+    // empty timer wheel would then sleep on it forever.
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.ptr == nullptr) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] ssize_t r =
+            ::read(wake_fd_, &drained, sizeof drained);
+        break;  // the wake fd appears at most once per epoll batch
+      }
+    }
+    // Inbox next: connection registrations and Submit admissions posted
     // before this wake must precede the io they enable.
     {
       MutexLock lock(inbox_mu_);
@@ -139,18 +156,33 @@ void EventLoop::Run(std::stop_token stop) {
     for (Task& t : tasks) t();
     tasks.clear();
     for (int i = 0; i < n; ++i) {
-      if (events[i].data.ptr == nullptr) {
-        std::uint64_t drained = 0;
-        [[maybe_unused]] ssize_t r =
-            ::read(wake_fd_, &drained, sizeof drained);
-        continue;
-      }
+      if (events[i].data.ptr == nullptr) continue;
       if (stop_.load(std::memory_order_acquire)) break;
       static_cast<IoWatcher*>(events[i].data.ptr)
           ->OnIoReady(TranslateEvents(events[i].events));
     }
     wheel_.Advance(TimerWheel::Clock::now());
   }
+}
+
+void EventLoop::Die(std::vector<Task>* tasks) {
+  // Publish death before the handler runs so a concurrent Post caller
+  // checking dead() cannot observe a live loop after the fail-over.
+  dead_.store(true, std::memory_order_release);
+  if (fatal_handler_) fatal_handler_();
+  // One final inbox drain: admissions posted before death was published
+  // now run against the state the fatal handler marked dead (the client
+  // fails them) instead of sitting in a queue no thread will ever serve.
+  {
+    MutexLock lock(inbox_mu_);
+    tasks->swap(inbox_);
+  }
+  for (Task& t : *tasks) t();
+  tasks->clear();
+}
+
+void EventLoop::SetFatalHandler(Task handler) {
+  fatal_handler_ = std::move(handler);
 }
 
 }  // namespace nadreg::nad

@@ -66,6 +66,19 @@ class EventLoop {
   /// run.
   void Post(Task task);
 
+  /// Installs a handler that runs on the loop thread if the loop dies of
+  /// an unrecoverable error (a non-EINTR epoll_wait failure). It fires
+  /// after dead() starts returning true and before one final inbox
+  /// drain, so the owner can mark its connections dead and already-
+  /// posted tasks land on that marked state instead of hanging. Call
+  /// before Start; at most once.
+  void SetFatalHandler(Task handler);
+
+  /// True once the loop has died of an unrecoverable error. Tasks posted
+  /// to a dead loop never run; check before Post when a silent drop
+  /// would leak state. Never set by a normal Stop.
+  bool dead() const { return dead_.load(std::memory_order_acquire); }
+
   /// Registers `fd` edge-triggered for read+write readiness. Loop-thread
   /// only (Post a task to get there).
   Status Watch(int fd, IoWatcher* watcher);
@@ -84,10 +97,15 @@ class EventLoop {
   EventLoop(int epoll_fd, int wake_fd);
   void Run(std::stop_token stop);
   void WakeUp();
+  /// Unrecoverable loop failure: publishes dead(), runs the fatal
+  /// handler, then drains the inbox one last time (`tasks` is scratch).
+  void Die(std::vector<Task>* tasks);
 
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> dead_{false};
+  Task fatal_handler_;
   std::atomic<std::thread::id> loop_tid_{};
 
   Mutex inbox_mu_;

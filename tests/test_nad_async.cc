@@ -15,6 +15,7 @@
 
 #include "common/sync.h"
 #include "nad/client.h"
+#include "nad/event_loop.h"
 #include "nad/server.h"
 #include "nad/socket.h"
 #include "obs/metrics.h"
@@ -69,6 +70,42 @@ class Waiter {
 
 std::int64_t InFlightGauge() {
   return obs::Registry::Global().GetGauge("nad.client.in_flight").Get();
+}
+
+TEST(EventLoopWakeup, PostFromLoopTaskIsNotLost) {
+  // Regression for a lost-wakeup race: Run() used to drain the wake
+  // eventfd AFTER swapping the inbox, so a Post landing between the two
+  // had its wake signal consumed while its task stayed queued — with an
+  // empty timer wheel (op_timeout=0 arms none) the next epoll_wait then
+  // blocked forever on the queued task. A task posting another task
+  // reproduces it deterministically: the inner Post's signal was eaten
+  // by the same drain that covered the outer one.
+  auto loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+  (*loop)->Start();
+  Waiter w;
+  (*loop)->Post([&] { (*loop)->Post([&] { w.Done(); }); });
+  EXPECT_TRUE(w.WaitFor(1, 5000ms)) << "inner posted task never ran";
+}
+
+TEST(EventLoopWakeup, RepostChainRunsToCompletion) {
+  // Same race, exercised repeatedly: each task posts the next, so every
+  // link of the chain crosses the swap-vs-drain window once.
+  auto loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+  (*loop)->Start();
+  constexpr int kDepth = 200;
+  Waiter w;
+  std::function<void(int)> step = [&](int remaining) {
+    if (remaining == 0) {
+      w.Done();
+      return;
+    }
+    (*loop)->Post([&, remaining] { step(remaining - 1); });
+  };
+  step(kDepth);
+  EXPECT_TRUE(w.WaitFor(1, 10000ms)) << "repost chain stalled";
+  EXPECT_FALSE((*loop)->dead());
 }
 
 TEST(NadAsync, SubmitMixedBatchCompletes) {
@@ -143,6 +180,42 @@ TEST(NadAsync, StatsOnUnmappedDiskFailsFast) {
   ASSERT_TRUE(w.WaitFor(1));
   EXPECT_EQ(got.code(), StatusCode::kUnavailable) << got.ToString();
   EXPECT_EQ(cluster.client->InFlight(), 0u);
+}
+
+TEST(NadAsync, StatsWhileLinkDownFailsUnavailable) {
+  // Regression: a STATS op admitted while its link was reconnecting used
+  // to be parked in the pending-stats map, but the redial rebuild
+  // retransmits only reads/writes — with no deadline the op stayed
+  // counted in flight forever and its handler never ran. Per the header
+  // contract it must complete kUnavailable when the connection is down.
+  auto server = NadServer::Start({});
+  ASSERT_TRUE(server.ok());
+  NadClient::Options opts;
+  opts.retry.breaker_threshold = 1;  // first failed redial → suspected
+  auto client = NadClient::Connect(
+      {{0, NadClient::Endpoint{"127.0.0.1", (*server)->port()}}}, opts);
+  ASSERT_TRUE(client.ok());
+  (*server)->Stop();
+  // Suspicion (published on the first failed redial) is proof the loop
+  // has seen the break: the link has left kUp and cannot return while
+  // the port stays closed.
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (!(*client)->IsSuspectedCrashed(0) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  ASSERT_TRUE((*client)->IsSuspectedCrashed(0));
+  Waiter w;
+  Status got = Status::Ok();
+  std::vector<NadClient::Op> ops;
+  ops.push_back(NadClient::Op::Stats(0, [&](Expected<std::string> s) {
+    got = s.status();
+    w.Done();
+  }));
+  (*client)->Submit(1, std::move(ops));  // no deadline: must still resolve
+  ASSERT_TRUE(w.WaitFor(1));
+  EXPECT_EQ(got.code(), StatusCode::kUnavailable) << got.ToString();
+  EXPECT_EQ((*client)->InFlight(), 0u);
 }
 
 TEST(NadAsync, QueryStatsReturnsServerText) {
