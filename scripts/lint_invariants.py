@@ -25,6 +25,17 @@ Rules
   opcode-switch  A switch over nad::MsgType inside src/nad/ must name every
                  enumerator (a default: alone would hide new opcodes from
                  the exhaustiveness check when the protocol grows).
+  hot-alloc      Inside a marked hot section — between  // hot-path-begin(name)
+                 and  // hot-path-end  — no heap-allocating construction:
+                 std::string / std::vector / std::deque / Value(...) /
+                 std::to_string / new, and no materializing codec calls
+                 (EncodeMessage*/DecodeMessage). The zero-copy RPC pipeline
+                 (arena-backed FrameWriter/MessageView, DESIGN.md §14) exists
+                 so the steady state allocates nothing; an alloc that sneaks
+                 into a marked section silently regresses allocations/op. The
+                 one deliberate copy (materializing a read's Value for its
+                 handler) carries a lint-allow escape. A hot-path-begin
+                 without its hot-path-end is itself flagged.
 
 Suppression: append  // lint-allow(<rule>): <reason>  to the offending line
 (or the line directly above it). Exception: the schedule explorer
@@ -68,6 +79,22 @@ IGNORED_STATUS_RE = re.compile(
     r"^\s*(?:[\w]+(?:::[\w]+)*::)?"
     r"(?:Decode[A-Z]\w*|Encode\w*Checked|ParseEndpoint)\s*\("
 )
+# Heap-allocating constructions and materializing codec calls that must not
+# appear inside a marked hot section. std::string_view is NOT matched (\b
+# fails before the _); DecodeMessageView is NOT matched (the paren must
+# follow immediately). Value( catches the repo's Value = std::string alias.
+HOT_ALLOC_RE = re.compile(
+    r"\bstd::string\b"
+    r"|\bstd::vector\s*<"
+    r"|\bstd::deque\b"
+    r"|\bstd::to_string\b"
+    r"|\bnew\s+[A-Za-z_]"
+    r"|\bValue\s*\("
+    r"|\bEncodeMessage\w*\s*\("
+    r"|\bDecodeMessage\s*\("
+)
+HOT_BEGIN_RE = re.compile(r"//\s*hot-path-begin\((?P<name>[\w-]+)\)")
+HOT_END_RE = re.compile(r"//\s*hot-path-end\b")
 ALLOW_RE = re.compile(r"lint-allow\((?P<rule>[\w-]+)\)")
 EXPECT_RE = re.compile(r"lint-expect\((?P<rule>[\w-]+)\)")
 LINT_PATH_RE = re.compile(r"^//\s*lint-path:\s*(?P<path>\S+)")
@@ -163,11 +190,28 @@ def check_file(virtual_path: str, lines: list[str], enumerators: list[str],
     )
     in_nad = p.startswith("src/nad/")
     findings: list[Finding] = []
+    hot_since = None  # 0-based line of the currently open hot-path-begin
 
     for i, raw in enumerate(lines):
+        if HOT_BEGIN_RE.search(raw):
+            if hot_since is not None:
+                findings.append(Finding(
+                    virtual_path, i + 1, "hot-alloc",
+                    "nested hot-path-begin (previous section opened at line "
+                    f"{hot_since + 1} is still open)"))
+            hot_since = i
+        elif HOT_END_RE.search(raw):
+            hot_since = None
         code = strip_comment(raw)
         if not code.strip():
             continue
+        if hot_since is not None and HOT_ALLOC_RE.search(code):
+            if not allowed(lines, i, "hot-alloc"):
+                findings.append(Finding(
+                    virtual_path, i + 1, "hot-alloc",
+                    "heap-allocating construction or materializing codec "
+                    "call inside a hot-path section; use the arena / "
+                    "FrameWriter / MessageView machinery (DESIGN.md §14)"))
         if not in_common and RAW_MUTEX_RE.search(code):
             if not allowed(lines, i, "raw-mutex"):
                 findings.append(Finding(
@@ -195,6 +239,11 @@ def check_file(virtual_path: str, lines: list[str], enumerators: list[str],
                     virtual_path, i + 1, "ignored-status",
                     "result of a must-check call is dropped; assign it or "
                     "cast to (void) with a reason"))
+
+    if hot_since is not None:
+        findings.append(Finding(
+            virtual_path, hot_since + 1, "hot-alloc",
+            "hot-path-begin without a matching hot-path-end"))
 
     if in_nad and enumerators:
         for start, body in switch_spans(lines):

@@ -75,6 +75,17 @@ class Decoder {
     pos_ += *len;
     return s;
   }
+  /// Zero-copy variant of GetBytes: the returned view aliases the
+  /// decoder's input buffer and is valid only as long as that buffer
+  /// lives unmodified.
+  Expected<std::string_view> GetBytesView() {
+    auto len = GetU32();
+    if (!len) return len.status();
+    if (Remaining() < *len) return Status::Invalid("decode: truncated bytes");
+    std::string_view s = in_.substr(pos_, *len);
+    pos_ += *len;
+    return s;
+  }
 
  private:
   std::string_view in_;

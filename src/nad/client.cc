@@ -3,16 +3,18 @@
 #include <algorithm>
 #include <array>
 #include <cstring>
-#include <deque>
 #include <limits>
 #include <string_view>
 #include <thread>
-#include <unordered_map>
 #include <utility>
+#include <vector>
 
+#include "common/arena.h"
+#include "common/hotpath_stats.h"
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/sync.h"
+#include "nad/pending_table.h"
 #include "nad/socket.h"
 #include "obs/trace.h"
 
@@ -30,35 +32,29 @@ std::int64_t ToUs(Clock::time_point t) {
       .count();
 }
 
-/// Most iovec slots one FlushWire gather pass hands the kernel.
-constexpr std::size_t kMaxIov = 64;
+/// Most iovec slots one FlushWire gather pass hands the kernel. Chunks
+/// are finer-grained than the old whole-frame units (headers and values
+/// are separate spans), so the cap is correspondingly larger; IOV_MAX is
+/// 1024 on Linux.
+constexpr std::size_t kMaxIov = 256;
 
-struct PendingRead {
-  ReadHandler handler;
-  Clock::time_point start;
-  RegisterId reg;  // for retransmission after a reconnect
-  Clock::time_point expires;
-};
+/// Batch frame prologue: type + request id + count.
+constexpr std::size_t kBatchHeaderBytes = 1 + 8 + 4;
 
-struct PendingWrite {
-  WriteHandler handler;
-  Clock::time_point start;
-  RegisterId reg;  // for retransmission after a reconnect
-  Value value;     // ditto
-  Clock::time_point expires;
-};
-
-struct PendingStats {
-  NadClient::StatsHandler handler;
-  Clock::time_point start;
-  Clock::time_point expires;
-};
-
-/// One framed wire unit: the 4-byte length prefix kept apart from the
-/// encoded payload so FlushWire gather-writes both without a concat copy.
-struct OutFrame {
-  char hdr[4];
-  std::string payload;
+/// One in-flight operation. Lives in the connection's PendingTable, whose
+/// slots never move — the zero-copy wire path references `value` IN PLACE
+/// from the gather queue, which is sound only because of that stability
+/// (and because a response for the op proves its frame already left; see
+/// DispatchResponse for the byzantine-server case).
+struct PendingOp {
+  MsgType req_type = MsgType::kReadReq;  // kReadReq / kWriteReq / kStatsReq
+  RegisterId reg;
+  Clock::time_point start{};
+  Clock::time_point expires{};
+  Value value;  // writes only: owned here until completion or expiry
+  ReadHandler on_read;
+  WriteHandler on_write;
+  NadClient::StatsHandler on_stats;
 };
 
 }  // namespace
@@ -95,16 +91,32 @@ struct NadClient::Conn final : EventLoop::IoWatcher {
   bool want_write = false;
   /// Set while an Admit pass has queued this conn for its flush step.
   bool admit_queued = false;
-  /// Admitted requests not yet framed (the coalescing unit).
-  std::deque<Message> staged;
-  /// Framed bytes not yet accepted by the kernel.
-  std::deque<OutFrame> wire;
-  std::size_t wire_off = 0;  // bytes of wire.front() already sent
-  std::string rx;            // unparsed inbound bytes
 
-  std::unordered_map<std::uint64_t, PendingRead> reads;
-  std::unordered_map<std::uint64_t, PendingWrite> writes;
-  std::unordered_map<std::uint64_t, PendingStats> stats;
+  /// Admitted request ids not yet framed (the coalescing unit). Ids, not
+  /// entry pointers: an op staged while the link is down can expire
+  /// before framing, so FrameStaged re-resolves against the table.
+  std::vector<std::uint64_t> staged;
+  /// The gather queue: spans into tx_arena (frame headers) and into
+  /// pending-table write values (zero-copy). wire[wire_head] is the next
+  /// unsent chunk; wire_off bytes of it are already in the kernel.
+  std::vector<WireChunk> wire;
+  std::size_t wire_head = 0;
+  std::size_t wire_off = 0;
+  RxBuffer rx;  // unparsed inbound bytes; recv lands directly here
+
+  /// Frame headers of queued chunks; reset whenever the wire drains.
+  Arena tx_arena;
+  /// Decode state (batch sub arrays); reset after each frame dispatch.
+  Arena rx_arena;
+  /// All in-flight ops, one table per connection (the structural shard).
+  PendingTable<PendingOp> pending;
+  /// Write values whose ops completed or expired while the wire still
+  /// holds unsent bytes that may reference them; freed when the wire
+  /// drains or the link breaks. Empty in steady state.
+  std::vector<Value> zombies;
+  /// FrameStaged's run scratch (capacity reused across admission passes).
+  std::vector<std::pair<std::uint64_t, PendingOp*>> run_scratch;
+  std::size_t run_bytes = kBatchHeaderBytes;
 
   BackoffState backoff;
   CircuitBreaker breaker;
@@ -130,6 +142,16 @@ struct NadClient::Conn final : EventLoop::IoWatcher {
 
   void OnIoReady(std::uint32_t events) override {
     client->OnIoReady(this, events);
+  }
+
+  /// Tears down the tx side: queued frames, their header arena, and the
+  /// zombie values they may reference die together.
+  void DropWire() {
+    wire.clear();
+    wire_head = 0;
+    wire_off = 0;
+    tx_arena.Reset();
+    zombies.clear();
   }
 };
 
@@ -305,8 +327,9 @@ void NadClient::Submit(ProcessId /*p*/, std::vector<Op> ops,
       continue;
     }
     AddInFlight(1);
-    per_loop[conn->loop_index].push_back(
-        SubmitEntry{std::move(op), conn, now, expires});
+    std::vector<SubmitEntry>& share = per_loop[conn->loop_index];
+    if (share.empty()) share.reserve(ops.size());
+    share.push_back(SubmitEntry{std::move(op), conn, now, expires});
   }
   for (std::size_t i = 0; i < per_loop.size(); ++i) {
     if (per_loop[i].empty()) continue;
@@ -350,7 +373,7 @@ void NadClient::IssueWrites(ProcessId p, std::vector<WriteOp> ops) {
 Expected<std::string> NadClient::QueryStats(DiskId d,
                                             std::chrono::milliseconds timeout) {
   // Blocking shim over a Submit STATS op: the op rides the same pending
-  // map and expiry sweep as reads/writes (no bespoke waiter plumbing in
+  // table and expiry sweep as reads/writes (no bespoke waiter plumbing in
   // the transport), and this function just parks on the completion.
   struct Waiter {
     Mutex mu;
@@ -411,27 +434,26 @@ void NadClient::Admit(std::vector<SubmitEntry> entries) {
       }
       continue;
     }
+    // hot-path-begin(client-admit): staging must not copy the op's value
+    // — it MOVES into a stable pending-table slot the wire references.
     const std::uint64_t id = c->next_request_id++;
-    Message req;
-    req.request_id = id;
+    PendingOp* p = c->pending.Insert(id);
+    p->start = e.start;
+    p->expires = e.expires;
+    p->reg = e.op.reg;
     if (e.op.kind == Op::Kind::kRead) {
-      req.type = MsgType::kReadReq;
-      req.reg = e.op.reg;
-      c->reads.emplace(id, PendingRead{std::move(e.op.on_read), e.start,
-                                       e.op.reg, e.expires});
+      p->req_type = MsgType::kReadReq;
+      p->on_read = std::move(e.op.on_read);
     } else if (e.op.kind == Op::Kind::kWrite) {
-      req.type = MsgType::kWriteReq;
-      req.reg = e.op.reg;
-      req.value = e.op.value;  // the original moves into the pending entry
-      c->writes.emplace(id, PendingWrite{std::move(e.op.on_write), e.start,
-                                         e.op.reg, std::move(e.op.value),
-                                         e.expires});
+      p->req_type = MsgType::kWriteReq;
+      p->value = std::move(e.op.value);
+      p->on_write = std::move(e.op.on_write);
     } else {
-      req.type = MsgType::kStatsReq;
-      c->stats.emplace(id, PendingStats{std::move(e.op.on_stats), e.start,
-                                        e.expires});
+      p->req_type = MsgType::kStatsReq;
+      p->on_stats = std::move(e.op.on_stats);
     }
-    c->staged.push_back(std::move(req));
+    c->staged.push_back(id);
+    // hot-path-end
     MaybeArmSweep(c, e.expires);
     if (!c->admit_queued) {
       c->admit_queued = true;
@@ -441,7 +463,7 @@ void NadClient::Admit(std::vector<SubmitEntry> entries) {
   for (Conn* c : touched) {
     c->admit_queued = false;
     // Reads/writes staged while the link is down wait in the pending
-    // maps; the reconnect rebuild retransmits them (STATS never gets
+    // table; the reconnect rebuild retransmits them (STATS never gets
     // here on a broken link — it failed kUnavailable above).
     if (c->link == Conn::Link::kUp) {
       FrameStaged(c);
@@ -452,93 +474,91 @@ void NadClient::Admit(std::vector<SubmitEntry> entries) {
 
 void NadClient::FrameStaged(Conn* conn) {
   if (conn->staged.empty()) return;
-  // Batch payload = type + request id + count + per-sub length prefixes.
-  constexpr std::size_t kBatchHeader = 1 + 8 + 4;
   // Coalesce the admission pass into as few frames as possible,
   // preserving FIFO order: consecutive reads/writes form one batch
   // (split at the frame cap); STATS stays a standalone out-of-band
-  // frame.
-  std::vector<Message> run;
-  std::size_t run_bytes = kBatchHeader;
-  for (Message& msg : conn->staged) {
-    if (!options_.enable_batching || msg.type == MsgType::kStatsReq) {
-      FlushRun(&run, conn);
-      run_bytes = kBatchHeader;
-      if (msg.type != MsgType::kStatsReq) batch_size_->Observe(1);
-      PushFrame(conn, EncodeMessage(msg));
+  // frame. Frames are built as WireChunks — headers in tx_arena, write
+  // values referenced from their pending entries — never materialized.
+  // hot-path-begin(client-framing)
+  auto& run = conn->run_scratch;
+  run.clear();
+  conn->run_bytes = kBatchHeaderBytes;
+  for (const std::uint64_t id : conn->staged) {
+    PendingOp* p = conn->pending.Find(id);
+    if (p == nullptr) continue;  // expired while the link was down
+    if (!options_.enable_batching || p->req_type == MsgType::kStatsReq) {
+      FlushRun(conn);
+      if (p->req_type != MsgType::kStatsReq) batch_size_->Observe(1);
+      FrameWriter w(&conn->tx_arena, &conn->wire);
+      w.BeginFrame();
+      AppendPayload(w, p->req_type, id, p->reg, p->value);
+      w.EndFrame();
       continue;
     }
     const std::size_t sub_bytes =
-        kBatchSubOverhead + (1 + 8 + 4 + 8) +
-        (msg.type == MsgType::kWriteReq ? 4 + msg.value.size() : 0);
-    if (!run.empty() && run_bytes + sub_bytes > kMaxFrameBytes) {
-      FlushRun(&run, conn);
-      run_bytes = kBatchHeader;
+        kBatchSubOverhead + PayloadSize(p->req_type, p->value.size());
+    if (!run.empty() && conn->run_bytes + sub_bytes > kMaxFrameBytes) {
+      FlushRun(conn);
     }
-    run_bytes += sub_bytes;
-    run.push_back(std::move(msg));
+    conn->run_bytes += sub_bytes;
+    run.emplace_back(id, p);
   }
-  FlushRun(&run, conn);
+  FlushRun(conn);
   conn->staged.clear();
+  // hot-path-end
 }
 
-void NadClient::FlushRun(std::vector<Message>* run, Conn* conn) {
-  if (run->empty()) return;
-  if (run->size() == 1) {
+void NadClient::FlushRun(Conn* conn) {
+  auto& run = conn->run_scratch;
+  conn->run_bytes = kBatchHeaderBytes;
+  if (run.empty()) return;
+  // hot-path-begin(client-flush-run)
+  FrameWriter w(&conn->tx_arena, &conn->wire);
+  w.BeginFrame();
+  if (run.size() == 1) {
     // A lone op costs less as a plain per-op frame — and keeps the
     // pre-batch opcodes exercised against every server.
     batch_size_->Observe(1);
-    PushFrame(conn, EncodeMessage(run->front()));
-    run->clear();
-    return;
+    const auto& [id, p] = run.front();
+    AppendPayload(w, p->req_type, id, p->reg, p->value);
+  } else {
+    batch_size_->Observe(run.size());
+    w.PutU8(static_cast<std::uint8_t>(MsgType::kBatchReq));
+    w.PutU64(0);
+    w.PutU32(static_cast<std::uint32_t>(run.size()));
+    for (const auto& [id, p] : run) {
+      w.PutU32(static_cast<std::uint32_t>(
+          PayloadSize(p->req_type, p->value.size())));
+      AppendPayload(w, p->req_type, id, p->reg, p->value);
+    }
   }
-  Message batch;
-  batch.type = MsgType::kBatchReq;
-  batch.subs = std::move(*run);
-  batch_size_->Observe(batch.subs.size());
-  PushFrame(conn, EncodeMessage(batch));
-  run->clear();
-}
-
-void NadClient::PushFrame(Conn* conn, std::string payload) {
-  OutFrame frame;
-  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
-  std::memcpy(frame.hdr, &len, 4);
-  frame.payload = std::move(payload);
-  conn->wire.push_back(std::move(frame));
+  w.EndFrame();
+  run.clear();
+  // hot-path-end
 }
 
 void NadClient::FlushWire(Conn* conn) {
   if (conn->link != Conn::Link::kUp) return;
-  while (!conn->wire.empty()) {
-    // Gather up to kMaxIov slots: header + payload per frame, the front
-    // frame adjusted for the bytes a previous partial write consumed.
+  // hot-path-begin(client-flush-wire)
+  while (conn->wire_head < conn->wire.size()) {
+    // Gather up to kMaxIov chunk spans, the front chunk adjusted for the
+    // bytes a previous partial write consumed.
     std::array<iovec, kMaxIov> iov;
     std::size_t iov_count = 0;
     std::size_t skip = conn->wire_off;
-    for (auto it = conn->wire.begin();
-         it != conn->wire.end() && iov_count + 2 <= iov.size(); ++it) {
-      if (skip < 4) {
-        iov[iov_count].iov_base = const_cast<char*>(it->hdr) + skip;
-        iov[iov_count].iov_len = 4 - skip;
-        ++iov_count;
-        iov[iov_count].iov_base = const_cast<char*>(it->payload.data());
-        iov[iov_count].iov_len = it->payload.size();
-        ++iov_count;
-      } else {
-        const std::size_t payload_off = skip - 4;
-        iov[iov_count].iov_base =
-            const_cast<char*>(it->payload.data()) + payload_off;
-        iov[iov_count].iov_len = it->payload.size() - payload_off;
-        ++iov_count;
-      }
+    for (std::size_t i = conn->wire_head;
+         i < conn->wire.size() && iov_count < iov.size(); ++i) {
+      const WireChunk& c = conn->wire[i];
+      iov[iov_count].iov_base = const_cast<char*>(c.data) + skip;
+      iov[iov_count].iov_len = c.len - skip;
+      ++iov_count;
       skip = 0;
     }
     std::size_t sent = 0;
     if (Status st = SendSome(conn->sock, iov.data(), iov_count, &sent);
         !st.ok()) {
       // Dead socket: hand off to the reconnect path. The dropped frames
-      // stay stashed in the pending maps and will be retransmitted.
+      // stay stashed in the pending table and will be retransmitted.
       OnLinkBroken(conn);
       return;
     }
@@ -548,12 +568,11 @@ void NadClient::FlushWire(Conn* conn) {
       return;
     }
     while (sent > 0) {
-      OutFrame& front = conn->wire.front();
-      const std::size_t total = 4 + front.payload.size();
-      const std::size_t remaining = total - conn->wire_off;
+      const WireChunk& front = conn->wire[conn->wire_head];
+      const std::size_t remaining = front.len - conn->wire_off;
       if (sent >= remaining) {
         sent -= remaining;
-        conn->wire.pop_front();
+        ++conn->wire_head;
         conn->wire_off = 0;
       } else {
         conn->wire_off += sent;
@@ -561,7 +580,12 @@ void NadClient::FlushWire(Conn* conn) {
       }
     }
   }
+  // Fully drained: every queued span is in the kernel, so nothing
+  // references the header arena or the zombie values anymore — recycle
+  // them for the next admission pass.
+  conn->DropWire();
   conn->want_write = false;
+  // hot-path-end
 }
 
 void NadClient::OnIoReady(Conn* conn, std::uint32_t events) {
@@ -597,26 +621,31 @@ void NadClient::OnIoReady(Conn* conn, std::uint32_t events) {
 }
 
 bool NadClient::DrainReads(Conn* conn) {
-  // Edge-triggered: drain to EAGAIN or the next edge never comes.
-  char buf[65536];
+  // Edge-triggered: drain to EAGAIN or the next edge never comes. recv
+  // lands directly in the rx buffer — no bounce buffer, no append copy.
+  // hot-path-begin(client-drain)
   for (;;) {
+    conn->rx.EnsureTail(64 * 1024);
     std::size_t got = 0;
-    if (Status st = RecvSome(conn->sock, buf, sizeof buf, &got); !st.ok()) {
+    if (Status st = RecvSome(conn->sock, conn->rx.Tail(),
+                             conn->rx.TailCapacity(), &got);
+        !st.ok()) {
       OnLinkBroken(conn);
       return false;
     }
     if (got == 0) return true;  // drained (would block)
-    conn->rx.append(buf, got);
+    conn->rx.Commit(got);
     if (!ParseFrames(conn)) return false;
   }
+  // hot-path-end
 }
 
 bool NadClient::ParseFrames(Conn* conn) {
-  std::string& rx = conn->rx;
-  std::size_t off = 0;
-  while (rx.size() - off >= 4) {
+  // hot-path-begin(client-parse)
+  RxBuffer& rx = conn->rx;
+  while (rx.Size() >= 4) {
     std::uint32_t len = 0;
-    std::memcpy(&len, rx.data() + off, 4);
+    std::memcpy(&len, rx.Head(), 4);
     if (len > kMaxFrameBytes) {
       LOG_WARN << "nad-client: disk " << conn->disk
                << " sent an oversized frame (" << len
@@ -624,16 +653,19 @@ bool NadClient::ParseFrames(Conn* conn) {
       OnLinkBroken(conn);
       return false;
     }
-    if (rx.size() - off - 4 < len) break;
-    HandleFrame(conn, std::string_view(rx.data() + off + 4, len));
-    off += 4 + len;
+    if (rx.Size() - 4 < len) break;
+    HandleFrame(conn, std::string_view(rx.Head() + 4, len));
+    // The frame is dispatched; the decode views into the buffer and the
+    // rx arena are dead, so both can recycle.
+    conn->rx_arena.Reset();
+    rx.Consume(4 + len);
   }
-  rx.erase(0, off);
   return true;
+  // hot-path-end
 }
 
 void NadClient::HandleFrame(Conn* conn, std::string_view payload) {
-  auto msg = DecodeMessage(payload);
+  auto msg = DecodeMessageView(payload, &conn->rx_arena);
   if (!msg) {
     LOG_WARN << "nad-client: malformed response: " << msg.status().ToString();
     return;
@@ -643,40 +675,68 @@ void NadClient::HandleFrame(Conn* conn, std::string_view payload) {
   conn->breaker.RecordSuccess();
   conn->suspected_until_us.store(0, std::memory_order_relaxed);
   if (msg->type == MsgType::kBatchResp) {
-    for (Message& sub : msg->subs) DispatchResponse(conn, std::move(sub));
+    for (std::uint32_t i = 0; i < msg->num_subs; ++i) {
+      DispatchResponse(conn, msg->subs[i]);
+    }
   } else {
-    DispatchResponse(conn, std::move(*msg));
+    DispatchResponse(conn, *msg);
   }
 }
 
-void NadClient::DispatchResponse(Conn* conn, Message msg) {
+void NadClient::DispatchResponse(Conn* conn, const MessageView& msg) {
   const auto now = Clock::now();
-  if (msg.type == MsgType::kReadResp) {
-    auto it = conn->reads.find(msg.request_id);
-    if (it == conn->reads.end()) return;
-    PendingRead pending = std::move(it->second);
-    conn->reads.erase(it);
-    AddInFlight(-1);
-    read_us_->ObserveSince(pending.start);
-    obs::EmitSpan("nad", "read", pending.start, now);
-    if (pending.handler) pending.handler(std::move(msg.value));
-  } else if (msg.type == MsgType::kWriteResp) {
-    auto it = conn->writes.find(msg.request_id);
-    if (it == conn->writes.end()) return;
-    PendingWrite pending = std::move(it->second);
-    conn->writes.erase(it);
-    AddInFlight(-1);
-    write_us_->ObserveSince(pending.start);
-    obs::EmitSpan("nad", "write", pending.start, now);
-    if (pending.handler) pending.handler();
-  } else if (msg.type == MsgType::kStatsResp) {
-    auto it = conn->stats.find(msg.request_id);
-    if (it == conn->stats.end()) return;
-    PendingStats pending = std::move(it->second);
-    conn->stats.erase(it);
-    AddInFlight(-1);
-    if (pending.handler) pending.handler(std::move(msg.value));
+  MsgType expect;
+  switch (msg.type) {
+    case MsgType::kReadResp:
+      expect = MsgType::kReadReq;
+      break;
+    case MsgType::kWriteResp:
+      expect = MsgType::kWriteReq;
+      break;
+    case MsgType::kStatsResp:
+      expect = MsgType::kStatsReq;
+      break;
+    case MsgType::kReadReq:
+    case MsgType::kWriteReq:
+    case MsgType::kStatsReq:
+    case MsgType::kBatchReq:
+    case MsgType::kBatchResp:
+      return;  // not a per-op response opcode; ignore
   }
+  // hot-path-begin(client-dispatch)
+  PendingOp* entry = conn->pending.Find(msg.request_id);
+  if (entry == nullptr || entry->req_type != expect) return;
+  PendingOp op;
+  conn->pending.Take(msg.request_id, &op);
+  if (op.req_type == MsgType::kWriteReq &&
+      conn->wire_head < conn->wire.size()) {
+    // A response for a write whose bytes are still queued can only come
+    // from a confused or hostile server (an honest response proves the
+    // frame was fully sent) — but the wire must never dangle: park the
+    // value until the queue drains.
+    conn->zombies.push_back(std::move(op.value));
+  }
+  AddInFlight(-1);
+  if (msg.type == MsgType::kReadResp) {
+    hotpath::CountCopy(msg.value.size());
+    read_us_->ObserveSince(op.start);
+    obs::EmitSpan("nad", "read", op.start, now);
+    if (op.on_read) {
+      // THE one hot-path copy: materializing the read's Value for its
+      // handler, which owns it beyond this frame dispatch.
+      op.on_read(Value(msg.value));  // lint-allow(hot-alloc): handler owns it
+    }
+  } else if (msg.type == MsgType::kWriteResp) {
+    write_us_->ObserveSince(op.start);
+    obs::EmitSpan("nad", "write", op.start, now);
+    if (op.on_write) op.on_write();
+  } else {
+    if (op.on_stats) {
+      // lint-allow(hot-alloc): STATS is out-of-band observability.
+      op.on_stats(std::string(msg.value));  // lint-allow(hot-alloc)
+    }
+  }
+  // hot-path-end
 }
 
 void NadClient::OnLinkBroken(Conn* conn) {
@@ -687,21 +747,24 @@ void NadClient::OnLinkBroken(Conn* conn) {
   }
   conn->want_write = false;
   conn->staged.clear();
-  conn->wire.clear();
-  conn->wire_off = 0;
-  conn->rx.clear();
+  conn->DropWire();
+  conn->rx.Clear();
+  conn->rx_arena.Reset();
   // STATS probes die with the link: observability reads have no
   // pending-write semantics to preserve, so they fail fast instead of
-  // being retransmitted.
-  auto dead_stats = std::move(conn->stats);
-  conn->stats.clear();
+  // being retransmitted. Handlers are collected first and run after the
+  // table is consistent (they may re-enter Submit).
+  std::vector<StatsHandler> dead_stats;
+  conn->pending.EraseIf([&](std::uint64_t, PendingOp& p) {
+    if (p.req_type != MsgType::kStatsReq) return false;
+    dead_stats.push_back(std::move(p.on_stats));
+    return true;
+  });
   if (!dead_stats.empty()) {
     AddInFlight(-static_cast<std::int64_t>(dead_stats.size()));
   }
-  for (auto& [id, pending] : dead_stats) {
-    if (pending.handler) {
-      pending.handler(Status::Unavailable("stats: connection lost"));
-    }
+  for (StatsHandler& handler : dead_stats) {
+    if (handler) handler(Status::Unavailable("stats: connection lost"));
   }
   if (!options_.enable_reconnect) {
     // Pre-fault-injection behaviour: a dead connection stays dead and
@@ -733,20 +796,20 @@ void NadClient::OnLoopDead(EventLoop* loop) {
     conn->suspected_until_us.store(kSuspectForever, std::memory_order_relaxed);
     conn->want_write = false;
     conn->staged.clear();
-    conn->wire.clear();
-    conn->wire_off = 0;
-    conn->rx.clear();
-    const std::size_t n =
-        conn->reads.size() + conn->writes.size() + conn->stats.size();
-    auto dead_stats = std::move(conn->stats);
-    conn->reads.clear();
-    conn->writes.clear();
-    conn->stats.clear();
-    if (n > 0) AddInFlight(-static_cast<std::int64_t>(n));
-    for (auto& [id, pending] : dead_stats) {
-      if (pending.handler) {
-        pending.handler(Status::Unavailable("stats: event loop died"));
+    conn->DropWire();
+    conn->rx.Clear();
+    conn->rx_arena.Reset();
+    const std::size_t n = conn->pending.size();
+    std::vector<StatsHandler> dead_stats;
+    conn->pending.ForEach([&](std::uint64_t, PendingOp& p) {
+      if (p.req_type == MsgType::kStatsReq) {
+        dead_stats.push_back(std::move(p.on_stats));
       }
+    });
+    conn->pending.Clear();
+    if (n > 0) AddInFlight(-static_cast<std::int64_t>(n));
+    for (StatsHandler& handler : dead_stats) {
+      if (handler) handler(Status::Unavailable("stats: event loop died"));
     }
   }
 }
@@ -798,38 +861,24 @@ void NadClient::OnRedialConnected(Conn* conn) {
   conn->breaker.RecordSuccess();
   conn->suspected_until_us.store(0, std::memory_order_relaxed);
   reconnects_->Inc();
-  // Retransmit everything still pending, oldest first. Requests that
-  // were served but whose response was lost get applied again — an
-  // idempotent replay of a still-pending op (see the class comment).
-  // Frames are rebuilt from the pending maps, so anything staged or
-  // framed before the break (already covered by the maps) is dropped
-  // first rather than sent twice.
+  // Retransmit everything still pending, oldest first (ids are monotone,
+  // so sorting ids restores issue order). Requests that were served but
+  // whose response was lost get applied again — an idempotent replay of
+  // a still-pending op (see the class comment). Frames are rebuilt from
+  // the pending table, so anything staged or framed before the break
+  // (already covered by the table) is dropped first rather than sent
+  // twice. Only reads/writes can be pending here: STATS died with the
+  // link and Admit fails new ones fast until the link is back up.
   conn->staged.clear();
-  conn->wire.clear();
-  conn->wire_off = 0;
-  std::vector<Message> msgs;
-  msgs.reserve(conn->reads.size() + conn->writes.size());
-  for (const auto& [id, pending] : conn->reads) {
-    Message m;
-    m.type = MsgType::kReadReq;
-    m.request_id = id;
-    m.reg = pending.reg;
-    msgs.push_back(std::move(m));
+  conn->DropWire();
+  conn->staged.reserve(conn->pending.size());
+  conn->pending.ForEach([&](std::uint64_t id, PendingOp&) {
+    conn->staged.push_back(id);
+  });
+  std::sort(conn->staged.begin(), conn->staged.end());
+  if (!conn->staged.empty()) {
+    retries_->Inc(conn->staged.size());
   }
-  for (const auto& [id, pending] : conn->writes) {
-    Message m;
-    m.type = MsgType::kWriteReq;
-    m.request_id = id;
-    m.reg = pending.reg;
-    m.value = pending.value;
-    msgs.push_back(std::move(m));
-  }
-  std::sort(msgs.begin(), msgs.end(),
-            [](const Message& a, const Message& b) {
-              return a.request_id < b.request_id;
-            });
-  if (!msgs.empty()) retries_->Inc(msgs.size());
-  for (Message& m : msgs) conn->staged.push_back(std::move(m));
   FrameStaged(conn);
   FlushWire(conn);
 }
@@ -850,40 +899,43 @@ void NadClient::MaybeArmSweep(Conn* conn,
 
 void NadClient::Sweep(Conn* conn) {
   const auto now = Clock::now();
-  // Handlers are collected first and invoked/destroyed after the maps
-  // are consistent: dropping one can release ticket state whose
+  // Handlers are collected first and invoked/destroyed after the table
+  // is consistent: dropping one can release ticket state whose
   // destructor may re-enter Submit.
   std::vector<ReadHandler> dead_reads;
   std::vector<WriteHandler> dead_writes;
   std::vector<StatsHandler> timed_out_stats;
   auto next = Clock::time_point::max();
-  for (auto it = conn->reads.begin(); it != conn->reads.end();) {
-    if (it->second.expires <= now) {
-      dead_reads.push_back(std::move(it->second.handler));
-      it = conn->reads.erase(it);
-    } else {
-      next = std::min(next, it->second.expires);
-      ++it;
+  // An expired write's bytes may still sit unsent in the wire queue
+  // (zero-copy: the chunks reference the entry's value). Parking the
+  // value on the zombie list keeps the queue sound until it drains.
+  const bool wire_busy = conn->wire_head < conn->wire.size();
+  conn->pending.EraseIf([&](std::uint64_t, PendingOp& p) {
+    if (p.expires > now) {
+      next = std::min(next, p.expires);
+      return false;
     }
-  }
-  for (auto it = conn->writes.begin(); it != conn->writes.end();) {
-    if (it->second.expires <= now) {
-      dead_writes.push_back(std::move(it->second.handler));
-      it = conn->writes.erase(it);
-    } else {
-      next = std::min(next, it->second.expires);
-      ++it;
+    switch (p.req_type) {
+      case MsgType::kReadReq:
+        dead_reads.push_back(std::move(p.on_read));
+        break;
+      case MsgType::kWriteReq:
+        dead_writes.push_back(std::move(p.on_write));
+        if (wire_busy) conn->zombies.push_back(std::move(p.value));
+        break;
+      case MsgType::kStatsReq:
+      case MsgType::kReadResp:
+      case MsgType::kWriteResp:
+      case MsgType::kStatsResp:
+      case MsgType::kBatchReq:
+      case MsgType::kBatchResp:
+        // Only the three request opcodes are ever pending; the rest are
+        // unreachable, named for the exhaustiveness lint.
+        timed_out_stats.push_back(std::move(p.on_stats));
+        break;
     }
-  }
-  for (auto it = conn->stats.begin(); it != conn->stats.end();) {
-    if (it->second.expires <= now) {
-      timed_out_stats.push_back(std::move(it->second.handler));
-      it = conn->stats.erase(it);
-    } else {
-      next = std::min(next, it->second.expires);
-      ++it;
-    }
-  }
+    return true;
+  });
   const std::size_t n =
       dead_reads.size() + dead_writes.size() + timed_out_stats.size();
   if (n > 0) {

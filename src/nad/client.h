@@ -55,13 +55,28 @@
 ///    after a cooldown the breaker half-opens and traffic probes again.
 ///
 /// Ownership contract (DESIGN.md §12): all connection state — socket,
-/// staged/wire queues, pending-op maps, breaker, backoff, timers — is
-/// owned by the connection's loop and touched only on the loop thread
+/// staged/wire queues, the pending-op table, breaker, backoff, timers —
+/// is owned by the connection's loop and touched only on the loop thread
 /// (the single-writer rule). The old send_mu → pending_mu nesting is
 /// gone; the only client mutexes left are each loop's task inbox and the
 /// QueryStats shim's private waiter. Cross-thread reads (InFlight, the
 /// in-flight gauge, IsSuspectedCrashed) go through dedicated atomics
 /// updated by the loops.
+///
+/// Hot-path memory discipline (DESIGN.md §14): in-flight state lives in
+/// one PendingTable per connection (stable slab entries, no per-op node
+/// allocations) instead of three unordered_maps; frames are built by
+/// protocol.h's FrameWriter as WireChunks — headers bump-allocated from
+/// a per-connection tx arena, write values referenced IN PLACE from
+/// their pending-table entries — and gather-written straight to writev,
+/// so a batched write's value bytes are copied exactly zero times
+/// between Submit and the kernel. Responses are decoded as views
+/// (DecodeMessageView over the rx buffer + a per-frame rx arena); the
+/// only hot-path copy left is materializing a read's Value for its
+/// handler. The tx arena resets when the wire drains; the rx arena
+/// resets after each frame dispatch. Write values whose ops expire while
+/// their bytes are still queued move to a per-connection zombie list
+/// that dies when the wire drains — the gather queue never dangles.
 ///
 /// Observability: per-RPC latency ("nad.client.read_us"/"write_us"),
 /// outstanding depth ("nad.client.in_flight"), coalescing depth
@@ -228,10 +243,9 @@ class NadClient : public BaseRegisterClient {
   bool DrainReads(Conn* conn);
   bool ParseFrames(Conn* conn);
   void HandleFrame(Conn* conn, std::string_view payload);
-  void DispatchResponse(Conn* conn, Message msg);
+  void DispatchResponse(Conn* conn, const MessageView& msg);
   void FrameStaged(Conn* conn);
-  void FlushRun(std::vector<Message>* run, Conn* conn);
-  void PushFrame(Conn* conn, std::string payload);
+  void FlushRun(Conn* conn);
   void FlushWire(Conn* conn);
   void OnLinkBroken(Conn* conn);
   /// Fatal-handler body for a loop that died of an epoll failure: marks

@@ -78,7 +78,12 @@ void EventLoop::Post(Task task) {
     MutexLock lock(inbox_mu_);
     inbox_.push_back(std::move(task));
   }
-  WakeUp();
+  // A task posted from the loop thread itself (a completion handler
+  // re-issuing ops — every iteration of a closed-loop workload) needs no
+  // eventfd wake: the loop re-checks the inbox before it can sleep
+  // (Run's pre-wait peek), so the write+read syscall pair would be pure
+  // overhead. Cross-thread posts still wake as before.
+  if (!OnLoopThread()) WakeUp();
 }
 
 void EventLoop::WakeUp() {
@@ -112,8 +117,15 @@ void EventLoop::Run(std::stop_token stop) {
   std::vector<Task> tasks;
   while (!stop_.load(std::memory_order_acquire) && !stop.stop_requested()) {
     int timeout_ms = -1;
+    // Pre-wait inbox peek: tasks posted from this very thread skip the
+    // eventfd wake (see Post), so the loop must never sleep while the
+    // inbox is non-empty — poll instead and drain them this iteration.
+    {
+      MutexLock lock(inbox_mu_);
+      if (!inbox_.empty()) timeout_ms = 0;
+    }
     const auto next = wheel_.NextDeadline();
-    if (next != TimerWheel::Clock::time_point::max()) {
+    if (timeout_ms != 0 && next != TimerWheel::Clock::time_point::max()) {
       const auto now = TimerWheel::Clock::now();
       if (next <= now) {
         timeout_ms = 0;

@@ -63,7 +63,9 @@ class EventLoop {
 
   /// Enqueues `task` to run on the loop thread, FIFO. Thread-safe; the
   /// only cross-thread entry point. Tasks posted after Stop may never
-  /// run.
+  /// run. A Post from the loop thread itself skips the eventfd wake
+  /// entirely (the loop re-checks its inbox before sleeping), so
+  /// handler-driven re-submission costs no syscalls.
   void Post(Task task);
 
   /// Installs a handler that runs on the loop thread if the loop dies of

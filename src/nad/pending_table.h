@@ -1,0 +1,228 @@
+/// \file
+/// Sharded pending-operation table for the NAD client's in-flight state.
+///
+/// Sharding is structural, not locked: the client keeps one PendingTable
+/// per connection, and each connection is owned by exactly one event loop
+/// (the single-writer rule, DESIGN.md §12) — so every table has exactly
+/// one writer and needs no mutex. What this type replaces is the trio of
+/// std::unordered_map<id, Pending*> node-based maps the old client kept
+/// per connection: every insert there heap-allocated a node, every erase
+/// freed one, and entry addresses were only stable by accident of the
+/// node allocator.
+///
+/// Design:
+///  * Entries live in chunked slabs (kSlabSlots per slab, never moved,
+///    never shrunk), so a pointer returned by Insert()/Find() stays valid
+///    until that entry is erased — the zero-copy wire path references
+///    pending write values IN PLACE from the gather queue, which is only
+///    sound because of this stability guarantee.
+///  * A separate open-addressing index maps request id → slot. Rehashing
+///    moves only (id, slot) pairs, never entries. Erase uses backward-
+///    shift deletion, so probes stay short without tombstones.
+///  * Freed slots go on a free list and are recycled by later inserts;
+///    steady state allocates nothing.
+///
+/// Request ids come from a per-connection monotone counter, so they are
+/// unique by construction; id 2^64-1 is reserved as the index's empty
+/// marker.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace nadreg::nad {
+
+template <typename T>
+class PendingTable {
+ public:
+  /// Reserved as the open-addressing empty marker; never use as an id.
+  static constexpr std::uint64_t kReservedId = ~0ULL;
+
+  PendingTable() = default;
+  PendingTable(const PendingTable&) = delete;
+  PendingTable& operator=(const PendingTable&) = delete;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts a default-constructed entry for `id` (must not be present)
+  /// and returns it. The pointer stays valid until the entry is erased —
+  /// across other inserts, erases, and index rehashes.
+  T* Insert(std::uint64_t id) {
+    assert(id != kReservedId);
+    MaybeGrowIndex();
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      if (slot_count_ == slabs_.size() * kSlabSlots) {
+        slabs_.push_back(std::make_unique<Cell[]>(kSlabSlots));
+      }
+      slot = static_cast<std::uint32_t>(slot_count_++);
+    }
+    Cell& cell = CellAt(slot);
+    cell.id = id;
+    cell.value.emplace();
+    IndexPut(id, slot);
+    ++size_;
+    return &*cell.value;
+  }
+
+  /// Entry for `id`, or nullptr.
+  T* Find(std::uint64_t id) {
+    const std::size_t pos = IndexFind(id);
+    if (pos == kNotFound) return nullptr;
+    return &*CellAt(index_[pos].slot).value;
+  }
+
+  /// Moves the entry for `id` into `*out` and erases it. False if absent.
+  bool Take(std::uint64_t id, T* out) {
+    const std::size_t pos = IndexFind(id);
+    if (pos == kNotFound) return false;
+    const std::uint32_t slot = index_[pos].slot;
+    Cell& cell = CellAt(slot);
+    *out = std::move(*cell.value);
+    ReleaseCell(cell, slot, pos);
+    return true;
+  }
+
+  /// Erases the entry for `id`, destroying it in place. False if absent.
+  bool Erase(std::uint64_t id) {
+    const std::size_t pos = IndexFind(id);
+    if (pos == kNotFound) return false;
+    const std::uint32_t slot = index_[pos].slot;
+    ReleaseCell(CellAt(slot), slot, pos);
+    return true;
+  }
+
+  /// Visits every live entry as f(id, T&). Must not insert or erase.
+  template <typename F>
+  void ForEach(F&& f) {
+    for (std::size_t slot = 0; slot < slot_count_; ++slot) {
+      Cell& cell = CellAt(static_cast<std::uint32_t>(slot));
+      if (cell.value.has_value()) f(cell.id, *cell.value);
+    }
+  }
+
+  /// Visits every live entry as f(id, T&) -> bool; entries for which f
+  /// returns true are erased (after f had its chance to move state out).
+  template <typename F>
+  void EraseIf(F&& f) {
+    for (std::size_t slot = 0; slot < slot_count_; ++slot) {
+      Cell& cell = CellAt(static_cast<std::uint32_t>(slot));
+      if (!cell.value.has_value()) continue;
+      if (f(cell.id, *cell.value)) {
+        const std::size_t pos = IndexFind(cell.id);
+        assert(pos != kNotFound);
+        ReleaseCell(cell, static_cast<std::uint32_t>(slot), pos);
+      }
+    }
+  }
+
+  /// Destroys every entry. Slabs, free list, and index capacity are
+  /// retained for reuse.
+  void Clear() {
+    for (std::size_t slot = 0; slot < slot_count_; ++slot) {
+      CellAt(static_cast<std::uint32_t>(slot)).value.reset();
+    }
+    free_.clear();
+    slot_count_ = 0;
+    for (IndexEntry& e : index_) e.id = kReservedId;
+    size_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kSlabSlots = 256;
+  static constexpr std::size_t kNotFound = ~std::size_t{0};
+
+  struct Cell {
+    std::uint64_t id = kReservedId;
+    std::optional<T> value;
+  };
+  struct IndexEntry {
+    std::uint64_t id = kReservedId;
+    std::uint32_t slot = 0;
+  };
+
+  Cell& CellAt(std::uint32_t slot) {
+    return slabs_[slot / kSlabSlots][slot % kSlabSlots];
+  }
+
+  static std::size_t Hash(std::uint64_t id) {
+    // Fibonacci mix; ids are a dense monotone counter, so spreading the
+    // low bits is all that matters.
+    return static_cast<std::size_t>(id * 0x9e3779b97f4a7c15ULL >> 32);
+  }
+
+  std::size_t IndexFind(std::uint64_t id) const {
+    if (index_.empty()) return kNotFound;
+    const std::size_t mask = index_.size() - 1;
+    for (std::size_t i = Hash(id) & mask;; i = (i + 1) & mask) {
+      if (index_[i].id == id) return i;
+      if (index_[i].id == kReservedId) return kNotFound;
+    }
+  }
+
+  void IndexPut(std::uint64_t id, std::uint32_t slot) {
+    const std::size_t mask = index_.size() - 1;
+    for (std::size_t i = Hash(id) & mask;; i = (i + 1) & mask) {
+      if (index_[i].id == kReservedId) {
+        index_[i] = IndexEntry{id, slot};
+        return;
+      }
+      assert(index_[i].id != id && "duplicate request id");
+    }
+  }
+
+  /// Backward-shift deletion at index position `pos`: later entries of
+  /// the same probe chain slide into the hole, so lookups never need
+  /// tombstones.
+  void IndexRemoveAt(std::size_t pos) {
+    const std::size_t mask = index_.size() - 1;
+    std::size_t hole = pos;
+    for (std::size_t i = (hole + 1) & mask;; i = (i + 1) & mask) {
+      if (index_[i].id == kReservedId) break;
+      const std::size_t home = Hash(index_[i].id) & mask;
+      // Entry i may move into the hole iff the hole lies on its probe
+      // path, i.e. cyclically between home and i.
+      if (((i - home) & mask) >= ((i - hole) & mask)) {
+        index_[hole] = index_[i];
+        hole = i;
+      }
+    }
+    index_[hole].id = kReservedId;
+  }
+
+  void ReleaseCell(Cell& cell, std::uint32_t slot, std::size_t index_pos) {
+    cell.value.reset();
+    cell.id = kReservedId;
+    free_.push_back(slot);
+    IndexRemoveAt(index_pos);
+    --size_;
+  }
+
+  void MaybeGrowIndex() {
+    if (index_.empty()) {
+      index_.assign(64, IndexEntry{});
+      return;
+    }
+    if ((size_ + 1) * 4 < index_.size() * 3) return;  // load factor < 3/4
+    std::vector<IndexEntry> old = std::move(index_);
+    index_.assign(old.size() * 2, IndexEntry{});
+    for (const IndexEntry& e : old) {
+      if (e.id != kReservedId) IndexPut(e.id, e.slot);
+    }
+  }
+
+  std::vector<std::unique_ptr<Cell[]>> slabs_;
+  std::size_t slot_count_ = 0;  // slots ever handed out (high-water)
+  std::vector<std::uint32_t> free_;
+  std::vector<IndexEntry> index_;  // power-of-two open addressing
+  std::size_t size_ = 0;
+};
+
+}  // namespace nadreg::nad

@@ -9,7 +9,7 @@ namespace nadreg::nad {
 
 namespace {
 
-std::string EncodeRecord(const RegisterId& r, const Value& v) {
+std::string EncodeRecord(const RegisterId& r, std::string_view v) {
   std::string out;
   Encoder e(&out);
   e.PutU32(r.disk);
@@ -64,7 +64,7 @@ Status Journal::Open(const std::string& path) {
   return Status::Ok();
 }
 
-Status Journal::Append(const RegisterId& r, const Value& v) {
+Status Journal::Append(const RegisterId& r, std::string_view v) {
   if (file_ == nullptr) return Status::Unavailable("journal not open");
   const std::string record = EncodeRecord(r, v);
   if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {

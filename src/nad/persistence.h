@@ -18,6 +18,7 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 #include "common/types.h"
@@ -37,7 +38,9 @@ class Journal {
   Status Open(const std::string& path);
 
   /// Appends one applied write; flushed to the OS before returning.
-  Status Append(const RegisterId& r, const Value& v);
+  /// Takes a view so the server's zero-copy decode path can journal
+  /// straight from its receive buffer.
+  Status Append(const RegisterId& r, std::string_view v);
 
   /// Truncates the journal (after a successful checkpoint).
   Status Reset();

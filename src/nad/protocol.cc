@@ -1,5 +1,10 @@
 #include "nad/protocol.h"
 
+#include <cassert>
+#include <cstring>
+
+#include "common/hotpath_stats.h"
+
 namespace nadreg::nad {
 
 std::string EncodeMessage(const Message& m) {
@@ -36,15 +41,258 @@ std::string EncodeMessage(const Message& m) {
   return out;
 }
 
+std::size_t EncodedMessageSize(const Message& m) {
+  std::size_t n = 1 + 8;  // type + request id
+  switch (m.type) {
+    case MsgType::kReadReq:
+      n += 4 + 8;
+      break;
+    case MsgType::kWriteReq:
+      n += 4 + 8 + 4 + m.value.size();
+      break;
+    case MsgType::kReadResp:
+    case MsgType::kStatsResp:
+      n += 4 + m.value.size();
+      break;
+    case MsgType::kWriteResp:
+    case MsgType::kStatsReq:
+      break;
+    case MsgType::kBatchReq:
+    case MsgType::kBatchResp:
+      n += 4;  // count
+      for (const Message& sub : m.subs) n += 4 + EncodedMessageSize(sub);
+      break;
+  }
+  return n;
+}
+
 Expected<std::string> EncodeMessageChecked(const Message& m) {
-  std::string out = EncodeMessage(m);
-  if (out.size() > kMaxFrameBytes) {
+  // Size check FIRST: an oversized message (a write value near the cap,
+  // an overgrown batch) fails fast without materializing the multi-
+  // megabyte encode it would then throw away.
+  const std::size_t size = EncodedMessageSize(m);
+  if (size > kMaxFrameBytes) {
     return Status::Invalid("message: encoded payload of " +
-                           std::to_string(out.size()) +
+                           std::to_string(size) +
                            " bytes exceeds frame cap of " +
                            std::to_string(kMaxFrameBytes));
   }
-  return out;
+  return EncodeMessage(m);
+}
+
+// ---------------------------------------------------------------------------
+// FrameWriter: the zero-copy encode pipeline (see protocol.h).
+// ---------------------------------------------------------------------------
+
+char* FrameWriter::HeaderBytes(std::size_t n) {
+  char* p = arena_->Alloc(n, 1);
+  if (p == open_end_) {
+    open_end_ += n;  // contiguous with the open header run: extend it
+  } else {
+    CloseOpenChunk();
+    open_base_ = p;
+    open_end_ = p + n;
+  }
+  payload_bytes_ += n;
+  return p;
+}
+
+void FrameWriter::CloseOpenChunk() {
+  if (open_base_ != open_end_) {
+    out_->push_back(WireChunk{open_base_, static_cast<std::size_t>(
+                                              open_end_ - open_base_)});
+  }
+  open_base_ = open_end_ = nullptr;
+}
+
+void FrameWriter::BeginFrame() {
+  assert(len_slot_ == nullptr && "BeginFrame without EndFrame");
+  len_slot_ = HeaderBytes(4);
+  payload_bytes_ = 0;  // the length prefix is not payload
+}
+
+std::size_t FrameWriter::EndFrame() {
+  assert(len_slot_ != nullptr && "EndFrame without BeginFrame");
+  CloseOpenChunk();
+  Patch32(len_slot_, static_cast<std::uint32_t>(payload_bytes_));
+  len_slot_ = nullptr;
+  return payload_bytes_;
+}
+
+void FrameWriter::PutU8(std::uint8_t v) {
+  *HeaderBytes(1) = static_cast<char>(v);
+}
+
+void FrameWriter::PutU32(std::uint32_t v) {
+  char* p = HeaderBytes(4);
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void FrameWriter::PutU64(std::uint64_t v) {
+  char* p = HeaderBytes(8);
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void FrameWriter::PutBytesRef(std::string_view v) {
+  PutU32(static_cast<std::uint32_t>(v.size()));
+  if (v.empty()) return;
+  CloseOpenChunk();
+  out_->push_back(WireChunk{v.data(), v.size()});
+  payload_bytes_ += v.size();
+}
+
+void FrameWriter::PutBytesCopy(std::string_view v) {
+  PutU32(static_cast<std::uint32_t>(v.size()));
+  if (v.empty()) return;
+  hotpath::CountCopy(v.size());
+  std::memcpy(HeaderBytes(v.size()), v.data(), v.size());
+}
+
+char* FrameWriter::PutSlotU32() { return HeaderBytes(4); }
+
+void FrameWriter::Patch32(char* slot, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    slot[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+std::size_t PayloadSize(MsgType t, std::size_t value_size) {
+  switch (t) {
+    case MsgType::kReadReq:
+      return 1 + 8 + 4 + 8;
+    case MsgType::kWriteReq:
+      return 1 + 8 + 4 + 8 + 4 + value_size;
+    case MsgType::kReadResp:
+    case MsgType::kStatsResp:
+      return 1 + 8 + 4 + value_size;
+    case MsgType::kWriteResp:
+    case MsgType::kStatsReq:
+      return 1 + 8;
+    case MsgType::kBatchReq:
+    case MsgType::kBatchResp:
+      break;  // batches have no fixed size; callers compose them
+  }
+  assert(false && "PayloadSize: not a non-batch message type");
+  return 0;
+}
+
+void AppendPayload(FrameWriter& w, MsgType t, std::uint64_t request_id,
+                   const RegisterId& reg, std::string_view value) {
+  w.PutU8(static_cast<std::uint8_t>(t));
+  w.PutU64(request_id);
+  switch (t) {
+    case MsgType::kReadReq:
+      w.PutU32(reg.disk);
+      w.PutU64(reg.block);
+      break;
+    case MsgType::kWriteReq:
+      w.PutU32(reg.disk);
+      w.PutU64(reg.block);
+      w.PutBytesRef(value);
+      break;
+    case MsgType::kReadResp:
+    case MsgType::kStatsResp:
+      w.PutBytesRef(value);
+      break;
+    case MsgType::kWriteResp:
+    case MsgType::kStatsReq:
+      break;
+    case MsgType::kBatchReq:
+    case MsgType::kBatchResp:
+      assert(false && "AppendPayload: batches are composed by the caller");
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy decode.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Decodes one message payload into views. `allow_batch` is false for
+/// batch sub-operations (batches never nest).
+Expected<MessageView> DecodeViewImpl(std::string_view payload, Arena* arena,
+                                     bool allow_batch) {
+  Decoder d(payload);
+  MessageView m;
+  auto type = d.GetU8();
+  if (!type) return type.status();
+  if (*type < static_cast<std::uint8_t>(MsgType::kReadReq) ||
+      *type > static_cast<std::uint8_t>(MsgType::kBatchResp)) {
+    return Status::Invalid("message: unknown type");
+  }
+  m.type = static_cast<MsgType>(*type);
+  auto id = d.GetU64();
+  if (!id) return id.status();
+  m.request_id = *id;
+
+  switch (m.type) {
+    case MsgType::kReadReq: {
+      auto disk = d.GetU32();
+      if (!disk) return disk.status();
+      auto block = d.GetU64();
+      if (!block) return block.status();
+      m.reg = RegisterId{*disk, *block};
+      break;
+    }
+    case MsgType::kWriteReq: {
+      auto disk = d.GetU32();
+      if (!disk) return disk.status();
+      auto block = d.GetU64();
+      if (!block) return block.status();
+      auto value = d.GetBytesView();
+      if (!value) return value.status();
+      m.reg = RegisterId{*disk, *block};
+      m.value = *value;
+      break;
+    }
+    case MsgType::kReadResp:
+    case MsgType::kStatsResp: {
+      auto value = d.GetBytesView();
+      if (!value) return value.status();
+      m.value = *value;
+      break;
+    }
+    case MsgType::kWriteResp:
+    case MsgType::kStatsReq:
+      break;
+    case MsgType::kBatchReq:
+    case MsgType::kBatchResp: {
+      if (!allow_batch) return Status::Invalid("batch: nested batch");
+      auto count = d.GetU32();
+      if (!count) return count.status();
+      // Each sub-operation costs at least its length prefix; a hostile
+      // count cannot make us allocate beyond what the payload can hold.
+      if (*count > d.Remaining() / kBatchSubOverhead) {
+        return Status::Invalid("batch: count exceeds payload");
+      }
+      MessageView* subs = arena->AllocArray<MessageView>(*count);
+      for (std::uint32_t i = 0; i < *count; ++i) {
+        auto sub_bytes = d.GetBytesView();
+        if (!sub_bytes) return sub_bytes.status();
+        auto sub = DecodeViewImpl(*sub_bytes, arena, /*allow_batch=*/false);
+        if (!sub) return sub.status();
+        const bool ok = m.type == MsgType::kBatchReq
+                            ? IsBatchableRequest(sub->type)
+                            : IsBatchableResponse(sub->type);
+        if (!ok) return Status::Invalid("batch: sub-operation of wrong type");
+        subs[i] = *sub;
+      }
+      m.subs = subs;
+      m.num_subs = *count;
+      break;
+    }
+  }
+  if (!d.AtEnd()) return Status::Invalid("message: trailing bytes");
+  return m;
+}
+
+}  // namespace
+
+Expected<MessageView> DecodeMessageView(std::string_view payload,
+                                        Arena* arena) {
+  return DecodeViewImpl(payload, arena, /*allow_batch=*/true);
 }
 
 Expected<Message> DecodeMessage(std::string_view payload) {

@@ -34,6 +34,20 @@
 ///
 /// A crashed register/disk simply never answers — there is no error
 /// response for it, exactly like the unresponsive failure mode.
+///
+/// Two encode/decode surfaces share this format:
+///  * Message + EncodeMessage/DecodeMessage — the owning, materializing
+///    pair. Simple and self-contained; used by cold paths (STATS, CLIs,
+///    tests) and as the golden reference the zero-copy pair is tested
+///    byte-for-byte against.
+///  * FrameWriter + MessageView/DecodeMessageView — the hot-path pair.
+///    FrameWriter builds [u32 length][payload] frames directly as a list
+///    of WireChunks: header bytes are bump-allocated from an Arena and
+///    merged into contiguous runs, value bytes are REFERENCED in place
+///    (zero-copy) and scatter-gathered into writev by the caller.
+///    DecodeMessageView parses a frame into views over the receive
+///    buffer, allocating only the batch sub-array — from an Arena.
+///    Ownership rules are documented on each type (and DESIGN.md §14).
 #pragma once
 
 #include <cstdint>
@@ -41,6 +55,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/codec.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -87,11 +102,113 @@ std::string EncodeMessage(const Message& m);
 /// malformed or hostile length prefix).
 inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
 
+/// Exact encoded payload size of `m` (without the frame length prefix),
+/// computed without materializing anything.
+std::size_t EncodedMessageSize(const Message& m);
+
 /// Serializes a message, enforcing kMaxFrameBytes on the *encode* path:
 /// an oversized payload (e.g. a write value near the frame cap) fails
 /// fast with kInvalid instead of hitting the wire and desynchronizing or
-/// killing the connection at the peer's decode guard.
+/// killing the connection at the peer's decode guard. The size check runs
+/// BEFORE encoding, so an oversized message costs a size computation, not
+/// a multi-megabyte materialization that is then thrown away.
 [[nodiscard]] Expected<std::string> EncodeMessageChecked(const Message& m);
+
+/// One contiguous span of outbound bytes — the unit of the zero-copy
+/// gather path. Chunks either point into an Arena (frame headers, copied
+/// values) or into caller-owned value storage; see FrameWriter.
+struct WireChunk {
+  const char* data = nullptr;
+  std::size_t len = 0;
+};
+
+/// Builds [u32 length][payload] frames directly as WireChunks, replacing
+/// the EncodeMessage-into-a-string + frame-copy pipeline on the hot path.
+///
+/// Header bytes (type, ids, lengths) are bump-allocated from the arena
+/// and merged into as few chunks as possible; PutBytesRef emits the
+/// caller's value bytes as their own chunk WITHOUT copying. The frame
+/// length prefix is reserved by BeginFrame and backpatched by EndFrame.
+///
+/// Ownership rules (DESIGN.md §14):
+///  * Chunks alias the arena and the PutBytesRef sources. Both must stay
+///    alive and unmodified until the kernel has accepted every chunk —
+///    the client parks write values in its pending table (stable slots)
+///    precisely so the wire may reference them.
+///  * The writer holds a raw pointer into `out`'s last element between
+///    calls, so `out` must not be mutated externally mid-frame.
+class FrameWriter {
+ public:
+  /// Both pointers are borrowed; chunks are appended to `*out`.
+  FrameWriter(Arena* arena, std::vector<WireChunk>* out)
+      : arena_(arena), out_(out) {}
+
+  /// Starts a frame: reserves the 4-byte length prefix for EndFrame.
+  void BeginFrame();
+  /// Backpatches the length prefix and flushes the open header run.
+  /// Returns the frame's payload length (what the prefix now says).
+  std::size_t EndFrame();
+
+  void PutU8(std::uint8_t v);
+  void PutU32(std::uint32_t v);
+  void PutU64(std::uint64_t v);
+  /// u32 length prefix + the bytes by REFERENCE (zero-copy): `v` must
+  /// outlive the chunks (see the ownership rules above).
+  void PutBytesRef(std::string_view v);
+  /// u32 length prefix + a copy of the bytes into the arena. For sources
+  /// that die before the send (e.g. values read out under a lock).
+  void PutBytesCopy(std::string_view v);
+  /// Reserves a 4-byte in-frame slot (counted as payload) for a value
+  /// known only later — e.g. a batch's surviving-sub count. Patch with
+  /// Patch32 before sending.
+  char* PutSlotU32();
+  static void Patch32(char* slot, std::uint32_t v);
+
+  Arena* arena() { return arena_; }
+
+ private:
+  /// `n` arena header bytes, extending the open chunk when contiguous.
+  char* HeaderBytes(std::size_t n);
+  void CloseOpenChunk();
+
+  Arena* arena_;
+  std::vector<WireChunk>* out_;
+  char* len_slot_ = nullptr;  // frame length prefix, patched by EndFrame
+  std::size_t payload_bytes_ = 0;
+  char* open_base_ = nullptr;  // current header run, not yet in *out_
+  char* open_end_ = nullptr;
+};
+
+/// Serialized payload size of one NON-batch message (what PutU32 needs
+/// for a batch sub-operation's length prefix, known before writing it).
+std::size_t PayloadSize(MsgType t, std::size_t value_size);
+
+/// Appends one non-batch message payload to `w` (no frame bookkeeping,
+/// no sub length prefix). `value` is referenced zero-copy (PutBytesRef)
+/// for the value-carrying types; byte-identical to EncodeMessage of the
+/// equivalent Message.
+void AppendPayload(FrameWriter& w, MsgType t, std::uint64_t request_id,
+                   const RegisterId& reg, std::string_view value);
+
+/// Zero-copy decode result: `value` views the decoded buffer, `subs` is
+/// arena-allocated. Valid only while BOTH the decoded buffer and the
+/// arena live unmodified — i.e. within one frame-dispatch cycle; copy
+/// anything that must survive (the client copies a read value exactly
+/// once, into the handler's Value).
+struct MessageView {
+  MsgType type = MsgType::kReadReq;
+  std::uint64_t request_id = 0;  // unused (0) for batch frames
+  RegisterId reg;          // requests only
+  std::string_view value;  // WriteReq / ReadResp / StatsResp
+  const MessageView* subs = nullptr;  // kBatchReq/kBatchResp children
+  std::uint32_t num_subs = 0;
+};
+
+/// Parses a message payload into views (see MessageView for validity).
+/// Total, exactly like DecodeMessage: never trusts lengths, enum values,
+/// or counts; rejects nested batches and trailing bytes.
+[[nodiscard]] Expected<MessageView> DecodeMessageView(std::string_view payload,
+                                                      Arena* arena);
 
 /// Frame-payload overhead of one encoded WriteReq around its value
 /// (type + request id + disk + block + value length prefix). A write

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/hotpath_stats.h"
 #include "common/log.h"
 #include "nad/protocol.h"
 
@@ -129,22 +130,25 @@ void NadServer::AcceptLoop() {
   }
 }
 
-std::optional<Message> NadServer::ServeOp(Message msg) {
+bool NadServer::ServeOpView(const MessageView& msg, FrameWriter* w,
+                            bool in_batch) {
   const auto serve_start = std::chrono::steady_clock::now();
+  // hot-path-begin(server-op)
   if (store_.IsCrashed(msg.reg)) {
     // Unresponsive failure mode: swallow the request. The client can
     // never distinguish this from a slow disk.
     dropped_crashed_->Inc();
-    return std::nullopt;
+    return false;
   }
-  Message resp;
-  resp.request_id = msg.request_id;
   if (msg.type == MsgType::kWriteReq) {
     // Write-ahead: a write is journaled before it is acknowledged, so a
     // restart never forgets an acknowledged write. Journal order and
-    // apply order agree per register (both under the stripe lock).
+    // apply order agree per register (both under the stripe lock). The
+    // value is a view into the receive buffer the whole way down —
+    // journaled from it, then assigned into the register's existing
+    // string capacity (the one write-path copy).
     const bool applied =
-        store_.ApplyOrdered(msg.reg, std::move(msg.value), [&](const Value& v) {
+        store_.ApplyOrderedView(msg.reg, msg.value, [&](std::string_view v) {
           // Stripe lock is held here; journal_mu_ nests inside it (the
           // documented stripe -> journal order, same as Checkpoint).
           MutexLock jlock(journal_mu_);
@@ -156,18 +160,35 @@ std::optional<Message> NadServer::ServeOp(Message msg) {
           }
           return true;
         });
-    if (!applied) return std::nullopt;  // unresponsive, like a failing disk
-    resp.type = MsgType::kWriteResp;
+    if (!applied) return false;  // unresponsive, like a failing disk
+    hotpath::CountCopy(msg.value.size());  // the store materialized it
+    if (in_batch) {
+      w->PutU32(
+          static_cast<std::uint32_t>(PayloadSize(MsgType::kWriteResp, 0)));
+    }
+    AppendPayload(*w, MsgType::kWriteResp, msg.request_id, msg.reg, {});
     writes_served_->Inc();
     write_serve_us_->ObserveSince(serve_start);
   } else {
-    resp.type = MsgType::kReadResp;
-    resp.value = store_.Get(msg.reg);  // linearization
+    // Copy the value out of the store into the response arena under the
+    // stripe lock (linearization) — the one read-path copy; the response
+    // frame references the arena bytes, never a fresh Value.
+    std::string_view value;
+    store_.View(msg.reg, [&](const Value& v) {
+      hotpath::CountCopy(v.size());
+      value = std::string_view(w->arena()->Copy(v.data(), v.size()), v.size());
+    });
+    if (in_batch) {
+      w->PutU32(static_cast<std::uint32_t>(
+          PayloadSize(MsgType::kReadResp, value.size())));
+    }
+    AppendPayload(*w, MsgType::kReadResp, msg.request_id, msg.reg, value);
     reads_served_->Inc();
     read_serve_us_->ObserveSince(serve_start);
   }
   served_.fetch_add(1, std::memory_order_relaxed);
-  return resp;
+  return true;
+  // hot-path-end
 }
 
 void NadServer::Serve(Socket conn, Rng rng) {
@@ -176,10 +197,29 @@ void NadServer::Serve(Socket conn, Rng rng) {
     if (stopping_) return;
     live_conns_.push_back(&conn);
   }
+  // Per-connection serve state (DESIGN.md §14): frames are read through
+  // `reader` (one recv can deliver many frames), decoded into views over
+  // its buffer, and answered as WireChunks — headers and read values in
+  // `arena`, gathered out with one sendmsg. Arena and chunk list reset
+  // per request frame.
+  FrameReader reader;
+  Arena arena;
+  std::vector<WireChunk> chunks;
+  std::vector<iovec> iov;
+  const auto send_chunks = [&conn, &chunks, &iov]() -> bool {
+    iov.clear();
+    iov.reserve(chunks.size());
+    for (const WireChunk& c : chunks) {
+      iov.push_back(iovec{const_cast<char*>(c.data), c.len});
+    }
+    return SendAllVec(conn, iov.data(), iov.size()).ok();
+  };
   for (;;) {
-    auto payload = RecvFrame(conn, kMaxFrameBytes);
+    arena.Reset();
+    chunks.clear();
+    auto payload = reader.Next(conn, kMaxFrameBytes);
     if (!payload) break;  // closed or malformed length
-    auto msg = DecodeMessage(*payload);
+    auto msg = DecodeMessageView(*payload, &arena);
     if (!msg) {
       LOG_WARN << "nad-server: dropping malformed request: "
                << msg.status().ToString();
@@ -239,25 +279,35 @@ void NadServer::Serve(Socket conn, Rng rng) {
       std::this_thread::sleep_for(
           std::chrono::microseconds(rng.Between(min_delay, max_delay)));
     }
+    // hot-path-begin(server-serve)
     if (msg->type == MsgType::kBatchReq) {
-      batch_size_->Observe(msg->subs.size());
-      Message resp;
-      resp.type = MsgType::kBatchResp;
-      resp.subs.reserve(msg->subs.size());
-      for (Message& sub : msg->subs) {
+      batch_size_->Observe(msg->num_subs);
+      FrameWriter w(&arena, &chunks);
+      w.BeginFrame();
+      w.PutU8(static_cast<std::uint8_t>(MsgType::kBatchResp));
+      w.PutU64(0);
+      // The survivor count is known only after serving (a crashed
+      // register omits its sub-response): reserve the slot, patch later.
+      char* count_slot = w.PutSlotU32();
+      std::uint32_t survivors = 0;
+      for (std::uint32_t i = 0; i < msg->num_subs; ++i) {
         // A crashed register omits its sub-response; the others answer.
-        if (auto sub_resp = ServeOp(std::move(sub))) {
-          resp.subs.push_back(std::move(*sub_resp));
-        }
+        if (ServeOpView(msg->subs[i], &w, /*in_batch=*/true)) ++survivors;
       }
+      w.EndFrame();
       // Every sub-operation crashed: stay silent, like the per-op path.
-      if (resp.subs.empty()) continue;
-      if (!SendFrame(conn, EncodeMessage(resp)).ok()) break;
+      if (survivors == 0) continue;
+      FrameWriter::Patch32(count_slot, survivors);
+      if (!send_chunks()) break;
       continue;
     }
-    auto resp = ServeOp(std::move(*msg));
-    if (!resp) continue;
-    if (!SendFrame(conn, EncodeMessage(*resp)).ok()) break;
+    FrameWriter w(&arena, &chunks);
+    w.BeginFrame();
+    const bool answered = ServeOpView(*msg, &w, /*in_batch=*/false);
+    w.EndFrame();
+    if (!answered) continue;
+    if (!send_chunks()) break;
+    // hot-path-end
   }
   MutexLock lock(mu_);
   std::erase(live_conns_, &conn);

@@ -28,12 +28,22 @@
 /// unresponsiveness inside a batch. Lock order (DESIGN.md §12): stripe
 /// locks before journal_mu_; mu_ (connection bookkeeping, stall state)
 /// nests with neither.
+///
+/// Memory discipline (DESIGN.md §14): the serve loop is zero-copy end to
+/// end. Frames are read through a FrameReader (one buffer per connection,
+/// many frames per recv), decoded into MessageViews over that buffer, and
+/// answered through a FrameWriter into a per-connection arena gathered out
+/// with one sendmsg — write values are journaled and applied straight from
+/// the receive buffer; a read's value is copied exactly once, out of the
+/// store into the response arena under the stripe lock. The arena and the
+/// chunk list reset per request frame. Because a batch's crashed registers
+/// omit their sub-responses, the survivor count is backpatched into the
+/// response frame after serving (PutSlotU32/Patch32).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <optional>
 #include <thread>
 #include <vector>
 
@@ -116,9 +126,11 @@ class NadServer : public faults::FaultSink {
 
   void AcceptLoop();
   void Serve(Socket conn, Rng rng);
-  /// Serves one read/write sub-operation against the sharded store.
-  /// nullopt = swallowed (crashed register or journal failure).
-  std::optional<Message> ServeOp(Message msg);
+  /// Serves one read/write sub-operation against the sharded store,
+  /// appending the response payload to `w` (prefixed with its u32
+  /// sub-length when `in_batch`). Returns false when the request is
+  /// swallowed (crashed register or journal failure) — nothing appended.
+  bool ServeOpView(const MessageView& msg, FrameWriter* w, bool in_batch);
 
   Options opts_;
   std::uint16_t port_ = 0;

@@ -7,8 +7,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+
+#include "common/hotpath_stats.h"
 
 namespace nadreg::nad {
 
@@ -184,6 +187,7 @@ Status SendFrame(const Socket& sock, std::string_view payload) {
 }
 
 void AppendFrame(std::string* wire, std::string_view payload) {
+  hotpath::CountCopy(payload.size());
   std::uint32_t len = static_cast<std::uint32_t>(payload.size());
   char hdr[4];
   std::memcpy(hdr, &len, 4);
@@ -217,6 +221,92 @@ Expected<std::string> RecvFrame(const Socket& sock, std::uint32_t max_bytes) {
   std::string payload(len, '\0');
   if (Status s = RecvExact(sock, payload.data(), len); !s.ok()) return s;
   return payload;
+}
+
+void RxBuffer::EnsureTail(std::size_t n) {
+  if (cap_ - tail_ >= n) return;
+  const std::size_t live = tail_ - head_;
+  if (head_ > 0 && cap_ - live >= n) {
+    // Compact in place: slide the unconsumed bytes to the front. Rare —
+    // Consume rewinds for free whenever the buffer fully drains.
+    hotpath::CountCopy(live);
+    std::memmove(buf_.get(), buf_.get() + head_, live);
+  } else {
+    std::size_t cap = cap_ == 0 ? 64 * 1024 : cap_ * 2;
+    while (cap - live < n) cap *= 2;
+    auto grown = std::make_unique<char[]>(cap);
+    if (live > 0) {
+      hotpath::CountCopy(live);
+      std::memcpy(grown.get(), buf_.get() + head_, live);
+    }
+    buf_ = std::move(grown);
+    cap_ = cap;
+  }
+  head_ = 0;
+  tail_ = live;
+}
+
+Expected<std::string_view> FrameReader::Next(const Socket& sock,
+                                             std::uint32_t max_bytes) {
+  buf_.Consume(consumed_next_);  // the frame returned last call
+  consumed_next_ = 0;
+  for (;;) {
+    if (buf_.Size() >= 4) {
+      std::uint32_t len = 0;
+      std::memcpy(&len, buf_.Head(), 4);
+      if (len > max_bytes) {
+        return Status::Invalid("frame exceeds maximum size");
+      }
+      if (buf_.Size() >= 4 + static_cast<std::size_t>(len)) {
+        consumed_next_ = 4 + static_cast<std::size_t>(len);
+        return std::string_view(buf_.Head() + 4, len);
+      }
+      // Everything up to the full frame must fit contiguously.
+      buf_.EnsureTail(4 + static_cast<std::size_t>(len) - buf_.Size());
+    } else {
+      buf_.EnsureTail(64 * 1024);
+    }
+    // Blocking fill: take whatever the socket has (≥ 1 byte).
+    std::size_t got = 0;
+    for (;;) {
+      const ssize_t r = ::recv(sock.fd(), buf_.Tail(), buf_.TailCapacity(), 0);
+      if (r > 0) {
+        got = static_cast<std::size_t>(r);
+        break;
+      }
+      if (r == 0) return Status::Unavailable("recv: connection closed");
+      if (errno == EINTR) continue;
+      return Status::Unavailable("recv: error");
+    }
+    buf_.Commit(got);
+  }
+}
+
+Status SendAllVec(const Socket& sock, iovec* iov, std::size_t iov_count) {
+  std::size_t first = 0;
+  while (first < iov_count) {
+    msghdr msg{};
+    msg.msg_iov = iov + first;
+    // IOV_MAX-safe: a huge batch response simply takes several sendmsg
+    // calls.
+    msg.msg_iovlen = std::min<std::size_t>(iov_count - first, 1024);
+    const ssize_t n = ::sendmsg(sock.fd(), &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("sendmsg: ") +
+                                 std::strerror(errno));
+    }
+    std::size_t sent = static_cast<std::size_t>(n);
+    while (first < iov_count && sent >= iov[first].iov_len) {
+      sent -= iov[first].iov_len;
+      ++first;
+    }
+    if (first < iov_count) {
+      iov[first].iov_base = static_cast<char*>(iov[first].iov_base) + sent;
+      iov[first].iov_len -= sent;
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace nadreg::nad

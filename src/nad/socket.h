@@ -6,7 +6,9 @@
 #include <sys/uio.h>
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "common/status.h"
@@ -106,5 +108,60 @@ void AppendFrame(std::string* wire, std::string_view payload);
 /// Receives one frame; kUnavailable on clean close or error, kInvalid if
 /// the advertised length exceeds `max_bytes`.
 Expected<std::string> RecvFrame(const Socket& sock, std::uint32_t max_bytes);
+
+/// Growable receive buffer for the zero-copy rx paths: recv(2) lands
+/// directly in Tail() (no intermediate stack buffer, no append copy) and
+/// parsed frames are consumed from the front by index — the bytes of a
+/// frame stay in place, so decoded views alias them safely until the
+/// next Fill/Compact. Steady state reuses one warm allocation.
+class RxBuffer {
+ public:
+  /// Unconsumed bytes.
+  const char* Head() const { return buf_.get() + head_; }
+  std::size_t Size() const { return tail_ - head_; }
+
+  /// Grows/compacts so TailCapacity() >= n. Compaction and growth move
+  /// the unconsumed bytes — only call between frame-dispatch cycles
+  /// (views into the buffer are invalidated).
+  void EnsureTail(std::size_t n);
+  /// Space to recv into (valid after EnsureTail).
+  char* Tail() { return buf_.get() + tail_; }
+  std::size_t TailCapacity() const { return cap_ - tail_; }
+  /// Marks n bytes of Tail() as received.
+  void Commit(std::size_t n) { tail_ += n; }
+
+  /// Drops n bytes from the front (frame consumed). O(1): only indices
+  /// move; the remaining bytes stay put.
+  void Consume(std::size_t n) {
+    head_ += n;
+    if (head_ == tail_) head_ = tail_ = 0;  // free rewind, no copy
+  }
+  void Clear() { head_ = tail_ = 0; }
+
+ private:
+  std::unique_ptr<char[]> buf_;
+  std::size_t cap_ = 0;
+  std::size_t head_ = 0;  // first unconsumed byte
+  std::size_t tail_ = 0;  // one past the last received byte
+};
+
+/// Buffered blocking frame reader for the server's per-connection serve
+/// loop: one recv(2) can deliver many frames (the old RecvFrame cost two
+/// recv syscalls per frame — header, then payload — and one string
+/// allocation per frame). The returned view aliases the internal buffer
+/// and is valid until the NEXT call. kUnavailable on close/error,
+/// kInvalid on an oversized length prefix.
+class FrameReader {
+ public:
+  Expected<std::string_view> Next(const Socket& sock, std::uint32_t max_bytes);
+
+ private:
+  RxBuffer buf_;
+  std::size_t consumed_next_ = 0;  // previous frame, dropped on next call
+};
+
+/// Blocking gather-send of the whole iovec array; kUnavailable on peer
+/// close or error. `iov` is MUTATED to track partial-send progress.
+Status SendAllVec(const Socket& sock, iovec* iov, std::size_t iov_count);
 
 }  // namespace nadreg::nad

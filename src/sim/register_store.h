@@ -37,6 +37,13 @@ class RegisterStore {
   /// Applies a write (the register's linearization point).
   void Apply(const RegisterId& r, Value v) { values_[r] = std::move(v); }
 
+  /// Applies a write from borrowed bytes, reusing the register's existing
+  /// string capacity — the steady-state write path (same-size rewrites)
+  /// performs no allocation, unlike Apply's fresh-Value handoff.
+  void Assign(const RegisterId& r, std::string_view v) {
+    values_[r].assign(v.data(), v.size());
+  }
+
   /// Crashes one register: it stops responding to all operations
   /// (the paper's single-register crash; makes its disk "faulty").
   void CrashRegister(const RegisterId& r) { crashed_registers_.insert(r); }
@@ -138,6 +145,17 @@ class ShardedRegisterStore {
     return s.store.Get(r);
   }
 
+  /// Runs `f(const Value&)` under the register's stripe lock — the
+  /// zero-allocation read path: the caller copies the bytes wherever it
+  /// needs them (e.g. a response arena) instead of receiving a fresh
+  /// Value. `f` must not call back into the store (stripe lock held).
+  template <typename F>
+  void View(const RegisterId& r, F&& f) const {
+    const Stripe& s = StripeFor(r);
+    MutexLock lock(s.mu);
+    f(s.store.Get(r));
+  }
+
   /// Applies a write (the register's linearization point).
   void Apply(const RegisterId& r, Value v) {
     Stripe& s = StripeFor(r);
@@ -155,6 +173,21 @@ class ShardedRegisterStore {
     MutexLock lock(s.mu);
     if (!write_ahead(static_cast<const Value&>(v))) return false;
     s.store.Apply(r, std::move(v));
+    return true;
+  }
+
+  /// ApplyOrdered from borrowed bytes (the zero-copy decode path): same
+  /// ordering contract, but the value arrives as a view into the
+  /// caller's receive buffer and is applied via RegisterStore::Assign,
+  /// reusing the register's string capacity. `write_ahead` receives the
+  /// same view.
+  template <typename Fn>
+  bool ApplyOrderedView(const RegisterId& r, std::string_view v,
+                        Fn&& write_ahead) {
+    Stripe& s = StripeFor(r);
+    MutexLock lock(s.mu);
+    if (!write_ahead(v)) return false;
+    s.store.Assign(r, v);
     return true;
   }
 

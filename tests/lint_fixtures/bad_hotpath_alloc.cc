@@ -1,0 +1,52 @@
+// lint-path: src/nad/bad_hotpath_alloc.cc
+// Known-bad fixture: heap-allocating constructions and materializing
+// codec calls inside a marked hot-path section. The zero-copy pipeline
+// (arena-backed FrameWriter/MessageView, DESIGN.md §14) exists so the
+// steady state allocates nothing; each line below is the regression the
+// hot-alloc rule must catch. Never compiled; the linter self-test
+// asserts every lint-expect line is flagged and nothing else is.
+#include <string>
+#include <vector>
+
+#include "nad/protocol.h"
+
+namespace nadreg::nad {
+
+inline void BadHotLoop(const Message& msg, std::string_view payload) {
+  // hot-path-begin(fixture-hot)
+  std::string copy(payload);                   // lint-expect(hot-alloc)
+  std::vector<char> staging(payload.size());   // lint-expect(hot-alloc)
+  auto id_text = std::to_string(msg.request_id);  // lint-expect(hot-alloc)
+  char* scratch = new char[16];                // lint-expect(hot-alloc)
+  auto frame = EncodeMessage(msg);             // lint-expect(hot-alloc)
+  auto parsed = DecodeMessage(payload);        // lint-expect(hot-alloc)
+  auto tmp = Value(payload);                   // lint-expect(hot-alloc)
+
+  // The one deliberate, documented copy is escapable:
+  auto owned = Value(payload);  // lint-allow(hot-alloc): handler owns it
+
+  // Views and the zero-copy decode are fine — std::string_view is not
+  // std::string, and DecodeMessageView does not materialize:
+  std::string_view view = payload;
+  (void)view;
+  (void)copy;
+  (void)staging;
+  (void)id_text;
+  (void)scratch;
+  (void)frame;
+  (void)parsed;
+  (void)tmp;
+  (void)owned;
+  // hot-path-end
+
+  // Outside any section the rule does not apply:
+  std::string cold(payload);
+  (void)cold;
+}
+
+// A section left open is itself a finding (reported at the begin line):
+inline void BadUnclosed() {
+  // hot-path-begin(fixture-unclosed)  lint-expect(hot-alloc)
+}
+
+}  // namespace nadreg::nad

@@ -1,10 +1,16 @@
-// Unit tests for the NAD wire protocol: roundtrips of all four message
-// types, rejection of malformed payloads, fuzz totality.
+// Unit tests for the NAD wire protocol: roundtrips of all message
+// types, rejection of malformed payloads, fuzz totality — and the
+// zero-copy surface (FrameWriter / DecodeMessageView) checked
+// byte-for-byte against the materializing EncodeMessage/DecodeMessage
+// golden pair.
 #include "nad/protocol.h"
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/rng.h"
+#include "nad/socket.h"
 
 namespace nadreg::nad {
 namespace {
@@ -250,6 +256,358 @@ TEST(Protocol, FuzzDecodeIsTotal) {
     if (m.ok()) {
       EXPECT_EQ(EncodeMessage(*m), garbage);
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy surface: FrameWriter / DecodeMessageView vs the golden pair.
+// ---------------------------------------------------------------------------
+
+std::string Flatten(const std::vector<WireChunk>& chunks) {
+  std::string out;
+  for (const WireChunk& c : chunks) out.append(c.data, c.len);
+  return out;
+}
+
+// [u32 little-endian length][payload] — what a framed message looks like
+// on the wire (matches AppendFrame / the writer's length prefix).
+std::string FramePrefix(std::string_view payload) {
+  std::string f;
+  for (int i = 0; i < 4; ++i) {
+    f.push_back(static_cast<char>((payload.size() >> (8 * i)) & 0xff));
+  }
+  f.append(payload);
+  return f;
+}
+
+void ExpectViewEquals(const MessageView& v, const Message& m) {
+  EXPECT_EQ(v.type, m.type);
+  EXPECT_EQ(v.request_id, m.request_id);
+  EXPECT_EQ(v.reg, m.reg);
+  EXPECT_EQ(v.value, std::string_view(m.value));
+  ASSERT_EQ(v.num_subs, m.subs.size());
+  for (std::uint32_t i = 0; i < v.num_subs; ++i) {
+    ExpectViewEquals(v.subs[i], m.subs[i]);
+  }
+}
+
+TEST(FrameWriter, MatchesEncodeMessageForEveryNonBatchType) {
+  std::vector<Message> cases;
+  cases.push_back(MakeRead(42, 3, 0x123456789abcULL));
+  cases.push_back(MakeWrite(7, 0, 9, std::string("binary\0data", 11)));
+  Message rr;
+  rr.type = MsgType::kReadResp;
+  rr.request_id = 99;
+  rr.value = "the block contents";
+  cases.push_back(rr);
+  Message wr;
+  wr.type = MsgType::kWriteResp;
+  wr.request_id = 1;
+  cases.push_back(wr);
+  Message sq;
+  sq.type = MsgType::kStatsReq;
+  sq.request_id = 5;
+  cases.push_back(sq);
+  Message sr;
+  sr.type = MsgType::kStatsResp;
+  sr.request_id = 5;
+  sr.value = "metrics dump";
+  cases.push_back(sr);
+
+  Arena arena;
+  for (const Message& m : cases) {
+    arena.Reset();
+    std::vector<WireChunk> chunks;
+    FrameWriter w(&arena, &chunks);
+    w.BeginFrame();
+    AppendPayload(w, m.type, m.request_id, m.reg, m.value);
+    const std::size_t payload_len = w.EndFrame();
+    const std::string golden = EncodeMessage(m);
+    EXPECT_EQ(payload_len, golden.size());
+    EXPECT_EQ(payload_len, EncodedMessageSize(m));
+    EXPECT_EQ(payload_len, PayloadSize(m.type, m.value.size()));
+    EXPECT_EQ(Flatten(chunks), FramePrefix(golden))
+        << "type " << static_cast<int>(m.type);
+  }
+}
+
+TEST(FrameWriter, BatchCompositionMatchesEncodeMessage) {
+  Message batch;
+  batch.type = MsgType::kBatchReq;
+  batch.subs.push_back(MakeRead(1, 0, 7));
+  batch.subs.push_back(MakeWrite(2, 3, 9, std::string("mixed\0payload", 13)));
+  batch.subs.push_back(MakeRead(3, 2, 0));
+
+  // Compose the batch the way the client's FlushRun does: batch header,
+  // then per sub a u32 payload-size prefix + the sub's payload.
+  Arena arena;
+  std::vector<WireChunk> chunks;
+  FrameWriter w(&arena, &chunks);
+  w.BeginFrame();
+  w.PutU8(static_cast<std::uint8_t>(MsgType::kBatchReq));
+  w.PutU64(0);
+  w.PutU32(static_cast<std::uint32_t>(batch.subs.size()));
+  for (const Message& sub : batch.subs) {
+    w.PutU32(
+        static_cast<std::uint32_t>(PayloadSize(sub.type, sub.value.size())));
+    AppendPayload(w, sub.type, sub.request_id, sub.reg, sub.value);
+  }
+  w.EndFrame();
+  EXPECT_EQ(Flatten(chunks), FramePrefix(EncodeMessage(batch)));
+}
+
+TEST(FrameWriter, PutSlotU32BackpatchMatchesEagerCount) {
+  // The server does not know a batch's surviving-sub count until it has
+  // served every sub: the count is a reserved slot patched afterwards.
+  Message batch;
+  batch.type = MsgType::kBatchResp;
+  Message r;
+  r.type = MsgType::kReadResp;
+  r.request_id = 11;
+  r.value = "block contents";
+  batch.subs = {r};
+
+  Arena arena;
+  std::vector<WireChunk> chunks;
+  FrameWriter w(&arena, &chunks);
+  w.BeginFrame();
+  w.PutU8(static_cast<std::uint8_t>(MsgType::kBatchResp));
+  w.PutU64(0);
+  char* slot = w.PutSlotU32();
+  std::uint32_t served = 0;
+  for (const Message& sub : batch.subs) {
+    w.PutU32(
+        static_cast<std::uint32_t>(PayloadSize(sub.type, sub.value.size())));
+    AppendPayload(w, sub.type, sub.request_id, sub.reg, sub.value);
+    ++served;
+  }
+  w.EndFrame();
+  FrameWriter::Patch32(slot, served);
+  EXPECT_EQ(Flatten(chunks), FramePrefix(EncodeMessage(batch)));
+}
+
+TEST(FrameWriter, PutBytesRefIsZeroCopy) {
+  const std::string value(1024, 'v');
+  Arena arena;
+  std::vector<WireChunk> chunks;
+  FrameWriter w(&arena, &chunks);
+  w.BeginFrame();
+  AppendPayload(w, MsgType::kWriteReq, 1, RegisterId{0, 0}, value);
+  w.EndFrame();
+  // Exactly one chunk must point INTO the caller's value storage.
+  bool referenced = false;
+  for (const WireChunk& c : chunks) {
+    if (c.data == value.data()) {
+      EXPECT_EQ(c.len, value.size());
+      referenced = true;
+    }
+  }
+  EXPECT_TRUE(referenced) << "value bytes were copied, not referenced";
+}
+
+TEST(FrameWriter, ArenaResetRebuildIsByteIdentical) {
+  // The steady-state cycle: frame, send, Reset, frame again. The second
+  // cycle must produce identical bytes from the same (reused) memory.
+  const Message m = MakeWrite(9, 1, 2, "steady-state payload");
+  Arena arena;
+  std::string first, second;
+  for (std::string* out : {&first, &second}) {
+    arena.Reset();
+    std::vector<WireChunk> chunks;
+    FrameWriter w(&arena, &chunks);
+    w.BeginFrame();
+    AppendPayload(w, m.type, m.request_id, m.reg, m.value);
+    w.EndFrame();
+    *out = Flatten(chunks);
+  }
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, FramePrefix(EncodeMessage(m)));
+}
+
+TEST(ProtocolView, EmptyValueRoundtrips) {
+  Message m = MakeWrite(1, 0, 0, "");
+  const std::string payload = EncodeMessage(m);
+  Arena arena;
+  auto view = DecodeMessageView(payload, &arena);
+  ASSERT_TRUE(view.ok());
+  ExpectViewEquals(*view, m);
+  EXPECT_TRUE(view->value.empty());
+}
+
+TEST(ProtocolView, MaxSizeValueRoundtrips) {
+  // The largest framable write: payload is exactly kMaxFrameBytes.
+  Message m =
+      MakeWrite(1, 0, 0, std::string(kMaxFrameBytes - kWriteReqOverhead, 'x'));
+  const std::string payload = EncodeMessage(m);
+  ASSERT_EQ(payload.size(), kMaxFrameBytes);
+  Arena arena;
+  auto view = DecodeMessageView(payload, &arena);
+  ASSERT_TRUE(view.ok());
+  ExpectViewEquals(*view, m);
+  // Zero-copy: the view aliases the payload buffer, no materialization.
+  EXPECT_EQ(view->value.data(), payload.data() + kWriteReqOverhead);
+}
+
+TEST(ProtocolView, BatchSplitAtFrameCapBoundary) {
+  // Two writes sized so the batch payload is EXACTLY kMaxFrameBytes:
+  // frameable (checked encode accepts, view decode roundtrips); one more
+  // byte of value and the frame can no longer be sent.
+  constexpr std::size_t kBatchHeader = 1 + 8 + 4;
+  constexpr std::size_t kPerSub = kBatchSubOverhead + kWriteReqOverhead;
+  const std::size_t budget = kMaxFrameBytes - kBatchHeader - 2 * kPerSub;
+  Message batch;
+  batch.type = MsgType::kBatchReq;
+  batch.subs.push_back(MakeWrite(1, 0, 0, std::string(budget / 2, 'a')));
+  batch.subs.push_back(
+      MakeWrite(2, 0, 1, std::string(budget - budget / 2, 'b')));
+  auto encoded = EncodeMessageChecked(batch);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  ASSERT_EQ(encoded->size(), kMaxFrameBytes);
+  Arena arena;
+  auto view = DecodeMessageView(*encoded, &arena);
+  ASSERT_TRUE(view.ok());
+  ExpectViewEquals(*view, batch);
+  // One byte over the cap is rejected on the encode path.
+  batch.subs[1].value.push_back('b');
+  EXPECT_FALSE(EncodeMessageChecked(batch).ok());
+}
+
+TEST(ProtocolView, DecodeFromPartialReadBuffer) {
+  // The client's actual receive path: recv lands 1.5 frames in an
+  // RxBuffer; the first frame is decodable NOW (views aliasing the
+  // buffer), the second only after the rest arrives — and compaction
+  // between cycles must not corrupt it.
+  const Message m1 = MakeWrite(1, 0, 7, "first frame value");
+  const Message m2 = MakeRead(2, 3, 9);
+  const std::string f1 = FramePrefix(EncodeMessage(m1));
+  const std::string f2 = FramePrefix(EncodeMessage(m2));
+
+  RxBuffer rx;
+  const std::size_t half = f2.size() / 2;
+  rx.EnsureTail(f1.size() + half);
+  std::memcpy(rx.Tail(), f1.data(), f1.size());
+  std::memcpy(rx.Tail() + f1.size(), f2.data(), half);
+  rx.Commit(f1.size() + half);
+
+  // Frame 1 is complete: parse its length, decode the payload in place.
+  ASSERT_GE(rx.Size(), 4u);
+  std::uint32_t len = 0;
+  std::memcpy(&len, rx.Head(), 4);
+  ASSERT_EQ(len, f1.size() - 4);
+  ASSERT_GE(rx.Size(), 4 + len);
+  Arena arena;
+  auto v1 = DecodeMessageView(std::string_view(rx.Head() + 4, len), &arena);
+  ASSERT_TRUE(v1.ok());
+  ExpectViewEquals(*v1, m1);
+  // The value view aliases the receive buffer — zero-copy.
+  EXPECT_GE(v1->value.data(), rx.Head());
+  EXPECT_LT(v1->value.data(), rx.Head() + rx.Size());
+  arena.Reset();
+  rx.Consume(4 + len);
+
+  // Frame 2 is incomplete: only half its bytes are in.
+  std::memcpy(&len, rx.Head(), 4);
+  EXPECT_LT(rx.Size(), 4 + len);
+
+  // Grow/compact (moves the partial bytes), then the rest arrives.
+  rx.EnsureTail(f2.size());
+  std::memcpy(rx.Tail(), f2.data() + half, f2.size() - half);
+  rx.Commit(f2.size() - half);
+  std::memcpy(&len, rx.Head(), 4);
+  ASSERT_EQ(rx.Size(), 4 + len);
+  auto v2 = DecodeMessageView(std::string_view(rx.Head() + 4, len), &arena);
+  ASSERT_TRUE(v2.ok());
+  ExpectViewEquals(*v2, m2);
+}
+
+TEST(ProtocolView, RejectsWhatDecodeMessageRejects) {
+  Arena arena;
+  // Nested batch.
+  Message inner;
+  inner.type = MsgType::kBatchReq;
+  inner.subs.push_back(MakeRead(1, 0, 0));
+  Message outer;
+  outer.type = MsgType::kBatchReq;
+  outer.subs.push_back(inner);
+  EXPECT_FALSE(DecodeMessageView(EncodeMessage(outer), &arena).ok());
+  // Hostile count: must fail cleanly before allocating the sub array.
+  Message batch;
+  batch.type = MsgType::kBatchReq;
+  batch.subs.push_back(MakeRead(1, 0, 0));
+  std::string payload = EncodeMessage(batch);
+  payload[9] = '\xff';
+  payload[10] = '\xff';
+  payload[11] = '\xff';
+  payload[12] = '\xff';
+  EXPECT_FALSE(DecodeMessageView(payload, &arena).ok());
+  // Trailing bytes.
+  std::string trailing = EncodeMessage(Message{});
+  trailing += "x";
+  EXPECT_FALSE(DecodeMessageView(trailing, &arena).ok());
+  // Truncation at every cut.
+  std::string whole = EncodeMessage(MakeWrite(7, 1, 2, "value"));
+  for (std::size_t cut = 0; cut < whole.size(); ++cut) {
+    EXPECT_FALSE(DecodeMessageView(whole.substr(0, cut), &arena).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(ProtocolView, FuzzParityWithDecodeMessage) {
+  // The two decoders must agree on EVERY input: same accept/reject
+  // decision, same decoded fields. Anything else is a protocol fork.
+  Rng rng(31337);
+  Arena arena;
+  for (int i = 0; i < 4000; ++i) {
+    std::string payload;
+    if (rng.Below(2) == 0) {
+      // Pure garbage.
+      const std::size_t len = rng.Below(60);
+      for (std::size_t j = 0; j < len; ++j) {
+        payload.push_back(static_cast<char>(rng.Below(256)));
+      }
+    } else {
+      // A valid message with a few byte flips — explores the deep
+      // rejection branches garbage rarely reaches.
+      Message batch;
+      batch.type = MsgType::kBatchReq;
+      const std::size_t n = rng.Below(3);
+      for (std::size_t j = 0; j < n; ++j) {
+        batch.subs.push_back(rng.Below(2) == 0 ? MakeRead(j, 0, j)
+                                               : MakeWrite(j, 1, j, "xy"));
+      }
+      payload = EncodeMessage(batch);
+      const std::size_t flips = rng.Below(3);
+      for (std::size_t f = 0; f < flips && !payload.empty(); ++f) {
+        payload[rng.Below(payload.size())] =
+            static_cast<char>(rng.Below(256));
+      }
+    }
+    arena.Reset();
+    auto owned = DecodeMessage(payload);
+    auto view = DecodeMessageView(payload, &arena);
+    ASSERT_EQ(owned.ok(), view.ok()) << "decoders disagree at iter " << i;
+    if (owned.ok()) ExpectViewEquals(*view, *owned);
+  }
+}
+
+TEST(Protocol, EncodedMessageSizeMatchesEncodeMessage) {
+  std::vector<Message> cases;
+  cases.push_back(MakeRead(1, 0, 2));
+  cases.push_back(MakeWrite(2, 1, 3, "value bytes"));
+  Message stats;
+  stats.type = MsgType::kStatsResp;
+  stats.request_id = 9;
+  stats.value = "text";
+  cases.push_back(stats);
+  Message batch;
+  batch.type = MsgType::kBatchReq;
+  batch.subs.push_back(MakeRead(1, 0, 0));
+  batch.subs.push_back(MakeWrite(2, 0, 1, "vv"));
+  cases.push_back(batch);
+  cases.push_back(Message{});
+  for (const Message& m : cases) {
+    EXPECT_EQ(EncodedMessageSize(m), EncodeMessage(m).size())
+        << "type " << static_cast<int>(m.type);
   }
 }
 
