@@ -22,6 +22,7 @@
 ///    requires trivially destructible element types.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstring>
@@ -38,6 +39,13 @@ namespace nadreg {
 class Arena {
  public:
   static constexpr std::size_t kDefaultSlabBytes = 64 * 1024;
+  /// Reset() releases dedicated one-off slabs larger than this (or than
+  /// the configured slab size, whichever is bigger) instead of retaining
+  /// them: a single outlier allocation — e.g. the sub-view array of a
+  /// hostile maximum-count batch frame — must not inflate the arena's
+  /// footprint forever. Smaller oversized slabs stay retained, so a
+  /// workload of legitimately large values keeps its warm memory.
+  static constexpr std::size_t kMaxRetainedSlabBytes = 1024 * 1024;
 
   explicit Arena(std::size_t slab_bytes = kDefaultSlabBytes)
       : slab_bytes_(slab_bytes == 0 ? kDefaultSlabBytes : slab_bytes) {}
@@ -95,10 +103,14 @@ class Arena {
     return p;
   }
 
-  /// Rewinds to empty, RETAINING every slab (the whole point: the next
-  /// cycle allocates from warm memory). Invalidates everything Alloc'd.
+  /// Rewinds to empty, RETAINING every steady-state slab (the whole
+  /// point: the next cycle allocates from warm memory) but releasing
+  /// one-off slabs beyond kMaxRetainedSlabBytes (see its comment).
+  /// Invalidates everything Alloc'd.
   void Reset() {
     AssertOwner();
+    const std::size_t cap = std::max(slab_bytes_, kMaxRetainedSlabBytes);
+    std::erase_if(slabs_, [cap](const Slab& s) { return s.size > cap; });
     slab_ = 0;
     offset_ = 0;
     if (bytes_used_ > high_water_) high_water_ = bytes_used_;

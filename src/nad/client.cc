@@ -41,6 +41,13 @@ constexpr std::size_t kMaxIov = 256;
 /// Batch frame prologue: type + request id + count.
 constexpr std::size_t kBatchHeaderBytes = 1 + 8 + 4;
 
+/// Sent-chunk count past which a backpressured wire queue is compacted
+/// (CompactWire): under sustained partial sends to a slow peer the sent
+/// prefix, its arena headers, and any parked zombie values would
+/// otherwise be reclaimed only when the queue fully drains — which may
+/// be never while admissions keep coming.
+constexpr std::size_t kCompactWireChunks = 64;
+
 /// One in-flight operation. Lives in the connection's PendingTable, whose
 /// slots never move — the zero-copy wire path references `value` IN PLACE
 /// from the gather queue, which is sound only because of that stability
@@ -112,8 +119,14 @@ struct NadClient::Conn final : EventLoop::IoWatcher {
   PendingTable<PendingOp> pending;
   /// Write values whose ops completed or expired while the wire still
   /// holds unsent bytes that may reference them; freed when the wire
-  /// drains or the link breaks. Empty in steady state.
+  /// drains, is compacted, or the link breaks. Empty in steady state.
+  /// Only heap-backed values (larger than kSmallValueCopyBytes) are ever
+  /// parked: the wire never references smaller ones (PutBytesRef copies
+  /// them into the arena), and moving a heap-backed string here keeps
+  /// the buffer the chunk points at alive and at the same address.
   std::vector<Value> zombies;
+  /// CompactWire's bounce buffer (capacity reused across compactions).
+  std::string compact_scratch;
   /// FrameStaged's run scratch (capacity reused across admission passes).
   std::vector<std::pair<std::uint64_t, PendingOp*>> run_scratch;
   std::size_t run_bytes = kBatchHeaderBytes;
@@ -563,8 +576,12 @@ void NadClient::FlushWire(Conn* conn) {
       return;
     }
     if (sent == 0) {
-      // Kernel buffer full: resume on the next EPOLLOUT edge.
+      // Kernel buffer full: resume on the next EPOLLOUT edge. If a lot
+      // of sent state piled up (slow peer, repeated short sends while
+      // admissions keep queueing), reclaim it now rather than waiting
+      // for a full drain that may never come.
       conn->want_write = true;
+      if (conn->wire_head >= kCompactWireChunks) CompactWireQueue(conn);
       return;
     }
     while (sent > 0) {
@@ -586,6 +603,17 @@ void NadClient::FlushWire(Conn* conn) {
   conn->DropWire();
   conn->want_write = false;
   // hot-path-end
+}
+
+void NadClient::CompactWireQueue(Conn* conn) {
+  // Rewrites the queue as one arena-backed chunk of the unsent bytes:
+  // the sent chunk prefix, its header arena bytes, and the zombie list
+  // all reclaim without waiting for a full drain — and afterwards no
+  // chunk references pending-table values, so the zombies (kept alive
+  // only for the wire's sake) can go too.
+  CompactWire(&conn->wire, &conn->wire_head, &conn->wire_off,
+              &conn->tx_arena, &conn->compact_scratch);
+  conn->zombies.clear();
 }
 
 void NadClient::OnIoReady(Conn* conn, std::uint32_t events) {
@@ -709,11 +737,14 @@ void NadClient::DispatchResponse(Conn* conn, const MessageView& msg) {
   PendingOp op;
   conn->pending.Take(msg.request_id, &op);
   if (op.req_type == MsgType::kWriteReq &&
+      op.value.size() > kSmallValueCopyBytes &&
       conn->wire_head < conn->wire.size()) {
     // A response for a write whose bytes are still queued can only come
     // from a confused or hostile server (an honest response proves the
     // frame was fully sent) — but the wire must never dangle: park the
-    // value until the queue drains.
+    // value until the queue drains. Only heap-backed values need this
+    // (the wire never references smaller, possibly-SSO ones — see
+    // kSmallValueCopyBytes); the move preserves their buffer address.
     conn->zombies.push_back(std::move(op.value));
   }
   AddInFlight(-1);
@@ -907,8 +938,12 @@ void NadClient::Sweep(Conn* conn) {
   std::vector<StatsHandler> timed_out_stats;
   auto next = Clock::time_point::max();
   // An expired write's bytes may still sit unsent in the wire queue
-  // (zero-copy: the chunks reference the entry's value). Parking the
-  // value on the zombie list keeps the queue sound until it drains.
+  // (zero-copy: the chunks reference the entry's value — heap-backed
+  // values only; smaller, possibly-SSO ones were copied into the arena
+  // at framing, see kSmallValueCopyBytes). Parking the value on the
+  // zombie list keeps the queue sound until it drains: the move
+  // preserves a heap buffer's address, so the chunk stays valid even
+  // though the table slot is recycled.
   const bool wire_busy = conn->wire_head < conn->wire.size();
   conn->pending.EraseIf([&](std::uint64_t, PendingOp& p) {
     if (p.expires > now) {
@@ -921,7 +956,9 @@ void NadClient::Sweep(Conn* conn) {
         break;
       case MsgType::kWriteReq:
         dead_writes.push_back(std::move(p.on_write));
-        if (wire_busy) conn->zombies.push_back(std::move(p.value));
+        if (wire_busy && p.value.size() > kSmallValueCopyBytes) {
+          conn->zombies.push_back(std::move(p.value));
+        }
         break;
       case MsgType::kStatsReq:
       case MsgType::kReadResp:

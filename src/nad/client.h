@@ -70,13 +70,18 @@
 /// a per-connection tx arena, write values referenced IN PLACE from
 /// their pending-table entries — and gather-written straight to writev,
 /// so a batched write's value bytes are copied exactly zero times
-/// between Submit and the kernel. Responses are decoded as views
-/// (DecodeMessageView over the rx buffer + a per-frame rx arena); the
-/// only hot-path copy left is materializing a read's Value for its
-/// handler. The tx arena resets when the wire drains; the rx arena
-/// resets after each frame dispatch. Write values whose ops expire while
-/// their bytes are still queued move to a per-connection zombie list
-/// that dies when the wire drains — the gather queue never dangles.
+/// between Submit and the kernel (values small enough to be SSO are the
+/// exception: they are copied into the arena so no chunk ever aliases a
+/// string's inline buffer — see kSmallValueCopyBytes). Responses are
+/// decoded as views (DecodeMessageView over the rx buffer + a per-frame
+/// rx arena); the only hot-path copy left is materializing a read's
+/// Value for its handler. The tx arena resets when the wire drains; the
+/// rx arena resets after each frame dispatch. Heap-backed write values
+/// whose ops expire while their bytes are still queued move to a
+/// per-connection zombie list that dies when the wire drains — the
+/// gather queue never dangles. Under sustained send backpressure the
+/// queue is periodically compacted (CompactWire): the sent prefix,
+/// its arena headers, and the zombies reclaim without a full drain.
 ///
 /// Observability: per-RPC latency ("nad.client.read_us"/"write_us"),
 /// outstanding depth ("nad.client.in_flight"), coalescing depth
@@ -247,6 +252,11 @@ class NadClient : public BaseRegisterClient {
   void FrameStaged(Conn* conn);
   void FlushRun(Conn* conn);
   void FlushWire(Conn* conn);
+  /// Backpressure escape hatch: rewrites a partially-sent wire queue as
+  /// one arena-backed chunk (protocol.h's CompactWire) so the sent chunk
+  /// prefix, its arena headers, and the zombie values reclaim without
+  /// waiting for a full drain.
+  void CompactWireQueue(Conn* conn);
   void OnLinkBroken(Conn* conn);
   /// Fatal-handler body for a loop that died of an epoll failure: marks
   /// its connections dead-for-good (suspected forever) and resolves

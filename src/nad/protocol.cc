@@ -134,8 +134,15 @@ void FrameWriter::PutU64(std::uint64_t v) {
 }
 
 void FrameWriter::PutBytesRef(std::string_view v) {
+  // Small values are copied: a source string this size may be SSO and a
+  // chunk into its inline buffer would dangle the moment the caller
+  // moves it (see kSmallValueCopyBytes) — and the copy is cheaper than
+  // a dedicated iovec entry anyway.
+  if (v.size() <= kSmallValueCopyBytes) {
+    PutBytesCopy(v);
+    return;
+  }
   PutU32(static_cast<std::uint32_t>(v.size()));
-  if (v.empty()) return;
   CloseOpenChunk();
   out_->push_back(WireChunk{v.data(), v.size()});
   payload_bytes_ += v.size();
@@ -154,6 +161,27 @@ void FrameWriter::Patch32(char* slot, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {
     slot[i] = static_cast<char>((v >> (8 * i)) & 0xff);
   }
+}
+
+void CompactWire(std::vector<WireChunk>* wire, std::size_t* head,
+                 std::size_t* off, Arena* arena, std::string* scratch) {
+  assert(*head < wire->size() || *off == 0);
+  // Bounce every unsent byte through `scratch`: the arena cannot be
+  // Reset while copying directly out of its own slabs.
+  scratch->clear();
+  for (std::size_t i = *head; i < wire->size(); ++i) {
+    const WireChunk& c = (*wire)[i];
+    const std::size_t skip = i == *head ? *off : 0;
+    scratch->append(c.data + skip, c.len - skip);
+  }
+  wire->clear();
+  *head = 0;
+  *off = 0;
+  arena->Reset();
+  if (scratch->empty()) return;
+  hotpath::CountCopy(scratch->size());
+  char* base = arena->Copy(scratch->data(), scratch->size());
+  wire->push_back(WireChunk{base, scratch->size()});
 }
 
 std::size_t PayloadSize(MsgType t, std::size_t value_size) {
@@ -262,9 +290,14 @@ Expected<MessageView> DecodeViewImpl(std::string_view payload, Arena* arena,
       if (!allow_batch) return Status::Invalid("batch: nested batch");
       auto count = d.GetU32();
       if (!count) return count.status();
-      // Each sub-operation costs at least its length prefix; a hostile
-      // count cannot make us allocate beyond what the payload can hold.
-      if (*count > d.Remaining() / kBatchSubOverhead) {
+      // Each sub-operation costs its length prefix plus the smallest
+      // legal payload for this direction; a hostile count cannot make us
+      // allocate far beyond what the payload could ever hold.
+      const std::size_t min_sub =
+          kBatchSubOverhead + (m.type == MsgType::kBatchReq
+                                   ? kMinBatchSubRequestBytes
+                                   : kMinBatchSubResponseBytes);
+      if (*count > d.Remaining() / min_sub) {
         return Status::Invalid("batch: count exceeds payload");
       }
       MessageView* subs = arena->AllocArray<MessageView>(*count);
@@ -349,9 +382,13 @@ Expected<Message> DecodeMessage(std::string_view payload) {
     case MsgType::kBatchResp: {
       auto count = d.GetU32();
       if (!count) return count.status();
-      // Each sub-operation costs at least its length prefix; a hostile
-      // count cannot make us reserve beyond what the payload can hold.
-      if (*count > d.Remaining() / kBatchSubOverhead) {
+      // Same pre-reservation bound as the view decoder: length prefix
+      // plus the smallest legal sub payload for this direction.
+      const std::size_t min_sub =
+          kBatchSubOverhead + (m.type == MsgType::kBatchReq
+                                   ? kMinBatchSubRequestBytes
+                                   : kMinBatchSubResponseBytes);
+      if (*count > d.Remaining() / min_sub) {
         return Status::Invalid("batch: count exceeds payload");
       }
       m.subs.reserve(*count);

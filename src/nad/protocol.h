@@ -122,19 +122,37 @@ struct WireChunk {
   std::size_t len = 0;
 };
 
+/// Values at or below this size are COPIED into the arena by PutBytesRef
+/// instead of referenced. Two reasons, one of them load-bearing:
+///  * Correctness: a std::string this small may store its bytes inline
+///    (SSO; libstdc++ caps at 15, libc++ at 22, MSVC at 15). An inline
+///    buffer lives inside the string object, so moving the string — as
+///    the client does when it parks a completed-but-unsent write value on
+///    its zombie list — mutates or relocates the referenced bytes and the
+///    queued chunk transmits garbage. Above this threshold every
+///    mainstream implementation heap-allocates, and moving the string
+///    preserves the buffer address.
+///  * Efficiency: a dedicated iovec entry costs more than memcpy'ing a
+///    handful of bytes into the open header run.
+inline constexpr std::size_t kSmallValueCopyBytes = 22;
+
 /// Builds [u32 length][payload] frames directly as WireChunks, replacing
 /// the EncodeMessage-into-a-string + frame-copy pipeline on the hot path.
 ///
 /// Header bytes (type, ids, lengths) are bump-allocated from the arena
 /// and merged into as few chunks as possible; PutBytesRef emits the
-/// caller's value bytes as their own chunk WITHOUT copying. The frame
+/// caller's value bytes as their own chunk WITHOUT copying (except small
+/// values, which it copies — see kSmallValueCopyBytes). The frame
 /// length prefix is reserved by BeginFrame and backpatched by EndFrame.
 ///
 /// Ownership rules (DESIGN.md §14):
 ///  * Chunks alias the arena and the PutBytesRef sources. Both must stay
 ///    alive and unmodified until the kernel has accepted every chunk —
 ///    the client parks write values in its pending table (stable slots)
-///    precisely so the wire may reference them.
+///    precisely so the wire may reference them. Chunks never alias a
+///    string's inline (SSO) buffer: sources that small are copied, so a
+///    referenced source can safely be MOVED elsewhere (its heap buffer
+///    address survives the move) as long as it is not destroyed.
 ///  * The writer holds a raw pointer into `out`'s last element between
 ///    calls, so `out` must not be mutated externally mid-frame.
 class FrameWriter {
@@ -153,7 +171,9 @@ class FrameWriter {
   void PutU32(std::uint32_t v);
   void PutU64(std::uint64_t v);
   /// u32 length prefix + the bytes by REFERENCE (zero-copy): `v` must
-  /// outlive the chunks (see the ownership rules above).
+  /// outlive the chunks (see the ownership rules above). Values of
+  /// kSmallValueCopyBytes or fewer are copied into the arena instead, so
+  /// chunks never alias a possibly-inline (SSO) string buffer.
   void PutBytesRef(std::string_view v);
   /// u32 length prefix + a copy of the bytes into the arena. For sources
   /// that die before the send (e.g. values read out under a lock).
@@ -217,6 +237,29 @@ struct MessageView {
 inline constexpr std::size_t kWriteReqOverhead = 1 + 8 + 4 + 8 + 4;
 /// Per-sub-operation overhead inside a batch frame (u32 length prefix).
 inline constexpr std::size_t kBatchSubOverhead = 4;
+/// Smallest legal sub payload inside a batch, per direction: a request
+/// batch carries nothing smaller than a ReadReq (type + request id +
+/// disk + block), a response batch nothing smaller than a WriteResp
+/// (type + request id). The decoders bound a frame's claimed sub count
+/// by Remaining / (kBatchSubOverhead + this), so a hostile count cannot
+/// make them reserve far beyond what the payload could ever hold.
+inline constexpr std::size_t kMinBatchSubRequestBytes = 1 + 8 + 4 + 8;
+inline constexpr std::size_t kMinBatchSubResponseBytes = 1 + 8;
+
+/// Compacts a partially-sent gather queue in place: drops the fully-sent
+/// chunk prefix (`*head` chunks plus `*off` bytes of the next one) and
+/// copies every remaining unsent byte into `arena`, which is Reset first
+/// and therefore must own nothing but this queue's header bytes. On
+/// return the queue is at most one chunk (aliasing only the arena —
+/// external value storage the old chunks referenced may be freed),
+/// *head == 0 and *off == 0. `scratch` is the bounce buffer; its
+/// capacity is retained across calls.
+///
+/// This is the slow-peer escape hatch: under sustained partial sends the
+/// sent prefix, its arena headers, and any parked values would otherwise
+/// be reclaimed only when the queue fully drains.
+void CompactWire(std::vector<WireChunk>* wire, std::size_t* head,
+                 std::size_t* off, Arena* arena, std::string* scratch);
 
 /// Where a NAD server listens / a client connects. Shared by every binary
 /// that names a disk on the network (client library, CLIs, demos).

@@ -83,6 +83,35 @@ TEST(Arena, OversizedAllocationGetsDedicatedSlab) {
   EXPECT_EQ(arena.Alloc(16, 1), small);
 }
 
+TEST(Arena, ResetReleasesHugeOneOffSlabs) {
+  // A single outlier allocation beyond kMaxRetainedSlabBytes — e.g. the
+  // sub-view array a hostile maximum-count batch frame forces — gets a
+  // dedicated slab that must NOT be retained: one malicious frame would
+  // otherwise inflate the connection's footprint forever.
+  Arena arena;
+  (void)arena.Alloc(64, 1);  // a normal steady-state slab
+  (void)arena.Alloc(Arena::kMaxRetainedSlabBytes + 1, 1);
+  EXPECT_GT(arena.retained_bytes(), Arena::kMaxRetainedSlabBytes);
+  arena.Reset();
+  EXPECT_LE(arena.retained_bytes(), Arena::kMaxRetainedSlabBytes);
+  // The steady-state slab survives and keeps being reused.
+  char* a = arena.Alloc(64, 1);
+  arena.Reset();
+  EXPECT_EQ(arena.Alloc(64, 1), a);
+}
+
+TEST(Arena, ResetRetainsModeratelyOversizedSlabs) {
+  // Oversized-but-reasonable dedicated slabs (at most the retention cap)
+  // stay warm: a workload of legitimately large values must not pay a
+  // malloc per cycle.
+  Arena arena(/*slab_bytes=*/64);
+  char* big = arena.Alloc(4096, 1);  // oversized for a 64-byte slab
+  const std::size_t retained = arena.retained_bytes();
+  arena.Reset();
+  EXPECT_EQ(arena.retained_bytes(), retained);
+  EXPECT_EQ(arena.Alloc(4096, 1), big);  // same dedicated slab, warm
+}
+
 TEST(Arena, AllocArrayValueInitializes) {
   Arena arena;
   int* arr = arena.AllocArray<int>(64);
