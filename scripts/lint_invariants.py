@@ -1,351 +1,25 @@
 #!/usr/bin/env python3
-"""Repo-invariant linter: mechanical concurrency/robustness rules that the
-compiler cannot (or does not) enforce on every toolchain.
+"""Compatibility shim: the invariant linter grew into the nadlint
+package (scripts/nadlint/ — C++-aware tokenizer, scope model, and the
+arena-escape / lock-order / tsa-coverage passes on top of the original
+five rules; DESIGN.md §15 is the rule catalog).
 
-Rules
------
-  raw-mutex      No std:: mutex/lock/condvar primitives outside src/common/.
-                 Everything else must use nadreg::Mutex / MutexLock / CondVar
-                 (common/sync.h) so Clang thread-safety analysis sees every
-                 lock in the tree.
-  no-sleep       No sleep_for / sleep_until / system_clock inside src/sim/,
-                 src/core/, src/faults/ and the client transport
-                 (src/nad/retry.*, src/nad/client.*, src/nad/event_loop.*,
-                 src/nad/timer_wheel.*): simulated time must come from the
-                 farm's logical clock (determinism), and algorithm /
-                 backoff / injector code must use the monotonic
-                 steady_clock with interruptible CondVar waits — a raw
-                 sleep cannot be cancelled by shutdown. An event loop
-                 sleeps only inside epoll_wait (timed by its timer wheel);
-                 a raw sleep on the loop thread would stall every
-                 connection the loop owns.
-  ignored-status Calls to Decode* / Encode*Checked / ParseEndpoint used as a
-                 bare statement silently swallow a failure. Assign the
-                 result or cast to (void) with a reason.
-  opcode-switch  A switch over nad::MsgType inside src/nad/ must name every
-                 enumerator (a default: alone would hide new opcodes from
-                 the exhaustiveness check when the protocol grows).
-  hot-alloc      Inside a marked hot section — between  // hot-path-begin(name)
-                 and  // hot-path-end  — no heap-allocating construction:
-                 std::string / std::vector / std::deque / Value(...) /
-                 std::to_string / new, and no materializing codec calls
-                 (EncodeMessage*/DecodeMessage). The zero-copy RPC pipeline
-                 (arena-backed FrameWriter/MessageView, DESIGN.md §14) exists
-                 so the steady state allocates nothing; an alloc that sneaks
-                 into a marked section silently regresses allocations/op. The
-                 one deliberate copy (materializing a read's Value for its
-                 handler) carries a lint-allow escape. A hot-path-begin
-                 without its hot-path-end is itself flagged.
+This entry point keeps the historical CLI stable for ctest
+(lint_invariants_tree / lint_invariants_fixtures), scripts/run_all.sh
+and muscle memory:
 
-Suppression: append  // lint-allow(<rule>): <reason>  to the offending line
-(or the line directly above it). Exception: the schedule explorer
-(src/sim/explorer.cc) is *strictly* sleep-free — its quiescence detection
-is event-driven by design (DetFarm scheduler hooks), so a wall-clock wait
-there is always a bug and lint-allow(no-sleep) is not honoured.
+    python3 scripts/lint_invariants.py [--root DIR] [--fixtures DIR]
+                                       [--sarif OUT.sarif]
 
-Fixture mode (--fixtures DIR) self-tests the linter: each fixture file
-declares its virtual tree location with  // lint-path: <path>  and marks the
-lines the linter MUST flag with  lint-expect(<rule>). The run fails if any
-expected line is missed or any unexpected line is flagged. tests/ wires this
-into ctest next to a clean run over the real tree.
-
-Exit status: 0 = clean / all fixtures behave, 1 = findings / fixture
-mismatch, 2 = usage or I/O error.
+is exactly `python3 -m nadlint ...` with scripts/ on sys.path.
 """
 
-from __future__ import annotations
-
-import argparse
-import re
 import sys
 from pathlib import Path
 
-SOURCE_EXTS = {".h", ".cc", ".cpp", ".hpp"}
-SKIP_DIR_NAMES = {"build", "third_party", ".git"}
-FIXTURE_DIR = Path("tests/lint_fixtures")
-# Files where no-sleep may not be suppressed: event-driven by design.
-STRICT_NO_SLEEP = {"src/sim/explorer.cc"}
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-RAW_MUTEX_RE = re.compile(
-    r"\bstd::(?:recursive_|shared_|timed_)*mutex\b"
-    r"|\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
-    r"|\bstd::condition_variable(?:_any)?\b"
-)
-SLEEP_RE = re.compile(r"\b(?:sleep_for|sleep_until|system_clock)\b")
-# A statement line that begins with a must-check call: nothing consumes the
-# result. Assignments ("auto x = Decode..."), returns, conditions and
-# explicit "(void)Decode..." discards all fail this anchor on purpose.
-IGNORED_STATUS_RE = re.compile(
-    r"^\s*(?:[\w]+(?:::[\w]+)*::)?"
-    r"(?:Decode[A-Z]\w*|Encode\w*Checked|ParseEndpoint)\s*\("
-)
-# Heap-allocating constructions and materializing codec calls that must not
-# appear inside a marked hot section. std::string_view is NOT matched (\b
-# fails before the _); DecodeMessageView is NOT matched (the paren must
-# follow immediately). Value( catches the repo's Value = std::string alias.
-HOT_ALLOC_RE = re.compile(
-    r"\bstd::string\b"
-    r"|\bstd::vector\s*<"
-    r"|\bstd::deque\b"
-    r"|\bstd::to_string\b"
-    r"|\bnew\s+[A-Za-z_]"
-    r"|\bValue\s*\("
-    r"|\bEncodeMessage\w*\s*\("
-    r"|\bDecodeMessage\s*\("
-)
-HOT_BEGIN_RE = re.compile(r"//\s*hot-path-begin\((?P<name>[\w-]+)\)")
-HOT_END_RE = re.compile(r"//\s*hot-path-end\b")
-ALLOW_RE = re.compile(r"lint-allow\((?P<rule>[\w-]+)\)")
-EXPECT_RE = re.compile(r"lint-expect\((?P<rule>[\w-]+)\)")
-LINT_PATH_RE = re.compile(r"^//\s*lint-path:\s*(?P<path>\S+)")
-CASE_RE = re.compile(r"\bcase\s+(?:nad::)?MsgType::(\w+)")
-ENUMERATOR_RE = re.compile(r"^\s*(k\w+)\s*=?")
-
-
-class Finding:
-    def __init__(self, path: str, line: int, rule: str, message: str):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def msgtype_enumerators(root: Path) -> list[str]:
-    """Parses the MsgType enumerator list out of src/nad/protocol.h."""
-    proto = root / "src" / "nad" / "protocol.h"
-    try:
-        text = proto.read_text()
-    except OSError:
-        return []
-    m = re.search(r"enum class MsgType[^{]*\{(?P<body>[^}]*)\}", text)
-    if not m:
-        return []
-    names = []
-    for line in m.group("body").splitlines():
-        em = ENUMERATOR_RE.match(line)
-        if em:
-            names.append(em.group(1))
-    return names
-
-
-def strip_comment(line: str) -> str:
-    """Drops a trailing // comment (good enough for these rules: none of the
-    patterns legitimately appear inside string literals in this tree)."""
-    idx = line.find("//")
-    return line if idx < 0 else line[:idx]
-
-
-def allowed(lines: list[str], i: int, rule: str) -> bool:
-    """True if line i (0-based) or the line above carries lint-allow(rule)."""
-    for j in (i, i - 1):
-        if 0 <= j < len(lines):
-            for m in ALLOW_RE.finditer(lines[j]):
-                if m.group("rule") == rule:
-                    return True
-    return False
-
-
-def switch_spans(lines: list[str]):
-    """Yields (start_line_0based, body_text) for each switch statement."""
-    text = "\n".join(lines)
-    for m in re.finditer(r"\bswitch\s*\(", text):
-        start_line = text.count("\n", 0, m.start())
-        brace = text.find("{", m.end())
-        if brace < 0:
-            continue
-        depth = 0
-        for k in range(brace, len(text)):
-            if text[k] == "{":
-                depth += 1
-            elif text[k] == "}":
-                depth -= 1
-                if depth == 0:
-                    yield start_line, text[brace : k + 1]
-                    break
-
-
-def check_file(virtual_path: str, lines: list[str], enumerators: list[str],
-               expect_markers: bool) -> list[Finding]:
-    """Runs every applicable rule; returns the findings.
-
-    expect_markers: in fixture mode the lint-expect markers live in trailing
-    comments, which must not hide the code the rules look at — rules already
-    run on the comment-stripped line, so nothing special is needed; the flag
-    only exists to document the call site.
-    """
-    del expect_markers
-    p = virtual_path.replace("\\", "/")
-    in_common = p.startswith("src/common/")
-    # The retry/backoff path may never raw-sleep: a sleeping thread cannot
-    # be interrupted by shutdown, while a CondVar deadline wait can.
-    in_no_sleep_scope = (
-        p.startswith(("src/sim/", "src/core/", "src/faults/"))
-        or re.fullmatch(
-            r"src/nad/(?:retry|client|event_loop|timer_wheel)"
-            r"\.(?:h|cc|cpp|hpp)", p)
-        is not None
-    )
-    in_nad = p.startswith("src/nad/")
-    findings: list[Finding] = []
-    hot_since = None  # 0-based line of the currently open hot-path-begin
-
-    for i, raw in enumerate(lines):
-        if HOT_BEGIN_RE.search(raw):
-            if hot_since is not None:
-                findings.append(Finding(
-                    virtual_path, i + 1, "hot-alloc",
-                    "nested hot-path-begin (previous section opened at line "
-                    f"{hot_since + 1} is still open)"))
-            hot_since = i
-        elif HOT_END_RE.search(raw):
-            hot_since = None
-        code = strip_comment(raw)
-        if not code.strip():
-            continue
-        if hot_since is not None and HOT_ALLOC_RE.search(code):
-            if not allowed(lines, i, "hot-alloc"):
-                findings.append(Finding(
-                    virtual_path, i + 1, "hot-alloc",
-                    "heap-allocating construction or materializing codec "
-                    "call inside a hot-path section; use the arena / "
-                    "FrameWriter / MessageView machinery (DESIGN.md §14)"))
-        if not in_common and RAW_MUTEX_RE.search(code):
-            if not allowed(lines, i, "raw-mutex"):
-                findings.append(Finding(
-                    virtual_path, i + 1, "raw-mutex",
-                    "raw std:: sync primitive; use nadreg::Mutex/MutexLock/"
-                    "CondVar from common/sync.h"))
-        if in_no_sleep_scope and SLEEP_RE.search(code):
-            strict = p in STRICT_NO_SLEEP
-            if strict and allowed(lines, i, "no-sleep"):
-                findings.append(Finding(
-                    virtual_path, i + 1, "no-sleep",
-                    "lint-allow(no-sleep) is not honoured here: the "
-                    "explorer's quiescence detection is event-driven "
-                    "(DetFarm scheduler hooks); a wall-clock wait would "
-                    "make branching nondeterministic"))
-            elif strict or not allowed(lines, i, "no-sleep"):
-                findings.append(Finding(
-                    virtual_path, i + 1, "no-sleep",
-                    "wall-clock sleep/clock in simulation, algorithm or "
-                    "retry code; use the farm's logical time or "
-                    "steady_clock with interruptible CondVar waits"))
-        if IGNORED_STATUS_RE.match(code):
-            if not allowed(lines, i, "ignored-status"):
-                findings.append(Finding(
-                    virtual_path, i + 1, "ignored-status",
-                    "result of a must-check call is dropped; assign it or "
-                    "cast to (void) with a reason"))
-
-    if hot_since is not None:
-        findings.append(Finding(
-            virtual_path, hot_since + 1, "hot-alloc",
-            "hot-path-begin without a matching hot-path-end"))
-
-    if in_nad and enumerators:
-        for start, body in switch_spans(lines):
-            cases = set(CASE_RE.findall(body))
-            if not cases:
-                continue  # not a MsgType switch
-            missing = [e for e in enumerators if e not in cases]
-            if missing and not allowed(lines, start, "opcode-switch"):
-                findings.append(Finding(
-                    virtual_path, start + 1, "opcode-switch",
-                    "switch over MsgType does not name: "
-                    + ", ".join(missing)))
-    return findings
-
-
-def iter_tree(root: Path):
-    for sub in ("src", "tests", "bench", "examples"):
-        base = root / sub
-        if not base.is_dir():
-            continue
-        for path in sorted(base.rglob("*")):
-            if path.suffix not in SOURCE_EXTS or not path.is_file():
-                continue
-            rel = path.relative_to(root)
-            if any(part in SKIP_DIR_NAMES for part in rel.parts):
-                continue
-            if rel.is_relative_to(FIXTURE_DIR):
-                continue  # known-bad snippets, scanned only by --fixtures
-            yield rel, path
-
-
-def run_tree(root: Path) -> int:
-    enumerators = msgtype_enumerators(root)
-    if not enumerators:
-        print("lint_invariants: warning: could not parse MsgType "
-              "enumerators; opcode-switch rule disabled", file=sys.stderr)
-    findings: list[Finding] = []
-    nfiles = 0
-    for rel, path in iter_tree(root):
-        nfiles += 1
-        lines = path.read_text(errors="replace").splitlines()
-        findings.extend(check_file(str(rel), lines, enumerators, False))
-    for f in findings:
-        print(f)
-    print(f"lint_invariants: {nfiles} files, {len(findings)} finding(s)",
-          file=sys.stderr)
-    return 1 if findings else 0
-
-
-def run_fixtures(root: Path, fixtures: Path) -> int:
-    enumerators = msgtype_enumerators(root)
-    failures = 0
-    nfix = 0
-    for path in sorted(fixtures.glob("*")):
-        if path.suffix not in SOURCE_EXTS:
-            continue
-        nfix += 1
-        lines = path.read_text(errors="replace").splitlines()
-        m = LINT_PATH_RE.match(lines[0]) if lines else None
-        if not m:
-            print(f"{path}: fixture missing '// lint-path:' header")
-            failures += 1
-            continue
-        virtual = m.group("path")
-        expected = set()
-        for i, line in enumerate(lines):
-            for em in EXPECT_RE.finditer(line):
-                expected.add((i + 1, em.group("rule")))
-        got = {(f.line, f.rule)
-               for f in check_file(virtual, lines, enumerators, True)}
-        for line_no, rule in sorted(expected - got):
-            print(f"{path}:{line_no}: fixture expected [{rule}] "
-                  "but the linter stayed quiet")
-            failures += 1
-        for line_no, rule in sorted(got - expected):
-            print(f"{path}:{line_no}: linter flagged unexpected [{rule}]")
-            failures += 1
-    print(f"lint_invariants: {nfix} fixture(s), {failures} mismatch(es)",
-          file=sys.stderr)
-    if nfix == 0:
-        print(f"lint_invariants: no fixtures found in {fixtures}",
-              file=sys.stderr)
-        return 2
-    return 1 if failures else 0
-
-
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent,
-                    help="repository root (default: the checkout containing this script)")
-    ap.add_argument("--fixtures", type=Path, default=None,
-                    help="run in self-test mode over known-bad fixture files")
-    args = ap.parse_args()
-    root = args.root.resolve()
-    if not (root / "src").is_dir():
-        print(f"lint_invariants: {root} does not look like the repo root",
-              file=sys.stderr)
-        return 2
-    if args.fixtures:
-        return run_fixtures(root, args.fixtures.resolve())
-    return run_tree(root)
-
+from nadlint.engine import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())

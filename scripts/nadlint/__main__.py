@@ -1,0 +1,9 @@
+"""`python3 -m nadlint` (with scripts/ on sys.path) — same CLI as the
+scripts/lint_invariants.py shim."""
+
+import sys
+
+from .engine import main
+
+if __name__ == "__main__":
+    sys.exit(main())

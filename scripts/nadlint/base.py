@@ -1,0 +1,71 @@
+"""Shared rule-pass plumbing: findings, per-file context, suppression.
+
+A rule pass is a function `(RuleContext) -> list[Finding]`. The context
+carries the tokenized file (FileText), the lazily built scope tree, the
+virtual path the file is checked under (fixtures re-home themselves via
+`// lint-path:`), and cross-file inputs (MsgType enumerators, the lock
+manifest). Suppression and expectation markers live in comments only:
+
+  // lint-allow(<rule>): <reason>   on the line or the line above
+  lint-expect(<rule>)               fixture mode ground truth
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import cached_property
+
+from .model import Scope, build_scopes
+from .tokenizer import FileText
+
+ALLOW_RE = re.compile(r"lint-allow\((?P<rule>[\w-]+)\)")
+EXPECT_RE = re.compile(r"lint-expect\((?P<rule>[\w-]+)\)")
+LINT_PATH_RE = re.compile(r"^\s*lint-path:\s*(?P<path>\S+)")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class RuleContext:
+    def __init__(self, path: str, ft: FileText,
+                 enumerators: list[str] | None = None,
+                 manifest=None):
+        self.path = path.replace("\\", "/")
+        self.ft = ft
+        self.enumerators = enumerators or []
+        self.manifest = manifest
+
+    @cached_property
+    def scopes(self) -> Scope:
+        return build_scopes(self.ft)
+
+    def allowed(self, line0: int, rule: str) -> bool:
+        """True if line line0 (0-based) or the line above carries
+        lint-allow(rule) in a comment."""
+        for j in (line0, line0 - 1):
+            if 0 <= j < self.ft.nlines():
+                for m in ALLOW_RE.finditer(self.ft.comment[j]):
+                    if m.group("rule") == rule:
+                        return True
+        return False
+
+    def allowed_range(self, first0: int, last0: int, rule: str) -> bool:
+        """Suppression for multi-line statements: any line of the
+        statement, or the line above its first line."""
+        for j in range(max(0, first0 - 1), min(last0, self.ft.nlines() - 1) + 1):
+            for m in ALLOW_RE.finditer(self.ft.comment[j]):
+                if m.group("rule") == rule:
+                    return True
+        return False
+
+    def finding(self, line0: int, rule: str, message: str) -> Finding:
+        return Finding(self.path, line0 + 1, rule, message)

@@ -1,0 +1,197 @@
+"""nadlint driver: file iteration, rule dispatch, fixture self-test,
+SARIF emission, CLI.
+
+Rules (DESIGN.md §15 is the human catalog):
+  raw-mutex, no-sleep, ignored-status, opcode-switch, hot-alloc
+      the original mechanical rules, on the token stream (rules.py)
+  arena-escape   epoch-tied views escaping their reset point (lifetime.py)
+  lock-order     nested MutexLock vs the §12 manifest (locks.py)
+  tsa-coverage   unannotated mutable fields of mutex-owning classes (tsa.py)
+  lock-manifest  lock_order.json ↔ DESIGN.md §12 drift (tree mode only)
+
+Suppression: append  // lint-allow(<rule>): <reason>  to the offending
+line (or the line directly above it). Exception: the schedule explorer
+(src/sim/explorer.cc) is *strictly* sleep-free — lint-allow(no-sleep)
+is not honoured there.
+
+Fixture mode (--fixtures DIR) self-tests the linter: each fixture file
+declares its virtual tree location with  // lint-path: <path>  and marks
+the lines the linter MUST flag with  lint-expect(<rule>). The run fails
+if any expected line is missed or any unexpected line is flagged.
+
+Exit status: 0 = clean / all fixtures behave, 1 = findings / fixture
+mismatch, 2 = usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+from . import __version__
+from .base import EXPECT_RE, Finding, LINT_PATH_RE, RuleContext
+from .tokenizer import lex_file
+
+SOURCE_EXTS = {".h", ".cc", ".cpp", ".hpp"}
+SKIP_DIR_NAMES = {"build", "third_party", ".git"}
+FIXTURE_DIR = Path("tests/lint_fixtures")
+
+ENUMERATOR_RE = re.compile(r"^\s*(k\w+)\s*=?")
+
+
+def msgtype_enumerators(root: Path) -> list[str]:
+    """Parses the MsgType enumerator list out of src/nad/protocol.h
+    (code channel: a commented-out enumerator does not count)."""
+    proto = root / "src" / "nad" / "protocol.h"
+    try:
+        ft = lex_file(proto)
+    except OSError:
+        return []
+    text = "\n".join(ft.code)
+    m = re.search(r"enum class MsgType[^{]*\{(?P<body>[^}]*)\}", text)
+    if not m:
+        return []
+    names = []
+    for line in m.group("body").splitlines():
+        em = ENUMERATOR_RE.match(line)
+        if em:
+            names.append(em.group(1))
+    return names
+
+
+def load_manifest(root: Path):
+    from .locks import LockManifest
+    path = Path(__file__).resolve().parent / "lock_order.json"
+    try:
+        return LockManifest.load(path)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"nadlint: warning: cannot load {path}: {e}; "
+              "lock-order rule disabled", file=sys.stderr)
+        return None
+
+
+def check_file(virtual_path: str, ft, enumerators, manifest) -> list[Finding]:
+    from .lifetime import check_arena_escape
+    from .locks import check_lock_order
+    from .rules import check_basic
+    from .tsa import check_tsa_coverage
+
+    ctx = RuleContext(virtual_path, ft, enumerators, manifest)
+    findings: list[Finding] = []
+    findings.extend(check_basic(ctx))
+    findings.extend(check_arena_escape(ctx))
+    findings.extend(check_lock_order(ctx))
+    findings.extend(check_tsa_coverage(ctx))
+    return findings
+
+
+def iter_tree(root: Path):
+    for sub in ("src", "tests", "bench", "examples"):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SOURCE_EXTS or not path.is_file():
+                continue
+            rel = path.relative_to(root)
+            if any(part in SKIP_DIR_NAMES for part in rel.parts):
+                continue
+            if rel.is_relative_to(FIXTURE_DIR):
+                continue  # known-bad snippets, scanned only by --fixtures
+            yield rel, path
+
+
+def run_tree(root: Path, sarif_out: Path | None) -> int:
+    from .locks import check_manifest_coverage
+
+    enumerators = msgtype_enumerators(root)
+    if not enumerators:
+        print("nadlint: warning: could not parse MsgType enumerators; "
+              "opcode-switch rule disabled", file=sys.stderr)
+    manifest = load_manifest(root)
+    findings: list[Finding] = []
+    nfiles = 0
+    for rel, path in iter_tree(root):
+        nfiles += 1
+        findings.extend(
+            check_file(str(rel), lex_file(path), enumerators, manifest))
+    if manifest is not None:
+        findings.extend(check_manifest_coverage(root / "DESIGN.md", manifest))
+    for f in findings:
+        print(f)
+    if sarif_out is not None:
+        from .sarif import write_sarif
+        write_sarif(findings, sarif_out, __version__)
+        print(f"nadlint: SARIF written to {sarif_out}", file=sys.stderr)
+    print(f"nadlint: {nfiles} files, {len(findings)} finding(s)",
+          file=sys.stderr)
+    return 1 if findings else 0
+
+
+def run_fixtures(root: Path, fixtures: Path,
+                 sarif_out: Path | None) -> int:
+    enumerators = msgtype_enumerators(root)
+    manifest = load_manifest(root)
+    failures = 0
+    nfix = 0
+    all_findings: list[Finding] = []
+    for path in sorted(fixtures.glob("*")):
+        if path.suffix not in SOURCE_EXTS:
+            continue
+        nfix += 1
+        ft = lex_file(path)
+        m = LINT_PATH_RE.match(ft.comment[0]) if ft.nlines() else None
+        if not m:
+            print(f"{path}: fixture missing '// lint-path:' header")
+            failures += 1
+            continue
+        virtual = m.group("path")
+        expected = set()
+        for i in range(ft.nlines()):
+            for em in EXPECT_RE.finditer(ft.comment[i]):
+                expected.add((i + 1, em.group("rule")))
+        findings = check_file(virtual, ft, enumerators, manifest)
+        all_findings.extend(findings)
+        got = {(f.line, f.rule) for f in findings}
+        for line_no, rule in sorted(expected - got):
+            print(f"{path}:{line_no}: fixture expected [{rule}] "
+                  "but the linter stayed quiet")
+            failures += 1
+        for line_no, rule in sorted(got - expected):
+            print(f"{path}:{line_no}: linter flagged unexpected [{rule}]")
+            failures += 1
+    if sarif_out is not None:
+        from .sarif import write_sarif
+        write_sarif(all_findings, sarif_out, __version__)
+    print(f"nadlint: {nfix} fixture(s), {failures} mismatch(es)",
+          file=sys.stderr)
+    if nfix == 0:
+        print(f"nadlint: no fixtures found in {fixtures}", file=sys.stderr)
+        return 2
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="nadlint",
+        description="C++-aware repo-invariant linter (DESIGN.md §15)")
+    ap.add_argument("--root", type=Path,
+                    default=Path(__file__).resolve().parent.parent.parent,
+                    help="repository root (default: the checkout containing "
+                         "this script)")
+    ap.add_argument("--fixtures", type=Path, default=None,
+                    help="run in self-test mode over known-bad fixture files")
+    ap.add_argument("--sarif", type=Path, default=None,
+                    help="also write findings as SARIF 2.1.0 (GitHub code "
+                         "scanning)")
+    args = ap.parse_args(argv)
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"nadlint: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+    if args.fixtures:
+        return run_fixtures(root, args.fixtures.resolve(), args.sarif)
+    return run_tree(root, args.sarif)

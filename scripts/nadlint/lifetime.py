@@ -1,0 +1,222 @@
+"""arena-escape: flags views tied to an arena / rx-buffer / pending-
+table epoch escaping into storage that outlives their reset point —
+the exact shape of the PR 8 SSO-aliasing bug that survived the
+compiler, ASan, TSan and the regex linter.
+
+The model (DESIGN.md §14): MessageView, WireChunk and string_views
+derived from an rx buffer, an Arena, or a PendingTable entry die at a
+well-defined reset point inside the current frame/cycle. Storing one
+where it can be read after that point is silent corruption, never a
+crash. Intra-procedurally we can catch the storing shapes:
+
+  E1  member store        view_member_ = v;   this->m_ = v;
+  E2  member container    pending_.push_back(v);  wire_.emplace_back(v)
+  E3  deferred capture    [v]{...} / [&v]{...} / [=]{... v ...} — a
+      lambda owns (or references) the view past the frame unless it is
+      invoked immediately
+  E4  SSO alias + move    a WireChunk / PutBytesRef / string_view
+      references a local std::string's bytes and the string object is
+      later std::move'd — if the value is SSO-small the referenced
+      bytes live *inside* the moved-from object (PR 8's bug)
+
+Receivers that are locals or parameters are exempt: lifetimes of
+caller-owned sinks are the caller's contract (FrameWriter's out_ /
+CompactWire's wire param are the designed, epoch-preserving channels),
+and a local container dies with the frame anyway. The rule is therefore
+conservative by design — unknown structure suppresses, never invents.
+
+Scope: src/ only. tests/test_arena.cc deliberately constructs stale
+views to pin the failure mode; the production tree is where escape is
+always a bug. Suppress a justified store (one whose sink provably dies
+at the same reset point) with
+`lint-allow(arena-escape): <which §14 reset covers the sink>`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .base import Finding, RuleContext
+from .model import Scope, local_types
+
+# Types that are always epoch-tied, wherever their bytes came from.
+VIEW_TYPES = {"MessageView", "WireChunk"}
+# string_view locals are tied only when initialized from an epoch
+# source; plain string_views over owned strings are fine.
+_ARENA_SOURCE_RE = re.compile(
+    r"DecodeMessageView|MessageView|WireChunk|\bArena\b|arena"
+    r"|\brx_|\brx\b|RxBuffer|\.Head\(\)|PendingTable|pending_?\w*\.Find"
+    r"|\bmsg\.|\bmsg->|\bsub\.|\bsub->|\bview\.|\bview->")
+
+_STRING_VIEW_DECL_RE = re.compile(
+    r"\b(?:std::)?string_view\s+([A-Za-z_]\w*)\s*(=|\{|\()")
+_AUTO_VIEW_DECL_RE = re.compile(
+    r"\bauto&?\s+([A-Za-z_]\w*)\s*=\s*(.+)")
+_STRING_DECL_RE = re.compile(
+    r"(?<![\w:])(?:std::)?string\s+([A-Za-z_]\w*)\s*[=;({]")
+
+_MEMBER_ASSIGN_RE = re.compile(
+    r"(?:^|[;{(]|\bthis->)\s*([A-Za-z_]\w*)\s*=\s*(?:std::move\s*\(\s*)?"
+    r"([A-Za-z_]\w*)\s*[;)]")
+_CONTAINER_STORE_RE = re.compile(
+    r"\b([A-Za-z_]\w*(?:\s*(?:\.|->)\s*[A-Za-z_]\w*)*)\s*\.\s*"
+    r"(?:push_back|emplace_back|push_front|emplace|insert|assign)\s*\(([^;]*)\)")
+_MOVE_RE = re.compile(r"std::move\s*\(\s*([A-Za-z_]\w*)\s*\)")
+_PUTBYTESREF_RE = re.compile(r"\bPutBytesRef\s*\(\s*([A-Za-z_]\w*)\b")
+_DATA_REF_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*data\s*\(\s*\)")
+
+
+def _function_lines(ctx: RuleContext, scope: Scope,
+                    include_lambdas: bool):
+    end = scope.end_line if scope.end_line >= 0 else ctx.ft.nlines() - 1
+    skip = [] if include_lambdas else [
+        (c.start_line, c.end_line if c.end_line >= 0 else end)
+        for c in scope.children if c.kind in ("lambda", "class", "function")]
+    for ln in range(scope.start_line, end + 1):
+        if ctx.ft.is_pp[ln]:
+            continue
+        if any(a <= ln <= b for a, b in skip):
+            continue
+        yield ln, ctx.ft.code[ln]
+
+
+def _tracked_views(ctx: RuleContext, scope: Scope) -> dict[str, int]:
+    """name → 0-based declaration line of epoch-tied view locals (and
+    view-typed parameters, from the scope head)."""
+    views: dict[str, int] = {}
+    for name, tname in local_types(ctx.ft, scope, VIEW_TYPES).items():
+        views.setdefault(name, scope.start_line)
+        del tname
+    for ln, code in _function_lines(ctx, scope, include_lambdas=False):
+        for m in _STRING_VIEW_DECL_RE.finditer(code):
+            init = code[m.end():]
+            if _ARENA_SOURCE_RE.search(init) or m.group(2) == "=" and \
+                    _ARENA_SOURCE_RE.search(code[m.end(1):]):
+                views.setdefault(m.group(1), ln)
+        for m in _AUTO_VIEW_DECL_RE.finditer(code):
+            if re.match(r"\s*DecodeMessageView\s*\(", m.group(2)):
+                views.setdefault(m.group(1), ln)
+    return views
+
+
+def _locals_and_params(ctx: RuleContext, scope: Scope) -> set[str]:
+    """Names declared inside the function or in its parameter list —
+    receivers with these bases are caller/frame-owned, not members.
+    Lambdas see the enclosing function's locals too (captured or
+    reference-accessible names are still frame-owned, not members)."""
+    names: set[str] = set()
+    decl = re.compile(r"[&*>\w]\s+([A-Za-z_]\w*)\s*(?:[=;,){:\[]|$)")
+    s: Scope | None = scope
+    while s is not None and s.kind in ("function", "lambda", "block"):
+        texts = [s.head]
+        texts.extend(code for _, code in
+                     _function_lines(ctx, s, include_lambdas=False))
+        for text in texts:
+            for m in decl.finditer(text):
+                names.add(m.group(1))
+        s = s.parent
+    return names
+
+
+def _check_function(ctx: RuleContext, scope: Scope) -> list[Finding]:
+    findings: list[Finding] = []
+    views = _tracked_views(ctx, scope)
+    owned = _locals_and_params(ctx, scope)
+
+    # E4 state: local std::string declarations, and view references into
+    # them ({name: first-reference line}).
+    strings: dict[str, int] = {}
+    referenced: dict[str, int] = {}
+    for ln, code in _function_lines(ctx, scope, include_lambdas=False):
+        for m in _STRING_DECL_RE.finditer(code):
+            strings[m.group(1)] = ln
+    for ln, code in _function_lines(ctx, scope, include_lambdas=False):
+        for m in _PUTBYTESREF_RE.finditer(code):
+            if m.group(1) in strings:
+                referenced.setdefault(m.group(1), ln)
+        if re.search(r"\bWireChunk\b|\bstring_view\b|\bMessageView\b",
+                     code):
+            for m in _DATA_REF_RE.finditer(code):
+                if m.group(1) in strings:
+                    referenced.setdefault(m.group(1), ln)
+
+    for ln, code in _function_lines(ctx, scope, include_lambdas=False):
+        # E1: member store of a tracked view.
+        for m in _MEMBER_ASSIGN_RE.finditer(code):
+            lhs, rhs = m.group(1), m.group(2)
+            if rhs in views and lhs not in owned and lhs not in views:
+                if not ctx.allowed(ln, "arena-escape"):
+                    findings.append(ctx.finding(
+                        ln, "arena-escape",
+                        f"'{rhs}' is a view into an arena/rx/pending epoch "
+                        f"but is stored into member '{lhs}', which "
+                        "outlives the epoch's Reset point (DESIGN.md §14); "
+                        "copy the bytes at the ownership edge instead"))
+        # E2: member-container store of a tracked view.
+        for m in _CONTAINER_STORE_RE.finditer(code):
+            recv, args = m.group(1), m.group(2)
+            base = re.match(r"[A-Za-z_]\w*", recv).group(0)
+            if base in owned:
+                continue
+            arg_ids = set(re.findall(r"[A-Za-z_]\w*", args))
+            escaping = sorted(arg_ids & set(views))
+            if escaping and not ctx.allowed(ln, "arena-escape"):
+                findings.append(ctx.finding(
+                    ln, "arena-escape",
+                    f"view '{escaping[0]}' is stored into member "
+                    f"container '{recv}', which outlives the view's "
+                    "arena/frame epoch (DESIGN.md §14); copy at the "
+                    "ownership edge or justify with lint-allow"))
+        # E4: the string object a queued reference aliases is moved.
+        for m in _MOVE_RE.finditer(code):
+            name = m.group(1)
+            ref_ln = referenced.get(name)
+            if ref_ln is not None and ref_ln <= ln:
+                if not ctx.allowed(ln, "arena-escape"):
+                    findings.append(ctx.finding(
+                        ln, "arena-escape",
+                        f"'{name}' was referenced by a wire chunk / view "
+                        f"(line {ref_ln + 1}) and is std::move'd here: a "
+                        "small string stores its bytes inline (SSO), so "
+                        "the move relocates the referenced bytes and the "
+                        "queued chunk transmits garbage — the PR 8 bug "
+                        "shape; copy values <= kSmallValueCopyBytes into "
+                        "the arena (DESIGN.md §14 rule 3)"))
+
+    # E3: deferred lambda captures of tracked views.
+    for child in scope.children:
+        if child.kind != "lambda":
+            continue
+        cap = child.captures
+        cap_ids = set(re.findall(r"[A-Za-z_]\w*", cap))
+        body_end = child.end_line if child.end_line >= 0 else ctx.ft.nlines() - 1
+        body_text = "\n".join(ctx.ft.code[child.start_line:body_end + 1])
+        for name in sorted(views):
+            by_name = name in cap_ids
+            by_default = ("=" in cap or "&" in cap) and \
+                re.search(rf"\b{re.escape(name)}\b", body_text)
+            if not (by_name or by_default):
+                continue
+            # Immediately-invoked lambdas die in the statement: `}()`.
+            tail = ctx.ft.code[body_end][ctx.ft.code[body_end].rfind("}") + 1:]
+            if re.match(r"\s*\(\s*\)", tail):
+                continue
+            if not ctx.allowed(child.start_line, "arena-escape"):
+                findings.append(ctx.finding(
+                    child.start_line, "arena-escape",
+                    f"lambda captures epoch-tied view '{name}'; if the "
+                    "lambda runs after the frame is consumed or the arena "
+                    "reset, the view reads recycled bytes (DESIGN.md "
+                    "§14); copy the bytes into the capture instead"))
+    return findings
+
+
+def check_arena_escape(ctx: RuleContext) -> list[Finding]:
+    if not ctx.path.startswith("src/"):
+        return []
+    findings: list[Finding] = []
+    for scope in ctx.scopes.walk():
+        if scope.kind not in ("function", "lambda"):
+            continue
+        findings.extend(_check_function(ctx, scope))
+    return findings

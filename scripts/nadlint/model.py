@@ -1,0 +1,371 @@
+"""Lightweight per-file scope and symbol model.
+
+Built on the tokenizer's code channel only — comments and literal
+contents are already blanked, so brace counting and declaration
+scanning cannot be derailed by a `{` in a string or a commented-out
+line. This is deliberately NOT a C++ parser: it recovers just enough
+structure for the scope-sensitive rules —
+
+  * a brace-matched scope tree (namespace / class / function / lambda /
+    plain block), each scope knowing its line span, its head text (the
+    statement fragment that opened it) and, for functions, the class it
+    belongs to (both in-class definitions and out-of-line
+    `Type Class::Method(...)` bodies);
+  * per class scope, the member *field* declarations with their
+    qualifiers (const/static/mutable/reference/atomic), their type
+    text, and whether they carry GUARDED_BY / PT_GUARDED_BY;
+  * per function scope, a map of interesting local/parameter names to
+    their declared type (only for the handful of type names a rule
+    registers interest in — lock owners and view types).
+
+Heuristics over grammar: a scope-opening `{` is classified by the
+statement head preceding it. Annotation macros (GUARDED_BY(...) et al.)
+look like function declarators, so they are stripped before
+classification. When the model is unsure it says 'block', which every
+rule treats as transparent — unknown structure can suppress a finding
+but never invent one.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .tokenizer import FileText
+
+# Thread-safety annotation macros (common/thread_annotations.h): these
+# read as `NAME(args)` and must not be mistaken for function heads.
+ANNOTATION_MACROS = (
+    "GUARDED_BY", "PT_GUARDED_BY", "REQUIRES", "REQUIRES_SHARED",
+    "ACQUIRE", "ACQUIRE_SHARED", "RELEASE", "RELEASE_SHARED",
+    "TRY_ACQUIRE", "TRY_ACQUIRE_SHARED", "EXCLUDES", "ASSERT_CAPABILITY",
+    "ASSERT_SHARED_CAPABILITY", "RETURN_CAPABILITY",
+    "NO_THREAD_SAFETY_ANALYSIS", "CAPABILITY", "SCOPED_CAPABILITY",
+)
+_ANNOTATION_RE = re.compile(
+    r"\b(?:" + "|".join(ANNOTATION_MACROS) + r")\s*(\([^()]*\))?")
+
+_CLASS_HEAD_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:CAPABILITY\s*\([^)]*\)\s*|SCOPED_CAPABILITY\s+)?"
+    r"((?:[A-Za-z_]\w*\s*::\s*)*[A-Za-z_]\w*)\s*(?:final\b)?\s*(?::(?!:)|$)?")
+_ENUM_HEAD_RE = re.compile(r"\benum\b")
+_NAMESPACE_HEAD_RE = re.compile(r"\bnamespace\b")
+_LAMBDA_TAIL_RE = re.compile(
+    r"\[(?P<captures>[^\[\]]*)\]\s*(?:\([^()]*\))?\s*"
+    r"(?:mutable\b|noexcept\b|->\s*[\w:<>&*,\s]+)*\s*$")
+_OUT_OF_LINE_RE = re.compile(r"([A-Za-z_]\w*)\s*::\s*~?[A-Za-z_]\w*\s*\($")
+_FUNC_TAIL_RE = re.compile(
+    r"\)\s*(?:const\b|noexcept\b|override\b|final\b|mutable\b|&&?|"
+    r"->\s*[\w:<>&*,\s]+|\btry\b)*\s*$")
+_CTOR_INIT_RE = re.compile(r"\)\s*(?:noexcept\s*)?:\s*[^;{]*$")
+_ACCESS_SPEC_RE = re.compile(r"\b(?:public|private|protected)\s*:")
+_CONTROL_RE = re.compile(r"\b(?:if|for|while|switch|catch|do|else|return)\b")
+
+_MUTEX_TYPE_RE = re.compile(r"\b(?:nadreg::)?Mutex\b")
+_CONDVAR_TYPE_RE = re.compile(r"\b(?:nadreg::)?CondVar\b")
+_ATOMIC_TYPE_RE = re.compile(r"\bstd::atomic\b|\batomic_flag\b")
+
+
+@dataclass
+class Field:
+    name: str
+    type_text: str
+    line: int  # 0-based line of the statement's end (the `;`)
+    first_line: int  # 0-based line where the statement started
+    guarded: bool
+    is_const: bool
+    is_static: bool
+    is_reference: bool
+    is_atomic: bool
+    is_mutex: bool
+    is_condvar: bool
+
+
+@dataclass
+class Scope:
+    kind: str  # 'top' | 'namespace' | 'class' | 'function' | 'lambda' | 'block' | 'enum'
+    name: str  # class or namespace name; '' otherwise
+    head: str  # statement head that opened the scope
+    start_line: int  # 0-based, line of the opening '{'
+    end_line: int = -1  # 0-based, line of the closing '}' (or EOF)
+    class_name: str = ""  # for functions: the owning class, '' if free
+    captures: str = ""  # for lambdas: the capture-list text
+    parent: "Scope | None" = None
+    children: list["Scope"] = field(default_factory=list)
+    fields: list[Field] = field(default_factory=list)  # class scopes
+    has_mutex: bool = False  # class scopes: declares a nadreg::Mutex
+
+    def walk(self):
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    def enclosing_class(self) -> "Scope | None":
+        s = self.parent
+        while s is not None:
+            if s.kind == "class":
+                return s
+            s = s.parent
+        return None
+
+
+def _field_name(stmt: str) -> str | None:
+    """Extracts the declared member name from a field statement (the
+    annotations have already been stripped)."""
+    # Cut any initializer.
+    cut = len(stmt)
+    depth = 0
+    for i, c in enumerate(stmt):
+        if c in "<([":
+            depth += 1
+        elif c in ">)]":
+            depth -= 1
+        elif c in "={" and depth <= 0:
+            cut = i
+            break
+    head = stmt[:cut].rstrip()
+    # Drop a trailing array extent.
+    head = re.sub(r"\[[^\]]*\]\s*$", "", head).rstrip()
+    m = re.search(r"([A-Za-z_]\w*)\s*$", head)
+    if not m:
+        return None
+    name = m.group(1)
+    # `std::vector<Task> inbox_` → inbox_; a lone type name (e.g. an
+    # unnamed bitfield or a stray macro) has no preceding type tokens.
+    before = head[: m.start()].strip()
+    if not before:
+        return None
+    return name
+
+
+_NOT_A_FIELD_RE = re.compile(
+    r"^\s*(?:using\b|typedef\b|friend\b|static_assert\b|template\b|"
+    r"class\b|struct\b|enum\b|explicit\b.*\(|operator\b)")
+
+
+def _classify_field(stmt: str, end_line: int, first_line: int) -> Field | None:
+    """Decides whether a class-body statement is a data member and, if
+    so, describes it. Returns None for methods and non-member noise."""
+    text = _ACCESS_SPEC_RE.sub(" ", stmt).strip()
+    if not text or text in ("{}",):
+        return None
+    guarded = bool(re.search(r"\b(?:PT_)?GUARDED_BY\s*\(", text))
+    text = _ANNOTATION_RE.sub(" ", text).strip()
+    if not text:
+        return None
+    if _NOT_A_FIELD_RE.match(text):
+        return None
+    if re.search(r"\)\s*(?:const\b|noexcept\b|override\b|final\b|\s)*"
+                 r"=\s*(?:default|delete|0)\s*$", text):
+        return None  # defaulted/deleted/pure method (a ')' must precede;
+        #               `int x = 0;` is a field, not pure-virtual)
+    # Method vs field: a parenthesis at angle-bracket depth 0 that is not
+    # part of an initializer (`= foo(...)` / brace-init) means declarator
+    # parens, i.e. a function. Parens inside template args don't count.
+    eq = None
+    angle = paren = 0
+    first_paren = None
+    for i, c in enumerate(text):
+        if c == "<":
+            angle += 1
+        elif c == ">":
+            angle = max(0, angle - 1)
+        elif c == "(":
+            if angle == 0 and paren == 0 and first_paren is None:
+                first_paren = i
+            paren += 1
+        elif c == ")":
+            paren = max(0, paren - 1)
+        elif c == "=" and angle == 0 and paren == 0 and eq is None:
+            eq = i
+    if first_paren is not None and (eq is None or first_paren < eq):
+        # Constructor-style member init `Rng rng_(seed);` is rare in this
+        # tree; treat name(args) with a known-type head conservatively as
+        # a method and move on.
+        return None
+    name = _field_name(text)
+    if name is None:
+        return None
+    type_text = text[: text.rfind(name)].strip() or text
+    return Field(
+        name=name,
+        type_text=type_text,
+        line=end_line,
+        first_line=first_line,
+        guarded=guarded,
+        is_const=bool(re.match(r"(?:\s*(?:static|constexpr|inline|mutable)\b)*\s*const\b",
+                               text)) or "constexpr" in text.split(),
+        is_static=bool(re.match(r"\s*(?:static|constexpr)\b", text)),
+        is_reference="&" in type_text,
+        is_atomic=bool(_ATOMIC_TYPE_RE.search(type_text)),
+        is_mutex=bool(_MUTEX_TYPE_RE.search(type_text)),
+        is_condvar=bool(_CONDVAR_TYPE_RE.search(type_text)),
+    )
+
+
+def _classify_scope(head: str, parent: Scope) -> tuple[str, str, str, str]:
+    """Returns (kind, name, class_name, captures) for the scope a `{`
+    opens, given the preceding statement head."""
+    stripped = _ANNOTATION_RE.sub(" ", head).strip()
+    if _ENUM_HEAD_RE.search(stripped):
+        return "enum", "", "", ""
+    m = _LAMBDA_TAIL_RE.search(stripped)
+    if m:
+        # Owning class flows through: a lambda inside a method still
+        # "sees" the class (it almost always captures this).
+        return "lambda", "", _owner_class(parent), m.group("captures")
+    if _CONTROL_RE.search(stripped):
+        # if/for/while/switch/catch heads end with ')' like a function
+        # declarator; they open transparent blocks, not bodies.
+        return "block", "", _owner_class(parent), ""
+    cm = None
+    for cm_it in _CLASS_HEAD_RE.finditer(stripped):
+        cm = cm_it  # last match wins (`struct X : public Base<Y>`)
+    if cm and not re.search(r"\benum\s+(?:class|struct)\b", stripped):
+        return "class", cm.group(1), "", ""
+    if _NAMESPACE_HEAD_RE.search(stripped) and "(" not in stripped:
+        return "namespace", "", "", ""
+    if _FUNC_TAIL_RE.search(stripped) or _CTOR_INIT_RE.search(stripped):
+        om = None
+        for om_it in re.finditer(r"([A-Za-z_]\w*)\s*::\s*~?[A-Za-z_]\w*\s*\(",
+                                 stripped):
+            om = om_it
+        if om and om.group(1) not in ("std", "nadreg", "nad", "sim", "obs",
+                                      "core", "apps", "faults", "checker"):
+            return "function", "", om.group(1), ""
+        return "function", "", _owner_class(parent), ""
+    return "block", "", _owner_class(parent), ""
+
+
+def _owner_class(scope: Scope) -> str:
+    s: Scope | None = scope
+    while s is not None:
+        if s.kind == "class":
+            return s.name
+        if s.kind in ("function", "lambda", "block") and s.class_name:
+            return s.class_name
+        s = s.parent
+    return ""
+
+
+def build_scopes(ft: FileText) -> Scope:
+    """One pass over the code channel: a brace-matched scope tree plus
+    class field tables."""
+    root = Scope(kind="top", name="", head="", start_line=0)
+    cur = root
+    head_buf: list[str] = []  # statement text since the last ; { }
+    head_start_line = 0
+    stmt_start_line = 0
+
+    def flush_class_stmt(end_line: int):
+        nonlocal head_buf, stmt_start_line
+        if cur.kind == "class":
+            stmt = " ".join("".join(head_buf).split())
+            f = _classify_field(stmt, end_line, stmt_start_line)
+            if f is not None:
+                cur.fields.append(f)
+                if f.is_mutex:
+                    cur.has_mutex = True
+        head_buf = []
+        stmt_start_line = end_line
+
+    # Brace initializers inside a class body (`std::atomic<bool> x_{};`)
+    # must not be mistaken for scopes, or the field statement would be
+    # lost: depth > 0 means we are inside one and merely count braces.
+    init_depth = 0
+    paren_depth = 0
+    saved_heads: list[tuple[list[str], int]] = []
+
+    for ln, line in enumerate(ft.code):
+        if ft.is_pp[ln]:
+            continue
+        i, n = 0, len(line)
+        while i < n:
+            c = line[i]
+            if init_depth > 0:
+                if c == "{":
+                    init_depth += 1
+                elif c == "}":
+                    init_depth -= 1
+                    if init_depth == 0:
+                        head_buf, stmt_start_line = saved_heads.pop()
+                        head_buf.append("{} ")
+                elif c == ";" and init_depth == 0:
+                    pass
+                i += 1
+                continue
+            if c == "{":
+                head = " ".join("".join(head_buf).split())
+                kind, name, class_name, captures = _classify_scope(head, cur)
+                if kind == "block" and cur.kind == "class" and head:
+                    saved_heads.append((head_buf, stmt_start_line))
+                    head_buf = []
+                    init_depth = 1
+                    i += 1
+                    continue
+                child = Scope(kind=kind, name=name, head=head, start_line=ln,
+                              class_name=class_name, captures=captures,
+                              parent=cur)
+                cur.children.append(child)
+                cur = child
+                head_buf = []
+                stmt_start_line = ln
+                paren_depth = 0
+            elif c == "}":
+                cur.end_line = ln
+                if cur.parent is not None:
+                    cur = cur.parent
+                head_buf = []
+                stmt_start_line = ln
+                paren_depth = 0
+            elif c == ";":
+                if paren_depth == 0:
+                    head_buf.append(" ")
+                    flush_class_stmt(ln)
+                else:
+                    head_buf.append(c)  # for(a; b; c) stays one head
+            else:
+                if c == "(":
+                    paren_depth += 1
+                elif c == ")":
+                    paren_depth = max(0, paren_depth - 1)
+                if not head_buf:
+                    stmt_start_line = ln
+                    head_start_line = ln
+                head_buf.append(c)
+            i += 1
+        head_buf.append(" ")  # newline separates tokens
+
+    while cur.parent is not None:  # unbalanced file: close what's open
+        cur.end_line = ft.nlines() - 1
+        cur = cur.parent
+    root.end_line = ft.nlines() - 1
+    del head_start_line
+    return root
+
+
+def local_types(ft: FileText, scope: Scope,
+                interesting: set[str]) -> dict[str, str]:
+    """Scans a function scope (and its nested plain blocks, but not
+    nested lambdas/classes) for declarations `Type[&*] name` of the
+    registered type names, including parameters on the head line.
+    Returns name → bare type name."""
+    out: dict[str, str] = {}
+    if not interesting:
+        return out
+    pat = re.compile(
+        r"\b(?:const\s+)?(" + "|".join(re.escape(t) for t in interesting) +
+        r")\s*(?:<[^<>]*>)?\s*[&*]?\s+([A-Za-z_]\w*)\b")
+    texts = [scope.head]
+    skip: list[tuple[int, int]] = [
+        (c.start_line, c.end_line) for c in scope.children
+        if c.kind in ("lambda", "class", "function")]
+    for ln in range(scope.start_line, (scope.end_line if scope.end_line >= 0
+                                       else ft.nlines() - 1) + 1):
+        if any(a <= ln <= b for a, b in skip):
+            continue
+        texts.append(ft.code[ln])
+    for text in texts:
+        for m in pat.finditer(text):
+            out.setdefault(m.group(2), m.group(1))
+    return out

@@ -1,0 +1,73 @@
+"""SARIF 2.1.0 emission so nadlint findings land as GitHub
+code-scanning annotations (the CI nadlint job uploads the file via
+codeql-action/upload-sarif; locally `--sarif out.sarif` writes the same
+document for editor integrations)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .base import Finding
+
+_RULE_HELP = {
+    "raw-mutex": "Raw std:: sync primitive outside src/common/; use the "
+                 "annotated nadreg::Mutex/MutexLock/CondVar (common/sync.h).",
+    "no-sleep": "Wall-clock sleep/clock in simulation, algorithm or retry "
+                "code; use logical time or interruptible CondVar waits.",
+    "ignored-status": "Result of a must-check Decode*/Encode*Checked/"
+                      "ParseEndpoint call is dropped.",
+    "opcode-switch": "A switch over nad::MsgType must name every "
+                     "enumerator.",
+    "hot-alloc": "Heap-allocating construction or materializing codec call "
+                 "inside a marked hot-path section (DESIGN.md §14).",
+    "arena-escape": "A view tied to an arena/rx-buffer/pending-table epoch "
+                    "escapes into storage that outlives its Reset point "
+                    "(DESIGN.md §14).",
+    "lock-order": "Nested MutexLock acquisition violates the DESIGN.md §12 "
+                  "hierarchy (scripts/nadlint/lock_order.json).",
+    "tsa-coverage": "Mutable field of a mutex-owning class without "
+                    "GUARDED_BY: invisible to Clang Thread Safety "
+                    "Analysis.",
+    "lock-manifest": "lock_order.json and the DESIGN.md §12 hierarchy "
+                     "table disagree.",
+}
+
+
+def write_sarif(findings: list[Finding], out_path: Path,
+                version: str) -> None:
+    rule_ids = sorted({f.rule for f in findings} | set(_RULE_HELP))
+    doc = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                   "master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "nadlint",
+                    "version": version,
+                    "rules": [{
+                        "id": rid,
+                        "shortDescription": {"text": _RULE_HELP.get(
+                            rid, rid)},
+                        "defaultConfiguration": {"level": "error"},
+                    } for rid in rule_ids],
+                }
+            },
+            "results": [{
+                "ruleId": f.rule,
+                "level": "error",
+                "message": {"text": f.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": max(1, f.line)},
+                    }
+                }],
+            } for f in findings],
+        }],
+    }
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")

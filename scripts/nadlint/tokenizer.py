@@ -1,0 +1,174 @@
+"""C++-aware lexical pass: splits a translation unit into code, comment
+and literal channels without ever parsing C++ proper.
+
+The old regex linter ran on raw lines with a trailing-`//` chop, so a
+pattern inside a block comment, a string literal, or a cleverly wrapped
+comment produced false positives (and `lint-allow` markers existed only
+to paper over them). This pass walks the file once with a small state
+machine — line comments, block comments, ordinary/char literals with
+escapes, raw strings with custom delimiters, preprocessor lines with
+continuations — and produces a `FileText`:
+
+  lines    the raw input lines (for reporting / directive echo)
+  code     same shape, with comment text and literal *contents* blanked
+           to spaces (delimiters kept), so column numbers survive and
+           every rule regex runs on code and nothing but code
+  comment  per line, the concatenated comment text (the only channel
+           the directive scanners — lint-allow / lint-expect /
+           hot-path-begin / lint-path — ever read)
+  is_pp    per line, whether the line belongs to a preprocessor
+           directive (including `\\` continuations)
+
+Rules never see the raw text again: code patterns match on `code`,
+directives match on `comment`, and the two cannot contaminate each
+other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FileText:
+    lines: list[str] = field(default_factory=list)
+    code: list[str] = field(default_factory=list)
+    comment: list[str] = field(default_factory=list)
+    is_pp: list[bool] = field(default_factory=list)
+
+    def nlines(self) -> int:
+        return len(self.lines)
+
+
+# Lexer states.
+_CODE, _LINE_COMMENT, _BLOCK_COMMENT, _STRING, _CHAR, _RAW = range(6)
+
+import re
+
+_RAW_PREFIX_RE = re.compile(r"(?:^|[^\w])(?:u8|u|U|L)?R$")
+
+
+def lex(text: str) -> FileText:
+    """Single forward pass over the file; never throws on malformed
+    input (an unterminated literal simply blanks to end of file, which
+    is what the compiler would reject anyway)."""
+    out = FileText()
+    state = _CODE
+    raw_delim = ""  # the )delim" terminator of the active raw string
+    pp_active = False  # inside a preprocessor directive (continuations)
+
+    for raw_line in text.splitlines():
+        code_chars: list[str] = []
+        comment_chars: list[str] = []
+        line_is_pp = False
+
+        if state == _LINE_COMMENT:
+            state = _CODE  # a line comment never survives the newline
+        if pp_active:
+            line_is_pp = True
+
+        i, n = 0, len(raw_line)
+        # A fresh preprocessor directive: first non-blank char is '#'.
+        if state == _CODE and not pp_active:
+            stripped = raw_line.lstrip()
+            if stripped.startswith("#"):
+                line_is_pp = True
+
+        while i < n:
+            c = raw_line[i]
+            nxt = raw_line[i + 1] if i + 1 < n else ""
+            if state == _CODE:
+                if c == "/" and nxt == "/":
+                    state = _LINE_COMMENT
+                    code_chars.append("  ")
+                    i += 2
+                    continue
+                if c == "/" and nxt == "*":
+                    state = _BLOCK_COMMENT
+                    code_chars.append("  ")
+                    i += 2
+                    continue
+                if c == '"':
+                    # R"delim( ... )delim" — the prefix must directly
+                    # abut the quote and be a whole token (not FooR").
+                    before = "".join(code_chars)
+                    if _RAW_PREFIX_RE.search(before):
+                        close = raw_line.find("(", i + 1)
+                        if close >= 0:
+                            raw_delim = ")" + raw_line[i + 1 : close] + '"'
+                            state = _RAW
+                            code_chars.append('"')
+                            code_chars.append(" " * (close - i))
+                            i = close + 1
+                            continue
+                    state = _STRING
+                    code_chars.append('"')
+                    i += 1
+                    continue
+                if c == "'":
+                    # Digit separators (1'000'000) are not char literals.
+                    prev = code_chars[-1][-1:] if code_chars else ""
+                    if prev.isdigit() and (nxt.isdigit() or nxt in "abcdefABCDEF"):
+                        code_chars.append(c)
+                        i += 1
+                        continue
+                    state = _CHAR
+                    code_chars.append("'")
+                    i += 1
+                    continue
+                code_chars.append(c)
+                i += 1
+            elif state == _LINE_COMMENT:
+                comment_chars.append(c)
+                code_chars.append(" ")
+                i += 1
+            elif state == _BLOCK_COMMENT:
+                if c == "*" and nxt == "/":
+                    state = _CODE
+                    code_chars.append("  ")
+                    i += 2
+                else:
+                    comment_chars.append(c)
+                    code_chars.append(" ")
+                    i += 1
+            elif state in (_STRING, _CHAR):
+                quote = '"' if state == _STRING else "'"
+                if c == "\\" and nxt:
+                    code_chars.append("  ")
+                    i += 2
+                elif c == quote:
+                    state = _CODE
+                    code_chars.append(quote)
+                    i += 1
+                else:
+                    code_chars.append(" ")
+                    i += 1
+            else:  # _RAW
+                end = raw_line.find(raw_delim, i)
+                if end < 0:
+                    code_chars.append(" " * (n - i))
+                    i = n
+                else:
+                    code_chars.append(" " * (end - i))
+                    code_chars.append('"')
+                    i = end + len(raw_delim)
+                    state = _CODE
+
+        # An unterminated ordinary literal does not really span lines;
+        # recover rather than blanking the rest of the file.
+        if state in (_STRING, _CHAR):
+            state = _CODE
+
+        code_line = "".join(code_chars)
+        if line_is_pp:
+            pp_active = code_line.rstrip().endswith("\\")
+        out.lines.append(raw_line)
+        out.code.append(code_line)
+        out.comment.append("".join(comment_chars))
+        out.is_pp.append(line_is_pp)
+
+    return out
+
+
+def lex_file(path) -> FileText:
+    return lex(path.read_text(errors="replace"))

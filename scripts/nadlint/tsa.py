@@ -1,0 +1,57 @@
+"""tsa-coverage: every mutable field of a class that declares a
+nadreg::Mutex must carry GUARDED_BY (or an explicit, reasoned
+lint-allow) — so the Clang Thread Safety build actually *covers* the
+class instead of silently proving nothing about its unannotated fields.
+
+Why: TSA only checks accesses to fields that are annotated. A class
+that takes the trouble to own a Mutex but leaves half its fields bare
+gets a green -Wthread-safety build in which precisely the unannotated
+half — the part most likely to grow a data race — is invisible. And on
+the GCC side of the CI matrix the macros expand to nothing, so the gap
+never even has a chance to be noticed. This pass makes the coverage
+hole a finding: annotate the field, or document why it needs no lock.
+
+Exempt by construction (the analysis could never bind them to a mutex,
+or they synchronize some other way):
+  * const / constexpr / static fields and reference members — immutable
+    or rebindable-never either way;
+  * std::atomic fields — their synchronization story is the atomic
+    itself (§12's cross-thread gauges);
+  * Mutex / CondVar members — the lock is not guarded by itself;
+  * fields already GUARDED_BY / PT_GUARDED_BY.
+
+Scope: src/ only. Test/bench scratch structs park a waiter on an ad-hoc
+mutex for one assertion; annotating those teaches TSA nothing the test
+does not already assert, and the real discipline (common/sync.h users
+in the shipped tree) is what the §12 table governs.
+
+Suppression: `lint-allow(tsa-coverage): <why no lock is needed>` on the
+field's line (trailing), any line of a multi-line declaration, or the
+line above it.
+"""
+
+from __future__ import annotations
+
+from .base import Finding, RuleContext
+
+
+def check_tsa_coverage(ctx: RuleContext) -> list[Finding]:
+    if not ctx.path.startswith("src/"):
+        return []
+    findings: list[Finding] = []
+    for scope in ctx.scopes.walk():
+        if scope.kind != "class" or not scope.has_mutex:
+            continue
+        for f in scope.fields:
+            if (f.guarded or f.is_const or f.is_static or f.is_reference
+                    or f.is_atomic or f.is_mutex or f.is_condvar):
+                continue
+            if ctx.allowed_range(f.first_line, f.line, "tsa-coverage"):
+                continue
+            findings.append(ctx.finding(
+                f.line, "tsa-coverage",
+                f"'{scope.name}::{f.name}' is a mutable field of a "
+                "mutex-owning class but carries no GUARDED_BY; annotate "
+                "it (common/thread_annotations.h) or lint-allow with the "
+                "reason it needs no lock (DESIGN.md §15)"))
+    return findings

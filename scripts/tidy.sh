@@ -6,6 +6,8 @@
 #
 #   $ scripts/tidy.sh                 # whole src/ tree
 #   $ scripts/tidy.sh src/nad        # one subtree
+#   $ scripts/tidy.sh --diff REF     # only sources changed vs git REF
+#                                    # (what CI's clang job runs per PR)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,12 +21,22 @@ if [ ! -f "$build_dir/compile_commands.json" ]; then
   cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 fi
 
-target="${1:-src}"
-mapfile -t files < <(git ls-files "$target" | grep -E '\.(cc|cpp)$' \
-  | grep -v '^tests/lint_fixtures/')
-if [ "${#files[@]}" -eq 0 ]; then
-  echo "tidy.sh: no sources under '$target'" >&2
-  exit 2
+if [ "${1:-}" = "--diff" ]; then
+  base="${2:?tidy.sh: --diff needs a git ref (e.g. origin/main)}"
+  mapfile -t files < <(git diff --name-only --diff-filter=d "$base" -- \
+    | grep -E '\.(cc|cpp)$' | grep -v '^tests/lint_fixtures/' || true)
+  if [ "${#files[@]}" -eq 0 ]; then
+    echo "tidy.sh: no sources changed vs $base; nothing to do" >&2
+    exit 0
+  fi
+else
+  target="${1:-src}"
+  mapfile -t files < <(git ls-files "$target" | grep -E '\.(cc|cpp)$' \
+    | grep -v '^tests/lint_fixtures/')
+  if [ "${#files[@]}" -eq 0 ]; then
+    echo "tidy.sh: no sources under '$target'" >&2
+    exit 2
+  fi
 fi
 
 clang-tidy -p "$build_dir" --quiet "${files[@]}"

@@ -43,7 +43,9 @@ namespace {
 struct PhaseState {
   Mutex mu;
   CondVar cv;
-  std::uint32_t reads_needed_per_disk = 0;  // set before any handler runs
+  // set before any handler runs, read-only thereafter
+  // lint-allow(tsa-coverage): written pre-publication
+  std::uint32_t reads_needed_per_disk = 0;
   std::vector<std::uint32_t> reads_done GUARDED_BY(mu);  // per disk
   std::uint32_t disks_complete GUARDED_BY(mu) = 0;
   std::uint64_t max_mbal_seen GUARDED_BY(mu) = 0;

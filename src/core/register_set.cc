@@ -47,8 +47,13 @@ struct RegisterSet::Shared : std::enable_shared_from_this<RegisterSet::Shared> {
     std::deque<QueuedOp> queue;
   };
 
+  // Filled in by RegisterSet's ctor before the Shared ptr is handed to
+  // any completion handler; read-only from then on.
+  // lint-allow(tsa-coverage): set pre-publication
   BaseRegisterClient* client = nullptr;
+  // lint-allow(tsa-coverage): set pre-publication
   ProcessId self = kNoProcess;
+  // lint-allow(tsa-coverage): set pre-publication
   std::vector<RegisterId> regs;
   Mutex mu;
   std::vector<Slot> slots GUARDED_BY(mu);
@@ -61,10 +66,13 @@ struct RegisterSet::Shared : std::enable_shared_from_this<RegisterSet::Shared> {
   std::atomic<std::uint64_t> max_pending_depth{0};
 
   // Process-global instruments (resolved once; recording is lock-free).
+  // lint-allow(tsa-coverage): resolved once at init
   obs::Histogram* g_wait_hist =
       &obs::Registry::Global().GetHistogram("core.quorum_wait_us");
+  // lint-allow(tsa-coverage): resolved once at init
   obs::Gauge* g_pending_depth =
       &obs::Registry::Global().GetGauge("core.pending_depth");
+  // lint-allow(tsa-coverage): resolved once at init
   obs::Counter* g_skipped_suspected =
       &obs::Registry::Global().GetCounter("core.skipped_suspected");
 

@@ -72,13 +72,18 @@ class FaultInjector {
   const FaultPlan plan_;
   FaultSink& sink_;
   obs::Counter& injected_total_;
+  // Set in the ctor, read-only after; the Registry locks itself (§12
+  // rank 5).
+  // lint-allow(tsa-coverage): set once in the ctor
   obs::Registry* registry_;
 
   mutable Mutex mu_;
   CondVar cv_;
   std::size_t next_ GUARDED_BY(mu_) = 0;  // first event not yet fired
   bool stopped_ GUARDED_BY(mu_) = false;
-  std::jthread thread_;  // set by Start(), joined by Stop()/dtor
+  // set by Start(), joined by Stop()/dtor
+  // lint-allow(tsa-coverage): lifecycle-serialized (Start/Stop contract)
+  std::jthread thread_;
 };
 
 }  // namespace nadreg::faults

@@ -764,7 +764,7 @@ void NadClient::DispatchResponse(Conn* conn, const MessageView& msg) {
   } else {
     if (op.on_stats) {
       // lint-allow(hot-alloc): STATS is out-of-band observability.
-      op.on_stats(std::string(msg.value));  // lint-allow(hot-alloc)
+      op.on_stats(std::string(msg.value));
     }
   }
   // hot-path-end

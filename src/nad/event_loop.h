@@ -103,18 +103,28 @@ class EventLoop {
   /// handler, then drains the inbox one last time (`tasks` is scratch).
   void Die(std::vector<Task>* tasks);
 
+  // Both fds are opened before the loop thread starts and closed in the
+  // destructor after it joins; in between they are read-only values.
+  // lint-allow(tsa-coverage): set before the loop thread starts
   int epoll_fd_ = -1;
+  // lint-allow(tsa-coverage): set before the loop thread starts
   int wake_fd_ = -1;
   std::atomic<bool> stop_{false};
   std::atomic<bool> dead_{false};
+  // SetFatalHandler documents "call before Start; at most once".
+  // lint-allow(tsa-coverage): set before Start per the API contract
   Task fatal_handler_;
   std::atomic<std::thread::id> loop_tid_{};
 
   Mutex inbox_mu_;
   std::vector<Task> inbox_ GUARDED_BY(inbox_mu_);
 
+  // timers() contract: loop-thread only.
+  // lint-allow(tsa-coverage): loop-thread confined
   TimerWheel wheel_;
-  std::jthread thread_;  // last member: joins before the rest tears down
+  // last member: joins before the rest tears down
+  // lint-allow(tsa-coverage): set in Start, joined in the dtor
+  std::jthread thread_;
 };
 
 }  // namespace nadreg::nad

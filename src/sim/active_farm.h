@@ -95,11 +95,14 @@ class ActiveDiskFarm : public ActiveDiskClient, public faults::FaultSink {
       GUARDED_BY(mu_);
   RegisterStore store_ GUARDED_BY(mu_);
   Rng rng_ GUARDED_BY(mu_);
-  Options opts_;  // immutable after construction
+  // lint-allow(tsa-coverage): immutable after construction
+  Options opts_;
   std::uint64_t next_seq_ GUARDED_BY(mu_) = 0;
   OpStats stats_ GUARDED_BY(mu_);
   std::uint64_t rmw_issued_ GUARDED_BY(mu_) = 0;
   std::uint64_t rmw_completed_ GUARDED_BY(mu_) = 0;
+  // last member: joins before the rest is destroyed
+  // lint-allow(tsa-coverage): set in the ctor, joined in the dtor
   std::jthread service_;
 };
 

@@ -1,0 +1,47 @@
+// lint-path: src/nad/bad_lock_order.cc
+// Known-bad fixture: nested scoped MutexLock acquisitions that invert
+// the DESIGN.md §12 hierarchy (machine-readable form:
+// scripts/nadlint/lock_order.json). The hierarchy orders NadServer's
+// mu_ (rank 2) before a store Stripe's mu (rank 3) before journal_mu_
+// (rank 4); acquiring a lock of equal or earlier rank while holding a
+// later one is the deadlock shape TSA cannot see (and GCC builds
+// compile the annotations away entirely). Never compiled; the linter
+// self-test asserts every lint-expect line below is flagged.
+#include "common/sync.h"
+
+namespace nadreg::nad {
+
+struct Stripe {
+  Mutex mu;
+};
+
+class NadServer {
+ public:
+  // Inversion: journal (rank 4) held while taking connection state
+  // (rank 2).
+  void BadCheckpoint() {
+    MutexLock journal(journal_mu_);
+    MutexLock conns(mu_);  // lint-expect(lock-order)
+  }
+
+  // Inversion: journal (rank 4) held while locking a stripe (rank 3);
+  // the write path takes them in the opposite (legal) order.
+  void BadJournalFirst(Stripe& s) {
+    MutexLock journal(journal_mu_);
+    MutexLock stripe(s.mu);  // lint-expect(lock-order)
+  }
+
+  // Same-rank nesting: two stripes under scoped guards. Only
+  // QuiesceGuard may hold multiple stripes (explicit Lock() in
+  // ascending index order, runtime-asserted).
+  void BadTwoStripes(Stripe& a, Stripe& b) {
+    MutexLock first(a.mu);
+    MutexLock second(b.mu);  // lint-expect(lock-order)
+  }
+
+ private:
+  Mutex mu_;
+  Mutex journal_mu_;
+};
+
+}  // namespace nadreg::nad

@@ -1,0 +1,54 @@
+// lint-path: src/nad/bad_sso_alias.cc
+// Known-bad fixture: the PR 8 SSO-aliasing bug shape. A wire chunk (or
+// a string_view feeding one) references a local std::string's bytes,
+// and the string object is later std::move'd. A value at or below
+// kSmallValueCopyBytes lives *inline* in the string object (SSO), so
+// the move relocates the referenced bytes and the queued chunk
+// transmits garbage — silently. This survived the compiler, ASan, TSan
+// and the regex linter; the arena-escape rule's alias+move pass is the
+// regression net. Never compiled; the linter self-test asserts every
+// lint-expect line below is flagged and nothing else is.
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nad/protocol.h"
+
+namespace nadreg::nad {
+
+struct ParkedWrite {
+  std::string payload;
+};
+
+void Park(ParkedWrite* park);
+
+// PutBytesRef keeps a pointer into `value`; the move afterwards
+// relocates SSO bytes out from under the queued chunk.
+inline void BadParkAfterRef(FrameWriter& w, ParkedWrite* park) {
+  std::string value = "ack";  // 3 bytes: always SSO
+  w.PutBytesRef(value);
+  park->payload = std::move(value);  // lint-expect(arena-escape)
+  Park(park);
+}
+
+// Same bug through an explicit chunk: .data() is captured while the
+// string still owns the bytes, then the object is moved away.
+inline void BadChunkThenMove(std::vector<WireChunk>& iov,
+                             ParkedWrite* park) {
+  std::string tag = "v1";
+  WireChunk c{tag.data(), tag.size()};
+  iov.push_back(c);
+  park->payload = std::move(tag);  // lint-expect(arena-escape)
+  Park(park);
+}
+
+// The fix (DESIGN.md §14 rule 3): copy small values into the arena via
+// PutBytesCopy, then moving the string is harmless. Not flagged.
+inline void GoodCopyThenMove(FrameWriter& w, ParkedWrite* park) {
+  std::string value = "ack";
+  w.PutBytesCopy(value);
+  park->payload = std::move(value);
+  Park(park);
+}
+
+}  // namespace nadreg::nad

@@ -1,0 +1,28 @@
+// lint-path: src/nad/bad_unguarded_field.cc
+// Known-bad fixture: a class that owns a nadreg::Mutex but leaves
+// mutable fields without GUARDED_BY. On clang the annotation is what
+// makes TSA prove the locking; on GCC the macros compile away, so an
+// unannotated field is invisible to every build in the matrix — the
+// tsa-coverage rule makes the gap mechanical. Never compiled; the
+// linter self-test asserts every lint-expect line below is flagged.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace nadreg::nad {
+
+class BadConnTable {
+ public:
+  void Add(int fd);
+
+ private:
+  mutable Mutex mu_;
+  std::vector<int> fds_ GUARDED_BY(mu_);
+  std::size_t watermark_ = 0;  // lint-expect(tsa-coverage)
+  std::string last_peer_;  // lint-expect(tsa-coverage)
+  bool draining_ = false;  // lint-expect(tsa-coverage)
+};
+
+}  // namespace nadreg::nad

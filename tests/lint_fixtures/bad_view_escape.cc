@@ -1,0 +1,48 @@
+// lint-path: src/nad/bad_view_escape.cc
+// Known-bad fixture: epoch-tied views (MessageView / WireChunk /
+// arena-derived string_view, DESIGN.md §14) escaping into storage that
+// outlives their frame's Reset point — a member, a member container, a
+// deferred lambda. Every escape reads recycled arena bytes on the next
+// frame; none of them crashes. Never compiled; the linter self-test
+// asserts every lint-expect line below is flagged and nothing else is.
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "nad/protocol.h"
+
+namespace nadreg::nad {
+
+class BadViewCache {
+ public:
+  // E1: plain member store of a view parameter.
+  void OnFrame(const MessageView& msg) {
+    last_ = msg;  // lint-expect(arena-escape)
+  }
+
+  // E2: member container keeps a chunk aliasing this frame's arena.
+  void OnChunk(WireChunk c) {
+    queued_.push_back(c);  // lint-expect(arena-escape)
+  }
+
+  // E2 again, via a string_view derived from the view's payload.
+  void OnPayload(const MessageView& msg) {
+    std::string_view value = msg.value;
+    index_.emplace_back(value);  // lint-expect(arena-escape)
+  }
+
+  // E3: the lambda owns the view past the dispatch that created it.
+  void Defer(const MessageView& msg) {
+    deferred_ = [msg] { Consume(msg); };  // lint-expect(arena-escape)
+  }
+
+ private:
+  static void Consume(const MessageView& msg);
+
+  MessageView last_;
+  std::vector<WireChunk> queued_;
+  std::vector<std::string_view> index_;
+  std::function<void()> deferred_;
+};
+
+}  // namespace nadreg::nad

@@ -1,0 +1,50 @@
+// lint-path: src/nad/good_lock_order.cc
+// Known-good twin of bad_lock_order.cc: every nested acquisition here
+// follows the DESIGN.md §12 hierarchy (rank strictly increasing inward:
+// server mu_ 2 -> stripe mu 3 -> journal_mu_ 4), or releases one guard
+// before taking the next, or involves an ad-hoc lock outside the
+// hierarchy which the rule deliberately ignores. Zero lint-expect
+// lines: the fixture self-test fails if the linter flags anything.
+#include "common/sync.h"
+
+namespace nadreg::nad {
+
+struct Stripe {
+  Mutex mu;
+};
+
+class NadServer {
+ public:
+  // Legal nesting: each inner lock has a strictly later rank.
+  void GoodWritePath(Stripe& s) {
+    MutexLock conns(mu_);
+    MutexLock stripe(s.mu);
+    MutexLock journal(journal_mu_);
+  }
+
+  // Sequential, not nested: the stripe guard dies before the journal
+  // guard exists, then the next stripe is taken fresh.
+  void GoodSequential(Stripe& a, Stripe& b) {
+    {
+      MutexLock stripe(a.mu);
+    }
+    {
+      MutexLock journal(journal_mu_);
+    }
+    MutexLock stripe(b.mu);
+  }
+
+  // A waiter mutex outside the §12 hierarchy has no rank; nesting it
+  // under a ranked lock is not an inversion.
+  void GoodAdHoc() {
+    MutexLock conns(mu_);
+    MutexLock waiter(waiter_mu_);
+  }
+
+ private:
+  Mutex mu_;
+  Mutex journal_mu_;
+  Mutex waiter_mu_;
+};
+
+}  // namespace nadreg::nad

@@ -1,0 +1,46 @@
+// lint-path: src/nad/good_view_escape.cc
+// Known-good twin of bad_view_escape.cc: every shape here handles an
+// epoch-tied view correctly — deep-copying at the ownership edge,
+// storing into frame-local or caller-owned sinks, or consuming the view
+// inside the statement that made it. Zero lint-expect lines: the
+// fixture self-test fails if the linter flags anything in this file.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nad/protocol.h"
+
+namespace nadreg::nad {
+
+class GoodViewCache {
+ public:
+  // Deep copy at the ownership edge: the member owns its bytes.
+  void OnFrame(const MessageView& msg) {
+    last_value_ = std::string(msg.value);
+  }
+
+  // Frame-local sink: the vector dies with the frame, before Reset.
+  void Gather(const MessageView& msg) {
+    std::vector<WireChunk> iov;
+    iov.push_back(WireChunk{msg.value.data(), msg.value.size()});
+    Flush(iov);
+  }
+
+  // Caller-owned sink: the out-vector's lifetime is the caller's
+  // contract (the CompactWire / FrameWriter channel shape).
+  static void Emit(const MessageView& msg, std::vector<WireChunk>& out) {
+    out.push_back(WireChunk{msg.value.data(), msg.value.size()});
+  }
+
+  // Immediately-invoked lambda: the capture dies in this statement.
+  std::size_t Measure(const MessageView& msg) {
+    return [&] { return msg.value.size(); }();
+  }
+
+ private:
+  static void Flush(const std::vector<WireChunk>& iov);
+
+  std::string last_value_;
+};
+
+}  // namespace nadreg::nad
