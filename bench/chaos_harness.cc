@@ -69,14 +69,14 @@ std::uint64_t GlobalCounter(const char* name) {
   return nadreg::obs::Registry::Global().GetCounter(name).Get();
 }
 
-/// Crash exactly t disks at random times, and make one surviving disk
-/// transiently slow (delay + heal) — the paper's adversary plus a
-/// recoverable transport fault, all inside the tolerated budget.
-FaultPlan ToleratedPlan(Rng& rng, std::uint32_t t) {
+/// Crash exactly `crashes` of `disks` disks at random times, and make one
+/// surviving disk transiently slow (delay + heal) — the paper's adversary
+/// plus a recoverable transport fault, all inside the tolerated budget.
+FaultPlan ToleratedPlanFor(Rng& rng, std::uint32_t disks,
+                           std::uint32_t crashes) {
   // Short horizon: sim runs complete in well under a millisecond, so a
   // longer schedule would mostly fire after the workload already ended.
-  const std::uint32_t disks = 2 * t + 1;
-  FaultPlan plan = FaultPlan::GenerateCrashPlan(rng, disks, t, 400us);
+  FaultPlan plan = FaultPlan::GenerateCrashPlan(rng, disks, crashes, 400us);
   const std::set<DiskId> crashed = plan.CrashedDisks();
   DiskId slow = 0;
   while (crashed.count(slow) != 0) ++slow;
@@ -95,6 +95,10 @@ FaultPlan ToleratedPlan(Rng& rng, std::uint32_t t) {
   return plan;
 }
 
+FaultPlan ToleratedPlan(Rng& rng, std::uint32_t t) {
+  return ToleratedPlanFor(rng, 2 * t + 1, t);
+}
+
 ScenarioResult RunToleratedScenario(Algorithm alg, std::uint32_t t,
                                     int seeds, int ops) {
   ScenarioResult r;
@@ -111,6 +115,47 @@ ScenarioResult RunToleratedScenario(Algorithm alg, std::uint32_t t,
     w.writers = 2;
     w.readers = 2;
     w.ops_per_process = ops;
+    w.fault_plan_text = plan.ToString();
+    auto res = RunWorkload(w);
+    r.faults_injected += res.faults_injected;
+    r.timeouts += res.timeouts;
+    if (!res.ok()) {
+      r.pass = false;
+      r.detail = "seed " + std::to_string(s) + ": " +
+                 (res.fault_plan_status.ok() ? res.check.explanation
+                                             : res.fault_plan_status.ToString());
+      return r;
+    }
+  }
+  r.detail = std::to_string(seeds) + " seeds, histories certified";
+  return r;
+}
+
+/// Coded MWMR (core/coded) under quorum-minority crashes: exactly
+/// f = (n-k)/2 of the n fragment disks crash mid-run, plus transient
+/// delays on a survivor. Every surviving history must certify atomic —
+/// in particular no read may surface a torn decode of a write whose
+/// fragments only partially propagated before its writer's puts raced
+/// the crashes (the tag-completeness invariant, DESIGN.md §16).
+ScenarioResult RunCodedScenario(std::uint32_t n, std::uint32_t k, int seeds,
+                                int ops) {
+  const std::uint32_t f = (n - k) / 2;
+  ScenarioResult r;
+  r.name = "sim/coded-tolerated/n" + std::to_string(n) + "k" +
+           std::to_string(k) + "f" + std::to_string(f);
+  r.pass = true;
+  for (int s = 1; s <= seeds; ++s) {
+    Rng rng(0xc0dedULL * static_cast<std::uint64_t>(s) + n);
+    FaultPlan plan = ToleratedPlanFor(rng, n, f);
+    WorkloadOptions w;
+    w.algorithm = Algorithm::kCodedMwmr;
+    w.coded_n = n;
+    w.coded_k = k;
+    w.seed = 8100 + static_cast<std::uint64_t>(s);
+    w.writers = 2;
+    w.readers = 2;
+    w.ops_per_process = ops;
+    w.payload_bytes = 256;  // big enough that fragments differ from values
     w.fault_plan_text = plan.ToString();
     auto res = RunWorkload(w);
     r.faults_injected += res.faults_injected;
@@ -311,6 +356,9 @@ int main(int argc, char** argv) {
       results.push_back(RunToleratedScenario(a, /*t=*/2, seeds, ops));
     }
   }
+  // Coded MWMR: f = 0 (delays only) and f = 1 (one fragment disk down).
+  results.push_back(RunCodedScenario(/*n=*/5, /*k=*/5, seeds, ops));
+  results.push_back(RunCodedScenario(/*n=*/8, /*k=*/5, seeds, ops));
   results.push_back(RunOverBudgetScenario(/*t=*/1, /*ops=*/2));
   results.push_back(RunDiskPaxosScenario());
   if (!sim_only) {
@@ -318,6 +366,10 @@ int main(int argc, char** argv) {
                                           quick ? 40 : 120));
     results.push_back(RunTcpChaosScenario(Algorithm::kMwmrAtomic,
                                           quick ? 25 : 60));
+    // Coded register over real daemons: merges (kMergeReq) must survive
+    // disconnect/reconnect retransmission exactly like writes.
+    results.push_back(RunTcpChaosScenario(Algorithm::kCodedMwmr,
+                                          quick ? 15 : 40));
   }
 
   bool all_pass = true;

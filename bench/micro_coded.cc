@@ -1,0 +1,261 @@
+// micro_coded — storage & wire-traffic gate for the erasure-coded MWMR
+// emulation (core/coded/coded_mwmr.h).
+//
+// For each code geometry (n, k) and value size, runs a write/read loop
+// through a CodedMwmr endpoint over a zero-delay SimFarm and measures:
+//
+//   bytes_at_rest        sum of the n coded-cell payloads after the loop
+//                        (farm.Peek per disk) — steady state holds ONE
+//                        committed fragment of ceil(size/k) bytes per disk
+//                        plus bounded cell metadata, so the blowup over
+//                        the raw value should track n/k, not n;
+//   replicated_at_rest   the same value written verbatim to one register
+//                        on each of the n disks — what any full-copy
+//                        emulation stores, the n× baseline;
+//   wire bytes           the endpoint's transport-independent accounting
+//                        (delta payloads out, cell payloads in), split
+//                        into write-phase and read-phase averages;
+//   decode percentiles   the "core.coded.decode_us" histogram from the
+//                        metrics registry, accumulated over every read.
+//
+// --check turns the storage claim into a CI gate: at n=8, k=5 the
+// measured at-rest blowup must stay <= 1.1 x (n/k) for every value size
+// >= 4096 bytes (below that the fixed ~52B/cell tag+geometry metadata
+// dominates the fragment and the ratio is meaningless — the small sizes
+// are still reported in the artifact, just not gated).
+//
+// Flags: --quick        CI shape (fewer ops per cell of the sweep)
+//        --check        run --quick and exit 1 if a gated blowup exceeds
+//                       1.1 x n/k at n=8, k=5
+//        --ops N        writes (and reads) per sweep cell
+//        --out FILE     output path (default BENCH_coded.json)
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/address.h"
+#include "core/coded/coded_mwmr.h"
+#include "obs/metrics.h"
+#include "sim/sim_farm.h"
+
+namespace {
+
+using nadreg::DiskId;
+using nadreg::RegisterId;
+using nadreg::Rng;
+using nadreg::core::CodedMwmr;
+using nadreg::core::CodedOptions;
+using nadreg::core::Component;
+using nadreg::core::MakeBlock;
+using nadreg::sim::SimFarm;
+
+constexpr std::uint32_t kObject = 1;
+
+struct CellResult {
+  std::uint32_t n = 0, k = 0;
+  std::size_t value_size = 0;
+  std::uint64_t coded_at_rest = 0;       // bytes across all n disks
+  std::uint64_t replicated_at_rest = 0;  // ditto, full-copy baseline
+  double coded_blowup = 0;               // coded_at_rest / value_size
+  double rate_bound = 0;                 // n/k — the coding-theoretic floor
+  double write_wire_out = 0;             // bytes out per WRITE
+  double read_wire_out = 0;              // bytes out per READ (write-back)
+  double read_wire_in = 0;               // bytes in per READ (quorum cells)
+  bool gated = false;
+};
+
+std::string RandomValue(Rng& rng, std::size_t size) {
+  std::string v(size, '\0');
+  for (char& c : v) c = static_cast<char>(rng.Below(256));
+  return v;
+}
+
+/// Runs one sweep cell on a fresh farm. Returns false on setup failure.
+bool RunCell(std::uint32_t n, std::uint32_t k, std::size_t value_size,
+             std::size_t ops, std::uint64_t seed, CellResult* out) {
+  SimFarm::Options farm_opts;
+  farm_opts.seed = seed;
+  farm_opts.min_delay_us = 0;
+  farm_opts.max_delay_us = 0;  // storage accounting, not schedule stress
+  SimFarm farm(farm_opts);
+  auto reg = CodedMwmr::Make(farm, kObject, /*self=*/1, CodedOptions{n, k});
+  if (!reg.ok()) {
+    std::fprintf(stderr, "CodedMwmr::Make(%u, %u): %s\n", n, k,
+                 reg.status().ToString().c_str());
+    return false;
+  }
+
+  Rng rng(seed);
+  for (std::size_t i = 0; i < ops; ++i) {
+    reg->Write(RandomValue(rng, value_size));
+  }
+  const std::uint64_t out_after_writes = reg->WireBytesOut();
+  const std::uint64_t in_after_writes = reg->WireBytesIn();
+  for (std::size_t i = 0; i < ops; ++i) {
+    auto v = reg->Read();
+    if (!v.has_value() || v->size() != value_size) {
+      std::fprintf(stderr, "read mismatch at n=%u k=%u size=%zu\n", n, k,
+                   value_size);
+      return false;
+    }
+  }
+
+  out->n = n;
+  out->k = k;
+  out->value_size = value_size;
+  out->rate_bound = static_cast<double>(n) / static_cast<double>(k);
+  out->write_wire_out = static_cast<double>(out_after_writes) /
+                        static_cast<double>(ops);
+  out->read_wire_out =
+      static_cast<double>(reg->WireBytesOut() - out_after_writes) /
+      static_cast<double>(ops);
+  out->read_wire_in =
+      static_cast<double>(reg->WireBytesIn() - in_after_writes) /
+      static_cast<double>(ops);
+
+  // Steady state after the last write's commit round-tripped: each disk's
+  // cell holds the committed fragment only.
+  for (DiskId d = 0; d < n; ++d) {
+    RegisterId r{d, MakeBlock(kObject, Component::kCodedCell, 0)};
+    out->coded_at_rest += farm.Peek(r).size();
+  }
+
+  // Full-copy baseline on the same farm shape: one verbatim copy per
+  // disk, which is exactly what the replicated emulations keep per value.
+  const std::string value = RandomValue(rng, value_size);
+  for (DiskId d = 0; d < n; ++d) {
+    RegisterId r{d, MakeBlock(kObject + 1, Component::kCodedCell, 0)};
+    std::atomic<bool> done{false};
+    farm.IssueWrite(1, r, value, [&done] { done.store(true); });
+    while (!done.load()) {
+    }
+    out->replicated_at_rest += farm.Peek(r).size();
+  }
+
+  out->coded_blowup = value_size == 0
+                          ? 0
+                          : static_cast<double>(out->coded_at_rest) /
+                                static_cast<double>(value_size);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t ops = 16;
+  bool check = false;
+  const char* out_path = "BENCH_coded.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      ops = 4;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+      ops = 4;
+    } else if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
+      ops = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--check] [--ops N] [--out FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> geometries = {
+      {4, 2}, {6, 4}, {8, 5}};
+  const std::vector<std::size_t> sizes = {64, 1024, 4096, 16384, 65536};
+  // The gate only bites where the fragment dwarfs the per-cell metadata.
+  constexpr std::size_t kGateMinSize = 4096;
+  constexpr double kGateSlack = 1.1;
+
+  std::printf("micro_coded: %zu writes + %zu reads per cell, %zu geometries "
+              "x %zu sizes\n",
+              ops, ops, geometries.size(), sizes.size());
+
+  std::vector<CellResult> results;
+  bool gate_failed = false;
+  std::uint64_t seed = 0xC0DED;
+  for (auto [n, k] : geometries) {
+    for (std::size_t size : sizes) {
+      CellResult r;
+      if (!RunCell(n, k, size, ops, seed++, &r)) return 1;
+      r.gated = check && n == 8 && k == 5 && size >= kGateMinSize;
+      const double limit = kGateSlack * r.rate_bound;
+      std::printf(
+          "  n=%u k=%u size=%6zu  at-rest %7llu B (%.2fx, bound %.2fx)  "
+          "replicated %7llu B (%.0fx)  write-wire %8.0f B%s\n",
+          n, k, size, static_cast<unsigned long long>(r.coded_at_rest),
+          r.coded_blowup, r.rate_bound,
+          static_cast<unsigned long long>(r.replicated_at_rest),
+          static_cast<double>(n), r.write_wire_out,
+          r.gated ? (r.coded_blowup <= limit ? "  [gate OK]" : "  [gate FAIL]")
+                  : "");
+      if (r.gated && r.coded_blowup > limit) gate_failed = true;
+      results.push_back(r);
+    }
+  }
+
+  const auto& decode =
+      nadreg::obs::Registry::Global().GetHistogram("core.coded.decode_us");
+  std::printf("  decode: %llu samples, p50 %lluus p90 %lluus p99 %lluus "
+              "max %lluus\n",
+              static_cast<unsigned long long>(decode.Count()),
+              static_cast<unsigned long long>(decode.PercentileUs(50)),
+              static_cast<unsigned long long>(decode.PercentileUs(90)),
+              static_cast<unsigned long long>(decode.PercentileUs(99)),
+              static_cast<unsigned long long>(decode.MaxUs()));
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"micro_coded\",\n");
+    std::fprintf(f, "  \"ops_per_cell\": %zu,\n", ops);
+    std::fprintf(f, "  \"gate\": {\"n\": 8, \"k\": 5, \"min_value_size\": %zu, "
+                    "\"max_blowup_over_rate\": %.2f},\n",
+                 kGateMinSize, kGateSlack);
+    std::fprintf(f, "  \"results\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const CellResult& r = results[i];
+      std::fprintf(
+          f,
+          "    {\"n\": %u, \"k\": %u, \"value_size\": %zu, "
+          "\"coded_at_rest_bytes\": %llu, \"replicated_at_rest_bytes\": %llu, "
+          "\"coded_blowup\": %.3f, \"rate_bound\": %.3f, "
+          "\"write_wire_out_bytes\": %.0f, \"read_wire_out_bytes\": %.0f, "
+          "\"read_wire_in_bytes\": %.0f}%s\n",
+          r.n, r.k, r.value_size,
+          static_cast<unsigned long long>(r.coded_at_rest),
+          static_cast<unsigned long long>(r.replicated_at_rest),
+          r.coded_blowup, r.rate_bound, r.write_wire_out, r.read_wire_out,
+          r.read_wire_in, i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"decode_us\": {\"count\": %llu, \"p50\": %llu, "
+                 "\"p90\": %llu, \"p99\": %llu, \"max\": %llu}\n",
+                 static_cast<unsigned long long>(decode.Count()),
+                 static_cast<unsigned long long>(decode.PercentileUs(50)),
+                 static_cast<unsigned long long>(decode.PercentileUs(90)),
+                 static_cast<unsigned long long>(decode.PercentileUs(99)),
+                 static_cast<unsigned long long>(decode.MaxUs()));
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("  artifact: %s\n", out_path);
+  }
+
+  if (gate_failed) {
+    std::fprintf(stderr,
+                 "check FAILED: coded at-rest blowup exceeded %.2f x n/k\n",
+                 kGateSlack);
+    return 1;
+  }
+  if (check) std::printf("  check: all gated blowups within %.2f x n/k\n",
+                         kGateSlack);
+  return 0;
+}

@@ -8,9 +8,10 @@ paper role / contract description). This is what the ``docs`` CMake target
 renders, and what keeps "where does this file live in the paper" answers
 one glance away.
 
-Enforced directories (the library's public surface): src/nad/ and
-src/core/. Other src/ headers are reported as warnings only, so the doc
-pass can grow without blocking CI.
+Enforced directories: src/nad/, src/core/ (and src/core/coded/ with it),
+src/common/, and src/sim/ — everything the emulations and their
+substrates are built from. Remaining src/ headers are reported as
+warnings only, so the doc pass can grow without blocking CI.
 
 Exit status: 0 = clean, 1 = violations in enforced dirs, 2 = usage error.
 """
@@ -21,7 +22,7 @@ import argparse
 import sys
 from pathlib import Path
 
-ENFORCED = ("src/nad/", "src/core/")
+ENFORCED = ("src/nad/", "src/core/", "src/common/", "src/sim/")
 MIN_PROSE_LINES = 2
 
 

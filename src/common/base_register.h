@@ -76,6 +76,39 @@ class BaseRegisterClient {
     for (WriteOp& op : ops) IssueWrite(p, op.reg, std::move(op.value), std::move(op.done));
   }
 
+  // --- Coded-cell merge (optional capability) -----------------------------
+  // The erasure-coded emulation needs one operation the paper's plain NAD
+  // does not have: apply MergeCodedCell(current, delta) at the register's
+  // linearization point. A fixed idempotent join is strictly weaker than
+  // the active disk's arbitrary read-modify-write (it has no consensus
+  // power — the merge outcome never depends on arrival order), but
+  // strictly stronger than plain read/write, so it gets its own opt-in
+  // surface here instead of riding ActiveDiskClient: backends advertise it
+  // via SupportsMerge() and core::CodedMwmr refuses substrates without it.
+
+  /// True when this backend applies IssueMerge via MergeCodedCell.
+  virtual bool SupportsMerge() const { return false; }
+
+  /// Issues a coded-cell merge of `delta` into register `r`. The merged
+  /// value — MergeCodedCell(current cell, delta) — takes effect when the
+  /// register responds, exactly like a write. Idempotent and commutative
+  /// by construction, so transports may retransmit it freely. Backends
+  /// that return false from SupportsMerge() complete the op as a no-op
+  /// (default); callers must check SupportsMerge() first.
+  virtual void IssueMerge(ProcessId p, RegisterId r, Value delta,
+                          WriteHandler done) {
+    (void)p;
+    (void)r;
+    (void)delta;
+    if (done) done();
+  }
+
+  /// Issues many independent merges at once; see IssueReads. Merge deltas
+  /// reuse the WriteOp shape (register, payload, completion).
+  virtual void IssueMerges(ProcessId p, std::vector<WriteOp> ops) {
+    for (WriteOp& op : ops) IssueMerge(p, op.reg, std::move(op.value), std::move(op.done));
+  }
+
   // --- Scheduler hooks ----------------------------------------------------
   // A deterministic scheduler (sim::DetFarm) decides when to deliver
   // completions, so it must know when every workload thread is parked in a

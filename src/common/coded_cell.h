@@ -1,0 +1,106 @@
+/// \file
+/// The per-disk state of the erasure-coded MWMR emulation: a *coded cell*
+/// holding the highest tag known committed at this disk plus a small set of
+/// tagged fragments, and the join (merge) every backend applies to it.
+///
+/// A replicated base register stores one full value per disk; a coded cell
+/// stores one *fragment* (1/k of the value, plus parity headroom) per disk,
+/// following "Storage-Efficient Shared Memory Emulation" (Zorgui et al.)
+/// against the Cadambe–Wang–Lynch storage lower bounds. Because a fragment
+/// alone is useless, a coded write must never overwrite the previous
+/// fragment before the new write is recoverable elsewhere — so the cell is
+/// a join-semilattice, not a last-writer-wins register:
+///
+///   committed  : highest CodedTag this disk has seen a Commit for
+///   frags      : fragments with tag >= committed (one per tag), capped at
+///                kMaxPendingTags uncommitted entries (evict-lowest)
+///
+/// MergeCodedCell(current, delta) is commutative, idempotent and monotone
+/// in each argument, so replayed or reordered deltas (client retransmits
+/// after reconnect, chained queue slots) are harmless. The merge is total:
+/// undecodable current state resets to the empty cell, an undecodable
+/// delta leaves the cell unchanged.
+///
+/// Tag-completeness invariant (DESIGN.md §16): a disk prunes tag t's
+/// fragment only when some higher tag commits at that disk — at which point
+/// the disk reports committed > t, so the *maximum* committed tag visible
+/// in any read quorum always has >= k surviving fragments in that quorum
+/// (quorum intersection, n >= 2f+k).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace nadreg {
+
+/// Totally ordered write tag: (sequence, writer id), lexicographic.
+/// seq 0 is the initial value — no write ever carries it.
+struct CodedTag {
+  SeqNum seq = 0;
+  ProcessId writer = kNoProcess;
+
+  friend bool operator==(const CodedTag&, const CodedTag&) = default;
+  friend auto operator<=>(const CodedTag& a, const CodedTag& b) {
+    if (auto c = a.seq <=> b.seq; c != 0) return c;
+    return a.writer <=> b.writer;
+  }
+};
+
+/// One tagged fragment as stored in a cell or carried by a Put delta.
+/// `crc` covers `bytes` only — a reader drops corrupted fragments instead
+/// of feeding them to the decoder (RS with exactly k inputs cannot detect
+/// corruption by itself).
+struct CodedFragment {
+  CodedTag tag;
+  std::uint8_t index = 0;  // fragment index in [0, n)
+  std::uint8_t n = 0;
+  std::uint8_t k = 0;
+  std::uint32_t value_size = 0;  // pre-encoding value length, for trimming
+  std::uint32_t crc = 0;
+  std::string bytes;
+
+  friend bool operator==(const CodedFragment&, const CodedFragment&) = default;
+};
+
+/// The full per-disk cell: join of every delta merged so far.
+struct CodedCell {
+  /// Uncommitted tags a cell retains beyond `committed` (bounded storage;
+  /// the evict-lowest policy keeps the freshest in-flight writes).
+  static constexpr std::size_t kMaxPendingTags = 8;
+
+  CodedTag committed;
+  std::vector<CodedFragment> frags;  // sorted by tag ascending, unique tags
+
+  friend bool operator==(const CodedCell&, const CodedCell&) = default;
+};
+
+/// A delta shipped to a disk by the coded write/read protocol.
+struct CodedDelta {
+  enum class Kind : std::uint8_t { kPut = 1, kCommit = 2 };
+  Kind kind = Kind::kPut;
+  CodedFragment frag;  // kPut only
+  CodedTag tag;        // kCommit only
+};
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`.
+std::uint32_t Crc32(std::string_view bytes);
+
+std::string EncodeCodedCell(const CodedCell& cell);
+/// The empty string (register initial value) decodes to the empty cell.
+[[nodiscard]] Expected<CodedCell> DecodeCodedCell(std::string_view bytes);
+
+std::string EncodeCodedPut(const CodedFragment& frag);
+std::string EncodeCodedCommit(const CodedTag& tag);
+[[nodiscard]] Expected<CodedDelta> DecodeCodedDelta(std::string_view bytes);
+
+/// The cell join applied at a disk's linearization point:
+/// decode(current) ⊔ delta, re-encoded. Total on corrupt input (see the
+/// file comment); the only mutation path for coded cells on every backend.
+Value MergeCodedCell(const Value& current, std::string_view delta);
+
+}  // namespace nadreg

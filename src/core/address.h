@@ -30,8 +30,9 @@ enum class Component : std::uint8_t {
   kFixed = 0,     // the single block of a finite-register algorithm
   kTrieMark = 1,  // name-directory sticky bit (heap-encoded trie node)
   kView = 2,      // published snapshot view of a name (one-shot)
-  kValue = 3,     // Fig. 3 one-shot v[name]
-  kScratch = 4,   // application use
+  kValue = 3,      // Fig. 3 one-shot v[name]
+  kScratch = 4,    // application use
+  kCodedCell = 5,  // erasure-coded cell (tagged fragments, core/coded)
 };
 
 /// How Names map onto trie paths: `name_bits` is the packed width (= the

@@ -1,0 +1,191 @@
+#include "core/coded/rs_code.h"
+
+#include <array>
+
+namespace nadreg::core {
+
+namespace {
+
+// GF(2^8) with the conventional reduction polynomial x^8+x^4+x^3+x^2+1
+// (0x11d) and generator 2. exp_ is doubled so GfMul can skip the mod-255
+// wrap on the log sum.
+struct GfTables {
+  std::array<std::uint8_t, 512> exp{};
+  std::array<std::uint8_t, 256> log{};
+
+  GfTables() {
+    std::uint16_t x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    for (unsigned i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+  }
+};
+
+const GfTables& Gf() {
+  static const GfTables tables;
+  return tables;
+}
+
+std::uint8_t GfMul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const GfTables& t = Gf();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+std::uint8_t GfInv(std::uint8_t a) {
+  const GfTables& t = Gf();
+  return t.exp[255 - t.log[a]];
+}
+
+/// x^p in GF(2^8), with the 0^0 = 1 convention the Vandermonde rows need.
+std::uint8_t GfPow(std::uint8_t x, unsigned p) {
+  std::uint8_t r = 1;
+  for (unsigned i = 0; i < p; ++i) r = GfMul(r, x);
+  return r;
+}
+
+/// In-place Gauss–Jordan inverse of a k x k matrix (row-major). Returns
+/// false if singular — impossible for the matrices this file builds, but
+/// Decode stays total on that path rather than asserting.
+bool GfInvertMatrix(std::vector<std::uint8_t>& m, unsigned k) {
+  std::vector<std::uint8_t> inv(static_cast<std::size_t>(k) * k, 0);
+  for (unsigned i = 0; i < k; ++i) inv[i * k + i] = 1;
+  for (unsigned col = 0; col < k; ++col) {
+    unsigned pivot = col;
+    while (pivot < k && m[pivot * k + col] == 0) ++pivot;
+    if (pivot == k) return false;
+    if (pivot != col) {
+      for (unsigned j = 0; j < k; ++j) {
+        std::swap(m[pivot * k + j], m[col * k + j]);
+        std::swap(inv[pivot * k + j], inv[col * k + j]);
+      }
+    }
+    const std::uint8_t scale = GfInv(m[col * k + col]);
+    for (unsigned j = 0; j < k; ++j) {
+      m[col * k + j] = GfMul(m[col * k + j], scale);
+      inv[col * k + j] = GfMul(inv[col * k + j], scale);
+    }
+    for (unsigned row = 0; row < k; ++row) {
+      if (row == col) continue;
+      const std::uint8_t factor = m[row * k + col];
+      if (factor == 0) continue;
+      for (unsigned j = 0; j < k; ++j) {
+        m[row * k + j] ^= GfMul(factor, m[col * k + j]);
+        inv[row * k + j] ^= GfMul(factor, inv[col * k + j]);
+      }
+    }
+  }
+  m = std::move(inv);
+  return true;
+}
+
+}  // namespace
+
+Expected<RsCode> RsCode::Make(unsigned n, unsigned k) {
+  if (k < 1 || k > n || n > kMaxFragments) {
+    return Status::Invalid("rs_code: need 1 <= k <= n <= 255");
+  }
+  // Vandermonde rows at distinct points 0..n-1: any k of them (all k
+  // columns kept) form a smaller Vandermonde with distinct points, hence
+  // invertible. Right-multiplying by the inverse of the top k x k block
+  // preserves that while turning the top into the identity (systematic).
+  std::vector<std::uint8_t> vand(static_cast<std::size_t>(n) * k);
+  for (unsigned i = 0; i < n; ++i) {
+    for (unsigned j = 0; j < k; ++j) {
+      vand[i * k + j] = GfPow(static_cast<std::uint8_t>(i), j);
+    }
+  }
+  std::vector<std::uint8_t> top(vand.begin(), vand.begin() + k * k);
+  if (!GfInvertMatrix(top, k)) {
+    return Status::Invalid("rs_code: Vandermonde block not invertible");
+  }
+  std::vector<std::uint8_t> gen(static_cast<std::size_t>(n) * k, 0);
+  for (unsigned i = 0; i < n; ++i) {
+    for (unsigned j = 0; j < k; ++j) {
+      std::uint8_t acc = 0;
+      for (unsigned m = 0; m < k; ++m) {
+        acc ^= GfMul(vand[i * k + m], top[m * k + j]);
+      }
+      gen[i * k + j] = acc;
+    }
+  }
+  return RsCode(n, k, std::move(gen));
+}
+
+std::vector<std::string> RsCode::Encode(std::string_view value) const {
+  const std::size_t s = FragmentSize(value.size());
+  std::vector<std::string> frags(n_);
+  // Data shard i is value[i*s, (i+1)*s), zero-padded at the tail.
+  auto shard_byte = [&](unsigned i, std::size_t b) -> std::uint8_t {
+    const std::size_t off = static_cast<std::size_t>(i) * s + b;
+    return off < value.size() ? static_cast<std::uint8_t>(value[off]) : 0;
+  };
+  for (unsigned row = 0; row < n_; ++row) {
+    std::string& out = frags[row];
+    out.resize(s);
+    if (row < k_) {
+      for (std::size_t b = 0; b < s; ++b) {
+        out[b] = static_cast<char>(shard_byte(row, b));
+      }
+      continue;
+    }
+    for (std::size_t b = 0; b < s; ++b) {
+      std::uint8_t acc = 0;
+      for (unsigned i = 0; i < k_; ++i) {
+        acc ^= GfMul(Gen(row, i), shard_byte(i, b));
+      }
+      out[b] = static_cast<char>(acc);
+    }
+  }
+  return frags;
+}
+
+Expected<std::string> RsCode::Decode(
+    const std::vector<std::pair<unsigned, std::string_view>>& frags,
+    std::size_t value_size) const {
+  const std::size_t s = FragmentSize(value_size);
+  std::vector<unsigned> idx;
+  std::vector<std::string_view> data;
+  idx.reserve(k_);
+  data.reserve(k_);
+  for (const auto& [i, bytes] : frags) {
+    if (i >= n_ || bytes.size() != s) {
+      return Status::Invalid("rs_code: bad fragment index or size");
+    }
+    bool dup = false;
+    for (unsigned seen : idx) dup |= (seen == i);
+    if (dup) continue;
+    idx.push_back(i);
+    data.push_back(bytes);
+    if (idx.size() == k_) break;
+  }
+  if (idx.size() < k_) {
+    return Status::Invalid("rs_code: fewer than k distinct fragments");
+  }
+  // Solve G_S * shards = fragments for the k chosen rows S.
+  std::vector<std::uint8_t> sub(static_cast<std::size_t>(k_) * k_);
+  for (unsigned r = 0; r < k_; ++r) {
+    for (unsigned c = 0; c < k_; ++c) sub[r * k_ + c] = Gen(idx[r], c);
+  }
+  if (!GfInvertMatrix(sub, k_)) {
+    return Status::Invalid("rs_code: singular decode matrix");
+  }
+  std::string out(static_cast<std::size_t>(k_) * s, '\0');
+  for (unsigned i = 0; i < k_; ++i) {
+    for (std::size_t b = 0; b < s; ++b) {
+      std::uint8_t acc = 0;
+      for (unsigned r = 0; r < k_; ++r) {
+        acc ^= GfMul(sub[i * k_ + r], static_cast<std::uint8_t>(data[r][b]));
+      }
+      out[i * s + b] = static_cast<char>(acc);
+    }
+  }
+  out.resize(value_size);
+  return out;
+}
+
+}  // namespace nadreg::core

@@ -38,7 +38,8 @@ std::vector<std::pair<std::size_t, Value>> RegisterSet::Ticket::Results()
 struct RegisterSet::Shared : std::enable_shared_from_this<RegisterSet::Shared> {
   struct QueuedOp {
     bool is_write = false;
-    Value value;  // writes only
+    bool is_merge = false;  // implies is_write; value holds the delta
+    Value value;            // writes and merges only
     // Tickets to notify on completion. Reads may have several (coalesced).
     std::vector<std::shared_ptr<Ticket::State>> subscribers;
   };
@@ -150,9 +151,57 @@ struct RegisterSet::Shared : std::enable_shared_from_this<RegisterSet::Shared> {
     }
   }
 
+  // The coded write phase's fan-out: like a write phase, but register i
+  // receives its own delta (fragment i), and queued merges never coalesce
+  // — every delta must take effect for the cell join to converge.
+  void IssueMergePhase(const std::shared_ptr<Ticket::State>& st,
+                       std::vector<Value> deltas) {
+    std::vector<std::size_t> to_issue;
+    to_issue.reserve(regs.size());
+    {
+      MutexLock lock(mu);
+      for (std::size_t i = 0; i < regs.size(); ++i) {
+        Slot& slot = slots[i];
+        if (!slot.busy) {
+          if (client->IsSuspectedCrashed(regs[i].disk)) {
+            // Same fail-fast as IssuePhase: see the comment there.
+            g_skipped_suspected->Inc();
+            continue;
+          }
+          slot.busy = true;
+          to_issue.push_back(i);
+          continue;
+        }
+        QueuedOp op;
+        op.is_write = true;
+        op.is_merge = true;
+        op.value = std::move(deltas[i]);
+        op.subscribers = {st};
+        slot.queue.push_back(std::move(op));
+        NoteQueued(slot.queue.size());
+      }
+    }
+    if (to_issue.empty()) return;
+    auto self_ptr = shared_from_this();
+    std::vector<BaseRegisterClient::WriteOp> ops;
+    ops.reserve(to_issue.size());
+    for (std::size_t i : to_issue) {
+      ops.push_back({regs[i], std::move(deltas[i]), [self_ptr, i, st] {
+                       self_ptr->OnComplete(i, {st}, std::nullopt);
+                     }});
+    }
+    client->IssueMerges(self, std::move(ops));
+  }
+
   void IssueOp(std::size_t i, QueuedOp op) {
     auto self_ptr = shared_from_this();
-    if (op.is_write) {
+    if (op.is_merge) {
+      auto subs = std::move(op.subscribers);
+      client->IssueMerge(self, regs[i], std::move(op.value),
+                         [self_ptr, i, subs = std::move(subs)]() {
+                           self_ptr->OnComplete(i, subs, std::nullopt);
+                         });
+    } else if (op.is_write) {
       auto subs = std::move(op.subscribers);
       client->IssueWrite(self, regs[i], std::move(op.value),
                          [self_ptr, i, subs = std::move(subs)]() {
@@ -230,6 +279,14 @@ RegisterSet::Ticket RegisterSet::ReadAll() {
   Ticket ticket;
   ticket.state_ = std::make_shared<Ticket::State>(shared_->regs.size());
   shared_->IssuePhase(ticket.state_, /*is_write=*/false, Value{});
+  return ticket;
+}
+
+RegisterSet::Ticket RegisterSet::MergeEach(std::vector<Value> deltas) {
+  assert(deltas.size() == shared_->regs.size());
+  Ticket ticket;
+  ticket.state_ = std::make_shared<Ticket::State>(shared_->regs.size());
+  shared_->IssueMergePhase(ticket.state_, std::move(deltas));
   return ticket;
 }
 

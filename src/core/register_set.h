@@ -79,6 +79,14 @@ class RegisterSet : public obs::Instrumented {
   /// Issues (or queues, with coalescing) a read of every base register.
   Ticket ReadAll();
 
+  /// Issues (or queues, like writes) a coded-cell merge with a DISTINCT
+  /// delta per base register — the coded write phase's fan-out, where
+  /// register i receives fragment i's Put delta. `deltas` must have one
+  /// entry per register. Requires client.SupportsMerge(); merges follow
+  /// the same pending-op discipline as writes (no coalescing — every
+  /// delta must take effect).
+  Ticket MergeEach(std::vector<Value> deltas);
+
   /// Blocks until at least `k` of the ticket's operations completed.
   /// Returns false on timeout (when a deadline is supplied).
   bool Await(const Ticket& ticket, std::size_t k,

@@ -13,6 +13,7 @@
 #include "faults/fault_plan.h"
 #include "faults/fault_sink.h"
 #include "faults/injector.h"
+#include "core/coded/coded_mwmr.h"
 #include "core/mwmr_atomic.h"
 #include "core/mwsr_seqcst.h"
 #include "core/swmr_atomic.h"
@@ -80,7 +81,7 @@ struct Backend {
   std::unique_ptr<nad::NadClient> tcp;
   ClusterFaultSink tcp_sink;
 
-  static Backend Make(const WorkloadOptions& opts, const FarmConfig& cfg) {
+  static Backend Make(const WorkloadOptions& opts, std::size_t num_disks) {
     Backend b;
     if (!opts.over_tcp) {
       SimFarm::Options farm_opts;
@@ -90,7 +91,7 @@ struct Backend {
       return b;
     }
     std::map<DiskId, nad::NadClient::Endpoint> endpoints;
-    for (DiskId d = 0; d < cfg.num_disks(); ++d) {
+    for (DiskId d = 0; d < num_disks; ++d) {
       nad::NadServer::Options so;
       so.seed = opts.seed + d;
       so.max_delay_us = opts.max_delay_us;
@@ -128,14 +129,15 @@ struct Backend {
   }
 };
 
-std::jthread CrashInjector(Backend& backend, const FarmConfig& cfg,
-                           std::uint64_t seed, int crash_disks) {
-  return std::jthread([&backend, cfg, seed, crash_disks] {
+std::jthread CrashInjector(Backend& backend, std::size_t num_disks,
+                           std::uint32_t crash_budget, std::uint64_t seed,
+                           int crash_disks) {
+  return std::jthread([&backend, num_disks, crash_budget, seed, crash_disks] {
     if (crash_disks <= 0) return;
     Rng rng(seed ^ 0xdeadULL);
     std::vector<DiskId> disks;
-    for (DiskId d = 0; d < cfg.num_disks(); ++d) disks.push_back(d);
-    const int n = std::min<int>(crash_disks, static_cast<int>(cfg.t));
+    for (DiskId d = 0; d < num_disks; ++d) disks.push_back(d);
+    const int n = std::min<int>(crash_disks, static_cast<int>(crash_budget));
     for (int k = 0; k < n; ++k) {
       std::this_thread::sleep_for(
           std::chrono::microseconds(rng.Between(200, 2500)));
@@ -155,6 +157,7 @@ std::string AlgorithmName(Algorithm a) {
     case Algorithm::kMwsrSeqCst: return "MwsrSeqCst";
     case Algorithm::kMwmrAtomic: return "MwmrAtomic";
     case Algorithm::kSwsrRegular: return "SwsrRegular";
+    case Algorithm::kCodedMwmr: return "CodedMwmr";
   }
   return "?";
 }
@@ -186,7 +189,13 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
     plan = std::move(*parsed);
   }
   FarmConfig cfg{opts.t};
-  Backend backend = Backend::Make(opts, cfg);
+  // The coded emulation sizes its own deployment: n disks (one fragment
+  // home each), crash budget f = (n-k)/2, instead of the 2t+1 farm.
+  const bool coded = opts.algorithm == Algorithm::kCodedMwmr;
+  const core::CodedOptions coded_opts{opts.coded_n, opts.coded_k};
+  const std::size_t num_disks = coded ? opts.coded_n : cfg.num_disks();
+  const std::uint32_t crash_budget = coded ? coded_opts.f() : cfg.t;
+  Backend backend = Backend::Make(opts, num_disks);
   BaseRegisterClient& farm = backend.client();
   HistoryRecorder rec;
   const auto regs = cfg.Spread(0);
@@ -224,6 +233,9 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
       readers = 1;
       result.claim = Claim::kRegular;
       break;
+    case Algorithm::kCodedMwmr:
+      result.claim = Claim::kAtomic;
+      break;
   }
 
   std::unique_ptr<faults::FaultInjector> fault_injector;
@@ -234,7 +246,8 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
   }
   {
     if (fault_injector) fault_injector->Start();
-    auto injector = CrashInjector(backend, cfg, opts.seed, opts.crash_disks);
+    auto injector = CrashInjector(backend, num_disks, crash_budget, opts.seed,
+                                  opts.crash_disks);
     std::vector<std::jthread> threads;
     for (int w = 0; w < writers; ++w) {
       const ProcessId pid = static_cast<ProcessId>(w + 1);
@@ -276,6 +289,25 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
               const std::string v = MakeValue(w + 1, i, opts.payload_bytes);
               auto h = rec.BeginWrite(pid, v);
               if (!reg.Write(v, op_opts).ok()) {
+                timeouts.fetch_add(1, std::memory_order_relaxed);
+                continue;
+              }
+              rec.EndWrite(h);
+              op_writes.Inc();
+            }
+            break;
+          }
+          case Algorithm::kCodedMwmr: {
+            auto reg = core::CodedMwmr::Make(farm, 1, pid, coded_opts);
+            if (!reg.ok()) {
+              LOG_WARN << "workload: coded endpoint unavailable: "
+                       << reg.status().ToString();
+              break;
+            }
+            for (int i = 1; i <= opts.ops_per_process; ++i) {
+              const std::string v = MakeValue(w + 1, i, opts.payload_bytes);
+              auto h = rec.BeginWrite(pid, v);
+              if (!reg->Write(v, op_opts).ok()) {
                 timeouts.fetch_add(1, std::memory_order_relaxed);
                 continue;
               }
@@ -352,6 +384,25 @@ WorkloadResult RunWorkload(const WorkloadOptions& opts) {
             for (int i = 0; i < opts.ops_per_process; ++i) {
               auto h = rec.BeginRead(pid);
               auto v = reg.Read(op_opts);
+              if (!v.ok()) {
+                timeouts.fetch_add(1, std::memory_order_relaxed);
+                continue;
+              }
+              rec.EndRead(h, v->value_or(""));
+              op_reads.Inc();
+            }
+            break;
+          }
+          case Algorithm::kCodedMwmr: {
+            auto reg = core::CodedMwmr::Make(farm, 1, pid, coded_opts);
+            if (!reg.ok()) {
+              LOG_WARN << "workload: coded endpoint unavailable: "
+                       << reg.status().ToString();
+              break;
+            }
+            for (int i = 0; i < opts.ops_per_process; ++i) {
+              auto h = rec.BeginRead(pid);
+              auto v = reg->Read(op_opts);
               if (!v.ok()) {
                 timeouts.fetch_add(1, std::memory_order_relaxed);
                 continue;

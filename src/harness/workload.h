@@ -34,6 +34,7 @@ enum class Algorithm {
   kMwsrSeqCst,    // Fig. 2  — claims sequentially consistent (n writers, 1 reader)
   kMwmrAtomic,    // Fig. 3  — claims atomic (n writers, n readers)
   kSwsrRegular,   // Sec. 3.2 without the reader memo — claims regular only
+  kCodedMwmr,     // core/coded — claims atomic (n writers, n readers, RS-coded)
 };
 
 /// The consistency level an algorithm guarantees (what to check).
@@ -43,6 +44,11 @@ struct WorkloadOptions {
   Algorithm algorithm = Algorithm::kSwsrAtomic;
   std::uint64_t seed = 1;
   std::uint32_t t = 1;       // farm resilience; 2t+1 disks
+  /// kCodedMwmr only: code geometry (n disks, any k fragments decode).
+  /// The coded deployment has n disks instead of 2t+1 and tolerates
+  /// f = (n-k)/2 crashes — `crash_disks` is clamped to that budget.
+  std::uint32_t coded_n = 8;
+  std::uint32_t coded_k = 5;
   int writers = 1;           // clamped to the algorithm's writer limit
   int readers = 1;           // clamped to the algorithm's reader limit
   int ops_per_process = 5;

@@ -304,6 +304,16 @@ NadClient::Op NadClient::Op::Write(RegisterId r, Value v, WriteHandler done) {
   return op;
 }
 
+NadClient::Op NadClient::Op::Merge(RegisterId r, Value delta,
+                                   WriteHandler done) {
+  Op op;
+  op.kind = Kind::kMerge;
+  op.reg = r;
+  op.value = std::move(delta);
+  op.on_write = std::move(done);
+  return op;
+}
+
 NadClient::Op NadClient::Op::Stats(DiskId d, StatsHandler done) {
   Op op;
   op.kind = Kind::kStats;
@@ -334,7 +344,7 @@ void NadClient::Submit(ProcessId /*p*/, std::vector<Op> ops,
       }
       continue;
     }
-    if (op.kind == Op::Kind::kWrite &&
+    if ((op.kind == Op::Kind::kWrite || op.kind == Op::Kind::kMerge) &&
         op.value.size() > kMaxFrameBytes - kWriteReqOverhead) {
       RejectOversized(op.reg, op.value.size());
       continue;
@@ -379,6 +389,22 @@ void NadClient::IssueWrites(ProcessId p, std::vector<WriteOp> ops) {
   batch.reserve(ops.size());
   for (WriteOp& op : ops) {
     batch.push_back(Op::Write(op.reg, std::move(op.value), std::move(op.done)));
+  }
+  Submit(p, std::move(batch));
+}
+
+void NadClient::IssueMerge(ProcessId p, RegisterId r, Value delta,
+                           WriteHandler done) {
+  std::vector<Op> ops;
+  ops.push_back(Op::Merge(r, std::move(delta), std::move(done)));
+  Submit(p, std::move(ops));
+}
+
+void NadClient::IssueMerges(ProcessId p, std::vector<WriteOp> ops) {
+  std::vector<Op> batch;
+  batch.reserve(ops.size());
+  for (WriteOp& op : ops) {
+    batch.push_back(Op::Merge(op.reg, std::move(op.value), std::move(op.done)));
   }
   Submit(p, std::move(batch));
 }
@@ -457,8 +483,10 @@ void NadClient::Admit(std::vector<SubmitEntry> entries) {
     if (e.op.kind == Op::Kind::kRead) {
       p->req_type = MsgType::kReadReq;
       p->on_read = std::move(e.op.on_read);
-    } else if (e.op.kind == Op::Kind::kWrite) {
-      p->req_type = MsgType::kWriteReq;
+    } else if (e.op.kind == Op::Kind::kWrite ||
+               e.op.kind == Op::Kind::kMerge) {
+      p->req_type = e.op.kind == Op::Kind::kWrite ? MsgType::kWriteReq
+                                                  : MsgType::kMergeReq;
       p->value = std::move(e.op.value);
       p->on_write = std::move(e.op.on_write);
     } else {
@@ -721,11 +749,15 @@ void NadClient::DispatchResponse(Conn* conn, const MessageView& msg) {
     case MsgType::kWriteResp:
       expect = MsgType::kWriteReq;
       break;
+    case MsgType::kMergeResp:
+      expect = MsgType::kMergeReq;
+      break;
     case MsgType::kStatsResp:
       expect = MsgType::kStatsReq;
       break;
     case MsgType::kReadReq:
     case MsgType::kWriteReq:
+    case MsgType::kMergeReq:
     case MsgType::kStatsReq:
     case MsgType::kBatchReq:
     case MsgType::kBatchResp:
@@ -736,7 +768,8 @@ void NadClient::DispatchResponse(Conn* conn, const MessageView& msg) {
   if (entry == nullptr || entry->req_type != expect) return;
   PendingOp op;
   conn->pending.Take(msg.request_id, &op);
-  if (op.req_type == MsgType::kWriteReq &&
+  if ((op.req_type == MsgType::kWriteReq ||
+       op.req_type == MsgType::kMergeReq) &&
       op.value.size() > kSmallValueCopyBytes &&
       conn->wire_head < conn->wire.size()) {
     // A response for a write whose bytes are still queued can only come
@@ -757,9 +790,11 @@ void NadClient::DispatchResponse(Conn* conn, const MessageView& msg) {
       // handler, which owns it beyond this frame dispatch.
       op.on_read(Value(msg.value));  // lint-allow(hot-alloc): handler owns it
     }
-  } else if (msg.type == MsgType::kWriteResp) {
+  } else if (msg.type == MsgType::kWriteResp ||
+             msg.type == MsgType::kMergeResp) {
     write_us_->ObserveSince(op.start);
-    obs::EmitSpan("nad", "write", op.start, now);
+    obs::EmitSpan("nad", msg.type == MsgType::kWriteResp ? "write" : "merge",
+                  op.start, now);
     if (op.on_write) op.on_write();
   } else {
     if (op.on_stats) {
@@ -955,6 +990,7 @@ void NadClient::Sweep(Conn* conn) {
         dead_reads.push_back(std::move(p.on_read));
         break;
       case MsgType::kWriteReq:
+      case MsgType::kMergeReq:
         dead_writes.push_back(std::move(p.on_write));
         if (wire_busy && p.value.size() > kSmallValueCopyBytes) {
           conn->zombies.push_back(std::move(p.value));
@@ -963,10 +999,11 @@ void NadClient::Sweep(Conn* conn) {
       case MsgType::kStatsReq:
       case MsgType::kReadResp:
       case MsgType::kWriteResp:
+      case MsgType::kMergeResp:
       case MsgType::kStatsResp:
       case MsgType::kBatchReq:
       case MsgType::kBatchResp:
-        // Only the three request opcodes are ever pending; the rest are
+        // Only the four request opcodes are ever pending; the rest are
         // unreachable, named for the exhaustiveness lint.
         timed_out_stats.push_back(std::move(p.on_stats));
         break;

@@ -13,8 +13,9 @@
 /// run on the owning loop.
 ///
 /// The client-facing API is one entry point: Submit(process, ops,
-/// options) takes a vector of Op variants — reads, writes, and STATS
-/// probes — each carrying its own completion; OpOptions supplies a
+/// options) takes a vector of Op variants — reads, writes, coded-cell
+/// merges, and STATS probes — each carrying its own completion;
+/// OpOptions supplies a
 /// per-submission deadline overriding Options::op_timeout. Submit never
 /// touches a socket: it validates, counts the ops in flight, and posts
 /// them to their owning loops — truly nonblocking even when a peer stops
@@ -167,23 +168,29 @@ class NadClient : public BaseRegisterClient {
   NadClient(const NadClient&) = delete;
   NadClient& operator=(const NadClient&) = delete;
 
-  /// One operation of a Submit batch. Reads, writes, and STATS probes
-  /// are variants of the same op shape, each with its own completion
-  /// handler (run on the owning connection's loop thread — handlers must
-  /// not block).
+  /// One operation of a Submit batch. Reads, writes, coded-cell merges,
+  /// and STATS probes are variants of the same op shape, each with its
+  /// own completion handler (run on the owning connection's loop thread —
+  /// handlers must not block).
   struct Op {
-    enum class Kind : std::uint8_t { kRead, kWrite, kStats };
+    enum class Kind : std::uint8_t { kRead, kWrite, kMerge, kStats };
 
     Kind kind = Kind::kRead;
-    /// Target register for reads/writes; STATS uses only reg.disk.
+    /// Target register for reads/writes/merges; STATS uses only reg.disk.
     RegisterId reg{};
-    Value value{};  // write payload; unused otherwise
+    Value value{};  // write payload or merge delta; unused otherwise
     ReadHandler on_read;
-    WriteHandler on_write;
+    WriteHandler on_write;  // completes writes AND merges
     StatsHandler on_stats;
 
     static Op Read(RegisterId r, ReadHandler done);
     static Op Write(RegisterId r, Value v, WriteHandler done);
+    /// Coded-cell merge (common/coded_cell.h): the server joins `delta`
+    /// into the register under its stripe lock. Rides the write path
+    /// end to end — framing, batching, expiry, and retransmit after a
+    /// reconnect (the join is idempotent, so a replay is harmless by
+    /// construction, not just by the single-writer discipline).
+    static Op Merge(RegisterId r, Value delta, WriteHandler done);
     static Op Stats(DiskId d, StatsHandler done);
   };
 
@@ -204,6 +211,10 @@ class NadClient : public BaseRegisterClient {
                   WriteHandler done) override;
   void IssueReads(ProcessId p, std::vector<ReadOp> ops) override;
   void IssueWrites(ProcessId p, std::vector<WriteOp> ops) override;
+  bool SupportsMerge() const override { return true; }
+  void IssueMerge(ProcessId p, RegisterId r, Value delta,
+                  WriteHandler done) override;
+  void IssueMerges(ProcessId p, std::vector<WriteOp> ops) override;
 
   /// True while the disk's circuit breaker is open (or the disk is
   /// unmapped / shut down). See the class comment; consumed by

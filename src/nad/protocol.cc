@@ -18,6 +18,7 @@ std::string EncodeMessage(const Message& m) {
       e.PutU64(m.reg.block);
       break;
     case MsgType::kWriteReq:
+    case MsgType::kMergeReq:
       e.PutU32(m.reg.disk);
       e.PutU64(m.reg.block);
       e.PutBytes(m.value);
@@ -26,6 +27,7 @@ std::string EncodeMessage(const Message& m) {
       e.PutBytes(m.value);
       break;
     case MsgType::kWriteResp:
+    case MsgType::kMergeResp:
       break;
     case MsgType::kStatsReq:
       break;
@@ -48,6 +50,7 @@ std::size_t EncodedMessageSize(const Message& m) {
       n += 4 + 8;
       break;
     case MsgType::kWriteReq:
+    case MsgType::kMergeReq:
       n += 4 + 8 + 4 + m.value.size();
       break;
     case MsgType::kReadResp:
@@ -55,6 +58,7 @@ std::size_t EncodedMessageSize(const Message& m) {
       n += 4 + m.value.size();
       break;
     case MsgType::kWriteResp:
+    case MsgType::kMergeResp:
     case MsgType::kStatsReq:
       break;
     case MsgType::kBatchReq:
@@ -189,11 +193,13 @@ std::size_t PayloadSize(MsgType t, std::size_t value_size) {
     case MsgType::kReadReq:
       return 1 + 8 + 4 + 8;
     case MsgType::kWriteReq:
+    case MsgType::kMergeReq:
       return 1 + 8 + 4 + 8 + 4 + value_size;
     case MsgType::kReadResp:
     case MsgType::kStatsResp:
       return 1 + 8 + 4 + value_size;
     case MsgType::kWriteResp:
+    case MsgType::kMergeResp:
     case MsgType::kStatsReq:
       return 1 + 8;
     case MsgType::kBatchReq:
@@ -214,6 +220,7 @@ void AppendPayload(FrameWriter& w, MsgType t, std::uint64_t request_id,
       w.PutU64(reg.block);
       break;
     case MsgType::kWriteReq:
+    case MsgType::kMergeReq:
       w.PutU32(reg.disk);
       w.PutU64(reg.block);
       w.PutBytesRef(value);
@@ -223,6 +230,7 @@ void AppendPayload(FrameWriter& w, MsgType t, std::uint64_t request_id,
       w.PutBytesRef(value);
       break;
     case MsgType::kWriteResp:
+    case MsgType::kMergeResp:
     case MsgType::kStatsReq:
       break;
     case MsgType::kBatchReq:
@@ -247,7 +255,7 @@ Expected<MessageView> DecodeViewImpl(std::string_view payload, Arena* arena,
   auto type = d.GetU8();
   if (!type) return type.status();
   if (*type < static_cast<std::uint8_t>(MsgType::kReadReq) ||
-      *type > static_cast<std::uint8_t>(MsgType::kBatchResp)) {
+      *type > static_cast<std::uint8_t>(MsgType::kMergeResp)) {
     return Status::Invalid("message: unknown type");
   }
   m.type = static_cast<MsgType>(*type);
@@ -264,7 +272,8 @@ Expected<MessageView> DecodeViewImpl(std::string_view payload, Arena* arena,
       m.reg = RegisterId{*disk, *block};
       break;
     }
-    case MsgType::kWriteReq: {
+    case MsgType::kWriteReq:
+    case MsgType::kMergeReq: {
       auto disk = d.GetU32();
       if (!disk) return disk.status();
       auto block = d.GetU64();
@@ -283,6 +292,7 @@ Expected<MessageView> DecodeViewImpl(std::string_view payload, Arena* arena,
       break;
     }
     case MsgType::kWriteResp:
+    case MsgType::kMergeResp:
     case MsgType::kStatsReq:
       break;
     case MsgType::kBatchReq:
@@ -334,7 +344,7 @@ Expected<Message> DecodeMessage(std::string_view payload) {
   auto type = d.GetU8();
   if (!type) return type.status();
   if (*type < static_cast<std::uint8_t>(MsgType::kReadReq) ||
-      *type > static_cast<std::uint8_t>(MsgType::kBatchResp)) {
+      *type > static_cast<std::uint8_t>(MsgType::kMergeResp)) {
     return Status::Invalid("message: unknown type");
   }
   m.type = static_cast<MsgType>(*type);
@@ -351,7 +361,8 @@ Expected<Message> DecodeMessage(std::string_view payload) {
       m.reg = RegisterId{*disk, *block};
       break;
     }
-    case MsgType::kWriteReq: {
+    case MsgType::kWriteReq:
+    case MsgType::kMergeReq: {
       auto disk = d.GetU32();
       if (!disk) return disk.status();
       auto block = d.GetU64();
@@ -369,6 +380,7 @@ Expected<Message> DecodeMessage(std::string_view payload) {
       break;
     }
     case MsgType::kWriteResp:
+    case MsgType::kMergeResp:
       break;
     case MsgType::kStatsReq:
       break;

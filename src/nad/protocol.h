@@ -18,6 +18,16 @@
 ///   StatsResp:= bytes text
 ///   BatchReq := u32 count, count * bytes(sub-request payload)
 ///   BatchResp:= u32 count, count * bytes(sub-response payload)
+///   MergeReq := u32 disk, u64 block, bytes delta
+///   MergeResp:= (empty)
+///
+/// MERGE is the coded-storage opcode: instead of overwriting the register,
+/// the server applies MergeCodedCell(current, delta) at the linearization
+/// point — the join of the erasure-coded cell semilattice (fragments +
+/// committed tag, common/coded_cell.h). The join is idempotent and
+/// commutative, so the client retransmits merges across reconnects exactly
+/// like writes. Wire shape is identical to WriteReq/WriteResp and merges
+/// batch like writes.
 ///
 /// STATS is an out-of-band observability opcode (it does not exist in the
 /// paper's model and takes no part in any emulation): the server answers
@@ -71,21 +81,25 @@ enum class MsgType : std::uint8_t {
   kStatsResp = 6,
   kBatchReq = 7,
   kBatchResp = 8,
+  kMergeReq = 9,
+  kMergeResp = 10,
 };
 
 /// True for the opcodes a batch frame may carry as sub-operations.
 inline constexpr bool IsBatchableRequest(MsgType t) {
-  return t == MsgType::kReadReq || t == MsgType::kWriteReq;
+  return t == MsgType::kReadReq || t == MsgType::kWriteReq ||
+         t == MsgType::kMergeReq;
 }
 inline constexpr bool IsBatchableResponse(MsgType t) {
-  return t == MsgType::kReadResp || t == MsgType::kWriteResp;
+  return t == MsgType::kReadResp || t == MsgType::kWriteResp ||
+         t == MsgType::kMergeResp;
 }
 
 struct Message {
   MsgType type = MsgType::kReadReq;
   std::uint64_t request_id = 0;  // unused (0) for batch frames
   RegisterId reg;     // requests only
-  std::string value;  // WriteReq and ReadResp
+  std::string value;  // WriteReq/MergeReq and ReadResp
   /// Sub-operations of a kBatchReq/kBatchResp frame, in service order.
   std::vector<Message> subs;
 
@@ -219,7 +233,7 @@ struct MessageView {
   MsgType type = MsgType::kReadReq;
   std::uint64_t request_id = 0;  // unused (0) for batch frames
   RegisterId reg;          // requests only
-  std::string_view value;  // WriteReq / ReadResp / StatsResp
+  std::string_view value;  // WriteReq / MergeReq / ReadResp / StatsResp
   const MessageView* subs = nullptr;  // kBatchReq/kBatchResp children
   std::uint32_t num_subs = 0;
 };

@@ -36,6 +36,7 @@ NadServer::NadServer(Options opts)
       rng_(opts.seed),
       reads_served_(&metrics_.GetCounter("nad.server.reads")),
       writes_served_(&metrics_.GetCounter("nad.server.writes")),
+      merges_served_(&metrics_.GetCounter("nad.server.merges")),
       dropped_crashed_(&metrics_.GetCounter("nad.server.dropped_crashed")),
       dropped_faulted_(&metrics_.GetCounter("nad.server.dropped_faulted")),
       read_serve_us_(&metrics_.GetHistogram("nad.server.read_serve_us")),
@@ -169,6 +170,31 @@ bool NadServer::ServeOpView(const MessageView& msg, FrameWriter* w,
     AppendPayload(*w, MsgType::kWriteResp, msg.request_id, msg.reg, {});
     writes_served_->Inc();
     write_serve_us_->ObserveSince(serve_start);
+  } else if (msg.type == MsgType::kMergeReq) {
+    // Coded-cell join: the delta stays a view into the receive buffer;
+    // the merged cell is computed and journaled under the stripe lock
+    // (same write-ahead + stripe -> journal order as a plain write, but
+    // the journal records the POST-merge cell so replay is a plain
+    // Apply).
+    const bool applied =
+        store_.MergeOrderedView(msg.reg, msg.value, [&](std::string_view v) {
+          MutexLock jlock(journal_mu_);
+          if (!journal_.IsOpen()) return true;
+          if (Status s = journal_.Append(msg.reg, v); !s.ok()) {
+            LOG_ERROR << "nad-server: journal append failed: " << s.ToString()
+                      << "; dropping request";
+            return false;
+          }
+          return true;
+        });
+    if (!applied) return false;
+    if (in_batch) {
+      w->PutU32(
+          static_cast<std::uint32_t>(PayloadSize(MsgType::kMergeResp, 0)));
+    }
+    AppendPayload(*w, MsgType::kMergeResp, msg.request_id, msg.reg, {});
+    merges_served_->Inc();
+    write_serve_us_->ObserveSince(serve_start);
   } else {
     // Copy the value out of the store into the response arena under the
     // stripe lock (linearization) — the one read-path copy; the response
@@ -241,7 +267,7 @@ void NadServer::Serve(Socket conn, Rng rng) {
       continue;
     }
     if (msg->type != MsgType::kReadReq && msg->type != MsgType::kWriteReq &&
-        msg->type != MsgType::kBatchReq) {
+        msg->type != MsgType::kMergeReq && msg->type != MsgType::kBatchReq) {
       LOG_WARN << "nad-server: dropping non-request message";
       continue;
     }

@@ -182,6 +182,8 @@ class NadServer : public faults::FaultSink {
   // lint-allow(tsa-coverage): resolved once in the ctor
   obs::Counter* writes_served_;
   // lint-allow(tsa-coverage): resolved once in the ctor
+  obs::Counter* merges_served_;
+  // lint-allow(tsa-coverage): resolved once in the ctor
   obs::Counter* dropped_crashed_;
   // lint-allow(tsa-coverage): resolved once in the ctor
   obs::Counter* dropped_faulted_;

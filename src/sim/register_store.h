@@ -18,6 +18,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/coded_cell.h"
 #include "common/sync.h"
 #include "common/types.h"
 
@@ -188,6 +189,23 @@ class ShardedRegisterStore {
     MutexLock lock(s.mu);
     if (!write_ahead(v)) return false;
     s.store.Assign(r, v);
+    return true;
+  }
+
+  /// Coded-cell merge with the same write-ahead ordering contract as
+  /// ApplyOrderedView: computes MergeCodedCell(current, delta) under the
+  /// register's stripe lock, journals the *post-merge* cell (so replay is
+  /// a plain Apply, independent of journal truncation points), then
+  /// applies it. The delta arrives as a view into the caller's receive
+  /// buffer; the merge is dropped when `write_ahead` returns false.
+  template <typename Fn>
+  bool MergeOrderedView(const RegisterId& r, std::string_view delta,
+                        Fn&& write_ahead) {
+    Stripe& s = StripeFor(r);
+    MutexLock lock(s.mu);
+    Value merged = MergeCodedCell(s.store.Get(r), delta);
+    if (!write_ahead(std::string_view(merged))) return false;
+    s.store.Apply(r, std::move(merged));
     return true;
   }
 

@@ -13,8 +13,10 @@
 #pragma once
 
 #include <functional>
+#include <utility>
 
 #include "common/base_register.h"
+#include "common/coded_cell.h"
 #include "common/types.h"
 
 namespace nadreg::sim {
@@ -36,6 +38,23 @@ class ActiveDiskClient : public BaseRegisterClient {
   /// the previous value. Crashed blocks never respond.
   virtual void IssueRmw(ProcessId p, RegisterId r, RmwFunction fn,
                         RmwHandler done) = 0;
+
+  /// An RMW block trivially subsumes the coded-cell join (a fixed,
+  /// order-independent fn), so every active-disk substrate supports merge
+  /// for free — DetFarm inherits this path, which keeps merges visible to
+  /// the explorer as ordinary pending (RMW) write ops.
+  bool SupportsMerge() const override { return true; }
+  void IssueMerge(ProcessId p, RegisterId r, Value delta,
+                  WriteHandler done) override {
+    IssueRmw(
+        p, r,
+        [delta = std::move(delta)](const Value& current) {
+          return MergeCodedCell(current, delta);
+        },
+        [done = std::move(done)](Value /*previous*/) {
+          if (done) done();
+        });
+  }
 };
 
 }  // namespace nadreg::sim

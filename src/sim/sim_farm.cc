@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/coded_cell.h"
+
 namespace nadreg::sim {
 
 SimFarm::SimFarm(Options opts)
@@ -85,6 +87,18 @@ void SimFarm::IssueWrite(ProcessId p, RegisterId r, Value v,
   Enqueue(std::move(ev));
 }
 
+void SimFarm::IssueMerge(ProcessId p, RegisterId r, Value delta,
+                         WriteHandler done) {
+  Event ev;
+  ev.p = p;
+  ev.r = r;
+  ev.is_write = true;
+  ev.is_merge = true;
+  ev.value = std::move(delta);
+  ev.on_write = std::move(done);
+  Enqueue(std::move(ev));
+}
+
 void SimFarm::CrashRegister(const RegisterId& r) {
   MutexLock lock(mu_);
   store_.CrashRegister(r);
@@ -163,7 +177,11 @@ void SimFarm::ServiceLoop(std::stop_token stop) {
       continue;
     }
     Value read_result;
-    if (ev.is_write) {
+    if (ev.is_merge) {
+      // Coded-cell linearization point: join the delta into the cell.
+      store_.Apply(ev.r, MergeCodedCell(store_.Get(ev.r), ev.value));
+      ++stats_.writes_completed;
+    } else if (ev.is_write) {
       store_.Apply(ev.r, std::move(ev.value));  // linearization point
       ++stats_.writes_completed;
     } else {

@@ -50,6 +50,12 @@ class SimFarm : public BaseRegisterClient, public faults::FaultSink {
   void IssueWrite(ProcessId p, RegisterId r, Value v,
                   WriteHandler done) override;
 
+  /// Coded-cell merges are served like writes, but the linearization point
+  /// applies MergeCodedCell(current, delta) instead of overwriting.
+  bool SupportsMerge() const override { return true; }
+  void IssueMerge(ProcessId p, RegisterId r, Value delta,
+                  WriteHandler done) override;
+
   // --- faults::FaultSink ---------------------------------------------------
 
   /// Crash a single register: it stops responding from now on.
@@ -81,6 +87,7 @@ class SimFarm : public BaseRegisterClient, public faults::FaultSink {
     ProcessId p = kNoProcess;
     RegisterId r;
     bool is_write = false;
+    bool is_merge = false;  // implies is_write; value holds the delta
     Value value;
     ReadHandler on_read;
     WriteHandler on_write;

@@ -56,6 +56,55 @@ TEST(Protocol, WriteRespRoundtrip) {
   EXPECT_EQ(*decoded, m);
 }
 
+TEST(Protocol, MergeReqRoundtrip) {
+  Message m;
+  m.type = MsgType::kMergeReq;
+  m.request_id = 21;
+  m.reg = RegisterId{5, 0xbeefULL};
+  m.value = std::string("coded\0delta", 11);
+  auto decoded = DecodeMessage(EncodeMessage(m));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(Protocol, MergeRespRoundtrip) {
+  Message m;
+  m.type = MsgType::kMergeResp;
+  m.request_id = 22;
+  auto decoded = DecodeMessage(EncodeMessage(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(Protocol, MergeIsBatchable) {
+  Message batch;
+  batch.type = MsgType::kBatchReq;
+  Message merge;
+  merge.type = MsgType::kMergeReq;
+  merge.request_id = 4;
+  merge.reg = RegisterId{1, 2};
+  merge.value = "delta bytes";
+  Message read;
+  read.type = MsgType::kReadReq;
+  read.request_id = 1;
+  read.reg = RegisterId{0, 7};
+  batch.subs.push_back(read);
+  batch.subs.push_back(merge);
+  auto decoded = DecodeMessage(EncodeMessage(batch));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, batch);
+
+  Message resp;
+  resp.type = MsgType::kBatchResp;
+  Message mr;
+  mr.type = MsgType::kMergeResp;
+  mr.request_id = 4;
+  resp.subs = {mr};
+  auto decoded_resp = DecodeMessage(EncodeMessage(resp));
+  ASSERT_TRUE(decoded_resp.ok());
+  EXPECT_EQ(*decoded_resp, resp);
+}
+
 TEST(Protocol, UnknownTypeRejected) {
   std::string payload = EncodeMessage(Message{});
   payload[0] = 0x7f;
@@ -314,6 +363,16 @@ TEST(FrameWriter, MatchesEncodeMessageForEveryNonBatchType) {
   sr.request_id = 5;
   sr.value = "metrics dump";
   cases.push_back(sr);
+  Message mq;
+  mq.type = MsgType::kMergeReq;
+  mq.request_id = 6;
+  mq.reg = RegisterId{2, 8};
+  mq.value = "coded-cell delta";
+  cases.push_back(mq);
+  Message mr;
+  mr.type = MsgType::kMergeResp;
+  mr.request_id = 6;
+  cases.push_back(mr);
 
   Arena arena;
   for (const Message& m : cases) {

@@ -1,0 +1,241 @@
+// Unit tests for the Reed–Solomon fragment codec and the coded-cell
+// semilattice: round-trips over an (n, k) grid, every erasure pattern up
+// to n-k losses, corrupted-fragment rejection, and the merge laws
+// (commutativity, idempotence, commit pruning, pending-tag cap) that make
+// retransmitted deltas harmless.
+#include "core/coded/rs_code.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/coded_cell.h"
+#include "common/rng.h"
+
+namespace nadreg::core {
+namespace {
+
+std::string RandomValue(Rng& rng, std::size_t size) {
+  std::string v(size, '\0');
+  for (char& c : v) c = static_cast<char>(rng.Below(256));
+  return v;
+}
+
+std::vector<std::pair<unsigned, std::string_view>> Pick(
+    const std::vector<std::string>& frags, const std::vector<unsigned>& idx) {
+  std::vector<std::pair<unsigned, std::string_view>> out;
+  for (unsigned i : idx) out.emplace_back(i, frags[i]);
+  return out;
+}
+
+TEST(RsCode, RejectsBadGeometry) {
+  EXPECT_FALSE(RsCode::Make(4, 0).ok());
+  EXPECT_FALSE(RsCode::Make(4, 5).ok());
+  EXPECT_FALSE(RsCode::Make(300, 5).ok());
+  EXPECT_TRUE(RsCode::Make(1, 1).ok());
+  EXPECT_TRUE(RsCode::Make(255, 100).ok());
+}
+
+TEST(RsCode, SystematicPrefix) {
+  auto rs = RsCode::Make(8, 5);
+  ASSERT_TRUE(rs.ok());
+  Rng rng(42);
+  const std::string value = RandomValue(rng, 1000);
+  auto frags = rs->Encode(value);
+  ASSERT_EQ(frags.size(), 8u);
+  const std::size_t fs = rs->FragmentSize(value.size());
+  EXPECT_EQ(fs, 200u);
+  // Fragments 0..k-1 are verbatim (zero-padded) slices of the value.
+  for (unsigned i = 0; i < 5; ++i) {
+    ASSERT_EQ(frags[i].size(), fs);
+    const std::size_t off = i * fs;
+    for (std::size_t b = 0; b < fs; ++b) {
+      const char expect = off + b < value.size() ? value[off + b] : '\0';
+      ASSERT_EQ(frags[i][b], expect) << "fragment " << i << " byte " << b;
+    }
+  }
+}
+
+TEST(RsCode, RoundTripGrid) {
+  Rng rng(7);
+  const std::vector<std::pair<unsigned, unsigned>> grid = {
+      {1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {6, 4}, {8, 5}, {12, 8}};
+  const std::vector<std::size_t> sizes = {0, 1, 4, 16, 63, 64, 65, 1000};
+  for (auto [n, k] : grid) {
+    auto rs = RsCode::Make(n, k);
+    ASSERT_TRUE(rs.ok()) << n << "/" << k;
+    for (std::size_t size : sizes) {
+      const std::string value = RandomValue(rng, size);
+      auto frags = rs->Encode(value);
+      ASSERT_EQ(frags.size(), n);
+      // Decode from the first k fragments and from the last k fragments.
+      std::vector<unsigned> first, last;
+      for (unsigned i = 0; i < k; ++i) first.push_back(i);
+      for (unsigned i = n - k; i < n; ++i) last.push_back(i);
+      for (const auto& idx : {first, last}) {
+        auto decoded = rs->Decode(Pick(frags, idx), size);
+        ASSERT_TRUE(decoded.ok()) << n << "/" << k << " size " << size;
+        EXPECT_EQ(*decoded, value);
+      }
+    }
+  }
+}
+
+TEST(RsCode, EveryErasurePatternUpToNMinusKLosses) {
+  auto rs = RsCode::Make(8, 5);
+  ASSERT_TRUE(rs.ok());
+  Rng rng(99);
+  const std::string value = RandomValue(rng, 333);
+  auto frags = rs->Encode(value);
+  // Every 5-of-8 subset (= every erasure pattern of up to 3 losses) must
+  // reconstruct: C(8,5) = 56 subsets.
+  std::vector<unsigned> idx = {0, 1, 2, 3, 4};
+  int subsets = 0;
+  std::vector<bool> mask(8, false);
+  std::fill(mask.begin(), mask.begin() + 5, true);
+  std::sort(mask.begin(), mask.end());
+  do {
+    idx.clear();
+    for (unsigned i = 0; i < 8; ++i) {
+      if (mask[i]) idx.push_back(i);
+    }
+    auto decoded = rs->Decode(Pick(frags, idx), value.size());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, value);
+    ++subsets;
+  } while (std::next_permutation(mask.begin(), mask.end()));
+  EXPECT_EQ(subsets, 56);
+}
+
+TEST(RsCode, DecodeRejectsMalformedInput) {
+  auto rs = RsCode::Make(6, 4);
+  ASSERT_TRUE(rs.ok());
+  Rng rng(5);
+  const std::string value = RandomValue(rng, 100);
+  auto frags = rs->Encode(value);
+
+  // Too few fragments.
+  EXPECT_FALSE(rs->Decode(Pick(frags, {0, 1, 2}), value.size()).ok());
+  // Duplicate indices do not count twice.
+  EXPECT_FALSE(rs->Decode({{0, frags[0]}, {0, frags[0]}, {1, frags[1]},
+                           {2, frags[2]}},
+                          value.size())
+                   .ok());
+  // Out-of-range index.
+  EXPECT_FALSE(rs->Decode({{0, frags[0]}, {1, frags[1]}, {2, frags[2]},
+                           {9, frags[3]}},
+                          value.size())
+                   .ok());
+  // Fragment size inconsistent with value_size.
+  std::string runt = frags[3].substr(1);
+  EXPECT_FALSE(rs->Decode({{0, frags[0]}, {1, frags[1]}, {2, frags[2]},
+                           {3, runt}},
+                          value.size())
+                   .ok());
+}
+
+TEST(RsCode, CorruptedFragmentIsCaughtByCrc) {
+  // The RS decoder reconstructs *some* value from any k fragments — a
+  // silently flipped bit yields a wrong value, which is why CodedMwmr
+  // checks each fragment's CRC before it may enter a decode set.
+  auto rs = RsCode::Make(8, 5);
+  ASSERT_TRUE(rs.ok());
+  Rng rng(13);
+  const std::string value = RandomValue(rng, 500);
+  auto frags = rs->Encode(value);
+  const std::uint32_t good_crc = Crc32(frags[6]);
+  frags[6][10] ^= 0x40;
+  EXPECT_NE(Crc32(frags[6]), good_crc);
+  auto decoded = rs->Decode(Pick(frags, {2, 3, 4, 5, 6}), value.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_NE(*decoded, value);  // garbage in, garbage out — CRC's job
+}
+
+// --- Coded-cell semilattice laws -------------------------------------------
+
+CodedFragment MakeFrag(SeqNum seq, ProcessId writer, std::uint8_t index,
+                       std::string bytes) {
+  CodedFragment f;
+  f.tag = CodedTag{seq, writer};
+  f.index = index;
+  f.n = 8;
+  f.k = 5;
+  f.value_size = 100;
+  f.crc = Crc32(bytes);
+  f.bytes = std::move(bytes);
+  return f;
+}
+
+TEST(CodedCell, MergeIsCommutativeAndIdempotent) {
+  const std::string put_a = EncodeCodedPut(MakeFrag(1, 1, 0, "aaaa"));
+  const std::string put_b = EncodeCodedPut(MakeFrag(2, 2, 0, "bbbb"));
+  const std::string commit = EncodeCodedCommit(CodedTag{1, 1});
+
+  const Value ab = MergeCodedCell(MergeCodedCell("", put_a), put_b);
+  const Value ba = MergeCodedCell(MergeCodedCell("", put_b), put_a);
+  EXPECT_EQ(ab, ba);
+
+  const Value twice = MergeCodedCell(ab, put_a);
+  EXPECT_EQ(twice, ab);  // replaying a delta is a no-op
+
+  const Value c1 = MergeCodedCell(ab, commit);
+  const Value c2 = MergeCodedCell(c1, commit);
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(CodedCell, CommitPrunesOlderFragmentsOnly) {
+  Value cell;
+  cell = MergeCodedCell(cell, EncodeCodedPut(MakeFrag(1, 1, 0, "old")));
+  cell = MergeCodedCell(cell, EncodeCodedPut(MakeFrag(2, 1, 0, "new")));
+  cell = MergeCodedCell(cell, EncodeCodedCommit(CodedTag{2, 1}));
+  auto decoded = DecodeCodedCell(cell);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->committed, (CodedTag{2, 1}));
+  // Tag 1's fragment is pruned (a higher tag committed); tag 2's stays.
+  ASSERT_EQ(decoded->frags.size(), 1u);
+  EXPECT_EQ(decoded->frags[0].tag, (CodedTag{2, 1}));
+  EXPECT_EQ(decoded->frags[0].bytes, "new");
+  // A late Put below the committed tag is rejected outright.
+  cell = MergeCodedCell(cell, EncodeCodedPut(MakeFrag(1, 9, 0, "late")));
+  auto after = DecodeCodedCell(cell);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->frags.size(), 1u);
+}
+
+TEST(CodedCell, PendingTagsAreBounded) {
+  Value cell;
+  for (SeqNum s = 1; s <= 3 * CodedCell::kMaxPendingTags; ++s) {
+    cell = MergeCodedCell(cell, EncodeCodedPut(MakeFrag(s, 1, 0, "x")));
+  }
+  auto decoded = DecodeCodedCell(cell);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_LE(decoded->frags.size(), CodedCell::kMaxPendingTags);
+  // The surviving tags are the highest ones (lowest-evicted policy).
+  EXPECT_EQ(decoded->frags.back().tag.seq, 3 * CodedCell::kMaxPendingTags);
+}
+
+TEST(CodedCell, EmptyFragmentCellRoundTrips) {
+  // Regression: a zero-byte value encodes to zero-byte fragments, whose
+  // cell entries are exactly the 31-byte wire minimum — the hostile-count
+  // bound must not reject the cell's own encoding.
+  const Value cell = MergeCodedCell("", EncodeCodedPut(MakeFrag(1, 1, 0, "")));
+  auto decoded = DecodeCodedCell(cell);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->frags.size(), 1u);
+  EXPECT_TRUE(decoded->frags[0].bytes.empty());
+}
+
+TEST(CodedCell, MergeToleratesGarbage) {
+  const std::string put = EncodeCodedPut(MakeFrag(1, 1, 0, "abc"));
+  // Garbage current resets to empty-then-merge; garbage delta is ignored.
+  const Value from_garbage = MergeCodedCell("!!not a cell!!", put);
+  EXPECT_EQ(from_garbage, MergeCodedCell("", put));
+  const Value kept = MergeCodedCell(from_garbage, "?? junk ??");
+  EXPECT_EQ(kept, from_garbage);
+}
+
+}  // namespace
+}  // namespace nadreg::core
