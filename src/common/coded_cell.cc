@@ -93,7 +93,10 @@ void UpsertFragment(std::vector<CodedFragment>& frags, CodedFragment f) {
 
 /// Enforces the cell invariants after a merge step: drop fragments below
 /// the committed tag (prune-on-commit), then cap the uncommitted suffix at
-/// kMaxPendingTags by evicting the lowest uncommitted tags.
+/// kMaxPendingTags by evicting the lowest uncommitted tags. Evicting an
+/// uncommitted fragment is safe even if its Put already reached a write
+/// quorum elsewhere: the commit that later arrives for it carries the
+/// fragment and re-installs it (MergeCodedCell, kCommit).
 void Normalize(CodedCell& cell) {
   std::erase_if(cell.frags, [&](const CodedFragment& f) {
     return f.tag < cell.committed;
@@ -173,7 +176,17 @@ std::string EncodeCodedCommit(const CodedTag& tag) {
   std::string out;
   Encoder e(&out);
   e.PutU8(kCommitMagic);
+  e.PutU8(0);  // no fragment
   PutTag(e, tag);
+  return out;
+}
+
+std::string EncodeCodedCommit(const CodedFragment& frag) {
+  std::string out;
+  Encoder e(&out);
+  e.PutU8(kCommitMagic);
+  e.PutU8(1);  // fragment follows; the committed tag is the fragment's
+  PutFragment(e, frag);
   return out;
 }
 
@@ -189,9 +202,21 @@ Expected<CodedDelta> DecodeCodedDelta(std::string_view bytes) {
     delta.frag = std::move(*f);
   } else if (*magic == kCommitMagic) {
     delta.kind = CodedDelta::Kind::kCommit;
-    auto t = GetTag(d);
-    if (!t) return t.status();
-    delta.tag = *t;
+    auto has_frag = d.GetU8();
+    if (!has_frag) return has_frag.status();
+    if (*has_frag == 0) {
+      auto t = GetTag(d);
+      if (!t) return t.status();
+      delta.tag = *t;
+    } else if (*has_frag == 1) {
+      auto f = GetFragment(d);
+      if (!f) return f.status();
+      delta.tag = f->tag;
+      delta.frag = std::move(*f);
+      delta.has_frag = true;
+    } else {
+      return Status::Invalid("coded delta: bad commit flag");
+    }
   } else {
     return Status::Invalid("coded delta: bad magic");
   }
@@ -215,6 +240,13 @@ Value MergeCodedCell(const Value& current, std::string_view delta) {
       break;
     case CodedDelta::Kind::kCommit:
       cell.committed = std::max(cell.committed, d->tag);
+      // Re-install the carried fragment: the commit itself guarantees
+      // its tag is decodable at this disk even when the pending cap
+      // evicted the Put's fragment before the commit arrived — the
+      // tag-completeness invariant's one fragment-restoring rule.
+      if (d->has_frag && d->frag.tag >= cell.committed) {
+        UpsertFragment(cell.frags, std::move(d->frag));
+      }
       break;
   }
   Normalize(cell);

@@ -21,11 +21,15 @@
 /// undecodable current state resets to the empty cell, an undecodable
 /// delta leaves the cell unchanged.
 ///
-/// Tag-completeness invariant (DESIGN.md §16): a disk prunes tag t's
-/// fragment only when some higher tag commits at that disk — at which point
-/// the disk reports committed > t, so the *maximum* committed tag visible
-/// in any read quorum always has >= k surviving fragments in that quorum
-/// (quorum intersection, n >= 2f+k).
+/// Tag-completeness invariant (DESIGN.md §16): every Commit delta carries
+/// the destination disk's own fragment, so a disk whose committed tag is t
+/// always holds its fragment of t — even if the pending-tag cap evicted
+/// the earlier Put's fragment, the commit re-installs it. A disk prunes
+/// tag t's fragment only when some higher tag commits at that disk — at
+/// which point the disk reports committed > t and holds the higher tag's
+/// fragment instead. Hence once Commit(t) reaches a write quorum, every
+/// read quorum intersects it in >= k disks (n >= 2f+k) that hold either
+/// tag t's fragment or a higher committed tag's.
 #pragma once
 
 #include <cstdint>
@@ -83,8 +87,9 @@ struct CodedCell {
 struct CodedDelta {
   enum class Kind : std::uint8_t { kPut = 1, kCommit = 2 };
   Kind kind = Kind::kPut;
-  CodedFragment frag;  // kPut only
-  CodedTag tag;        // kCommit only
+  CodedFragment frag;     // kPut always; kCommit when has_frag
+  CodedTag tag;           // kCommit only (== frag.tag when has_frag)
+  bool has_frag = false;  // kCommit: carries the destination's fragment
 };
 
 /// CRC-32 (IEEE 802.3, reflected) over `bytes`.
@@ -95,7 +100,16 @@ std::string EncodeCodedCell(const CodedCell& cell);
 [[nodiscard]] Expected<CodedCell> DecodeCodedCell(std::string_view bytes);
 
 std::string EncodeCodedPut(const CodedFragment& frag);
+/// Tag-only commit: raises the committed tag without touching fragments.
+/// The protocol never sends these (its commits always carry a fragment,
+/// see below) — kept for tests and as the decode target of short deltas.
 std::string EncodeCodedCommit(const CodedTag& tag);
+/// Commit carrying the destination disk's fragment of `frag.tag`. The
+/// merge re-installs the fragment alongside raising the committed tag, so
+/// a commit makes its own tag decodable at that disk even if the Put's
+/// fragment was evicted by the pending cap — and a reader's help-commit
+/// of an in-flight tag re-propagates the fragments it decoded from.
+std::string EncodeCodedCommit(const CodedFragment& frag);
 [[nodiscard]] Expected<CodedDelta> DecodeCodedDelta(std::string_view bytes);
 
 /// The cell join applied at a disk's linearization point:

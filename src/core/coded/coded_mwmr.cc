@@ -50,10 +50,31 @@ CodedMwmr::CodedMwmr(BaseRegisterClient& client, std::uint32_t object,
   set_ = std::make_unique<RegisterSet>(client, self, std::move(regs));
 }
 
-Status CodedMwmr::CommitQuorum(const CodedTag& tag, OpDeadline deadline) {
-  const std::string commit = EncodeCodedCommit(tag);
-  std::vector<Value> deltas(opts_.n, commit);
-  wire_bytes_out_ += commit.size() * opts_.n;
+std::vector<CodedFragment> CodedMwmr::MakeFragments(const CodedTag& tag,
+                                                    const std::string& value) {
+  std::vector<std::string> shards = rs_.Encode(value);
+  std::vector<CodedFragment> frags(opts_.n);
+  for (std::uint32_t i = 0; i < opts_.n; ++i) {
+    CodedFragment& f = frags[i];
+    f.tag = tag;
+    f.index = static_cast<std::uint8_t>(i);
+    f.n = static_cast<std::uint8_t>(opts_.n);
+    f.k = static_cast<std::uint8_t>(opts_.k);
+    f.value_size = static_cast<std::uint32_t>(value.size());
+    f.crc = Crc32(shards[i]);
+    f.bytes = std::move(shards[i]);
+  }
+  return frags;
+}
+
+Status CodedMwmr::CommitQuorum(const std::vector<CodedFragment>& frags,
+                               OpDeadline deadline) {
+  std::vector<Value> deltas;
+  deltas.reserve(opts_.n);
+  for (std::uint32_t i = 0; i < opts_.n; ++i) {
+    deltas.push_back(EncodeCodedCommit(frags[i]));
+    wire_bytes_out_ += deltas.back().size();
+  }
   auto ticket = set_->MergeEach(std::move(deltas));
   if (!set_->AwaitUntil(ticket, opts_.quorum(), deadline)) {
     return Status::Timeout("coded: commit quorum");
@@ -85,18 +106,10 @@ Status CodedMwmr::Write(const std::string& value, const OpOptions& opts) {
   const CodedTag tag{max_seq + 1, set_->self()};
 
   // Phase 2: encode and fan one fragment out per disk.
-  std::vector<std::string> frags = rs_.Encode(value);
+  const std::vector<CodedFragment> frags = MakeFragments(tag, value);
   std::vector<Value> deltas;
   deltas.reserve(opts_.n);
-  for (std::uint32_t i = 0; i < opts_.n; ++i) {
-    CodedFragment f;
-    f.tag = tag;
-    f.index = static_cast<std::uint8_t>(i);
-    f.n = static_cast<std::uint8_t>(opts_.n);
-    f.k = static_cast<std::uint8_t>(opts_.k);
-    f.value_size = static_cast<std::uint32_t>(value.size());
-    f.crc = Crc32(frags[i]);
-    f.bytes = std::move(frags[i]);
+  for (const CodedFragment& f : frags) {
     deltas.push_back(EncodeCodedPut(f));
     wire_bytes_out_ += deltas.back().size();
   }
@@ -106,10 +119,13 @@ Status CodedMwmr::Write(const std::string& value, const OpOptions& opts) {
     return Status::Timeout("coded write: put quorum");
   }
 
-  // Phase 3: publish. Only after Commit(tag) reaches a quorum is the
-  // write visible-and-stable: any later read quorum intersects the put
-  // quorum in >= k disks still holding the fragments (DESIGN.md §16).
-  if (Status s = CommitQuorum(tag, deadline); !s.ok()) {
+  // Phase 3: publish. The commit carries each disk's fragment again, so
+  // once it reaches a quorum the write is visible-and-stable: any later
+  // read quorum intersects the commit quorum in >= k disks that hold
+  // both committed >= tag and the fragment — even if a racing write
+  // storm evicted the phase-2 fragment before this commit arrived
+  // (DESIGN.md §16).
+  if (Status s = CommitQuorum(frags, deadline); !s.ok()) {
     ++timeouts_;
     return s;
   }
@@ -156,8 +172,11 @@ CodedMwmr::ReadAttempt CodedMwmr::AttemptRead(OpDeadline deadline) {
     }
   }
   // Highest tag >= t* decodable from this quorum's responses. A tag above
-  // t* is an in-flight write the reader helps commit — linearizable, and
-  // it keeps the retry loop short under write storms.
+  // t* is an in-flight write the reader helps commit — safe because the
+  // help-commit re-propagates the decoded fragments to a write quorum
+  // before this read returns (Read() below), even when the crashed
+  // writer's put reached only k < q disks — and it keeps the retry loop
+  // short under write storms.
   for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
     if (it->first < t_star) break;
     if (it->second.frags.size() < opts_.k) continue;
@@ -206,8 +225,14 @@ Expected<std::optional<std::string>> CodedMwmr::Read(const OpOptions& opts) {
     }
     // Reader write-back: make the returned tag committed at a quorum
     // BEFORE returning, so no later read can decide an older tag
-    // (new-old inversion).
-    if (Status s = CommitQuorum(attempt.tag, deadline); !s.ok()) {
+    // (new-old inversion). The commit deltas carry re-encoded fragments
+    // of the decoded value — mandatory when the chosen tag is an
+    // in-flight write whose put never reached a full quorum (it may
+    // live on just k disks): committing it without re-propagating the
+    // fragments would publish a tag later quorums cannot decode.
+    if (Status s = CommitQuorum(MakeFragments(attempt.tag, *attempt.value),
+                                deadline);
+        !s.ok()) {
       ++timeouts_;
       return s;
     }

@@ -13,24 +13,32 @@
 ///     1. read cells from a quorum; tag t := (max seen seq + 1, self)
 ///     2. RS-encode v into n fragments; merge Put(t, frag_i) into disk i
 ///        (all n issued); await a write quorum
-///     3. merge Commit(t) into all disks; await a write quorum
+///     3. merge Commit(t, frag_i) into disk i (all n); await a write
+///        quorum — the commit carries each disk's fragment again, so a
+///        commit quorum IS a fragment quorum
 ///   READ:
 ///     1. read cells from a quorum; t* := max committed tag seen
 ///     2. pick the highest tag >= t* with >= k CRC-valid distinct-index
 ///        fragments among the responses; none assemblable -> retry
 ///        (deadline-bounded); nothing committed and nothing assemblable ->
 ///        initial value
-///     3. merge Commit(chosen) into all disks; await a write quorum
-///        (the reader write-back that forbids new-old inversion)
-///     4. decode from any k fragments and return
+///     3. decode from any k fragments, re-encode into n fragments, merge
+///        Commit(chosen, frag_i) into disk i; await a write quorum (the
+///        reader write-back that forbids new-old inversion AND
+///        re-propagates an in-flight tag's fragments before help-
+///        committing it — a decoded tag may so far live on as few as
+///        k < q disks if its writer crashed mid-put)
+///     4. return
 ///
 /// Quorum math: with q = n - f and n >= 2f + k, any two quorums intersect
-/// in >= n - 2f >= k disks, so a committed write's fragments are always
-/// decodable from any read quorum (tag-completeness invariant, DESIGN.md
-/// §16 — a disk only prunes tag t's fragment once a HIGHER tag commits
-/// there, at which point that disk's committed tag exceeds t and the
-/// reader targets the newer write instead). CodedOptions derives the
-/// largest tolerated f, f = floor((n-k)/2).
+/// in >= n - 2f >= k disks. Because every commit carries the destination
+/// disk's fragment, a disk whose committed tag is t always holds its
+/// fragment of t; so once any Commit(t) round reaches a write quorum —
+/// the precondition for an op returning t — every read quorum holds >= k
+/// disks with t's fragment, until a strictly higher tag commits there and
+/// the reader targets the newer write instead (tag-completeness
+/// invariant, DESIGN.md §16). CodedOptions derives the largest tolerated
+/// f, f = floor((n-k)/2).
 ///
 /// The substrate must support the coded-cell join
 /// (BaseRegisterClient::SupportsMerge); plain read/write disks cannot
@@ -45,6 +53,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/base_register.h"
 #include "common/coded_cell.h"
@@ -124,7 +133,19 @@ class CodedMwmr : public obs::Instrumented {
   };
   ReadAttempt AttemptRead(OpDeadline deadline);
 
-  Status CommitQuorum(const CodedTag& tag, OpDeadline deadline);
+  /// RS-encodes `value` under `tag` into the n per-disk fragments
+  /// (index, geometry, crc filled in) — the payloads of both the Put
+  /// phase and the fragment-carrying Commit phase.
+  std::vector<CodedFragment> MakeFragments(const CodedTag& tag,
+                                           const std::string& value);
+
+  /// Merges Commit(frags[i].tag, frags[i]) into disk i for all n disks
+  /// and awaits a write quorum. Carrying the fragments makes the commit
+  /// quorum a fragment quorum: an evicted Put fragment is re-installed,
+  /// and a reader help-committing an in-flight tag re-propagates the
+  /// value it decoded (frags.size() must be n, one shared tag).
+  Status CommitQuorum(const std::vector<CodedFragment>& frags,
+                      OpDeadline deadline);
 
   BaseRegisterClient& client_;
   CodedOptions opts_;

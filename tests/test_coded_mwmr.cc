@@ -194,6 +194,68 @@ TEST(CodedMwmr, TornWriteNeverSurfaces) {
   }
 }
 
+TEST(CodedMwmr, HelpCommitRepropagatesInFlightFragments) {
+  // The dangerous torn-write regime: a writer crashes mid-put having
+  // reached exactly k disks — no commit anywhere, but a reader CAN
+  // assemble the tag. Help-committing it is only sound if the reader
+  // re-propagates the decoded fragments to a write quorum first;
+  // committing the bare tag would make it the global max committed tag
+  // while its fragments sit on k < q disks, and a later read quorum can
+  // intersect the holders in as few as k - f < k disks — permanent
+  // read unavailability with zero disk crashes.
+  SimFarm farm;
+  CodedOptions opts{8, 5};  // q = 7
+  auto writer = MakeReg(farm, 1, opts);
+  writer.Write("stable");
+
+  // Hand-deliver tag-2 Puts to exactly k = 5 disks, no commit.
+  auto rs = RsCode::Make(opts.n, opts.k);
+  ASSERT_TRUE(rs.ok());
+  const std::string torn(100, 'T');
+  auto frags = rs->Encode(torn);
+  for (DiskId d = 0; d < opts.k; ++d) {
+    CodedFragment f;
+    f.tag = CodedTag{2, 9};
+    f.index = static_cast<std::uint8_t>(d);
+    f.n = static_cast<std::uint8_t>(opts.n);
+    f.k = static_cast<std::uint8_t>(opts.k);
+    f.value_size = static_cast<std::uint32_t>(torn.size());
+    f.crc = Crc32(frags[d]);
+    f.bytes = frags[d];
+    RegisterId r{d, MakeBlock(1, Component::kCodedCell, 0)};
+    bool done = false;
+    farm.IssueMerge(9, r, EncodeCodedPut(f), [&done] { done = true; });
+    while (!done) std::this_thread::yield();
+  }
+  // Crash a non-holder (within f = 1) so every 7-disk quorum contains
+  // all 5 fragment holders: the reader deterministically decodes tag 2.
+  farm.CrashDisk(7);
+
+  auto r1 = MakeReg(farm, 2, opts);
+  auto v1 = r1.Read();
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(*v1, torn);  // assembled the in-flight tag...
+
+  // ...and its help-commit re-installed fragments beyond the original
+  // holders: every live disk now holds committed = tag 2 AND its
+  // fragment of tag 2.
+  for (DiskId d = 0; d < opts.n - 1; ++d) {
+    RegisterId r{d, MakeBlock(1, Component::kCodedCell, 0)};
+    auto cell = DecodeCodedCell(farm.Peek(r));
+    ASSERT_TRUE(cell.ok()) << "disk " << d;
+    EXPECT_EQ(cell->committed, (CodedTag{2, 9})) << "disk " << d;
+    ASSERT_EQ(cell->frags.size(), 1u) << "disk " << d;
+    EXPECT_EQ(cell->frags[0].tag, (CodedTag{2, 9})) << "disk " << d;
+    EXPECT_EQ(cell->frags[0].index, d) << "disk " << d;
+  }
+
+  // A second reader (fresh endpoint, any quorum) completes and agrees.
+  auto r2 = MakeReg(farm, 3, opts);
+  auto v2 = r2.Read();
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_EQ(*v2, torn);
+}
+
 TEST(CodedMwmr, WireAccountingGrowsWithTraffic) {
   SimFarm farm;
   auto reg = MakeReg(farm, 1);

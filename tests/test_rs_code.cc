@@ -217,6 +217,60 @@ TEST(CodedCell, PendingTagsAreBounded) {
   EXPECT_EQ(decoded->frags.back().tag.seq, 3 * CodedCell::kMaxPendingTags);
 }
 
+TEST(CodedCell, FragmentCarryingCommitObeysMergeLaws) {
+  // The protocol's commits always carry the destination's fragment; the
+  // join laws must hold for them exactly as for Puts and bare commits.
+  const std::string put_b = EncodeCodedPut(MakeFrag(2, 2, 0, "bbbb"));
+  const std::string commit_a = EncodeCodedCommit(MakeFrag(1, 1, 0, "aaaa"));
+
+  const Value ab = MergeCodedCell(MergeCodedCell("", commit_a), put_b);
+  const Value ba = MergeCodedCell(MergeCodedCell("", put_b), commit_a);
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(MergeCodedCell(ab, commit_a), ab);  // idempotent
+
+  auto decoded = DecodeCodedCell(ab);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->committed, (CodedTag{1, 1}));
+  ASSERT_EQ(decoded->frags.size(), 2u);  // committed's own frag + pending
+  EXPECT_EQ(decoded->frags[0].bytes, "aaaa");
+  EXPECT_EQ(decoded->frags[1].bytes, "bbbb");
+}
+
+TEST(CodedCell, CommitReinstallsEvictedFragment) {
+  // Regression (REVIEW finding 2): >kMaxPendingTags concurrent writers
+  // can evict the fragment of a tag whose Put already reached a write
+  // quorum, before its Commit lands here. The commit carries the
+  // fragment, so the committed tag is decodable at this disk again.
+  Value cell = MergeCodedCell("", EncodeCodedPut(MakeFrag(1, 1, 0, "mine")));
+  for (SeqNum s = 2; s <= 2 + CodedCell::kMaxPendingTags; ++s) {
+    cell = MergeCodedCell(cell, EncodeCodedPut(MakeFrag(s, 7, 0, "race")));
+  }
+  auto flooded = DecodeCodedCell(cell);
+  ASSERT_TRUE(flooded.ok());
+  ASSERT_FALSE(flooded->frags.empty());
+  EXPECT_GT(flooded->frags.front().tag.seq, 1u);  // tag 1 evicted
+
+  cell = MergeCodedCell(cell, EncodeCodedCommit(MakeFrag(1, 1, 0, "mine")));
+  auto committed = DecodeCodedCell(cell);
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(committed->committed, (CodedTag{1, 1}));
+  ASSERT_FALSE(committed->frags.empty());
+  EXPECT_EQ(committed->frags.front().tag, (CodedTag{1, 1}));
+  EXPECT_EQ(committed->frags.front().bytes, "mine");
+}
+
+TEST(CodedCell, StaleFragmentCarryingCommitDoesNotResurrect) {
+  // A commit below the cell's committed tag must neither lower it nor
+  // re-install its (pruned) fragment.
+  Value cell = MergeCodedCell("", EncodeCodedCommit(MakeFrag(5, 1, 0, "new")));
+  cell = MergeCodedCell(cell, EncodeCodedCommit(MakeFrag(3, 2, 0, "old")));
+  auto decoded = DecodeCodedCell(cell);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->committed, (CodedTag{5, 1}));
+  ASSERT_EQ(decoded->frags.size(), 1u);
+  EXPECT_EQ(decoded->frags[0].tag, (CodedTag{5, 1}));
+}
+
 TEST(CodedCell, EmptyFragmentCellRoundTrips) {
   // Regression: a zero-byte value encodes to zero-byte fragments, whose
   // cell entries are exactly the 31-byte wire minimum — the hostile-count
